@@ -1,0 +1,113 @@
+// Ablation studies for the design choices DESIGN.md calls out (not a paper
+// figure; extensions the paper motivates):
+//
+//   1. Outlier removal (§5.2 future work, implemented in core/outlier.h):
+//      cluster a large cell budget with/without the popularity-mass filter.
+//   2. The Fig. 5 interest-fraction threshold: multicast only when the
+//      interested share of the matched group clears the threshold.
+//   3. Hyper-cell merging (§4.1 implementation notes): how much the
+//      identical-membership merge compresses the grid.
+//
+// Flags: --events=N (default 300) --subs=N (default 1000) --seed=S
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/kmeans.h"
+#include "core/noloss.h"
+#include "core/outlier.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace pubsub {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto subs = static_cast<int>(flags.get_int("subs", 1000));
+  const auto num_events = static_cast<std::size_t>(flags.get_int("events", 300));
+  const std::size_t K = 100;
+
+  bench::Pipeline p(MakeStockScenario(subs, PublicationHotSpots::kOne, seed),
+                    num_events, seed + 1);
+  bench::PrintBaselines(p, "ablation baselines");
+
+  // ---- 1. outlier removal -------------------------------------------------
+  std::printf("\n--- outlier removal: forgy on all %zu hyper-cells, K=%zu ---\n",
+              p.grid.hyper_cells().size(), K);
+  TextTable outlier({"mass fraction kept", "cells fed", "improvement%"});
+  for (const double frac : {1.0, 0.999, 0.99, 0.95, 0.9, 0.8}) {
+    OutlierFilterOptions opt;
+    opt.popularity_mass_fraction = frac;
+    const std::vector<ClusterCell> cells = FilterOutliers(p.grid.top_cells(0), opt);
+    KMeansOptions kopt;
+    kopt.variant = KMeansVariant::kForgy;
+    const Assignment a = KMeansCluster(cells, K, kopt).assignment;
+    const GridMatcher matcher(p.grid, a, static_cast<int>(K));
+    const ClusteredCosts c = EvaluateMatcher(p.sim, p.events, MatcherFn(matcher));
+    outlier.row()
+        .cell(frac, 3)
+        .cell(cells.size())
+        .cell(ImprovementPercent(c.network, p.base), 1);
+  }
+  std::printf("%s", outlier.to_string().c_str());
+
+  // ---- 2. matching threshold ---------------------------------------------
+  std::printf("\n--- Fig. 5 threshold: forgy, 6000 cells, K=%zu ---\n", K);
+  TextTable thresh({"min interest fraction", "improvement%", "wasted deliveries"});
+  for (const double t : {0.0, 0.02, 0.05, 0.1, 0.25, 0.5}) {
+    const bench::EvalResult r = bench::EvaluateGridAlgorithm(
+        p, GridAlgorithmByName("forgy"), K, 6000, seed + 2, t);
+    thresh.row().cell(t, 2).cell(r.improvement_net, 1).cell(r.wasted);
+  }
+  std::printf("%s", thresh.to_string().c_str());
+
+  // ---- 3. No-Loss matcher rules (paper-literal vs savings-based) ----------
+  std::printf("\n--- No-Loss selection/pick rules, 5000 rects, 8 iters, K=%zu ---\n", K);
+  {
+    NoLossOptions nl;
+    nl.max_rectangles = 5000;
+    nl.iterations = 8;
+    const NoLossResult result =
+        NoLossCluster(p.scenario.workload, *p.scenario.pub, nl);
+    TextTable rules({"selection", "pick", "improvement%", "matched events"});
+    const auto run = [&](NoLossMatcherOptions::Selection sel,
+                         NoLossMatcherOptions::Pick pick, const char* sname,
+                         const char* pname) {
+      NoLossMatcherOptions o;
+      o.selection = sel;
+      o.pick = pick;
+      const NoLossMatcher matcher(result, K, o);
+      const ClusteredCosts c = EvaluateMatcher(p.sim, p.events, MatcherFn(matcher));
+      rules.row()
+          .cell(sname)
+          .cell(pname)
+          .cell(ImprovementPercent(c.network, p.base), 1)
+          .cell(c.multicast_events);
+    };
+    run(NoLossMatcherOptions::Selection::kWeight, NoLossMatcherOptions::Pick::kWeight,
+        "weight (paper)", "weight (paper)");
+    run(NoLossMatcherOptions::Selection::kWeight, NoLossMatcherOptions::Pick::kMembers,
+        "weight (paper)", "members");
+    run(NoLossMatcherOptions::Selection::kSavings, NoLossMatcherOptions::Pick::kMembers,
+        "savings (default)", "members (default)");
+    std::printf("%s", rules.to_string().c_str());
+  }
+
+  // ---- 4. hyper-cell merging ----------------------------------------------
+  std::printf("\n--- hyper-cell merging compression (§4.1) ---\n");
+  std::printf("lattice cells: %lld, occupied: %lld, hyper-cells: %zu "
+              "(%.1fx compression of occupied cells)\n",
+              static_cast<long long>(p.grid.num_lattice_cells()),
+              static_cast<long long>(p.grid.num_occupied_cells()),
+              p.grid.hyper_cells().size(),
+              static_cast<double>(p.grid.num_occupied_cells()) /
+                  static_cast<double>(p.grid.hyper_cells().size()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace pubsub
+
+int main(int argc, char** argv) { return pubsub::Run(argc, argv); }

@@ -1,0 +1,60 @@
+// Reproduces Figure 10: the running time *and* the solution quality of the
+// clustering algorithms as a function of the number of cells they are fed.
+//
+// Expected shape (paper): time grows with the cell budget; approximate
+// pairwise at 2000 cells lands near K-means in running time; quality first
+// improves with more cells, then *degrades* once low-popularity outlier
+// cells flood the algorithms (the paper's motivation for outlier removal).
+//
+// Flags: --events=N (default 300) --subs=N (default 1000) --seed=S
+//        --groups=K (default 100)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace pubsub {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto subs = static_cast<int>(flags.get_int("subs", 1000));
+  const auto num_events = static_cast<std::size_t>(flags.get_int("events", 300));
+  const auto K = static_cast<std::size_t>(flags.get_int("groups", 100));
+
+  bench::Pipeline p(MakeStockScenario(subs, PublicationHotSpots::kOne, seed),
+                    num_events, seed + 1);
+  bench::PrintBaselines(p, "fig10 baselines");
+  std::printf("grid: %zu hyper-cells available\n\n", p.grid.hyper_cells().size());
+
+  const std::vector<std::size_t> budgets = {500, 1000, 2000, 4000, 6000, 9000};
+  const std::vector<std::string> algos = {"forgy", "kmeans", "approx-pairs", "mst"};
+
+  std::printf("--- running time (seconds) vs cells fed, K=%zu ---\n", K);
+  std::printf("--- and solution quality (improvement %%) vs cells fed ---\n");
+  TextTable table({"cells", "forgy_s", "kmeans_s", "apx-pairs_s", "mst_s",
+                   "forgy%", "kmeans%", "apx-pairs%", "mst%"});
+  for (const std::size_t budget : budgets) {
+    std::vector<bench::EvalResult> results;
+    for (const std::string& name : algos)
+      results.push_back(bench::EvaluateGridAlgorithm(
+          p, GridAlgorithmByName(name), K, budget, seed + 2));
+    auto row = table.row();
+    row.cell(static_cast<long long>(budget));
+    for (const auto& r : results) row.cell(r.cluster_seconds, 2);
+    for (const auto& r : results) row.cell(r.improvement_net, 1);
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("(the quality drop at large budgets is the paper's outlier "
+              "effect — see also bench_ablation)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pubsub
+
+int main(int argc, char** argv) { return pubsub::Run(argc, argv); }

@@ -1,0 +1,91 @@
+// Reproduces Figure 7: communication-cost improvement (% of the
+// unicast→ideal gap) as a function of the number of multicast groups K,
+// for every clustering algorithm, under both network-supported and
+// application-level multicast, across the three §5.1 publication scenarios
+// (1, 4 and 9 hot spots).
+//
+// Also prints the §5.2 absolute-cost paragraph numbers (unicast /
+// broadcast / ideal for the 1-mode gaussian case).
+//
+// Expected shape (paper): all algorithms improve with K; Forgy/K-means on
+// top, reaching 60–80 % below K≈100–150; MST/Pairs lower; app-level
+// multicast slightly below network multicast with the same ordering.
+//
+// Flags: --events=N (default 300) --subs=N (default 1000) --seed=S
+//        --cells=N (default 6000) --pairs_cells=N (default 2000)
+//        --modes=1|4|9|all (default all)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace pubsub {
+namespace {
+
+using bench::EvalResult;
+using bench::Pipeline;
+
+void RunScenario(PublicationHotSpots spots, const Flags& flags) {
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto subs = static_cast<int>(flags.get_int("subs", 1000));
+  const auto num_events = static_cast<std::size_t>(flags.get_int("events", 300));
+  const auto cells = static_cast<std::size_t>(flags.get_int("cells", 6000));
+  const auto pairs_cells = static_cast<std::size_t>(flags.get_int("pairs_cells", 2000));
+
+  Pipeline p(MakeStockScenario(subs, spots, seed), num_events, seed + 1);
+  std::printf("=== Figure 7, %d-mode publication distribution ===\n",
+              static_cast<int>(spots));
+  bench::PrintBaselines(p, "baselines (cf. paper §5.2: unicast 7139, "
+                           "broadcast 8536, ideal 1763 for 1-mode)");
+
+  const std::vector<std::size_t> k_values = {10, 20, 40, 60, 80, 100};
+
+  // No-Loss clusters once; its top-K prefix serves every K.
+  NoLossOptions nl_opt;
+  nl_opt.max_rectangles = 5000;
+  nl_opt.iterations = 8;
+  Stopwatch nl_watch;
+  const NoLossResult noloss =
+      NoLossCluster(p.scenario.workload, *p.scenario.pub, nl_opt);
+  const double nl_seconds = nl_watch.elapsed_seconds();
+
+  TextTable table({"K", "forgy", "kmeans", "mst", "approx-pairs", "noloss",
+                   "forgy(app)", "kmeans(app)", "mst(app)", "apx-pairs(app)",
+                   "noloss(app)"});
+  for (const std::size_t k : k_values) {
+    std::vector<EvalResult> results;
+    for (const char* name : {"forgy", "kmeans", "mst", "approx-pairs"}) {
+      const std::size_t budget =
+          std::string(name) == "approx-pairs" ? pairs_cells : cells;
+      results.push_back(bench::EvaluateGridAlgorithm(p, GridAlgorithmByName(name),
+                                                     k, budget, seed + 2));
+    }
+    results.push_back(bench::EvaluateNoLoss(p, noloss, k, nl_seconds));
+
+    auto row = table.row();
+    row.cell(static_cast<long long>(k));
+    for (const EvalResult& r : results) row.cell(r.improvement_net, 1);
+    for (const EvalResult& r : results) row.cell(r.improvement_app, 1);
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("(improvement %% over unicast; 100%% = ideal multicast. "
+              "Grid algorithms fed %zu cells, approx-pairs %zu.)\n\n",
+              cells, pairs_cells);
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string modes = flags.get("modes", "all");
+  if (modes == "all" || modes == "1") RunScenario(PublicationHotSpots::kOne, flags);
+  if (modes == "all" || modes == "4") RunScenario(PublicationHotSpots::kFour, flags);
+  if (modes == "all" || modes == "9") RunScenario(PublicationHotSpots::kNine, flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pubsub
+
+int main(int argc, char** argv) { return pubsub::Run(argc, argv); }

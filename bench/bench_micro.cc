@@ -1,0 +1,155 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: membership
+// bit-vector operations, the expected-waste distance, R-tree stabbing,
+// Dijkstra, pruned-SPT multicast cost, and grid construction.
+#include <benchmark/benchmark.h>
+
+#include "core/cluster_types.h"
+#include "core/grid.h"
+#include "index/kd_interval_tree.h"
+#include "index/rtree.h"
+#include "index/spatial_index.h"
+#include "net/multicast.h"
+#include "net/shortest_path.h"
+#include "net/transit_stub.h"
+#include "sim/scenario.h"
+#include "util/bitvector.h"
+#include "util/rng.h"
+
+namespace pubsub {
+namespace {
+
+BitVector RandomBits(std::size_t n, Rng& rng, double density = 0.1) {
+  BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (rng.bernoulli(density)) v.set(i);
+  return v;
+}
+
+void BM_BitVectorCountAndNot(benchmark::State& state) {
+  Rng rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const BitVector a = RandomBits(n, rng);
+  const BitVector b = RandomBits(n, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(a.count_and_not(b));
+}
+BENCHMARK(BM_BitVectorCountAndNot)->Arg(1000)->Arg(10000);
+
+void BM_ExpectedWasteKernel(benchmark::State& state) {
+  Rng rng(2);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const BitVector a = RandomBits(n, rng);
+  const BitVector b = RandomBits(n, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ExpectedWaste(a, 0.3, b, 0.7));
+}
+BENCHMARK(BM_ExpectedWasteKernel)->Arg(1000)->Arg(10000);
+
+void BM_GroupStateAddRemove(benchmark::State& state) {
+  Rng rng(3);
+  const std::size_t n = 1000;
+  const BitVector bits = RandomBits(n, rng);
+  const ClusterCell cell{&bits, 0.5};
+  GroupState g(n);
+  for (auto _ : state) {
+    g.add(cell);
+    g.remove(cell);
+  }
+}
+BENCHMARK(BM_GroupStateAddRemove);
+
+void BM_RTreeStab(benchmark::State& state) {
+  Rng rng(4);
+  const Scenario s = MakeStockScenario(static_cast<int>(state.range(0)),
+                                       PublicationHotSpots::kOne, 5);
+  std::vector<std::pair<Rect, int>> items;
+  const Rect domain = s.workload.space.domain_rect();
+  for (std::size_t i = 0; i < s.workload.subscribers.size(); ++i)
+    items.emplace_back(s.workload.subscribers[i].interest.intersection(domain),
+                       static_cast<int>(i));
+  const RTree tree = RTree::BulkLoad(std::move(items));
+  std::vector<Publication> pubs;
+  for (int i = 0; i < 256; ++i) pubs.push_back(s.pub->sample(rng));
+  std::vector<int> out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    tree.stab(pubs[i++ % pubs.size()].point, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_RTreeStab)->Arg(1000)->Arg(5000);
+
+void BM_KdTreeStab(benchmark::State& state) {
+  Rng rng(5);
+  const Scenario s = MakeStockScenario(static_cast<int>(state.range(0)),
+                                       PublicationHotSpots::kOne, 5);
+  KdIntervalTree tree;
+  const Rect domain = s.workload.space.domain_rect();
+  for (std::size_t i = 0; i < s.workload.subscribers.size(); ++i)
+    tree.insert(s.workload.subscribers[i].interest.intersection(domain),
+                static_cast<int>(i));
+  std::vector<Publication> pubs;
+  for (int i = 0; i < 256; ++i) pubs.push_back(s.pub->sample(rng));
+  std::vector<int> out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    tree.stab(pubs[i++ % pubs.size()].point, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_KdTreeStab)->Arg(1000)->Arg(5000);
+
+void BM_LinearStab(benchmark::State& state) {
+  Rng rng(9);
+  const Scenario s = MakeStockScenario(static_cast<int>(state.range(0)),
+                                       PublicationHotSpots::kOne, 5);
+  LinearIndex index;
+  const Rect domain = s.workload.space.domain_rect();
+  for (std::size_t i = 0; i < s.workload.subscribers.size(); ++i)
+    index.insert(s.workload.subscribers[i].interest.intersection(domain),
+                 static_cast<int>(i));
+  std::vector<Publication> pubs;
+  for (int i = 0; i < 256; ++i) pubs.push_back(s.pub->sample(rng));
+  std::vector<int> out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    index.stab(pubs[i++ % pubs.size()].point, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_LinearStab)->Arg(1000);
+
+void BM_Dijkstra600(benchmark::State& state) {
+  Rng rng(6);
+  const TransitStubNetwork net = GenerateTransitStub(PaperNetSection5(), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(Dijkstra(net.graph, 0).dist[10]);
+}
+BENCHMARK(BM_Dijkstra600);
+
+void BM_PrunedSptCost(benchmark::State& state) {
+  Rng rng(7);
+  const TransitStubNetwork net = GenerateTransitStub(PaperNetSection5(), rng);
+  const ShortestPathTree spt = Dijkstra(net.graph, 0);
+  PrunedSptCost pruner(net.graph);
+  std::vector<NodeId> members;
+  for (NodeId v = 1; v < net.graph.num_nodes(); v += 11) members.push_back(v);
+  for (auto _ : state) benchmark::DoNotOptimize(pruner.cost(spt, members));
+}
+BENCHMARK(BM_PrunedSptCost);
+
+void BM_GridConstruction(benchmark::State& state) {
+  const Scenario s = MakeStockScenario(static_cast<int>(state.range(0)),
+                                       PublicationHotSpots::kOne, 8);
+  for (auto _ : state) {
+    const Grid grid(s.workload, *s.pub);
+    benchmark::DoNotOptimize(grid.hyper_cells().size());
+  }
+}
+BENCHMARK(BM_GridConstruction)->Arg(500)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pubsub
+
+BENCHMARK_MAIN();

@@ -1,0 +1,15 @@
+// Reproduces Table 1 (§3 preliminary analysis): unicast vs broadcast vs
+// ideal multicast communication cost under degree-0.4 regionalism, across
+// network sizes, subscription counts and publication distributions.
+//
+// Expected shape (paper): unicast ≫ ideal for many subscriptions;
+// broadcast ≈ ideal when subscriptions are dense but up to ~4× ideal when
+// sparse; gaussian unicast/ideal above uniform; costs below the Table 2
+// (no-regionalism) counterparts.
+//
+// Flags: --events=N (default 400) --seed=S --regionalism=R (default 0.4)
+#include "table_common.h"
+
+int main(int argc, char** argv) {
+  return pubsub::bench::RunBaselineTable(argc, argv, /*default_regionalism=*/0.4);
+}

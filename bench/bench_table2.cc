@@ -1,0 +1,11 @@
+// Reproduces Table 2: unicast vs broadcast vs ideal multicast with *no*
+// regionalism (degree 0).  Expected shape vs Table 1: uniformly higher
+// unicast and ideal costs — regional concentration of interest is what
+// makes delivery cheap.
+//
+// Flags: --events=N (default 400) --seed=S --regionalism=R (default 0)
+#include "table_common.h"
+
+int main(int argc, char** argv) {
+  return pubsub::bench::RunBaselineTable(argc, argv, /*default_regionalism=*/0.0);
+}

@@ -1,0 +1,141 @@
+// Latency / throughput under load (paper §4.6: matching delay bounds
+// system throughput; abstract: multicast amortizes the per-event work).
+//
+// Replays a timestamped trading trace (workload/trace.h) through the
+// broker queueing model (runtime/delivery_runtime.h) at several arrival
+// rates, delivering each event via unicast or via Forgy-clustered
+// multicast (+ residual unicasts), and reports mean/p99 end-to-end
+// latency and mean broker queue wait.
+//
+// Expected shape: at low rates both behave; as the rate approaches the
+// unicast brokers' service capacity (service grows with the interested
+// count) unicast latency diverges while clustered multicast — one branch
+// message per group — keeps queues short and sustains several times the
+// rate.
+//
+// Flags: --subs=N (default 1000) --trace_events=N (default 1500) --seed=S
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/delivery_runtime.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/trace.h"
+
+namespace pubsub {
+namespace {
+
+struct LatencyReport {
+  double mean = 0.0;
+  double p99 = 0.0;
+  double mean_wait = 0.0;
+};
+
+LatencyReport Summarize(const std::vector<double>& latencies,
+                        const RunningStats& waits) {
+  LatencyReport r;
+  if (latencies.empty()) return r;
+  RunningStats s;
+  for (const double l : latencies) s.add(l);
+  std::vector<double> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  r.mean = s.mean();
+  r.p99 = sorted[static_cast<std::size_t>(0.99 * static_cast<double>(sorted.size() - 1))];
+  r.mean_wait = waits.mean();
+  return r;
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto subs = static_cast<int>(flags.get_int("subs", 1000));
+  const auto total = static_cast<std::size_t>(flags.get_int("trace_events", 1500));
+  const std::size_t K = 100;
+
+  bench::Pipeline p(MakeStockScenario(subs, PublicationHotSpots::kOne, seed), 50,
+                    seed + 1);  // pipeline events unused; we replay the trace
+  const std::vector<ClusterCell> cells = p.grid.top_cells(6000);
+  Rng rng(seed + 2);
+  const Assignment assignment = GridAlgorithmByName("forgy").run(cells, K, rng);
+  const GridMatcher matcher(p.grid, assignment, static_cast<int>(K));
+
+  auto nodes_of = [&](std::span<const SubscriberId> ids) {
+    std::vector<NodeId> nodes;
+    nodes.reserve(ids.size());
+    for (const SubscriberId s : ids)
+      nodes.push_back(p.scenario.workload.subscribers[static_cast<std::size_t>(s)].node);
+    return nodes;
+  };
+
+  TextTable table({"events/s", "unicast mean ms", "unicast p99 ms",
+                   "unicast wait ms", "forgy mean ms", "forgy p99 ms",
+                   "forgy wait ms"});
+  for (const double rate : {500.0, 2000.0, 5000.0, 8000.0, 12000.0}) {
+    TraceParams tparams;
+    tparams.events_per_second = rate;
+    tparams.num_publishers = 4;  // a few exchange nodes feed the system
+    Rng trace_rng(seed + 3);  // same trace shape at every rate
+    const std::vector<TraceEvent> trace =
+        GenerateStockTrace(p.scenario.net, {}, tparams, total, trace_rng);
+
+    DeliveryRuntime rt(p.scenario.net.graph);
+
+    std::vector<double> uni_lat, multi_lat;
+    RunningStats uni_wait, multi_wait;
+    // Pass 1: unicast.
+    for (const TraceEvent& ev : trace) {
+      const auto interested = p.sim.interested(ev.pub.point);
+      const DeliveryTiming t = rt.deliver_unicast(ev.timestamp * 1000.0,
+                                                  ev.pub.origin, nodes_of(interested));
+      uni_lat.insert(uni_lat.end(), t.latencies_ms.begin(), t.latencies_ms.end());
+      uni_wait.add(t.queue_wait_ms);
+    }
+    // Pass 2: clustered multicast + residual unicasts.
+    rt.reset();
+    for (const TraceEvent& ev : trace) {
+      const auto interested = p.sim.interested(ev.pub.point);
+      const MatchDecision d = matcher.match(ev.pub.point, interested);
+      const double now = ev.timestamp * 1000.0;
+      if (d.group_id >= 0) {
+        const DeliveryTiming t =
+            rt.deliver_multicast(now, ev.pub.origin, nodes_of(d.group_members));
+        multi_lat.insert(multi_lat.end(), t.latencies_ms.begin(),
+                         t.latencies_ms.end());
+        multi_wait.add(t.queue_wait_ms);
+      }
+      if (!d.unicast_targets.empty() || d.group_id < 0) {
+        const DeliveryTiming t =
+            rt.deliver_unicast(now, ev.pub.origin, nodes_of(d.unicast_targets));
+        if (d.group_id < 0) multi_wait.add(t.queue_wait_ms);
+        multi_lat.insert(multi_lat.end(), t.latencies_ms.begin(),
+                         t.latencies_ms.end());
+      }
+    }
+
+    const LatencyReport u = Summarize(uni_lat, uni_wait);
+    const LatencyReport m = Summarize(multi_lat, multi_wait);
+    table.row()
+        .cell(rate, 0)
+        .cell(u.mean, 2)
+        .cell(u.p99, 2)
+        .cell(u.mean_wait, 2)
+        .cell(m.mean, 2)
+        .cell(m.p99, 2)
+        .cell(m.mean_wait, 2);
+  }
+  std::printf("end-to-end delivery latency vs publication rate "
+              "(%zu-event trace, K=%zu):\n\n%s", total, K,
+              table.to_string().c_str());
+  std::printf("\n(unicast service scales with the interested count, so its "
+              "brokers saturate first;\nmulticast keeps per-event broker work "
+              "constant — the paper's throughput argument)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pubsub
+
+int main(int argc, char** argv) { return pubsub::Run(argc, argv); }

@@ -1,0 +1,93 @@
+// Shared scaffolding for the table/figure reproduction binaries: a bundled
+// pipeline (scenario → simulator → grid → event stream → baselines) and
+// helpers to evaluate one clustering algorithm at one operating point.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "core/grid.h"
+#include "core/matching.h"
+#include "core/noloss.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "util/timer.h"
+
+namespace pubsub::bench {
+
+struct Pipeline {
+  Pipeline(Scenario s, std::size_t num_events, std::uint64_t seed)
+      : scenario(std::move(s)),
+        sim(scenario.net.graph, scenario.workload),
+        grid(scenario.workload, *scenario.pub) {
+    Rng rng(seed);
+    events = SampleEvents(sim, *scenario.pub, num_events, rng);
+    base = EvaluateBaselines(sim, events);
+  }
+
+  Scenario scenario;
+  DeliverySimulator sim;
+  Grid grid;
+  std::vector<EventSample> events;
+  BaselineCosts base;
+};
+
+struct EvalResult {
+  double improvement_net = 0.0;  // % vs unicast, 100 = ideal
+  double improvement_app = 0.0;
+  double cost_net = 0.0;
+  double cost_app = 0.0;
+  double cluster_seconds = 0.0;
+  std::size_t wasted = 0;
+};
+
+// Cluster the top `max_cells` hyper-cells with `algo` into K groups and
+// evaluate grid-based delivery over the pipeline's event stream.
+inline EvalResult EvaluateGridAlgorithm(Pipeline& p, const GridAlgorithm& algo,
+                                        std::size_t K, std::size_t max_cells,
+                                        std::uint64_t algo_seed = 99,
+                                        double threshold = 0.0) {
+  const std::vector<ClusterCell> cells = p.grid.top_cells(max_cells);
+  Rng rng(algo_seed);
+  Stopwatch watch;
+  const Assignment assignment = algo.run(cells, K, rng);
+  EvalResult r;
+  r.cluster_seconds = watch.elapsed_seconds();
+  const GridMatcher matcher(p.grid, assignment, static_cast<int>(K), threshold);
+  const ClusteredCosts c = EvaluateMatcher(p.sim, p.events, MatcherFn(matcher));
+  r.cost_net = c.network;
+  r.cost_app = c.applevel;
+  r.improvement_net = ImprovementPercent(c.network, p.base);
+  r.improvement_app = ImprovementPercent(c.applevel, p.base);
+  r.wasted = c.wasted_deliveries;
+  return r;
+}
+
+// Evaluate the No-Loss matcher built from `result` using its top-K areas.
+inline EvalResult EvaluateNoLoss(Pipeline& p, const NoLossResult& result,
+                                 std::size_t K, double cluster_seconds = 0.0) {
+  const NoLossMatcher matcher(result, K);
+  EvalResult r;
+  r.cluster_seconds = cluster_seconds;
+  const ClusteredCosts c = EvaluateMatcher(p.sim, p.events, MatcherFn(matcher));
+  r.cost_net = c.network;
+  r.cost_app = c.applevel;
+  r.improvement_net = ImprovementPercent(c.network, p.base);
+  r.improvement_app = ImprovementPercent(c.applevel, p.base);
+  r.wasted = c.wasted_deliveries;
+  return r;
+}
+
+inline void PrintBaselines(const Pipeline& p, const char* label) {
+  std::printf("[%s] events=%zu  unicast=%.0f  broadcast=%.0f  ideal=%.0f  "
+              "(per event: %.1f / %.1f / %.1f)\n",
+              label, p.base.events, p.base.unicast, p.base.broadcast, p.base.ideal,
+              p.base.unicast / static_cast<double>(p.base.events),
+              p.base.broadcast / static_cast<double>(p.base.events),
+              p.base.ideal / static_cast<double>(p.base.events));
+}
+
+}  // namespace pubsub::bench

@@ -1,0 +1,87 @@
+#include "table_common.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/delivery.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace pubsub::bench {
+namespace {
+
+struct RowSpec {
+  const char* net_name;
+  TransitStubParams shape;
+  int subscriptions;
+  Section3Params::Tail dist;
+};
+
+}  // namespace
+
+int RunBaselineTable(int argc, char** argv, double default_regionalism) {
+  const Flags flags(argc, argv);
+  const auto num_events = static_cast<std::size_t>(flags.get_int("events", 400));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const double regionalism = flags.get_double("regionalism", default_regionalism);
+
+  // The paper's row grid (Tables 1 and 2 share it modulo a few rows; we
+  // print the union).
+  const std::vector<RowSpec> rows = {
+      {"100", PaperNet100(), 5000, Section3Params::Tail::kUniform},
+      {"100", PaperNet100(), 5000, Section3Params::Tail::kGaussian},
+      {"100", PaperNet100(), 1000, Section3Params::Tail::kUniform},
+      {"100", PaperNet100(), 1000, Section3Params::Tail::kGaussian},
+      {"100", PaperNet100(), 80, Section3Params::Tail::kUniform},
+      {"100", PaperNet100(), 80, Section3Params::Tail::kGaussian},
+      {"300", PaperNet300(), 5000, Section3Params::Tail::kUniform},
+      {"300", PaperNet300(), 5000, Section3Params::Tail::kGaussian},
+      {"300", PaperNet300(), 1000, Section3Params::Tail::kUniform},
+      {"300", PaperNet300(), 1000, Section3Params::Tail::kGaussian},
+      {"300", PaperNet300(), 350, Section3Params::Tail::kUniform},
+      {"300", PaperNet300(), 80, Section3Params::Tail::kGaussian},
+      {"600", PaperNet600(), 10000, Section3Params::Tail::kUniform},
+      {"600", PaperNet600(), 10000, Section3Params::Tail::kGaussian},
+      {"600", PaperNet600(), 5000, Section3Params::Tail::kUniform},
+      {"600", PaperNet600(), 5000, Section3Params::Tail::kGaussian},
+      {"600", PaperNet600(), 1000, Section3Params::Tail::kUniform},
+      {"600", PaperNet600(), 1000, Section3Params::Tail::kGaussian},
+  };
+
+  std::printf("Baseline delivery costs, regionalism degree %.1f "
+              "(paper Table %s)\n\n",
+              regionalism, regionalism > 0 ? "1" : "2");
+
+  TextTable table({"Node", "Sub'n", "Dist'n", "Unicast", "Broadcast", "Ideal",
+                   "Uni/Ideal", "Bcast/Ideal"});
+  for (const RowSpec& row : rows) {
+    Section3Params params;
+    params.regionalism = regionalism;
+    params.subscription_tail = row.dist;
+    params.publication_tail = row.dist;
+    const Scenario s = MakeSection3Scenario(row.shape, row.subscriptions, params, seed);
+    DeliverySimulator sim(s.net.graph, s.workload);
+    Rng rng(seed + 7);
+    const auto events = SampleEvents(sim, *s.pub, num_events, rng);
+    const BaselineCosts base = EvaluateBaselines(sim, events);
+
+    table.row()
+        .cell(row.net_name)
+        .cell(static_cast<long long>(row.subscriptions))
+        .cell(row.dist == Section3Params::Tail::kUniform ? "uniform" : "gaussian")
+        .cell(base.unicast, 0)
+        .cell(base.broadcast, 0)
+        .cell(base.ideal, 0)
+        .cell(base.unicast / base.ideal, 2)
+        .cell(base.broadcast / base.ideal, 2);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("(costs are totals over %zu events; ratios are the shape "
+              "comparison points)\n",
+              num_events);
+  return 0;
+}
+
+}  // namespace pubsub::bench

@@ -1,0 +1,12 @@
+// Shared driver for the Table 1 / Table 2 reproductions (§3 baseline cost
+// comparison).  The two tables differ only in the default regionalism
+// degree (0.4 vs 0).
+#pragma once
+
+namespace pubsub::bench {
+
+// Parses --events/--seed/--regionalism flags and prints the baseline cost
+// table for the §3 row grid.  Returns a process exit code.
+int RunBaselineTable(int argc, char** argv, double default_regionalism);
+
+}  // namespace pubsub::bench

@@ -1,0 +1,99 @@
+// Stock-market deployment study (the paper's §5 scenario, end to end).
+//
+// Builds the 600-node three-block network, generates {bst, name, quote,
+// volume} subscriptions with block-regional name interest, then compares
+// every clustering algorithm — including No-Loss — against the unicast /
+// broadcast / ideal baselines under both network-supported and
+// application-level multicast, for each publication hot-spot scenario.
+//
+// Run:  ./stock_market [--subs=1000] [--groups=100] [--events=300]
+//                      [--seed=7] [--cells=6000] [--modes=1|4|9|all]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "core/grid.h"
+#include "core/matching.h"
+#include "core/noloss.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace pubsub;
+
+void RunScenario(PublicationHotSpots spots, const Flags& flags) {
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto subs = static_cast<int>(flags.get_int("subs", 1000));
+  const auto num_events = static_cast<std::size_t>(flags.get_int("events", 300));
+  const auto K = static_cast<std::size_t>(flags.get_int("groups", 100));
+  const auto max_cells = static_cast<std::size_t>(flags.get_int("cells", 6000));
+
+  Scenario s = MakeStockScenario(subs, spots, seed);
+  DeliverySimulator sim(s.net.graph, s.workload);
+  Grid grid(s.workload, *s.pub);
+  Rng event_rng(seed + 1);
+  const auto events = SampleEvents(sim, *s.pub, num_events, event_rng);
+  BaselineCosts base = EvaluateBaselines(sim, events, /*with_applevel_ideal=*/true);
+
+  std::printf("=== %d-mode publications, %d subscribers, K=%zu ===\n",
+              static_cast<int>(spots), subs, K);
+  std::printf("baselines over %zu events: unicast=%.0f broadcast=%.0f "
+              "ideal=%.0f ideal(app)=%.0f\n\n",
+              events.size(), base.unicast, base.broadcast, base.ideal, base.ideal_app);
+
+  TextTable table({"algorithm", "cluster_s", "net cost", "net improv%",
+                   "app cost", "app improv%", "wasted msgs"});
+  for (const GridAlgorithm& algo : StandardGridAlgorithms()) {
+    const std::size_t budget = algo.name == "pairs" || algo.name == "approx-pairs"
+                                   ? std::min<std::size_t>(max_cells, 2000)
+                                   : max_cells;
+    const std::vector<ClusterCell> cells = grid.top_cells(budget);
+    Rng rng(seed + 2);
+    Stopwatch watch;
+    const Assignment assignment = algo.run(cells, K, rng);
+    const double secs = watch.elapsed_seconds();
+    const GridMatcher matcher(grid, assignment, static_cast<int>(K));
+    const ClusteredCosts c = EvaluateMatcher(sim, events, MatcherFn(matcher));
+    table.row()
+        .cell(algo.name)
+        .cell(secs, 2)
+        .cell(c.network, 0)
+        .cell(ImprovementPercent(c.network, base), 1)
+        .cell(c.applevel, 0)
+        .cell(ImprovementPercent(c.applevel, base), 1)
+        .cell(c.wasted_deliveries);
+  }
+
+  {
+    Stopwatch watch;
+    const NoLossResult noloss = NoLossCluster(s.workload, *s.pub);
+    const double secs = watch.elapsed_seconds();
+    const NoLossMatcher matcher(noloss, K);
+    const ClusteredCosts c = EvaluateMatcher(sim, events, MatcherFn(matcher));
+    table.row()
+        .cell("no-loss")
+        .cell(secs, 2)
+        .cell(c.network, 0)
+        .cell(ImprovementPercent(c.network, base), 1)
+        .cell(c.applevel, 0)
+        .cell(ImprovementPercent(c.applevel, base), 1)
+        .cell(c.wasted_deliveries);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string modes = flags.get("modes", "1");
+  if (modes == "all" || modes == "1") RunScenario(PublicationHotSpots::kOne, flags);
+  if (modes == "all" || modes == "4") RunScenario(PublicationHotSpots::kFour, flags);
+  if (modes == "all" || modes == "9") RunScenario(PublicationHotSpots::kNine, flags);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Trace replay (paper §6, discussion item 3): drive the clustered pub-sub
+// system with a synthetic stock-trading-day trace instead of i.i.d.
+// parametric events, and watch how clustering quality holds up under a
+// temporally correlated feed (random-walk prices, Zipf-skewed tape).
+//
+// The clustering is still trained on the *parametric* publication model
+// (the paper's static stage has no access to future traffic), so the
+// replay also measures model mismatch: the parametric model thinks prices
+// are i.i.d. around the hot spot, the trace walks them around.
+//
+// Run:  ./trace_replay [--subs=1000] [--groups=100] [--trace_events=2000]
+//                      [--seed=21] [--window=500]
+#include <cstdio>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "core/grid.h"
+#include "core/matching.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace pubsub;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 21));
+  const auto subs = static_cast<int>(flags.get_int("subs", 1000));
+  const auto K = static_cast<std::size_t>(flags.get_int("groups", 100));
+  const auto total = static_cast<std::size_t>(flags.get_int("trace_events", 2000));
+  const auto window = static_cast<std::size_t>(flags.get_int("window", 500));
+
+  Scenario s = MakeStockScenario(subs, PublicationHotSpots::kOne, seed);
+  DeliverySimulator sim(s.net.graph, s.workload);
+  Grid grid(s.workload, *s.pub);
+  Rng rng(seed + 1);
+  const Assignment assignment =
+      GridAlgorithmByName("forgy").run(grid.top_cells(6000), K, rng);
+  const GridMatcher matcher(grid, assignment, static_cast<int>(K));
+
+  // Generate the trading-day trace.
+  Rng trace_rng(seed + 2);
+  const std::vector<TraceEvent> trace =
+      GenerateStockTrace(s.net, {}, {}, total, trace_rng);
+  std::printf("trace: %zu events over %.1f simulated seconds\n\n", trace.size(),
+              trace.back().timestamp);
+
+  // Replay in windows, reporting improvement per window (drift check).
+  TextTable table({"window", "t range (s)", "events", "improvement%",
+                   "multicast%", "avg interested"});
+  std::size_t start = 0;
+  int window_id = 0;
+  while (start < trace.size()) {
+    const std::size_t end = std::min(start + window, trace.size());
+    std::vector<EventSample> events;
+    events.reserve(end - start);
+    for (std::size_t i = start; i < end; ++i) {
+      EventSample e;
+      e.pub = trace[i].pub;
+      e.interested = sim.interested(e.pub.point);
+      events.push_back(std::move(e));
+    }
+    const BaselineCosts base = EvaluateBaselines(sim, events);
+    const ClusteredCosts c = EvaluateMatcher(sim, events, MatcherFn(matcher));
+
+    double sum_interested = 0;
+    for (const EventSample& e : events)
+      sum_interested += static_cast<double>(e.interested.size());
+
+    char range[64];
+    std::snprintf(range, sizeof(range), "%.0f-%.0f", trace[start].timestamp,
+                  trace[end - 1].timestamp);
+    table.row()
+        .cell(static_cast<long long>(++window_id))
+        .cell(range)
+        .cell(events.size())
+        .cell(ImprovementPercent(c.network, base), 1)
+        .cell(100.0 * static_cast<double>(c.multicast_events) /
+                  static_cast<double>(events.size()),
+              1)
+        .cell(sum_interested / static_cast<double>(events.size()), 1);
+    start = end;
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("clusters were trained once on the parametric model; as the "
+              "trace's price walks\ndrift away from the trained hot spot, "
+              "improvement decays window over window —\nthe drift that "
+              "motivates periodic re-balancing "
+              "(examples/dynamic_reclustering).\n");
+  return 0;
+}

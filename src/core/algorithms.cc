@@ -1,0 +1,43 @@
+#include "core/algorithms.h"
+
+#include <stdexcept>
+
+#include "core/kmeans.h"
+#include "core/mst_cluster.h"
+#include "core/pairwise.h"
+
+namespace pubsub {
+
+std::vector<GridAlgorithm> StandardGridAlgorithms() {
+  std::vector<GridAlgorithm> algos;
+
+  algos.push_back({"kmeans", [](const std::vector<ClusterCell>& cells, std::size_t K, Rng&) {
+                     KMeansOptions opt;
+                     opt.variant = KMeansVariant::kMacQueen;
+                     return KMeansCluster(cells, K, opt).assignment;
+                   }});
+  algos.push_back({"forgy", [](const std::vector<ClusterCell>& cells, std::size_t K, Rng&) {
+                     KMeansOptions opt;
+                     opt.variant = KMeansVariant::kForgy;
+                     return KMeansCluster(cells, K, opt).assignment;
+                   }});
+  algos.push_back({"mst", [](const std::vector<ClusterCell>& cells, std::size_t K, Rng&) {
+                     return MstCluster(cells, K);
+                   }});
+  algos.push_back({"pairs", [](const std::vector<ClusterCell>& cells, std::size_t K, Rng&) {
+                     return PairwiseCluster(cells, K);
+                   }});
+  algos.push_back({"approx-pairs",
+                   [](const std::vector<ClusterCell>& cells, std::size_t K, Rng& rng) {
+                     return ApproximatePairwiseCluster(cells, K, rng);
+                   }});
+  return algos;
+}
+
+GridAlgorithm GridAlgorithmByName(const std::string& name) {
+  for (GridAlgorithm& a : StandardGridAlgorithms())
+    if (a.name == name) return a;
+  throw std::invalid_argument("unknown clustering algorithm: " + name);
+}
+
+}  // namespace pubsub

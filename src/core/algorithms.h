@@ -1,0 +1,27 @@
+// Uniform registry of the grid-based clustering algorithms, used by the
+// benchmark harnesses and examples to sweep "all algorithms" the way the
+// paper's figures do.  (No-Loss is not grid-based and has its own driver.)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/cluster_types.h"
+#include "util/rng.h"
+
+namespace pubsub {
+
+struct GridAlgorithm {
+  std::string name;
+  // cells are popularity-ordered; returns a group per cell in [0, K).
+  std::function<Assignment(const std::vector<ClusterCell>&, std::size_t K, Rng&)> run;
+};
+
+// kmeans, forgy, mst, pairs, approx-pairs — the paper's Figure 7 lineup.
+std::vector<GridAlgorithm> StandardGridAlgorithms();
+
+// Subset by name (throws on unknown name).
+GridAlgorithm GridAlgorithmByName(const std::string& name);
+
+}  // namespace pubsub

@@ -1,0 +1,59 @@
+#include "core/cluster_types.h"
+
+#include <stdexcept>
+
+namespace pubsub {
+
+void GroupState::add(const ClusterCell& cell) {
+  cell.members->for_each_set([this](std::size_t i) {
+    if (counts_[i]++ == 0) vec_.set(i);
+  });
+  prob_ += cell.prob;
+  ++size_;
+}
+
+void GroupState::remove(const ClusterCell& cell) {
+  if (size_ == 0) throw std::logic_error("GroupState::remove: empty group");
+  cell.members->for_each_set([this](std::size_t i) {
+    if (--counts_[i] == 0) vec_.reset(i);
+  });
+  prob_ -= cell.prob;
+  --size_;
+}
+
+void GroupState::merge_from(const GroupState& other) {
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+    if (counts_[i] > 0) vec_.set(i);
+  }
+  prob_ += other.prob_;
+  size_ += other.size_;
+}
+
+double TotalExpectedWaste(const std::vector<ClusterCell>& cells,
+                          const Assignment& assignment, int num_groups) {
+  if (assignment.size() != cells.size())
+    throw std::invalid_argument("TotalExpectedWaste: size mismatch");
+  if (cells.empty()) return 0.0;
+
+  std::vector<GroupState> groups(static_cast<std::size_t>(num_groups),
+                                 GroupState(cells[0].members->size()));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int g = assignment[i];
+    if (g < 0) continue;
+    if (g >= num_groups) throw std::invalid_argument("TotalExpectedWaste: bad group");
+    groups[static_cast<std::size_t>(g)].add(cells[i]);
+  }
+
+  double waste = 0.0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int g = assignment[i];
+    if (g < 0) continue;
+    waste += cells[i].prob * static_cast<double>(groups[static_cast<std::size_t>(g)]
+                                                     .vec()
+                                                     .count_and_not(*cells[i].members));
+  }
+  return waste;
+}
+
+}  // namespace pubsub

@@ -1,0 +1,87 @@
+// Common types for the subscription-clustering algorithms (§4).
+//
+// Every grid-based algorithm consumes the same input: a list of cells
+// (hyper-cells in practice), each carrying a subscriber membership
+// bit-vector s(a) and a publication probability p_p(a), and produces an
+// assignment of cells to K groups.  The inter-object distance is the
+// *expected waste* of §4.1:
+//
+//   d(a,b) = p_p(a)·|s(a)\s(b)| + p_p(b)·|s(b)\s(a)|
+//
+// — the expected number of messages delivered to uninterested subscribers
+// if a and b share one multicast group.  The same formula applies between
+// groups (with s = union of members, p = sum of member probabilities).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bitvector.h"
+
+namespace pubsub {
+
+// One clustering object: a (hyper-)cell's membership vector and
+// publication probability.  The vector is referenced, not owned; the cell
+// source (core/grid.h) must outlive the algorithm run.
+struct ClusterCell {
+  const BitVector* members = nullptr;
+  double prob = 0.0;
+
+  double popularity() const { return prob * static_cast<double>(members->count()); }
+};
+
+// Group index per cell, each in [0, K).  Size equals the number of input
+// cells.
+using Assignment = std::vector<int>;
+
+// Expected waste between two membership vectors with probabilities.
+inline double ExpectedWaste(const BitVector& sa, double pa, const BitVector& sb,
+                            double pb) {
+  return pa * static_cast<double>(sa.count_and_not(sb)) +
+         pb * static_cast<double>(sb.count_and_not(sa));
+}
+
+inline double ExpectedWaste(const ClusterCell& a, const ClusterCell& b) {
+  return ExpectedWaste(*a.members, a.prob, *b.members, b.prob);
+}
+
+// Mutable group state shared by the iterative and hierarchical algorithms:
+// the OR of member vectors, per-subscriber member counts (so removal is
+// O(N_S)), total probability, and population.
+class GroupState {
+ public:
+  explicit GroupState(std::size_t num_subscribers)
+      : vec_(num_subscribers), counts_(num_subscribers, 0) {}
+
+  const BitVector& vec() const { return vec_; }
+  double prob() const { return prob_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void add(const ClusterCell& cell);
+  void remove(const ClusterCell& cell);
+  // Absorb another group (used by the agglomerative algorithms).
+  void merge_from(const GroupState& other);
+
+  // Expected waste between a cell and this group's membership vector.
+  double distance_to(const ClusterCell& cell) const {
+    return ExpectedWaste(*cell.members, cell.prob, vec_, prob_);
+  }
+  double distance_to(const GroupState& other) const {
+    return ExpectedWaste(vec_, prob_, other.vec_, other.prob_);
+  }
+
+ private:
+  BitVector vec_;
+  std::vector<int> counts_;
+  double prob_ = 0.0;
+  std::size_t size_ = 0;
+};
+
+// Total expected waste of an assignment: for each group g and member cell
+// a, p_p(a)·|s(g)\s(a)| — the analytic objective the algorithms minimize.
+// Cells with assignment -1 (unclustered → unicast) contribute nothing.
+double TotalExpectedWaste(const std::vector<ClusterCell>& cells,
+                          const Assignment& assignment, int num_groups);
+
+}  // namespace pubsub

@@ -1,0 +1,180 @@
+#include "core/grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pubsub {
+namespace {
+
+// Safety valve: the unit-lattice grid is materialized, so refuse absurd
+// spaces (the paper's spaces are ~3·10^4 cells).
+constexpr std::int64_t kMaxLatticeCells = 8'000'000;
+
+// Integer values v whose unit cell (v−1, v] intersects (lo, hi]:
+// v > lo and v − 1 < hi.
+struct ValueRange {
+  int first;
+  int last;  // inclusive; empty if last < first
+};
+
+ValueRange CellsIntersecting(const Interval& iv, int domain_size) {
+  if (iv.empty()) return {0, -1};
+  int first = 0;
+  if (iv.lo() != -Interval::kInf)
+    first = static_cast<int>(std::floor(iv.lo())) + 1;
+  int last = domain_size - 1;
+  if (iv.hi() != Interval::kInf)
+    last = static_cast<int>(std::ceil(iv.hi()));
+  first = std::max(first, 0);
+  last = std::min(last, domain_size - 1);
+  return {first, last};
+}
+
+}  // namespace
+
+Grid::Grid(const Workload& wl, const PublicationModel& pub)
+    : space_(&wl.space), num_subscribers_(wl.num_subscribers()) {
+  const std::size_t dims = space_->dims();
+  if (dims == 0) throw std::invalid_argument("Grid: zero-dimensional space");
+
+  lattice_size_ = 1;
+  for (std::size_t d = 0; d < dims; ++d) {
+    lattice_size_ *= space_->dim(d).domain_size;
+    if (lattice_size_ > kMaxLatticeCells)
+      throw std::invalid_argument("Grid: lattice too large to materialize");
+  }
+  strides_.assign(dims, 1);
+  for (std::size_t d = dims - 1; d-- > 0;)
+    strides_[d] = strides_[d + 1] * space_->dim(d + 1).domain_size;
+
+  // 1. Membership vector per lattice cell.
+  std::vector<BitVector> membership(static_cast<std::size_t>(lattice_size_),
+                                    BitVector(num_subscribers_));
+  std::vector<ValueRange> range(dims);
+  std::vector<int> coord(dims);
+  for (std::size_t i = 0; i < wl.subscribers.size(); ++i) {
+    const Rect& r = wl.subscribers[i].interest;
+    bool empty = false;
+    for (std::size_t d = 0; d < dims; ++d) {
+      range[d] = CellsIntersecting(r[d], space_->dim(d).domain_size);
+      if (range[d].last < range[d].first) {
+        empty = true;
+        break;
+      }
+    }
+    if (empty) continue;
+
+    // Odometer walk over the covered integer box.
+    for (std::size_t d = 0; d < dims; ++d) coord[d] = range[d].first;
+    while (true) {
+      std::int64_t id = 0;
+      for (std::size_t d = 0; d < dims; ++d) id += coord[d] * strides_[d];
+      membership[static_cast<std::size_t>(id)].set(i);
+
+      std::size_t d = dims;
+      while (d-- > 0) {
+        if (++coord[d] <= range[d].last) break;
+        coord[d] = range[d].first;
+        if (d == 0) goto next_subscriber;
+      }
+    }
+  next_subscriber:;
+  }
+
+  // 2. Merge identical membership vectors into hyper-cells.
+  hyper_of_cell_.assign(static_cast<std::size_t>(lattice_size_), -1);
+  std::unordered_map<std::size_t, std::vector<int>> buckets;
+  for (std::int64_t cell = 0; cell < lattice_size_; ++cell) {
+    const BitVector& vec = membership[static_cast<std::size_t>(cell)];
+    if (vec.none()) continue;
+    ++occupied_cells_;
+
+    const std::size_t h = vec.hash();
+    int hyper = -1;
+    for (const int cand : buckets[h]) {
+      if (hyper_cells_[static_cast<std::size_t>(cand)].members == vec) {
+        hyper = cand;
+        break;
+      }
+    }
+    if (hyper == -1) {
+      hyper = static_cast<int>(hyper_cells_.size());
+      HyperCell hc;
+      hc.members = vec;
+      hyper_cells_.push_back(std::move(hc));
+      buckets[h].push_back(hyper);
+    }
+    hyper_cells_[static_cast<std::size_t>(hyper)].cells.push_back(cell);
+    hyper_of_cell_[static_cast<std::size_t>(cell)] = hyper;
+  }
+
+  // 3. Publication probability and popularity per hyper-cell.
+  for (HyperCell& hc : hyper_cells_) {
+    for (const std::int64_t cell : hc.cells) hc.prob += pub.rect_mass(cell_rect(cell));
+    hc.popularity = hc.prob * static_cast<double>(hc.members.count());
+  }
+
+  // 4. Sort by decreasing popularity and remap cell→hyper-cell ids.
+  std::vector<int> order(hyper_cells_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    return hyper_cells_[static_cast<std::size_t>(a)].popularity >
+           hyper_cells_[static_cast<std::size_t>(b)].popularity;
+  });
+  std::vector<HyperCell> sorted;
+  sorted.reserve(hyper_cells_.size());
+  std::vector<int> new_id(hyper_cells_.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    new_id[static_cast<std::size_t>(order[rank])] = static_cast<int>(rank);
+    sorted.push_back(std::move(hyper_cells_[static_cast<std::size_t>(order[rank])]));
+  }
+  hyper_cells_ = std::move(sorted);
+  for (int& h : hyper_of_cell_)
+    if (h != -1) h = new_id[static_cast<std::size_t>(h)];
+}
+
+std::int64_t Grid::cell_of(const Point& p) const {
+  if (p.size() != space_->dims())
+    throw std::invalid_argument("Grid::cell_of: dimensionality mismatch");
+  std::int64_t id = 0;
+  for (std::size_t d = 0; d < space_->dims(); ++d) {
+    // Event coordinates are integer value coordinates; the cell of value v
+    // is v itself.  Coordinates off the integer lattice round up, matching
+    // the (v−1, v] convention.
+    const double x = p[d];
+    const std::int64_t v = static_cast<std::int64_t>(std::ceil(x));
+    if (v < 0 || v >= space_->dim(d).domain_size) return -1;
+    id += v * strides_[d];
+  }
+  return id;
+}
+
+int Grid::hyper_cell_of(std::int64_t cell) const {
+  if (cell < 0 || cell >= lattice_size_) return -1;
+  return hyper_of_cell_[static_cast<std::size_t>(cell)];
+}
+
+Rect Grid::cell_rect(std::int64_t cell) const {
+  std::vector<Interval> ivals;
+  ivals.reserve(space_->dims());
+  for (std::size_t d = 0; d < space_->dims(); ++d) {
+    const std::int64_t v = (cell / strides_[d]) % space_->dim(d).domain_size;
+    ivals.push_back(Interval::Point(static_cast<int>(v)));
+  }
+  return Rect(std::move(ivals));
+}
+
+std::vector<ClusterCell> Grid::top_cells(std::size_t max_cells) const {
+  const std::size_t n = max_cells == 0
+                            ? hyper_cells_.size()
+                            : std::min(max_cells, hyper_cells_.size());
+  std::vector<ClusterCell> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(ClusterCell{&hyper_cells_[i].members, hyper_cells_[i].prob});
+  return out;
+}
+
+}  // namespace pubsub

@@ -1,0 +1,106 @@
+#include "core/group_manager.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace pubsub {
+
+GroupManager::GroupManager(Workload workload, const PublicationModel& pub,
+                           const GroupManagerOptions& options)
+    : workload_(std::move(workload)), pub_(&pub), options_(options) {
+  if (options_.num_groups == 0)
+    throw std::invalid_argument("GroupManager: num_groups must be positive");
+  rebuild(/*warm=*/false);
+}
+
+SubscriberId GroupManager::add_subscriber(NodeId node, const Rect& interest) {
+  if (interest.dims() != workload_.space.dims())
+    throw std::invalid_argument("GroupManager: interest dimensionality mismatch");
+  Subscriber s;
+  s.node = node;
+  s.interest = interest;
+  workload_.subscribers.push_back(std::move(s));
+  ++pending_churn_;
+  return static_cast<SubscriberId>(workload_.subscribers.size() - 1);
+}
+
+void GroupManager::update_subscriber(SubscriberId id, const Rect& interest) {
+  if (id < 0 || static_cast<std::size_t>(id) >= workload_.num_subscribers())
+    throw std::out_of_range("GroupManager: bad subscriber id");
+  if (interest.dims() != workload_.space.dims())
+    throw std::invalid_argument("GroupManager: interest dimensionality mismatch");
+  workload_.subscribers[static_cast<std::size_t>(id)].interest = interest;
+  ++pending_churn_;
+}
+
+void GroupManager::remove_subscriber(SubscriberId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= workload_.num_subscribers())
+    throw std::out_of_range("GroupManager: bad subscriber id");
+  // Tombstone: an empty rectangle intersects no cell.
+  workload_.subscribers[static_cast<std::size_t>(id)].interest =
+      Rect(std::vector<Interval>(workload_.space.dims(), Interval()));
+  ++pending_churn_;
+}
+
+GroupManager::RefreshStats GroupManager::refresh() {
+  RefreshStats stats;
+  stats.churned = pending_churn_;
+  churn_since_full_build_ += pending_churn_;
+  pending_churn_ = 0;
+
+  const bool warm =
+      static_cast<double>(churn_since_full_build_) <
+      options_.full_rebuild_fraction * static_cast<double>(workload_.num_subscribers());
+  stats.full_rebuild = !warm;
+  rebuild(warm);
+  if (!warm) churn_since_full_build_ = 0;
+  stats.iterations = last_iterations_;
+  return stats;
+}
+
+void GroupManager::rebuild(bool warm) {
+  auto new_grid = std::make_unique<Grid>(workload_, *pub_);
+  const std::vector<ClusterCell> cells = new_grid->top_cells(options_.max_cells);
+
+  KMeansOptions kopt;
+  kopt.variant = options_.variant;
+
+  Assignment inherited;
+  if (warm && grid_ != nullptr) {
+    // Each new hyper-cell inherits the plurality group of its lattice
+    // cells under the previous clustering.
+    inherited.assign(cells.size(), -1);
+    std::vector<int> votes(options_.num_groups);
+    for (std::size_t h = 0; h < inherited.size(); ++h) {
+      std::fill(votes.begin(), votes.end(), 0);
+      int best = -1, best_votes = 0;
+      for (const std::int64_t cell : new_grid->hyper_cells()[h].cells) {
+        const int old_h = grid_->hyper_cell_of(cell);
+        if (old_h < 0 || static_cast<std::size_t>(old_h) >= assignment_.size())
+          continue;
+        const int g = assignment_[static_cast<std::size_t>(old_h)];
+        if (g < 0) continue;
+        if (++votes[static_cast<std::size_t>(g)] > best_votes) {
+          best_votes = votes[static_cast<std::size_t>(g)];
+          best = g;
+        }
+      }
+      inherited[h] = best;
+    }
+    kopt.warm_start = &inherited;
+    kopt.max_iterations = options_.rebalance_passes;
+  }
+
+  const KMeansResult result = KMeansCluster(cells, options_.num_groups, kopt);
+  last_iterations_ = result.iterations;
+
+  grid_ = std::move(new_grid);
+  assignment_ = result.assignment;
+  matcher_ = std::make_unique<GridMatcher>(
+      *grid_, assignment_,
+      static_cast<int>(std::min<std::size_t>(options_.num_groups,
+                                             std::max<std::size_t>(cells.size(), 1))),
+      options_.matcher_threshold);
+}
+
+}  // namespace pubsub

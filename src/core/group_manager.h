@@ -1,0 +1,93 @@
+// Multicast-group lifecycle management under subscription churn
+// (§4.2: iterative clustering absorbs membership changes with "a number of
+// re-balancing iterations"; §6 item 5: "clustering groups need to be
+// constantly updated, since subscribers change their preferences, join and
+// leave the network").
+//
+// GroupManager owns the moving parts of a deployment — the workload copy,
+// the grid, the K-means assignment and the matcher — and exposes a churn
+// API:
+//
+//   add_subscriber / update_subscriber / remove_subscriber
+//       record changes (cheap; the live matcher keeps serving).
+//   refresh()
+//       rebuilds the grid for the churned workload and repairs the
+//       clustering: each new hyper-cell inherits the group that owned the
+//       plurality of its lattice cells, then a few MacQueen re-balancing
+//       passes run from that warm start.  If too large a fraction of the
+//       population churned since the last full build, refresh falls back
+//       to a cold re-clustering (warm starts stop paying off once the
+//       inherited structure is mostly stale).
+//
+// The matcher is swapped atomically at the end of refresh(); between
+// refreshes, matching uses the last clustering (new subscribers are not
+// yet in any group and are served by the caller's exact-match unicast
+// path, exactly like unfed cells).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/grid.h"
+#include "core/kmeans.h"
+#include "core/matching.h"
+#include "workload/publication_model.h"
+#include "workload/types.h"
+
+namespace pubsub {
+
+struct GroupManagerOptions {
+  std::size_t num_groups = 100;
+  std::size_t max_cells = 6000;
+  KMeansVariant variant = KMeansVariant::kMacQueen;
+  // Re-balancing passes per warm refresh.
+  std::size_t rebalance_passes = 5;
+  // Fall back to cold re-clustering when more than this fraction of the
+  // population churned since the last full build.
+  double full_rebuild_fraction = 0.5;
+  double matcher_threshold = 0.0;
+};
+
+class GroupManager {
+ public:
+  // Copies the workload; `pub` must outlive the manager.
+  GroupManager(Workload workload, const PublicationModel& pub,
+               const GroupManagerOptions& options = {});
+
+  const Workload& workload() const { return workload_; }
+  const Grid& grid() const { return *grid_; }
+  const GridMatcher& matcher() const { return *matcher_; }
+  const Assignment& assignment() const { return assignment_; }
+
+  // --- churn API --------------------------------------------------------
+  SubscriberId add_subscriber(NodeId node, const Rect& interest);
+  void update_subscriber(SubscriberId id, const Rect& interest);
+  // Removal keeps the id slot (membership vectors stay aligned) with an
+  // empty interest; the subscriber matches nothing from the next refresh.
+  void remove_subscriber(SubscriberId id);
+
+  // Changes recorded since the last refresh.
+  std::size_t pending_churn() const { return pending_churn_; }
+
+  struct RefreshStats {
+    std::size_t churned = 0;
+    bool full_rebuild = false;
+    std::size_t iterations = 0;  // k-means passes executed
+  };
+  RefreshStats refresh();
+
+ private:
+  void rebuild(bool warm);
+
+  Workload workload_;
+  const PublicationModel* pub_;
+  GroupManagerOptions options_;
+  std::unique_ptr<Grid> grid_;
+  Assignment assignment_;
+  std::unique_ptr<GridMatcher> matcher_;
+  std::size_t pending_churn_ = 0;
+  std::size_t churn_since_full_build_ = 0;
+  std::size_t last_iterations_ = 0;
+};
+
+}  // namespace pubsub

@@ -1,0 +1,156 @@
+#include "core/kmeans.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace pubsub {
+namespace {
+
+// Index of the group with minimum expected waste to `cell`.
+std::size_t ClosestGroup(const std::vector<GroupState>& groups,
+                         const ClusterCell& cell) {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const double d = groups[g].distance_to(cell);
+    if (d < best_d) {
+      best_d = d;
+      best = g;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+KMeansResult KMeansCluster(const std::vector<ClusterCell>& cells, std::size_t K,
+                           const KMeansOptions& options) {
+  if (cells.empty()) return {};
+  if (K == 0) throw std::invalid_argument("KMeansCluster: K must be positive");
+  K = std::min(K, cells.size());
+  const std::size_t ns = cells[0].members->size();
+
+  KMeansResult result;
+  result.assignment.assign(cells.size(), -1);
+  std::vector<GroupState> groups(K, GroupState(ns));
+
+  if (options.warm_start != nullptr) {
+    // Step 0' — warm start from a prior assignment (subscription churn).
+    const Assignment& seed = *options.warm_start;
+    if (seed.size() != cells.size())
+      throw std::invalid_argument("KMeansCluster: warm start size mismatch");
+    std::vector<std::size_t> unplaced;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const int g = seed[i];
+      if (g >= 0 && static_cast<std::size_t>(g) < K) {
+        groups[static_cast<std::size_t>(g)].add(cells[i]);
+        result.assignment[i] = g;
+      } else {
+        unplaced.push_back(i);
+      }
+    }
+    // Empty groups get re-seeded with the most popular unplaced cells (or,
+    // failing that, stay empty until the nearest-group pass below fills
+    // them with whatever lands there); then place the rest by distance.
+    std::size_t next_unplaced = 0;
+    for (std::size_t g = 0; g < K; ++g) {
+      if (!groups[g].empty() || next_unplaced >= unplaced.size()) continue;
+      const std::size_t i = unplaced[next_unplaced++];
+      groups[g].add(cells[i]);
+      result.assignment[i] = static_cast<int>(g);
+    }
+    for (std::size_t u = next_unplaced; u < unplaced.size(); ++u) {
+      const std::size_t i = unplaced[u];
+      const std::size_t g = ClosestGroup(groups, cells[i]);
+      groups[g].add(cells[i]);
+      result.assignment[i] = static_cast<int>(g);
+    }
+  } else {
+    // Step 0 — initial partition: the K most popular cells seed the groups
+    // (input is popularity-ordered), remaining cells join the closest
+    // group, with vectors updated as cells arrive.
+    for (std::size_t g = 0; g < K; ++g) {
+      groups[g].add(cells[g]);
+      result.assignment[g] = static_cast<int>(g);
+    }
+    for (std::size_t i = K; i < cells.size(); ++i) {
+      const std::size_t g = ClosestGroup(groups, cells[i]);
+      groups[g].add(cells[i]);
+      result.assignment[i] = static_cast<int>(g);
+    }
+  }
+
+  // Steps 1–2 — re-assignment passes.
+  //
+  // Batch (Forgy) passes can oscillate: several cells may simultaneously
+  // move toward the same stale snapshot vector and overshoot.  We track the
+  // total expected waste after every pass, remember the best assignment
+  // seen, and stop once a window of passes brings no improvement.
+  double best_waste = TotalExpectedWaste(cells, result.assignment, static_cast<int>(K));
+  Assignment best_assignment = result.assignment;
+  std::size_t stale_passes = 0;
+  constexpr std::size_t kPatience = 3;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    bool moved = false;
+
+    if (options.variant == KMeansVariant::kMacQueen) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto cur = static_cast<std::size_t>(result.assignment[i]);
+        if (groups[cur].size() == 1) continue;  // last cell cannot move
+        // Evaluate the cell against its own group with the cell taken out,
+        // so "stay" and "move" compare the same marginal waste.
+        groups[cur].remove(cells[i]);
+        const std::size_t next = ClosestGroup(groups, cells[i]);
+        groups[next].add(cells[i]);
+        if (next != cur) {
+          result.assignment[i] = static_cast<int>(next);
+          moved = true;
+        }
+      }
+    } else {
+      // Forgy: distances against the vectors as they stood at the start of
+      // the pass; all moves applied together afterwards.
+      std::vector<GroupState> snapshot = groups;
+      Assignment next_assignment = result.assignment;
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto cur = static_cast<std::size_t>(result.assignment[i]);
+        if (groups[cur].size() == 1) continue;
+        // Same marginal-waste criterion as MacQueen, but against the
+        // pass-start snapshot (restored after the comparison).
+        snapshot[cur].remove(cells[i]);
+        const std::size_t next = ClosestGroup(snapshot, cells[i]);
+        snapshot[cur].add(cells[i]);
+        if (next != cur) {
+          // Apply to live state only to keep the "last cell" guard exact.
+          groups[cur].remove(cells[i]);
+          groups[next].add(cells[i]);
+          next_assignment[i] = static_cast<int>(next);
+          moved = true;
+        }
+      }
+      result.assignment = std::move(next_assignment);
+    }
+
+    if (!moved) {
+      result.converged = true;
+      break;
+    }
+
+    const double waste = TotalExpectedWaste(cells, result.assignment, static_cast<int>(K));
+    if (waste < best_waste) {
+      best_waste = waste;
+      best_assignment = result.assignment;
+      stale_passes = 0;
+    } else if (++stale_passes >= kPatience) {
+      break;  // oscillating without improvement
+    }
+  }
+
+  if (TotalExpectedWaste(cells, result.assignment, static_cast<int>(K)) > best_waste)
+    result.assignment = std::move(best_assignment);
+  return result;
+}
+
+}  // namespace pubsub

@@ -1,0 +1,52 @@
+// K-Means and Forgy K-Means subscription clustering (§4.2, Figure 1).
+//
+//   0. Form initial K groups: the K most popular cells seed the groups,
+//      every other cell joins the closest seed (expected-waste distance).
+//   1. Re-assign each cell to the closest group.
+//   2. Repeat until no cell moves (or an iteration cap).
+//
+// The MacQueen variant (`KMeansVariant::kMacQueen`, the paper's "K-means")
+// updates a group's membership vector immediately when a cell moves; the
+// Forgy variant recomputes distances against a snapshot of the vectors and
+// applies all moves at the end of the pass.  A cell never leaves a group it
+// is the last member of, so exactly K non-empty groups are maintained.
+//
+// The paper highlights that the iteration can be stopped after any pass
+// (still yielding a feasible K-partition) and resumed later — which is how
+// subscription churn is absorbed (§6 item 5); `max_iterations` exposes
+// that, and re-running on an updated cell set re-balances incrementally.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cluster_types.h"
+
+namespace pubsub {
+
+enum class KMeansVariant { kMacQueen, kForgy };
+
+struct KMeansOptions {
+  KMeansVariant variant = KMeansVariant::kMacQueen;
+  std::size_t max_iterations = 100;
+  // Optional warm start (non-owning; must outlive the call): a prior
+  // assignment of the same cell list, with labels in [0, K) or -1 for
+  // "place by nearest group".  This is the §4.2/§6 subscription-churn path:
+  // seed with the previous clustering and run a few re-balancing passes
+  // instead of re-clustering from scratch.
+  const Assignment* warm_start = nullptr;
+};
+
+struct KMeansResult {
+  Assignment assignment;
+  std::size_t iterations = 0;  // full re-assignment passes executed
+  bool converged = false;
+};
+
+// `cells` must be ordered by decreasing popularity (Grid::top_cells
+// provides this); the first K become the seeds.  K is clamped to the cell
+// count.
+KMeansResult KMeansCluster(const std::vector<ClusterCell>& cells, std::size_t K,
+                           const KMeansOptions& options = {});
+
+}  // namespace pubsub

@@ -1,0 +1,126 @@
+#include "core/matching.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pubsub {
+
+GridMatcher::GridMatcher(const Grid& grid, const Assignment& assignment,
+                         int num_groups, double min_interest_fraction)
+    : grid_(&grid), min_interest_fraction_(min_interest_fraction) {
+  if (assignment.size() > grid.hyper_cells().size())
+    throw std::invalid_argument("GridMatcher: assignment larger than hyper-cell set");
+  if (num_groups < 0) throw std::invalid_argument("GridMatcher: negative group count");
+
+  group_of_hyper_.assign(grid.hyper_cells().size(), -1);
+  std::vector<BitVector> group_vecs(static_cast<std::size_t>(num_groups),
+                                    BitVector(grid.num_subscribers()));
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const int g = assignment[i];
+    if (g < 0) continue;
+    if (g >= num_groups) throw std::invalid_argument("GridMatcher: group out of range");
+    group_of_hyper_[i] = g;
+    group_vecs[static_cast<std::size_t>(g)] |= grid.hyper_cells()[i].members;
+  }
+
+  groups_.resize(static_cast<std::size_t>(num_groups));
+  for (int g = 0; g < num_groups; ++g) {
+    group_vecs[static_cast<std::size_t>(g)].for_each_set([this, g](std::size_t i) {
+      groups_[static_cast<std::size_t>(g)].push_back(static_cast<SubscriberId>(i));
+    });
+  }
+}
+
+MatchDecision GridMatcher::match(const Point& p,
+                                 std::span<const SubscriberId> interested) const {
+  MatchDecision d;
+  const std::int64_t cell = grid_->cell_of(p);
+  const int hyper = grid_->hyper_cell_of(cell);
+  const int g = hyper >= 0 ? group_of_hyper_[static_cast<std::size_t>(hyper)] : -1;
+
+  if (g >= 0) {
+    const auto& members = groups_[static_cast<std::size_t>(g)];
+    // Every interested subscriber intersects the event's cell, hence is in
+    // the matched group; the fraction decides multicast vs unicast.
+    const double fraction =
+        members.empty() ? 0.0
+                        : static_cast<double>(interested.size()) /
+                              static_cast<double>(members.size());
+    if (!members.empty() && fraction >= min_interest_fraction_) {
+      d.group_id = g;
+      d.group_members = members;
+      return d;
+    }
+  }
+  d.unicast_targets.assign(interested.begin(), interested.end());
+  return d;
+}
+
+NoLossMatcher::NoLossMatcher(const NoLossResult& result, std::size_t num_groups,
+                             NoLossMatcherOptions options)
+    : options_(options) {
+  const std::size_t n = std::min(num_groups, result.groups.size());
+  if (options_.selection == NoLossMatcherOptions::Selection::kWeight) {
+    // The result pool is already weight-sorted.
+    groups_.assign(result.groups.begin(),
+                   result.groups.begin() + static_cast<std::ptrdiff_t>(n));
+  } else {
+    std::vector<const NoLossGroup*> ranked;
+    ranked.reserve(result.groups.size());
+    for (const NoLossGroup& g : result.groups) ranked.push_back(&g);
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const NoLossGroup* a, const NoLossGroup* b) {
+                       return a->savings() > b->savings();
+                     });
+    groups_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) groups_.push_back(*ranked[i]);
+  }
+
+  std::vector<std::pair<Rect, int>> items;
+  items.reserve(n);
+  members_.resize(n);
+  for (std::size_t g = 0; g < n; ++g) {
+    items.emplace_back(groups_[g].rect, static_cast<int>(g));
+    groups_[g].subscribers.for_each_set([this, g](std::size_t i) {
+      members_[g].push_back(static_cast<SubscriberId>(i));
+    });
+  }
+  rect_index_ = RTree::BulkLoad(std::move(items));
+}
+
+MatchDecision NoLossMatcher::match(const Point& p,
+                                   std::span<const SubscriberId> interested) const {
+  MatchDecision d;
+
+  std::vector<int> hits;
+  rect_index_.stab(p, hits);
+  int best = -1;
+  const bool by_members = options_.pick == NoLossMatcherOptions::Pick::kMembers;
+  for (const int g : hits) {
+    if (best == -1) {
+      best = g;
+      continue;
+    }
+    const NoLossGroup& cand = groups_[static_cast<std::size_t>(g)];
+    const NoLossGroup& cur = groups_[static_cast<std::size_t>(best)];
+    const bool better = by_members
+                            ? cand.subscribers.count() > cur.subscribers.count()
+                            : cand.weight > cur.weight;
+    if (better) best = g;
+  }
+
+  if (best == -1) {
+    d.unicast_targets.assign(interested.begin(), interested.end());
+    return d;
+  }
+
+  const NoLossGroup& grp = groups_[static_cast<std::size_t>(best)];
+  d.group_id = best;
+  d.group_members = members_[static_cast<std::size_t>(best)];
+  // Interested subscribers outside u(s) still get unicasts (Fig. 6).
+  for (const SubscriberId s : interested)
+    if (!grp.subscribers.test(static_cast<std::size_t>(s))) d.unicast_targets.push_back(s);
+  return d;
+}
+
+}  // namespace pubsub

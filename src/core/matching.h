@@ -1,0 +1,109 @@
+// Event→group matching (§4.6, Figures 5 and 6).
+//
+// Once the static clustering stage has produced multicast groups, every
+// published event must be matched in real time:
+//
+//   * Grid-based (Fig. 5): locate the event's grid cell; if the cell's
+//     hyper-cell was clustered, the associated group is a candidate.  The
+//     message is multicast to the group when the interested fraction of
+//     the group's members clears a threshold, otherwise (and for unmatched
+//     cells) it is unicast to exactly the interested subscribers.
+//
+//   * No-Loss (Fig. 6): stab the group-rectangle index with the event; of
+//     the areas containing it pick the one with the greatest weight,
+//     multicast to u(s), and unicast to interested subscribers outside
+//     u(s).  By construction no group member is uninterested.
+//
+// Matchers decide *who* gets the message and *how*; delivery cost is
+// computed by sim/delivery.h from the decision.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/cluster_types.h"
+#include "core/grid.h"
+#include "core/noloss.h"
+#include "index/rtree.h"
+#include "workload/types.h"
+
+namespace pubsub {
+
+// Outcome of matching one event.
+struct MatchDecision {
+  // Multicast group used, or -1 for pure unicast delivery.
+  int group_id = -1;
+  // Members of that group (empty when group_id == -1).  Points into the
+  // matcher; valid until the matcher is destroyed.
+  std::span<const SubscriberId> group_members;
+  // Subscribers served by individual unicast messages.
+  std::vector<SubscriberId> unicast_targets;
+};
+
+// Matching for the grid-based algorithms (Fig. 5).
+class GridMatcher {
+ public:
+  // `assignment` maps the first assignment.size() hyper-cells of `grid`
+  // (its popularity order) to groups 0..num_groups-1; hyper-cells beyond it
+  // were not clustered and fall back to unicast.
+  //
+  // `min_interest_fraction` is the Fig. 5 threshold: multicast only when
+  // |interested ∩ group| / |group| >= threshold.  0 reproduces the paper's
+  // base behaviour (always multicast when a group is matched).
+  GridMatcher(const Grid& grid, const Assignment& assignment, int num_groups,
+              double min_interest_fraction = 0.0);
+
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+  std::span<const SubscriberId> group_members(int g) const { return groups_[static_cast<std::size_t>(g)]; }
+
+  // `interested` must be the exact interested-subscriber set for `p`
+  // (from the subscription index).
+  MatchDecision match(const Point& p, std::span<const SubscriberId> interested) const;
+
+ private:
+  const Grid* grid_;
+  std::vector<int> group_of_hyper_;  // -1 = unclustered
+  std::vector<std::vector<SubscriberId>> groups_;
+  double min_interest_fraction_;
+};
+
+// Matching for the No-Loss algorithm (Fig. 6).
+//
+// The paper ranks areas — both for choosing the K groups and for picking
+// among the areas containing an event — by the weight w(s) = p_p(s)·|u(s)|.
+// Pure weight ranking favors wide areas that few subscribers fully
+// contain, which saves almost no unicasts; the defaults here therefore
+// rank group *selection* by expected savings p_p(s)·(|u(s)|−1) and pick
+// the containing area with the most members.  The paper-literal behaviour
+// is available through the options (bench_ablation compares them).
+struct NoLossMatcherOptions {
+  enum class Selection { kSavings, kWeight };
+  enum class Pick { kMembers, kWeight };
+  Selection selection = Selection::kSavings;
+  Pick pick = Pick::kMembers;
+};
+
+class NoLossMatcher {
+ public:
+  // Uses the `num_groups` best areas of `result` under the selection rule.
+  NoLossMatcher(const NoLossResult& result, std::size_t num_groups,
+                NoLossMatcherOptions options = {});
+
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+  std::span<const SubscriberId> group_members(int g) const { return members_[static_cast<std::size_t>(g)]; }
+
+  MatchDecision match(const Point& p, std::span<const SubscriberId> interested) const;
+
+  // True iff no group contains an uninterested subscriber for any event in
+  // its rectangle (trivially true by construction; exposed for tests).
+  const NoLossGroup& group(int g) const { return groups_[static_cast<std::size_t>(g)]; }
+
+ private:
+  std::vector<NoLossGroup> groups_;
+  std::vector<std::vector<SubscriberId>> members_;
+  RTree rect_index_;
+  NoLossMatcherOptions options_;
+};
+
+}  // namespace pubsub

@@ -1,0 +1,107 @@
+#include "core/mst_cluster.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "net/union_find.h"
+
+namespace pubsub {
+namespace {
+
+void ValidateArgs(const std::vector<ClusterCell>& cells, std::size_t K) {
+  if (K == 0) throw std::invalid_argument("MstCluster: K must be positive");
+  (void)cells;
+}
+
+Assignment ComponentsToLabels(UnionFind& uf) {
+  Assignment labels(uf.size());
+  std::vector<int> compact(uf.size(), -1);
+  int next = 0;
+  for (std::size_t i = 0; i < uf.size(); ++i) {
+    const std::size_t root = uf.find(i);
+    if (compact[root] == -1) compact[root] = next++;
+    labels[i] = compact[root];
+  }
+  return labels;
+}
+
+}  // namespace
+
+Assignment MstCluster(const std::vector<ClusterCell>& cells, std::size_t K) {
+  if (cells.empty()) return {};
+  ValidateArgs(cells, K);
+  const std::size_t n = cells.size();
+  K = std::min(K, n);
+
+  // Prim over the implicit complete graph.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(n, kInf);
+  std::vector<std::size_t> best_from(n, 0);
+  std::vector<char> in_tree(n, 0);
+
+  struct TreeEdge {
+    std::size_t a, b;
+    double d;
+  };
+  std::vector<TreeEdge> tree;
+  tree.reserve(n - 1);
+
+  best[0] = 0.0;
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t u = n;
+    double u_cost = kInf;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!in_tree[i] && best[i] < u_cost) {
+        u_cost = best[i];
+        u = i;
+      }
+    in_tree[u] = 1;
+    if (step > 0) tree.push_back(TreeEdge{best_from[u], u, u_cost});
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_tree[i]) continue;
+      const double d = ExpectedWaste(cells[u], cells[i]);
+      if (d < best[i]) {
+        best[i] = d;
+        best_from[i] = u;
+      }
+    }
+  }
+
+  // Keep the n−K shortest tree edges; the K−1 longest are the cuts.
+  std::sort(tree.begin(), tree.end(),
+            [](const TreeEdge& x, const TreeEdge& y) { return x.d < y.d; });
+  UnionFind uf(n);
+  for (std::size_t i = 0; i + (K - 1) < tree.size(); ++i)
+    uf.unite(tree[i].a, tree[i].b);
+  return ComponentsToLabels(uf);
+}
+
+Assignment MstClusterKruskal(const std::vector<ClusterCell>& cells, std::size_t K) {
+  if (cells.empty()) return {};
+  ValidateArgs(cells, K);
+  const std::size_t n = cells.size();
+  K = std::min(K, n);
+
+  struct PairEdge {
+    std::size_t a, b;
+    double d;
+  };
+  std::vector<PairEdge> edges;
+  edges.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      edges.push_back(PairEdge{i, j, ExpectedWaste(cells[i], cells[j])});
+  std::sort(edges.begin(), edges.end(),
+            [](const PairEdge& x, const PairEdge& y) { return x.d < y.d; });
+
+  UnionFind uf(n);
+  for (const PairEdge& e : edges) {
+    if (uf.num_components() == K) break;
+    uf.unite(e.a, e.b);
+  }
+  return ComponentsToLabels(uf);
+}
+
+}  // namespace pubsub

@@ -1,0 +1,31 @@
+// Minimum-spanning-tree clustering (§4.4, Figure 3; Zahn 1971).
+//
+// Build the complete graph on cells with edge length d(a,b) (expected
+// waste between *cells* — unlike Pairwise Grouping, distances never change
+// as groups form) and run Kruskal until exactly K connected components
+// remain.
+//
+// The default implementation avoids materializing the O(l²) edge list:
+// it computes the MST with Prim in O(l²) time and O(l) memory, then deletes
+// the K−1 longest tree edges.  For single-linkage clustering this yields
+// the same partition as Kruskal-stopped-at-K (any K−1 longest MST edges cut
+// the same components that Kruskal would have left unmerged); the explicit
+// Kruskal variant is provided as the reference for the property test and
+// for small inputs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cluster_types.h"
+
+namespace pubsub {
+
+// Prim-based MST clustering (production path).
+Assignment MstCluster(const std::vector<ClusterCell>& cells, std::size_t K);
+
+// Reference implementation: materializes all pair distances and runs
+// Kruskal until K components remain.  O(l²) memory — small inputs only.
+Assignment MstClusterKruskal(const std::vector<ClusterCell>& cells, std::size_t K);
+
+}  // namespace pubsub

@@ -1,0 +1,142 @@
+#include "core/noloss.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <unordered_set>
+
+#include "index/rtree.h"
+
+namespace pubsub {
+namespace {
+
+// Structural hash of a rectangle's bounds (exact double bit patterns —
+// intersections of identical parents produce identical doubles, which is
+// all the dedup needs).
+std::uint64_t RectKey(const Rect& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](double x) {
+    h ^= std::bit_cast<std::uint64_t>(x);
+    h *= 1099511628211ull;
+  };
+  for (const Interval& iv : r.intervals()) {
+    mix(iv.lo());
+    mix(iv.hi());
+  }
+  return h;
+}
+
+}  // namespace
+
+NoLossResult NoLossCluster(const Workload& wl, const PublicationModel& pub,
+                           const NoLossOptions& options) {
+  NoLossResult result;
+  if (wl.subscribers.empty()) return result;
+
+  const Rect domain = wl.space.domain_rect();
+
+  // Index the (domain-clipped) subscription rectangles for containment
+  // queries; remember each subscriber's clipped rectangle.
+  std::vector<Rect> clipped;
+  clipped.reserve(wl.subscribers.size());
+  std::vector<std::pair<Rect, int>> items;
+  items.reserve(wl.subscribers.size());
+  for (std::size_t i = 0; i < wl.subscribers.size(); ++i) {
+    Rect r = wl.subscribers[i].interest.intersection(domain);
+    if (!r.empty()) items.emplace_back(r, static_cast<int>(i));
+    clipped.push_back(std::move(r));
+  }
+  const RTree subs = RTree::BulkLoad(std::move(items));
+
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<int> query_scratch;
+
+  // Evaluate a candidate area: u(s) via containment query, w(s) weight.
+  auto evaluate = [&](Rect r) -> NoLossGroup {
+    NoLossGroup g;
+    query_scratch.clear();
+    subs.containing(r, query_scratch);
+    g.subscribers = BitVector(wl.num_subscribers());
+    for (const int id : query_scratch) g.subscribers.set(static_cast<std::size_t>(id));
+    g.mass = pub.rect_mass(r);
+    g.weight = g.mass * static_cast<double>(query_scratch.size());
+    g.rect = std::move(r);
+    return g;
+  };
+
+  // Seed pool: the distinct subscription rectangles.
+  std::vector<NoLossGroup> pool;
+  for (const Rect& r : clipped) {
+    if (r.empty()) continue;
+    if (!seen.insert(RectKey(r)).second) continue;
+    pool.push_back(evaluate(r));
+  }
+
+  auto by_weight_desc = [](const NoLossGroup& a, const NoLossGroup& b) {
+    return a.weight > b.weight;
+  };
+  auto sort_and_trim = [&] {
+    std::sort(pool.begin(), pool.end(), by_weight_desc);
+    if (pool.size() > options.max_rectangles) {
+      // Dropped candidates may be rediscovered in later rounds: forget
+      // their keys so the dedup set doesn't block re-evaluation.
+      for (std::size_t i = options.max_rectangles; i < pool.size(); ++i)
+        seen.erase(RectKey(pool[i].rect));
+      pool.resize(options.max_rectangles);
+    }
+  };
+  sort_and_trim();
+
+  for (std::size_t round = 0; round < options.iterations; ++round) {
+    // Seed the round's intersections from two rankings: the heaviest areas
+    // (the pool is weight-sorted) and the *densest* areas (most containing
+    // subscribers).  Weight alone favors wide rectangles that few
+    // subscribers fully contain; chasing membership as well lets repeated
+    // intersection discover the small hot-spot areas whose u(s) approaches
+    // the full interested set — the groups that actually save unicasts.
+    const std::size_t half = std::min(options.intersect_top / 2, pool.size());
+    std::vector<const NoLossGroup*> seeds;
+    seeds.reserve(options.intersect_top);
+    for (std::size_t i = 0; i < half; ++i) seeds.push_back(&pool[i]);
+    std::vector<const NoLossGroup*> by_members;
+    by_members.reserve(pool.size());
+    for (const NoLossGroup& g : pool) by_members.push_back(&g);
+    std::nth_element(by_members.begin(),
+                     by_members.begin() + static_cast<std::ptrdiff_t>(
+                                              std::min(half, by_members.size())),
+                     by_members.end(),
+                     [](const NoLossGroup* a, const NoLossGroup* b) {
+                       return a->subscribers.count() > b->subscribers.count();
+                     });
+    for (std::size_t i = 0; i < std::min(half, by_members.size()); ++i)
+      seeds.push_back(by_members[i]);
+
+    std::vector<NoLossGroup> fresh;
+    auto consider = [&](const Rect& a, const Rect& b) {
+      Rect r = a.intersection(b);
+      if (r.empty()) return;
+      if (!seen.insert(RectKey(r)).second) return;
+      NoLossGroup g = evaluate(std::move(r));
+      if (g.weight > 0.0) fresh.push_back(std::move(g));
+    };
+
+    // Seeds pairwise…
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+      for (std::size_t j = i + 1; j < seeds.size(); ++j)
+        consider(seeds[i]->rect, seeds[j]->rect);
+    // …and against every original subscription.
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+      for (const Rect& r : clipped)
+        if (!r.empty()) consider(seeds[i]->rect, r);
+
+    if (fresh.empty()) break;
+    pool.insert(pool.end(), std::make_move_iterator(fresh.begin()),
+                std::make_move_iterator(fresh.end()));
+    sort_and_trim();
+  }
+
+  result.groups = std::move(pool);
+  return result;
+}
+
+}  // namespace pubsub

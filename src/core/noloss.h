@@ -1,0 +1,64 @@
+// No-Loss subscription clustering (§4.5, Figure 4).
+//
+// Grid-based groups can leak: a multicast to a group reaches subscribers
+// whose interest merely *intersects* the matched cell.  No-Loss instead
+// builds candidate group areas that are aligned with interest-rectangle
+// borders — intersections of subscription rectangles — so that every
+// subscriber attached to an area is interested in *every* event inside it:
+//
+//   u(s) = { subscribers whose interest rectangle contains s }
+//   w(s) = p_p(s) · |u(s)|          (the area's popularity / weight)
+//
+// Starting from the subscription rectangles themselves, each iteration
+// intersects the currently heaviest rectangles pairwise (and against the
+// original subscriptions), recomputes u and w for the new areas, and keeps
+// the `max_rectangles` heaviest.  The final list, ordered by decreasing
+// weight, is the No-Loss matcher's search list A; its first K entries are
+// the multicast groups.
+//
+// Zero waste holds by construction: if an event e lies in s, every member
+// of u(s) has interest ⊇ s ∋ e.  A property test asserts this.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cluster_types.h"
+#include "geometry/rect.h"
+#include "workload/publication_model.h"
+#include "workload/types.h"
+
+namespace pubsub {
+
+struct NoLossOptions {
+  // Candidate pool size kept after each intersection round (the paper's
+  // "rectangles kept after intersection"; Figure 8 sweeps it).
+  std::size_t max_rectangles = 5000;
+  // Intersection rounds (Figure 8 sweeps 1..8).
+  std::size_t iterations = 8;
+  // Per round, the `intersect_top` heaviest candidates are intersected
+  // pairwise and against every original subscription, bounding the work at
+  // intersect_top·(intersect_top/2 + k) intersections per round.
+  std::size_t intersect_top = 192;
+};
+
+struct NoLossGroup {
+  Rect rect;
+  BitVector subscribers;  // u(rect)
+  double mass = 0.0;      // p_p(rect)
+  double weight = 0.0;    // w(rect) = p_p(rect)·|u(rect)|
+
+  // Expected unicasts saved per published event if this area is a group:
+  // events in the area (mass) each replace |u| unicasts by one multicast.
+  double savings() const { return weight - mass; }
+};
+
+struct NoLossResult {
+  // Candidate areas ordered by decreasing weight (the matcher list A).
+  std::vector<NoLossGroup> groups;
+};
+
+NoLossResult NoLossCluster(const Workload& wl, const PublicationModel& pub,
+                           const NoLossOptions& options = {});
+
+}  // namespace pubsub

@@ -1,0 +1,23 @@
+#include "core/outlier.h"
+
+namespace pubsub {
+
+std::vector<ClusterCell> FilterOutliers(const std::vector<ClusterCell>& cells,
+                                        const OutlierFilterOptions& options) {
+  double total = 0.0;
+  for (const ClusterCell& c : cells) total += c.popularity();
+
+  std::vector<ClusterCell> kept;
+  kept.reserve(cells.size());
+  double covered = 0.0;
+  const double target = options.popularity_mass_fraction * total;
+  for (const ClusterCell& c : cells) {
+    if (options.popularity_mass_fraction < 1.0 && covered >= target) break;
+    if (c.popularity() < options.min_popularity) break;  // sorted: all below
+    covered += c.popularity();
+    kept.push_back(c);
+  }
+  return kept;
+}
+
+}  // namespace pubsub

@@ -1,0 +1,38 @@
+// Outlier removal for the grid-based algorithms.
+//
+// The paper observes (§4.1, §5.2/Fig. 11) that feeding too many cells
+// *degrades* solution quality — rarely-published cells with unusual
+// subscriber combinations drag groups apart — and names outlier-removal as
+// the remedy (left as future work there; implemented here).  Two filters,
+// applied to the popularity-sorted cell list:
+//
+//   * a popularity floor: drop cells whose popularity rating
+//     r(a) = p_p(a)·|s(a)| falls below `min_popularity`;
+//   * a mass budget: keep the most popular cells until they cover
+//     `popularity_mass_fraction` of the total popularity, dropping the
+//     long tail.
+//
+// Dropped cells simply fall back to unicast at matching time (exactly like
+// cells beyond the paper's cell budget).
+#pragma once
+
+#include <vector>
+
+#include "core/cluster_types.h"
+
+namespace pubsub {
+
+struct OutlierFilterOptions {
+  // Keep only cells with popularity >= min_popularity (0 disables).
+  double min_popularity = 0.0;
+  // Keep the top cells covering this fraction of total popularity
+  // (1.0 or more disables).
+  double popularity_mass_fraction = 1.0;
+};
+
+// `cells` must be sorted by decreasing popularity (Grid::top_cells order).
+// Returns the retained prefix.
+std::vector<ClusterCell> FilterOutliers(const std::vector<ClusterCell>& cells,
+                                        const OutlierFilterOptions& options);
+
+}  // namespace pubsub

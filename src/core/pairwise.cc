@@ -1,0 +1,172 @@
+#include "core/pairwise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pubsub {
+namespace {
+
+// Shared agglomeration scaffolding: live groups with lazily maintained
+// membership, plus the final label extraction.
+struct Agglomerator {
+  std::vector<GroupState> groups;     // one per original cell; merged-away
+                                      // entries stay but are marked dead
+  std::vector<char> alive;
+  std::vector<int> owner;             // cell index -> current group index
+  std::size_t num_alive;
+
+  explicit Agglomerator(const std::vector<ClusterCell>& cells)
+      : alive(cells.size(), 1), owner(cells.size()), num_alive(cells.size()) {
+    const std::size_t ns = cells[0].members->size();
+    groups.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      groups.emplace_back(ns);
+      groups.back().add(cells[i]);
+      owner[i] = static_cast<int>(i);
+    }
+  }
+
+  double dist(std::size_t a, std::size_t b) const {
+    return groups[a].distance_to(groups[b]);
+  }
+
+  // Merge group b into group a.
+  void merge(std::size_t a, std::size_t b) {
+    groups[a].merge_from(groups[b]);
+    alive[b] = 0;
+    --num_alive;
+    for (int& o : owner)
+      if (o == static_cast<int>(b)) o = static_cast<int>(a);
+  }
+
+  Assignment labels() const {
+    // Compact the surviving group indices into [0, K).
+    std::vector<int> compact(groups.size(), -1);
+    int next = 0;
+    for (std::size_t g = 0; g < groups.size(); ++g)
+      if (alive[g]) compact[g] = next++;
+    Assignment out(owner.size());
+    for (std::size_t i = 0; i < owner.size(); ++i)
+      out[i] = compact[static_cast<std::size_t>(owner[i])];
+    return out;
+  }
+};
+
+}  // namespace
+
+Assignment PairwiseCluster(const std::vector<ClusterCell>& cells, std::size_t K) {
+  if (cells.empty()) return {};
+  if (K == 0) throw std::invalid_argument("PairwiseCluster: K must be positive");
+  K = std::min(K, cells.size());
+
+  Agglomerator ag(cells);
+  const std::size_t n = cells.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Nearest-neighbour cache: nn[g] is the closest live group to g among
+  // groups with index != g, valid[g] says whether it can be trusted.
+  std::vector<std::size_t> nn(n, 0);
+  std::vector<double> nn_dist(n, kInf);
+  std::vector<char> valid(n, 0);
+
+  auto recompute_nn = [&](std::size_t g) {
+    nn_dist[g] = kInf;
+    for (std::size_t h = 0; h < n; ++h) {
+      if (h == g || !ag.alive[h]) continue;
+      const double d = ag.dist(g, h);
+      if (d < nn_dist[g]) {
+        nn_dist[g] = d;
+        nn[g] = h;
+      }
+    }
+    valid[g] = 1;
+  };
+
+  while (ag.num_alive > K) {
+    // Find the globally closest pair using the caches.
+    std::size_t best_g = n;
+    double best_d = kInf;
+    for (std::size_t g = 0; g < n; ++g) {
+      if (!ag.alive[g]) continue;
+      if (!valid[g]) recompute_nn(g);
+      if (nn_dist[g] < best_d) {
+        best_d = nn_dist[g];
+        best_g = g;
+      }
+    }
+    const std::size_t a = best_g;
+    const std::size_t b = nn[best_g];
+    ag.merge(a, b);
+
+    // a changed and b died: every cache pointing at either is stale, and so
+    // is a's own.
+    valid[a] = 0;
+    for (std::size_t g = 0; g < n; ++g)
+      if (ag.alive[g] && valid[g] && (nn[g] == a || nn[g] == b)) valid[g] = 0;
+  }
+  return ag.labels();
+}
+
+Assignment ApproximatePairwiseCluster(const std::vector<ClusterCell>& cells,
+                                      std::size_t K, Rng& rng,
+                                      const PairwiseOptions& options) {
+  if (cells.empty()) return {};
+  if (K == 0) throw std::invalid_argument("ApproximatePairwiseCluster: K must be positive");
+  K = std::min(K, cells.size());
+
+  Agglomerator ag(cells);
+
+  // Live group index list, kept compact for uniform pair sampling.
+  std::vector<std::size_t> live(cells.size());
+  for (std::size_t i = 0; i < live.size(); ++i) live[i] = i;
+
+  while (ag.num_alive > K) {
+    const std::size_t g = live.size();
+    const double combos = 0.5 * static_cast<double>(g) * static_cast<double>(g - 1);
+    // Cap the per-merge work at O(g) samples: inspecting the full 1/e of
+    // all pairs would make every merge O(g²) and the whole run O(l³),
+    // defeating the point of the approximation.  The secretary structure
+    // (learn on a 1/e fraction of the window, then take the first improver)
+    // is preserved within the sampled window.
+    const double window = std::min(combos, static_cast<double>(options.sample_window_factor) *
+                                               static_cast<double>(g));
+    const auto inspect = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(window * options.inspect_fraction)));
+    const auto max_extra = static_cast<std::size_t>(std::ceil(window));
+
+    auto sample_pair = [&]() -> std::pair<std::size_t, std::size_t> {
+      const auto i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(g) - 1));
+      auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(g) - 2));
+      if (j >= i) ++j;
+      return {live[i], live[j]};
+    };
+
+    // Phase 1: inspect a 1/e fraction, remember the best.
+    std::pair<std::size_t, std::size_t> best_pair = sample_pair();
+    double best_d = ag.dist(best_pair.first, best_pair.second);
+    for (std::size_t t = 1; t < inspect; ++t) {
+      const auto p = sample_pair();
+      const double d = ag.dist(p.first, p.second);
+      if (d < best_d) {
+        best_d = d;
+        best_pair = p;
+      }
+    }
+    // Phase 2: merge the first pair that beats the remembered best.
+    for (std::size_t t = 0; t < max_extra; ++t) {
+      const auto p = sample_pair();
+      if (ag.dist(p.first, p.second) < best_d) {
+        best_pair = p;
+        break;
+      }
+    }
+
+    ag.merge(best_pair.first, best_pair.second);
+    live.erase(std::find(live.begin(), live.end(), best_pair.second));
+  }
+  return ag.labels();
+}
+
+}  // namespace pubsub

@@ -1,0 +1,46 @@
+// Pairwise Grouping and Approximate Pairwise Grouping (§4.3, Figure 2).
+//
+// Agglomerative clustering: start with one group per cell; repeatedly find
+// the pair of groups at minimum expected-waste distance, merge them
+// (membership vector = union, probability = sum), and stop when K groups
+// remain.
+//
+// The exact variant caches each group's nearest neighbour and lazily
+// re-validates caches invalidated by a merge, avoiding the naive O(l³)
+// rescan while returning exactly the same merge sequence.
+//
+// The approximate variant implements the paper's secretary-rule heuristic:
+// at each merge it inspects a random 1/e fraction of the candidate pairs,
+// remembers the closest pair seen, then keeps sampling and merges the first
+// pair that beats it (falling back to the remembered pair).  Faster, but
+// may merge a non-minimal pair.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cluster_types.h"
+#include "util/rng.h"
+
+namespace pubsub {
+
+struct PairwiseOptions {
+  bool approximate = false;
+  // Inspection fraction for the approximate variant (the secretary problem
+  // optimum is 1/e ≈ 0.368).
+  double inspect_fraction = 0.36787944117144233;
+  // Per-merge candidate window, as a multiple of the live group count.
+  // Caps each merge at O(g) distance evaluations so the whole run stays
+  // O(l²) — the paper's observed "approx-pairs ≈ K-means running time".
+  std::size_t sample_window_factor = 8;
+};
+
+// Exact pairwise grouping.  K is clamped to the cell count.
+Assignment PairwiseCluster(const std::vector<ClusterCell>& cells, std::size_t K);
+
+// Approximate pairwise grouping; `rng` drives the random inspection order.
+Assignment ApproximatePairwiseCluster(const std::vector<ClusterCell>& cells,
+                                      std::size_t K, Rng& rng,
+                                      const PairwiseOptions& options = {});
+
+}  // namespace pubsub

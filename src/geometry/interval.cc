@@ -1,0 +1,24 @@
+#include "geometry/interval.h"
+
+#include <sstream>
+
+namespace pubsub {
+
+std::string Interval::to_string() const {
+  if (empty()) return "()";
+  if (is_all()) return "(*)";
+  std::ostringstream os;
+  os << '(';
+  if (lo_ == -kInf)
+    os << "-inf";
+  else
+    os << lo_;
+  os << ", ";
+  if (hi_ == kInf)
+    os << "+inf)";
+  else
+    os << hi_ << ']';
+  return os.str();
+}
+
+}  // namespace pubsub

@@ -1,0 +1,72 @@
+// Half-open interval (lo, hi] on the real line.
+//
+// The paper (§1) assumes WLOG that every subscription predicate range is
+// open on the left and closed on the right so that adjacent ranges tile the
+// domain without overlap.  Unbounded ends are represented with ±infinity,
+// matching the (−∞,+∞) / (n,+∞) / (−∞,n] cases of the §5.1 subscription
+// model.
+#pragma once
+
+#include <limits>
+#include <string>
+
+namespace pubsub {
+
+class Interval {
+ public:
+  // Default: the empty interval.
+  constexpr Interval() = default;
+  // (lo, hi]; an interval with hi <= lo is empty.
+  constexpr Interval(double lo, double hi) : lo_(lo), hi_(hi) {}
+
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  static constexpr Interval All() { return Interval(-kInf, kInf); }
+  // (-inf, hi]
+  static constexpr Interval AtMost(double hi) { return Interval(-kInf, hi); }
+  // (lo, +inf)
+  static constexpr Interval GreaterThan(double lo) { return Interval(lo, kInf); }
+  // Interval containing exactly the integer value v: (v-1, v].
+  static constexpr Interval Point(double v) { return Interval(v - 1.0, v); }
+
+  constexpr double lo() const { return lo_; }
+  constexpr double hi() const { return hi_; }
+
+  constexpr bool empty() const { return hi_ <= lo_; }
+  constexpr bool is_all() const { return lo_ == -kInf && hi_ == kInf; }
+  // Length; +inf for unbounded non-empty intervals.
+  constexpr double length() const { return empty() ? 0.0 : hi_ - lo_; }
+
+  // Membership of a point under the (lo, hi] convention.
+  constexpr bool contains(double x) const { return x > lo_ && x <= hi_; }
+  // Interval containment: empty intervals are contained in everything.
+  constexpr bool contains(const Interval& o) const {
+    return o.empty() || (lo_ <= o.lo_ && o.hi_ <= hi_);
+  }
+  constexpr bool intersects(const Interval& o) const {
+    return !intersection(o).empty();
+  }
+  constexpr Interval intersection(const Interval& o) const {
+    return Interval(lo_ > o.lo_ ? lo_ : o.lo_, hi_ < o.hi_ ? hi_ : o.hi_);
+  }
+  // Smallest interval containing both (the hull, not the union).
+  constexpr Interval hull(const Interval& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return Interval(lo_ < o.lo_ ? lo_ : o.lo_, hi_ > o.hi_ ? hi_ : o.hi_);
+  }
+
+  // Structural equality; all empty intervals compare equal.
+  constexpr bool operator==(const Interval& o) const {
+    if (empty() && o.empty()) return true;
+    return lo_ == o.lo_ && hi_ == o.hi_;
+  }
+
+  std::string to_string() const;
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+};
+
+}  // namespace pubsub

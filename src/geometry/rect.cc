@@ -1,0 +1,76 @@
+#include "geometry/rect.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace pubsub {
+
+bool Rect::empty() const {
+  if (ivals_.empty()) return true;
+  for (const Interval& iv : ivals_)
+    if (iv.empty()) return true;
+  return false;
+}
+
+double Rect::volume() const {
+  if (empty()) return 0.0;
+  double v = 1.0;
+  for (const Interval& iv : ivals_) v *= iv.length();
+  return v;
+}
+
+bool Rect::contains(const Point& p) const {
+  assert(p.size() == ivals_.size());
+  for (std::size_t d = 0; d < ivals_.size(); ++d)
+    if (!ivals_[d].contains(p[d])) return false;
+  return !ivals_.empty();
+}
+
+bool Rect::contains(const Rect& o) const {
+  assert(o.dims() == dims());
+  if (o.empty()) return true;
+  for (std::size_t d = 0; d < ivals_.size(); ++d)
+    if (!ivals_[d].contains(o.ivals_[d])) return false;
+  return true;
+}
+
+bool Rect::intersects(const Rect& o) const {
+  assert(o.dims() == dims());
+  if (ivals_.empty()) return false;
+  for (std::size_t d = 0; d < ivals_.size(); ++d)
+    if (!ivals_[d].intersects(o.ivals_[d])) return false;
+  return true;
+}
+
+Rect Rect::intersection(const Rect& o) const {
+  assert(o.dims() == dims());
+  std::vector<Interval> out;
+  out.reserve(ivals_.size());
+  for (std::size_t d = 0; d < ivals_.size(); ++d)
+    out.push_back(ivals_[d].intersection(o.ivals_[d]));
+  return Rect(std::move(out));
+}
+
+Rect Rect::hull(const Rect& o) const {
+  assert(o.dims() == dims());
+  if (empty()) return o;
+  if (o.empty()) return *this;
+  std::vector<Interval> out;
+  out.reserve(ivals_.size());
+  for (std::size_t d = 0; d < ivals_.size(); ++d)
+    out.push_back(ivals_[d].hull(o.ivals_[d]));
+  return Rect(std::move(out));
+}
+
+std::string Rect::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t d = 0; d < ivals_.size(); ++d) {
+    if (d) os << " x ";
+    os << ivals_[d].to_string();
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace pubsub

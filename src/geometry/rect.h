@@ -1,0 +1,51 @@
+// Axis-aligned rectangle in the event space Ω ⊆ R^N.
+//
+// A subscription is a conjunction of per-attribute range predicates — one
+// Interval per dimension (paper §1/§2); a published event is a Point.  A
+// dimension left at Interval::All() is the paper's "don't care" (*)
+// wildcard.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geometry/interval.h"
+
+namespace pubsub {
+
+using Point = std::vector<double>;
+
+class Rect {
+ public:
+  Rect() = default;
+  // N-dimensional all-space rectangle.
+  explicit Rect(std::size_t dims) : ivals_(dims, Interval::All()) {}
+  explicit Rect(std::vector<Interval> ivals) : ivals_(std::move(ivals)) {}
+
+  std::size_t dims() const { return ivals_.size(); }
+  const Interval& operator[](std::size_t d) const { return ivals_[d]; }
+  Interval& operator[](std::size_t d) { return ivals_[d]; }
+  const std::vector<Interval>& intervals() const { return ivals_; }
+
+  // A rectangle is empty iff any dimension is empty.
+  bool empty() const;
+  // Product of finite side lengths; +inf if any side is unbounded.
+  double volume() const;
+
+  bool contains(const Point& p) const;
+  bool contains(const Rect& o) const;
+  bool intersects(const Rect& o) const;
+  Rect intersection(const Rect& o) const;
+  // Smallest rectangle containing both; used by the R-tree for MBRs.
+  Rect hull(const Rect& o) const;
+
+  bool operator==(const Rect& o) const { return ivals_ == o.ivals_; }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Interval> ivals_;
+};
+
+}  // namespace pubsub

@@ -1,0 +1,188 @@
+#include "index/kd_interval_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace pubsub {
+namespace {
+
+struct Entry {
+  Rect rect;
+  int id;
+};
+
+void CheckInsertable(const Rect& r) {
+  if (r.empty())
+    throw std::invalid_argument("KdIntervalTree: empty rectangle");
+  for (const Interval& iv : r.intervals())
+    if (!std::isfinite(iv.lo()) || !std::isfinite(iv.hi()))
+      throw std::invalid_argument("KdIntervalTree: unbounded rectangle");
+}
+
+}  // namespace
+
+struct KdIntervalTree::Node {
+  // Leaf: split_dim == -1, entries holds everything.
+  // Internal: split at (split_dim, pivot); entries holds the spanners.
+  int split_dim = -1;
+  double pivot = 0.0;
+  std::vector<Entry> entries;
+  std::unique_ptr<Node> lo;  // rects with hi <= pivot in split_dim
+  std::unique_ptr<Node> hi;  // rects with lo >= pivot in split_dim
+
+  bool is_leaf() const { return split_dim < 0; }
+};
+
+KdIntervalTree::KdIntervalTree(std::size_t leaf_capacity)
+    : leaf_capacity_(leaf_capacity) {
+  if (leaf_capacity == 0)
+    throw std::invalid_argument("KdIntervalTree: zero leaf capacity");
+}
+
+KdIntervalTree::~KdIntervalTree() = default;
+KdIntervalTree::KdIntervalTree(KdIntervalTree&&) noexcept = default;
+KdIntervalTree& KdIntervalTree::operator=(KdIntervalTree&&) noexcept = default;
+
+namespace {
+
+// Split a leaf: pick the dimension cycling with depth, pivot at the median
+// of interval midpoints, redistribute.  Returns false (leaving the node a
+// leaf) when no split separates anything — e.g. all rectangles identical —
+// to guarantee termination.
+template <typename NodeT>
+bool SplitLeaf(NodeT& node, std::size_t dims, int depth) {
+  const int dim = depth % static_cast<int>(dims);
+
+  std::vector<double> mids;
+  mids.reserve(node.entries.size());
+  for (const Entry& e : node.entries)
+    mids.push_back(0.5 * (e.rect[static_cast<std::size_t>(dim)].lo() +
+                          e.rect[static_cast<std::size_t>(dim)].hi()));
+  std::nth_element(mids.begin(), mids.begin() + static_cast<std::ptrdiff_t>(mids.size() / 2),
+                   mids.end());
+  const double pivot = mids[mids.size() / 2];
+
+  std::vector<Entry> lo_set, hi_set, span;
+  for (Entry& e : node.entries) {
+    const Interval& iv = e.rect[static_cast<std::size_t>(dim)];
+    if (iv.hi() <= pivot)
+      lo_set.push_back(std::move(e));
+    else if (iv.lo() >= pivot)
+      hi_set.push_back(std::move(e));
+    else
+      span.push_back(std::move(e));
+  }
+  if (lo_set.empty() && hi_set.empty()) {
+    // Nothing separates: put everything back and stay a leaf.
+    node.entries = std::move(span);
+    return false;
+  }
+
+  node.split_dim = dim;
+  node.pivot = pivot;
+  node.entries = std::move(span);
+  node.lo = std::make_unique<NodeT>();
+  node.lo->entries = std::move(lo_set);
+  node.hi = std::make_unique<NodeT>();
+  node.hi->entries = std::move(hi_set);
+  return true;
+}
+
+}  // namespace
+
+void KdIntervalTree::insert(const Rect& r, int id) {
+  CheckInsertable(r);
+  if (!root_) root_ = std::make_unique<Node>();
+
+  Node* node = root_.get();
+  int depth = 0;
+  while (!node->is_leaf()) {
+    const Interval& iv = r[static_cast<std::size_t>(node->split_dim)];
+    if (iv.hi() <= node->pivot)
+      node = node->lo.get();
+    else if (iv.lo() >= node->pivot)
+      node = node->hi.get();
+    else {
+      node->entries.push_back(Entry{r, id});
+      ++size_;
+      return;
+    }
+    ++depth;
+  }
+  node->entries.push_back(Entry{r, id});
+  ++size_;
+  if (node->entries.size() > leaf_capacity_) SplitLeaf(*node, r.dims(), depth);
+}
+
+KdIntervalTree KdIntervalTree::Build(std::vector<std::pair<Rect, int>> items,
+                                     std::size_t leaf_capacity) {
+  KdIntervalTree tree(leaf_capacity);
+  for (auto& [rect, id] : items) tree.insert(rect, id);
+  return tree;
+}
+
+void KdIntervalTree::stab(const Point& p, std::vector<int>& out) const {
+  const Node* node = root_.get();
+  while (node != nullptr) {
+    for (const Entry& e : node->entries)
+      if (e.rect.contains(p)) out.push_back(e.id);
+    if (node->is_leaf()) break;
+    node = p[static_cast<std::size_t>(node->split_dim)] <= node->pivot
+               ? node->lo.get()
+               : node->hi.get();
+  }
+}
+
+void KdIntervalTree::intersecting(const Rect& r, std::vector<int>& out) const {
+  if (!root_) return;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const Entry& e : node->entries)
+      if (e.rect.intersects(r)) out.push_back(e.id);
+    if (node->is_leaf()) continue;
+    const Interval& iv = r[static_cast<std::size_t>(node->split_dim)];
+    if (iv.lo() < node->pivot) stack.push_back(node->lo.get());
+    if (iv.hi() > node->pivot) stack.push_back(node->hi.get());
+  }
+}
+
+void KdIntervalTree::containing(const Rect& r, std::vector<int>& out) const {
+  if (!root_) return;
+  // A rectangle containing r must intersect r; filter the intersection set.
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const Entry& e : node->entries)
+      if (e.rect.contains(r)) out.push_back(e.id);
+    if (node->is_leaf()) continue;
+    const Interval& iv = r[static_cast<std::size_t>(node->split_dim)];
+    if (iv.lo() < node->pivot) stack.push_back(node->lo.get());
+    if (iv.hi() > node->pivot) stack.push_back(node->hi.get());
+  }
+}
+
+int KdIntervalTree::height() const {
+  auto walk = [](auto&& self, const Node* node) -> int {
+    if (node == nullptr) return 0;
+    if (node->is_leaf()) return 1;
+    return 1 + std::max(self(self, node->lo.get()), self(self, node->hi.get()));
+  };
+  return walk(walk, root_.get());
+}
+
+std::size_t KdIntervalTree::spanning_count() const {
+  auto walk = [](auto&& self, const Node* node) -> std::size_t {
+    if (node == nullptr) return 0;
+    if (node->is_leaf()) return 0;
+    return node->entries.size() + self(self, node->lo.get()) +
+           self(self, node->hi.get());
+  };
+  return walk(walk, root_.get());
+}
+
+}  // namespace pubsub

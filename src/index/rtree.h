@@ -1,0 +1,65 @@
+// R-tree over axis-aligned rectangles (Guttman 1984, with the STR
+// bulk-loading of Leutenegger et al. as used for packed R-trees [10]).
+//
+// This is the matching substrate of §4.6: subscription rectangles (and the
+// No-Loss group rectangles) are indexed once, and each published event
+// issues a point-stabbing query.  Dynamic insertion uses least-enlargement
+// subtree choice with quadratic split; `BulkLoad` packs a static rectangle
+// set bottom-up with Sort-Tile-Recursive for better query performance.
+//
+// All stored rectangles must be finite and non-empty.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace pubsub {
+
+class RTree final : public SpatialIndex {
+ public:
+  // Fan-out limits: a node holds between min_entries and max_entries
+  // children (except the root, which may hold fewer).
+  explicit RTree(std::size_t max_entries = 8);
+  ~RTree() override;
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  // Build a packed tree from (rect, id) pairs with Sort-Tile-Recursive.
+  static RTree BulkLoad(std::vector<std::pair<Rect, int>> items,
+                        std::size_t max_entries = 8);
+
+  void insert(const Rect& r, int id) override;
+
+  // Remove one entry whose rectangle and id match exactly (Guttman delete
+  // with condensation: underfull nodes are dissolved and their entries
+  // re-inserted).  Returns false if no such entry exists.  Supports
+  // subscription churn without rebuilding the index.
+  bool erase(const Rect& r, int id);
+
+  std::size_t size() const override { return size_; }
+
+  using SpatialIndex::containing;
+  using SpatialIndex::intersecting;
+  using SpatialIndex::stab;
+  void stab(const Point& p, std::vector<int>& out) const override;
+  void intersecting(const Rect& r, std::vector<int>& out) const override;
+  void containing(const Rect& r, std::vector<int>& out) const override;
+
+  // Tree height (0 for an empty tree, 1 for a single leaf).
+  int height() const;
+  // Structural invariants (MBR containment, fan-out bounds); used by tests.
+  bool check_invariants() const;
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  std::size_t max_entries_;
+  std::size_t min_entries_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pubsub

@@ -1,0 +1,24 @@
+#include "index/spatial_index.h"
+
+namespace pubsub {
+
+void LinearIndex::insert(const Rect& r, int id) {
+  entries_.push_back(Entry{r, id});
+}
+
+void LinearIndex::stab(const Point& p, std::vector<int>& out) const {
+  for (const Entry& e : entries_)
+    if (e.rect.contains(p)) out.push_back(e.id);
+}
+
+void LinearIndex::intersecting(const Rect& r, std::vector<int>& out) const {
+  for (const Entry& e : entries_)
+    if (e.rect.intersects(r)) out.push_back(e.id);
+}
+
+void LinearIndex::containing(const Rect& r, std::vector<int>& out) const {
+  for (const Entry& e : entries_)
+    if (e.rect.contains(r)) out.push_back(e.id);
+}
+
+}  // namespace pubsub

@@ -1,0 +1,326 @@
+#include "io/serialize.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pubsub {
+namespace {
+
+// Reader with line counting for error messages.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  std::string next() {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_no_;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty() || line[0] == '#') continue;
+      return line;
+    }
+    fail("unexpected end of file");
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("parse error at line " + std::to_string(line_no_) +
+                             ": " + what);
+  }
+
+  void expect(const std::string& line, const std::string& want) {
+    if (line != want) fail("expected '" + want + "', got '" + line + "'");
+  }
+
+ private:
+  std::istream& is_;
+  int line_no_ = 0;
+};
+
+void WriteDouble(std::ostream& os, double x) {
+  if (x == std::numeric_limits<double>::infinity())
+    os << "inf";
+  else if (x == -std::numeric_limits<double>::infinity())
+    os << "-inf";
+  else
+    os << std::setprecision(std::numeric_limits<double>::max_digits10) << x;
+}
+
+double ParseDouble(LineReader& r, const std::string& tok) {
+  if (tok == "inf") return std::numeric_limits<double>::infinity();
+  if (tok == "-inf") return -std::numeric_limits<double>::infinity();
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(tok, &pos);
+    if (pos != tok.size()) r.fail("trailing characters in number '" + tok + "'");
+    return v;
+  } catch (const std::exception&) {
+    r.fail("bad number '" + tok + "'");
+  }
+}
+
+long ParseLong(LineReader& r, const std::string& tok) {
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(tok, &pos);
+    if (pos != tok.size()) r.fail("trailing characters in integer '" + tok + "'");
+    return v;
+  } catch (const std::exception&) {
+    r.fail("bad integer '" + tok + "'");
+  }
+}
+
+std::vector<std::string> Split(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream ss(line);
+  std::string t;
+  while (ss >> t) toks.push_back(std::move(t));
+  return toks;
+}
+
+std::vector<std::string> SplitN(LineReader& r, const std::string& line, std::size_t n) {
+  std::vector<std::string> toks = Split(line);
+  if (toks.size() != n)
+    r.fail("expected " + std::to_string(n) + " fields, got " +
+           std::to_string(toks.size()));
+  return toks;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ Graph
+
+void WriteGraph(std::ostream& os, const Graph& g) {
+  os << "pubsub-graph v1\n";
+  os << "nodes " << g.num_nodes() << "\n";
+  os << "edges " << g.num_edges() << "\n";
+  for (const Edge& e : g.edges()) {
+    os << e.u << ' ' << e.v << ' ';
+    WriteDouble(os, e.cost);
+    os << '\n';
+  }
+}
+
+Graph ReadGraph(std::istream& is) {
+  LineReader r(is);
+  r.expect(r.next(), "pubsub-graph v1");
+  const auto nodes_line = SplitN(r, r.next(), 2);
+  if (nodes_line[0] != "nodes") r.fail("expected 'nodes'");
+  const long n = ParseLong(r, nodes_line[1]);
+  if (n < 0) r.fail("negative node count");
+  const auto edges_line = SplitN(r, r.next(), 2);
+  if (edges_line[0] != "edges") r.fail("expected 'edges'");
+  const long m = ParseLong(r, edges_line[1]);
+
+  Graph g(static_cast<int>(n));
+  for (long i = 0; i < m; ++i) {
+    const auto toks = SplitN(r, r.next(), 3);
+    const long u = ParseLong(r, toks[0]);
+    const long v = ParseLong(r, toks[1]);
+    const double cost = ParseDouble(r, toks[2]);
+    if (u < 0 || u >= n || v < 0 || v >= n) r.fail("edge endpoint out of range");
+    g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), cost);
+  }
+  return g;
+}
+
+// ----------------------------------------------------------- TransitStub
+
+void WriteTransitStub(std::ostream& os, const TransitStubNetwork& net) {
+  os << "pubsub-transit-stub v1\n";
+  WriteGraph(os, net.graph);
+  os << "stubs " << net.num_stubs << "\n";
+  os << "transit " << net.transit_nodes.size() << "\n";
+  for (const NodeId v : net.transit_nodes) os << v << '\n';
+  os << "node-meta " << net.stub_of_node.size() << "\n";
+  for (std::size_t v = 0; v < net.stub_of_node.size(); ++v)
+    os << net.stub_of_node[v] << ' ' << net.block_of_node[v] << '\n';
+  os << "block-of-stub " << net.block_of_stub.size() << "\n";
+  for (const int b : net.block_of_stub) os << b << '\n';
+  os << "stub-members " << net.stub_members.size() << "\n";
+  for (const auto& members : net.stub_members) {
+    os << members.size();
+    for (const NodeId v : members) os << ' ' << v;
+    os << '\n';
+  }
+}
+
+TransitStubNetwork ReadTransitStub(std::istream& is) {
+  LineReader r(is);
+  r.expect(r.next(), "pubsub-transit-stub v1");
+  TransitStubNetwork net;
+  {
+    // The embedded graph re-reads from the same stream; reuse the parser by
+    // collecting its lines is overkill — inline the same grammar.
+    r.expect(r.next(), "pubsub-graph v1");
+    const auto nodes_line = SplitN(r, r.next(), 2);
+    if (nodes_line[0] != "nodes") r.fail("expected 'nodes'");
+    const long n = ParseLong(r, nodes_line[1]);
+    const auto edges_line = SplitN(r, r.next(), 2);
+    if (edges_line[0] != "edges") r.fail("expected 'edges'");
+    const long m = ParseLong(r, edges_line[1]);
+    net.graph = Graph(static_cast<int>(n));
+    for (long i = 0; i < m; ++i) {
+      const auto toks = SplitN(r, r.next(), 3);
+      net.graph.add_edge(static_cast<NodeId>(ParseLong(r, toks[0])),
+                         static_cast<NodeId>(ParseLong(r, toks[1])),
+                         ParseDouble(r, toks[2]));
+    }
+  }
+  const int n = net.graph.num_nodes();
+
+  auto counted = [&r](const char* key) {
+    // returns the count after validating the keyword
+    return [&r, key]() -> long {
+      std::vector<std::string> toks = SplitN(r, r.next(), 2);
+      if (toks[0] != key) r.fail(std::string("expected '") + key + "'");
+      return ParseLong(r, toks[1]);
+    }();
+  };
+
+  net.num_stubs = static_cast<int>(counted("stubs"));
+  const long transit = counted("transit");
+  for (long i = 0; i < transit; ++i) {
+    const long v = ParseLong(r, SplitN(r, r.next(), 1)[0]);
+    if (v < 0 || v >= n) r.fail("transit node out of range");
+    net.transit_nodes.push_back(static_cast<NodeId>(v));
+  }
+  const long meta = counted("node-meta");
+  if (meta != n) r.fail("node-meta count mismatch");
+  for (long i = 0; i < meta; ++i) {
+    const auto toks = SplitN(r, r.next(), 2);
+    net.stub_of_node.push_back(static_cast<int>(ParseLong(r, toks[0])));
+    net.block_of_node.push_back(static_cast<int>(ParseLong(r, toks[1])));
+  }
+  const long blocks = counted("block-of-stub");
+  if (blocks != net.num_stubs) r.fail("block-of-stub count mismatch");
+  for (long i = 0; i < blocks; ++i)
+    net.block_of_stub.push_back(static_cast<int>(ParseLong(r, SplitN(r, r.next(), 1)[0])));
+  const long stubs = counted("stub-members");
+  if (stubs != net.num_stubs) r.fail("stub-members count mismatch");
+  for (long s = 0; s < stubs; ++s) {
+    const auto toks = Split(r.next());
+    if (toks.empty()) r.fail("empty stub-members line");
+    const long count = ParseLong(r, toks[0]);
+    if (static_cast<long>(toks.size()) != count + 1) r.fail("stub member count mismatch");
+    std::vector<NodeId> members;
+    for (long i = 1; i <= count; ++i) {
+      const long v = ParseLong(r, toks[static_cast<std::size_t>(i)]);
+      if (v < 0 || v >= n) r.fail("stub member out of range");
+      members.push_back(static_cast<NodeId>(v));
+    }
+    net.stub_members.push_back(std::move(members));
+  }
+  return net;
+}
+
+// --------------------------------------------------------------- Workload
+
+void WriteWorkload(std::ostream& os, const Workload& wl) {
+  os << "pubsub-workload v1\n";
+  os << "dims " << wl.space.dims() << "\n";
+  for (std::size_t d = 0; d < wl.space.dims(); ++d)
+    os << wl.space.dim(d).name << ' ' << wl.space.dim(d).domain_size << '\n';
+  os << "subscribers " << wl.subscribers.size() << "\n";
+  for (const Subscriber& s : wl.subscribers) {
+    os << s.node;
+    for (const Interval& iv : s.interest.intervals()) {
+      os << ' ';
+      WriteDouble(os, iv.lo());
+      os << ' ';
+      WriteDouble(os, iv.hi());
+    }
+    os << '\n';
+  }
+}
+
+Workload ReadWorkload(std::istream& is) {
+  LineReader r(is);
+  r.expect(r.next(), "pubsub-workload v1");
+  const auto dims_line = SplitN(r, r.next(), 2);
+  if (dims_line[0] != "dims") r.fail("expected 'dims'");
+  const long dims = ParseLong(r, dims_line[1]);
+  if (dims <= 0) r.fail("non-positive dimension count");
+
+  std::vector<DimensionSpec> specs;
+  for (long d = 0; d < dims; ++d) {
+    const auto toks = SplitN(r, r.next(), 2);
+    DimensionSpec spec;
+    spec.name = toks[0];
+    spec.domain_size = static_cast<int>(ParseLong(r, toks[1]));
+    specs.push_back(std::move(spec));
+  }
+
+  Workload wl;
+  wl.space = EventSpace(std::move(specs));
+
+  const auto subs_line = SplitN(r, r.next(), 2);
+  if (subs_line[0] != "subscribers") r.fail("expected 'subscribers'");
+  const long count = ParseLong(r, subs_line[1]);
+  for (long i = 0; i < count; ++i) {
+    const auto toks = SplitN(r, r.next(), 1 + 2 * static_cast<std::size_t>(dims));
+    Subscriber s;
+    s.node = static_cast<NodeId>(ParseLong(r, toks[0]));
+    std::vector<Interval> ivals;
+    for (long d = 0; d < dims; ++d) {
+      const double lo = ParseDouble(r, toks[1 + 2 * static_cast<std::size_t>(d)]);
+      const double hi = ParseDouble(r, toks[2 + 2 * static_cast<std::size_t>(d)]);
+      ivals.emplace_back(lo, hi);
+    }
+    s.interest = Rect(std::move(ivals));
+    wl.subscribers.push_back(std::move(s));
+  }
+  return wl;
+}
+
+// ------------------------------------------------------------- Clustering
+
+void WriteClustering(std::ostream& os, const ClusteringFile& c) {
+  os << "pubsub-clustering v1\n";
+  os << "groups " << c.num_groups << "\n";
+  os << "cells " << c.cells_fed << "\n";
+  for (const int g : c.assignment) os << g << '\n';
+}
+
+ClusteringFile ReadClustering(std::istream& is) {
+  LineReader r(is);
+  r.expect(r.next(), "pubsub-clustering v1");
+  ClusteringFile c;
+  const auto groups_line = SplitN(r, r.next(), 2);
+  if (groups_line[0] != "groups") r.fail("expected 'groups'");
+  c.num_groups = static_cast<int>(ParseLong(r, groups_line[1]));
+  const auto cells_line = SplitN(r, r.next(), 2);
+  if (cells_line[0] != "cells") r.fail("expected 'cells'");
+  const long cells = ParseLong(r, cells_line[1]);
+  c.cells_fed = static_cast<std::size_t>(cells);
+  for (long i = 0; i < cells; ++i) {
+    const int g = static_cast<int>(ParseLong(r, SplitN(r, r.next(), 1)[0]));
+    if (g < -1 || g >= c.num_groups) r.fail("group id out of range");
+    c.assignment.push_back(g);
+  }
+  return c;
+}
+
+// ------------------------------------------------------------------ files
+
+void SaveToFile(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  os << content;
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+std::string LoadFromFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+}  // namespace pubsub

@@ -1,0 +1,51 @@
+// Text serialization for the library's artifacts.
+//
+// Enables the file-based pipeline of tools/pubsub_cli: generate a topology
+// once, generate workloads against it, cluster, and evaluate — each stage a
+// separate process exchanging human-readable, versioned files.
+//
+// Formats are line-oriented: a magic+version header, then counted records.
+// Doubles round-trip exactly (max_digits10); unbounded interval ends are
+// the tokens `-inf` / `inf`.  Readers validate counts and ranges and throw
+// std::runtime_error with a line-number message on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/cluster_types.h"
+#include "net/transit_stub.h"
+#include "workload/types.h"
+
+namespace pubsub {
+
+// ----------------------------------------------------------------- graphs
+void WriteGraph(std::ostream& os, const Graph& g);
+Graph ReadGraph(std::istream& is);
+
+// Transit-stub networks (graph + stub/block bookkeeping).
+void WriteTransitStub(std::ostream& os, const TransitStubNetwork& net);
+TransitStubNetwork ReadTransitStub(std::istream& is);
+
+// -------------------------------------------------------------- workloads
+void WriteWorkload(std::ostream& os, const Workload& wl);
+Workload ReadWorkload(std::istream& is);
+
+// ------------------------------------------------------------- clusterings
+// A grid clustering artifact: K plus the assignment of the grid's
+// popularity-ranked hyper-cells (exactly the vector a clustering algorithm
+// returns; cell identity is reproducible from the workload).
+struct ClusteringFile {
+  int num_groups = 0;
+  std::size_t cells_fed = 0;
+  Assignment assignment;
+};
+
+void WriteClustering(std::ostream& os, const ClusteringFile& c);
+ClusteringFile ReadClustering(std::istream& is);
+
+// ------------------------------------------------------------ file helpers
+void SaveToFile(const std::string& path, const std::string& content);
+std::string LoadFromFile(const std::string& path);
+
+}  // namespace pubsub

@@ -1,0 +1,86 @@
+#include "net/multicast.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "net/spanning.h"
+
+namespace pubsub {
+
+double UnicastCost(const ShortestPathTree& spt, std::span<const NodeId> targets) {
+  double total = 0.0;
+  for (const NodeId v : targets) {
+    if (!spt.reachable(v)) throw std::invalid_argument("UnicastCost: unreachable target");
+    total += spt.dist[static_cast<std::size_t>(v)];
+  }
+  return total;
+}
+
+double BroadcastCost(const ShortestPathTree& spt) {
+  // Every reachable non-root node contributes its parent edge exactly once.
+  double total = 0.0;
+  for (std::size_t v = 0; v < spt.dist.size(); ++v) {
+    if (spt.parent[v] != -1) total += spt.dist[v] - spt.dist[static_cast<std::size_t>(spt.parent[v])];
+  }
+  return total;
+}
+
+double PrunedSptCost::cost(const ShortestPathTree& spt, std::span<const NodeId> members) {
+  if (spt.dist.size() != stamp_.size())
+    throw std::invalid_argument("PrunedSptCost: tree/graph size mismatch");
+  ++epoch_;
+  stamp_[static_cast<std::size_t>(spt.root)] = epoch_;
+  double total = 0.0;
+  for (const NodeId m : members) {
+    if (!spt.reachable(m)) throw std::invalid_argument("PrunedSptCost: unreachable member");
+    // Walk up until we meet an edge already counted this epoch.
+    for (NodeId v = m; stamp_[static_cast<std::size_t>(v)] != epoch_; v = spt.parent[static_cast<std::size_t>(v)]) {
+      stamp_[static_cast<std::size_t>(v)] = epoch_;
+      total += graph_.edge(spt.parent_edge[static_cast<std::size_t>(v)]).cost;
+    }
+  }
+  return total;
+}
+
+double SparseModeMulticastCost::cost(const ShortestPathTree& core_spt,
+                                     NodeId origin,
+                                     std::span<const NodeId> members) {
+  if (members.empty()) return 0.0;
+  if (!core_spt.reachable(origin))
+    throw std::invalid_argument("SparseModeMulticastCost: origin unreachable");
+  // Unicast leg to the core (free when the publisher is the core), then
+  // the shared core-rooted tree pruned to the members.
+  return core_spt.dist[static_cast<std::size_t>(origin)] +
+         pruner_.cost(core_spt, members);
+}
+
+NodeId SparseModeMulticastCost::SelectCore(const DistanceMatrix& dm,
+                                           std::span<const NodeId> members) {
+  if (members.empty())
+    throw std::invalid_argument("SelectCore: empty member set");
+  NodeId best = members[0];
+  double best_sum = std::numeric_limits<double>::infinity();
+  for (const NodeId candidate : members) {
+    double sum = 0.0;
+    for (const NodeId m : members) sum += dm(candidate, m);
+    if (sum < best_sum) {
+      best_sum = sum;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+double AppLevelMulticastCost(const DistanceMatrix& dm, NodeId root,
+                             std::span<const NodeId> members) {
+  std::vector<NodeId> nodes(members.begin(), members.end());
+  nodes.push_back(root);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return PrimMstMetric(nodes.size(), [&](std::size_t i, std::size_t j) {
+    return dm(nodes[i], nodes[j]);
+  });
+}
+
+}  // namespace pubsub

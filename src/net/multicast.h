@@ -1,0 +1,90 @@
+// Delivery cost engines for the four distribution methods the paper
+// compares (§3, §5.1):
+//
+//   * unicast      — one message per interested subscriber, each paying the
+//                    full publisher→node shortest-path cost;
+//   * broadcast    — one message down the publisher's full shortest-path
+//                    tree, reaching every node;
+//   * network-supported (dense-mode) multicast — the publisher's shortest-
+//                    path tree pruned to the group members: cost is the sum
+//                    of edge costs in the union of root→member paths;
+//   * application-level multicast — group members relay over a minimum
+//                    spanning tree of their unicast-distance metric closure.
+//
+// "Ideal multicast" is network-supported multicast whose group is exactly
+// the set of interested nodes of each event (one group per event, up to
+// 2^Ns groups — the paper's 100%-improvement reference point).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/graph.h"
+#include "net/shortest_path.h"
+
+namespace pubsub {
+
+// Sum of shortest-path distances root→target, one term per entry (per
+// subscriber, so duplicate nodes are counted once per subscriber).
+double UnicastCost(const ShortestPathTree& spt, std::span<const NodeId> targets);
+
+// Total cost of the full shortest-path tree (delivery to every node).
+double BroadcastCost(const ShortestPathTree& spt);
+
+// Pruned-SPT multicast cost calculator.  Keeps epoch-stamped scratch so
+// repeated per-event queries don't reallocate.
+class PrunedSptCost {
+ public:
+  explicit PrunedSptCost(const Graph& g) : graph_(g), stamp_(static_cast<std::size_t>(g.num_nodes()), 0) {}
+
+  // Cost of the union of root→member paths in `spt`.  Duplicate members
+  // are free; the root itself contributes nothing.
+  double cost(const ShortestPathTree& spt, std::span<const NodeId> members);
+
+ private:
+  const Graph& graph_;
+  std::vector<int> stamp_;
+  int epoch_ = 0;
+};
+
+// Application-level multicast: MST over {root} ∪ members in the metric
+// closure given by `dm`.  Duplicate members are deduplicated.
+double AppLevelMulticastCost(const DistanceMatrix& dm, NodeId root,
+                             std::span<const NodeId> members);
+
+// Sparse-mode (core-based / shared-tree) multicast.
+//
+// §5.1 notes that routers implement either dense-mode or sparse-mode
+// multicast and that the paper assumes dense mode (per-source shortest-path
+// trees).  Sparse mode trades delivery cost for router state: the group
+// shares ONE tree rooted at a rendezvous core, so routers keep state per
+// group instead of per (publisher, group); a publisher first unicasts the
+// message to the core, which distributes it down the shared tree.
+//
+//   cost = dist(publisher → core) + pruned-SPT(core → members)
+//
+// The core-rooted tree part is publisher-independent and can be reused
+// across events.
+class SparseModeMulticastCost {
+ public:
+  explicit SparseModeMulticastCost(const Graph& g)
+      : graph_(&g), pruner_(g) {}
+
+  // Delivery cost for a publisher at `origin` with the given core.
+  // `core_spt` must be the SPT rooted at the core; `dist_to_core` the
+  // shortest-path distance origin→core (core_spt.dist[origin] works —
+  // undirected graph).
+  double cost(const ShortestPathTree& core_spt, NodeId origin,
+              std::span<const NodeId> members);
+
+  // Rendezvous-point selection: the member (or candidate) minimizing the
+  // sum of distances to all members — the medoid under the metric closure.
+  static NodeId SelectCore(const DistanceMatrix& dm,
+                           std::span<const NodeId> members);
+
+ private:
+  const Graph* graph_;
+  PrunedSptCost pruner_;
+};
+
+}  // namespace pubsub

@@ -1,0 +1,60 @@
+#include "net/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace pubsub {
+
+std::vector<NodeId> ShortestPathTree::path_to(NodeId v) const {
+  if (!reachable(v)) throw std::invalid_argument("path_to: unreachable node");
+  std::vector<NodeId> path;
+  for (NodeId x = v; x != -1; x = parent[x]) path.push_back(x);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPathTree Dijkstra(const Graph& g, NodeId root) {
+  const int n = g.num_nodes();
+  if (root < 0 || root >= n) throw std::out_of_range("Dijkstra: bad root");
+
+  ShortestPathTree t;
+  t.root = root;
+  t.dist.assign(n, std::numeric_limits<double>::infinity());
+  t.parent.assign(n, -1);
+  t.parent_edge.assign(n, -1);
+  t.dist[root] = 0.0;
+
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.emplace(0.0, root);
+  std::vector<char> done(n, 0);
+
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (done[u]) continue;
+    done[u] = 1;
+    for (const Graph::Neighbor& nb : g.neighbors(u)) {
+      const double nd = d + g.edge(nb.edge).cost;
+      if (nd < t.dist[nb.node]) {
+        t.dist[nb.node] = nd;
+        t.parent[nb.node] = u;
+        t.parent_edge[nb.node] = nb.edge;
+        pq.emplace(nd, nb.node);
+      }
+    }
+  }
+  return t;
+}
+
+DistanceMatrix::DistanceMatrix(const Graph& g)
+    : n_(static_cast<std::size_t>(g.num_nodes())), dist_(n_ * n_) {
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const ShortestPathTree t = Dijkstra(g, u);
+    std::copy(t.dist.begin(), t.dist.end(), dist_.begin() + static_cast<std::ptrdiff_t>(n_ * static_cast<std::size_t>(u)));
+  }
+}
+
+}  // namespace pubsub

@@ -1,0 +1,45 @@
+// Single-source shortest paths (Dijkstra) and the all-pairs distance matrix.
+//
+// Network-supported dense-mode multicast in the paper routes along "a
+// shortest path tree rooted at the publisher" (§5.1); application-level
+// multicast needs pairwise unicast distances between group members.  Both
+// are served from here.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+
+namespace pubsub {
+
+// Shortest-path tree from a root.  parent[root] == -1; unreachable nodes
+// have parent == -1 and dist == +inf.
+struct ShortestPathTree {
+  NodeId root = -1;
+  std::vector<double> dist;
+  std::vector<NodeId> parent;
+  std::vector<EdgeId> parent_edge;
+
+  bool reachable(NodeId v) const { return v == root || parent[v] != -1; }
+  // Nodes on the root→v path, root first.  v must be reachable.
+  std::vector<NodeId> path_to(NodeId v) const;
+};
+
+ShortestPathTree Dijkstra(const Graph& g, NodeId root);
+
+// Dense all-pairs shortest path distances (n Dijkstra runs).
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(const Graph& g);
+
+  double operator()(NodeId u, NodeId v) const {
+    return dist_[static_cast<std::size_t>(u) * n_ + static_cast<std::size_t>(v)];
+  }
+  int num_nodes() const { return static_cast<int>(n_); }
+
+ private:
+  std::size_t n_;
+  std::vector<double> dist_;
+};
+
+}  // namespace pubsub

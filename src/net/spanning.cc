@@ -1,0 +1,71 @@
+#include "net/spanning.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "net/union_find.h"
+
+namespace pubsub {
+
+std::vector<EdgeId> KruskalMst(const Graph& g) {
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.num_edges()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&g](EdgeId a, EdgeId b) {
+    return g.edge(a).cost < g.edge(b).cost;
+  });
+
+  UnionFind uf(static_cast<std::size_t>(g.num_nodes()));
+  std::vector<EdgeId> tree;
+  tree.reserve(static_cast<std::size_t>(g.num_nodes()) - 1);
+  for (EdgeId e : order) {
+    if (uf.unite(static_cast<std::size_t>(g.edge(e).u), static_cast<std::size_t>(g.edge(e).v))) {
+      tree.push_back(e);
+      if (uf.num_components() == 1) break;
+    }
+  }
+  if (g.num_nodes() > 0 && uf.num_components() != 1)
+    throw std::invalid_argument("KruskalMst: disconnected graph");
+  return tree;
+}
+
+double PrimMstMetric(std::size_t n,
+                     const std::function<double(std::size_t, std::size_t)>& dist,
+                     std::vector<std::pair<std::size_t, std::size_t>>* edges) {
+  if (n == 0) return 0.0;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(n, kInf);
+  std::vector<std::size_t> best_from(n, 0);
+  std::vector<char> in_tree(n, 0);
+
+  best[0] = 0.0;
+  double total = 0.0;
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t u = n;
+    double u_cost = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_tree[i] && best[i] < u_cost) {
+        u_cost = best[i];
+        u = i;
+      }
+    }
+    if (u == n) throw std::invalid_argument("PrimMstMetric: infinite distance");
+    in_tree[u] = 1;
+    if (step > 0) {
+      total += u_cost;
+      if (edges != nullptr) edges->emplace_back(best_from[u], u);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_tree[i]) continue;
+      const double d = dist(u, i);
+      if (d < best[i]) {
+        best[i] = d;
+        best_from[i] = u;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace pubsub

@@ -1,0 +1,29 @@
+// Minimum spanning trees on explicit graphs (Kruskal) and on metric
+// closures over node subsets (Prim).
+//
+// Application-level multicast in the paper (§5.1) has group members "form a
+// minimum spanning tree and forward the messages from one member to
+// another through the tree", with member-to-member links priced at unicast
+// (shortest-path) cost — that is Prim over the metric closure.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace pubsub {
+
+// Kruskal MST of a connected graph; returns the edge ids of the tree.
+// Throws if the graph is disconnected.
+std::vector<EdgeId> KruskalMst(const Graph& g);
+
+// Prim MST over an implicit complete graph on `n` points with symmetric
+// metric `dist(i, j)`.  Returns total tree weight; if `edges` is non-null,
+// the tree edges (as index pairs) are appended to it.  O(n^2) time, O(n)
+// memory — the shape used both here and by the MST clustering algorithm.
+double PrimMstMetric(std::size_t n,
+                     const std::function<double(std::size_t, std::size_t)>& dist,
+                     std::vector<std::pair<std::size_t, std::size_t>>* edges = nullptr);
+
+}  // namespace pubsub

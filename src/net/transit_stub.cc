@@ -1,0 +1,152 @@
+#include "net/transit_stub.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pubsub {
+namespace {
+
+// Connect `nodes` into a random connected subgraph: a random spanning tree
+// (each node links to a uniformly chosen earlier node, after shuffling)
+// plus extra chords with probability `chord_prob` per non-tree pair.
+void ConnectRandomly(Graph& g, const std::vector<NodeId>& nodes, double cost,
+                     double chord_prob, Rng& rng) {
+  if (nodes.size() < 2) return;
+  std::vector<NodeId> order = nodes;
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    g.add_edge(order[i], order[j], cost);
+  }
+  if (chord_prob <= 0.0) return;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      if (!g.has_edge(order[i], order[j]) && rng.bernoulli(chord_prob))
+        g.add_edge(order[i], order[j], cost);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<NodeId> TransitStubNetwork::host_nodes() const {
+  std::vector<NodeId> hosts;
+  for (const std::vector<NodeId>& stub : stub_members)
+    hosts.insert(hosts.end(), stub.begin(), stub.end());
+  return hosts;
+}
+
+TransitStubNetwork GenerateTransitStub(const TransitStubParams& p, Rng& rng) {
+  if (p.transit_blocks < 1 || p.transit_nodes_per_block < 1 ||
+      p.stubs_per_transit_node < 1 || p.nodes_per_stub < 1)
+    throw std::invalid_argument("GenerateTransitStub: non-positive shape parameter");
+
+  TransitStubNetwork net;
+  Graph& g = net.graph;
+
+  // 1. Transit nodes, one connected subgraph per block.
+  std::vector<std::vector<NodeId>> block_transit(static_cast<std::size_t>(p.transit_blocks));
+  for (int b = 0; b < p.transit_blocks; ++b) {
+    for (int t = 0; t < p.transit_nodes_per_block; ++t) {
+      const NodeId v = g.add_node();
+      net.stub_of_node.push_back(-1);
+      net.block_of_node.push_back(b);
+      net.transit_nodes.push_back(v);
+      block_transit[static_cast<std::size_t>(b)].push_back(v);
+    }
+    ConnectRandomly(g, block_transit[static_cast<std::size_t>(b)], p.cost_intra_transit,
+                    p.extra_edge_prob, rng);
+  }
+
+  // 2. Inter-block links: a ring of blocks (chain when only two), each link
+  // between random transit nodes of the adjacent blocks.
+  if (p.transit_blocks > 1) {
+    const int links = p.transit_blocks == 2 ? 1 : p.transit_blocks;
+    for (int b = 0; b < links; ++b) {
+      const auto& from = block_transit[static_cast<std::size_t>(b)];
+      const auto& to = block_transit[static_cast<std::size_t>((b + 1) % p.transit_blocks)];
+      const NodeId u = from[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(from.size()) - 1))];
+      const NodeId v = to[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(to.size()) - 1))];
+      g.add_edge(u, v, p.cost_inter_block);
+    }
+  }
+
+  // 3. Stubs: for every transit node, `stubs_per_transit_node` stubs of
+  // `nodes_per_stub` nodes, internally connected, with one gateway node
+  // uplinked to the transit node.
+  for (const NodeId tn : net.transit_nodes) {
+    const int block = net.block_of_node[static_cast<std::size_t>(tn)];
+    for (int s = 0; s < p.stubs_per_transit_node; ++s) {
+      const int stub_id = net.num_stubs++;
+      net.block_of_stub.push_back(block);
+      std::vector<NodeId> members;
+      members.reserve(static_cast<std::size_t>(p.nodes_per_stub));
+      for (int i = 0; i < p.nodes_per_stub; ++i) {
+        const NodeId v = g.add_node();
+        net.stub_of_node.push_back(stub_id);
+        net.block_of_node.push_back(block);
+        members.push_back(v);
+      }
+      ConnectRandomly(g, members, p.cost_intra_stub, p.extra_edge_prob, rng);
+      const NodeId gateway =
+          members[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(members.size()) - 1))];
+      g.add_edge(gateway, tn, p.cost_stub_uplink);
+
+      // Optional last-mile hosts: each stub node becomes a router with a
+      // dedicated access link to the host where the subscriber lives.
+      if (p.last_mile_cost > 0.0) {
+        std::vector<NodeId> hosts;
+        hosts.reserve(members.size());
+        for (const NodeId router : members) {
+          const NodeId host = g.add_node();
+          net.stub_of_node.push_back(stub_id);
+          net.block_of_node.push_back(block);
+          g.add_edge(router, host, p.last_mile_cost);
+          hosts.push_back(host);
+        }
+        net.stub_members.push_back(std::move(hosts));
+      } else {
+        net.stub_members.push_back(std::move(members));
+      }
+    }
+  }
+  return net;
+}
+
+TransitStubParams PaperNet100() {
+  TransitStubParams p;
+  p.transit_blocks = 1;
+  p.transit_nodes_per_block = 4;
+  p.stubs_per_transit_node = 3;
+  p.nodes_per_stub = 8;
+  return p;
+}
+
+TransitStubParams PaperNet300() {
+  TransitStubParams p;
+  p.transit_blocks = 1;
+  p.transit_nodes_per_block = 5;
+  p.stubs_per_transit_node = 3;
+  p.nodes_per_stub = 20;
+  return p;
+}
+
+TransitStubParams PaperNet600() {
+  TransitStubParams p;
+  p.transit_blocks = 1;
+  p.transit_nodes_per_block = 4;
+  p.stubs_per_transit_node = 3;
+  p.nodes_per_stub = 50;
+  return p;
+}
+
+TransitStubParams PaperNetSection5() {
+  TransitStubParams p;
+  p.transit_blocks = 3;
+  p.transit_nodes_per_block = 5;
+  p.stubs_per_transit_node = 2;
+  p.nodes_per_stub = 20;
+  return p;
+}
+
+}  // namespace pubsub

@@ -1,0 +1,75 @@
+// Transit-stub network topology generator.
+//
+// The paper generates its networks with the GT-ITM package [Zegura et al.,
+// "How to Model an Internetwork", Infocom 1996]: a hierarchy of transit
+// blocks on top, stub networks in the middle, and hosts at the bottom.  We
+// re-implement that model from its description.  The generator preserves
+// the structural properties the paper's results depend on:
+//
+//   * hierarchical locality — intra-stub paths are much cheaper than
+//     stub→transit→stub paths, which are cheaper than cross-block paths;
+//   * configurable shape — (#blocks, transit nodes/block, stubs/transit
+//     node, nodes/stub) exactly as in the §3 and §5.1 parameter tables;
+//   * random connected subgraphs at each level (spanning tree + extra
+//     chords), so different seeds give genuinely different topologies
+//     (Figure 9 compares two seeds).
+//
+// The optional last-mile extension (§6, discussion item 2) attaches each
+// subscriber host behind a dedicated higher-cost access link.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+#include "util/rng.h"
+
+namespace pubsub {
+
+struct TransitStubParams {
+  int transit_blocks = 1;
+  int transit_nodes_per_block = 4;
+  int stubs_per_transit_node = 3;
+  int nodes_per_stub = 8;
+
+  // Probability, per node pair beyond the spanning tree, of an extra chord
+  // inside a stub or inside a transit block.
+  double extra_edge_prob = 0.08;
+
+  // Level-dependent edge costs (cheap at the edge, expensive in the core).
+  double cost_intra_stub = 1.0;
+  double cost_stub_uplink = 2.0;
+  double cost_intra_transit = 5.0;
+  double cost_inter_block = 10.0;
+
+  // If > 0, every stub node becomes a router and a dedicated host node is
+  // attached to it with this cost; subscribers then live on the hosts.
+  double last_mile_cost = 0.0;
+};
+
+struct TransitStubNetwork {
+  Graph graph;
+
+  // Stub topology bookkeeping.  stub_of_node[v] == -1 for transit nodes
+  // (and for last-mile routers when hosts are split out).
+  int num_stubs = 0;
+  std::vector<int> stub_of_node;
+  std::vector<int> block_of_node;
+  std::vector<std::vector<NodeId>> stub_members;  // subscriber-capable nodes
+  std::vector<NodeId> transit_nodes;
+  std::vector<int> block_of_stub;
+
+  // All nodes where subscribers/publishers may be placed (stub hosts).
+  std::vector<NodeId> host_nodes() const;
+};
+
+TransitStubNetwork GenerateTransitStub(const TransitStubParams& params, Rng& rng);
+
+// The three §3 network shapes (100/300/600 nodes, one transit block) and
+// the §5.1 shape (three blocks of five transit nodes, two stubs each,
+// twenty nodes per stub).
+TransitStubParams PaperNet100();
+TransitStubParams PaperNet300();
+TransitStubParams PaperNet600();
+TransitStubParams PaperNetSection5();
+
+}  // namespace pubsub

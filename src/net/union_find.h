@@ -1,0 +1,51 @@
+// Disjoint-set forest with union-by-size and path halving.
+//
+// Used by Kruskal's MST (net/spanning.h) and — following the paper's
+// observation that MST clustering is "Kruskal's algorithm stopped at K
+// components" (§4.4) — by the reference Kruskal-stop-at-K implementation
+// that property tests compare against the Prim-based clustering.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace pubsub {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Returns true iff x and y were in different components.
+  bool unite(std::size_t x, std::size_t y) {
+    std::size_t rx = find(x), ry = find(y);
+    if (rx == ry) return false;
+    if (size_[rx] < size_[ry]) std::swap(rx, ry);
+    parent_[ry] = rx;
+    size_[rx] += size_[ry];
+    --components_;
+    return true;
+  }
+
+  bool same(std::size_t x, std::size_t y) { return find(x) == find(y); }
+  std::size_t component_size(std::size_t x) { return size_[find(x)]; }
+  std::size_t num_components() const { return components_; }
+  std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace pubsub

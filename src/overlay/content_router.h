@@ -1,0 +1,109 @@
+// Hop-by-hop content routing (paper §6, discussion item 6).
+//
+// The paper's main design matches each event once, at the first
+// "intelligent" node, and then uses unicast/multicast groups.  The
+// alternative it discusses — used by several Gryphon papers — is a broker
+// overlay where "each intermediate node knows about the preferences of its
+// neighbors, and matches each event against its specific data structures
+// to find those neighbors to which the event must be forwarded next."
+//
+// This module implements that alternative over a routing tree:
+//
+//   * the overlay is a spanning tree of the network (MST by default —
+//     cheap static links — or the SPT of a designated root);
+//   * every *directed* tree edge u→v carries a summary of all
+//     subscriptions in the component behind v.  Two summary types:
+//       - kExact:  the precise subscriber set (a bit-vector) — large
+//                  state, zero false forwarding;
+//       - kBounds: the bounding rectangle of the interests behind the
+//                  edge — constant state per edge, but events may be
+//                  forwarded into subtrees with no interested subscriber
+//                  (wasted traversals, the price of aggregation);
+//   * routing an event walks the tree from the origin, forwarding along
+//     an edge iff its summary matches, and accounts the traversed edge
+//     costs exactly like the rest of the simulator.
+//
+// The paper's caveat — "the dynamics of subscriptions require subscription
+// changes to propagate quickly in the network" — is measurable here as the
+// summary-update cost: update_subscription() returns how many directed
+// edges had to refresh their summaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "net/graph.h"
+#include "util/bitvector.h"
+#include "workload/types.h"
+
+namespace pubsub {
+
+enum class OverlayTree { kMst, kSptFromRoot };
+enum class SummaryKind { kExact, kBounds };
+
+struct ContentRouterOptions {
+  OverlayTree tree = OverlayTree::kMst;
+  NodeId spt_root = 0;  // used when tree == kSptFromRoot
+  SummaryKind summary = SummaryKind::kExact;
+};
+
+struct RouteResult {
+  double cost = 0.0;            // sum of traversed tree edge costs
+  int edges_traversed = 0;      // directed hops taken
+  int wasted_edges = 0;         // hops into subtrees with no interested sub
+  int nodes_reached = 0;        // distinct nodes visited (incl. origin)
+  int matches_performed = 0;    // per-edge summary checks (matching work)
+};
+
+class ContentRouter {
+ public:
+  ContentRouter(const Graph& network, const Workload& wl,
+                const ContentRouterOptions& options = {});
+
+  // Route an event published at `origin` to the subscribers in
+  // `interested` (the exact interested set, as produced by the matching
+  // index).  Never misses a subscriber: exact summaries forward precisely,
+  // bounding-rectangle summaries forward a superset.
+  RouteResult route(NodeId origin, const Point& event,
+                    const std::vector<SubscriberId>& interested,
+                    std::vector<NodeId>* reached = nullptr) const;
+
+  // Re-summarize after subscriber `id`'s interest changed to
+  // `new_interest` (also covers arrival: an id whose previous rectangle
+  // was empty).  Returns the number of directed-edge summaries refreshed —
+  // the paper's "propagation" cost of subscription dynamics.
+  int update_subscription(SubscriberId id, const Rect& new_interest);
+
+  // Total routing state, in bits, summed over all directed edges (the
+  // memory the overlay nodes collectively dedicate to forwarding tables).
+  std::size_t state_bits() const;
+
+  int num_tree_edges() const { return static_cast<int>(tree_edges_.size()); }
+  double tree_cost() const;
+
+ private:
+  struct DirectedSummary {
+    NodeId from = -1;
+    NodeId to = -1;
+    EdgeId edge = -1;
+    BitVector behind;  // subscribers in the component behind `to`
+    Rect bounds;       // hull of their interests (kBounds matching)
+    bool bounds_valid = false;
+  };
+
+  void rebuild_summaries();
+  bool summary_matches(const DirectedSummary& s, const Point& event,
+                       const BitVector& interested) const;
+
+  const Graph* network_;
+  const Workload* workload_;
+  SummaryKind summary_kind_;
+  std::vector<EdgeId> tree_edges_;
+  // adjacency over the tree: per node, indices into summaries_ for edges
+  // leaving that node.
+  std::vector<std::vector<int>> tree_adj_;
+  std::vector<DirectedSummary> summaries_;
+};
+
+}  // namespace pubsub

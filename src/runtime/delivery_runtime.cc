@@ -1,0 +1,119 @@
+#include "runtime/delivery_runtime.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pubsub {
+
+DeliveryRuntime::DeliveryRuntime(const Graph& network, const RuntimeParams& params)
+    : network_(&network),
+      params_(params),
+      broker_free_at_(static_cast<std::size_t>(network.num_nodes()), 0.0) {}
+
+void DeliveryRuntime::reset() {
+  std::fill(broker_free_at_.begin(), broker_free_at_.end(), 0.0);
+}
+
+const ShortestPathTree& DeliveryRuntime::spt(NodeId origin) {
+  const auto it = spt_cache_.find(origin);
+  if (it != spt_cache_.end()) return it->second;
+  return spt_cache_.emplace(origin, Dijkstra(*network_, origin)).first->second;
+}
+
+double DeliveryRuntime::enqueue(NodeId broker, double now_ms, double service_ms) {
+  double& free_at = broker_free_at_[static_cast<std::size_t>(broker)];
+  const double start = std::max(now_ms, free_at);
+  free_at = start + service_ms;
+  return start;
+}
+
+DeliveryTiming DeliveryRuntime::deliver_unicast(double now_ms, NodeId origin,
+                                                std::span<const NodeId> targets) {
+  const ShortestPathTree& tree = spt(origin);
+
+  DeliveryTiming t;
+  t.service_ms = params_.match_time_ms +
+                 params_.per_message_send_ms * static_cast<double>(targets.size());
+  const double start = enqueue(origin, now_ms, t.service_ms);
+  t.queue_wait_ms = start - now_ms;
+
+  t.latencies_ms.reserve(targets.size());
+  double send_done = start + params_.match_time_ms;
+  for (const NodeId target : targets) {
+    if (!tree.reachable(target))
+      throw std::invalid_argument("deliver_unicast: unreachable target");
+    send_done += params_.per_message_send_ms;
+    // Hop count along the SPT path.
+    int hops = 0;
+    for (NodeId v = target; tree.parent[static_cast<std::size_t>(v)] != -1;
+         v = tree.parent[static_cast<std::size_t>(v)])
+      ++hops;
+    const double arrival = send_done +
+                           tree.dist[static_cast<std::size_t>(target)] *
+                               params_.latency_per_cost_ms +
+                           static_cast<double>(hops) * params_.per_hop_processing_ms;
+    t.latencies_ms.push_back(arrival - now_ms);
+  }
+  return t;
+}
+
+DeliveryTiming DeliveryRuntime::deliver_multicast(double now_ms, NodeId origin,
+                                                  std::span<const NodeId> targets) {
+  const ShortestPathTree& tree = spt(origin);
+
+  // Pruned-tree membership: every node on some origin→target path.
+  const int n = network_->num_nodes();
+  std::vector<char> needed(static_cast<std::size_t>(n), 0);
+  needed[static_cast<std::size_t>(origin)] = 1;
+  for (const NodeId target : targets) {
+    if (!tree.reachable(target))
+      throw std::invalid_argument("deliver_multicast: unreachable target");
+    for (NodeId v = target; !needed[static_cast<std::size_t>(v)];
+         v = tree.parent[static_cast<std::size_t>(v)])
+      needed[static_cast<std::size_t>(v)] = 1;
+  }
+
+  // Children of each needed node within the pruned tree.
+  std::vector<std::vector<NodeId>> children(static_cast<std::size_t>(n));
+  int origin_branches = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!needed[static_cast<std::size_t>(v)] || v == origin) continue;
+    const NodeId parent = tree.parent[static_cast<std::size_t>(v)];
+    children[static_cast<std::size_t>(parent)].push_back(v);
+    if (parent == origin) ++origin_branches;
+  }
+
+  DeliveryTiming t;
+  t.service_ms = params_.match_time_ms +
+                 params_.per_message_send_ms * static_cast<double>(origin_branches);
+  const double start = enqueue(origin, now_ms, t.service_ms);
+  t.queue_wait_ms = start - now_ms;
+
+  // Arrival times by DFS; per node, forwarding to children is sequential.
+  std::vector<double> arrival(static_cast<std::size_t>(n), 0.0);
+  arrival[static_cast<std::size_t>(origin)] = start + params_.match_time_ms;
+  std::vector<NodeId> stack{origin};
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    double send_done = arrival[static_cast<std::size_t>(u)];
+    if (u != origin) send_done += params_.per_hop_processing_ms;
+    for (const NodeId c : children[static_cast<std::size_t>(u)]) {
+      send_done += params_.per_message_send_ms;
+      const double edge_cost =
+          network_->edge(tree.parent_edge[static_cast<std::size_t>(c)]).cost;
+      arrival[static_cast<std::size_t>(c)] =
+          send_done + edge_cost * params_.latency_per_cost_ms;
+      stack.push_back(c);
+    }
+  }
+
+  t.latencies_ms.reserve(targets.size());
+  for (const NodeId target : targets)
+    t.latencies_ms.push_back(arrival[static_cast<std::size_t>(target)] +
+                             (target == origin ? 0.0 : params_.per_hop_processing_ms) -
+                             now_ms);
+  return t;
+}
+
+}  // namespace pubsub

@@ -1,0 +1,83 @@
+// Latency and throughput runtime model (paper §4.6: "Matching must [be]
+// done efficiently, since the delay caused by the matching algorithm
+// directly affects the maximum throughput of the system").
+//
+// The cost simulator (sim/delivery.h) prices *traffic*; this module prices
+// *time*.  Each publication is processed by the broker at its origin node:
+//
+//   service time = match_time + per_message_send × (messages emitted)
+//
+// where a unicast delivery emits one message per subscriber and a
+// multicast/broadcast delivery emits one message per outgoing tree branch
+// at the origin.  Brokers are single servers with FIFO queues, so under a
+// timestamped arrival stream (workload/trace.h) queueing delay emerges and
+// the system saturates when the offered per-broker load exceeds capacity —
+// earlier for unicast (service scales with the interested count) than for
+// multicast.
+//
+// After leaving the broker, a message propagates with per-edge latency
+// proportional to edge cost plus per-hop processing; along a multicast
+// tree each node forwards to its children sequentially (per-child
+// serialization), which is the application-level forwarding model.
+//
+// Outputs are per-subscriber delivery latencies, aggregated by the caller.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/graph.h"
+#include "net/shortest_path.h"
+#include "workload/types.h"
+
+namespace pubsub {
+
+struct RuntimeParams {
+  double match_time_ms = 0.05;        // matching work per event at the broker
+  double per_message_send_ms = 0.02;  // serialization per emitted message
+  double latency_per_cost_ms = 0.1;   // propagation per unit edge cost
+  double per_hop_processing_ms = 0.01;
+};
+
+// Per-event outcome: when the broker finished (for throughput accounting)
+// and when each target subscriber's node received the message.
+struct DeliveryTiming {
+  double queue_wait_ms = 0.0;
+  double service_ms = 0.0;
+  // One latency per requested target (publication → subscriber arrival).
+  std::vector<double> latencies_ms;
+};
+
+class DeliveryRuntime {
+ public:
+  DeliveryRuntime(const Graph& network, const RuntimeParams& params = {});
+
+  // Resets broker queues (between experiment runs).
+  void reset();
+
+  // A unicast delivery published at `origin` at absolute time `now_ms` to
+  // `targets` (per-subscriber node ids; duplicates are distinct messages,
+  // sent in order).
+  DeliveryTiming deliver_unicast(double now_ms, NodeId origin,
+                                 std::span<const NodeId> targets);
+
+  // A single-message delivery over the origin-rooted pruned SPT covering
+  // `targets`; per-target latency includes sequential child forwarding at
+  // every tree node on the way.
+  DeliveryTiming deliver_multicast(double now_ms, NodeId origin,
+                                   std::span<const NodeId> targets);
+
+ private:
+  const ShortestPathTree& spt(NodeId origin);
+  // FIFO single-server queue per broker: returns (wait, start) given an
+  // arrival at now with the given service demand.
+  double enqueue(NodeId broker, double now_ms, double service_ms);
+
+  const Graph* network_;
+  RuntimeParams params_;
+  std::unordered_map<NodeId, ShortestPathTree> spt_cache_;
+  std::vector<double> broker_free_at_;  // per node, earliest idle time
+};
+
+}  // namespace pubsub

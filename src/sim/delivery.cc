@@ -1,0 +1,89 @@
+#include "sim/delivery.h"
+
+#include <stdexcept>
+
+namespace pubsub {
+
+DeliverySimulator::DeliverySimulator(const Graph& network, const Workload& wl)
+    : network_(&network), workload_(&wl), pruner_(network) {
+  const Rect domain = wl.space.domain_rect();
+  std::vector<std::pair<Rect, int>> items;
+  items.reserve(wl.subscribers.size());
+  for (std::size_t i = 0; i < wl.subscribers.size(); ++i) {
+    const Rect r = wl.subscribers[i].interest.intersection(domain);
+    if (!r.empty()) items.emplace_back(r, static_cast<int>(i));
+  }
+  sub_index_ = RTree::BulkLoad(std::move(items));
+}
+
+std::vector<SubscriberId> DeliverySimulator::interested(const Point& p) const {
+  return sub_index_.stab(p);
+}
+
+const ShortestPathTree& DeliverySimulator::spt(NodeId origin) {
+  const auto it = spt_cache_.find(origin);
+  if (it != spt_cache_.end()) return it->second;
+  return spt_cache_.emplace(origin, Dijkstra(*network_, origin)).first->second;
+}
+
+const DistanceMatrix& DeliverySimulator::distances() {
+  if (!dm_) dm_ = std::make_unique<DistanceMatrix>(*network_);
+  return *dm_;
+}
+
+std::vector<NodeId>& DeliverySimulator::nodes_of(std::span<const SubscriberId> subs) {
+  node_scratch_.clear();
+  for (const SubscriberId s : subs)
+    node_scratch_.push_back(workload_->subscribers[static_cast<std::size_t>(s)].node);
+  return node_scratch_;
+}
+
+double DeliverySimulator::unicast_cost(NodeId origin, std::span<const SubscriberId> subs) {
+  return UnicastCost(spt(origin), nodes_of(subs));
+}
+
+double DeliverySimulator::broadcast_cost(NodeId origin) {
+  return BroadcastCost(spt(origin));
+}
+
+double DeliverySimulator::ideal_cost(NodeId origin, std::span<const SubscriberId> subs) {
+  return pruner_.cost(spt(origin), nodes_of(subs));
+}
+
+double DeliverySimulator::ideal_cost_applevel(NodeId origin,
+                                              std::span<const SubscriberId> subs) {
+  return AppLevelMulticastCost(distances(), origin, nodes_of(subs));
+}
+
+double DeliverySimulator::clustered_cost_network(NodeId origin, const MatchDecision& d) {
+  double cost = 0.0;
+  if (d.group_id >= 0) cost += pruner_.cost(spt(origin), nodes_of(d.group_members));
+  if (!d.unicast_targets.empty()) cost += UnicastCost(spt(origin), nodes_of(d.unicast_targets));
+  return cost;
+}
+
+double DeliverySimulator::clustered_cost_applevel(NodeId origin, const MatchDecision& d) {
+  double cost = 0.0;
+  if (d.group_id >= 0)
+    cost += AppLevelMulticastCost(distances(), origin, nodes_of(d.group_members));
+  if (!d.unicast_targets.empty()) cost += UnicastCost(spt(origin), nodes_of(d.unicast_targets));
+  return cost;
+}
+
+std::size_t DeliverySimulator::wasted_deliveries(const MatchDecision& d,
+                                                 std::span<const SubscriberId> interested) {
+  if (d.group_id < 0) return 0;
+  std::size_t wasted = 0;
+  for (const SubscriberId m : d.group_members) {
+    bool found = false;
+    for (const SubscriberId s : interested)
+      if (s == m) {
+        found = true;
+        break;
+      }
+    if (!found) ++wasted;
+  }
+  return wasted;
+}
+
+}  // namespace pubsub

@@ -1,0 +1,79 @@
+// Per-event delivery cost simulation.
+//
+// Implements §5.2's cost accounting: "the cost of communication was
+// computed by summing up the edge costs on the links on which
+// communication takes place."  Accounting rules (matching the paper's
+// tables, where unicast cost scales with the subscription count):
+//
+//   * a unicast message to a subscriber pays the full publisher→node
+//     shortest-path cost — one message per subscriber, even when several
+//     subscribers share a node;
+//   * a multicast to a group pays each link of the delivery tree once
+//     (network-supported: publisher-rooted pruned SPT; application-level:
+//     MST over the members' unicast-distance metric closure), regardless
+//     of how many member subscribers sit behind each node;
+//   * broadcast pays the publisher's full SPT.
+//
+// The simulator caches one shortest-path tree per publisher origin and
+// owns the R-tree over subscription rectangles used for exact matching.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/matching.h"
+#include "index/rtree.h"
+#include "net/graph.h"
+#include "net/multicast.h"
+#include "net/shortest_path.h"
+#include "workload/types.h"
+
+namespace pubsub {
+
+class DeliverySimulator {
+ public:
+  DeliverySimulator(const Graph& network, const Workload& wl);
+
+  const Workload& workload() const { return *workload_; }
+
+  // Exact interested subscribers for an event (R-tree stabbing query).
+  std::vector<SubscriberId> interested(const Point& p) const;
+
+  // Baseline strategies.
+  double unicast_cost(NodeId origin, std::span<const SubscriberId> subs);
+  double broadcast_cost(NodeId origin);
+  // Ideal multicast: pruned SPT over exactly the interested nodes.
+  double ideal_cost(NodeId origin, std::span<const SubscriberId> subs);
+
+  // Clustered delivery: multicast tree over the decision's group members
+  // (if any) plus unicasts to the decision's unicast targets.
+  // Network-supported flavor.
+  double clustered_cost_network(NodeId origin, const MatchDecision& d);
+  // Application-level flavor (group relayed over member MST).
+  double clustered_cost_applevel(NodeId origin, const MatchDecision& d);
+
+  // App-level equivalent of ideal multicast (for completeness/metrics).
+  double ideal_cost_applevel(NodeId origin, std::span<const SubscriberId> subs);
+
+  // Number of group members not interested in the event — the realized
+  // waste of one delivery (0 for no-loss groups).
+  static std::size_t wasted_deliveries(const MatchDecision& d,
+                                       std::span<const SubscriberId> interested);
+
+ private:
+  const ShortestPathTree& spt(NodeId origin);
+  const DistanceMatrix& distances();
+  std::vector<NodeId>& nodes_of(std::span<const SubscriberId> subs);
+
+  const Graph* network_;
+  const Workload* workload_;
+  RTree sub_index_;
+  PrunedSptCost pruner_;
+  std::unordered_map<NodeId, ShortestPathTree> spt_cache_;
+  std::unique_ptr<DistanceMatrix> dm_;  // built on first app-level query
+  std::vector<NodeId> node_scratch_;
+};
+
+}  // namespace pubsub

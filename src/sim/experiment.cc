@@ -1,0 +1,58 @@
+#include "sim/experiment.h"
+
+namespace pubsub {
+
+std::vector<EventSample> SampleEvents(const DeliverySimulator& sim,
+                                      const PublicationModel& model,
+                                      std::size_t count, Rng& rng) {
+  std::vector<EventSample> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    EventSample e;
+    e.pub = model.sample(rng);
+    e.interested = sim.interested(e.pub.point);
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+BaselineCosts EvaluateBaselines(DeliverySimulator& sim,
+                                std::span<const EventSample> events,
+                                bool with_applevel_ideal) {
+  BaselineCosts base;
+  base.events = events.size();
+  for (const EventSample& e : events) {
+    base.unicast += sim.unicast_cost(e.pub.origin, e.interested);
+    base.broadcast += sim.broadcast_cost(e.pub.origin);
+    base.ideal += sim.ideal_cost(e.pub.origin, e.interested);
+    if (with_applevel_ideal)
+      base.ideal_app += sim.ideal_cost_applevel(e.pub.origin, e.interested);
+  }
+  return base;
+}
+
+double ImprovementPercent(double cost, const BaselineCosts& base) {
+  const double denom = base.unicast - base.ideal;
+  if (denom <= 0.0) return 0.0;
+  return (base.unicast - cost) / denom * 100.0;
+}
+
+ClusteredCosts EvaluateMatcher(DeliverySimulator& sim,
+                               std::span<const EventSample> events,
+                               const MatchFn& match) {
+  ClusteredCosts out;
+  for (const EventSample& e : events) {
+    const MatchDecision d = match(e.pub.point, e.interested);
+    out.network += sim.clustered_cost_network(e.pub.origin, d);
+    out.applevel += sim.clustered_cost_applevel(e.pub.origin, d);
+    if (d.group_id >= 0) {
+      ++out.multicast_events;
+      out.wasted_deliveries += DeliverySimulator::wasted_deliveries(d, e.interested);
+    } else {
+      ++out.unicast_events;
+    }
+  }
+  return out;
+}
+
+}  // namespace pubsub

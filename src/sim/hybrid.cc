@@ -1,0 +1,75 @@
+#include "sim/hybrid.h"
+
+#include <algorithm>
+
+namespace pubsub {
+
+HybridCosts EvaluateHybrid(DeliverySimulator& sim,
+                           std::span<const EventSample> events,
+                           const MatchFn& match, HybridPolicy policy,
+                           const HybridRuleParams& params) {
+  HybridCosts out;
+  const std::size_t ns = sim.workload().num_subscribers();
+
+  for (const EventSample& e : events) {
+    const MatchDecision d = match(e.pub.point, e.interested);
+
+    // The three candidate deliveries for this event.
+    const double unicast = sim.unicast_cost(e.pub.origin, e.interested);
+    const double broadcast = sim.broadcast_cost(e.pub.origin);
+    // Multicast candidate: the matcher's decision (group + residual
+    // unicasts); a pure-unicast decision makes this identical to unicast.
+    MatchDecision multicast_decision = d;
+    if (d.group_id < 0) {
+      multicast_decision.unicast_targets.assign(e.interested.begin(),
+                                                e.interested.end());
+    }
+    const double multicast = sim.clustered_cost_network(e.pub.origin,
+                                                        multicast_decision);
+
+    enum class Choice { kUnicast, kMulticast, kBroadcast };
+    Choice choice;
+    if (policy == HybridPolicy::kOracle) {
+      choice = Choice::kMulticast;
+      double best = multicast;
+      if (unicast < best) {
+        best = unicast;
+        choice = Choice::kUnicast;
+      }
+      if (broadcast < best) {
+        best = broadcast;
+        choice = Choice::kBroadcast;
+      }
+    } else {
+      const double interested = static_cast<double>(e.interested.size());
+      if (interested >= params.broadcast_fraction * static_cast<double>(ns)) {
+        choice = Choice::kBroadcast;
+      } else if (e.interested.size() <= params.unicast_max || d.group_id < 0) {
+        choice = Choice::kUnicast;
+      } else if (interested < params.min_group_utilization *
+                                  static_cast<double>(d.group_members.size())) {
+        choice = Choice::kUnicast;
+      } else {
+        choice = Choice::kMulticast;
+      }
+    }
+
+    switch (choice) {
+      case Choice::kUnicast:
+        out.network += unicast;
+        ++out.chose_unicast;
+        break;
+      case Choice::kMulticast:
+        out.network += multicast;
+        ++out.chose_multicast;
+        break;
+      case Choice::kBroadcast:
+        out.network += broadcast;
+        ++out.chose_broadcast;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pubsub

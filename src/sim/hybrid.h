@@ -1,0 +1,57 @@
+// Dynamic unicast / multicast / broadcast selection (paper abstract:
+// "determine dynamically whether to unicast, multicast or broadcast
+// information about the events over the network to the matched
+// subscribers").
+//
+// Two deciders are provided:
+//
+//   * kOracle — price all three options for the event and take the
+//     cheapest.  Needs the simulator (i.e., global knowledge); this is the
+//     lower envelope of the three pure strategies and bounds what any
+//     realtime rule can achieve.
+//   * kRule — a realtime-implementable rule using only information the
+//     matcher already has: the interested count and the matched group
+//     size.  Broadcast when the interested set covers most subscribers;
+//     unicast when it is tiny or when most of the group would be waste;
+//     multicast otherwise.  Thresholds are tunable.
+//
+// EvaluateHybrid replays an event stream under a decider and reports the
+// usual paired costs plus the per-strategy decision mix.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/matching.h"
+#include "sim/delivery.h"
+#include "sim/experiment.h"
+
+namespace pubsub {
+
+enum class HybridPolicy { kOracle, kRule };
+
+struct HybridRuleParams {
+  // Broadcast when |interested| >= broadcast_fraction * N_S.
+  double broadcast_fraction = 0.5;
+  // Unicast when |interested| <= unicast_max (absolute count) …
+  std::size_t unicast_max = 2;
+  // … or when the matched group is mostly waste:
+  // |interested| < min_group_utilization * |group|.
+  double min_group_utilization = 0.02;
+};
+
+struct HybridCosts {
+  double network = 0.0;
+  std::size_t chose_unicast = 0;
+  std::size_t chose_multicast = 0;
+  std::size_t chose_broadcast = 0;
+};
+
+// `match` supplies the (grid or no-loss) decision whose group is the
+// multicast candidate for each event.
+HybridCosts EvaluateHybrid(DeliverySimulator& sim,
+                           std::span<const EventSample> events,
+                           const MatchFn& match, HybridPolicy policy,
+                           const HybridRuleParams& params = {});
+
+}  // namespace pubsub

@@ -1,0 +1,84 @@
+#include "sim/link_load.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pubsub {
+
+LinkLoadTracker::LinkLoadTracker(const Graph& g)
+    : graph_(&g),
+      load_(static_cast<std::size_t>(g.num_edges()), 0.0),
+      stamp_(static_cast<std::size_t>(g.num_nodes()), 0) {}
+
+void LinkLoadTracker::reset() {
+  std::fill(load_.begin(), load_.end(), 0.0);
+}
+
+void LinkLoadTracker::add_unicast(const ShortestPathTree& spt,
+                                  std::span<const NodeId> targets,
+                                  double message_bytes) {
+  for (const NodeId t : targets) {
+    if (!spt.reachable(t))
+      throw std::invalid_argument("LinkLoadTracker: unreachable target");
+    for (NodeId v = t; spt.parent[static_cast<std::size_t>(v)] != -1;
+         v = spt.parent[static_cast<std::size_t>(v)])
+      load_[static_cast<std::size_t>(spt.parent_edge[static_cast<std::size_t>(v)])] +=
+          message_bytes;
+  }
+}
+
+void LinkLoadTracker::add_multicast(const ShortestPathTree& spt,
+                                    std::span<const NodeId> members,
+                                    double message_bytes) {
+  ++epoch_;
+  stamp_[static_cast<std::size_t>(spt.root)] = epoch_;
+  for (const NodeId m : members) {
+    if (!spt.reachable(m))
+      throw std::invalid_argument("LinkLoadTracker: unreachable member");
+    for (NodeId v = m; stamp_[static_cast<std::size_t>(v)] != epoch_;
+         v = spt.parent[static_cast<std::size_t>(v)]) {
+      stamp_[static_cast<std::size_t>(v)] = epoch_;
+      load_[static_cast<std::size_t>(spt.parent_edge[static_cast<std::size_t>(v)])] +=
+          message_bytes;
+    }
+  }
+}
+
+void LinkLoadTracker::add_broadcast(const ShortestPathTree& spt, double message_bytes) {
+  for (std::size_t v = 0; v < spt.parent.size(); ++v)
+    if (spt.parent[v] != -1)
+      load_[static_cast<std::size_t>(spt.parent_edge[v])] += message_bytes;
+}
+
+double LinkLoadTracker::total_bytes() const {
+  double total = 0;
+  for (const double l : load_) total += l;
+  return total;
+}
+
+double LinkLoadTracker::max_link_load() const {
+  double m = 0;
+  for (const double l : load_) m = std::max(m, l);
+  return m;
+}
+
+double LinkLoadTracker::load_quantile(double q) const {
+  std::vector<double> used;
+  for (const double l : load_)
+    if (l > 0) used.push_back(l);
+  if (used.empty()) return 0.0;
+  std::sort(used.begin(), used.end());
+  const double pos = q * static_cast<double>(used.size() - 1);
+  const auto idx = static_cast<std::size_t>(std::llround(pos));
+  return used[std::min(idx, used.size() - 1)];
+}
+
+std::size_t LinkLoadTracker::links_used() const {
+  std::size_t n = 0;
+  for (const double l : load_)
+    if (l > 0) ++n;
+  return n;
+}
+
+}  // namespace pubsub

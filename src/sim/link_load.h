@@ -1,0 +1,62 @@
+// Per-link load accounting (paper §6, discussion item 4).
+//
+// The paper's cost metric sums edge costs per delivery and "implicitly
+// assum[es] that there are no delays caused by congestion of network
+// links … reasonable when the message size is small (1K or less).  If the
+// messages have large sizes, a different type of communication cost
+// evaluation must be used."  This tracker is that different evaluation:
+// it accumulates bytes per physical link across a batch of deliveries, so
+// strategies can be compared on *hot-spot load* (max / percentile link
+// traffic) instead of — or in addition to — summed cost.
+//
+// Unicast pushes the full message over every edge of the publisher→node
+// path once per subscriber; a multicast tree pushes it over each tree edge
+// once.  The same accounting rules as sim/delivery.h, with bytes instead
+// of abstract cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/graph.h"
+#include "net/shortest_path.h"
+
+namespace pubsub {
+
+class LinkLoadTracker {
+ public:
+  explicit LinkLoadTracker(const Graph& g);
+
+  void reset();
+
+  // One unicast message of `message_bytes` along the spt path to each
+  // target (duplicates pay again, as in UnicastCost).
+  void add_unicast(const ShortestPathTree& spt, std::span<const NodeId> targets,
+                   double message_bytes);
+
+  // One multicast message over the pruned SPT covering `members` (each
+  // tree edge carries the message once).
+  void add_multicast(const ShortestPathTree& spt, std::span<const NodeId> members,
+                     double message_bytes);
+
+  // One broadcast over the full SPT.
+  void add_broadcast(const ShortestPathTree& spt, double message_bytes);
+
+  double load(EdgeId e) const { return load_[static_cast<std::size_t>(e)]; }
+  const std::vector<double>& loads() const { return load_; }
+
+  double total_bytes() const;
+  double max_link_load() const;
+  // Load at the q-quantile over links carrying any traffic (q in [0,1]).
+  double load_quantile(double q) const;
+  // Number of links that carried anything.
+  std::size_t links_used() const;
+
+ private:
+  const Graph* graph_;
+  std::vector<double> load_;    // indexed by EdgeId
+  std::vector<int> stamp_;      // per-node epoch marks for tree walks
+  int epoch_ = 0;
+};
+
+}  // namespace pubsub

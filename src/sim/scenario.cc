@@ -1,0 +1,30 @@
+#include "sim/scenario.h"
+
+namespace pubsub {
+
+Scenario MakeSection3Scenario(const TransitStubParams& shape, int num_subscriptions,
+                              const Section3Params& params, std::uint64_t seed) {
+  Rng master(seed);
+  Scenario s;
+  Rng net_rng = master.split(1);
+  s.net = GenerateTransitStub(shape, net_rng);
+  Rng sub_rng = master.split(2);
+  s.workload = GenerateSection3Subscriptions(s.net, num_subscriptions, params, sub_rng);
+  s.pub = MakeSection3PublicationModel(s.net, params);
+  return s;
+}
+
+Scenario MakeStockScenario(int num_subscriptions, PublicationHotSpots hot_spots,
+                           std::uint64_t seed, const StockModelParams& params,
+                           const TransitStubParams& shape) {
+  Rng master(seed);
+  Scenario s;
+  Rng net_rng = master.split(1);
+  s.net = GenerateTransitStub(shape, net_rng);
+  Rng sub_rng = master.split(2);
+  s.workload = GenerateStockSubscriptions(s.net, num_subscriptions, params, sub_rng);
+  s.pub = MakeStockPublicationModel(s.net, hot_spots, params);
+  return s;
+}
+
+}  // namespace pubsub

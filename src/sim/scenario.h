@@ -1,0 +1,33 @@
+// Pre-packaged experiment scenarios: the §3 preliminary-analysis setup and
+// the §5.1 stock-market setup, bundling topology, subscriptions and the
+// publication model under one seed.  Benches and examples build these and
+// then attach a DeliverySimulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/transit_stub.h"
+#include "workload/publication_model.h"
+#include "workload/section3.h"
+#include "workload/stock_model.h"
+
+namespace pubsub {
+
+struct Scenario {
+  TransitStubNetwork net;
+  Workload workload;
+  std::unique_ptr<PublicationModel> pub;
+};
+
+// §3 model on one of the paper's network shapes.
+Scenario MakeSection3Scenario(const TransitStubParams& shape, int num_subscriptions,
+                              const Section3Params& params, std::uint64_t seed);
+
+// §5.1 stock model on the 3-block 600-node network.
+Scenario MakeStockScenario(int num_subscriptions, PublicationHotSpots hot_spots,
+                           std::uint64_t seed,
+                           const StockModelParams& params = {},
+                           const TransitStubParams& shape = PaperNetSection5());
+
+}  // namespace pubsub

@@ -1,0 +1,123 @@
+#include "util/bitvector.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace pubsub {
+
+void BitVector::clear_all() {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+std::size_t BitVector::count() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += std::popcount(w);
+  return n;
+}
+
+bool BitVector::any() const {
+  for (std::uint64_t w : words_)
+    if (w != 0) return true;
+  return false;
+}
+
+BitVector& BitVector::operator|=(const BitVector& o) {
+  assert(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator&=(const BitVector& o) {
+  assert(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator^=(const BitVector& o) {
+  assert(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::and_not_assign(const BitVector& o) {
+  assert(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+std::size_t BitVector::count_and_not(const BitVector& o) const {
+  assert(nbits_ == o.nbits_);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    n += std::popcount(words_[i] & ~o.words_[i]);
+  return n;
+}
+
+std::size_t BitVector::count_and(const BitVector& o) const {
+  assert(nbits_ == o.nbits_);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    n += std::popcount(words_[i] & o.words_[i]);
+  return n;
+}
+
+std::size_t BitVector::count_or(const BitVector& o) const {
+  assert(nbits_ == o.nbits_);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    n += std::popcount(words_[i] | o.words_[i]);
+  return n;
+}
+
+bool BitVector::is_subset_of(const BitVector& o) const {
+  assert(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if ((words_[i] & ~o.words_[i]) != 0) return false;
+  return true;
+}
+
+bool BitVector::intersects(const BitVector& o) const {
+  assert(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if ((words_[i] & o.words_[i]) != 0) return true;
+  return false;
+}
+
+void BitVector::for_each_set(const std::function<void(std::size_t)>& f) const {
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w != 0) {
+      const int b = std::countr_zero(w);
+      f(wi * kWordBits + static_cast<std::size_t>(b));
+      w &= w - 1;
+    }
+  }
+}
+
+std::vector<std::size_t> BitVector::set_bits() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each_set([&out](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+std::size_t BitVector::hash() const {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t w : words_) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  h ^= nbits_;
+  h *= 1099511628211ull;
+  return static_cast<std::size_t>(h);
+}
+
+std::string BitVector::to_string() const {
+  std::string s;
+  s.reserve(nbits_);
+  for (std::size_t i = 0; i < nbits_; ++i) s.push_back(test(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace pubsub

@@ -1,0 +1,93 @@
+// Word-packed dynamic bit-vector.
+//
+// Subscriber membership vectors s(a) (paper §4.1) are bit-vectors over the
+// subscriber population.  The expected-waste distance reduces to two
+// "and-not + popcount" passes, so those kernels are the hot path of every
+// clustering algorithm in src/core.  This class provides exactly the
+// operations the clustering layer needs, on 64-bit words.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pubsub {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + kWordBits - 1) / kWordBits, 0) {}
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool test(std::size_t i) const {
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+  void set(std::size_t i) { words_[i / kWordBits] |= Mask(i); }
+  void reset(std::size_t i) { words_[i / kWordBits] &= ~Mask(i); }
+  void assign(std::size_t i, bool v) { v ? set(i) : reset(i); }
+
+  void clear_all();
+
+  // Number of set bits.
+  std::size_t count() const;
+  bool any() const;
+  bool none() const { return !any(); }
+
+  // In-place logical operations; operands must have equal size.
+  BitVector& operator|=(const BitVector& o);
+  BitVector& operator&=(const BitVector& o);
+  BitVector& operator^=(const BitVector& o);
+  // this &= ~o
+  BitVector& and_not_assign(const BitVector& o);
+
+  friend BitVector operator|(BitVector a, const BitVector& b) { return a |= b; }
+  friend BitVector operator&(BitVector a, const BitVector& b) { return a &= b; }
+  friend BitVector operator^(BitVector a, const BitVector& b) { return a ^= b; }
+
+  bool operator==(const BitVector& o) const {
+    return nbits_ == o.nbits_ && words_ == o.words_;
+  }
+
+  // |this \ o| — the expected-waste kernel: count of bits set here but not
+  // in o, computed without materializing a temporary.
+  std::size_t count_and_not(const BitVector& o) const;
+  // |this ∩ o|
+  std::size_t count_and(const BitVector& o) const;
+  // |this ∪ o|
+  std::size_t count_or(const BitVector& o) const;
+
+  // True iff every bit set here is also set in o.
+  bool is_subset_of(const BitVector& o) const;
+  bool intersects(const BitVector& o) const;
+
+  // Invoke f(i) for every set bit, in increasing order.
+  void for_each_set(const std::function<void(std::size_t)>& f) const;
+  std::vector<std::size_t> set_bits() const;
+
+  // FNV-1a over the words; used to merge identical membership vectors into
+  // hyper-cells (paper §4.1 "Implementation Notes").
+  std::size_t hash() const;
+
+  // "1011…" (bit 0 first), for diagnostics.
+  std::string to_string() const;
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  static std::uint64_t Mask(std::size_t i) {
+    return std::uint64_t{1} << (i % kWordBits);
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct BitVectorHash {
+  std::size_t operator()(const BitVector& v) const { return v.hash(); }
+};
+
+}  // namespace pubsub

@@ -1,0 +1,164 @@
+#include "util/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pubsub {
+
+Zipf::Zipf(std::size_t n, double s) : s_(s) {
+  if (n == 0) throw std::invalid_argument("Zipf: n must be positive");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 1; r <= n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r), s_);
+    cdf_[r - 1] = acc;
+  }
+  norm_ = acc;
+  for (double& c : cdf_) c /= norm_;
+  cdf_.back() = 1.0;
+}
+
+double Zipf::pmf(std::size_t rank) const {
+  assert(rank >= 1 && rank <= cdf_.size());
+  return (1.0 / std::pow(static_cast<double>(rank), s_)) / norm_;
+}
+
+std::size_t Zipf::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+BoundedPareto::BoundedPareto(double x_m, double alpha, double cap)
+    : x_m_(x_m), alpha_(alpha), cap_(cap) {
+  if (x_m <= 0 || alpha <= 0 || cap < x_m)
+    throw std::invalid_argument("BoundedPareto: invalid parameters");
+}
+
+BoundedPareto BoundedPareto::FromMean(double mean, double alpha, double cap) {
+  if (mean <= 0) throw std::invalid_argument("BoundedPareto: mean must be positive");
+  double x_m;
+  if (alpha > 1.0) {
+    // E[X] = alpha * x_m / (alpha - 1) for the untruncated Pareto.
+    x_m = mean * (alpha - 1.0) / alpha;
+  } else {
+    // Untruncated mean diverges; pick x_m so the *truncated* mean is close
+    // to the target by bisection.
+    double lo = 1e-9, hi = std::min(mean, cap);
+    for (int i = 0; i < 80; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (BoundedPareto(mid, alpha, cap).mean() < mean)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    x_m = 0.5 * (lo + hi);
+  }
+  x_m = std::min(x_m, cap);
+  return BoundedPareto(x_m, alpha, cap);
+}
+
+double BoundedPareto::sample(Rng& rng) const {
+  // Inverse-CDF of the Pareto truncated to [x_m, cap]:
+  // F(x) = (1 - (x_m/x)^a) / (1 - (x_m/cap)^a).
+  const double tail_at_cap = std::pow(x_m_ / cap_, alpha_);
+  const double u = rng.uniform() * (1.0 - tail_at_cap);
+  return x_m_ / std::pow(1.0 - u, 1.0 / alpha_);
+}
+
+double BoundedPareto::mean() const {
+  // E[X | X <= cap] for Pareto(x_m, alpha) truncated at cap.
+  const double t = std::pow(x_m_ / cap_, alpha_);
+  if (std::abs(alpha_ - 1.0) < 1e-12) {
+    return x_m_ * std::log(cap_ / x_m_) / (1.0 - t);
+  }
+  const double num = alpha_ * x_m_ / (alpha_ - 1.0) *
+                     (1.0 - std::pow(x_m_ / cap_, alpha_ - 1.0));
+  return num / (1.0 - t);
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double NormalCdf(double x, double mu, double sigma) {
+  if (sigma <= 0) return x >= mu ? 1.0 : 0.0;
+  return NormalCdf((x - mu) / sigma);
+}
+
+GaussianMixture1D::GaussianMixture1D(std::vector<GaussianMode> modes)
+    : modes_(std::move(modes)) {
+  for (const GaussianMode& m : modes_) {
+    if (m.weight < 0) throw std::invalid_argument("mixture: negative weight");
+    total_weight_ += m.weight;
+  }
+  if (modes_.empty() || total_weight_ <= 0)
+    throw std::invalid_argument("mixture: no usable modes");
+}
+
+GaussianMixture1D GaussianMixture1D::Single(double mean, double stddev) {
+  return GaussianMixture1D({GaussianMode{1.0, mean, stddev}});
+}
+
+double GaussianMixture1D::sample(Rng& rng) const {
+  double u = rng.uniform(0.0, total_weight_);
+  for (const GaussianMode& m : modes_) {
+    if (u < m.weight) return rng.normal(m.mean, m.stddev);
+    u -= m.weight;
+  }
+  const GaussianMode& last = modes_.back();
+  return rng.normal(last.mean, last.stddev);
+}
+
+double GaussianMixture1D::interval_mass(double lo, double hi) const {
+  if (hi <= lo) return 0.0;
+  double mass = 0.0;
+  for (const GaussianMode& m : modes_) {
+    mass += m.weight *
+            (NormalCdf(hi, m.mean, m.stddev) - NormalCdf(lo, m.mean, m.stddev));
+  }
+  return mass / total_weight_;
+}
+
+double UniformInt1D::interval_mass(double lo, double hi) const {
+  // Count integers v in {0..n-1} with lo < v <= hi.
+  const double lo_c = std::max(lo, -1.0);
+  const double hi_c = std::min(hi, static_cast<double>(n_ - 1));
+  if (hi_c <= lo_c) return 0.0;
+  const long first = static_cast<long>(std::floor(lo_c)) + 1;
+  const long last = static_cast<long>(std::floor(hi_c));
+  const long count = std::max(0l, last - first + 1);
+  return static_cast<double>(count) / n_;
+}
+
+Discrete::Discrete(std::vector<double> weights) {
+  if (weights.empty()) throw std::invalid_argument("Discrete: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("Discrete: negative weight");
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("Discrete: zero total weight");
+  pmf_.reserve(weights.size());
+  cdf_.reserve(weights.size());
+  double acc = 0.0;
+  for (double w : weights) {
+    pmf_.push_back(w / total);
+    acc += w / total;
+    cdf_.push_back(acc);
+  }
+  cdf_.back() = 1.0;
+}
+
+std::size_t Discrete::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double Discrete::pmf(std::size_t i) const {
+  assert(i < pmf_.size());
+  return pmf_[i];
+}
+
+}  // namespace pubsub

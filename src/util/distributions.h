@@ -1,0 +1,114 @@
+// Probability distributions used by the workload generators (paper §3, §5.1):
+// Zipf-like ranked popularity, bounded Pareto interval lengths, and
+// one-dimensional Gaussian mixtures with closed-form CDFs (needed to compute
+// exact publication probabilities of grid cells, §4.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pubsub {
+
+// Zipf distribution over ranks 1..n with exponent `s`:
+// P(rank = r) ∝ 1 / r^s.  Sampling is O(log n) by inverting the cumulative
+// table built at construction.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s = 1.0);
+
+  std::size_t n() const { return cdf_.size(); }
+  // Probability of rank r (1-based).
+  double pmf(std::size_t rank) const;
+  // Sample a rank in [1, n].
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+  double s_;
+  double norm_;
+};
+
+// Pareto distribution with scale x_m and shape alpha, truncated to
+// [x_m, cap].  The paper calls for "a Pareto-like distribution with a given
+// mean" for interval lengths; `FromMean` solves for x_m given alpha > 1, or
+// uses the truncated mean when alpha <= 1.
+class BoundedPareto {
+ public:
+  BoundedPareto(double x_m, double alpha, double cap);
+  static BoundedPareto FromMean(double mean, double alpha, double cap);
+
+  double x_m() const { return x_m_; }
+  double alpha() const { return alpha_; }
+  double cap() const { return cap_; }
+
+  double sample(Rng& rng) const;
+  double mean() const;
+
+ private:
+  double x_m_;
+  double alpha_;
+  double cap_;
+};
+
+// Standard normal CDF.
+double NormalCdf(double x);
+// CDF of N(mu, sigma) at x; sigma == 0 degenerates to a step at mu.
+double NormalCdf(double x, double mu, double sigma);
+
+// One mode of a 1-D Gaussian mixture.
+struct GaussianMode {
+  double weight = 1.0;
+  double mean = 0.0;
+  double stddev = 1.0;
+};
+
+// 1-D Gaussian mixture: sampling plus closed-form probability mass of an
+// interval (lo, hi].  Publication distributions in the paper are products of
+// independent per-dimension mixtures, so per-cell publication probabilities
+// multiply these masses across dimensions.
+class GaussianMixture1D {
+ public:
+  GaussianMixture1D() = default;
+  explicit GaussianMixture1D(std::vector<GaussianMode> modes);
+  static GaussianMixture1D Single(double mean, double stddev);
+
+  const std::vector<GaussianMode>& modes() const { return modes_; }
+
+  double sample(Rng& rng) const;
+  // P(lo < X <= hi).
+  double interval_mass(double lo, double hi) const;
+
+ private:
+  std::vector<GaussianMode> modes_;
+  double total_weight_ = 0.0;
+};
+
+// Uniform distribution over the integers {0, 1, ..., n-1} with closed-form
+// interval mass, used for the §3 "uniform" publication model.
+class UniformInt1D {
+ public:
+  explicit UniformInt1D(int n) : n_(n) {}
+  int sample(Rng& rng) const { return static_cast<int>(rng.uniform_int(0, n_ - 1)); }
+  // P(lo < X <= hi) where X is uniform on {0..n-1}.
+  double interval_mass(double lo, double hi) const;
+
+ private:
+  int n_;
+};
+
+// Weighted discrete choice over {0..n-1}; weights need not be normalized.
+class Discrete {
+ public:
+  explicit Discrete(std::vector<double> weights);
+  std::size_t sample(Rng& rng) const;
+  double pmf(std::size_t i) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  std::vector<double> pmf_;
+};
+
+}  // namespace pubsub

@@ -1,0 +1,57 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library (topology generation, workload
+// synthesis, approximate pairwise grouping) draws from an explicitly-passed
+// Rng so that experiments are reproducible bit-for-bit given a seed, and so
+// that sub-streams can be split off for independent components without
+// coupling their sequences.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace pubsub {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  // Derive an independent generator; mixing the salt through splitmix64
+  // keeps child streams decorrelated even for consecutive salts.
+  Rng split(std::uint64_t salt) const {
+    std::uint64_t z = seed_mix_ + salt + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+  }
+
+  static constexpr result_type min() { return std::mt19937_64::min(); }
+  static constexpr result_type max() { return std::mt19937_64::max(); }
+  result_type operator()() { return engine_(); }
+
+  // Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  explicit Rng(std::uint64_t seed, int) : engine_(seed) {}
+
+  std::mt19937_64 engine_;
+  std::uint64_t seed_mix_ = engine_();
+};
+
+}  // namespace pubsub

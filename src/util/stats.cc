@@ -1,0 +1,14 @@
+#include "util/stats.h"
+
+#include <sstream>
+
+namespace pubsub {
+
+std::string RunningStats::summary() const {
+  std::ostringstream os;
+  os << "n=" << n_ << " mean=" << mean() << " sd=" << stddev()
+     << " min=" << min() << " max=" << max();
+  return os.str();
+}
+
+}  // namespace pubsub

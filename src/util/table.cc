@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pubsub {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("TextTable: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+TextTable::RowBuilder::~RowBuilder() noexcept(false) {
+  table_.add_row(std::move(cells_));
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::cell(const std::string& s) {
+  cells_.push_back(s);
+  return *this;
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::cell(long long v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+TextTable::RowBuilder& TextTable::RowBuilder::cell(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  cells_.push_back(os.str());
+  return *this;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << ' ' << std::setw(static_cast<int>(width[c])) << row[c] << " |";
+    os << '\n';
+  };
+
+  print_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << "|";
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace pubsub

@@ -1,0 +1,51 @@
+// Fixed-width ASCII table printer.  The bench binaries print the same rows
+// the paper's tables/figures report; this keeps their output aligned and
+// grep-friendly without pulling in a formatting library.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pubsub {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Cells are stringified by the add_* helpers; a row must match the header
+  // width when printed (enforced at print time).
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience for building rows cell-by-cell.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(TextTable& t) : table_(t) {}
+    // Commits the row; add_row throws on width mismatch, so this destructor
+    // is deliberately allowed to propagate.
+    ~RowBuilder() noexcept(false);
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+    RowBuilder& cell(const std::string& s);
+    RowBuilder& cell(long long v);
+    RowBuilder& cell(std::size_t v) { return cell(static_cast<long long>(v)); }
+    RowBuilder& cell(int v) { return cell(static_cast<long long>(v)); }
+    // Fixed-point with `digits` decimals.
+    RowBuilder& cell(double v, int digits = 1);
+
+   private:
+    TextTable& table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder row() { return RowBuilder(*this); }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pubsub

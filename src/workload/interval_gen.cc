@@ -1,0 +1,43 @@
+#include "workload/interval_gen.h"
+
+#include <algorithm>
+
+namespace pubsub {
+
+Interval CenteredInterval(double center, double length, const Interval& domain) {
+  const Interval raw(center - length / 2.0, center + length / 2.0);
+  const Interval clipped = raw.intersection(domain);
+  if (!clipped.empty()) return clipped;
+  // Center fell outside the domain: snap to the nearest domain edge.
+  if (center <= domain.lo()) return Interval(domain.lo(), domain.lo() + 1.0).intersection(domain);
+  return Interval(domain.hi() - 1.0, domain.hi()).intersection(domain);
+}
+
+Interval SampleParametricInterval(const ParametricIntervalSpec& spec,
+                                  const Interval& domain, Rng& rng) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const double u = rng.uniform();
+    Interval raw;
+    if (u < spec.q0) {
+      return domain;
+    } else if (u < spec.q0 + spec.q1) {
+      raw = Interval::GreaterThan(rng.normal(spec.mu1, spec.sigma1));
+    } else if (u < spec.q0 + spec.q1 + spec.q2) {
+      raw = Interval::AtMost(rng.normal(spec.mu2, spec.sigma2));
+    } else {
+      const double center = rng.normal(spec.mu3, spec.sigma3);
+      const double cap = domain.length() > 0 ? domain.length() : 1.0;
+      const BoundedPareto length_dist =
+          spec.pareto_is_scale
+              ? BoundedPareto(std::min(spec.pareto_c, cap), spec.pareto_alpha, cap)
+              : BoundedPareto::FromMean(spec.pareto_c, spec.pareto_alpha, cap);
+      const double len = length_dist.sample(rng);
+      raw = Interval(center - len / 2.0, center + len / 2.0);
+    }
+    const Interval clipped = raw.intersection(domain);
+    if (!clipped.empty()) return clipped;
+  }
+  return domain;
+}
+
+}  // namespace pubsub

@@ -1,0 +1,48 @@
+// Random subscription-interval generation: the parametric family of §5.1
+// (also used, with different parameters, by the Gaussian variant of the §3
+// model):
+//
+//   (−∞, +∞)  with probability q0                       — "don't care" (*)
+//   (n, +∞)   with probability q1, n ~ N(mu1, sigma1)   — left-ended
+//   (−∞, n]   with probability q2, n ~ N(mu2, sigma2)   — right-ended
+//   (c−L/2, c+L/2] otherwise, c ~ N(mu3, sigma3),
+//                  L ~ Pareto-like with given mean       — two-ended
+//
+// Generated intervals are intersected with the attribute's domain interval;
+// a draw that misses the domain entirely is retried a bounded number of
+// times and finally falls back to the full domain.
+#pragma once
+
+#include "geometry/interval.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace pubsub {
+
+struct ParametricIntervalSpec {
+  double q0 = 0.0;  // wildcard
+  double q1 = 0.0;  // left-ended (n, +inf)
+  double q2 = 0.0;  // right-ended (-inf, n]
+  double mu1 = 0.0, sigma1 = 1.0;
+  double mu2 = 0.0, sigma2 = 1.0;
+  double mu3 = 0.0, sigma3 = 1.0;
+  // Length distribution: Pareto(c, alpha) truncated to the domain size.
+  // With pareto_is_scale (default) `pareto_c` is the classic Pareto scale
+  // parameter x_m — the paper's "(c, α)" column; otherwise it is the target
+  // mean of the truncated distribution ("Pareto-like with a given mean").
+  double pareto_c = 1.0;
+  double pareto_alpha = 1.0;
+  bool pareto_is_scale = true;
+};
+
+// `domain` is the attribute's full interval ((−1, n−1] for an n-value
+// attribute); the result is never empty.
+Interval SampleParametricInterval(const ParametricIntervalSpec& spec,
+                                  const Interval& domain, Rng& rng);
+
+// Two-ended interval with a given center distribution and explicit length,
+// clipped to the domain (used for the §5.1 name attribute, whose length is
+// Zipf- rather than Pareto-distributed).
+Interval CenteredInterval(double center, double length, const Interval& domain);
+
+}  // namespace pubsub

@@ -1,0 +1,69 @@
+#include "workload/marginal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pubsub {
+
+Marginal1D::Marginal1D(std::vector<double> pmf) : pmf_(std::move(pmf)) {
+  if (pmf_.empty()) throw std::invalid_argument("Marginal1D: empty pmf");
+  double total = 0.0;
+  for (double p : pmf_) {
+    if (p < 0) throw std::invalid_argument("Marginal1D: negative mass");
+    total += p;
+  }
+  if (total <= 0) throw std::invalid_argument("Marginal1D: zero total mass");
+  cdf_.reserve(pmf_.size());
+  double acc = 0.0;
+  for (double& p : pmf_) {
+    p /= total;
+    acc += p;
+    cdf_.push_back(acc);
+  }
+  cdf_.back() = 1.0;
+}
+
+Marginal1D Marginal1D::UniformInt(int n) {
+  if (n <= 0) throw std::invalid_argument("Marginal1D::UniformInt: bad domain");
+  return Marginal1D(std::vector<double>(static_cast<std::size_t>(n), 1.0));
+}
+
+Marginal1D Marginal1D::Gaussian(GaussianMixture1D mixture, int n) {
+  if (n <= 0) throw std::invalid_argument("Marginal1D::Gaussian: bad domain");
+  std::vector<double> pmf(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    // Rounding maps (v−½, v+½] to v; clamping folds the infinite tails into
+    // the boundary values.
+    const double lo = v == 0 ? -Interval::kInf : v - 0.5;
+    const double hi = v == n - 1 ? Interval::kInf : v + 0.5;
+    pmf[static_cast<std::size_t>(v)] = mixture.interval_mass(lo, hi);
+  }
+  return Marginal1D(std::move(pmf));
+}
+
+Marginal1D Marginal1D::Categorical(std::vector<double> weights) {
+  return Marginal1D(std::move(weights));
+}
+
+int Marginal1D::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(it - cdf_.begin());
+}
+
+double Marginal1D::interval_mass(const Interval& iv) const {
+  if (iv.empty()) return 0.0;
+  const int n = domain_size();
+  // Integer values in (lo, hi]: floor(lo)+1 .. floor(hi), clamped to domain.
+  long first = iv.lo() == -Interval::kInf ? 0 : static_cast<long>(std::floor(iv.lo())) + 1;
+  long last = iv.hi() == Interval::kInf ? n - 1 : static_cast<long>(std::floor(iv.hi()));
+  first = std::max(first, 0l);
+  last = std::min(last, static_cast<long>(n - 1));
+  if (last < first) return 0.0;
+  const double hi_cdf = cdf_[static_cast<std::size_t>(last)];
+  const double lo_cdf = first == 0 ? 0.0 : cdf_[static_cast<std::size_t>(first - 1)];
+  return hi_cdf - lo_cdf;
+}
+
+}  // namespace pubsub

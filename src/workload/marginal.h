@@ -1,0 +1,45 @@
+// One-dimensional marginal distribution over a finite integer attribute
+// domain {0..n-1}, with both sampling and closed-form interval masses.
+//
+// Publications in the paper are products of independent per-dimension
+// distributions (uniform ints in §3, Gaussian mixtures in §5.1), so the
+// publication probability p_p(cell) that drives the expected-waste distance
+// (§4.1) is the product across dimensions of these interval masses.
+// Continuous samples are rounded to the nearest integer value and clamped
+// to the domain; the interval-mass computation accounts for that rounding
+// (value v receives the continuous mass of (v−½, v+½], with the boundary
+// values absorbing the clamped tails), so mass and sampling agree.
+#pragma once
+
+#include <vector>
+
+#include "geometry/interval.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace pubsub {
+
+class Marginal1D {
+ public:
+  static Marginal1D UniformInt(int domain_size);
+  static Marginal1D Gaussian(GaussianMixture1D mixture, int domain_size);
+  // Explicit pmf over {0..n-1}; weights normalized internally.
+  static Marginal1D Categorical(std::vector<double> weights);
+
+  int domain_size() const { return static_cast<int>(pmf_.size()); }
+
+  // Sample an integer value in {0..n-1}.
+  int sample(Rng& rng) const;
+  double pmf(int v) const { return pmf_[static_cast<std::size_t>(v)]; }
+  // P(lo < V <= hi) for the integer-valued V, under the (lo, hi] embedding
+  // used throughout (value v lives at coordinate v).
+  double interval_mass(const Interval& iv) const;
+
+ private:
+  explicit Marginal1D(std::vector<double> pmf);
+
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;  // cdf_[v] = P(V <= v)
+};
+
+}  // namespace pubsub

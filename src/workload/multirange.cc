@@ -1,0 +1,77 @@
+#include "workload/multirange.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pubsub {
+
+std::vector<Interval> NormalizeUnion(std::vector<Interval> intervals) {
+  std::vector<Interval> nonempty;
+  nonempty.reserve(intervals.size());
+  for (const Interval& iv : intervals)
+    if (!iv.empty()) nonempty.push_back(iv);
+  if (nonempty.empty()) return {};
+
+  std::sort(nonempty.begin(), nonempty.end(),
+            [](const Interval& a, const Interval& b) { return a.lo() < b.lo(); });
+
+  std::vector<Interval> merged;
+  merged.push_back(nonempty.front());
+  for (std::size_t i = 1; i < nonempty.size(); ++i) {
+    Interval& last = merged.back();
+    const Interval& cur = nonempty[i];
+    // Half-open intervals merge when they overlap or touch: (a,b] ∪ (b,c].
+    if (cur.lo() <= last.hi()) {
+      last = Interval(last.lo(), std::max(last.hi(), cur.hi()));
+    } else {
+      merged.push_back(cur);
+    }
+  }
+  return merged;
+}
+
+std::vector<Rect> DecomposeToRects(const MultiRangeSubscription& sub) {
+  if (sub.ranges.empty())
+    throw std::invalid_argument("DecomposeToRects: zero-dimensional subscription");
+
+  std::vector<std::vector<Interval>> normalized;
+  normalized.reserve(sub.ranges.size());
+  for (const auto& dim_union : sub.ranges) {
+    std::vector<Interval> n = NormalizeUnion(dim_union);
+    if (n.empty()) return {};  // unmatchable predicate
+    normalized.push_back(std::move(n));
+  }
+
+  // Cartesian product via an odometer over the per-dimension choices.
+  std::vector<std::size_t> choice(normalized.size(), 0);
+  std::vector<Rect> rects;
+  while (true) {
+    std::vector<Interval> ivals;
+    ivals.reserve(normalized.size());
+    for (std::size_t d = 0; d < normalized.size(); ++d)
+      ivals.push_back(normalized[d][choice[d]]);
+    rects.emplace_back(std::move(ivals));
+
+    std::size_t d = normalized.size();
+    while (d-- > 0) {
+      if (++choice[d] < normalized[d].size()) break;
+      choice[d] = 0;
+      if (d == 0) return rects;
+    }
+  }
+}
+
+std::size_t AppendDecomposed(Workload& wl, const MultiRangeSubscription& sub) {
+  if (sub.ranges.size() != wl.space.dims())
+    throw std::invalid_argument("AppendDecomposed: dimensionality mismatch");
+  const std::vector<Rect> rects = DecomposeToRects(sub);
+  for (const Rect& r : rects) {
+    Subscriber s;
+    s.node = sub.node;
+    s.interest = r;
+    wl.subscribers.push_back(std::move(s));
+  }
+  return rects.size();
+}
+
+}  // namespace pubsub

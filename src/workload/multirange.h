@@ -1,0 +1,43 @@
+// Multi-range subscriptions and their decomposition (paper §1).
+//
+// A content-based predicate may specify a *union* of ranges per attribute
+// — the paper's "blue chip" example is a category that decomposes into
+// several name-index ranges.  §1: "By decomposing a subscription with
+// multiple such ranges into multiple subscriptions consisting of single
+// ranges we can see that it is sufficient only to consider intervals,
+// albeit at a cost of more subscriptions."  This module performs that
+// decomposition: per-dimension unions are normalized (sorted, merged,
+// empties dropped) and the Cartesian product of the normalized pieces
+// yields the equivalent set of aligned rectangles — all registered under
+// the same subscriber node.
+#pragma once
+
+#include <vector>
+
+#include "geometry/rect.h"
+#include "workload/types.h"
+
+namespace pubsub {
+
+struct MultiRangeSubscription {
+  NodeId node = -1;
+  // ranges[d] is the union of acceptable intervals in dimension d; an
+  // empty union means the predicate cannot match (decomposes to nothing).
+  std::vector<std::vector<Interval>> ranges;
+};
+
+// Sort by left end, merge overlapping *and touching* intervals (half-open
+// (a,b] ∪ (b,c] = (a,c]), drop empty ones.
+std::vector<Interval> NormalizeUnion(std::vector<Interval> intervals);
+
+// Minimal Cartesian-product decomposition for the given per-dimension
+// unions.  A point satisfies the original predicate iff it lies in at
+// least one returned rectangle; the rectangles are pairwise disjoint.
+std::vector<Rect> DecomposeToRects(const MultiRangeSubscription& sub);
+
+// Decompose and append as single-rectangle subscribers of wl (the §1 cost:
+// one logical subscription becomes several entries of the same node).
+// Returns how many subscribers were added.
+std::size_t AppendDecomposed(Workload& wl, const MultiRangeSubscription& sub);
+
+}  // namespace pubsub

@@ -1,0 +1,60 @@
+#include "workload/placement.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pubsub {
+namespace {
+
+// Zipf weights 1/r^s assigned to `n` items in a randomly shuffled order.
+std::vector<double> ShuffledZipfWeights(std::size_t n, double s, Rng& rng) {
+  std::vector<double> weights(n);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  const Zipf zipf(n, s);
+  for (std::size_t rank = 1; rank <= n; ++rank)
+    weights[order[rank - 1]] = zipf.pmf(rank);
+  return weights;
+}
+
+}  // namespace
+
+ZipfPlacement::ZipfPlacement(const TransitStubNetwork& net,
+                             std::vector<double> block_weights,
+                             double zipf_exponent, Rng& rng)
+    : net_(net), block_choice_(std::move(block_weights)) {
+  // Group stubs by block.
+  int num_blocks = 0;
+  for (const int b : net.block_of_stub) num_blocks = std::max(num_blocks, b + 1);
+  if (static_cast<int>(block_choice_.size()) != num_blocks)
+    throw std::invalid_argument("ZipfPlacement: block weight count mismatch");
+
+  block_stubs_.resize(static_cast<std::size_t>(num_blocks));
+  for (int s = 0; s < net.num_stubs; ++s)
+    block_stubs_[static_cast<std::size_t>(net.block_of_stub[static_cast<std::size_t>(s)])].push_back(s);
+
+  stub_choice_.reserve(static_cast<std::size_t>(num_blocks));
+  for (int b = 0; b < num_blocks; ++b) {
+    const std::size_t n = block_stubs_[static_cast<std::size_t>(b)].size();
+    if (n == 0) throw std::invalid_argument("ZipfPlacement: block without stubs");
+    stub_choice_.emplace_back(ShuffledZipfWeights(n, zipf_exponent, rng));
+  }
+
+  node_choice_.reserve(static_cast<std::size_t>(net.num_stubs));
+  for (int s = 0; s < net.num_stubs; ++s) {
+    const std::size_t n = net.stub_members[static_cast<std::size_t>(s)].size();
+    if (n == 0) throw std::invalid_argument("ZipfPlacement: empty stub");
+    node_choice_.emplace_back(ShuffledZipfWeights(n, zipf_exponent, rng));
+  }
+}
+
+NodeId ZipfPlacement::sample(Rng& rng) const {
+  const std::size_t block = block_choice_.sample(rng);
+  const std::size_t stub_ix = stub_choice_[block].sample(rng);
+  const int stub = block_stubs_[block][stub_ix];
+  const std::size_t node_ix = node_choice_[static_cast<std::size_t>(stub)].sample(rng);
+  return net_.stub_members[static_cast<std::size_t>(stub)][node_ix];
+}
+
+}  // namespace pubsub

@@ -1,0 +1,53 @@
+// Subscriber→node placement policies.
+//
+// §5.1: subscriptions are split across the three transit blocks with a
+// fixed {40%, 30%, 30%} breakdown; within each block a Zipf-like
+// distribution chooses among the block's stubs, and a second (common)
+// Zipf-like distribution chooses the node within the stub.  This produces
+// the "uneven concentration of subscriptions in the network" the paper's
+// assumptions call for.
+#pragma once
+
+#include <vector>
+
+#include "net/transit_stub.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace pubsub {
+
+class ZipfPlacement {
+ public:
+  // `block_weights` must have one entry per transit block of `net` (it is
+  // normalized internally).  Stub and node ranks are assigned in a random
+  // order drawn from `rng` at construction, so different seeds concentrate
+  // subscribers in different parts of the network.
+  ZipfPlacement(const TransitStubNetwork& net, std::vector<double> block_weights,
+                double zipf_exponent, Rng& rng);
+
+  // Sample a host node.
+  NodeId sample(Rng& rng) const;
+
+ private:
+  const TransitStubNetwork& net_;
+  Discrete block_choice_;
+  // Per block: which stubs belong to it and the Zipf weights over them.
+  std::vector<std::vector<int>> block_stubs_;
+  std::vector<Discrete> stub_choice_;   // indexed by block
+  std::vector<Discrete> node_choice_;   // indexed by stub id
+};
+
+// Uniform placement over all host nodes (used by the §3 model).
+class UniformPlacement {
+ public:
+  explicit UniformPlacement(const TransitStubNetwork& net) : hosts_(net.host_nodes()) {}
+  NodeId sample(Rng& rng) const {
+    return hosts_[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hosts_.size()) - 1))];
+  }
+
+ private:
+  std::vector<NodeId> hosts_;
+};
+
+}  // namespace pubsub

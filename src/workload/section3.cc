@@ -1,0 +1,86 @@
+#include "workload/section3.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pubsub {
+
+EventSpace Section3Space(const TransitStubNetwork& net, const Section3Params& params) {
+  return EventSpace({DimensionSpec{"stub", net.num_stubs},
+                     DimensionSpec{"attr2", params.attr_domain},
+                     DimensionSpec{"attr3", params.attr_domain},
+                     DimensionSpec{"attr4", params.attr_domain}});
+}
+
+Workload GenerateSection3Subscriptions(const TransitStubNetwork& net, int count,
+                                       const Section3Params& params, Rng& rng) {
+  if (count < 0) throw std::invalid_argument("GenerateSection3Subscriptions: bad count");
+  const std::vector<NodeId> hosts = net.host_nodes();
+  if (hosts.empty()) throw std::invalid_argument("GenerateSection3Subscriptions: no hosts");
+
+  Workload wl;
+  wl.space = Section3Space(net, params);
+  const Interval attr_domain(-1.0, static_cast<double>(params.attr_domain - 1));
+
+  wl.subscribers.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Subscriber sub;
+    sub.node = hosts[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1))];
+
+    std::vector<Interval> ivals;
+    ivals.reserve(4);
+
+    // Regional attribute: pinned to the subscriber's own stub with
+    // probability `regionalism`, otherwise "don't care".
+    const int own_stub = net.stub_of_node[static_cast<std::size_t>(sub.node)];
+    if (rng.bernoulli(params.regionalism)) {
+      ivals.push_back(Interval::Point(own_stub));
+    } else {
+      ivals.push_back(wl.space.domain_interval(0));
+    }
+
+    if (params.subscription_tail == Section3Params::Tail::kUniform) {
+      double p_specify = params.p_specify_first;
+      for (int j = 0; j < 3; ++j) {
+        if (rng.bernoulli(p_specify)) {
+          int a = static_cast<int>(rng.uniform_int(0, params.attr_domain - 1));
+          int b = static_cast<int>(rng.uniform_int(0, params.attr_domain - 1));
+          if (a > b) std::swap(a, b);
+          ivals.push_back(Interval(a - 1.0, static_cast<double>(b)));
+        } else {
+          ivals.push_back(attr_domain);
+        }
+        p_specify *= params.specify_decay;
+      }
+    } else {
+      for (int j = 0; j < 3; ++j) {
+        ivals.push_back(SampleParametricInterval(
+            params.gaussian_rows[static_cast<std::size_t>(j)], attr_domain, rng));
+      }
+    }
+    sub.interest = Rect(std::move(ivals));
+    wl.subscribers.push_back(std::move(sub));
+  }
+  return wl;
+}
+
+std::unique_ptr<PublicationModel> MakeSection3PublicationModel(
+    const TransitStubNetwork& net, const Section3Params& params) {
+  std::vector<Marginal1D> tails;
+  tails.reserve(3);
+  for (int j = 0; j < 3; ++j) {
+    if (params.publication_tail == Section3Params::Tail::kUniform) {
+      tails.push_back(Marginal1D::UniformInt(params.attr_domain));
+    } else {
+      tails.push_back(Marginal1D::Gaussian(
+          GaussianMixture1D::Single(params.pub_mu, params.pub_sigma),
+          params.attr_domain));
+    }
+  }
+  return ProductPublicationModel::Regional(Section3Space(net, params),
+                                           std::move(tails), net.host_nodes(),
+                                           net.stub_of_node, net.num_stubs);
+}
+
+}  // namespace pubsub

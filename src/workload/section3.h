@@ -1,0 +1,72 @@
+// The §3 ("Preliminary Analyses") workload model.
+//
+// Events have 4 dimensions.  Dimension 0 is the *regional attribute*: every
+// publication carries the stub (subnet) id of its originating node.  The
+// *degree of regionalism* is the probability that a subscription pins this
+// attribute to the subscriber's own stub ("Zero degree of regionalism
+// corresponds to no regionalism, and degree 1 to absolute regionalism").
+// Tables 1 and 2 use degrees 0.4 and 0 respectively.
+//
+// The other 3 attributes take integer values 0..20.  Subscriptions come in
+// two flavors:
+//   * uniform — attribute j ∈ {2,3,4} is specified (vs. "*") with
+//     probability 0.98·0.78^(j−2); a specified preference is the interval
+//     between two sorted uniform draws on 0..20;
+//   * gaussian — per-attribute parametric intervals with the q/μ/σ table of
+//     §3 (wildcards, one-ended and two-ended intervals, Pareto-like
+//     lengths).
+//
+// Publications draw the 3 non-regional attributes either uniformly on
+// 0..20 or from a Gaussian centred inside the domain (the paper's modelling
+// assumption is that publication density peaks where subscription density
+// peaks).
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "net/transit_stub.h"
+#include "workload/interval_gen.h"
+#include "workload/publication_model.h"
+#include "workload/types.h"
+
+namespace pubsub {
+
+struct Section3Params {
+  enum class Tail { kUniform, kGaussian };
+
+  double regionalism = 0.4;
+  Tail subscription_tail = Tail::kUniform;
+  Tail publication_tail = Tail::kUniform;
+  int attr_domain = 21;  // values 0..20
+
+  // Uniform model: P(attribute j specified) = p_specify_first * decay^(j-2).
+  double p_specify_first = 0.98;
+  double specify_decay = 0.78;
+
+  // Gaussian publication marginal for the 3 non-regional attributes.
+  double pub_mu = 9.0;
+  double pub_sigma = 3.0;
+
+  // Gaussian subscription model: §3 parameter table rows for attributes
+  // 2, 3 and 4 (q1 = wildcard prob in the paper's notation = our q0).
+  std::array<ParametricIntervalSpec, 3> gaussian_rows = {{
+      {/*q0=*/0.10, /*q1=*/0.0, /*q2=*/0.0, 8, 2, 10, 2, 9, 6, /*mean=*/1, /*alpha=*/1},
+      {/*q0=*/0.15, /*q1=*/0.1, /*q2=*/0.1, 8, 1, 10, 1, 9, 2, /*mean=*/4, /*alpha=*/1},
+      {/*q0=*/0.35, /*q1=*/0.1, /*q2=*/0.1, 8, 1, 10, 1, 9, 2, /*mean=*/4, /*alpha=*/1},
+  }};
+};
+
+// Event space {stub} × {0..20}³ for a given network.
+EventSpace Section3Space(const TransitStubNetwork& net, const Section3Params& params);
+
+// `count` subscribers placed uniformly at random on the network's host
+// nodes, each with one interest rectangle.
+Workload GenerateSection3Subscriptions(const TransitStubNetwork& net, int count,
+                                       const Section3Params& params, Rng& rng);
+
+// Regional publication model: dim 0 = origin stub, tails per params.
+std::unique_ptr<PublicationModel> MakeSection3PublicationModel(
+    const TransitStubNetwork& net, const Section3Params& params);
+
+}  // namespace pubsub

@@ -1,0 +1,97 @@
+#include "workload/stock_model.h"
+
+#include <stdexcept>
+
+namespace pubsub {
+
+EventSpace StockSpace(const StockModelParams& params) {
+  return EventSpace({DimensionSpec{"bst", 3},
+                     DimensionSpec{"name", params.attr_domain},
+                     DimensionSpec{"quote", params.attr_domain},
+                     DimensionSpec{"volume", params.attr_domain}});
+}
+
+Workload GenerateStockSubscriptions(const TransitStubNetwork& net, int count,
+                                    const StockModelParams& params, Rng& rng) {
+  if (count < 0) throw std::invalid_argument("GenerateStockSubscriptions: bad count");
+
+  ZipfPlacement placement(
+      net, std::vector<double>(params.block_weights.begin(), params.block_weights.end()),
+      params.zipf_exponent, rng);
+
+  Workload wl;
+  wl.space = StockSpace(params);
+  const Interval attr_domain(-1.0, static_cast<double>(params.attr_domain - 1));
+  const Zipf name_length(static_cast<std::size_t>(params.attr_domain),
+                         params.name_length_zipf_exponent);
+  const Discrete bst_choice(
+      std::vector<double>(params.bst_probs.begin(), params.bst_probs.end()));
+
+  wl.subscribers.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Subscriber sub;
+    sub.node = placement.sample(rng);
+    const int block = net.block_of_node[static_cast<std::size_t>(sub.node)];
+
+    std::vector<Interval> ivals;
+    ivals.reserve(4);
+
+    // bst: pin a single value.
+    ivals.push_back(Interval::Point(static_cast<int>(bst_choice.sample(rng))));
+
+    // name: center from the subscriber's block-specific mean, Zipf length.
+    const double center = rng.normal(
+        params.name_means[static_cast<std::size_t>(block % 3)], params.name_sigma);
+    const double length = static_cast<double>(name_length.sample(rng));
+    ivals.push_back(CenteredInterval(center, length, attr_domain));
+
+    // quote & volume: the parametric family.
+    ivals.push_back(SampleParametricInterval(params.price, attr_domain, rng));
+    ivals.push_back(SampleParametricInterval(params.volume, attr_domain, rng));
+
+    sub.interest = Rect(std::move(ivals));
+    wl.subscribers.push_back(std::move(sub));
+  }
+  return wl;
+}
+
+std::unique_ptr<PublicationModel> MakeStockPublicationModel(
+    const TransitStubNetwork& net, PublicationHotSpots scenario,
+    const StockModelParams& params) {
+  const int n = params.attr_domain;
+
+  // §5.1: single-mode means/σ per dimension: (1,1), (10,6), (9,2), (9,6).
+  GaussianMixture1D bst = GaussianMixture1D::Single(1, 1);
+  GaussianMixture1D name = GaussianMixture1D::Single(10, 6);
+  GaussianMixture1D quote = GaussianMixture1D::Single(9, 2);
+  GaussianMixture1D volume = GaussianMixture1D::Single(9, 6);
+
+  switch (scenario) {
+    case PublicationHotSpots::kOne:
+      break;
+    case PublicationHotSpots::kFour:
+      // Dimensions 1 and 4 keep (1,1) and (9,6); the second and third
+      // dimensions each become two-mode mixtures (2 × 2 = 4 hot spots).
+      name = GaussianMixture1D({{0.5, 12, 3}, {0.5, 6, 2}});
+      quote = GaussianMixture1D({{0.5, 4, 2}, {0.5, 16, 2}});
+      break;
+    case PublicationHotSpots::kNine:
+      // Three-mode mixtures in the two middle dimensions (3 × 3 = 9).
+      name = GaussianMixture1D({{0.3, 4, 3}, {0.4, 11, 3}, {0.3, 18, 3}});
+      quote = GaussianMixture1D({{0.3, 4, 3}, {0.4, 9, 3}, {0.3, 16, 3}});
+      break;
+  }
+
+  std::vector<Marginal1D> marginals;
+  marginals.reserve(4);
+  marginals.push_back(Marginal1D::Gaussian(std::move(bst), 3));
+  marginals.push_back(Marginal1D::Gaussian(std::move(name), n));
+  marginals.push_back(Marginal1D::Gaussian(std::move(quote), n));
+  marginals.push_back(Marginal1D::Gaussian(std::move(volume), n));
+
+  return std::make_unique<ProductPublicationModel>(StockSpace(params),
+                                                   std::move(marginals),
+                                                   net.host_nodes());
+}
+
+}  // namespace pubsub

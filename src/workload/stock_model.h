@@ -1,0 +1,68 @@
+// The §5.1 stock-market workload: subscriptions of the form
+// {bst, name, quote, volume} on the three-transit-block 600-node network.
+//
+//   * bst ("buy/sell/transaction") takes B, S, T with probabilities
+//     0.4/0.4/0.2; a subscription pins a single value.
+//   * name: the interval center is normal with a mean specific to the
+//     subscriber's transit block (3, 10 or 17) and σ = 4 — this is the
+//     "regionalism of interest" assumption; the length is Zipf-distributed.
+//   * quote and volume: the §5.1 parametric family (wildcard / one-ended /
+//     two-ended with Pareto-like length), with the paper's price and
+//     volume parameter rows.
+//
+// Publications are mixtures of 1, 4 or 9 multivariate normals (independent
+// per-dimension mixtures), §5.1's three "hot spot" scenarios.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "net/transit_stub.h"
+#include "workload/interval_gen.h"
+#include "workload/placement.h"
+#include "workload/publication_model.h"
+#include "workload/types.h"
+
+namespace pubsub {
+
+struct StockModelParams {
+  int attr_domain = 21;  // name/quote/volume take values 0..20
+  std::array<double, 3> bst_probs = {0.4, 0.4, 0.2};
+
+  // Placement: subscription breakdown per transit block, Zipf exponent for
+  // the stub- and node-level distributions.
+  std::array<double, 3> block_weights = {0.4, 0.3, 0.3};
+  double zipf_exponent = 1.0;
+
+  // Name attribute: per-block interval-center means, common sigma, and the
+  // Zipf length distribution over 1..attr_domain.
+  std::array<double, 3> name_means = {3.0, 10.0, 17.0};
+  double name_sigma = 4.0;
+  double name_length_zipf_exponent = 1.0;
+
+  // Price and volume parameter rows (q0, q1, q2, μ1 σ1, μ2 σ2, μ3 σ3, c α).
+  // Interval lengths are "Pareto-like with a given mean" (c = mean 4),
+  // which keeps per-event interest sparse enough that unicast lands just
+  // below broadcast, as in the paper's §5.2 absolute numbers.
+  ParametricIntervalSpec price{0.15, 0.1, 0.1, 9, 1, 9, 1, 9, 2, 4, 1,
+                               /*pareto_is_scale=*/false};
+  ParametricIntervalSpec volume{0.35, 0.1, 0.1, 9, 1, 9, 1, 9, 2, 4, 1,
+                                /*pareto_is_scale=*/false};
+};
+
+// {bst, name, quote, volume} event space.
+EventSpace StockSpace(const StockModelParams& params);
+
+// `count` subscribers, Zipf-placed on the network per the block breakdown.
+// The network must have exactly 3 transit blocks (PaperNetSection5()).
+Workload GenerateStockSubscriptions(const TransitStubNetwork& net, int count,
+                                    const StockModelParams& params, Rng& rng);
+
+// §5.1 publication scenarios: 1, 4 or 9 hot spots.
+enum class PublicationHotSpots { kOne = 1, kFour = 4, kNine = 9 };
+
+std::unique_ptr<PublicationModel> MakeStockPublicationModel(
+    const TransitStubNetwork& net, PublicationHotSpots scenario,
+    const StockModelParams& params);
+
+}  // namespace pubsub

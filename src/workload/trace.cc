@@ -1,0 +1,75 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pubsub {
+
+std::vector<TraceEvent> GenerateStockTrace(const TransitStubNetwork& net,
+                                           const StockModelParams& space_params,
+                                           const TraceParams& params,
+                                           std::size_t count, Rng& rng) {
+  if (params.num_stocks <= 0 || params.num_stocks > space_params.attr_domain)
+    throw std::invalid_argument("GenerateStockTrace: bad stock universe size");
+  if (params.events_per_second <= 0)
+    throw std::invalid_argument("GenerateStockTrace: bad event rate");
+
+  std::vector<NodeId> hosts = net.host_nodes();
+  if (hosts.empty()) throw std::invalid_argument("GenerateStockTrace: no hosts");
+  if (params.num_publishers < 0)
+    throw std::invalid_argument("GenerateStockTrace: negative publisher count");
+  if (params.num_publishers > 0 &&
+      params.num_publishers < static_cast<int>(hosts.size())) {
+    // Publisher subset: a random sample of hosts acts as the exchanges.
+    std::shuffle(hosts.begin(), hosts.end(), rng.engine());
+    hosts.resize(static_cast<std::size_t>(params.num_publishers));
+  }
+
+  const EventSpace space = StockSpace(space_params);
+  const int quote_domain = space.dim(2).domain_size;
+  const int volume_domain = space.dim(3).domain_size;
+
+  const Zipf stock_freq(static_cast<std::size_t>(params.num_stocks),
+                        params.zipf_exponent);
+  const Discrete bst_choice(std::vector<double>(params.bst_probs.begin(),
+                                                params.bst_probs.end()));
+  const BoundedPareto volume_dist(params.volume_scale, params.volume_alpha,
+                                  static_cast<double>(volume_domain - 1));
+
+  // Per-stock price state: start each walk at a level tied to the stock's
+  // name value, spread across the quote domain.
+  std::vector<double> price(static_cast<std::size_t>(params.num_stocks));
+  for (int s = 0; s < params.num_stocks; ++s)
+    price[static_cast<std::size_t>(s)] =
+        static_cast<double>(quote_domain - 1) *
+        (0.25 + 0.5 * static_cast<double>(s) / static_cast<double>(params.num_stocks));
+
+  std::vector<TraceEvent> trace;
+  trace.reserve(count);
+  double now = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Poisson arrivals: exponential inter-arrival times.
+    now += -std::log(1.0 - rng.uniform()) / params.events_per_second;
+
+    const int stock = static_cast<int>(stock_freq.sample(rng)) - 1;
+    double& p = price[static_cast<std::size_t>(stock)];
+    p += rng.normal(0.0, params.price_sigma);
+    p = std::min(std::max(p, 0.0), static_cast<double>(quote_domain - 1));
+
+    TraceEvent ev;
+    ev.timestamp = now;
+    ev.pub.origin = hosts[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1))];
+    ev.pub.point = {
+        EventSpace::value_coord(static_cast<int>(bst_choice.sample(rng))),
+        EventSpace::value_coord(stock),  // name value = stock id
+        space.clamp_to_domain(2, p),
+        space.clamp_to_domain(3, volume_dist.sample(rng)),
+    };
+    trace.push_back(std::move(ev));
+  }
+  return trace;
+}
+
+}  // namespace pubsub

@@ -1,0 +1,60 @@
+// Synthetic stock-trading-day trace (paper §6, discussion item 3).
+//
+// "Evaluation of the algorithms with real-world data would be helpful.
+//  For example, stock trading data can be used to simulate a stream of
+//  events coming into the system."  Real tick data cannot ship with the
+// repository, so this generator synthesizes the closest equivalent with
+// the statistical features trading feeds are known for, mapped onto the
+// §5.1 event space {bst, name, quote, volume}:
+//
+//   * a fixed universe of stocks whose trade frequencies are Zipf-ranked
+//     (a few names dominate the tape);
+//   * per-stock price processes following a discrete geometric random walk
+//     around the stock's base level (prices move smoothly, not i.i.d.);
+//   * heavy-tailed (bounded-Pareto) trade volumes;
+//   * buy/sell/transaction flags with fixed probabilities;
+//   * event timestamps from a Poisson process, so bursts occur naturally.
+//
+// Events are emitted in timestamp order; origins are drawn from the host
+// nodes like the parametric §5.1 model.  Unlike ProductPublicationModel
+// the trace is temporally correlated, which is exactly what it exists to
+// exercise (see examples/trace_replay.cpp).
+#pragma once
+
+#include <vector>
+
+#include "net/transit_stub.h"
+#include "util/distributions.h"
+#include "workload/stock_model.h"
+#include "workload/types.h"
+
+namespace pubsub {
+
+struct TraceParams {
+  int num_stocks = 21;        // one per name value
+  double zipf_exponent = 1.2; // trade-frequency skew across stocks
+  double price_sigma = 0.35;  // per-trade random-walk step (name-value units)
+  double volume_scale = 2.0;  // bounded-Pareto x_m for the volume attribute
+  double volume_alpha = 1.2;
+  std::array<double, 3> bst_probs = {0.4, 0.4, 0.2};
+  double events_per_second = 50.0;  // Poisson arrival rate
+  // Number of distinct publisher (exchange) nodes the trace originates
+  // from; 0 = every host may publish.  Real feeds come from a handful of
+  // exchanges, which concentrates broker load (see bench_throughput).
+  int num_publishers = 0;
+};
+
+struct TraceEvent {
+  double timestamp = 0.0;  // seconds since trace start
+  Publication pub;
+};
+
+// A generated trading-day segment: `count` events in timestamp order.
+// Stock i's base price level is its name value mapped into the quote
+// domain; the walk is clamped to the domain.
+std::vector<TraceEvent> GenerateStockTrace(const TransitStubNetwork& net,
+                                           const StockModelParams& space_params,
+                                           const TraceParams& params,
+                                           std::size_t count, Rng& rng);
+
+}  // namespace pubsub

@@ -1,0 +1,39 @@
+// Common workload types: subscribers (a network node plus an interest
+// rectangle) and publications (an origin node plus an event point).
+//
+// The paper allows a subscriber several rectangles but notes (§1) that a
+// multi-range subscription decomposes into multiple single-range
+// subscriptions; following its experiments ("1000 subscription rectangles"),
+// each generated subscription is one subscriber with one rectangle, and
+// N_S = k.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/event_space.h"
+#include "geometry/rect.h"
+#include "net/graph.h"
+
+namespace pubsub {
+
+using SubscriberId = int;
+
+struct Subscriber {
+  NodeId node = -1;
+  Rect interest;
+};
+
+struct Publication {
+  NodeId origin = -1;
+  Point point;
+};
+
+struct Workload {
+  EventSpace space;
+  std::vector<Subscriber> subscribers;
+
+  std::size_t num_subscribers() const { return subscribers.size(); }
+};
+
+}  // namespace pubsub

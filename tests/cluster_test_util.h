@@ -1,0 +1,97 @@
+// Shared helpers for the clustering-algorithm tests: synthetic cell sets
+// with known cluster structure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cluster_types.h"
+#include "util/rng.h"
+
+namespace pubsub::testutil {
+
+// Owns the bit-vectors referenced by the ClusterCell views.
+struct CellSet {
+  std::vector<BitVector> storage;
+  std::vector<ClusterCell> cells;
+  std::vector<int> truth;  // ground-truth block per cell (when applicable)
+};
+
+// `blocks` disjoint subscriber blocks of `block_size >= 3` subscribers;
+// `cells_per_block` cells per block.  Every cell covers its whole block
+// except possibly one subscriber, and probabilities are nearly equal, so
+// within-block expected-waste distances (≤ p_a + p_b ≈ 0.13) are strictly
+// below every cross-block distance (≥ (block_size−1)(p_a + p_b)): any
+// waste-minimizing K=blocks clustering must separate the blocks exactly.
+// The first cell of each block covers the full block at a slightly higher
+// probability, so the top-`blocks` popularity seeds are one per block
+// (which the K-means seeding step relies on).
+inline CellSet SeparableCells(std::size_t blocks, std::size_t block_size,
+                              std::size_t cells_per_block, Rng& rng) {
+  CellSet out;
+  const std::size_t ns = blocks * block_size;
+  out.storage.reserve(blocks * cells_per_block);
+  std::vector<double> probs;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t c = 0; c < cells_per_block; ++c) {
+      BitVector v(ns);
+      for (std::size_t i = 0; i < block_size; ++i) v.set(b * block_size + i);
+      if (c > 0 && rng.bernoulli(0.5))
+        v.reset(b * block_size + static_cast<std::size_t>(
+                                     rng.uniform_int(0, static_cast<std::int64_t>(block_size) - 1)));
+      out.storage.push_back(std::move(v));
+      out.truth.push_back(static_cast<int>(b));
+      probs.push_back(c == 0 ? 0.07 : 0.05 + rng.uniform() * 0.01);
+    }
+  }
+  for (std::size_t i = 0; i < out.storage.size(); ++i)
+    out.cells.push_back(ClusterCell{&out.storage[i], probs[i]});
+  return out;
+}
+
+// Fully random cells (no planted structure).
+inline CellSet RandomCells(std::size_t count, std::size_t ns, Rng& rng) {
+  CellSet out;
+  out.storage.reserve(count);
+  for (std::size_t c = 0; c < count; ++c) {
+    BitVector v(ns);
+    for (std::size_t i = 0; i < ns; ++i)
+      if (rng.bernoulli(0.3)) v.set(i);
+    if (v.none()) v.set(c % ns);
+    out.storage.push_back(std::move(v));
+  }
+  for (std::size_t i = 0; i < out.storage.size(); ++i)
+    out.cells.push_back(ClusterCell{&out.storage[i], 0.001 + rng.uniform()});
+  return out;
+}
+
+// True iff the assignment groups cells exactly by ground-truth block.
+inline bool MatchesTruth(const std::vector<int>& truth, const Assignment& got) {
+  if (truth.size() != got.size()) return false;
+  // Bijective label mapping in both directions.
+  std::vector<int> t2g, g2t;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const auto t = static_cast<std::size_t>(truth[i]);
+    const auto g = static_cast<std::size_t>(got[i]);
+    if (t2g.size() <= t) t2g.resize(t + 1, -1);
+    if (g2t.size() <= g) g2t.resize(g + 1, -1);
+    if (t2g[t] == -1) t2g[t] = static_cast<int>(g);
+    if (g2t[g] == -1) g2t[g] = static_cast<int>(t);
+    if (t2g[t] != static_cast<int>(g) || g2t[g] != static_cast<int>(t)) return false;
+  }
+  return true;
+}
+
+// Validates an assignment: every label in [0, K), all K labels used.
+inline bool ValidPartition(const Assignment& a, std::size_t K) {
+  std::vector<char> used(K, 0);
+  for (const int g : a) {
+    if (g < 0 || static_cast<std::size_t>(g) >= K) return false;
+    used[static_cast<std::size_t>(g)] = 1;
+  }
+  for (const char u : used)
+    if (!u) return false;
+  return true;
+}
+
+}  // namespace pubsub::testutil

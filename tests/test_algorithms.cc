@@ -1,0 +1,87 @@
+// Cross-algorithm property sweep: every registered grid algorithm must
+// produce a valid K-partition on arbitrary inputs, behave deterministically
+// under a fixed seed, and beat a round-robin assignment on the
+// expected-waste objective for structured inputs.
+#include "core/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster_test_util.h"
+
+namespace pubsub {
+namespace {
+
+using testutil::CellSet;
+using testutil::RandomCells;
+using testutil::SeparableCells;
+using testutil::ValidPartition;
+
+struct SweepParam {
+  std::size_t cells;
+  std::size_t subscribers;
+  std::size_t K;
+};
+
+class AlgorithmSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, SweepParam>> {};
+
+TEST_P(AlgorithmSweep, ProducesValidDeterministicPartitions) {
+  const auto& [name, param] = GetParam();
+  const GridAlgorithm algo = GridAlgorithmByName(name);
+
+  Rng data_rng(1234);
+  const CellSet set = RandomCells(param.cells, param.subscribers, data_rng);
+
+  Rng r1(7), r2(7);
+  const Assignment a = algo.run(set.cells, param.K, r1);
+  const Assignment b = algo.run(set.cells, param.K, r2);
+  EXPECT_TRUE(ValidPartition(a, std::min(param.K, param.cells)));
+  EXPECT_EQ(a, b) << "non-deterministic under fixed seed";
+}
+
+TEST_P(AlgorithmSweep, BeatsRoundRobinOnStructuredInput) {
+  const auto& [name, param] = GetParam();
+  const GridAlgorithm algo = GridAlgorithmByName(name);
+
+  Rng data_rng(4321);
+  // Structured: as many blocks as groups requested (capped to keep the
+  // construction sensible).
+  const std::size_t blocks = std::min<std::size_t>(param.K, 6);
+  const CellSet set = SeparableCells(blocks, 6, param.cells / blocks + 1, data_rng);
+
+  Rng rng(9);
+  const Assignment got = algo.run(set.cells, blocks, rng);
+  Assignment round_robin(set.cells.size());
+  for (std::size_t i = 0; i < round_robin.size(); ++i)
+    round_robin[i] = static_cast<int>(i % blocks);
+
+  const double waste = TotalExpectedWaste(set.cells, got, static_cast<int>(blocks));
+  const double rr_waste =
+      TotalExpectedWaste(set.cells, round_robin, static_cast<int>(blocks));
+  EXPECT_LT(waste, rr_waste) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, AlgorithmSweep,
+    ::testing::Combine(::testing::Values("kmeans", "forgy", "mst", "pairs",
+                                         "approx-pairs"),
+                       ::testing::Values(SweepParam{30, 12, 4},
+                                         SweepParam{90, 40, 12},
+                                         SweepParam{150, 64, 30})),
+    [](const auto& info) {
+      std::string n = std::get<0>(info.param);
+      for (char& c : n)
+        if (c == '-') c = '_';
+      return n + "_c" + std::to_string(std::get<1>(info.param).cells) + "_k" +
+             std::to_string(std::get<1>(info.param).K);
+    });
+
+TEST(AlgorithmRegistry, KnowsAllFiveAndRejectsUnknown) {
+  EXPECT_EQ(StandardGridAlgorithms().size(), 5u);
+  EXPECT_THROW(GridAlgorithmByName("quantum-annealing"), std::invalid_argument);
+  for (const GridAlgorithm& a : StandardGridAlgorithms())
+    EXPECT_EQ(GridAlgorithmByName(a.name).name, a.name);
+}
+
+}  // namespace
+}  // namespace pubsub

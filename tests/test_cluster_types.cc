@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster_types.h"
+
+namespace pubsub {
+namespace {
+
+BitVector Bits(std::size_t n, std::initializer_list<std::size_t> set) {
+  BitVector v(n);
+  for (std::size_t i : set) v.set(i);
+  return v;
+}
+
+TEST(ExpectedWaste, ZeroForIdenticalVectors) {
+  const BitVector a = Bits(10, {1, 2, 3});
+  EXPECT_EQ(ExpectedWaste(a, 0.5, a, 0.9), 0.0);
+}
+
+TEST(ExpectedWaste, WeightsAsymmetricDifferences) {
+  // d(a,b) = p_a·|a\b| + p_b·|b\a|
+  const BitVector a = Bits(10, {1, 2, 3});
+  const BitVector b = Bits(10, {3, 4});
+  // |a\b| = 2 (bits 1,2); |b\a| = 1 (bit 4).
+  EXPECT_DOUBLE_EQ(ExpectedWaste(a, 0.5, b, 0.25), 0.5 * 2 + 0.25 * 1);
+  // Swapping arguments swaps the roles but the total is symmetric.
+  EXPECT_DOUBLE_EQ(ExpectedWaste(b, 0.25, a, 0.5), 0.5 * 2 + 0.25 * 1);
+}
+
+TEST(ExpectedWaste, ZeroProbabilityCostsNothing) {
+  const BitVector a = Bits(8, {0});
+  const BitVector b = Bits(8, {7});
+  EXPECT_EQ(ExpectedWaste(a, 0.0, b, 0.0), 0.0);
+}
+
+TEST(GroupState, AddRemoveRoundTrips) {
+  const BitVector a = Bits(6, {0, 1});
+  const BitVector b = Bits(6, {1, 2});
+  GroupState g(6);
+  g.add(ClusterCell{&a, 0.5});
+  g.add(ClusterCell{&b, 0.25});
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_DOUBLE_EQ(g.prob(), 0.75);
+  EXPECT_EQ(g.vec(), Bits(6, {0, 1, 2}));
+
+  g.remove(ClusterCell{&a, 0.5});
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.prob(), 0.25);
+  // Bit 1 survives (still counted by b); bit 0 is gone.
+  EXPECT_EQ(g.vec(), Bits(6, {1, 2}));
+
+  g.remove(ClusterCell{&b, 0.25});
+  EXPECT_TRUE(g.empty());
+  EXPECT_TRUE(g.vec().none());
+  EXPECT_THROW(g.remove(ClusterCell{&b, 0.25}), std::logic_error);
+}
+
+TEST(GroupState, MergeFromCombinesCounts) {
+  const BitVector a = Bits(6, {0});
+  const BitVector b = Bits(6, {0, 1});
+  GroupState g(6), h(6);
+  g.add(ClusterCell{&a, 0.1});
+  h.add(ClusterCell{&b, 0.2});
+  g.merge_from(h);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_DOUBLE_EQ(g.prob(), 0.30000000000000004);
+  EXPECT_EQ(g.vec(), Bits(6, {0, 1}));
+  // After removing b's cell, bit 0 must survive via a's count.
+  g.remove(ClusterCell{&b, 0.2});
+  EXPECT_EQ(g.vec(), Bits(6, {0}));
+}
+
+TEST(GroupState, DistanceToCellMatchesFormula) {
+  const BitVector a = Bits(6, {0, 1});
+  const BitVector b = Bits(6, {2});
+  GroupState g(6);
+  g.add(ClusterCell{&a, 0.5});
+  const ClusterCell cell{&b, 0.2};
+  // |cell\g| = 1, |g\cell| = 2.
+  EXPECT_DOUBLE_EQ(g.distance_to(cell), 0.2 * 1 + 0.5 * 2);
+}
+
+TEST(TotalExpectedWasteTest, ZeroWhenGroupsHomogeneous) {
+  const BitVector a = Bits(4, {0, 1});
+  const BitVector b = Bits(4, {2});
+  const std::vector<ClusterCell> cells = {{&a, 0.3}, {&a, 0.4}, {&b, 0.2}};
+  EXPECT_EQ(TotalExpectedWaste(cells, {0, 0, 1}, 2), 0.0);
+}
+
+TEST(TotalExpectedWasteTest, CountsForeignBitsWeightedByProb) {
+  const BitVector a = Bits(4, {0});
+  const BitVector b = Bits(4, {1, 2});
+  const std::vector<ClusterCell> cells = {{&a, 0.5}, {&b, 0.25}};
+  // One group: s(g) = {0,1,2}.  Waste = 0.5·|{1,2}| + 0.25·|{0}|.
+  EXPECT_DOUBLE_EQ(TotalExpectedWaste(cells, {0, 0}, 1), 0.5 * 2 + 0.25 * 1);
+}
+
+TEST(TotalExpectedWasteTest, UnclusteredCellsFree) {
+  const BitVector a = Bits(4, {0});
+  const BitVector b = Bits(4, {1});
+  const std::vector<ClusterCell> cells = {{&a, 0.5}, {&b, 0.5}};
+  EXPECT_EQ(TotalExpectedWaste(cells, {0, -1}, 1), 0.0);
+}
+
+TEST(TotalExpectedWasteTest, Validation) {
+  const BitVector a = Bits(4, {0});
+  const std::vector<ClusterCell> cells = {{&a, 0.5}};
+  EXPECT_THROW(TotalExpectedWaste(cells, {0, 1}, 2), std::invalid_argument);
+  EXPECT_THROW(TotalExpectedWaste(cells, {5}, 2), std::invalid_argument);
+}
+
+TEST(ClusterCellTest, PopularityIsProbTimesCount) {
+  const BitVector a = Bits(10, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ((ClusterCell{&a, 0.25}.popularity()), 1.0);
+}
+
+}  // namespace
+}  // namespace pubsub

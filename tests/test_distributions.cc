@@ -1,0 +1,166 @@
+#include "util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace pubsub {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Zipf, PmfSumsToOne) {
+  const Zipf z(100, 1.0);
+  double total = 0.0;
+  for (std::size_t r = 1; r <= 100; ++r) total += z.pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfIsDecreasingInRank) {
+  const Zipf z(50, 0.8);
+  for (std::size_t r = 1; r < 50; ++r) EXPECT_GT(z.pmf(r), z.pmf(r + 1));
+}
+
+TEST(Zipf, RankOneDominatesWithLargeExponent) {
+  const Zipf z(10, 3.0);
+  EXPECT_GT(z.pmf(1), 0.8);
+}
+
+TEST(Zipf, SampleFrequenciesMatchPmf) {
+  const Zipf z(5, 1.0);
+  Rng rng(123);
+  std::vector<int> counts(6, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  EXPECT_EQ(counts[0], 0);  // ranks are 1-based
+  for (std::size_t r = 1; r <= 5; ++r)
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, z.pmf(r), 0.01);
+}
+
+TEST(Zipf, RejectsZeroItems) { EXPECT_THROW(Zipf(0), std::invalid_argument); }
+
+TEST(BoundedPareto, SamplesStayInRange) {
+  const BoundedPareto p(2.0, 1.5, 10.0);
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = p.sample(rng);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 10.0);
+  }
+}
+
+TEST(BoundedPareto, EmpiricalMeanMatchesAnalytic) {
+  const BoundedPareto p(1.0, 1.2, 50.0);
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) sum += p.sample(rng);
+  EXPECT_NEAR(sum / n, p.mean(), 0.05);
+}
+
+TEST(BoundedPareto, FromMeanHitsTargetForAlphaAboveOne) {
+  const BoundedPareto p = BoundedPareto::FromMean(4.0, 2.0, 1000.0);
+  // Truncation at a large cap barely matters; the mean should be close.
+  EXPECT_NEAR(p.mean(), 4.0, 0.1);
+}
+
+TEST(BoundedPareto, FromMeanBisectsForAlphaOne) {
+  const BoundedPareto p = BoundedPareto::FromMean(4.0, 1.0, 21.0);
+  EXPECT_NEAR(p.mean(), 4.0, 0.05);
+  EXPECT_LE(p.x_m(), 4.0);
+}
+
+TEST(BoundedPareto, RejectsInvalidParameters) {
+  EXPECT_THROW(BoundedPareto(0.0, 1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(BoundedPareto(1.0, -1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(BoundedPareto(5.0, 1.0, 4.0), std::invalid_argument);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(NormalCdf(10.0, 10.0, 2.0), 0.5, 1e-12);
+}
+
+TEST(NormalCdf, DegenerateSigmaIsStep) {
+  EXPECT_EQ(NormalCdf(0.9, 1.0, 0.0), 0.0);
+  EXPECT_EQ(NormalCdf(1.0, 1.0, 0.0), 1.0);
+  EXPECT_EQ(NormalCdf(1.1, 1.0, 0.0), 1.0);
+}
+
+TEST(GaussianMixture, SingleModeIntervalMass) {
+  const GaussianMixture1D m = GaussianMixture1D::Single(0.0, 1.0);
+  EXPECT_NEAR(m.interval_mass(-1.0, 1.0), 0.6827, 1e-3);
+  EXPECT_NEAR(m.interval_mass(-kInf, kInf), 1.0, 1e-12);
+  EXPECT_EQ(m.interval_mass(1.0, 1.0), 0.0);
+  EXPECT_EQ(m.interval_mass(2.0, 1.0), 0.0);
+}
+
+TEST(GaussianMixture, WeightsNormalize) {
+  const GaussianMixture1D m({{2.0, -5.0, 1.0}, {2.0, 5.0, 1.0}});
+  EXPECT_NEAR(m.interval_mass(-kInf, 0.0), 0.5, 1e-6);
+  EXPECT_NEAR(m.interval_mass(-kInf, kInf), 1.0, 1e-12);
+}
+
+TEST(GaussianMixture, SampleMatchesModeProportions) {
+  const GaussianMixture1D m({{0.3, -100.0, 0.1}, {0.7, 100.0, 0.1}});
+  Rng rng(5);
+  int high = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (m.sample(rng) > 0) ++high;
+  EXPECT_NEAR(static_cast<double>(high) / n, 0.7, 0.01);
+}
+
+TEST(GaussianMixture, RejectsEmptyAndNegative) {
+  EXPECT_THROW(GaussianMixture1D(std::vector<GaussianMode>{}), std::invalid_argument);
+  EXPECT_THROW(GaussianMixture1D({GaussianMode{-1.0, 0.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(UniformInt1D, IntervalMassCountsLatticePoints) {
+  const UniformInt1D u(10);  // values 0..9
+  EXPECT_NEAR(u.interval_mass(-1.0, 9.0), 1.0, 1e-12);
+  EXPECT_NEAR(u.interval_mass(-0.5, 0.5), 0.1, 1e-12);  // just value 0
+  EXPECT_NEAR(u.interval_mass(2.0, 5.0), 0.3, 1e-12);   // 3, 4, 5
+  EXPECT_EQ(u.interval_mass(9.0, 20.0), 0.0);
+  EXPECT_EQ(u.interval_mass(5.0, 5.0), 0.0);
+}
+
+TEST(Discrete, SamplesMatchWeights) {
+  const Discrete d({1.0, 3.0, 6.0});
+  EXPECT_NEAR(d.pmf(0), 0.1, 1e-12);
+  EXPECT_NEAR(d.pmf(1), 0.3, 1e-12);
+  EXPECT_NEAR(d.pmf(2), 0.6, 1e-12);
+  Rng rng(77);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[d.sample(rng)];
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, d.pmf(i), 0.01);
+}
+
+TEST(Discrete, RejectsBadWeights) {
+  EXPECT_THROW(Discrete({}), std::invalid_argument);
+  EXPECT_THROW(Discrete({1.0, -2.0}), std::invalid_argument);
+  EXPECT_THROW(Discrete({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  const Rng base(42);
+  Rng a = base.split(1);
+  Rng b = base.split(2);
+  Rng a2 = base.split(1);
+  EXPECT_EQ(a(), a2());
+  // Different salts should give different streams (overwhelmingly likely).
+  Rng a3 = base.split(1);
+  (void)a3();
+  EXPECT_NE(a3(), Rng(base.split(2))());
+}
+
+}  // namespace
+}  // namespace pubsub

@@ -1,0 +1,144 @@
+// Integration tests: the full pipeline (topology → workload → grid →
+// clustering → matching → delivery costs) on a reduced-size §5.1 scenario,
+// asserting the paper's qualitative findings with generous margins.
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "core/grid.h"
+#include "core/matching.h"
+#include "core/noloss.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+
+namespace pubsub {
+namespace {
+
+struct Pipeline {
+  explicit Pipeline(std::uint64_t seed, int subs = 400,
+                    PublicationHotSpots spots = PublicationHotSpots::kOne)
+      : scenario(MakeStockScenario(subs, spots, seed)),
+        sim(scenario.net.graph, scenario.workload),
+        grid(scenario.workload, *scenario.pub) {
+    Rng rng(seed + 1000);
+    events = SampleEvents(sim, *scenario.pub, 150, rng);
+    base = EvaluateBaselines(sim, events);
+  }
+
+  double RunGridAlgo(const std::string& name, std::size_t K, std::size_t cells_cap) {
+    const auto cells = grid.top_cells(cells_cap);
+    Rng rng(99);
+    const Assignment a = GridAlgorithmByName(name).run(cells, K, rng);
+    const GridMatcher matcher(grid, a, static_cast<int>(K));
+    const ClusteredCosts c = EvaluateMatcher(sim, events, MatcherFn(matcher));
+    return ImprovementPercent(c.network, base);
+  }
+
+  Scenario scenario;
+  DeliverySimulator sim;
+  Grid grid;
+  std::vector<EventSample> events;
+  BaselineCosts base;
+};
+
+TEST(EndToEnd, BaselineOrderingHolds) {
+  Pipeline p(1);
+  EXPECT_GT(p.base.unicast, p.base.ideal);
+  EXPECT_GT(p.base.broadcast, p.base.ideal);
+}
+
+TEST(EndToEnd, EveryAlgorithmBeatsWorstCaseAndStaysSane) {
+  Pipeline p(2);
+  for (const GridAlgorithm& algo : StandardGridAlgorithms()) {
+    const double improvement = p.RunGridAlgo(algo.name, 40, 1500);
+    EXPECT_GT(improvement, -20.0) << algo.name;
+    EXPECT_LE(improvement, 100.0) << algo.name;
+  }
+}
+
+TEST(EndToEnd, MoreGroupsHelpForgy) {
+  Pipeline p(3);
+  const double k10 = p.RunGridAlgo("forgy", 10, 1500);
+  const double k80 = p.RunGridAlgo("forgy", 80, 1500);
+  EXPECT_GT(k80, k10 - 5.0);  // allow small noise; trend must be upward
+  EXPECT_GT(k80, 20.0);
+}
+
+TEST(EndToEnd, IterativeBeatsMstAtEqualBudget) {
+  // The paper's core ranking (Fig. 7): iterative clustering above MST.
+  Pipeline p(4);
+  const double forgy = p.RunGridAlgo("forgy", 60, 1500);
+  const double mst = p.RunGridAlgo("mst", 60, 1500);
+  EXPECT_GT(forgy, mst);
+}
+
+TEST(EndToEnd, NoLossNeverWastesADelivery) {
+  Pipeline p(5);
+  NoLossOptions opt;
+  opt.max_rectangles = 1500;
+  opt.iterations = 3;
+  opt.intersect_top = 64;
+  const NoLossResult r = NoLossCluster(p.scenario.workload, *p.scenario.pub, opt);
+  const NoLossMatcher matcher(r, 60);
+  const ClusteredCosts c = EvaluateMatcher(p.sim, p.events, MatcherFn(matcher));
+  EXPECT_EQ(c.wasted_deliveries, 0u);
+  EXPECT_GT(ImprovementPercent(c.network, p.base), 0.0);
+}
+
+TEST(EndToEnd, AppLevelCostsTrackNetworkCosts) {
+  // §5.2: "application-level multicast results in slightly higher costs,
+  // the trend remains the same".
+  Pipeline p(6);
+  const auto cells = p.grid.top_cells(1500);
+  Rng rng(7);
+  const Assignment a = GridAlgorithmByName("forgy").run(cells, 60, rng);
+  const GridMatcher matcher(p.grid, a, 60);
+  const ClusteredCosts c = EvaluateMatcher(p.sim, p.events, MatcherFn(matcher));
+  EXPECT_GE(c.applevel, c.network * 0.9);
+  EXPECT_GT(ImprovementPercent(c.network, p.base),
+            ImprovementPercent(c.applevel, p.base) - 8.0);
+}
+
+TEST(EndToEnd, RegionalismReducesDeliveryCost) {
+  // Section 3's table pair: regional subscriptions cost less to serve.
+  Section3Params regional;
+  regional.regionalism = 0.4;
+  Section3Params flat;
+  flat.regionalism = 0.0;
+  const Scenario a = MakeSection3Scenario(PaperNet100(), 400, regional, 17);
+  const Scenario b = MakeSection3Scenario(PaperNet100(), 400, flat, 17);
+  DeliverySimulator sim_a(a.net.graph, a.workload);
+  DeliverySimulator sim_b(b.net.graph, b.workload);
+  Rng ra(18), rb(18);
+  const auto ev_a = SampleEvents(sim_a, *a.pub, 200, ra);
+  const auto ev_b = SampleEvents(sim_b, *b.pub, 200, rb);
+  const BaselineCosts base_a = EvaluateBaselines(sim_a, ev_a);
+  const BaselineCosts base_b = EvaluateBaselines(sim_b, ev_b);
+  EXPECT_LT(base_a.unicast, base_b.unicast);
+  EXPECT_LT(base_a.ideal, base_b.ideal);
+}
+
+TEST(EndToEnd, GridMatcherNeverMissesASubscriber) {
+  // Safety property across the whole pipeline: every interested subscriber
+  // receives the message, via group or unicast.
+  Pipeline p(8);
+  const auto cells = p.grid.top_cells(1200);
+  Rng rng(9);
+  const Assignment a = GridAlgorithmByName("kmeans").run(cells, 30, rng);
+  const GridMatcher matcher(p.grid, a, 30);
+  for (const EventSample& e : p.events) {
+    const MatchDecision d = matcher.match(e.pub.point, e.interested);
+    for (const SubscriberId s : e.interested) {
+      const bool in_group =
+          d.group_id >= 0 &&
+          std::find(d.group_members.begin(), d.group_members.end(), s) !=
+              d.group_members.end();
+      const bool in_unicast = std::find(d.unicast_targets.begin(),
+                                        d.unicast_targets.end(),
+                                        s) != d.unicast_targets.end();
+      EXPECT_TRUE(in_group || in_unicast);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pubsub

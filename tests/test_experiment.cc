@@ -1,0 +1,104 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.h"
+
+namespace pubsub {
+namespace {
+
+TEST(Improvement, NormalizationEndpoints) {
+  BaselineCosts base;
+  base.unicast = 1000;
+  base.ideal = 200;
+  EXPECT_DOUBLE_EQ(ImprovementPercent(base.unicast, base), 0.0);
+  EXPECT_DOUBLE_EQ(ImprovementPercent(base.ideal, base), 100.0);
+  EXPECT_DOUBLE_EQ(ImprovementPercent(600, base), 50.0);
+  // Worse than unicast → negative (as in the paper's plots).
+  EXPECT_LT(ImprovementPercent(1200, base), 0.0);
+  // Degenerate denominator.
+  BaselineCosts flat;
+  flat.unicast = flat.ideal = 10;
+  EXPECT_EQ(ImprovementPercent(5, flat), 0.0);
+}
+
+TEST(Scenario, DeterministicUnderSeed) {
+  const Scenario a = MakeStockScenario(200, PublicationHotSpots::kOne, 42);
+  const Scenario b = MakeStockScenario(200, PublicationHotSpots::kOne, 42);
+  ASSERT_EQ(a.workload.num_subscribers(), b.workload.num_subscribers());
+  for (std::size_t i = 0; i < a.workload.subscribers.size(); ++i) {
+    EXPECT_EQ(a.workload.subscribers[i].node, b.workload.subscribers[i].node);
+    EXPECT_EQ(a.workload.subscribers[i].interest, b.workload.subscribers[i].interest);
+  }
+  EXPECT_EQ(a.net.graph.num_edges(), b.net.graph.num_edges());
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  const Scenario a = MakeStockScenario(200, PublicationHotSpots::kOne, 1);
+  const Scenario b = MakeStockScenario(200, PublicationHotSpots::kOne, 2);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.workload.subscribers.size() && !differs; ++i)
+    differs = !(a.workload.subscribers[i].interest == b.workload.subscribers[i].interest);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Scenario, Section3BuildsConsistentSpace) {
+  Section3Params params;
+  const Scenario s = MakeSection3Scenario(PaperNet100(), 100, params, 5);
+  EXPECT_EQ(s.workload.space.dim(0).domain_size, s.net.num_stubs);
+  EXPECT_EQ(s.pub->space().dims(), 4u);
+  EXPECT_EQ(s.workload.num_subscribers(), 100u);
+}
+
+TEST(SampleEventsTest, InterestedSetsMatchSimulator) {
+  const Scenario s = MakeStockScenario(300, PublicationHotSpots::kOne, 9);
+  DeliverySimulator sim(s.net.graph, s.workload);
+  Rng rng(10);
+  const auto events = SampleEvents(sim, *s.pub, 50, rng);
+  ASSERT_EQ(events.size(), 50u);
+  for (const EventSample& e : events) {
+    EXPECT_EQ(e.interested, sim.interested(e.pub.point));
+    EXPECT_TRUE(s.pub->space().domain_rect().contains(e.pub.point));
+  }
+}
+
+TEST(EvaluateBaselinesTest, OrderingInvariants) {
+  const Scenario s = MakeStockScenario(500, PublicationHotSpots::kOne, 11);
+  DeliverySimulator sim(s.net.graph, s.workload);
+  Rng rng(12);
+  const auto events = SampleEvents(sim, *s.pub, 100, rng);
+  const BaselineCosts base = EvaluateBaselines(sim, events, /*with_applevel_ideal=*/true);
+  EXPECT_EQ(base.events, 100u);
+  // Ideal multicast never beats the interested-node lower bound of zero and
+  // never exceeds unicast or broadcast.
+  EXPECT_GE(base.ideal, 0.0);
+  EXPECT_LE(base.ideal, base.unicast + 1e-9);
+  EXPECT_LE(base.ideal, base.broadcast + 1e-9);
+  // App-level ideal relays over unicast paths — at least the network ideal.
+  EXPECT_GE(base.ideal_app, base.ideal - 1e-9);
+}
+
+TEST(EvaluateMatcherTest, CountsEventsAndMatchesManualSum) {
+  const Scenario s = MakeStockScenario(300, PublicationHotSpots::kOne, 13);
+  DeliverySimulator sim(s.net.graph, s.workload);
+  Rng rng(14);
+  const auto events = SampleEvents(sim, *s.pub, 60, rng);
+
+  // A matcher that always unicasts must cost exactly the unicast baseline.
+  const MatchFn unicast_all = [](const Point&, std::span<const SubscriberId> interested) {
+    MatchDecision d;
+    d.unicast_targets.assign(interested.begin(), interested.end());
+    return d;
+  };
+  const ClusteredCosts c = EvaluateMatcher(sim, events, unicast_all);
+  const BaselineCosts base = EvaluateBaselines(sim, events);
+  EXPECT_NEAR(c.network, base.unicast, 1e-9);
+  EXPECT_NEAR(c.applevel, base.unicast, 1e-9);
+  EXPECT_EQ(c.unicast_events, 60u);
+  EXPECT_EQ(c.multicast_events, 0u);
+  EXPECT_EQ(c.wasted_deliveries, 0u);
+  EXPECT_DOUBLE_EQ(ImprovementPercent(c.network, base), 0.0);
+}
+
+}  // namespace
+}  // namespace pubsub

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geometry/event_space.h"
+#include "geometry/interval.h"
+#include "geometry/rect.h"
+
+namespace pubsub {
+namespace {
+
+// ---------------------------------------------------------------- Interval
+
+TEST(Interval, HalfOpenMembership) {
+  const Interval iv(2.0, 5.0);  // (2, 5]
+  EXPECT_FALSE(iv.contains(2.0));
+  EXPECT_TRUE(iv.contains(2.0001));
+  EXPECT_TRUE(iv.contains(5.0));
+  EXPECT_FALSE(iv.contains(5.0001));
+}
+
+TEST(Interval, EmptyWhenDegenerate) {
+  EXPECT_TRUE(Interval(3.0, 3.0).empty());
+  EXPECT_TRUE(Interval(4.0, 3.0).empty());
+  EXPECT_FALSE(Interval(3.0, 3.0 + 1e-9).empty());
+  EXPECT_TRUE(Interval().empty());
+}
+
+TEST(Interval, UnboundedFactories) {
+  EXPECT_TRUE(Interval::All().is_all());
+  EXPECT_TRUE(Interval::All().contains(1e100));
+  EXPECT_TRUE(Interval::AtMost(5.0).contains(-1e100));
+  EXPECT_TRUE(Interval::AtMost(5.0).contains(5.0));
+  EXPECT_FALSE(Interval::AtMost(5.0).contains(5.1));
+  EXPECT_FALSE(Interval::GreaterThan(5.0).contains(5.0));
+  EXPECT_TRUE(Interval::GreaterThan(5.0).contains(5.1));
+}
+
+TEST(Interval, PointHoldsExactlyOneInteger) {
+  const Interval p = Interval::Point(7);
+  EXPECT_TRUE(p.contains(7.0));
+  EXPECT_FALSE(p.contains(6.0));
+  EXPECT_FALSE(p.contains(8.0));
+  EXPECT_EQ(p.length(), 1.0);
+}
+
+TEST(Interval, AdjacentPointIntervalsTileWithoutOverlap) {
+  // The half-open convention: (v−1, v] and (v, v+1] share no point.
+  EXPECT_FALSE(Interval::Point(3).intersects(Interval::Point(4)));
+  EXPECT_FALSE(Interval(0.0, 1.0).intersects(Interval(1.0, 2.0)));
+  EXPECT_TRUE(Interval(0.0, 1.0).intersects(Interval(0.9, 2.0)));
+}
+
+TEST(Interval, IntersectionAndHull) {
+  const Interval a(0.0, 4.0), b(2.0, 6.0);
+  EXPECT_EQ(a.intersection(b), Interval(2.0, 4.0));
+  EXPECT_EQ(a.hull(b), Interval(0.0, 6.0));
+  const Interval disjoint(10.0, 12.0);
+  EXPECT_TRUE(a.intersection(disjoint).empty());
+  EXPECT_EQ(a.hull(Interval()), a);
+  EXPECT_EQ(Interval().hull(a), a);
+}
+
+TEST(Interval, ContainmentSemantics) {
+  const Interval a(0.0, 10.0);
+  EXPECT_TRUE(a.contains(Interval(2.0, 5.0)));
+  EXPECT_TRUE(a.contains(a));
+  EXPECT_TRUE(a.contains(Interval()));  // empty contained in everything
+  EXPECT_FALSE(a.contains(Interval(-1.0, 5.0)));
+  EXPECT_FALSE(Interval(2.0, 5.0).contains(a));
+}
+
+TEST(Interval, AllEmptyIntervalsCompareEqual) {
+  EXPECT_EQ(Interval(3.0, 3.0), Interval(7.0, 5.0));
+  EXPECT_EQ(Interval(), Interval(9.0, 9.0));
+}
+
+// -------------------------------------------------------------------- Rect
+
+Rect MakeRect(std::initializer_list<std::pair<double, double>> bounds) {
+  std::vector<Interval> ivals;
+  for (const auto& [lo, hi] : bounds) ivals.emplace_back(lo, hi);
+  return Rect(std::move(ivals));
+}
+
+TEST(Rect, ContainsPointPerDimension) {
+  const Rect r = MakeRect({{0, 2}, {0, 2}});
+  EXPECT_TRUE(r.contains(Point{1.0, 1.0}));
+  EXPECT_TRUE(r.contains(Point{2.0, 2.0}));   // closed right edge
+  EXPECT_FALSE(r.contains(Point{0.0, 1.0}));  // open left edge
+  EXPECT_FALSE(r.contains(Point{1.0, 2.5}));
+}
+
+TEST(Rect, EmptyIfAnyDimensionEmpty) {
+  EXPECT_TRUE(MakeRect({{0, 2}, {3, 3}}).empty());
+  EXPECT_FALSE(MakeRect({{0, 2}, {3, 4}}).empty());
+  EXPECT_TRUE(Rect().empty());
+}
+
+TEST(Rect, IntersectionIsComponentwise) {
+  const Rect a = MakeRect({{0, 4}, {0, 4}});
+  const Rect b = MakeRect({{2, 6}, {-2, 1}});
+  const Rect i = a.intersection(b);
+  EXPECT_EQ(i[0], Interval(2, 4));
+  EXPECT_EQ(i[1], Interval(0, 1));
+  EXPECT_TRUE(a.intersects(b));
+  const Rect far = MakeRect({{10, 12}, {0, 4}});
+  EXPECT_FALSE(a.intersects(far));
+  EXPECT_TRUE(a.intersection(far).empty());
+}
+
+TEST(Rect, HullAndContainment) {
+  const Rect a = MakeRect({{0, 2}, {0, 2}});
+  const Rect b = MakeRect({{1, 5}, {-1, 1}});
+  const Rect h = a.hull(b);
+  EXPECT_TRUE(h.contains(a));
+  EXPECT_TRUE(h.contains(b));
+  EXPECT_EQ(h[0], Interval(0, 5));
+  EXPECT_EQ(h[1], Interval(-1, 2));
+  EXPECT_TRUE(a.contains(MakeRect({{0.5, 1.5}, {0.5, 1.5}})));
+  EXPECT_FALSE(a.contains(b));
+}
+
+TEST(Rect, VolumeMultipliesSideLengths) {
+  EXPECT_EQ(MakeRect({{0, 2}, {0, 3}}).volume(), 6.0);
+  EXPECT_EQ(MakeRect({{0, 2}, {3, 3}}).volume(), 0.0);
+  const Rect unbounded({Interval::All(), Interval(0, 1)});
+  EXPECT_EQ(unbounded.volume(), Interval::kInf);
+}
+
+TEST(Rect, RandomizedIntersectionConsistency) {
+  std::mt19937_64 rng(11);
+  auto rand_rect = [&rng]() {
+    std::vector<Interval> ivals;
+    for (int d = 0; d < 3; ++d) {
+      double a = static_cast<double>(rng() % 20);
+      double b = static_cast<double>(rng() % 20);
+      if (a > b) std::swap(a, b);
+      ivals.emplace_back(a, b + 1);
+    }
+    return Rect(std::move(ivals));
+  };
+  for (int t = 0; t < 200; ++t) {
+    const Rect a = rand_rect(), b = rand_rect();
+    // intersects() must agree with intersection() emptiness.
+    EXPECT_EQ(a.intersects(b), !a.intersection(b).empty());
+    // Hull contains both; intersection contained in both.
+    EXPECT_TRUE(a.hull(b).contains(a));
+    EXPECT_TRUE(a.hull(b).contains(b));
+    if (a.intersects(b)) {
+      EXPECT_TRUE(a.contains(a.intersection(b)));
+      EXPECT_TRUE(b.contains(a.intersection(b)));
+    }
+  }
+}
+
+// ------------------------------------------------------------- EventSpace
+
+TEST(EventSpace, DomainIntervalsCoverAllValues) {
+  const EventSpace space({{"a", 3}, {"b", 21}});
+  EXPECT_EQ(space.dims(), 2u);
+  EXPECT_EQ(space.lattice_size(), 63u);
+  const Interval d0 = space.domain_interval(0);
+  for (int v = 0; v < 3; ++v) EXPECT_TRUE(d0.contains(EventSpace::value_coord(v)));
+  EXPECT_FALSE(d0.contains(-1.0));
+  EXPECT_FALSE(d0.contains(3.0));
+  EXPECT_TRUE(space.domain_rect().contains(Point{2.0, 20.0}));
+  EXPECT_FALSE(space.domain_rect().contains(Point{2.0, 21.0}));
+}
+
+TEST(EventSpace, ClampRoundsAndBounds) {
+  const EventSpace space({{"a", 21}});
+  EXPECT_EQ(space.clamp_to_domain(0, 5.4), 5.0);
+  EXPECT_EQ(space.clamp_to_domain(0, 5.6), 6.0);
+  EXPECT_EQ(space.clamp_to_domain(0, -3.0), 0.0);
+  EXPECT_EQ(space.clamp_to_domain(0, 99.0), 20.0);
+}
+
+TEST(EventSpace, RejectsInvalidSpecs) {
+  EXPECT_THROW(EventSpace(std::vector<DimensionSpec>{}), std::invalid_argument);
+  EXPECT_THROW(EventSpace({{"a", 0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pubsub

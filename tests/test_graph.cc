@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "net/graph.h"
+#include "net/union_find.h"
+
+namespace pubsub {
+namespace {
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.num_nodes(), 3);
+  const NodeId v = g.add_node();
+  EXPECT_EQ(v, 3);
+  const EdgeId e = g.add_edge(0, 3, 2.5);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edge(e).cost, 2.5);
+  EXPECT_EQ(g.edge(e).other(0), 3);
+  EXPECT_EQ(g.edge(e).other(3), 0);
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(3, 0));
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST(Graph, RejectsBadEdges) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 0, 1.0), std::invalid_argument);   // self-loop
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), std::invalid_argument);   // zero cost
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);  // negative
+  EXPECT_THROW(g.add_edge(0, 5, 1.0), std::out_of_range);
+}
+
+TEST(Graph, Connectivity) {
+  Graph g(4);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(2, 3, 1);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(Graph(0).is_connected());
+  EXPECT_TRUE(Graph(1).is_connected());
+}
+
+TEST(Graph, TotalEdgeCost) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(1, 2, 2.5);
+  EXPECT_EQ(g.total_edge_cost(), 4.0);
+}
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  EXPECT_EQ(uf.num_components(), 4u);
+  EXPECT_EQ(uf.component_size(1), 2u);
+  uf.unite(2, 3);
+  uf.unite(1, 3);
+  EXPECT_EQ(uf.num_components(), 2u);
+  EXPECT_EQ(uf.component_size(0), 4u);
+  EXPECT_TRUE(uf.same(0, 3));
+  EXPECT_FALSE(uf.same(0, 4));
+}
+
+TEST(UnionFind, TransitivityStressAgainstLabels) {
+  const std::size_t n = 200;
+  UnionFind uf(n);
+  std::vector<int> label(n);
+  for (std::size_t i = 0; i < n; ++i) label[i] = static_cast<int>(i);
+  std::mt19937_64 rng(3);
+  for (int step = 0; step < 300; ++step) {
+    const std::size_t a = rng() % n, b = rng() % n;
+    uf.unite(a, b);
+    const int la = label[a], lb = label[b];
+    if (la != lb)
+      for (std::size_t i = 0; i < n; ++i)
+        if (label[i] == lb) label[i] = la;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_EQ(uf.same(i, j), label[i] == label[j]) << i << "," << j;
+}
+
+}  // namespace
+}  // namespace pubsub

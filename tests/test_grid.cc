@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/grid.h"
+#include "workload/publication_model.h"
+
+namespace pubsub {
+namespace {
+
+// Small hand-built workload on a 2-D space: attributes a ∈ {0..3},
+// b ∈ {0..2}.  Publications uniform.
+Workload SmallWorkload() {
+  Workload wl;
+  wl.space = EventSpace({{"a", 4}, {"b", 3}});
+  auto add = [&wl](Interval ia, Interval ib) {
+    Subscriber s;
+    s.node = static_cast<NodeId>(wl.subscribers.size());
+    s.interest = Rect({ia, ib});
+    wl.subscribers.push_back(std::move(s));
+  };
+  add(Interval(-1, 1), Interval::All());     // sub 0: a∈{0,1}, all b
+  add(Interval(0, 2), Interval(-1, 0));      // sub 1: a∈{1,2}, b=0
+  add(Interval::Point(3), Interval::Point(2));  // sub 2: a=3, b=2
+  return wl;
+}
+
+std::unique_ptr<PublicationModel> UniformPub(const Workload& wl) {
+  std::vector<Marginal1D> marginals;
+  for (std::size_t d = 0; d < wl.space.dims(); ++d)
+    marginals.push_back(Marginal1D::UniformInt(wl.space.dim(d).domain_size));
+  return std::make_unique<ProductPublicationModel>(wl.space, std::move(marginals),
+                                                   std::vector<NodeId>{0});
+}
+
+TEST(Grid, MembershipMatchesBruteForce) {
+  const Workload wl = SmallWorkload();
+  const auto pub = UniformPub(wl);
+  const Grid grid(wl, *pub);
+
+  EXPECT_EQ(grid.num_lattice_cells(), 12);
+  // Brute force: for each integer cell, check rect intersection directly.
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      const Rect cell({Interval::Point(a), Interval::Point(b)});
+      BitVector expect(wl.num_subscribers());
+      for (std::size_t i = 0; i < wl.subscribers.size(); ++i)
+        if (wl.subscribers[i].interest.intersects(cell)) expect.set(i);
+
+      const std::int64_t id = grid.cell_of(Point{static_cast<double>(a),
+                                                 static_cast<double>(b)});
+      ASSERT_GE(id, 0);
+      EXPECT_EQ(grid.cell_rect(id), cell);
+      const int hyper = grid.hyper_cell_of(id);
+      if (expect.none()) {
+        EXPECT_EQ(hyper, -1);
+      } else {
+        ASSERT_GE(hyper, 0);
+        EXPECT_EQ(grid.hyper_cells()[static_cast<std::size_t>(hyper)].members, expect);
+      }
+    }
+  }
+}
+
+TEST(Grid, HyperCellsMergeIdenticalMembership) {
+  const Workload wl = SmallWorkload();
+  const auto pub = UniformPub(wl);
+  const Grid grid(wl, *pub);
+
+  // Membership patterns by hand:
+  //   a∈{0,1},b∈{1,2} → {0}        (4 cells)
+  //   a∈{0},b=0       → {0}        …same vector, merges with the above
+  //   a=1,b=0         → {0,1}
+  //   a=2,b=0         → {1}
+  //   a=3,b=2         → {2}
+  //   a∈{2,3} others  → {} (no hyper-cell)
+  std::map<std::string, int> by_pattern;
+  for (const HyperCell& hc : grid.hyper_cells())
+    ++by_pattern[hc.members.to_string()];
+  EXPECT_EQ(by_pattern.size(), grid.hyper_cells().size());  // all distinct
+  EXPECT_EQ(grid.hyper_cells().size(), 4u);
+  // {0} hyper-cell owns 5 lattice cells.
+  for (const HyperCell& hc : grid.hyper_cells())
+    if (hc.members.to_string() == "100") EXPECT_EQ(hc.cells.size(), 5u);
+}
+
+TEST(Grid, ProbabilitiesSumToCoveredMass) {
+  const Workload wl = SmallWorkload();
+  const auto pub = UniformPub(wl);
+  const Grid grid(wl, *pub);
+  // 8 of 12 cells have at least one subscriber (brute force above):
+  // a∈{0,1} all b (6 cells) + (2,0) + (3,2).
+  EXPECT_EQ(grid.num_occupied_cells(), 8);
+  double total = 0;
+  for (const HyperCell& hc : grid.hyper_cells()) total += hc.prob;
+  EXPECT_NEAR(total, 8.0 / 12.0, 1e-12);
+}
+
+TEST(Grid, HyperCellsSortedByPopularity) {
+  const Workload wl = SmallWorkload();
+  const auto pub = UniformPub(wl);
+  const Grid grid(wl, *pub);
+  for (std::size_t i = 1; i < grid.hyper_cells().size(); ++i)
+    EXPECT_GE(grid.hyper_cells()[i - 1].popularity, grid.hyper_cells()[i].popularity);
+  for (const HyperCell& hc : grid.hyper_cells())
+    EXPECT_DOUBLE_EQ(hc.popularity,
+                     hc.prob * static_cast<double>(hc.members.count()));
+}
+
+TEST(Grid, CellOfRejectsOutOfDomain) {
+  const Workload wl = SmallWorkload();
+  const auto pub = UniformPub(wl);
+  const Grid grid(wl, *pub);
+  EXPECT_EQ(grid.cell_of(Point{-1.0, 0.0}), -1);
+  EXPECT_EQ(grid.cell_of(Point{4.0, 0.0}), -1);
+  EXPECT_EQ(grid.cell_of(Point{0.0, 3.0}), -1);
+  EXPECT_GE(grid.cell_of(Point{3.0, 2.0}), 0);
+}
+
+TEST(Grid, CellRectRoundTripsAllCells) {
+  const Workload wl = SmallWorkload();
+  const auto pub = UniformPub(wl);
+  const Grid grid(wl, *pub);
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 3; ++b) {
+      const Point p{static_cast<double>(a), static_cast<double>(b)};
+      const std::int64_t id = grid.cell_of(p);
+      EXPECT_TRUE(grid.cell_rect(id).contains(p));
+    }
+}
+
+TEST(Grid, TopCellsTruncatesAndPreservesOrder) {
+  const Workload wl = SmallWorkload();
+  const auto pub = UniformPub(wl);
+  const Grid grid(wl, *pub);
+  const auto all = grid.top_cells(0);
+  EXPECT_EQ(all.size(), grid.hyper_cells().size());
+  const auto two = grid.top_cells(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0].members, &grid.hyper_cells()[0].members);
+  EXPECT_EQ(two[1].members, &grid.hyper_cells()[1].members);
+  const auto many = grid.top_cells(100);
+  EXPECT_EQ(many.size(), grid.hyper_cells().size());
+}
+
+TEST(Grid, SubscriberOutsideDomainIgnored) {
+  Workload wl;
+  wl.space = EventSpace({{"a", 4}});
+  Subscriber s;
+  s.node = 0;
+  s.interest = Rect({Interval(10, 20)});  // entirely outside
+  wl.subscribers.push_back(s);
+  const auto pub = UniformPub(wl);
+  const Grid grid(wl, *pub);
+  EXPECT_EQ(grid.num_occupied_cells(), 0);
+  EXPECT_TRUE(grid.hyper_cells().empty());
+}
+
+}  // namespace
+}  // namespace pubsub

@@ -1,0 +1,89 @@
+#include "sim/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "core/grid.h"
+#include "sim/scenario.h"
+
+namespace pubsub {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : scenario(MakeStockScenario(400, PublicationHotSpots::kOne, 41)),
+        sim(scenario.net.graph, scenario.workload),
+        grid(scenario.workload, *scenario.pub) {
+    Rng rng(42);
+    events = SampleEvents(sim, *scenario.pub, 120, rng);
+    base = EvaluateBaselines(sim, events);
+    Rng algo_rng(43);
+    assignment = GridAlgorithmByName("forgy").run(grid.top_cells(1500), 40, algo_rng);
+    matcher = std::make_unique<GridMatcher>(grid, assignment, 40);
+  }
+
+  Scenario scenario;
+  DeliverySimulator sim;
+  Grid grid;
+  std::vector<EventSample> events;
+  BaselineCosts base;
+  Assignment assignment;
+  std::unique_ptr<GridMatcher> matcher;
+};
+
+TEST(Hybrid, OracleNeverWorseThanAnyPureStrategy) {
+  Fixture f;
+  const HybridCosts oracle = EvaluateHybrid(f.sim, f.events, MatcherFn(*f.matcher),
+                                            HybridPolicy::kOracle);
+  const ClusteredCosts pure =
+      EvaluateMatcher(f.sim, f.events, MatcherFn(*f.matcher));
+  EXPECT_LE(oracle.network, f.base.unicast + 1e-6);
+  EXPECT_LE(oracle.network, f.base.broadcast + 1e-6);
+  EXPECT_LE(oracle.network, pure.network + 1e-6);
+  EXPECT_EQ(oracle.chose_unicast + oracle.chose_multicast + oracle.chose_broadcast,
+            f.events.size());
+}
+
+TEST(Hybrid, RulePolicyIsBetweenOracleAndWorstPure) {
+  Fixture f;
+  const HybridCosts oracle = EvaluateHybrid(f.sim, f.events, MatcherFn(*f.matcher),
+                                            HybridPolicy::kOracle);
+  const HybridCosts rule = EvaluateHybrid(f.sim, f.events, MatcherFn(*f.matcher),
+                                          HybridPolicy::kRule);
+  EXPECT_GE(rule.network, oracle.network - 1e-6);
+  // The rule must not be a catastrophe: better than always-broadcast.
+  EXPECT_LE(rule.network, f.base.broadcast + 1e-6);
+}
+
+TEST(Hybrid, RuleExtremesForceSingleStrategy) {
+  Fixture f;
+  HybridRuleParams always_unicast;
+  always_unicast.unicast_max = f.scenario.workload.num_subscribers();
+  const HybridCosts u = EvaluateHybrid(f.sim, f.events, MatcherFn(*f.matcher),
+                                       HybridPolicy::kRule, always_unicast);
+  EXPECT_EQ(u.chose_unicast, f.events.size());
+  EXPECT_NEAR(u.network, f.base.unicast, 1e-6);
+
+  HybridRuleParams always_broadcast;
+  always_broadcast.broadcast_fraction = 0.0;
+  const HybridCosts b = EvaluateHybrid(f.sim, f.events, MatcherFn(*f.matcher),
+                                       HybridPolicy::kRule, always_broadcast);
+  EXPECT_EQ(b.chose_broadcast, f.events.size());
+  EXPECT_NEAR(b.network, f.base.broadcast, 1e-6);
+}
+
+TEST(Hybrid, OracleMixesStrategies) {
+  // On this workload the oracle should actually use at least two of the
+  // three strategies (events vary from 0 interested to dozens).
+  Fixture f;
+  const HybridCosts oracle = EvaluateHybrid(f.sim, f.events, MatcherFn(*f.matcher),
+                                            HybridPolicy::kOracle);
+  int strategies_used = 0;
+  if (oracle.chose_unicast > 0) ++strategies_used;
+  if (oracle.chose_multicast > 0) ++strategies_used;
+  if (oracle.chose_broadcast > 0) ++strategies_used;
+  EXPECT_GE(strategies_used, 2);
+}
+
+}  // namespace
+}  // namespace pubsub

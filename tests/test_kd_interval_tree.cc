@@ -1,0 +1,129 @@
+#include "index/kd_interval_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "index/spatial_index.h"
+#include "sim/scenario.h"
+
+namespace pubsub {
+namespace {
+
+Rect RandRect(std::mt19937_64& rng, int dims, int domain) {
+  std::vector<Interval> ivals;
+  for (int d = 0; d < dims; ++d) {
+    double a = static_cast<double>(rng() % static_cast<unsigned>(domain));
+    double b = static_cast<double>(rng() % static_cast<unsigned>(domain));
+    if (a > b) std::swap(a, b);
+    ivals.emplace_back(a - 1.0, b);
+  }
+  return Rect(std::move(ivals));
+}
+
+std::vector<int> Sorted(std::vector<int> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(KdIntervalTree, EmptyTree) {
+  KdIntervalTree t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.height(), 0);
+  EXPECT_TRUE(t.stab(Point{1.0}).empty());
+}
+
+TEST(KdIntervalTree, RejectsInvalidRects) {
+  KdIntervalTree t;
+  EXPECT_THROW(t.insert(Rect({Interval(2, 2)}), 0), std::invalid_argument);
+  EXPECT_THROW(t.insert(Rect({Interval::All()}), 0), std::invalid_argument);
+  EXPECT_THROW(KdIntervalTree(0), std::invalid_argument);
+}
+
+TEST(KdIntervalTree, HalfOpenStabbing) {
+  KdIntervalTree t;
+  t.insert(Rect({Interval(0, 4), Interval(0, 4)}), 1);
+  EXPECT_EQ(t.stab(Point{4.0, 4.0}), std::vector<int>{1});
+  EXPECT_TRUE(t.stab(Point{0.0, 2.0}).empty());
+}
+
+class KdOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KdOracleTest, AgreesWithLinearIndex) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  constexpr int kDims = 3, kDomain = 15;
+  const int entries = 50 + static_cast<int>(rng() % 1200);
+
+  LinearIndex oracle;
+  KdIntervalTree tree;
+  for (int i = 0; i < entries; ++i) {
+    const Rect r = RandRect(rng, kDims, kDomain);
+    if (r.empty()) continue;
+    oracle.insert(r, i);
+    tree.insert(r, i);
+  }
+  EXPECT_EQ(tree.size(), oracle.size());
+
+  for (int q = 0; q < 60; ++q) {
+    Point p;
+    for (int d = 0; d < kDims; ++d)
+      p.push_back(static_cast<double>(rng() % kDomain));
+    EXPECT_EQ(Sorted(tree.stab(p)), Sorted(oracle.stab(p)));
+    const Rect w = RandRect(rng, kDims, kDomain);
+    if (w.empty()) continue;
+    EXPECT_EQ(Sorted(tree.intersecting(w)), Sorted(oracle.intersecting(w)));
+    EXPECT_EQ(Sorted(tree.containing(w)), Sorted(oracle.containing(w)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KdOracleTest, ::testing::Range(0, 8));
+
+TEST(KdIntervalTree, AgreesWithOracleOnPaperWorkload) {
+  const Scenario s = MakeStockScenario(600, PublicationHotSpots::kOne, 31);
+  const Rect domain = s.workload.space.domain_rect();
+  LinearIndex oracle;
+  KdIntervalTree tree;
+  for (std::size_t i = 0; i < s.workload.subscribers.size(); ++i) {
+    const Rect r = s.workload.subscribers[i].interest.intersection(domain);
+    oracle.insert(r, static_cast<int>(i));
+    tree.insert(r, static_cast<int>(i));
+  }
+  Rng rng(32);
+  for (int q = 0; q < 100; ++q) {
+    const Publication pub = s.pub->sample(rng);
+    EXPECT_EQ(Sorted(tree.stab(pub.point)), Sorted(oracle.stab(pub.point)));
+  }
+}
+
+TEST(KdIntervalTree, DuplicateRectsStayALeafWithoutLooping) {
+  KdIntervalTree t(4);
+  const Rect r({Interval(0, 3), Interval(0, 3)});
+  for (int i = 0; i < 40; ++i) t.insert(r, i);
+  EXPECT_EQ(t.size(), 40u);
+  EXPECT_EQ(t.stab(Point{1.0, 1.0}).size(), 40u);
+}
+
+TEST(KdIntervalTree, BuildsSkewAwareStructure) {
+  // Many small disjoint rectangles: the tree should actually split (height
+  // > 1) and keep spanning lists small relative to the total.
+  std::mt19937_64 rng(9);
+  KdIntervalTree t(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = static_cast<double>(rng() % 500);
+    const double y = static_cast<double>(rng() % 500);
+    t.insert(Rect({Interval(x, x + 1), Interval(y, y + 1)}), i);
+  }
+  EXPECT_GT(t.height(), 3);
+  EXPECT_LT(t.spanning_count(), t.size() / 2);
+}
+
+TEST(KdIntervalTree, MoveSemantics) {
+  KdIntervalTree a;
+  a.insert(Rect({Interval(0, 2)}), 7);
+  KdIntervalTree b = std::move(a);
+  EXPECT_EQ(b.stab(Point{1.0}), std::vector<int>{7});
+}
+
+}  // namespace
+}  // namespace pubsub

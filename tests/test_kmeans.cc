@@ -1,0 +1,185 @@
+#include "core/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster_test_util.h"
+
+namespace pubsub {
+namespace {
+
+using testutil::CellSet;
+using testutil::MatchesTruth;
+using testutil::RandomCells;
+using testutil::SeparableCells;
+using testutil::ValidPartition;
+
+class KMeansVariantTest : public ::testing::TestWithParam<KMeansVariant> {
+ protected:
+  KMeansOptions Opt() const {
+    KMeansOptions o;
+    o.variant = GetParam();
+    return o;
+  }
+};
+
+TEST_P(KMeansVariantTest, RecoversSeparableBlocks) {
+  Rng rng(1);
+  CellSet set = SeparableCells(3, 12, 15, rng);
+  // Popularity ordering is a precondition of the seeding step.
+  std::vector<std::size_t> order(set.cells.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return set.cells[a].popularity() > set.cells[b].popularity();
+  });
+  std::vector<ClusterCell> cells;
+  std::vector<int> truth;
+  for (const std::size_t i : order) {
+    cells.push_back(set.cells[i]);
+    truth.push_back(set.truth[i]);
+  }
+
+  const KMeansResult r = KMeansCluster(cells, 3, Opt());
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(ValidPartition(r.assignment, 3));
+  EXPECT_TRUE(MatchesTruth(truth, r.assignment));
+  // Separated blocks have zero expected waste... within a block every pair
+  // of cells shares the group but may differ, so waste is merely finite;
+  // cross-block grouping would add strictly positive inter-block waste.
+  const double waste = TotalExpectedWaste(cells, r.assignment, 3);
+  EXPECT_GE(waste, 0.0);
+}
+
+TEST_P(KMeansVariantTest, ProducesValidPartitionOnRandomData) {
+  Rng rng(2);
+  const CellSet set = RandomCells(120, 40, rng);
+  for (const std::size_t k : {1u, 2u, 7u, 40u}) {
+    const KMeansResult r = KMeansCluster(set.cells, k, Opt());
+    EXPECT_TRUE(ValidPartition(r.assignment, k)) << "K=" << k;
+  }
+}
+
+TEST_P(KMeansVariantTest, KClampedToCellCount) {
+  Rng rng(3);
+  const CellSet set = RandomCells(5, 10, rng);
+  const KMeansResult r = KMeansCluster(set.cells, 50, Opt());
+  EXPECT_TRUE(ValidPartition(r.assignment, 5));
+}
+
+TEST_P(KMeansVariantTest, DeterministicAcrossRuns) {
+  Rng rng(4);
+  const CellSet set = RandomCells(80, 30, rng);
+  const KMeansResult a = KMeansCluster(set.cells, 8, Opt());
+  const KMeansResult b = KMeansCluster(set.cells, 8, Opt());
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST_P(KMeansVariantTest, ImprovesOnInitialPartition) {
+  Rng rng(5);
+  const CellSet set = RandomCells(150, 50, rng);
+  KMeansOptions no_iter = Opt();
+  no_iter.max_iterations = 0;
+  KMeansOptions full = Opt();
+  const double before =
+      TotalExpectedWaste(set.cells, KMeansCluster(set.cells, 10, no_iter).assignment, 10);
+  const double after =
+      TotalExpectedWaste(set.cells, KMeansCluster(set.cells, 10, full).assignment, 10);
+  EXPECT_LE(after, before + 1e-9);
+}
+
+TEST_P(KMeansVariantTest, IterationCapRespected) {
+  Rng rng(6);
+  const CellSet set = RandomCells(100, 30, rng);
+  KMeansOptions opt = Opt();
+  opt.max_iterations = 2;
+  const KMeansResult r = KMeansCluster(set.cells, 5, opt);
+  EXPECT_LE(r.iterations, 2u);
+  EXPECT_TRUE(ValidPartition(r.assignment, 5));
+}
+
+TEST_P(KMeansVariantTest, EmptyAndSingletonInputs) {
+  const KMeansResult empty = KMeansCluster({}, 3, Opt());
+  EXPECT_TRUE(empty.assignment.empty());
+
+  BitVector v(4);
+  v.set(0);
+  const std::vector<ClusterCell> one = {{&v, 0.5}};
+  const KMeansResult r = KMeansCluster(one, 3, Opt());
+  EXPECT_EQ(r.assignment, Assignment{0});
+}
+
+TEST_P(KMeansVariantTest, RejectsZeroK) {
+  BitVector v(4);
+  v.set(1);
+  const std::vector<ClusterCell> one = {{&v, 0.5}};
+  EXPECT_THROW(KMeansCluster(one, 0, Opt()), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, KMeansVariantTest,
+                         ::testing::Values(KMeansVariant::kMacQueen,
+                                           KMeansVariant::kForgy),
+                         [](const auto& info) {
+                           return info.param == KMeansVariant::kMacQueen
+                                      ? "MacQueen"
+                                      : "Forgy";
+                         });
+
+TEST(KMeans, WarmStartConvergesFasterOnPerturbedInput) {
+  Rng rng(8);
+  const CellSet set = RandomCells(200, 60, rng);
+  const KMeansResult cold = KMeansCluster(set.cells, 12, {});
+  ASSERT_TRUE(cold.converged);
+
+  // Re-cluster the same cells warm-started from the converged assignment:
+  // it must converge in a few re-balancing passes (the returned assignment
+  // may be a best-of-run intermediate, not a pass fixed point) and must
+  // not lose quality.
+  KMeansOptions warm;
+  warm.warm_start = &cold.assignment;
+  const KMeansResult again = KMeansCluster(set.cells, 12, warm);
+  EXPECT_TRUE(again.converged);
+  EXPECT_LE(again.iterations, cold.iterations);
+  EXPECT_LE(TotalExpectedWaste(set.cells, again.assignment, 12),
+            TotalExpectedWaste(set.cells, cold.assignment, 12) + 1e-9);
+}
+
+TEST(KMeans, WarmStartPlacesUnlabeledCellsByDistance) {
+  Rng rng(9);
+  const CellSet set = SeparableCells(3, 8, 6, rng);
+  // Label only the three seeds; everything else is -1.
+  Assignment seed(set.cells.size(), -1);
+  seed[0] = 0;
+  // Find one cell of each block to pin (cells are in block order).
+  seed[0] = 0;
+  seed[6] = 1;
+  seed[12] = 2;
+  KMeansOptions warm;
+  warm.warm_start = &seed;
+  const KMeansResult r = KMeansCluster(set.cells, 3, warm);
+  EXPECT_TRUE(ValidPartition(r.assignment, 3));
+  EXPECT_TRUE(MatchesTruth(set.truth, r.assignment));
+}
+
+TEST(KMeans, WarmStartRejectsSizeMismatch) {
+  Rng rng(10);
+  const CellSet set = RandomCells(10, 8, rng);
+  Assignment bad(5, 0);
+  KMeansOptions warm;
+  warm.warm_start = &bad;
+  EXPECT_THROW(KMeansCluster(set.cells, 3, warm), std::invalid_argument);
+}
+
+TEST(KMeans, GroupsNeverEmptied) {
+  // With K = number of cells every cell is its own seed and none may move.
+  Rng rng(7);
+  const CellSet set = RandomCells(12, 10, rng);
+  const KMeansResult r = KMeansCluster(set.cells, 12, {});
+  Assignment expect(12);
+  for (int i = 0; i < 12; ++i) expect[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(r.assignment, expect);
+}
+
+}  // namespace
+}  // namespace pubsub

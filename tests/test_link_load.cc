@@ -1,0 +1,92 @@
+#include "sim/link_load.h"
+
+#include <gtest/gtest.h>
+
+namespace pubsub {
+namespace {
+
+// Star: center 0, leaves 1..3, unit costs; edge ids 0,1,2 in order.
+struct StarFixture {
+  StarFixture() : graph(4) {
+    for (int i = 1; i <= 3; ++i) graph.add_edge(0, i, 1.0);
+    spt = Dijkstra(graph, 0);
+  }
+  Graph graph;
+  ShortestPathTree spt;
+};
+
+TEST(LinkLoad, UnicastPaysPerTarget) {
+  StarFixture f;
+  LinkLoadTracker t(f.graph);
+  const std::vector<NodeId> targets = {1, 1, 2};
+  t.add_unicast(f.spt, targets, 100.0);
+  EXPECT_EQ(t.load(0), 200.0);  // edge to node 1, twice
+  EXPECT_EQ(t.load(1), 100.0);
+  EXPECT_EQ(t.load(2), 0.0);
+  EXPECT_EQ(t.total_bytes(), 300.0);
+  EXPECT_EQ(t.max_link_load(), 200.0);
+  EXPECT_EQ(t.links_used(), 2u);
+}
+
+TEST(LinkLoad, MulticastPaysPerTreeEdgeOnce) {
+  StarFixture f;
+  LinkLoadTracker t(f.graph);
+  const std::vector<NodeId> members = {1, 1, 2, 3};
+  t.add_multicast(f.spt, members, 100.0);
+  EXPECT_EQ(t.load(0), 100.0);
+  EXPECT_EQ(t.load(1), 100.0);
+  EXPECT_EQ(t.load(2), 100.0);
+  EXPECT_EQ(t.total_bytes(), 300.0);
+  EXPECT_EQ(t.max_link_load(), 100.0);
+}
+
+TEST(LinkLoad, SharedPathCountedOncePerMulticast) {
+  // Line 0-1-2: members {1,2} share edge 0-1.
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const ShortestPathTree spt = Dijkstra(g, 0);
+  LinkLoadTracker t(g);
+  t.add_multicast(spt, std::vector<NodeId>{1, 2}, 10.0);
+  EXPECT_EQ(t.load(0), 10.0);
+  EXPECT_EQ(t.load(1), 10.0);
+  // A second multicast accumulates.
+  t.add_multicast(spt, std::vector<NodeId>{2}, 10.0);
+  EXPECT_EQ(t.load(0), 20.0);
+  EXPECT_EQ(t.load(1), 20.0);
+}
+
+TEST(LinkLoad, BroadcastLoadsEveryTreeEdge) {
+  StarFixture f;
+  LinkLoadTracker t(f.graph);
+  t.add_broadcast(f.spt, 7.0);
+  for (EdgeId e = 0; e < 3; ++e) EXPECT_EQ(t.load(e), 7.0);
+}
+
+TEST(LinkLoad, ResetAndQuantiles) {
+  StarFixture f;
+  LinkLoadTracker t(f.graph);
+  t.add_unicast(f.spt, std::vector<NodeId>{1, 2, 2, 3, 3, 3}, 1.0);
+  // Loads: 1, 2, 3.
+  EXPECT_EQ(t.load_quantile(0.0), 1.0);
+  EXPECT_EQ(t.load_quantile(0.5), 2.0);
+  EXPECT_EQ(t.load_quantile(1.0), 3.0);
+  t.reset();
+  EXPECT_EQ(t.total_bytes(), 0.0);
+  EXPECT_EQ(t.links_used(), 0u);
+  EXPECT_EQ(t.load_quantile(0.5), 0.0);
+}
+
+TEST(LinkLoad, RejectsUnreachableTargets) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const ShortestPathTree spt = Dijkstra(g, 0);
+  LinkLoadTracker t(g);
+  EXPECT_THROW(t.add_unicast(spt, std::vector<NodeId>{2}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(t.add_multicast(spt, std::vector<NodeId>{2}, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pubsub

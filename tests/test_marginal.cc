@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "workload/marginal.h"
+
+namespace pubsub {
+namespace {
+
+TEST(Marginal, UniformMassesAndSampling) {
+  const Marginal1D m = Marginal1D::UniformInt(10);
+  EXPECT_EQ(m.domain_size(), 10);
+  for (int v = 0; v < 10; ++v) EXPECT_NEAR(m.pmf(v), 0.1, 1e-12);
+  EXPECT_NEAR(m.interval_mass(Interval(-1, 9)), 1.0, 1e-12);
+  EXPECT_NEAR(m.interval_mass(Interval(2, 5)), 0.3, 1e-12);
+  EXPECT_NEAR(m.interval_mass(Interval::Point(4)), 0.1, 1e-12);
+  EXPECT_EQ(m.interval_mass(Interval(9, 100)), 0.0);
+  EXPECT_EQ(m.interval_mass(Interval(-5, -2)), 0.0);
+}
+
+TEST(Marginal, GaussianFoldsTailsIntoBoundaries) {
+  // Mean far below the domain: all clamped mass lands on value 0.
+  const Marginal1D low = Marginal1D::Gaussian(GaussianMixture1D::Single(-50, 1), 5);
+  EXPECT_NEAR(low.pmf(0), 1.0, 1e-9);
+  const Marginal1D high = Marginal1D::Gaussian(GaussianMixture1D::Single(50, 1), 5);
+  EXPECT_NEAR(high.pmf(4), 1.0, 1e-9);
+}
+
+TEST(Marginal, GaussianPmfSumsToOne) {
+  const Marginal1D m = Marginal1D::Gaussian(GaussianMixture1D::Single(9, 3), 21);
+  double total = 0;
+  for (int v = 0; v < 21; ++v) total += m.pmf(v);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // The mode carries the most mass.
+  for (int v = 0; v < 21; ++v) EXPECT_LE(m.pmf(v), m.pmf(9));
+}
+
+TEST(Marginal, IntervalMassMatchesPmfSums) {
+  const Marginal1D m = Marginal1D::Gaussian(GaussianMixture1D::Single(5, 2), 11);
+  double sum = 0;
+  for (int v = 3; v <= 7; ++v) sum += m.pmf(v);
+  EXPECT_NEAR(m.interval_mass(Interval(2, 7)), sum, 1e-12);
+  // Unbounded query intervals clip to the domain.
+  EXPECT_NEAR(m.interval_mass(Interval::All()), 1.0, 1e-12);
+  EXPECT_NEAR(m.interval_mass(Interval::AtMost(4)),
+              m.pmf(0) + m.pmf(1) + m.pmf(2) + m.pmf(3) + m.pmf(4), 1e-12);
+}
+
+TEST(Marginal, SamplingMatchesInterval) {
+  const Marginal1D m = Marginal1D::Gaussian(GaussianMixture1D::Single(4, 1.5), 9);
+  Rng rng(31);
+  std::vector<int> counts(9, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const int v = m.sample(rng);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 9);
+    ++counts[v];
+  }
+  for (int v = 0; v < 9; ++v)
+    EXPECT_NEAR(static_cast<double>(counts[v]) / n, m.pmf(v), 0.01) << "v=" << v;
+}
+
+TEST(Marginal, CategoricalNormalizes) {
+  const Marginal1D m = Marginal1D::Categorical({2.0, 0.0, 6.0});
+  EXPECT_NEAR(m.pmf(0), 0.25, 1e-12);
+  EXPECT_EQ(m.pmf(1), 0.0);
+  EXPECT_NEAR(m.pmf(2), 0.75, 1e-12);
+}
+
+TEST(Marginal, RejectsInvalid) {
+  EXPECT_THROW(Marginal1D::UniformInt(0), std::invalid_argument);
+  EXPECT_THROW(Marginal1D::Categorical({}), std::invalid_argument);
+  EXPECT_THROW(Marginal1D::Categorical({-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(Marginal1D::Categorical({0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pubsub

@@ -1,0 +1,90 @@
+#include "core/mst_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster_test_util.h"
+
+namespace pubsub {
+namespace {
+
+using testutil::CellSet;
+using testutil::MatchesTruth;
+using testutil::RandomCells;
+using testutil::SeparableCells;
+using testutil::ValidPartition;
+
+// Same partition up to label renaming.
+bool SamePartition(const Assignment& a, const Assignment& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = i + 1; j < a.size(); ++j)
+      if ((a[i] == a[j]) != (b[i] == b[j])) return false;
+  return true;
+}
+
+class MstEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(MstEquivalence, PrimCutEqualsKruskalStopAtK) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const CellSet set = RandomCells(35, 14, rng);
+  for (const std::size_t k : {1u, 2u, 5u, 12u, 35u}) {
+    const Assignment prim = MstCluster(set.cells, k);
+    const Assignment kruskal = MstClusterKruskal(set.cells, k);
+    EXPECT_TRUE(ValidPartition(prim, k));
+    EXPECT_TRUE(ValidPartition(kruskal, k));
+    EXPECT_TRUE(SamePartition(prim, kruskal)) << "seed " << GetParam() << " K=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstEquivalence, ::testing::Range(0, 8));
+
+TEST(MstClusterTest, RecoversSeparableBlocks) {
+  Rng rng(20);
+  const CellSet set = SeparableCells(5, 8, 10, rng);
+  const Assignment a = MstCluster(set.cells, 5);
+  EXPECT_TRUE(ValidPartition(a, 5));
+  EXPECT_TRUE(MatchesTruth(set.truth, a));
+}
+
+TEST(MstClusterTest, SingleGroupMergesEverything) {
+  Rng rng(21);
+  const CellSet set = RandomCells(20, 10, rng);
+  const Assignment a = MstCluster(set.cells, 1);
+  for (const int g : a) EXPECT_EQ(g, 0);
+}
+
+TEST(MstClusterTest, KEqualsCellCountIsDiscrete) {
+  Rng rng(22);
+  const CellSet set = RandomCells(10, 8, rng);
+  const Assignment a = MstCluster(set.cells, 10);
+  EXPECT_TRUE(ValidPartition(a, 10));
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = i + 1; j < a.size(); ++j) EXPECT_NE(a[i], a[j]);
+}
+
+TEST(MstClusterTest, MonotoneHierarchy) {
+  // Cutting one more MST edge refines the partition (Kruskal nesting).
+  Rng rng(23);
+  const CellSet set = RandomCells(30, 12, rng);
+  Assignment prev = MstCluster(set.cells, 2);
+  for (const std::size_t k : {3u, 5u, 9u, 15u}) {
+    const Assignment cur = MstCluster(set.cells, k);
+    for (std::size_t i = 0; i < cur.size(); ++i)
+      for (std::size_t j = 0; j < cur.size(); ++j)
+        if (cur[i] == cur[j]) EXPECT_EQ(prev[i], prev[j]);
+    prev = cur;
+  }
+}
+
+TEST(MstClusterTest, TrivialSizes) {
+  EXPECT_TRUE(MstCluster({}, 3).empty());
+  BitVector v(4);
+  v.set(0);
+  const std::vector<ClusterCell> one = {{&v, 1.0}};
+  EXPECT_EQ(MstCluster(one, 2), Assignment{0});
+  EXPECT_THROW(MstCluster(one, 0), std::invalid_argument);
+  EXPECT_THROW(MstClusterKruskal(one, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pubsub

@@ -1,0 +1,108 @@
+#include "workload/multirange.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace pubsub {
+namespace {
+
+TEST(NormalizeUnionTest, SortsMergesAndDropsEmpty) {
+  const auto out = NormalizeUnion({Interval(5, 8), Interval(0, 2), Interval(2, 4),
+                                   Interval(3, 3), Interval(1, 3)});
+  // (0,2] ∪ (2,4] ∪ (1,3] merge into (0,4]; (5,8] stays; (3,3] dropped.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Interval(0, 4));
+  EXPECT_EQ(out[1], Interval(5, 8));
+}
+
+TEST(NormalizeUnionTest, EmptyAndSingle) {
+  EXPECT_TRUE(NormalizeUnion({}).empty());
+  EXPECT_TRUE(NormalizeUnion({Interval(2, 2)}).empty());
+  const auto one = NormalizeUnion({Interval(1, 5)});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], Interval(1, 5));
+}
+
+TEST(DecomposeTest, CartesianProductOfUnions) {
+  MultiRangeSubscription sub;
+  sub.node = 3;
+  sub.ranges = {{Interval(0, 2), Interval(5, 7)},       // two name ranges
+                {Interval(-1, 10)},                      // one price range
+                {Interval(0, 1), Interval(3, 4), Interval(8, 9)}};
+  const auto rects = DecomposeToRects(sub);
+  EXPECT_EQ(rects.size(), 2u * 1u * 3u);
+  // Rectangles are pairwise disjoint.
+  for (std::size_t i = 0; i < rects.size(); ++i)
+    for (std::size_t j = i + 1; j < rects.size(); ++j)
+      EXPECT_FALSE(rects[i].intersects(rects[j])) << i << "," << j;
+}
+
+TEST(DecomposeTest, UnmatchablePredicateDecomposesToNothing) {
+  MultiRangeSubscription sub;
+  sub.ranges = {{Interval(0, 2)}, {}};
+  EXPECT_TRUE(DecomposeToRects(sub).empty());
+  MultiRangeSubscription degenerate;
+  degenerate.ranges = {{Interval(1, 1)}};
+  EXPECT_TRUE(DecomposeToRects(degenerate).empty());
+}
+
+TEST(DecomposeTest, MembershipEquivalenceProperty) {
+  // A random point is in some decomposed rectangle iff every coordinate
+  // lies in that dimension's union — the §1 semantic-preservation claim.
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    MultiRangeSubscription sub;
+    const int dims = 2 + static_cast<int>(rng() % 2);
+    for (int d = 0; d < dims; ++d) {
+      std::vector<Interval> pieces;
+      const int n = 1 + static_cast<int>(rng() % 3);
+      for (int i = 0; i < n; ++i) {
+        double a = static_cast<double>(rng() % 20);
+        double b = static_cast<double>(rng() % 20);
+        if (a > b) std::swap(a, b);
+        pieces.emplace_back(a, b + 1);
+      }
+      sub.ranges.push_back(std::move(pieces));
+    }
+    const auto rects = DecomposeToRects(sub);
+
+    for (int q = 0; q < 40; ++q) {
+      Point p;
+      for (int d = 0; d < dims; ++d)
+        p.push_back(static_cast<double>(rng() % 22) - 0.5);
+
+      bool in_union = true;
+      for (int d = 0; d < dims; ++d) {
+        bool dim_ok = false;
+        for (const Interval& iv : sub.ranges[static_cast<std::size_t>(d)])
+          dim_ok = dim_ok || iv.contains(p[static_cast<std::size_t>(d)]);
+        in_union = in_union && dim_ok;
+      }
+      int containing = 0;
+      for (const Rect& r : rects)
+        if (r.contains(p)) ++containing;
+      EXPECT_EQ(containing > 0, in_union);
+      EXPECT_LE(containing, 1);  // disjointness
+    }
+  }
+}
+
+TEST(AppendDecomposedTest, AddsSubscribersUnderOneNode) {
+  Workload wl;
+  wl.space = EventSpace({{"a", 21}, {"b", 21}});
+  MultiRangeSubscription sub;
+  sub.node = 9;
+  sub.ranges = {{Interval(0, 3), Interval(6, 8)}, {Interval(-1, 20)}};
+  EXPECT_EQ(AppendDecomposed(wl, sub), 2u);
+  ASSERT_EQ(wl.subscribers.size(), 2u);
+  for (const Subscriber& s : wl.subscribers) EXPECT_EQ(s.node, 9);
+
+  MultiRangeSubscription wrong_dims;
+  wrong_dims.node = 1;
+  wrong_dims.ranges = {{Interval(0, 1)}};
+  EXPECT_THROW(AppendDecomposed(wl, wrong_dims), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pubsub

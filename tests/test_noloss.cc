@@ -1,0 +1,138 @@
+#include "core/noloss.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/publication_model.h"
+
+namespace pubsub {
+namespace {
+
+// 1-D workload with overlapping interests; uniform publications.
+Workload LineWorkload() {
+  Workload wl;
+  wl.space = EventSpace({{"x", 20}});
+  auto add = [&wl](double lo, double hi) {
+    Subscriber s;
+    s.node = static_cast<NodeId>(wl.subscribers.size());
+    s.interest = Rect({Interval(lo, hi)});
+    wl.subscribers.push_back(std::move(s));
+  };
+  add(-1, 9);   // 0
+  add(4, 14);   // 1
+  add(4, 9);    // 2  (the intersection of 0 and 1)
+  add(15, 19);  // 3  (disjoint from the rest)
+  return wl;
+}
+
+std::unique_ptr<PublicationModel> UniformPub(const Workload& wl) {
+  std::vector<Marginal1D> m;
+  for (std::size_t d = 0; d < wl.space.dims(); ++d)
+    m.push_back(Marginal1D::UniformInt(wl.space.dim(d).domain_size));
+  return std::make_unique<ProductPublicationModel>(wl.space, std::move(m),
+                                                   std::vector<NodeId>{0});
+}
+
+TEST(NoLoss, MembersAlwaysContainGroupRect) {
+  const Workload wl = LineWorkload();
+  const auto pub = UniformPub(wl);
+  const NoLossResult r = NoLossCluster(wl, *pub);
+  ASSERT_FALSE(r.groups.empty());
+  for (const NoLossGroup& g : r.groups) {
+    EXPECT_FALSE(g.rect.empty());
+    g.subscribers.for_each_set([&](std::size_t i) {
+      EXPECT_TRUE(wl.subscribers[i].interest.contains(g.rect))
+          << "subscriber " << i << " does not contain " << g.rect.to_string();
+    });
+  }
+}
+
+TEST(NoLoss, MembershipIsExactlyContainingSubscribers) {
+  const Workload wl = LineWorkload();
+  const auto pub = UniformPub(wl);
+  const NoLossResult r = NoLossCluster(wl, *pub);
+  for (const NoLossGroup& g : r.groups) {
+    for (std::size_t i = 0; i < wl.subscribers.size(); ++i) {
+      EXPECT_EQ(g.subscribers.test(i), wl.subscribers[i].interest.contains(g.rect))
+          << g.rect.to_string() << " sub " << i;
+    }
+  }
+}
+
+TEST(NoLoss, FindsThePopularIntersection) {
+  const Workload wl = LineWorkload();
+  const auto pub = UniformPub(wl);
+  const NoLossResult r = NoLossCluster(wl, *pub);
+  // (4, 9] is contained in interests 0, 1 and 2 → weight 3·(5/20); it must
+  // be the heaviest area.
+  ASSERT_FALSE(r.groups.empty());
+  EXPECT_EQ(r.groups[0].rect, Rect({Interval(4, 9)}));
+  EXPECT_EQ(r.groups[0].subscribers.count(), 3u);
+  EXPECT_NEAR(r.groups[0].weight, 3.0 * 5.0 / 20.0, 1e-12);
+}
+
+TEST(NoLoss, WeightsSortedDescending) {
+  const Workload wl = LineWorkload();
+  const auto pub = UniformPub(wl);
+  const NoLossResult r = NoLossCluster(wl, *pub);
+  for (std::size_t i = 1; i < r.groups.size(); ++i)
+    EXPECT_GE(r.groups[i - 1].weight, r.groups[i].weight);
+}
+
+TEST(NoLoss, WeightMatchesDefinition) {
+  const Workload wl = LineWorkload();
+  const auto pub = UniformPub(wl);
+  const NoLossResult r = NoLossCluster(wl, *pub);
+  for (const NoLossGroup& g : r.groups)
+    EXPECT_NEAR(g.weight,
+                pub->rect_mass(g.rect) * static_cast<double>(g.subscribers.count()),
+                1e-12);
+}
+
+TEST(NoLoss, PoolBoundedByMaxRectangles) {
+  const Workload wl = LineWorkload();
+  const auto pub = UniformPub(wl);
+  NoLossOptions opt;
+  opt.max_rectangles = 3;
+  opt.iterations = 4;
+  const NoLossResult r = NoLossCluster(wl, *pub, opt);
+  EXPECT_LE(r.groups.size(), 3u);
+}
+
+TEST(NoLoss, MoreIterationsNeverLoseTopWeight) {
+  const Workload wl = LineWorkload();
+  const auto pub = UniformPub(wl);
+  NoLossOptions one;
+  one.iterations = 1;
+  NoLossOptions eight;
+  eight.iterations = 8;
+  const NoLossResult r1 = NoLossCluster(wl, *pub, one);
+  const NoLossResult r8 = NoLossCluster(wl, *pub, eight);
+  ASSERT_FALSE(r1.groups.empty());
+  ASSERT_FALSE(r8.groups.empty());
+  EXPECT_GE(r8.groups[0].weight, r1.groups[0].weight - 1e-12);
+}
+
+TEST(NoLoss, EmptyWorkload) {
+  Workload wl;
+  wl.space = EventSpace({{"x", 5}});
+  const auto pub = UniformPub(wl);
+  EXPECT_TRUE(NoLossCluster(wl, *pub).groups.empty());
+}
+
+TEST(NoLoss, DeduplicatesIdenticalInterests) {
+  Workload wl;
+  wl.space = EventSpace({{"x", 10}});
+  for (int i = 0; i < 5; ++i) {
+    Subscriber s;
+    s.node = i;
+    s.interest = Rect({Interval(2, 6)});
+    wl.subscribers.push_back(std::move(s));
+  }
+  const auto pub = UniformPub(wl);
+  const NoLossResult r = NoLossCluster(wl, *pub);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].subscribers.count(), 5u);
+}
+
+}  // namespace
+}  // namespace pubsub

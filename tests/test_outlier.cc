@@ -1,0 +1,62 @@
+#include "core/outlier.h"
+
+#include <gtest/gtest.h>
+
+namespace pubsub {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    // Popularities: 4.0, 2.0, 1.0, 0.5 (descending, as Grid provides).
+    for (int bits : {4, 4, 2, 1}) {
+      BitVector v(8);
+      for (int i = 0; i < bits; ++i) v.set(static_cast<std::size_t>(i));
+      storage.push_back(std::move(v));
+    }
+    const double probs[] = {1.0, 0.5, 0.5, 0.5};
+    for (std::size_t i = 0; i < storage.size(); ++i)
+      cells.push_back(ClusterCell{&storage[i], probs[i]});
+  }
+  std::vector<BitVector> storage;
+  std::vector<ClusterCell> cells;
+};
+
+TEST(FilterOutliersTest, NoOpByDefault) {
+  Fixture f;
+  EXPECT_EQ(FilterOutliers(f.cells, {}).size(), 4u);
+}
+
+TEST(FilterOutliersTest, PopularityFloorCutsTail) {
+  Fixture f;
+  OutlierFilterOptions opt;
+  opt.min_popularity = 0.9;
+  const auto kept = FilterOutliers(f.cells, opt);
+  ASSERT_EQ(kept.size(), 3u);
+  for (const ClusterCell& c : kept) EXPECT_GE(c.popularity(), 0.9);
+}
+
+TEST(FilterOutliersTest, MassFractionKeepsHead) {
+  Fixture f;
+  // Total popularity = 7.5; 60% = 4.5 → the first cell (4.0) is not enough,
+  // the second (cumulative 6.0) crosses the target.
+  OutlierFilterOptions opt;
+  opt.popularity_mass_fraction = 0.6;
+  const auto kept = FilterOutliers(f.cells, opt);
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(FilterOutliersTest, CombinedFiltersIntersect) {
+  Fixture f;
+  OutlierFilterOptions opt;
+  opt.popularity_mass_fraction = 0.99;
+  opt.min_popularity = 1.5;
+  const auto kept = FilterOutliers(f.cells, opt);
+  EXPECT_EQ(kept.size(), 2u);  // floor bites first
+}
+
+TEST(FilterOutliersTest, EmptyInput) {
+  EXPECT_TRUE(FilterOutliers({}, {}).empty());
+}
+
+}  // namespace
+}  // namespace pubsub

@@ -1,0 +1,164 @@
+#include "core/pairwise.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "cluster_test_util.h"
+
+namespace pubsub {
+namespace {
+
+using testutil::CellSet;
+using testutil::MatchesTruth;
+using testutil::RandomCells;
+using testutil::SeparableCells;
+using testutil::ValidPartition;
+
+// Naive reference: repeatedly scan all group pairs, merge the minimum.
+Assignment NaivePairwise(const std::vector<ClusterCell>& cells, std::size_t K) {
+  const std::size_t n = cells.size();
+  std::vector<GroupState> groups;
+  std::vector<int> owner(n);
+  std::vector<char> alive(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    groups.emplace_back(cells[0].members->size());
+    groups.back().add(cells[i]);
+    owner[i] = static_cast<int>(i);
+  }
+  std::size_t num_alive = n;
+  while (num_alive > K) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!alive[j]) continue;
+        const double d = groups[i].distance_to(groups[j]);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    groups[bi].merge_from(groups[bj]);
+    alive[bj] = 0;
+    --num_alive;
+    for (int& o : owner)
+      if (o == static_cast<int>(bj)) o = static_cast<int>(bi);
+  }
+  std::vector<int> compact(n, -1);
+  int next = 0;
+  Assignment out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto g = static_cast<std::size_t>(owner[i]);
+    if (compact[g] == -1) compact[g] = next++;
+    out[i] = compact[g];
+  }
+  return out;
+}
+
+TEST(Pairwise, MatchesNaiveReference) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed);
+    const CellSet set = RandomCells(40, 16, rng);
+    // Distinct probabilities make the merge sequence essentially unique.
+    const Assignment fast = PairwiseCluster(set.cells, 5);
+    const Assignment naive = NaivePairwise(set.cells, 5);
+    EXPECT_EQ(fast, naive) << "seed " << seed;
+  }
+}
+
+TEST(Pairwise, RecoversSeparableBlocks) {
+  Rng rng(10);
+  const CellSet set = SeparableCells(4, 10, 12, rng);
+  const Assignment a = PairwiseCluster(set.cells, 4);
+  EXPECT_TRUE(ValidPartition(a, 4));
+  EXPECT_TRUE(MatchesTruth(set.truth, a));
+}
+
+TEST(Pairwise, IdenticalCellsMergeFirst) {
+  // Two identical cells have distance 0 and must share a group even for
+  // large K relative to the distinct count.
+  BitVector a(8), b(8);
+  a.set(1);
+  b.set(5);
+  const std::vector<ClusterCell> cells = {{&a, 0.5}, {&b, 0.5}, {&a, 0.5}};
+  const Assignment got = PairwiseCluster(cells, 2);
+  EXPECT_TRUE(ValidPartition(got, 2));
+  EXPECT_EQ(got[0], got[2]);
+  EXPECT_NE(got[0], got[1]);
+}
+
+TEST(Pairwise, MonotoneHierarchy) {
+  // Hierarchical property (§6): the K-group partition refines the
+  // (K−1)-group partition — cells sharing a group at K still share at K−1.
+  Rng rng(11);
+  const CellSet set = RandomCells(30, 12, rng);
+  Assignment prev = PairwiseCluster(set.cells, 10);
+  for (std::size_t k = 9; k >= 2; --k) {
+    const Assignment cur = PairwiseCluster(set.cells, k);
+    EXPECT_TRUE(ValidPartition(cur, k));
+    for (std::size_t i = 0; i < prev.size(); ++i)
+      for (std::size_t j = 0; j < prev.size(); ++j)
+        if (prev[i] == prev[j]) EXPECT_EQ(cur[i], cur[j]);
+    prev = cur;
+  }
+}
+
+TEST(Pairwise, TrivialSizes) {
+  EXPECT_TRUE(PairwiseCluster({}, 3).empty());
+  BitVector v(4);
+  v.set(0);
+  const std::vector<ClusterCell> one = {{&v, 1.0}};
+  EXPECT_EQ(PairwiseCluster(one, 3), Assignment{0});
+  EXPECT_THROW(PairwiseCluster(one, 0), std::invalid_argument);
+}
+
+TEST(ApproxPairwise, ValidPartitionAndDeterministicUnderSeed) {
+  Rng rng(12);
+  const CellSet set = RandomCells(100, 30, rng);
+  Rng r1(5), r2(5), r3(6);
+  const Assignment a = ApproximatePairwiseCluster(set.cells, 9, r1);
+  const Assignment b = ApproximatePairwiseCluster(set.cells, 9, r2);
+  EXPECT_TRUE(ValidPartition(a, 9));
+  EXPECT_EQ(a, b);
+  // A different sampling seed may (and generally does) give another
+  // partition, but it must still be valid.
+  const Assignment c = ApproximatePairwiseCluster(set.cells, 9, r3);
+  EXPECT_TRUE(ValidPartition(c, 9));
+}
+
+TEST(ApproxPairwise, RecoversWellSeparatedBlocks) {
+  // With large inter-block distances even the sampled search finds the
+  // cheap merges: quality close to exact pairs.
+  Rng rng(13);
+  const CellSet set = SeparableCells(3, 10, 10, rng);
+  Rng arng(14);
+  const Assignment a = ApproximatePairwiseCluster(set.cells, 3, arng);
+  EXPECT_TRUE(ValidPartition(a, 3));
+  // Not necessarily exact, but cross-block waste should remain small
+  // compared with a random partition.
+  const double waste = TotalExpectedWaste(set.cells, a, 3);
+  Assignment round_robin(set.cells.size());
+  for (std::size_t i = 0; i < round_robin.size(); ++i)
+    round_robin[i] = static_cast<int>(i % 3);
+  const double random_waste = TotalExpectedWaste(set.cells, round_robin, 3);
+  EXPECT_LT(waste, random_waste * 0.5);
+}
+
+TEST(ApproxPairwise, WasteWithinFactorOfExact) {
+  Rng rng(15);
+  const CellSet set = RandomCells(60, 20, rng);
+  const double exact = TotalExpectedWaste(set.cells, PairwiseCluster(set.cells, 6), 6);
+  Rng arng(16);
+  const double approx = TotalExpectedWaste(
+      set.cells, ApproximatePairwiseCluster(set.cells, 6, arng), 6);
+  // The paper: "works faster, but may obtain a poorer solution" — allow a
+  // generous factor while catching pathological regressions.
+  EXPECT_LT(approx, exact * 3 + 1e-9);
+}
+
+}  // namespace
+}  // namespace pubsub

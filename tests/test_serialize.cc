@@ -1,0 +1,133 @@
+#include "io/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/scenario.h"
+
+namespace pubsub {
+namespace {
+
+template <typename T, typename WriteFn, typename ReadFn>
+T RoundTrip(const T& value, WriteFn write, ReadFn read) {
+  std::ostringstream os;
+  write(os, value);
+  std::istringstream is(os.str());
+  return read(is);
+}
+
+TEST(Serialize, GraphRoundTrip) {
+  Rng rng(1);
+  const TransitStubNetwork net = GenerateTransitStub(PaperNet100(), rng);
+  const Graph& g = net.graph;
+  const Graph back = RoundTrip(g, WriteGraph, ReadGraph);
+  ASSERT_EQ(back.num_nodes(), g.num_nodes());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (int e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(back.edge(e).u, g.edge(e).u);
+    EXPECT_EQ(back.edge(e).v, g.edge(e).v);
+    EXPECT_EQ(back.edge(e).cost, g.edge(e).cost);
+  }
+}
+
+TEST(Serialize, TransitStubRoundTrip) {
+  Rng rng(2);
+  const TransitStubNetwork net = GenerateTransitStub(PaperNetSection5(), rng);
+  const TransitStubNetwork back = RoundTrip(net, WriteTransitStub, ReadTransitStub);
+  EXPECT_EQ(back.graph.num_nodes(), net.graph.num_nodes());
+  EXPECT_EQ(back.graph.num_edges(), net.graph.num_edges());
+  EXPECT_EQ(back.num_stubs, net.num_stubs);
+  EXPECT_EQ(back.transit_nodes, net.transit_nodes);
+  EXPECT_EQ(back.stub_of_node, net.stub_of_node);
+  EXPECT_EQ(back.block_of_node, net.block_of_node);
+  EXPECT_EQ(back.block_of_stub, net.block_of_stub);
+  EXPECT_EQ(back.stub_members, net.stub_members);
+}
+
+TEST(Serialize, WorkloadRoundTripPreservesUnboundedEnds) {
+  Rng rng(3);
+  const TransitStubNetwork net = GenerateTransitStub(PaperNet100(), rng);
+  Section3Params params;  // regional dim can be the full (unbounded) domain
+  params.regionalism = 0.5;
+  Rng wrng(4);
+  Workload wl = GenerateSection3Subscriptions(net, 200, params, wrng);
+  // Inject a genuinely unbounded rectangle.
+  wl.subscribers[0].interest = Rect({Interval::All(), Interval::AtMost(5),
+                                     Interval::GreaterThan(2), Interval(1, 2)});
+
+  const Workload back = RoundTrip(wl, WriteWorkload, ReadWorkload);
+  ASSERT_EQ(back.subscribers.size(), wl.subscribers.size());
+  EXPECT_EQ(back.space.dims(), wl.space.dims());
+  for (std::size_t d = 0; d < wl.space.dims(); ++d) {
+    EXPECT_EQ(back.space.dim(d).name, wl.space.dim(d).name);
+    EXPECT_EQ(back.space.dim(d).domain_size, wl.space.dim(d).domain_size);
+  }
+  for (std::size_t i = 0; i < wl.subscribers.size(); ++i) {
+    EXPECT_EQ(back.subscribers[i].node, wl.subscribers[i].node);
+    EXPECT_EQ(back.subscribers[i].interest, wl.subscribers[i].interest);
+  }
+}
+
+TEST(Serialize, WorkloadRoundTripExactDoubles) {
+  Workload wl;
+  wl.space = EventSpace({{"x", 21}});
+  Subscriber s;
+  s.node = 0;
+  s.interest = Rect({Interval(0.1 + 0.2, 19.999999999999996)});
+  wl.subscribers.push_back(s);
+  const Workload back = RoundTrip(wl, WriteWorkload, ReadWorkload);
+  EXPECT_EQ(back.subscribers[0].interest[0].lo(), 0.1 + 0.2);
+  EXPECT_EQ(back.subscribers[0].interest[0].hi(), 19.999999999999996);
+}
+
+TEST(Serialize, ClusteringRoundTrip) {
+  ClusteringFile c;
+  c.num_groups = 5;
+  c.assignment = {0, 4, 2, -1, 1, 0};
+  c.cells_fed = c.assignment.size();
+  const ClusteringFile back = RoundTrip(c, WriteClustering, ReadClustering);
+  EXPECT_EQ(back.num_groups, c.num_groups);
+  EXPECT_EQ(back.cells_fed, c.cells_fed);
+  EXPECT_EQ(back.assignment, c.assignment);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::istringstream is("not-a-pubsub-file\n");
+  EXPECT_THROW(ReadGraph(is), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedInput) {
+  std::istringstream is("pubsub-graph v1\nnodes 3\nedges 2\n0 1 1.5\n");
+  EXPECT_THROW(ReadGraph(is), std::runtime_error);
+}
+
+TEST(Serialize, RejectsOutOfRangeEdge) {
+  std::istringstream is("pubsub-graph v1\nnodes 2\nedges 1\n0 7 1.5\n");
+  EXPECT_THROW(ReadGraph(is), std::runtime_error);
+}
+
+TEST(Serialize, RejectsMalformedNumbers) {
+  std::istringstream is("pubsub-graph v1\nnodes 2\nedges 1\n0 1 abc\n");
+  EXPECT_THROW(ReadGraph(is), std::runtime_error);
+  std::istringstream is2("pubsub-clustering v1\ngroups 2\ncells 1\n9\n");
+  EXPECT_THROW(ReadClustering(is2), std::runtime_error);
+}
+
+TEST(Serialize, IgnoresCommentsAndBlankLines) {
+  std::istringstream is(
+      "# a comment\n\npubsub-graph v1\n# another\nnodes 2\nedges 1\n0 1 2.5\n");
+  const Graph g = ReadGraph(is);
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.edge(0).cost, 2.5);
+}
+
+TEST(Serialize, FileHelpersRoundTrip) {
+  const std::string path = "/tmp/pubsub_serialize_test.txt";
+  SaveToFile(path, "hello\nworld\n");
+  EXPECT_EQ(LoadFromFile(path), "hello\nworld\n");
+  EXPECT_THROW(LoadFromFile("/nonexistent/dir/file"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pubsub

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "net/graph.h"
+#include "net/shortest_path.h"
+
+namespace pubsub {
+namespace {
+
+Graph LineGraph(int n, double cost = 1.0) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, cost);
+  return g;
+}
+
+TEST(Dijkstra, LineGraphDistances) {
+  const Graph g = LineGraph(5, 2.0);
+  const ShortestPathTree t = Dijkstra(g, 0);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(t.dist[v], 2.0 * v);
+  EXPECT_EQ(t.parent[0], -1);
+  EXPECT_EQ(t.parent[3], 2);
+}
+
+TEST(Dijkstra, PrefersCheaperLongerPath) {
+  Graph g(3);
+  g.add_edge(0, 2, 10.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const ShortestPathTree t = Dijkstra(g, 0);
+  EXPECT_EQ(t.dist[2], 2.0);
+  EXPECT_EQ(t.parent[2], 1);
+}
+
+TEST(Dijkstra, UnreachableNodesFlagged) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const ShortestPathTree t = Dijkstra(g, 0);
+  EXPECT_TRUE(t.reachable(1));
+  EXPECT_FALSE(t.reachable(2));
+  EXPECT_EQ(t.dist[2], std::numeric_limits<double>::infinity());
+  EXPECT_THROW(t.path_to(2), std::invalid_argument);
+}
+
+TEST(Dijkstra, PathToWalksTree) {
+  const Graph g = LineGraph(4);
+  const ShortestPathTree t = Dijkstra(g, 0);
+  EXPECT_EQ(t.path_to(3), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(t.path_to(0), (std::vector<NodeId>{0}));
+}
+
+// Property: Dijkstra distances equal Floyd-Warshall on random graphs.
+class DijkstraRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DijkstraRandomTest, MatchesFloydWarshall) {
+  std::mt19937_64 rng(GetParam());
+  const int n = 2 + static_cast<int>(rng() % 20);
+  Graph g(n);
+  // Random connected graph: spanning tree + chords.
+  for (int v = 1; v < n; ++v)
+    g.add_edge(v, static_cast<int>(rng() % v), 1.0 + static_cast<double>(rng() % 10));
+  const int chords = static_cast<int>(rng() % (2 * n));
+  for (int c = 0; c < chords; ++c) {
+    const int u = static_cast<int>(rng() % n), v = static_cast<int>(rng() % n);
+    if (u != v) g.add_edge(u, v, 1.0 + static_cast<double>(rng() % 10));
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> fw(n, std::vector<double>(n, kInf));
+  for (int v = 0; v < n; ++v) fw[v][v] = 0;
+  for (const Edge& e : g.edges()) {
+    fw[e.u][e.v] = std::min(fw[e.u][e.v], e.cost);
+    fw[e.v][e.u] = std::min(fw[e.v][e.u], e.cost);
+  }
+  for (int k = 0; k < n; ++k)
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) fw[i][j] = std::min(fw[i][j], fw[i][k] + fw[k][j]);
+
+  for (int root = 0; root < n; ++root) {
+    const ShortestPathTree t = Dijkstra(g, root);
+    for (int v = 0; v < n; ++v) EXPECT_DOUBLE_EQ(t.dist[v], fw[root][v]);
+    // Tree consistency: dist[v] = dist[parent] + parent edge cost.
+    for (int v = 0; v < n; ++v) {
+      if (t.parent[v] == -1) continue;
+      EXPECT_DOUBLE_EQ(t.dist[v],
+                       t.dist[t.parent[v]] + g.edge(t.parent_edge[v]).cost);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraRandomTest, ::testing::Range(0, 12));
+
+TEST(DistanceMatrix, SymmetricAndMatchesDijkstra) {
+  std::mt19937_64 rng(99);
+  const int n = 15;
+  Graph g(n);
+  for (int v = 1; v < n; ++v)
+    g.add_edge(v, static_cast<int>(rng() % v), 1.0 + static_cast<double>(rng() % 5));
+  g.add_edge(0, n - 1, 3.0);
+
+  const DistanceMatrix dm(g);
+  EXPECT_EQ(dm.num_nodes(), n);
+  const ShortestPathTree t = Dijkstra(g, 4);
+  for (int v = 0; v < n; ++v) {
+    EXPECT_DOUBLE_EQ(dm(4, v), t.dist[v]);
+    EXPECT_DOUBLE_EQ(dm(4, v), dm(v, 4));
+  }
+  for (int v = 0; v < n; ++v) EXPECT_EQ(dm(v, v), 0.0);
+}
+
+}  // namespace
+}  // namespace pubsub

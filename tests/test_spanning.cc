@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "net/graph.h"
+#include "net/spanning.h"
+
+namespace pubsub {
+namespace {
+
+double TreeCost(const Graph& g, const std::vector<EdgeId>& tree) {
+  double total = 0;
+  for (const EdgeId e : tree) total += g.edge(e).cost;
+  return total;
+}
+
+TEST(KruskalMst, KnownSmallGraph) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  g.add_edge(0, 3, 10.0);
+  g.add_edge(0, 2, 2.5);
+  const auto tree = KruskalMst(g);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(TreeCost(g, tree), 6.0);  // 1 + 2 + 3
+}
+
+TEST(KruskalMst, ThrowsOnDisconnected) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(KruskalMst(g), std::invalid_argument);
+}
+
+TEST(PrimMstMetric, KnownTriangle) {
+  const double d[3][3] = {{0, 1, 4}, {1, 0, 2}, {4, 2, 0}};
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  const double total = PrimMstMetric(
+      3, [&d](std::size_t i, std::size_t j) { return d[i][j]; }, &edges);
+  EXPECT_EQ(total, 3.0);
+  EXPECT_EQ(edges.size(), 2u);
+}
+
+TEST(PrimMstMetric, DegenerateSizes) {
+  EXPECT_EQ(PrimMstMetric(0, [](std::size_t, std::size_t) { return 1.0; }), 0.0);
+  EXPECT_EQ(PrimMstMetric(1, [](std::size_t, std::size_t) { return 1.0; }), 0.0);
+}
+
+// Property: Prim on the metric closure of a complete graph equals Kruskal
+// on the same graph materialized explicitly.
+class MstEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MstEquivalenceTest, PrimMatchesKruskalOnRandomCompleteGraphs) {
+  std::mt19937_64 rng(GetParam());
+  const int n = 3 + static_cast<int>(rng() % 15);
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  Graph g(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      // Distinct costs so the MST is unique.
+      const double c = 1.0 + static_cast<double>(rng() % 100000) / 7.0 +
+                       0.0001 * (i * n + j);
+      d[i][j] = d[j][i] = c;
+      g.add_edge(i, j, c);
+    }
+  const double prim = PrimMstMetric(
+      static_cast<std::size_t>(n),
+      [&d](std::size_t i, std::size_t j) { return d[i][j]; });
+  const double kruskal = TreeCost(g, KruskalMst(g));
+  EXPECT_NEAR(prim, kruskal, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstEquivalenceTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace pubsub

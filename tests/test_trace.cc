@@ -1,0 +1,83 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace pubsub {
+namespace {
+
+TransitStubNetwork Net() {
+  Rng rng(1);
+  return GenerateTransitStub(PaperNetSection5(), rng);
+}
+
+TEST(Trace, EventsAreTimestampOrderedAndInDomain) {
+  const TransitStubNetwork net = Net();
+  Rng rng(2);
+  const StockModelParams space_params;
+  const auto trace = GenerateStockTrace(net, space_params, {}, 1000, rng);
+  ASSERT_EQ(trace.size(), 1000u);
+  const EventSpace space = StockSpace(space_params);
+  const Rect domain = space.domain_rect();
+  double prev = -1.0;
+  for (const TraceEvent& ev : trace) {
+    EXPECT_GT(ev.timestamp, prev);
+    prev = ev.timestamp;
+    EXPECT_TRUE(domain.contains(ev.pub.point)) << ev.timestamp;
+    EXPECT_NE(net.stub_of_node[static_cast<std::size_t>(ev.pub.origin)], -1);
+  }
+}
+
+TEST(Trace, TapeIsZipfSkewed) {
+  const TransitStubNetwork net = Net();
+  Rng rng(3);
+  const auto trace = GenerateStockTrace(net, {}, {}, 20000, rng);
+  std::map<int, int> per_stock;
+  for (const TraceEvent& ev : trace) ++per_stock[static_cast<int>(ev.pub.point[1])];
+  int busiest = 0, total = 0;
+  for (const auto& [stock, n] : per_stock) {
+    busiest = std::max(busiest, n);
+    total += n;
+  }
+  // Zipf(21, 1.2): the top stock should take well above the uniform share.
+  EXPECT_GT(busiest, total / 21 * 3);
+}
+
+TEST(Trace, PricesWalkSmoothly) {
+  const TransitStubNetwork net = Net();
+  TraceParams params;
+  params.num_stocks = 1;  // single stock: consecutive quotes form one walk
+  Rng rng(4);
+  const auto trace = GenerateStockTrace(net, {}, params, 2000, rng);
+  double max_step = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    max_step = std::max(max_step,
+                        std::abs(trace[i].pub.point[2] - trace[i - 1].pub.point[2]));
+  // Steps are N(0, 0.35) plus integer rounding: a jump of 4 would be >10σ.
+  EXPECT_LE(max_step, 4.0);
+}
+
+TEST(Trace, ArrivalRateMatchesPoissonParameter) {
+  const TransitStubNetwork net = Net();
+  TraceParams params;
+  params.events_per_second = 10.0;
+  Rng rng(5);
+  const auto trace = GenerateStockTrace(net, {}, params, 5000, rng);
+  const double duration = trace.back().timestamp;
+  EXPECT_NEAR(static_cast<double>(trace.size()) / duration, 10.0, 0.5);
+}
+
+TEST(Trace, RejectsBadParameters) {
+  const TransitStubNetwork net = Net();
+  Rng rng(6);
+  TraceParams bad;
+  bad.num_stocks = 0;
+  EXPECT_THROW(GenerateStockTrace(net, {}, bad, 10, rng), std::invalid_argument);
+  TraceParams bad_rate;
+  bad_rate.events_per_second = 0;
+  EXPECT_THROW(GenerateStockTrace(net, {}, bad_rate, 10, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pubsub

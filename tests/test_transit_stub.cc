@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "net/transit_stub.h"
+
+namespace pubsub {
+namespace {
+
+TEST(TransitStub, ShapeMatchesParameters) {
+  Rng rng(1);
+  TransitStubParams p;
+  p.transit_blocks = 2;
+  p.transit_nodes_per_block = 3;
+  p.stubs_per_transit_node = 2;
+  p.nodes_per_stub = 5;
+  const TransitStubNetwork net = GenerateTransitStub(p, rng);
+
+  const int transit = 2 * 3;
+  const int stubs = transit * 2;
+  EXPECT_EQ(static_cast<int>(net.transit_nodes.size()), transit);
+  EXPECT_EQ(net.num_stubs, stubs);
+  EXPECT_EQ(net.graph.num_nodes(), transit + stubs * 5);
+  EXPECT_EQ(static_cast<int>(net.host_nodes().size()), stubs * 5);
+  EXPECT_EQ(static_cast<int>(net.stub_members.size()), stubs);
+  for (const auto& members : net.stub_members) EXPECT_EQ(members.size(), 5u);
+}
+
+TEST(TransitStub, IsConnected) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    const TransitStubNetwork net = GenerateTransitStub(PaperNetSection5(), rng);
+    EXPECT_TRUE(net.graph.is_connected()) << "seed " << seed;
+  }
+}
+
+TEST(TransitStub, BookkeepingConsistent) {
+  Rng rng(3);
+  const TransitStubNetwork net = GenerateTransitStub(PaperNetSection5(), rng);
+  // Transit nodes have stub -1; stub members carry their stub id.
+  for (const NodeId t : net.transit_nodes) EXPECT_EQ(net.stub_of_node[t], -1);
+  for (int s = 0; s < net.num_stubs; ++s) {
+    for (const NodeId v : net.stub_members[s]) {
+      EXPECT_EQ(net.stub_of_node[v], s);
+      EXPECT_EQ(net.block_of_node[v], net.block_of_stub[s]);
+    }
+  }
+  // §5.1 shape: 3 blocks × 5 transit × 2 stubs × 20 nodes = 600 hosts.
+  EXPECT_EQ(net.host_nodes().size(), 600u);
+  EXPECT_EQ(net.num_stubs, 30);
+}
+
+TEST(TransitStub, PaperShapesProduceExpectedHostCounts) {
+  Rng rng(4);
+  EXPECT_EQ(GenerateTransitStub(PaperNet100(), rng).host_nodes().size(), 96u);
+  EXPECT_EQ(GenerateTransitStub(PaperNet300(), rng).host_nodes().size(), 300u);
+  EXPECT_EQ(GenerateTransitStub(PaperNet600(), rng).host_nodes().size(), 600u);
+}
+
+TEST(TransitStub, EdgeCostsFollowHierarchy) {
+  Rng rng(5);
+  TransitStubParams p = PaperNetSection5();
+  const TransitStubNetwork net = GenerateTransitStub(p, rng);
+  for (const Edge& e : net.graph.edges()) {
+    const bool u_transit = net.stub_of_node[e.u] == -1;
+    const bool v_transit = net.stub_of_node[e.v] == -1;
+    if (u_transit && v_transit) {
+      const bool same_block = net.block_of_node[e.u] == net.block_of_node[e.v];
+      EXPECT_EQ(e.cost, same_block ? p.cost_intra_transit : p.cost_inter_block);
+    } else if (u_transit != v_transit) {
+      EXPECT_EQ(e.cost, p.cost_stub_uplink);
+    } else {
+      EXPECT_EQ(net.stub_of_node[e.u], net.stub_of_node[e.v]);
+      EXPECT_EQ(e.cost, p.cost_intra_stub);
+    }
+  }
+}
+
+TEST(TransitStub, DifferentSeedsGiveDifferentTopologies) {
+  Rng r1(10), r2(11);
+  const TransitStubNetwork a = GenerateTransitStub(PaperNetSection5(), r1);
+  const TransitStubNetwork b = GenerateTransitStub(PaperNetSection5(), r2);
+  EXPECT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  // Edge sets should differ (identical would mean the seed is ignored).
+  bool differs = a.graph.num_edges() != b.graph.num_edges();
+  if (!differs) {
+    for (int e = 0; e < a.graph.num_edges(); ++e) {
+      if (a.graph.edge(e).u != b.graph.edge(e).u ||
+          a.graph.edge(e).v != b.graph.edge(e).v) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(TransitStub, SameSeedIsDeterministic) {
+  Rng r1(10), r2(10);
+  const TransitStubNetwork a = GenerateTransitStub(PaperNetSection5(), r1);
+  const TransitStubNetwork b = GenerateTransitStub(PaperNetSection5(), r2);
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (int e = 0; e < a.graph.num_edges(); ++e) {
+    EXPECT_EQ(a.graph.edge(e).u, b.graph.edge(e).u);
+    EXPECT_EQ(a.graph.edge(e).v, b.graph.edge(e).v);
+    EXPECT_EQ(a.graph.edge(e).cost, b.graph.edge(e).cost);
+  }
+}
+
+TEST(TransitStub, LastMileVariantAttachesHosts) {
+  Rng rng(6);
+  TransitStubParams p;
+  p.transit_blocks = 1;
+  p.transit_nodes_per_block = 2;
+  p.stubs_per_transit_node = 2;
+  p.nodes_per_stub = 4;
+  p.last_mile_cost = 7.0;
+  const TransitStubNetwork net = GenerateTransitStub(p, rng);
+
+  // Routers + hosts: each stub doubles its node count.
+  EXPECT_EQ(net.graph.num_nodes(), 2 + 4 * 4 * 2);
+  EXPECT_TRUE(net.graph.is_connected());
+  for (const auto& members : net.stub_members) {
+    EXPECT_EQ(members.size(), 4u);
+    for (const NodeId host : members) {
+      // Hosts are leaves behind a single last-mile link.
+      ASSERT_EQ(net.graph.degree(host), 1u);
+      EXPECT_EQ(net.graph.edge(net.graph.neighbors(host)[0].edge).cost, 7.0);
+    }
+  }
+}
+
+TEST(TransitStub, RejectsNonPositiveShape) {
+  Rng rng(7);
+  TransitStubParams p;
+  p.nodes_per_stub = 0;
+  EXPECT_THROW(GenerateTransitStub(p, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pubsub

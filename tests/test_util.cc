@@ -1,0 +1,90 @@
+// Tests for the small utility layer: stats, tables, flags, stopwatch.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace pubsub {
+namespace {
+
+TEST(RunningStatsTest, WelfordMatchesClosedForm) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+  EXPECT_NE(s.summary().find("n=1"), std::string::npos);
+}
+
+TEST(TextTableTest, AlignsColumnsAndFormatsCells) {
+  TextTable t({"name", "value"});
+  t.row().cell("x").cell(42);
+  t.row().cell("longer-name").cell(3.14159, 2);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| longer-name |  3.14 |"), std::string::npos);
+  EXPECT_NE(out.find("|        name | value |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsWidthMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(FlagsTest, ParsesKeyValueAndBooleans) {
+  const char* argv[] = {"prog", "--alpha=3", "--name=x y", "--flag",
+                        "positional", "--ratio=0.5", "--no=false"};
+  const Flags f(7, argv);
+  EXPECT_EQ(f.program(), "prog");
+  EXPECT_EQ(f.get_int("alpha", 0), 3);
+  EXPECT_EQ(f.get("name", ""), "x y");
+  EXPECT_TRUE(f.get_bool("flag", false));
+  EXPECT_FALSE(f.get_bool("no", true));
+  EXPECT_DOUBLE_EQ(f.get_double("ratio", 0.0), 0.5);
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "positional");
+}
+
+TEST(FlagsTest, DefaultsAndErrors) {
+  const char* argv[] = {"prog", "--bad=maybe"};
+  const Flags f(2, argv);
+  EXPECT_EQ(f.get_int("missing", 7), 7);
+  EXPECT_EQ(f.get("missing", "d"), "d");
+  EXPECT_FALSE(f.has("missing"));
+  EXPECT_TRUE(f.has("bad"));
+  EXPECT_THROW(f.get_bool("bad", false), std::invalid_argument);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch w;
+  // Just sanity: non-negative and monotone.
+  const double a = w.elapsed_seconds();
+  const double b = w.elapsed_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  w.restart();
+  EXPECT_LT(w.elapsed_ms(), 1000.0);
+}
+
+}  // namespace
+}  // namespace pubsub

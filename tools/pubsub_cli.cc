@@ -1,0 +1,217 @@
+// pubsub_cli — file-based pipeline driver for the library.
+//
+//   pubsub_cli gen-net      --shape=100|300|600|sec5 [--seed=N]
+//                           [--last_mile=C] --out=net.txt
+//   pubsub_cli gen-workload --net=net.txt --model=section3|stock
+//                           [--subs=N] [--seed=N] [--regionalism=R]
+//                           [--tail=uniform|gaussian] --out=workload.txt
+//   pubsub_cli cluster      --net=net.txt --workload=workload.txt
+//                           [--algo=forgy|kmeans|mst|pairs|approx-pairs]
+//                           [--groups=K] [--cells=N] [--seed=N]
+//                           [--modes=1|4|9] --out=groups.txt
+//   pubsub_cli evaluate     --net=net.txt --workload=workload.txt
+//                           --groups=groups.txt [--events=N] [--seed=N]
+//                           [--modes=1|4|9]
+//
+// The publication model is re-derived from the workload's event space (the
+// §3 space has a regional "stub" dimension; the stock space a "bst"
+// dimension), so every stage is reproducible from its input files plus the
+// flags shown in the file headers it writes.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/algorithms.h"
+#include "core/grid.h"
+#include "core/matching.h"
+#include "io/serialize.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "util/flags.h"
+
+namespace pubsub {
+namespace {
+
+[[noreturn]] void Usage(const std::string& msg = "") {
+  if (!msg.empty()) std::fprintf(stderr, "error: %s\n\n", msg.c_str());
+  std::fprintf(stderr,
+               "usage: pubsub_cli <gen-net|gen-workload|cluster|evaluate> "
+               "[--flags]\n(see the header of tools/pubsub_cli.cc for the "
+               "full flag list)\n");
+  std::exit(2);
+}
+
+TransitStubParams ShapeByName(const std::string& name) {
+  if (name == "100") return PaperNet100();
+  if (name == "300") return PaperNet300();
+  if (name == "600") return PaperNet600();
+  if (name == "sec5") return PaperNetSection5();
+  Usage("unknown --shape '" + name + "'");
+}
+
+// Workload files don't embed the generator; the space's first dimension
+// name distinguishes the two paper models.
+bool IsSection3Space(const EventSpace& space) { return space.dim(0).name == "stub"; }
+
+std::unique_ptr<PublicationModel> ModelFor(const TransitStubNetwork& net,
+                                           const Workload& wl, const Flags& flags) {
+  if (IsSection3Space(wl.space)) {
+    Section3Params params;
+    params.regionalism = flags.get_double("regionalism", 0.4);
+    params.publication_tail = flags.get("tail", "uniform") == "gaussian"
+                                  ? Section3Params::Tail::kGaussian
+                                  : Section3Params::Tail::kUniform;
+    return MakeSection3PublicationModel(net, params);
+  }
+  const auto modes = flags.get_int("modes", 1);
+  PublicationHotSpots spots = PublicationHotSpots::kOne;
+  if (modes == 4) spots = PublicationHotSpots::kFour;
+  if (modes == 9) spots = PublicationHotSpots::kNine;
+  return MakeStockPublicationModel(net, spots, {});
+}
+
+int GenNet(const Flags& flags) {
+  TransitStubParams shape = ShapeByName(flags.get("shape", "sec5"));
+  shape.last_mile_cost = flags.get_double("last_mile", 0.0);
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  const TransitStubNetwork net = GenerateTransitStub(shape, rng);
+  std::ostringstream os;
+  WriteTransitStub(os, net);
+  const std::string out = flags.get("out", "");
+  if (out.empty()) Usage("gen-net requires --out");
+  SaveToFile(out, os.str());
+  std::printf("wrote %s: %d nodes, %d edges, %d stubs\n", out.c_str(),
+              net.graph.num_nodes(), net.graph.num_edges(), net.num_stubs);
+  return 0;
+}
+
+int GenWorkload(const Flags& flags) {
+  const std::string net_path = flags.get("net", "");
+  if (net_path.empty()) Usage("gen-workload requires --net");
+  std::istringstream net_is(LoadFromFile(net_path));
+  const TransitStubNetwork net = ReadTransitStub(net_is);
+
+  const auto subs = static_cast<int>(flags.get_int("subs", 1000));
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 2)));
+  Workload wl;
+  const std::string model = flags.get("model", "stock");
+  if (model == "section3") {
+    Section3Params params;
+    params.regionalism = flags.get_double("regionalism", 0.4);
+    params.subscription_tail = flags.get("tail", "uniform") == "gaussian"
+                                   ? Section3Params::Tail::kGaussian
+                                   : Section3Params::Tail::kUniform;
+    wl = GenerateSection3Subscriptions(net, subs, params, rng);
+  } else if (model == "stock") {
+    wl = GenerateStockSubscriptions(net, subs, {}, rng);
+  } else {
+    Usage("unknown --model '" + model + "'");
+  }
+
+  std::ostringstream os;
+  WriteWorkload(os, wl);
+  const std::string out = flags.get("out", "");
+  if (out.empty()) Usage("gen-workload requires --out");
+  SaveToFile(out, os.str());
+  std::printf("wrote %s: %zu subscribers in space %s\n", out.c_str(),
+              wl.num_subscribers(), wl.space.to_string().c_str());
+  return 0;
+}
+
+int Cluster(const Flags& flags) {
+  const std::string net_path = flags.get("net", "");
+  const std::string wl_path = flags.get("workload", "");
+  if (net_path.empty() || wl_path.empty())
+    Usage("cluster requires --net and --workload");
+  std::istringstream net_is(LoadFromFile(net_path));
+  const TransitStubNetwork net = ReadTransitStub(net_is);
+  std::istringstream wl_is(LoadFromFile(wl_path));
+  const Workload wl = ReadWorkload(wl_is);
+
+  const auto model = ModelFor(net, wl, flags);
+  const Grid grid(wl, *model);
+  const auto cells_fed = static_cast<std::size_t>(flags.get_int("cells", 6000));
+  const std::vector<ClusterCell> cells = grid.top_cells(cells_fed);
+  const auto K = static_cast<std::size_t>(flags.get_int("groups", 100));
+
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 3)));
+  const GridAlgorithm algo = GridAlgorithmByName(flags.get("algo", "forgy"));
+  ClusteringFile out_file;
+  out_file.assignment = algo.run(cells, K, rng);
+  out_file.num_groups = static_cast<int>(K);
+  out_file.cells_fed = cells.size();
+
+  std::ostringstream os;
+  WriteClustering(os, out_file);
+  const std::string out = flags.get("out", "");
+  if (out.empty()) Usage("cluster requires --out");
+  SaveToFile(out, os.str());
+  std::printf("wrote %s: %s, K=%zu over %zu cells (grid: %zu hyper-cells)\n",
+              out.c_str(), algo.name.c_str(), K, cells.size(),
+              grid.hyper_cells().size());
+  return 0;
+}
+
+int Evaluate(const Flags& flags) {
+  const std::string net_path = flags.get("net", "");
+  const std::string wl_path = flags.get("workload", "");
+  const std::string groups_path = flags.get("groups", "");
+  if (net_path.empty() || wl_path.empty() || groups_path.empty())
+    Usage("evaluate requires --net, --workload and --groups");
+  std::istringstream net_is(LoadFromFile(net_path));
+  const TransitStubNetwork net = ReadTransitStub(net_is);
+  std::istringstream wl_is(LoadFromFile(wl_path));
+  const Workload wl = ReadWorkload(wl_is);
+  std::istringstream cl_is(LoadFromFile(groups_path));
+  const ClusteringFile clustering = ReadClustering(cl_is);
+
+  const auto model = ModelFor(net, wl, flags);
+  const Grid grid(wl, *model);
+  if (clustering.assignment.size() > grid.hyper_cells().size())
+    Usage("clustering file does not match this workload (too many cells)");
+
+  DeliverySimulator sim(net.graph, wl);
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 4)));
+  const auto events = SampleEvents(
+      sim, *model, static_cast<std::size_t>(flags.get_int("events", 300)), rng);
+  const BaselineCosts base = EvaluateBaselines(sim, events);
+
+  const GridMatcher matcher(grid, clustering.assignment, clustering.num_groups,
+                            flags.get_double("threshold", 0.0));
+  const ClusteredCosts c = EvaluateMatcher(sim, events, MatcherFn(matcher));
+
+  std::printf("events           %zu\n", events.size());
+  std::printf("unicast          %.0f\n", base.unicast);
+  std::printf("broadcast        %.0f\n", base.broadcast);
+  std::printf("ideal multicast  %.0f\n", base.ideal);
+  std::printf("clustered (net)  %.0f  improvement %.1f%%\n", c.network,
+              ImprovementPercent(c.network, base));
+  std::printf("clustered (app)  %.0f  improvement %.1f%%\n", c.applevel,
+              ImprovementPercent(c.applevel, base));
+  std::printf("multicast events %zu, unicast fallback %zu, wasted %zu\n",
+              c.multicast_events, c.unicast_events, c.wasted_deliveries);
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) Usage();
+  const std::string cmd = argv[1];
+  const Flags flags(argc - 1, argv + 1);
+  try {
+    if (cmd == "gen-net") return GenNet(flags);
+    if (cmd == "gen-workload") return GenWorkload(flags);
+    if (cmd == "cluster") return Cluster(flags);
+    if (cmd == "evaluate") return Evaluate(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  Usage("unknown command '" + cmd + "'");
+}
+
+}  // namespace
+}  // namespace pubsub
+
+int main(int argc, char** argv) { return pubsub::Run(argc, argv); }
