@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_dimensionality.cc" "bench/CMakeFiles/bench_dimensionality.dir/bench_dimensionality.cc.o" "gcc" "bench/CMakeFiles/bench_dimensionality.dir/bench_dimensionality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ps_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/ps_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ps_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/ps_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dimensionality.dir/bench_dimensionality.cc.o"
+  "CMakeFiles/bench_dimensionality.dir/bench_dimensionality.cc.o.d"
+  "bench_dimensionality"
+  "bench_dimensionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_table1.dir/bench_table1.cc.o: \
+ /root/repo/bench/bench_table1.cc /usr/include/stdc-predef.h \
+ /root/repo/bench/table_common.h

@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_table2.dir/bench_table2.cc.o: \
+ /root/repo/bench/bench_table2.cc /usr/include/stdc-predef.h \
+ /root/repo/bench/table_common.h

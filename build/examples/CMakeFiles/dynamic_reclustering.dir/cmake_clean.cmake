@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_reclustering.dir/dynamic_reclustering.cpp.o"
+  "CMakeFiles/dynamic_reclustering.dir/dynamic_reclustering.cpp.o.d"
+  "dynamic_reclustering"
+  "dynamic_reclustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_reclustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

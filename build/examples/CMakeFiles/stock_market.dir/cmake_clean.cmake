@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_market.dir/stock_market.cpp.o"
+  "CMakeFiles/stock_market.dir/stock_market.cpp.o.d"
+  "stock_market"
+  "stock_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithms.cc" "src/core/CMakeFiles/ps_core.dir/algorithms.cc.o" "gcc" "src/core/CMakeFiles/ps_core.dir/algorithms.cc.o.d"
+  "/root/repo/src/core/cluster_types.cc" "src/core/CMakeFiles/ps_core.dir/cluster_types.cc.o" "gcc" "src/core/CMakeFiles/ps_core.dir/cluster_types.cc.o.d"
+  "/root/repo/src/core/grid.cc" "src/core/CMakeFiles/ps_core.dir/grid.cc.o" "gcc" "src/core/CMakeFiles/ps_core.dir/grid.cc.o.d"
+  "/root/repo/src/core/group_manager.cc" "src/core/CMakeFiles/ps_core.dir/group_manager.cc.o" "gcc" "src/core/CMakeFiles/ps_core.dir/group_manager.cc.o.d"
+  "/root/repo/src/core/kmeans.cc" "src/core/CMakeFiles/ps_core.dir/kmeans.cc.o" "gcc" "src/core/CMakeFiles/ps_core.dir/kmeans.cc.o.d"
+  "/root/repo/src/core/matching.cc" "src/core/CMakeFiles/ps_core.dir/matching.cc.o" "gcc" "src/core/CMakeFiles/ps_core.dir/matching.cc.o.d"
+  "/root/repo/src/core/mst_cluster.cc" "src/core/CMakeFiles/ps_core.dir/mst_cluster.cc.o" "gcc" "src/core/CMakeFiles/ps_core.dir/mst_cluster.cc.o.d"
+  "/root/repo/src/core/noloss.cc" "src/core/CMakeFiles/ps_core.dir/noloss.cc.o" "gcc" "src/core/CMakeFiles/ps_core.dir/noloss.cc.o.d"
+  "/root/repo/src/core/outlier.cc" "src/core/CMakeFiles/ps_core.dir/outlier.cc.o" "gcc" "src/core/CMakeFiles/ps_core.dir/outlier.cc.o.d"
+  "/root/repo/src/core/pairwise.cc" "src/core/CMakeFiles/ps_core.dir/pairwise.cc.o" "gcc" "src/core/CMakeFiles/ps_core.dir/pairwise.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/ps_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ps_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ps_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_core.dir/algorithms.cc.o"
+  "CMakeFiles/ps_core.dir/algorithms.cc.o.d"
+  "CMakeFiles/ps_core.dir/cluster_types.cc.o"
+  "CMakeFiles/ps_core.dir/cluster_types.cc.o.d"
+  "CMakeFiles/ps_core.dir/grid.cc.o"
+  "CMakeFiles/ps_core.dir/grid.cc.o.d"
+  "CMakeFiles/ps_core.dir/group_manager.cc.o"
+  "CMakeFiles/ps_core.dir/group_manager.cc.o.d"
+  "CMakeFiles/ps_core.dir/kmeans.cc.o"
+  "CMakeFiles/ps_core.dir/kmeans.cc.o.d"
+  "CMakeFiles/ps_core.dir/matching.cc.o"
+  "CMakeFiles/ps_core.dir/matching.cc.o.d"
+  "CMakeFiles/ps_core.dir/mst_cluster.cc.o"
+  "CMakeFiles/ps_core.dir/mst_cluster.cc.o.d"
+  "CMakeFiles/ps_core.dir/noloss.cc.o"
+  "CMakeFiles/ps_core.dir/noloss.cc.o.d"
+  "CMakeFiles/ps_core.dir/outlier.cc.o"
+  "CMakeFiles/ps_core.dir/outlier.cc.o.d"
+  "CMakeFiles/ps_core.dir/pairwise.cc.o"
+  "CMakeFiles/ps_core.dir/pairwise.cc.o.d"
+  "libps_core.a"
+  "libps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

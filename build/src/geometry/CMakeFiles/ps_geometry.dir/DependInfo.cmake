@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/event_space.cc" "src/geometry/CMakeFiles/ps_geometry.dir/event_space.cc.o" "gcc" "src/geometry/CMakeFiles/ps_geometry.dir/event_space.cc.o.d"
+  "/root/repo/src/geometry/interval.cc" "src/geometry/CMakeFiles/ps_geometry.dir/interval.cc.o" "gcc" "src/geometry/CMakeFiles/ps_geometry.dir/interval.cc.o.d"
+  "/root/repo/src/geometry/rect.cc" "src/geometry/CMakeFiles/ps_geometry.dir/rect.cc.o" "gcc" "src/geometry/CMakeFiles/ps_geometry.dir/rect.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_geometry.dir/event_space.cc.o"
+  "CMakeFiles/ps_geometry.dir/event_space.cc.o.d"
+  "CMakeFiles/ps_geometry.dir/interval.cc.o"
+  "CMakeFiles/ps_geometry.dir/interval.cc.o.d"
+  "CMakeFiles/ps_geometry.dir/rect.cc.o"
+  "CMakeFiles/ps_geometry.dir/rect.cc.o.d"
+  "libps_geometry.a"
+  "libps_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

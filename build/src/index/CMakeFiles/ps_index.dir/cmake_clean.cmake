@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_index.dir/kd_interval_tree.cc.o"
+  "CMakeFiles/ps_index.dir/kd_interval_tree.cc.o.d"
+  "CMakeFiles/ps_index.dir/rtree.cc.o"
+  "CMakeFiles/ps_index.dir/rtree.cc.o.d"
+  "CMakeFiles/ps_index.dir/spatial_index.cc.o"
+  "CMakeFiles/ps_index.dir/spatial_index.cc.o.d"
+  "libps_index.a"
+  "libps_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

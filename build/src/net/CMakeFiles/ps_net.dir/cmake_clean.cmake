@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_net.dir/graph.cc.o"
+  "CMakeFiles/ps_net.dir/graph.cc.o.d"
+  "CMakeFiles/ps_net.dir/multicast.cc.o"
+  "CMakeFiles/ps_net.dir/multicast.cc.o.d"
+  "CMakeFiles/ps_net.dir/shortest_path.cc.o"
+  "CMakeFiles/ps_net.dir/shortest_path.cc.o.d"
+  "CMakeFiles/ps_net.dir/spanning.cc.o"
+  "CMakeFiles/ps_net.dir/spanning.cc.o.d"
+  "CMakeFiles/ps_net.dir/transit_stub.cc.o"
+  "CMakeFiles/ps_net.dir/transit_stub.cc.o.d"
+  "libps_net.a"
+  "libps_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

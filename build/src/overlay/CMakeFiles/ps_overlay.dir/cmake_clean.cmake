@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_overlay.dir/content_router.cc.o"
+  "CMakeFiles/ps_overlay.dir/content_router.cc.o.d"
+  "libps_overlay.a"
+  "libps_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_runtime.dir/delivery_runtime.cc.o"
+  "CMakeFiles/ps_runtime.dir/delivery_runtime.cc.o.d"
+  "libps_runtime.a"
+  "libps_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

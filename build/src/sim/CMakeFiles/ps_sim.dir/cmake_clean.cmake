@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_sim.dir/delivery.cc.o"
+  "CMakeFiles/ps_sim.dir/delivery.cc.o.d"
+  "CMakeFiles/ps_sim.dir/experiment.cc.o"
+  "CMakeFiles/ps_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/ps_sim.dir/hybrid.cc.o"
+  "CMakeFiles/ps_sim.dir/hybrid.cc.o.d"
+  "CMakeFiles/ps_sim.dir/link_load.cc.o"
+  "CMakeFiles/ps_sim.dir/link_load.cc.o.d"
+  "CMakeFiles/ps_sim.dir/scenario.cc.o"
+  "CMakeFiles/ps_sim.dir/scenario.cc.o.d"
+  "libps_sim.a"
+  "libps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

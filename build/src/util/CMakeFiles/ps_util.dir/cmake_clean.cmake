@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_util.dir/bitvector.cc.o"
+  "CMakeFiles/ps_util.dir/bitvector.cc.o.d"
+  "CMakeFiles/ps_util.dir/distributions.cc.o"
+  "CMakeFiles/ps_util.dir/distributions.cc.o.d"
+  "CMakeFiles/ps_util.dir/flags.cc.o"
+  "CMakeFiles/ps_util.dir/flags.cc.o.d"
+  "CMakeFiles/ps_util.dir/stats.cc.o"
+  "CMakeFiles/ps_util.dir/stats.cc.o.d"
+  "CMakeFiles/ps_util.dir/table.cc.o"
+  "CMakeFiles/ps_util.dir/table.cc.o.d"
+  "libps_util.a"
+  "libps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/interval_gen.cc" "src/workload/CMakeFiles/ps_workload.dir/interval_gen.cc.o" "gcc" "src/workload/CMakeFiles/ps_workload.dir/interval_gen.cc.o.d"
+  "/root/repo/src/workload/marginal.cc" "src/workload/CMakeFiles/ps_workload.dir/marginal.cc.o" "gcc" "src/workload/CMakeFiles/ps_workload.dir/marginal.cc.o.d"
+  "/root/repo/src/workload/multirange.cc" "src/workload/CMakeFiles/ps_workload.dir/multirange.cc.o" "gcc" "src/workload/CMakeFiles/ps_workload.dir/multirange.cc.o.d"
+  "/root/repo/src/workload/placement.cc" "src/workload/CMakeFiles/ps_workload.dir/placement.cc.o" "gcc" "src/workload/CMakeFiles/ps_workload.dir/placement.cc.o.d"
+  "/root/repo/src/workload/publication_model.cc" "src/workload/CMakeFiles/ps_workload.dir/publication_model.cc.o" "gcc" "src/workload/CMakeFiles/ps_workload.dir/publication_model.cc.o.d"
+  "/root/repo/src/workload/section3.cc" "src/workload/CMakeFiles/ps_workload.dir/section3.cc.o" "gcc" "src/workload/CMakeFiles/ps_workload.dir/section3.cc.o.d"
+  "/root/repo/src/workload/stock_model.cc" "src/workload/CMakeFiles/ps_workload.dir/stock_model.cc.o" "gcc" "src/workload/CMakeFiles/ps_workload.dir/stock_model.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/ps_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/ps_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/ps_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

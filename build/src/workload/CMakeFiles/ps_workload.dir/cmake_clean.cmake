@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_workload.dir/interval_gen.cc.o"
+  "CMakeFiles/ps_workload.dir/interval_gen.cc.o.d"
+  "CMakeFiles/ps_workload.dir/marginal.cc.o"
+  "CMakeFiles/ps_workload.dir/marginal.cc.o.d"
+  "CMakeFiles/ps_workload.dir/multirange.cc.o"
+  "CMakeFiles/ps_workload.dir/multirange.cc.o.d"
+  "CMakeFiles/ps_workload.dir/placement.cc.o"
+  "CMakeFiles/ps_workload.dir/placement.cc.o.d"
+  "CMakeFiles/ps_workload.dir/publication_model.cc.o"
+  "CMakeFiles/ps_workload.dir/publication_model.cc.o.d"
+  "CMakeFiles/ps_workload.dir/section3.cc.o"
+  "CMakeFiles/ps_workload.dir/section3.cc.o.d"
+  "CMakeFiles/ps_workload.dir/stock_model.cc.o"
+  "CMakeFiles/ps_workload.dir/stock_model.cc.o.d"
+  "CMakeFiles/ps_workload.dir/trace.cc.o"
+  "CMakeFiles/ps_workload.dir/trace.cc.o.d"
+  "libps_workload.a"
+  "libps_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

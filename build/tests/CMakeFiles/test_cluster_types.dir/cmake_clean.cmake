@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_types.dir/test_cluster_types.cc.o"
+  "CMakeFiles/test_cluster_types.dir/test_cluster_types.cc.o.d"
+  "test_cluster_types"
+  "test_cluster_types.pdb"
+  "test_cluster_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_content_router.dir/test_content_router.cc.o"
+  "CMakeFiles/test_content_router.dir/test_content_router.cc.o.d"
+  "test_content_router"
+  "test_content_router.pdb"
+  "test_content_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_content_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

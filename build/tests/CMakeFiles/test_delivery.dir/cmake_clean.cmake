@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delivery.dir/test_delivery.cc.o"
+  "CMakeFiles/test_delivery.dir/test_delivery.cc.o.d"
+  "test_delivery"
+  "test_delivery.pdb"
+  "test_delivery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

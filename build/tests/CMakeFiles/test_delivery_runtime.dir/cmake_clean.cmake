@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delivery_runtime.dir/test_delivery_runtime.cc.o"
+  "CMakeFiles/test_delivery_runtime.dir/test_delivery_runtime.cc.o.d"
+  "test_delivery_runtime"
+  "test_delivery_runtime.pdb"
+  "test_delivery_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delivery_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

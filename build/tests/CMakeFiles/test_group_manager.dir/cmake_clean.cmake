@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_group_manager.dir/test_group_manager.cc.o"
+  "CMakeFiles/test_group_manager.dir/test_group_manager.cc.o.d"
+  "test_group_manager"
+  "test_group_manager.pdb"
+  "test_group_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_group_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

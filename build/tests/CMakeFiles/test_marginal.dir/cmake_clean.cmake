@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_marginal.dir/test_marginal.cc.o"
+  "CMakeFiles/test_marginal.dir/test_marginal.cc.o.d"
+  "test_marginal"
+  "test_marginal.pdb"
+  "test_marginal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_marginal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mst_cluster.dir/test_mst_cluster.cc.o"
+  "CMakeFiles/test_mst_cluster.dir/test_mst_cluster.cc.o.d"
+  "test_mst_cluster"
+  "test_mst_cluster.pdb"
+  "test_mst_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mst_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

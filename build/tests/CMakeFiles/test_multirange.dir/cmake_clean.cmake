@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multirange.dir/test_multirange.cc.o"
+  "CMakeFiles/test_multirange.dir/test_multirange.cc.o.d"
+  "test_multirange"
+  "test_multirange.pdb"
+  "test_multirange[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multirange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noloss.dir/test_noloss.cc.o"
+  "CMakeFiles/test_noloss.dir/test_noloss.cc.o.d"
+  "test_noloss"
+  "test_noloss.pdb"
+  "test_noloss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spanning.dir/test_spanning.cc.o"
+  "CMakeFiles/test_spanning.dir/test_spanning.cc.o.d"
+  "test_spanning"
+  "test_spanning.pdb"
+  "test_spanning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spanning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_mode.dir/test_sparse_mode.cc.o"
+  "CMakeFiles/test_sparse_mode.dir/test_sparse_mode.cc.o.d"
+  "test_sparse_mode"
+  "test_sparse_mode.pdb"
+  "test_sparse_mode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

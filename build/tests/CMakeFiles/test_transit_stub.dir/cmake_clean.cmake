@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transit_stub.dir/test_transit_stub.cc.o"
+  "CMakeFiles/test_transit_stub.dir/test_transit_stub.cc.o.d"
+  "test_transit_stub"
+  "test_transit_stub.pdb"
+  "test_transit_stub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transit_stub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

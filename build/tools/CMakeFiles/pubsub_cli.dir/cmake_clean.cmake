@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_cli.dir/pubsub_cli.cc.o"
+  "CMakeFiles/pubsub_cli.dir/pubsub_cli.cc.o.d"
+  "pubsub_cli"
+  "pubsub_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
