@@ -22,6 +22,7 @@
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "util/table.h"
 #include "util/timer.h"
 #include "workload/interval_gen.h"
@@ -66,6 +67,7 @@ std::unique_ptr<PublicationModel> MakeModel(const TransitStubNetwork& net,
 
 int Run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  ConfigureThreadsFromFlags(flags);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const auto subs = static_cast<int>(flags.get_int("subs", 800));
   const auto num_events = static_cast<std::size_t>(flags.get_int("events", 300));

@@ -20,6 +20,7 @@
 
 #include "bench_util.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "util/table.h"
 
 namespace pubsub {
@@ -78,6 +79,7 @@ void RunScenario(PublicationHotSpots spots, const Flags& flags) {
 
 int Run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  ConfigureThreadsFromFlags(flags);
   const std::string modes = flags.get("modes", "all");
   if (modes == "all" || modes == "1") RunScenario(PublicationHotSpots::kOne, flags);
   if (modes == "all" || modes == "4") RunScenario(PublicationHotSpots::kFour, flags);

@@ -17,6 +17,7 @@
 
 #include "bench_util.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "util/table.h"
 
 namespace pubsub {
@@ -49,6 +50,7 @@ void RunOne(const char* label, Scenario scenario, const Flags& flags,
 
 int Run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  ConfigureThreadsFromFlags(flags);
   const auto subs = static_cast<int>(flags.get_int("subs", 1000));
   const auto seed_a = static_cast<std::uint64_t>(flags.get_int("seed_a", 7));
   const auto seed_b = static_cast<std::uint64_t>(flags.get_int("seed_b", 1234));

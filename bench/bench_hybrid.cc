@@ -13,6 +13,7 @@
 #include "bench_util.h"
 #include "sim/hybrid.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "util/table.h"
 
 namespace pubsub {
@@ -20,6 +21,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  ConfigureThreadsFromFlags(flags);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const auto num_events = static_cast<std::size_t>(flags.get_int("events", 300));
   const std::size_t K = 100;

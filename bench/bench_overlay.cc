@@ -14,6 +14,7 @@
 #include "bench_util.h"
 #include "overlay/content_router.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "util/table.h"
 
 namespace pubsub {
@@ -21,6 +22,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   const Flags flags(argc, argv);
+  ConfigureThreadsFromFlags(flags);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const auto subs = static_cast<int>(flags.get_int("subs", 1000));
   const auto num_events = static_cast<std::size_t>(flags.get_int("events", 300));

@@ -1,0 +1,130 @@
+// Scaling of the parallel clustering & matching kernels.
+//
+// Times the four pool-accelerated hot paths — grid rasterization, Forgy
+// re-assignment, exact pairwise agglomeration, and batch event matching —
+// at the configured thread count, and (with --verify) checks that the
+// outputs are byte-identical to a --threads=1 run, which is the layer's
+// core guarantee (util/thread_pool.h).
+//
+// Typical use:
+//   bench_parallel --threads=1
+//   bench_parallel --threads=4     # expect ~2-4x on the clustering phases
+//
+// Flags: --subs=N (default 2000) --events=N (default 4000) --cells=N
+//        (default 1200) --groups=K (default 100) --seed=S --threads=N
+//        --verify=BOOL (default true)
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/kmeans.h"
+#include "core/pairwise.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace pubsub {
+namespace {
+
+struct PhaseResult {
+  double seconds = 0.0;
+  // Fingerprint of the phase output, for the cross-thread-count check.
+  Assignment assignment;
+  ClusteredCosts costs;
+};
+
+// Runs every phase once at the pool's current size.  The scenario is
+// rebuilt from the seed each call (Scenario is move-only); construction is
+// deterministic, so both runs see the same workload.
+std::vector<PhaseResult> RunPhases(int subs, std::size_t events,
+                                   std::size_t max_cells, std::size_t K,
+                                   std::uint64_t seed, double* grid_seconds) {
+  Stopwatch grid_watch;
+  bench::Pipeline p(MakeStockScenario(subs, PublicationHotSpots::kOne, seed),
+                    events, seed + 1);
+  *grid_seconds = grid_watch.elapsed_seconds();
+
+  const std::vector<ClusterCell> cells = p.grid.top_cells(max_cells);
+  std::vector<PhaseResult> out;
+
+  {
+    PhaseResult r;
+    KMeansOptions opt;
+    opt.variant = KMeansVariant::kForgy;
+    Stopwatch watch;
+    r.assignment = KMeansCluster(cells, K, opt).assignment;
+    r.seconds = watch.elapsed_seconds();
+    out.push_back(std::move(r));
+  }
+  {
+    PhaseResult r;
+    Stopwatch watch;
+    r.assignment = PairwiseCluster(cells, K);
+    r.seconds = watch.elapsed_seconds();
+    out.push_back(std::move(r));
+  }
+  {
+    PhaseResult r;
+    const GridMatcher matcher(p.grid, out[0].assignment, static_cast<int>(K));
+    Stopwatch watch;
+    r.costs = EvaluateMatcher(p.sim, p.events, MatcherFn(matcher));
+    r.seconds = watch.elapsed_seconds();
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int threads = ConfigureThreadsFromFlags(flags);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto subs = static_cast<int>(flags.get_int("subs", 2000));
+  const auto events = static_cast<std::size_t>(flags.get_int("events", 4000));
+  const auto max_cells = static_cast<std::size_t>(flags.get_int("cells", 1200));
+  const auto K = static_cast<std::size_t>(flags.get_int("groups", 100));
+  const bool verify = flags.get_bool("verify", true);
+
+  double grid_s = 0.0;
+  const std::vector<PhaseResult> timed =
+      RunPhases(subs, events, max_cells, K, seed, &grid_s);
+
+  double grid_ref_s = 0.0;
+  std::vector<PhaseResult> ref;
+  if (verify && threads != 1) {
+    ThreadPool::global().set_num_threads(1);
+    ref = RunPhases(subs, events, max_cells, K, seed, &grid_ref_s);
+    ThreadPool::global().set_num_threads(threads);
+  }
+
+  const char* names[] = {"forgy k-means", "pairwise", "batch matching"};
+  TextTable table({"phase", "seconds", "vs 1 thread"});
+  table.row().cell("grid build").cell(grid_s, 4).cell(
+      ref.empty() ? 1.0 : grid_ref_s / grid_s, 2);
+  for (std::size_t i = 0; i < timed.size(); ++i)
+    table.row().cell(names[i]).cell(timed[i].seconds, 4).cell(
+        ref.empty() ? 1.0 : ref[i].seconds / timed[i].seconds, 2);
+  std::printf("parallel kernel scaling (subs=%d, events=%zu, cells=%zu, K=%zu, "
+              "threads=%d):\n\n%s",
+              subs, events, max_cells, K, threads, table.to_string().c_str());
+
+  if (!ref.empty()) {
+    bool identical = true;
+    for (std::size_t i = 0; i < timed.size(); ++i) {
+      if (timed[i].assignment != ref[i].assignment) identical = false;
+      if (timed[i].costs.network != ref[i].costs.network ||
+          timed[i].costs.applevel != ref[i].costs.applevel ||
+          timed[i].costs.wasted_deliveries != ref[i].costs.wasted_deliveries)
+        identical = false;
+    }
+    std::printf("\ndeterminism check vs --threads=1: %s\n",
+                identical ? "bit-identical" : "MISMATCH (bug!)");
+    if (!identical) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pubsub
+
+int main(int argc, char** argv) { return pubsub::Run(argc, argv); }

@@ -7,6 +7,7 @@
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "util/table.h"
 
 namespace pubsub::bench {
@@ -23,6 +24,7 @@ struct RowSpec {
 
 int RunBaselineTable(int argc, char** argv, double default_regionalism) {
   const Flags flags(argc, argv);
+  ConfigureThreadsFromFlags(flags);
   const auto num_events = static_cast<std::size_t>(flags.get_int("events", 400));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const double regionalism = flags.get_double("regionalism", default_regionalism);

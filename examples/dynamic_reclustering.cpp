@@ -20,12 +20,14 @@
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "util/table.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
   using namespace pubsub;
   const Flags flags(argc, argv);
+  ConfigureThreadsFromFlags(flags);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 11));
   const auto subs = static_cast<int>(flags.get_int("subs", 800));
   const auto K = static_cast<std::size_t>(flags.get_int("groups", 60));

@@ -17,10 +17,12 @@
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace pubsub;
   const Flags flags(argc, argv);
+  ConfigureThreadsFromFlags(flags);
   const int subs = static_cast<int>(flags.get_int("subs", 1000));
   const auto groups = static_cast<std::size_t>(flags.get_int("groups", 60));
   const auto num_events = static_cast<std::size_t>(flags.get_int("events", 300));

@@ -19,6 +19,7 @@
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -91,6 +92,7 @@ void RunScenario(PublicationHotSpots spots, const Flags& flags) {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  ConfigureThreadsFromFlags(flags);
   const std::string modes = flags.get("modes", "1");
   if (modes == "all" || modes == "1") RunScenario(PublicationHotSpots::kOne, flags);
   if (modes == "all" || modes == "4") RunScenario(PublicationHotSpots::kFour, flags);

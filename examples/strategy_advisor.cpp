@@ -20,6 +20,7 @@
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -36,6 +37,7 @@ TransitStubParams ShapeFor(const std::string& nodes) {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  ConfigureThreadsFromFlags(flags);
   const std::string nodes = flags.get("nodes", "100");
   const auto subs = static_cast<int>(flags.get_int("subs", 1000));
   const double regionalism = flags.get_double("regionalism", 0.4);

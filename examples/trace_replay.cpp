@@ -19,6 +19,7 @@
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "util/table.h"
 #include "workload/trace.h"
 
@@ -30,6 +31,7 @@ using namespace pubsub;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  ConfigureThreadsFromFlags(flags);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 21));
   const auto subs = static_cast<int>(flags.get_int("subs", 1000));
   const auto K = static_cast<std::size_t>(flags.get_int("groups", 100));

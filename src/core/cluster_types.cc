@@ -21,6 +21,19 @@ void GroupState::remove(const ClusterCell& cell) {
   --size_;
 }
 
+double GroupState::distance_to_excluding(const ClusterCell& cell) const {
+  // |s(cell) \ s(group−cell)|: bits the cell alone contributes (count 1).
+  std::size_t cell_only = 0;
+  cell.members->for_each_set([this, &cell_only](std::size_t i) {
+    if (counts_[i] <= 1) ++cell_only;
+  });
+  // |s(group−cell) \ s(cell)|: group bits outside the cell survive removal
+  // untouched (for a member cell every cell bit has count >= 1).
+  const std::size_t group_only = vec_.count() - vec_.count_and(*cell.members);
+  return cell.prob * static_cast<double>(cell_only) +
+         (prob_ - cell.prob) * static_cast<double>(group_only);
+}
+
 void GroupState::merge_from(const GroupState& other) {
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts_[i] += other.counts_[i];

@@ -67,6 +67,11 @@ class GroupState {
   double distance_to(const ClusterCell& cell) const {
     return ExpectedWaste(*cell.members, cell.prob, vec_, prob_);
   }
+  // Expected waste between `cell` and this group with the cell's own
+  // contribution removed — bit-identical to remove(cell); distance_to(cell);
+  // add(cell), but const, so snapshot-based passes can evaluate many cells
+  // concurrently against one frozen group state.  `cell` must be a member.
+  double distance_to_excluding(const ClusterCell& cell) const;
   double distance_to(const GroupState& other) const {
     return ExpectedWaste(vec_, prob_, other.vec_, other.prob_);
   }

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/thread_pool.h"
+
 namespace pubsub {
 namespace {
 
@@ -12,27 +14,39 @@ namespace {
 // spaces (the paper's spaces are ~3·10^4 cells).
 constexpr std::int64_t kMaxLatticeCells = 8'000'000;
 
-// Integer values v whose unit cell (v−1, v] intersects (lo, hi]:
-// v > lo and v − 1 < hi.
-struct ValueRange {
-  int first;
-  int last;  // inclusive; empty if last < first
-};
+// Per-shard lattice copies for the parallel rasterization pass cost
+// sizeof(BitVector) per cell per shard; above this lattice size fall back
+// to the serial pass rather than burn that memory.  Either path sets the
+// same bits, so the choice never changes the result.
+constexpr std::int64_t kMaxParallelLatticeCells = 1'000'000;
 
-ValueRange CellsIntersecting(const Interval& iv, int domain_size) {
-  if (iv.empty()) return {0, -1};
+}  // namespace
+
+GridValueRange GridCellsIntersecting(const Interval& iv, int domain_size) {
+  if (iv.empty() || domain_size <= 0) return {0, -1};
+  // The unit cell of value v is (v−1, v]; it meets (lo, hi] iff v > lo and
+  // v − 1 < hi.  The smallest such v is the least integer strictly above
+  // lo, i.e. floor(lo)+1 whether or not lo is itself integral — so a
+  // subscriber is never dropped from the cell holding its lower boundary
+  // (the brute-force property test in test_grid.cc pins this against
+  // Interval/Rect semantics).  Endpoints are clamped to the domain *before*
+  // the double→int casts: for intervals far outside [0, domain) the
+  // unclamped casts used to overflow int, which is undefined behaviour.
   int first = 0;
-  if (iv.lo() != -Interval::kInf)
-    first = static_cast<int>(std::floor(iv.lo())) + 1;
+  if (iv.lo() != -Interval::kInf) {
+    if (iv.lo() >= static_cast<double>(domain_size - 1)) return {0, -1};
+    if (iv.lo() >= 0.0)
+      first = static_cast<int>(std::floor(iv.lo())) + 1;
+  }
   int last = domain_size - 1;
-  if (iv.hi() != Interval::kInf)
-    last = static_cast<int>(std::ceil(iv.hi()));
-  first = std::max(first, 0);
+  if (iv.hi() != Interval::kInf) {
+    if (iv.hi() <= -1.0) return {0, -1};
+    if (iv.hi() < static_cast<double>(domain_size - 1))
+      last = static_cast<int>(std::ceil(iv.hi()));
+  }
   last = std::min(last, domain_size - 1);
   return {first, last};
 }
-
-}  // namespace
 
 Grid::Grid(const Workload& wl, const PublicationModel& pub)
     : space_(&wl.space), num_subscribers_(wl.num_subscribers()) {
@@ -49,38 +63,78 @@ Grid::Grid(const Workload& wl, const PublicationModel& pub)
   for (std::size_t d = dims - 1; d-- > 0;)
     strides_[d] = strides_[d + 1] * space_->dim(d + 1).domain_size;
 
-  // 1. Membership vector per lattice cell.
+  // 1. Membership vector per lattice cell.  Subscribers are rasterized in
+  // contiguous shards — one private lattice per shard, OR-merged into the
+  // global lattice in shard order afterwards.  Each bit is a pure function
+  // of one subscriber, so the merged lattice is bit-identical for any
+  // shard count (including the serial single-shard path taken when the
+  // lattice is too large to replicate).
   std::vector<BitVector> membership(static_cast<std::size_t>(lattice_size_),
                                     BitVector(num_subscribers_));
-  std::vector<ValueRange> range(dims);
-  std::vector<int> coord(dims);
-  for (std::size_t i = 0; i < wl.subscribers.size(); ++i) {
-    const Rect& r = wl.subscribers[i].interest;
-    bool empty = false;
-    for (std::size_t d = 0; d < dims; ++d) {
-      range[d] = CellsIntersecting(r[d], space_->dim(d).domain_size);
-      if (range[d].last < range[d].first) {
-        empty = true;
-        break;
+  const auto rasterize = [this, &wl, dims](std::size_t sub_begin,
+                                           std::size_t sub_end,
+                                           std::vector<BitVector>& out,
+                                           bool lazy_alloc) {
+    std::vector<GridValueRange> range(dims);
+    std::vector<int> coord(dims);
+    for (std::size_t i = sub_begin; i < sub_end; ++i) {
+      const Rect& r = wl.subscribers[i].interest;
+      bool empty = false;
+      for (std::size_t d = 0; d < dims; ++d) {
+        range[d] = GridCellsIntersecting(r[d], space_->dim(d).domain_size);
+        if (range[d].last < range[d].first) {
+          empty = true;
+          break;
+        }
       }
-    }
-    if (empty) continue;
+      if (empty) continue;
 
-    // Odometer walk over the covered integer box.
-    for (std::size_t d = 0; d < dims; ++d) coord[d] = range[d].first;
-    while (true) {
-      std::int64_t id = 0;
-      for (std::size_t d = 0; d < dims; ++d) id += coord[d] * strides_[d];
-      membership[static_cast<std::size_t>(id)].set(i);
+      // Odometer walk over the covered integer box.
+      for (std::size_t d = 0; d < dims; ++d) coord[d] = range[d].first;
+      while (true) {
+        std::int64_t id = 0;
+        for (std::size_t d = 0; d < dims; ++d) id += coord[d] * strides_[d];
+        BitVector& vec = out[static_cast<std::size_t>(id)];
+        if (lazy_alloc && vec.empty()) vec = BitVector(num_subscribers_);
+        vec.set(i);
 
-      std::size_t d = dims;
-      while (d-- > 0) {
-        if (++coord[d] <= range[d].last) break;
-        coord[d] = range[d].first;
-        if (d == 0) goto next_subscriber;
+        std::size_t d = dims;
+        while (d-- > 0) {
+          if (++coord[d] <= range[d].last) break;
+          coord[d] = range[d].first;
+          if (d == 0) goto next_subscriber;
+        }
       }
+    next_subscriber:;
     }
-  next_subscriber:;
+  };
+
+  const auto num_shards =
+      static_cast<std::size_t>(ThreadPool::global().num_threads());
+  if (num_shards <= 1 || wl.subscribers.size() < 2 * num_shards ||
+      lattice_size_ > kMaxParallelLatticeCells) {
+    rasterize(0, wl.subscribers.size(), membership, /*lazy_alloc=*/false);
+  } else {
+    std::vector<std::vector<BitVector>> shard_mem(
+        num_shards,
+        std::vector<BitVector>(static_cast<std::size_t>(lattice_size_)));
+    const std::size_t per_shard =
+        (wl.subscribers.size() + num_shards - 1) / num_shards;
+    ParallelFor(
+        num_shards,
+        [&](std::size_t s) {
+          const std::size_t begin = std::min(wl.subscribers.size(), s * per_shard);
+          const std::size_t end = std::min(wl.subscribers.size(), begin + per_shard);
+          rasterize(begin, end, shard_mem[s], /*lazy_alloc=*/true);
+        },
+        /*min_parallel=*/1);
+    // Ordered reduction (shard 0 first); OR is also order-independent, so
+    // the merged bits equal the serial pass exactly.
+    for (std::size_t s = 0; s < num_shards; ++s)
+      for (std::int64_t cell = 0; cell < lattice_size_; ++cell) {
+        const BitVector& part = shard_mem[s][static_cast<std::size_t>(cell)];
+        if (!part.empty()) membership[static_cast<std::size_t>(cell)] |= part;
+      }
   }
 
   // 2. Merge identical membership vectors into hyper-cells.

@@ -23,6 +23,18 @@
 
 namespace pubsub {
 
+// Inclusive range of integer attribute values whose unit cells (v−1, v]
+// intersect a subscription interval; empty if last < first.
+struct GridValueRange {
+  int first;
+  int last;
+};
+
+// Values v in [0, domain_size) whose unit cell (v−1, v] intersects the
+// (lo, hi] interval `iv`.  Exposed for the boundary-semantics property
+// test; Grid uses it to rasterize subscriptions.
+GridValueRange GridCellsIntersecting(const Interval& iv, int domain_size);
+
 struct HyperCell {
   BitVector members;
   double prob = 0.0;            // total publication mass of member cells

@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
 namespace pubsub {
 namespace {
 
@@ -13,6 +15,25 @@ std::size_t ClosestGroup(const std::vector<GroupState>& groups,
   double best_d = std::numeric_limits<double>::infinity();
   for (std::size_t g = 0; g < groups.size(); ++g) {
     const double d = groups[g].distance_to(cell);
+    if (d < best_d) {
+      best_d = d;
+      best = g;
+    }
+  }
+  return best;
+}
+
+// ClosestGroup with the cell's own contribution removed from its current
+// group `cur`, so "stay" and "move" compare the same marginal waste.  Pure
+// (no group mutation); same scan order and strict-< tie-breaking as
+// ClosestGroup, hence bit-identical to remove → ClosestGroup → add.
+std::size_t ClosestGroupExcluding(const std::vector<GroupState>& groups,
+                                  std::size_t cur, const ClusterCell& cell) {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const double d = g == cur ? groups[g].distance_to_excluding(cell)
+                              : groups[g].distance_to(cell);
     if (d < best_d) {
       best_d = d;
       best = g;
@@ -111,19 +132,26 @@ KMeansResult KMeansCluster(const std::vector<ClusterCell>& cells, std::size_t K,
       }
     } else {
       // Forgy: distances against the vectors as they stood at the start of
-      // the pass; all moves applied together afterwards.
-      std::vector<GroupState> snapshot = groups;
+      // the pass; all moves applied together afterwards.  Every proposal is
+      // a pure function of the frozen pass-start state, so the scan is
+      // embarrassingly parallel: each lane writes only its own proposal
+      // slots, making the result bit-identical for any thread count.  The
+      // proposals are then applied serially in cell order against the live
+      // state, which keeps the "last cell cannot move" guard exact.
+      std::vector<std::size_t> proposed(cells.size());
+      ParallelFor(
+          cells.size(),
+          [&](std::size_t i) {
+            const auto cur = static_cast<std::size_t>(result.assignment[i]);
+            proposed[i] = ClosestGroupExcluding(groups, cur, cells[i]);
+          },
+          /*min_parallel=*/64);
       Assignment next_assignment = result.assignment;
       for (std::size_t i = 0; i < cells.size(); ++i) {
         const auto cur = static_cast<std::size_t>(result.assignment[i]);
         if (groups[cur].size() == 1) continue;
-        // Same marginal-waste criterion as MacQueen, but against the
-        // pass-start snapshot (restored after the comparison).
-        snapshot[cur].remove(cells[i]);
-        const std::size_t next = ClosestGroup(snapshot, cells[i]);
-        snapshot[cur].add(cells[i]);
+        const std::size_t next = proposed[i];
         if (next != cur) {
-          // Apply to live state only to keep the "last cell" guard exact.
           groups[cur].remove(cells[i]);
           groups[next].add(cells[i]);
           next_assignment[i] = static_cast<int>(next);

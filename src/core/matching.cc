@@ -60,21 +60,23 @@ NoLossMatcher::NoLossMatcher(const NoLossResult& result, std::size_t num_groups,
                              NoLossMatcherOptions options)
     : options_(options) {
   const std::size_t n = std::min(num_groups, result.groups.size());
-  if (options_.selection == NoLossMatcherOptions::Selection::kWeight) {
-    // The result pool is already weight-sorted.
-    groups_.assign(result.groups.begin(),
-                   result.groups.begin() + static_cast<std::ptrdiff_t>(n));
-  } else {
-    std::vector<const NoLossGroup*> ranked;
-    ranked.reserve(result.groups.size());
-    for (const NoLossGroup& g : result.groups) ranked.push_back(&g);
-    std::stable_sort(ranked.begin(), ranked.end(),
-                     [](const NoLossGroup* a, const NoLossGroup* b) {
-                       return a->savings() > b->savings();
-                     });
-    groups_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) groups_.push_back(*ranked[i]);
-  }
+  // Rank the pool under the selection rule instead of trusting the caller's
+  // ordering: NoLossCluster emits a weight-sorted pool, but hand-built or
+  // deserialized pools need not be sorted, and kWeight used to truncate
+  // such pools to an arbitrary prefix.  The stable sort is a no-op on
+  // already-sorted input, so NoLossCluster-fed matchers are unchanged.
+  const bool by_weight =
+      options_.selection == NoLossMatcherOptions::Selection::kWeight;
+  std::vector<const NoLossGroup*> ranked;
+  ranked.reserve(result.groups.size());
+  for (const NoLossGroup& g : result.groups) ranked.push_back(&g);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [by_weight](const NoLossGroup* a, const NoLossGroup* b) {
+                     return by_weight ? a->weight > b->weight
+                                      : a->savings() > b->savings();
+                   });
+  groups_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) groups_.push_back(*ranked[i]);
 
   std::vector<std::pair<Rect, int>> items;
   items.reserve(n);

@@ -3,28 +3,40 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
+
+#include "net/union_find.h"
+#include "util/thread_pool.h"
 
 namespace pubsub {
 namespace {
 
 // Shared agglomeration scaffolding: live groups with lazily maintained
-// membership, plus the final label extraction.
+// membership, plus the final label extraction.  Cell ownership is tracked
+// through a disjoint-set forest, so each merge is near-O(1) instead of the
+// O(n) owner-array rewrite (O(n²) over a full run) it replaces; the labels
+// produced are identical because compaction still follows live group-slot
+// order.
 struct Agglomerator {
   std::vector<GroupState> groups;     // one per original cell; merged-away
                                       // entries stay but are marked dead
   std::vector<char> alive;
-  std::vector<int> owner;             // cell index -> current group index
+  UnionFind components;               // over original cell indices
+  std::vector<int> slot_of_root;      // forest root -> live group slot
   std::size_t num_alive;
 
   explicit Agglomerator(const std::vector<ClusterCell>& cells)
-      : alive(cells.size(), 1), owner(cells.size()), num_alive(cells.size()) {
+      : alive(cells.size(), 1),
+        components(cells.size()),
+        slot_of_root(cells.size()),
+        num_alive(cells.size()) {
     const std::size_t ns = cells[0].members->size();
     groups.reserve(cells.size());
+    std::iota(slot_of_root.begin(), slot_of_root.end(), 0);
     for (std::size_t i = 0; i < cells.size(); ++i) {
       groups.emplace_back(ns);
       groups.back().add(cells[i]);
-      owner[i] = static_cast<int>(i);
     }
   }
 
@@ -32,24 +44,26 @@ struct Agglomerator {
     return groups[a].distance_to(groups[b]);
   }
 
-  // Merge group b into group a.
+  // Merge group b into group a (both must be live group slots).
   void merge(std::size_t a, std::size_t b) {
     groups[a].merge_from(groups[b]);
     alive[b] = 0;
     --num_alive;
-    for (int& o : owner)
-      if (o == static_cast<int>(b)) o = static_cast<int>(a);
+    components.unite(a, b);
+    // unite() picks the root by size; record which live slot it stands for.
+    slot_of_root[components.find(a)] = static_cast<int>(a);
   }
 
-  Assignment labels() const {
+  Assignment labels() {
     // Compact the surviving group indices into [0, K).
     std::vector<int> compact(groups.size(), -1);
     int next = 0;
     for (std::size_t g = 0; g < groups.size(); ++g)
       if (alive[g]) compact[g] = next++;
-    Assignment out(owner.size());
-    for (std::size_t i = 0; i < owner.size(); ++i)
-      out[i] = compact[static_cast<std::size_t>(owner[i])];
+    Assignment out(groups.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = compact[static_cast<std::size_t>(
+          slot_of_root[components.find(i)])];
     return out;
   }
 };
@@ -84,13 +98,25 @@ Assignment PairwiseCluster(const std::vector<ClusterCell>& cells, std::size_t K)
     valid[g] = 1;
   };
 
+  std::vector<std::size_t> stale;
   while (ag.num_alive > K) {
-    // Find the globally closest pair using the caches.
+    // Refresh invalidated nearest-neighbour caches.  Each recomputation is
+    // a pure scan of the (frozen) group states writing only its own g's
+    // slots, so the batch parallelizes with bit-identical results for any
+    // thread count.
+    stale.clear();
+    for (std::size_t g = 0; g < n; ++g)
+      if (ag.alive[g] && !valid[g]) stale.push_back(g);
+    ParallelFor(
+        stale.size(), [&](std::size_t s) { recompute_nn(stale[s]); },
+        /*min_parallel=*/8);
+
+    // Find the globally closest pair using the caches (serial scan in
+    // ascending slot order — fixed tie-breaking).
     std::size_t best_g = n;
     double best_d = kInf;
     for (std::size_t g = 0; g < n; ++g) {
       if (!ag.alive[g]) continue;
-      if (!valid[g]) recompute_nn(g);
       if (nn_dist[g] < best_d) {
         best_d = nn_dist[g];
         best_g = g;

@@ -1,18 +1,21 @@
 #include "sim/experiment.h"
 
+#include "util/thread_pool.h"
+
 namespace pubsub {
 
 std::vector<EventSample> SampleEvents(const DeliverySimulator& sim,
                                       const PublicationModel& model,
                                       std::size_t count, Rng& rng) {
-  std::vector<EventSample> events;
-  events.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    EventSample e;
-    e.pub = model.sample(rng);
-    e.interested = sim.interested(e.pub.point);
-    events.push_back(std::move(e));
-  }
+  // Sampling consumes the Rng serially (the stream must not depend on the
+  // thread count); the interested-set stabbing queries are pure per-event
+  // lookups and fan out across the pool.
+  std::vector<EventSample> events(count);
+  for (std::size_t i = 0; i < count; ++i) events[i].pub = model.sample(rng);
+  ParallelFor(
+      count,
+      [&](std::size_t i) { events[i].interested = sim.interested(events[i].pub.point); },
+      /*min_parallel=*/16);
   return events;
 }
 
@@ -40,9 +43,23 @@ double ImprovementPercent(double cost, const BaselineCosts& base) {
 ClusteredCosts EvaluateMatcher(DeliverySimulator& sim,
                                std::span<const EventSample> events,
                                const MatchFn& match) {
+  // Phase 1 (parallel): per-event match decisions.  Matchers are const and
+  // pure, so each slot write is independent and the decisions are identical
+  // for any thread count.  Phase 2 (serial, event order): cost accumulation
+  // — the simulator caches shortest-path trees, and summing doubles in a
+  // fixed order keeps the totals bit-identical.
+  std::vector<MatchDecision> decisions(events.size());
+  ParallelFor(
+      events.size(),
+      [&](std::size_t i) {
+        decisions[i] = match(events[i].pub.point, events[i].interested);
+      },
+      /*min_parallel=*/16);
+
   ClusteredCosts out;
-  for (const EventSample& e : events) {
-    const MatchDecision d = match(e.pub.point, e.interested);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const EventSample& e = events[i];
+    const MatchDecision& d = decisions[i];
     out.network += sim.clustered_cost_network(e.pub.origin, d);
     out.applevel += sim.clustered_cost_applevel(e.pub.origin, d);
     if (d.group_id >= 0) {

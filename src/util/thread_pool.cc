@@ -1,0 +1,140 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/flags.h"
+
+namespace pubsub {
+namespace {
+
+// True on threads currently executing a pool chunk; parallel_for from such
+// a thread runs inline instead of deadlocking on its own pool.
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads_ = std::max(1, num_threads);
+  start_workers();
+}
+
+ThreadPool::~ThreadPool() { stop_workers(); }
+
+void ThreadPool::start_workers() {
+  // No job can be in flight here (only the ctor and set_num_threads call
+  // this, from the job-publishing thread), so generation_ is stable.
+  const std::uint64_t spawn_generation = generation_;
+  for (int lane = 1; lane < num_threads_; ++lane)
+    workers_.emplace_back(
+        [this, lane, spawn_generation] { worker_loop(lane, spawn_generation); });
+}
+
+void ThreadPool::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  shutdown_ = false;
+}
+
+void ThreadPool::set_num_threads(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  if (num_threads == num_threads_) return;
+  stop_workers();
+  num_threads_ = num_threads;
+  start_workers();
+}
+
+void ThreadPool::worker_loop(int lane, std::uint64_t spawn_generation) {
+  std::uint64_t seen = spawn_generation;
+  while (true) {
+    const std::function<void(std::size_t, std::size_t)>* body;
+    std::size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      body = body_;
+      n = job_n_;
+    }
+    // Fixed sharding: lane t owns [t*chunk, (t+1)*chunk) ∩ [0, n).
+    const std::size_t T = static_cast<std::size_t>(num_threads_);
+    const std::size_t chunk = (n + T - 1) / T;
+    const std::size_t begin = std::min(n, static_cast<std::size_t>(lane) * chunk);
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin < end) {
+      t_in_parallel_region = true;
+      (*body)(begin, end);
+      t_in_parallel_region = false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t min_parallel) {
+  if (n == 0) return;
+  if (num_threads_ <= 1 || n < std::max<std::size_t>(min_parallel, 2) ||
+      t_in_parallel_region) {
+    body(0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    job_n_ = n;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is lane 0.
+  const std::size_t T = static_cast<std::size_t>(num_threads_);
+  const std::size_t chunk = (n + T - 1) / T;
+  t_in_parallel_region = true;
+  body(0, std::min(n, chunk));
+  t_in_parallel_region = false;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  body_ = nullptr;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(1);
+  return pool;
+}
+
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                 std::size_t min_parallel) {
+  ThreadPool::global().parallel_for(
+      n,
+      [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      },
+      min_parallel);
+}
+
+void ParallelForChunks(std::size_t n,
+                       const std::function<void(std::size_t, std::size_t)>& body,
+                       std::size_t min_parallel) {
+  ThreadPool::global().parallel_for(n, body, min_parallel);
+}
+
+int ConfigureThreadsFromFlags(const Flags& flags) {
+  int n = static_cast<int>(flags.get_int("threads", 1));
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n < 1) n = 1;
+  ThreadPool::global().set_num_threads(n);
+  return n;
+}
+
+}  // namespace pubsub

@@ -1,0 +1,95 @@
+// Deterministic fork-join parallelism for the clustering hot paths.
+//
+// The pool is intentionally work-stealing-free: `parallel_for` splits the
+// index range [0, n) into `num_threads` contiguous, near-equal chunks with
+// boundaries that are a pure function of (n, num_threads), and worker t
+// always executes chunk t.  Callers obtain determinism by construction:
+// every parallel region in this codebase either writes to per-index slots
+// (pure map) or produces per-shard partial results that the caller merges
+// in shard order (ordered reduction).  No atomics on floats, no
+// order-dependent shared state — so results are bit-identical for any
+// thread count, and every figure/table reproduction stays exact.
+//
+// The global pool defaults to 1 thread (fully serial).  Binaries opt in
+// via --threads=N (ConfigureThreadsFromFlags) or set_num_threads().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pubsub {
+
+class Flags;
+
+class ThreadPool {
+ public:
+  // A pool with `num_threads` total lanes (the calling thread counts as
+  // lane 0; num_threads-1 workers are spawned).  num_threads < 1 is
+  // treated as 1.
+  explicit ThreadPool(int num_threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Joins existing workers and respawns with the new count.  Must not be
+  // called from inside a parallel region.
+  void set_num_threads(int num_threads);
+
+  // Invokes body(begin, end) on disjoint chunks covering [0, n); blocks
+  // until all chunks finish.  Chunk boundaries depend only on n and
+  // num_threads().  Runs inline (single chunk) when the pool is serial,
+  // n < min_parallel, or the caller is itself a pool worker (no nesting).
+  //
+  // The body must only write state disjoint per index, or per-chunk state
+  // merged by the caller afterwards; it must not throw.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t min_parallel = 2);
+
+  // Process-wide pool used by the clustering/matching hot paths.
+  static ThreadPool& global();
+
+ private:
+  // `spawn_generation` is the value of generation_ when the worker was
+  // created; the worker only runs jobs published after it (a worker
+  // spawned by a resize must not mistake an old generation for new work).
+  void worker_loop(int lane, std::uint64_t spawn_generation);
+  void start_workers();
+  void stop_workers();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;   // caller waits for completion
+  std::uint64_t generation_ = 0;      // bumped once per parallel_for
+  int pending_ = 0;                   // worker chunks not yet finished
+  bool shutdown_ = false;
+  // Job state for the current generation (guarded by mu_ for publication).
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  std::size_t job_n_ = 0;
+};
+
+// Applies body(i) for each i in [0, n) via ThreadPool::global().
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                 std::size_t min_parallel = 2);
+
+// Chunked flavor: body(begin, end) per shard, via ThreadPool::global().
+void ParallelForChunks(std::size_t n,
+                       const std::function<void(std::size_t, std::size_t)>& body,
+                       std::size_t min_parallel = 2);
+
+// Reads --threads=N (N >= 1; 0 means "all hardware threads") and resizes
+// the global pool accordingly.  Returns the resulting thread count.
+// Binaries that accept the flag call this once at startup.
+int ConfigureThreadsFromFlags(const Flags& flags);
+
+}  // namespace pubsub

@@ -1,0 +1,163 @@
+// Determinism suite: the parallel execution layer guarantees that every
+// clustering and matching result is byte-identical for any --threads value
+// (util/thread_pool.h).  This suite runs the full pipeline — grid build,
+// K-Means (both variants), exact and approximate pairwise, and
+// GridMatcher/NoLossMatcher decisions — at 1, 2 and 8 threads under one
+// seed and requires identical output, including exact double equality on
+// every accumulated cost.  It is also the workload the ThreadSanitizer
+// preset runs (cmake --preset tsan): any cross-lane data race in the
+// parallel regions fires there.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "core/grid.h"
+#include "core/kmeans.h"
+#include "core/matching.h"
+#include "core/noloss.h"
+#include "core/pairwise.h"
+#include "sim/delivery.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "util/thread_pool.h"
+
+namespace pubsub {
+namespace {
+
+constexpr std::uint64_t kSeed = 41;
+constexpr std::size_t kEvents = 120;
+constexpr std::size_t kMaxCells = 220;
+constexpr std::size_t kGroups = 24;
+
+// Everything one pipeline run produces, in comparable form.
+struct RunOutput {
+  std::vector<std::string> hyper_members;  // bit-strings, popularity order
+  std::vector<double> hyper_probs;
+  std::vector<Assignment> assignments;     // one per algorithm
+  std::vector<int> decision_groups;        // GridMatcher per event
+  std::vector<std::vector<SubscriberId>> decision_members;
+  std::vector<std::vector<SubscriberId>> decision_unicasts;
+  std::vector<int> noloss_groups;          // NoLossMatcher per event
+  ClusteredCosts grid_costs;
+  ClusteredCosts noloss_costs;
+
+  bool operator==(const RunOutput& o) const {
+    return hyper_members == o.hyper_members && hyper_probs == o.hyper_probs &&
+           assignments == o.assignments &&
+           decision_groups == o.decision_groups &&
+           decision_members == o.decision_members &&
+           decision_unicasts == o.decision_unicasts &&
+           noloss_groups == o.noloss_groups &&
+           grid_costs.network == o.grid_costs.network &&
+           grid_costs.applevel == o.grid_costs.applevel &&
+           grid_costs.wasted_deliveries == o.grid_costs.wasted_deliveries &&
+           noloss_costs.network == o.noloss_costs.network &&
+           noloss_costs.applevel == o.noloss_costs.applevel &&
+           noloss_costs.wasted_deliveries == o.noloss_costs.wasted_deliveries;
+  }
+};
+
+RunOutput RunPipeline(int threads) {
+  ThreadPool::global().set_num_threads(threads);
+  RunOutput out;
+
+  Scenario s = MakeStockScenario(400, PublicationHotSpots::kOne, kSeed);
+  DeliverySimulator sim(s.net.graph, s.workload);
+  const Grid grid(s.workload, *s.pub);
+  for (const HyperCell& hc : grid.hyper_cells()) {
+    out.hyper_members.push_back(hc.members.to_string());
+    out.hyper_probs.push_back(hc.prob);
+  }
+
+  Rng event_rng(kSeed + 1);
+  const std::vector<EventSample> events =
+      SampleEvents(sim, *s.pub, kEvents, event_rng);
+
+  const std::vector<ClusterCell> cells = grid.top_cells(kMaxCells);
+  for (const GridAlgorithm& algo : StandardGridAlgorithms()) {
+    Rng rng(kSeed + 2);
+    out.assignments.push_back(algo.run(cells, kGroups, rng));
+  }
+
+  // MatchDecisions for the Forgy assignment (assignments[1] is "forgy" in
+  // the standard lineup; use by-name lookup to stay robust).
+  Rng rng(kSeed + 2);
+  const Assignment forgy = GridAlgorithmByName("forgy").run(cells, kGroups, rng);
+  const GridMatcher matcher(grid, forgy, static_cast<int>(kGroups));
+  for (const EventSample& e : events) {
+    const MatchDecision d = matcher.match(e.pub.point, e.interested);
+    out.decision_groups.push_back(d.group_id);
+    out.decision_members.emplace_back(d.group_members.begin(),
+                                      d.group_members.end());
+    out.decision_unicasts.push_back(d.unicast_targets);
+  }
+  out.grid_costs = EvaluateMatcher(sim, events, MatcherFn(matcher));
+
+  NoLossOptions nopt;
+  nopt.max_rectangles = 600;
+  nopt.iterations = 2;
+  nopt.intersect_top = 48;
+  const NoLossResult noloss = NoLossCluster(s.workload, *s.pub, nopt);
+  const NoLossMatcher nl_matcher(noloss, kGroups);
+  for (const EventSample& e : events)
+    out.noloss_groups.push_back(nl_matcher.match(e.pub.point, e.interested).group_id);
+  out.noloss_costs = EvaluateMatcher(sim, events, MatcherFn(nl_matcher));
+
+  ThreadPool::global().set_num_threads(1);
+  return out;
+}
+
+TEST(Determinism, ByteIdenticalAcrossThreadCounts) {
+  const RunOutput ref = RunPipeline(1);
+  ASSERT_FALSE(ref.hyper_members.empty());
+  ASSERT_EQ(ref.assignments.size(), StandardGridAlgorithms().size());
+  ASSERT_EQ(ref.decision_groups.size(), kEvents);
+
+  for (const int threads : {2, 8}) {
+    const RunOutput got = RunPipeline(threads);
+    // Pinpoint mismatches field by field before the blanket check.
+    EXPECT_EQ(got.hyper_members, ref.hyper_members) << "threads=" << threads;
+    EXPECT_EQ(got.hyper_probs, ref.hyper_probs) << "threads=" << threads;
+    for (std::size_t a = 0; a < ref.assignments.size(); ++a)
+      EXPECT_EQ(got.assignments[a], ref.assignments[a])
+          << "algorithm #" << a << " threads=" << threads;
+    EXPECT_EQ(got.decision_groups, ref.decision_groups) << "threads=" << threads;
+    EXPECT_EQ(got.decision_members, ref.decision_members) << "threads=" << threads;
+    EXPECT_EQ(got.decision_unicasts, ref.decision_unicasts) << "threads=" << threads;
+    EXPECT_EQ(got.noloss_groups, ref.noloss_groups) << "threads=" << threads;
+    EXPECT_EQ(got.grid_costs.network, ref.grid_costs.network) << "threads=" << threads;
+    EXPECT_EQ(got.noloss_costs.network, ref.noloss_costs.network)
+        << "threads=" << threads;
+    EXPECT_TRUE(got == ref) << "threads=" << threads;
+  }
+}
+
+// The k-means warm-start (churn) path must also be thread-count-invariant.
+TEST(Determinism, WarmStartForgyAcrossThreadCounts) {
+  Scenario s = MakeStockScenario(300, PublicationHotSpots::kFour, kSeed + 7);
+  const Grid grid(s.workload, *s.pub);
+  const std::vector<ClusterCell> cells = grid.top_cells(150);
+
+  KMeansOptions opt;
+  opt.variant = KMeansVariant::kForgy;
+  const Assignment seed_assignment = KMeansCluster(cells, kGroups, opt).assignment;
+
+  KMeansOptions warm = opt;
+  warm.warm_start = &seed_assignment;
+  ThreadPool::global().set_num_threads(1);
+  const KMeansResult ref = KMeansCluster(cells, kGroups, warm);
+  for (const int threads : {2, 8}) {
+    ThreadPool::global().set_num_threads(threads);
+    const KMeansResult got = KMeansCluster(cells, kGroups, warm);
+    EXPECT_EQ(got.assignment, ref.assignment) << "threads=" << threads;
+    EXPECT_EQ(got.iterations, ref.iterations) << "threads=" << threads;
+  }
+  ThreadPool::global().set_num_threads(1);
+}
+
+}  // namespace
+}  // namespace pubsub

@@ -143,6 +143,67 @@ TEST(Grid, TopCellsTruncatesAndPreservesOrder) {
   EXPECT_EQ(many.size(), grid.hyper_cells().size());
 }
 
+// Brute-force cross-check of the rasterization ranges against the
+// Interval/Rect (lo, hi] semantics: for every endpoint combination —
+// integer, half-integer and unbounded — GridCellsIntersecting must select
+// exactly the values v whose unit cell (v−1, v] intersects the interval.
+TEST(Grid, CellsIntersectingMatchesIntervalSemantics) {
+  for (const int domain : {1, 2, 3, 5}) {
+    std::vector<double> endpoints{-Interval::kInf, Interval::kInf};
+    for (double v = -3.0; v <= domain + 2.0; v += 0.5) endpoints.push_back(v);
+    for (const double lo : endpoints) {
+      for (const double hi : endpoints) {
+        const Interval iv(lo, hi);
+        const GridValueRange r = GridCellsIntersecting(iv, domain);
+        for (int v = 0; v < domain; ++v) {
+          const bool expect = Interval::Point(v).intersects(iv);
+          const bool got = v >= r.first && v <= r.last;
+          EXPECT_EQ(got, expect)
+              << "domain=" << domain << " iv=" << iv.to_string() << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+// No subscriber may be dropped from the cell holding its interval's lower
+// boundary: for any event coordinate x the subscriber's interval contains,
+// the cell of x (v = ceil(x), the (v−1, v] convention of Grid::cell_of)
+// must fall inside the subscriber's rasterized range.
+TEST(Grid, NoSubscriberDroppedAtIntervalBoundary) {
+  for (const int domain : {1, 3, 6}) {
+    std::vector<double> endpoints{-Interval::kInf, Interval::kInf};
+    for (double v = -2.0; v <= domain + 1.0; v += 0.25) endpoints.push_back(v);
+    for (const double lo : endpoints) {
+      for (const double hi : endpoints) {
+        const Interval iv(lo, hi);
+        const GridValueRange r = GridCellsIntersecting(iv, domain);
+        for (double x = -1.0; x <= domain - 1.0; x += 0.125) {
+          if (!iv.contains(x)) continue;
+          const int v = static_cast<int>(std::ceil(x));
+          if (v < 0 || v >= domain) continue;
+          EXPECT_TRUE(v >= r.first && v <= r.last)
+              << "domain=" << domain << " iv=" << iv.to_string() << " x=" << x;
+        }
+      }
+    }
+  }
+}
+
+// Far-out-of-domain finite endpoints used to flow into unguarded
+// double→int casts (undefined behaviour for values beyond int range); the
+// clamped form must stay well-defined and exact.
+TEST(Grid, CellsIntersectingHandlesExtremeEndpoints) {
+  const int domain = 10;
+  const GridValueRange below = GridCellsIntersecting(Interval(-2e18, -1e18), domain);
+  EXPECT_GT(below.first, below.last);  // empty
+  const GridValueRange above = GridCellsIntersecting(Interval(1e18, 2e18), domain);
+  EXPECT_GT(above.first, above.last);  // empty
+  const GridValueRange all = GridCellsIntersecting(Interval(-1e18, 1e18), domain);
+  EXPECT_EQ(all.first, 0);
+  EXPECT_EQ(all.last, domain - 1);
+}
+
 TEST(Grid, SubscriberOutsideDomainIgnored) {
   Workload wl;
   wl.space = EventSpace({{"a", 4}});

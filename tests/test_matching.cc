@@ -201,6 +201,44 @@ TEST(NoLossMatcherTest, SavingsSelectionPrefersDenseAreas) {
   EXPECT_LT(better_than_worst, matcher.num_groups());
 }
 
+TEST(NoLossMatcherTest, WeightSelectionSortsUnsortedPool) {
+  // Regression: kWeight selection used to assume the candidate pool was
+  // already weight-sorted and silently took the first K entries, which is
+  // wrong for any caller that hands the matcher a hand-built or re-ranked
+  // pool.  Build a deliberately unsorted pool and require the true top-K.
+  auto make_group = [](double lo, double hi, double mass, double weight) {
+    NoLossGroup g;
+    g.rect = Rect({Interval(lo, hi)});
+    g.subscribers = BitVector(3);
+    g.subscribers.set(0);
+    g.mass = mass;
+    g.weight = weight;
+    return g;
+  };
+  NoLossResult pool;
+  pool.groups.push_back(make_group(-1, 5, 0.3, 2.0));
+  pool.groups.push_back(make_group(5, 12, 0.9, 9.0));
+  pool.groups.push_back(make_group(12, 19, 0.5, 5.0));
+
+  NoLossMatcherOptions by_weight;
+  by_weight.selection = NoLossMatcherOptions::Selection::kWeight;
+  const NoLossMatcher matcher(pool, 2, by_weight);
+  ASSERT_EQ(matcher.num_groups(), 2);
+  std::vector<double> weights;
+  for (int g = 0; g < matcher.num_groups(); ++g)
+    weights.push_back(matcher.group(g).weight);
+  std::sort(weights.begin(), weights.end());
+  EXPECT_EQ(weights, (std::vector<double>{5.0, 9.0}));
+
+  // Savings selection on the same unsorted pool: savings = weight − mass
+  // ranks 8.1 > 4.5 > 1.7, so the same two areas must win there too.
+  const NoLossMatcher by_savings(pool, 2);
+  double worst = 1e18;
+  for (int g = 0; g < by_savings.num_groups(); ++g)
+    worst = std::min(worst, by_savings.group(g).savings());
+  EXPECT_GT(worst, 4.0);
+}
+
 TEST(NoLossMatcherTest, UsesOnlyTopKGroups) {
   const Workload wl = TwoClusterWorkload();
   const auto pub = UniformPub(wl);

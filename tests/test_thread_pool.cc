@@ -1,0 +1,156 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "util/flags.h"
+
+namespace pubsub {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    for (const std::size_t n : {0u, 1u, 2u, 7u, 64u, 1001u}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.parallel_for(
+          n,
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+          },
+          /*min_parallel=*/1);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkBoundariesArePureFunctionOfInput) {
+  // Lane t must always own the same contiguous chunk: record chunk edges
+  // across repeated runs and require identical partitions.
+  ThreadPool pool(4);
+  const std::size_t n = 103;
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> runs;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> seen;
+    pool.parallel_for(
+        n,
+        [&](std::size_t begin, std::size_t end) {
+          std::lock_guard<std::mutex> lock(mu);
+          seen.emplace_back(begin, end);
+        },
+        /*min_parallel=*/1);
+    std::sort(seen.begin(), seen.end());
+    runs.push_back(std::move(seen));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[1], runs[2]);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  // Order must be exactly 0..n-1 (single chunk on the calling thread).
+  std::vector<std::size_t> order;
+  pool.parallel_for(10, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) order.push_back(i);
+  });
+  std::vector<std::size_t> expect(10);
+  std::iota(expect.begin(), expect.end(), 0u);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPool, SmallRangesRunInline) {
+  ThreadPool pool(8);
+  std::vector<int> hits(3, 0);  // unsynchronized: must not run concurrently
+  pool.parallel_for(
+      3,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+      },
+      /*min_parallel=*/100);
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(
+      4,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+          // Would deadlock if the inner call dispatched to the same pool.
+          pool.parallel_for(8, [&](std::size_t b, std::size_t e) {
+            total.fetch_add(static_cast<int>(e - b));
+          });
+      },
+      /*min_parallel=*/1);
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, ResizeReusableAcrossJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  auto body = [&](std::size_t begin, std::size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  };
+  pool.parallel_for(100, body, 1);
+  pool.set_num_threads(5);
+  EXPECT_EQ(pool.num_threads(), 5);
+  pool.parallel_for(100, body, 1);
+  pool.set_num_threads(1);
+  pool.parallel_for(100, body, 1);
+  EXPECT_EQ(count.load(), 300);
+}
+
+TEST(ThreadPool, ResizeAfterManyJobsSpawnsQuiescentWorkers) {
+  // Regression: workers spawned by a resize once started with a zero
+  // generation counter while the pool's counter kept its pre-resize value,
+  // so they woke immediately and executed a stale (null) job.  Interleave
+  // many jobs with resizes to exercise that path.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  auto body = [&](std::size_t begin, std::size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  };
+  for (int rep = 0; rep < 50; ++rep) {
+    pool.parallel_for(64, body, 1);
+    pool.set_num_threads(rep % 2 ? 7 : 4);
+  }
+  EXPECT_EQ(count.load(), 50 * 64);
+}
+
+TEST(ThreadPool, ParallelForHelperUsesGlobalPool) {
+  ThreadPool::global().set_num_threads(3);
+  std::vector<int> slot(257, 0);
+  ParallelFor(slot.size(), [&](std::size_t i) { slot[i] = static_cast<int>(i); }, 1);
+  for (std::size_t i = 0; i < slot.size(); ++i)
+    ASSERT_EQ(slot[i], static_cast<int>(i));
+  ThreadPool::global().set_num_threads(1);
+}
+
+TEST(ThreadPool, ConfigureThreadsFromFlagsParsesAndClamps) {
+  {
+    const char* argv[] = {"prog", "--threads=3"};
+    EXPECT_EQ(ConfigureThreadsFromFlags(Flags(2, argv)), 3);
+    EXPECT_EQ(ThreadPool::global().num_threads(), 3);
+  }
+  {
+    const char* argv[] = {"prog"};
+    EXPECT_EQ(ConfigureThreadsFromFlags(Flags(1, argv)), 1);  // default serial
+  }
+  {
+    const char* argv[] = {"prog", "--threads=0"};  // 0 = hardware threads
+    EXPECT_GE(ConfigureThreadsFromFlags(Flags(2, argv)), 1);
+  }
+  ThreadPool::global().set_num_threads(1);
+}
+
+}  // namespace
+}  // namespace pubsub

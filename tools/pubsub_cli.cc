@@ -30,6 +30,7 @@
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 namespace pubsub {
 namespace {
@@ -199,6 +200,7 @@ int Run(int argc, char** argv) {
   if (argc < 2) Usage();
   const std::string cmd = argv[1];
   const Flags flags(argc - 1, argv + 1);
+  ConfigureThreadsFromFlags(flags);
   try {
     if (cmd == "gen-net") return GenNet(flags);
     if (cmd == "gen-workload") return GenWorkload(flags);
