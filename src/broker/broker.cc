@@ -1,0 +1,352 @@
+#include "broker/broker.h"
+
+#include <algorithm>
+#include <iterator>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "io/serialize.h"
+
+namespace pubsub {
+namespace {
+
+std::uint64_t Fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Broker::Broker(Workload initial, const PublicationModel& pub,
+               const Graph& network, const BrokerOptions& options, Clock* clock)
+    : pub_(&pub), network_(&network), options_(options), policy_(options.refresh) {
+  mgr_ = std::make_unique<GroupManager>(std::move(initial), pub, options_.group);
+  runtime_ = std::make_unique<DeliveryRuntime>(network, options_.runtime);
+  if (clock == nullptr) {
+    owned_clock_ = std::make_unique<ManualClock>();
+    clock = owned_clock_.get();
+  }
+  clock_ = clock;
+  bootstrap_index();
+  capture_checkpoint();
+}
+
+Broker::Broker(RestoreTag, const BrokerSnapshot& snapshot,
+               const PublicationModel& pub, const Graph& network,
+               const BrokerOptions& options, Clock* clock)
+    : pub_(&pub), network_(&network), options_(options), policy_(options.refresh) {
+  if (static_cast<std::size_t>(snapshot.num_groups) != options.group.num_groups)
+    throw std::invalid_argument(
+        "Broker: snapshot group count (" + std::to_string(snapshot.num_groups) +
+        ") does not match options (" +
+        std::to_string(options.group.num_groups) + ")");
+  // Adopt the snapshot's clustering verbatim (no re-clustering) along with
+  // its warm/cold bookkeeping.
+  mgr_ = std::make_unique<GroupManager>(
+      snapshot.workload, pub, options.group, snapshot.assignment,
+      static_cast<std::size_t>(snapshot.churn_since_full_build));
+  runtime_ = std::make_unique<DeliveryRuntime>(network, options.runtime);
+  runtime_->restore_queue_state(snapshot.queue_state);
+  if (clock == nullptr) {
+    owned_clock_ = std::make_unique<ManualClock>();
+    clock = owned_clock_.get();
+  }
+  clock_ = clock;
+  seq_ = snapshot.seq;
+  stats_ = snapshot.stats;
+  bootstrap_index();
+  checkpoint_ = snapshot;
+}
+
+// Bulk-load the live index from the current table.  Tombstoned and
+// out-of-domain interests clip to empty and stay unindexed.
+void Broker::bootstrap_index() {
+  indexed_rect_.assign(mgr_->workload().num_subscribers(), Rect());
+  const Rect domain = mgr_->workload().space.domain_rect();
+  std::vector<std::pair<Rect, int>> items;
+  items.reserve(indexed_rect_.size());
+  for (std::size_t i = 0; i < indexed_rect_.size(); ++i) {
+    const Rect clipped =
+        mgr_->workload().subscribers[i].interest.intersection(domain);
+    if (clipped.empty()) continue;
+    items.emplace_back(clipped, static_cast<int>(i));
+    indexed_rect_[i] = clipped;
+  }
+  live_index_ = RTree::BulkLoad(std::move(items));
+}
+
+std::unique_ptr<Broker> Broker::Recover(const BrokerSnapshot& snapshot,
+                                        std::span<const JournalRecord> journal,
+                                        const PublicationModel& pub,
+                                        const Graph& network,
+                                        const BrokerOptions& options,
+                                        Clock* clock) {
+  std::unique_ptr<Broker> b(
+      new Broker(RestoreTag{}, snapshot, pub, network, options, clock));
+  {
+    std::ostringstream ss;
+    WriteBrokerSnapshot(ss, snapshot);
+    b->stats_.snapshot_bytes = ss.str().size();
+  }
+  b->stats_.replayed_records = 0;
+  b->checkpoint_.stats = b->stats_;
+  for (const JournalRecord& rec : journal) {
+    if (rec.seq <= snapshot.seq) continue;  // already in the snapshot
+    if (rec.seq != b->seq_ + 1)
+      throw std::runtime_error("Broker::Recover: journal gap (expected seq " +
+                               std::to_string(b->seq_ + 1) + ", got " +
+                               std::to_string(rec.seq) + ")");
+    ++b->stats_.replayed_records;
+    b->apply_record(rec);
+  }
+  return b;
+}
+
+void Broker::set_journal(std::ostream* sink, bool write_header) {
+  if (sink != nullptr && write_header)
+    WriteJournalHeader(*sink, mgr_->workload().space.dims());
+  journal_ = sink;
+}
+
+void Broker::set_record_listener(
+    std::function<void(const JournalRecord&)> listener) {
+  listener_ = std::move(listener);
+}
+
+JournalRecord Broker::make_record(BrokerCommand cmd) {
+  JournalRecord rec;
+  rec.seq = seq_ + 1;
+  cmd.time_ms = clock_->now_ms();
+  rec.cmd = std::move(cmd);
+  return rec;
+}
+
+SubscriberId Broker::subscribe(NodeId node, const Rect& interest) {
+  BrokerCommand cmd;
+  cmd.type = BrokerCommandType::kSubscribe;
+  cmd.node = node;
+  cmd.interest = interest;
+  apply_record(make_record(std::move(cmd)));
+  return static_cast<SubscriberId>(mgr_->workload().num_subscribers() - 1);
+}
+
+void Broker::unsubscribe(SubscriberId id) {
+  BrokerCommand cmd;
+  cmd.type = BrokerCommandType::kUnsubscribe;
+  cmd.subscriber = id;
+  apply_record(make_record(std::move(cmd)));
+}
+
+void Broker::update(SubscriberId id, const Rect& interest) {
+  BrokerCommand cmd;
+  cmd.type = BrokerCommandType::kUpdate;
+  cmd.subscriber = id;
+  cmd.interest = interest;
+  apply_record(make_record(std::move(cmd)));
+}
+
+PublishOutcome Broker::publish(NodeId origin, const Point& event) {
+  BrokerCommand cmd;
+  cmd.type = BrokerCommandType::kPublish;
+  cmd.node = origin;
+  cmd.point = event;
+  return apply_record(make_record(std::move(cmd)));
+}
+
+void Broker::apply(const JournalRecord& rec) {
+  if (rec.seq != seq_ + 1)
+    throw std::runtime_error("Broker::apply: out-of-order record (expected seq " +
+                             std::to_string(seq_ + 1) + ", got " +
+                             std::to_string(rec.seq) + ")");
+  apply_record(rec);
+}
+
+PublishOutcome Broker::apply_record(const JournalRecord& rec) {
+  if (rec.seq != seq_ + 1)
+    throw std::runtime_error("Broker: non-contiguous sequence number");
+  // Write-ahead: the record is durable (and its size accounted) before the
+  // state mutation.  Serialization also validates the command against the
+  // event space.
+  {
+    std::ostringstream ss;
+    WriteJournalRecord(ss, rec, mgr_->workload().space.dims());
+    const std::string text = ss.str();
+    stats_.journal_bytes += text.size();
+    if (journal_ != nullptr) {
+      *journal_ << text;
+      journal_->flush();
+    }
+  }
+  seq_ = rec.seq;
+  last_time_ms_ = rec.cmd.time_ms;
+
+  PublishOutcome out;
+  if (rec.cmd.type == BrokerCommandType::kPublish) {
+    out = apply_publish(rec.cmd);
+  } else {
+    apply_churn(rec.cmd);
+  }
+  out.seq = seq_;
+  ++stats_.commands_applied;
+  maybe_refresh(&out);
+  if (listener_) listener_(rec);
+  return out;
+}
+
+void Broker::apply_churn(const BrokerCommand& cmd) {
+  switch (cmd.type) {
+    case BrokerCommandType::kSubscribe: {
+      const SubscriberId id = mgr_->add_subscriber(cmd.node, cmd.interest);
+      index_insert(id, cmd.interest);
+      ++stats_.subscribes;
+      break;
+    }
+    case BrokerCommandType::kUnsubscribe:
+      mgr_->remove_subscriber(cmd.subscriber);
+      index_erase(cmd.subscriber);
+      ++stats_.unsubscribes;
+      break;
+    case BrokerCommandType::kUpdate:
+      mgr_->update_subscriber(cmd.subscriber, cmd.interest);
+      index_erase(cmd.subscriber);
+      index_insert(cmd.subscriber, cmd.interest);
+      ++stats_.updates;
+      break;
+    case BrokerCommandType::kPublish:
+      break;  // handled by apply_publish
+  }
+}
+
+PublishOutcome Broker::apply_publish(const BrokerCommand& cmd) {
+  PublishOutcome out;
+  const std::vector<SubscriberId> inter = interested(cmd.point);
+  out.interested = inter.size();
+  MatchDecision d = mgr_->matcher().match(cmd.point, inter);
+
+  ++stats_.publishes;
+  if (!inter.empty()) ++stats_.events_matched;
+
+  if (d.group_id >= 0) {
+    out.group_id = d.group_id;
+    out.group_size = d.group_members.size();
+    // The matcher only knows the refresh-time table; interested subscribers
+    // outside the group (added/updated since) get the exact-match unicast
+    // path (see core/group_manager.h).  Both inputs are sorted ascending.
+    std::set_difference(inter.begin(), inter.end(), d.group_members.begin(),
+                        d.group_members.end(),
+                        std::back_inserter(out.unicast_targets));
+    out.wasted =
+        d.group_members.size() - (inter.size() - out.unicast_targets.size());
+    ++stats_.multicast_events;
+    out.timing = runtime_->deliver_multicast(cmd.time_ms, cmd.node,
+                                             nodes_of(d.group_members));
+    if (!out.unicast_targets.empty()) {
+      const DeliveryTiming u = runtime_->deliver_unicast(
+          cmd.time_ms, cmd.node, nodes_of(out.unicast_targets));
+      out.timing.service_ms += u.service_ms;
+      out.timing.latencies_ms.insert(out.timing.latencies_ms.end(),
+                                     u.latencies_ms.begin(),
+                                     u.latencies_ms.end());
+    }
+  } else {
+    out.unicast_targets = std::move(d.unicast_targets);
+    ++stats_.unicast_events;
+    out.timing = runtime_->deliver_unicast(cmd.time_ms, cmd.node,
+                                           nodes_of(out.unicast_targets));
+  }
+
+  const std::size_t emitted = out.group_size + out.unicast_targets.size();
+  stats_.messages_emitted += emitted;
+  stats_.wasted_deliveries += out.wasted;
+  policy_.on_publish(emitted, out.wasted);
+  return out;
+}
+
+void Broker::maybe_refresh(PublishOutcome* outcome) {
+  if (!policy_.should_refresh(mgr_->pending_churn(),
+                              mgr_->workload().num_subscribers()))
+    return;
+  const GroupManager::RefreshStats rs = mgr_->refresh();
+  ++stats_.refreshes;
+  if (rs.full_rebuild) ++stats_.full_rebuilds;
+  policy_.on_refresh();
+  capture_checkpoint();
+  if (outcome != nullptr) outcome->refreshed = true;
+}
+
+void Broker::capture_checkpoint() {
+  checkpoint_.seq = seq_;
+  checkpoint_.workload = mgr_->workload();
+  checkpoint_.num_groups = static_cast<int>(options_.group.num_groups);
+  checkpoint_.cells_fed = mgr_->assignment().size();
+  checkpoint_.assignment = mgr_->assignment();
+  checkpoint_.churn_since_full_build = mgr_->churn_since_full_build();
+  checkpoint_.queue_state = runtime_->queue_state();
+  checkpoint_.stats = stats_;
+}
+
+std::uint64_t Broker::write_snapshot(std::ostream& os) const {
+  std::ostringstream ss;
+  WriteBrokerSnapshot(ss, checkpoint_);
+  const std::string text = ss.str();
+  os << text;
+  os.flush();
+  return text.size();
+}
+
+std::vector<SubscriberId> Broker::interested(const Point& event) const {
+  std::vector<int> hits = live_index_.stab(event);
+  // The tree's structure (hence stab order) depends on insert/erase
+  // history, which differs between a live broker and a recovered one; sort
+  // so downstream decisions depend only on the stored set.
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+std::uint64_t Broker::state_digest() const {
+  std::ostringstream os;
+  os << seq_ << '\n'
+     << mgr_->pending_churn() << ' ' << mgr_->churn_since_full_build() << '\n';
+  WriteWorkload(os, mgr_->workload());
+  for (const int g : mgr_->assignment()) os << g << ' ';
+  os << '\n' << std::hexfloat;
+  for (const double v : runtime_->queue_state()) os << v << ' ';
+  return Fnv1a(os.str());
+}
+
+void Broker::index_insert(SubscriberId id, const Rect& interest) {
+  const auto slot = static_cast<std::size_t>(id);
+  if (slot >= indexed_rect_.size()) indexed_rect_.resize(slot + 1);
+  const Rect clipped =
+      interest.intersection(mgr_->workload().space.domain_rect());
+  if (clipped.empty()) {
+    indexed_rect_[slot] = Rect();
+    return;
+  }
+  live_index_.insert(clipped, static_cast<int>(id));
+  indexed_rect_[slot] = clipped;
+}
+
+void Broker::index_erase(SubscriberId id) {
+  const auto slot = static_cast<std::size_t>(id);
+  if (slot >= indexed_rect_.size() || indexed_rect_[slot].dims() == 0) return;
+  live_index_.erase(indexed_rect_[slot], static_cast<int>(id));
+  indexed_rect_[slot] = Rect();
+}
+
+std::vector<NodeId> Broker::nodes_of(std::span<const SubscriberId> subs) const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(subs.size());
+  for (const SubscriberId s : subs)
+    nodes.push_back(
+        mgr_->workload().subscribers[static_cast<std::size_t>(s)].node);
+  return nodes;
+}
+
+}  // namespace pubsub

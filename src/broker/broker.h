@@ -1,0 +1,168 @@
+// Durable, deterministic single-node broker service (§6 items 5–6).
+//
+// The repo's clustering/matching stack is a set of libraries the caller
+// wires together per experiment; Broker packages them as a *service*:
+// GroupManager owns the clustering lifecycle, GridMatcher serves match
+// decisions, DeliveryRuntime prices time, and a RefreshPolicy decides when
+// to re-cluster — all behind a sequenced command API:
+//
+//   subscribe / unsubscribe / update / publish
+//
+// Durability follows the clone-server pattern (state = snapshot +
+// sequenced update stream):
+//
+//   * every command becomes a JournalRecord (monotone seq, broker-clock
+//     stamp) appended to a write-ahead journal *before* it is applied;
+//   * snapshots are captured at refresh boundaries, where the table, grid
+//     and clustering agree and the policy's waste window is empty;
+//   * recovery = load the latest snapshot, rebuild the grid from its table
+//     (a pure function), adopt its clustering verbatim, restore queue
+//     state, then replay the journal tail.  Replay applies each record's
+//     *recorded* timestamp, so the recovered broker is bit-identical to an
+//     uninterrupted run — match decisions, latencies and counters alike.
+//
+// Determinism inputs are explicit: a pluggable Clock stamps commands, and
+// nothing in the command path draws randomness (clustering warm starts are
+// deterministic; drivers that want stochastic churn seed their own Rng and
+// the resulting commands are journaled).  The live subscription index is
+// kept incrementally (RTree insert/erase) and stab results are sorted, so
+// interested sets do not depend on index history.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "broker/clock.h"
+#include "broker/refresh_policy.h"
+#include "broker/types.h"
+#include "core/group_manager.h"
+#include "index/rtree.h"
+#include "runtime/delivery_runtime.h"
+
+namespace pubsub {
+
+struct BrokerOptions {
+  GroupManagerOptions group;
+  RefreshPolicyOptions refresh;
+  RuntimeParams runtime;
+};
+
+// Per-publish outcome: the match decision (with the caller-side unicast
+// completion applied) plus delivery timing.
+struct PublishOutcome {
+  std::uint64_t seq = 0;
+  int group_id = -1;       // -1 = pure unicast
+  std::size_t group_size = 0;
+  // Interested subscribers served by unicast: the matcher's fallback set,
+  // plus interested \ group when a group was used (the between-refresh
+  // window contract — see core/group_manager.h).  Sorted ascending.
+  std::vector<SubscriberId> unicast_targets;
+  std::size_t interested = 0;
+  std::size_t wasted = 0;  // group members not interested
+  bool refreshed = false;  // this command triggered a refresh
+  DeliveryTiming timing;   // group latencies first, then unicast targets'
+};
+
+class Broker {
+ public:
+  // Fresh broker: clusters `initial` cold and starts at seq 0.  `pub`,
+  // `network` and `clock` (optional; defaults to an owned ManualClock at 0)
+  // must outlive the broker.
+  Broker(Workload initial, const PublicationModel& pub, const Graph& network,
+         const BrokerOptions& options = {}, Clock* clock = nullptr);
+
+  // Recovery: bootstrap from `snapshot`, then replay `journal` records with
+  // seq > snapshot.seq (earlier records are skipped; a gap throws
+  // std::runtime_error).  Stats resume from the snapshot, with
+  // snapshot_bytes / replayed_records recording the recovery provenance.
+  static std::unique_ptr<Broker> Recover(const BrokerSnapshot& snapshot,
+                                         std::span<const JournalRecord> journal,
+                                         const PublicationModel& pub,
+                                         const Graph& network,
+                                         const BrokerOptions& options = {},
+                                         Clock* clock = nullptr);
+
+  // --- durability plumbing ---------------------------------------------
+  // Append journal records to `sink` (nullptr detaches).  With
+  // `write_header`, emits the journal header first — pass false when
+  // resuming an existing journal file.  Records are flushed per command.
+  void set_journal(std::ostream* sink, bool write_header = true);
+  // Live update stream (primary → warm standby): invoked after each
+  // locally submitted command is applied.
+  void set_record_listener(std::function<void(const JournalRecord&)> listener);
+
+  // --- command API ------------------------------------------------------
+  SubscriberId subscribe(NodeId node, const Rect& interest);
+  void unsubscribe(SubscriberId id);
+  void update(SubscriberId id, const Rect& interest);
+  PublishOutcome publish(NodeId origin, const Point& event);
+
+  // Apply an already-sequenced record (replication / replay): must carry
+  // seq() + 1 and is applied with its recorded timestamp.  Journals to the
+  // sink and notifies the listener like a local command.
+  void apply(const JournalRecord& rec);
+
+  // --- state ------------------------------------------------------------
+  std::uint64_t seq() const { return seq_; }
+  const BrokerStats& stats() const { return stats_; }
+  const GroupManager& groups() const { return *mgr_; }
+  const Workload& workload() const { return mgr_->workload(); }
+  double last_command_time_ms() const { return last_time_ms_; }
+
+  // Exact interested set for an event against the live table (sorted).
+  std::vector<SubscriberId> interested(const Point& event) const;
+
+  // Latest refresh-boundary snapshot (see types.h).  write_snapshot
+  // serializes it and returns the byte count.
+  const BrokerSnapshot& snapshot() const { return checkpoint_; }
+  std::uint64_t write_snapshot(std::ostream& os) const;
+
+  // FNV-1a digest of the durable state (seq, live table, clustering,
+  // churn bookkeeping, queue state); equal digests at equal seq mean two
+  // brokers will make identical decisions from here on.
+  std::uint64_t state_digest() const;
+
+ private:
+  struct RestoreTag {};
+  Broker(RestoreTag, const BrokerSnapshot& snapshot,
+         const PublicationModel& pub, const Graph& network,
+         const BrokerOptions& options, Clock* clock);
+
+  JournalRecord make_record(BrokerCommand cmd);
+  PublishOutcome apply_record(const JournalRecord& rec);
+  void apply_churn(const BrokerCommand& cmd);
+  PublishOutcome apply_publish(const BrokerCommand& cmd);
+  void maybe_refresh(PublishOutcome* outcome);
+  void capture_checkpoint();
+  void bootstrap_index();
+  void index_insert(SubscriberId id, const Rect& interest);
+  void index_erase(SubscriberId id);
+  std::vector<NodeId> nodes_of(std::span<const SubscriberId> subs) const;
+
+  const PublicationModel* pub_;
+  const Graph* network_;
+  BrokerOptions options_;
+  std::unique_ptr<GroupManager> mgr_;
+  std::unique_ptr<DeliveryRuntime> runtime_;
+  RefreshPolicy policy_;
+  std::unique_ptr<ManualClock> owned_clock_;
+  Clock* clock_;
+
+  // Live subscription index over domain-clipped interests; indexed_rect_
+  // remembers each id's stored rectangle (dims()==0 = not indexed).
+  RTree live_index_;
+  std::vector<Rect> indexed_rect_;
+
+  std::ostream* journal_ = nullptr;
+  std::function<void(const JournalRecord&)> listener_;
+  std::uint64_t seq_ = 0;
+  double last_time_ms_ = 0.0;
+  BrokerStats stats_;
+  BrokerSnapshot checkpoint_;
+};
+
+}  // namespace pubsub

@@ -1,0 +1,31 @@
+#include "broker/replica.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pubsub {
+
+BrokerReplica::BrokerReplica(const BrokerSnapshot& snapshot,
+                             const PublicationModel& pub, const Graph& network,
+                             const BrokerOptions& options, Clock* clock)
+    : broker_(Broker::Recover(snapshot, {}, pub, network, options, clock)) {}
+
+void BrokerReplica::apply(const JournalRecord& rec) {
+  if (broker_ == nullptr)
+    throw std::logic_error(
+        "BrokerReplica: already promoted; detach it from the record stream");
+  if (rec.seq <= broker_->seq()) return;  // duplicate from a resent stream
+  if (rec.seq != broker_->seq() + 1)
+    throw std::runtime_error(
+        "BrokerReplica: stream gap (expected seq " +
+        std::to_string(broker_->seq() + 1) + ", got " +
+        std::to_string(rec.seq) + "); re-bootstrap from a newer snapshot");
+  broker_->apply(rec);
+}
+
+std::unique_ptr<Broker> BrokerReplica::promote() && {
+  return std::move(broker_);
+}
+
+}  // namespace pubsub

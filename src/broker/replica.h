@@ -1,0 +1,42 @@
+// Warm-standby replication (clone pattern): a replica bootstraps from a
+// primary snapshot, applies the primary's live record stream (wire it to
+// Broker::set_record_listener or feed journal tails), and can be promoted
+// to a full broker at any moment.  Because every input the primary acted
+// on is in the stream — including timestamps — the promoted broker's state
+// digest and all future match decisions are bit-identical to the
+// primary's at the same sequence number (examples/broker_failover.cpp and
+// tests/test_broker.cc demonstrate the failover).
+#pragma once
+
+#include <memory>
+
+#include "broker/broker.h"
+
+namespace pubsub {
+
+class BrokerReplica {
+ public:
+  // `pub` / `network` / `clock` must outlive the replica (and the broker a
+  // later promote() returns).  `options` must match the primary's.
+  BrokerReplica(const BrokerSnapshot& snapshot, const PublicationModel& pub,
+                const Graph& network, const BrokerOptions& options = {},
+                Clock* clock = nullptr);
+
+  // Apply one streamed record.  Records at or below the applied sequence
+  // are ignored (stream reconnects may resend); a gap beyond seq() + 1
+  // throws std::runtime_error — the replica lost updates and must
+  // re-bootstrap from a newer snapshot.
+  void apply(const JournalRecord& rec);
+
+  std::uint64_t seq() const { return broker_->seq(); }
+  const Broker& broker() const { return *broker_; }
+
+  // Failover: hand over the underlying broker (the replica is spent).
+  // The caller attaches its own journal sink / listener and starts serving.
+  std::unique_ptr<Broker> promote() &&;
+
+ private:
+  std::unique_ptr<Broker> broker_;
+};
+
+}  // namespace pubsub

@@ -1,6 +1,7 @@
 #include "core/group_manager.h"
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace pubsub {
@@ -11,6 +12,27 @@ GroupManager::GroupManager(Workload workload, const PublicationModel& pub,
   if (options_.num_groups == 0)
     throw std::invalid_argument("GroupManager: num_groups must be positive");
   rebuild(/*warm=*/false);
+}
+
+GroupManager::GroupManager(Workload workload, const PublicationModel& pub,
+                           const GroupManagerOptions& options,
+                           Assignment assignment,
+                           std::size_t churn_since_full_build)
+    : workload_(std::move(workload)),
+      pub_(&pub),
+      options_(options),
+      churn_since_full_build_(churn_since_full_build) {
+  if (options_.num_groups == 0)
+    throw std::invalid_argument("GroupManager: num_groups must be positive");
+  grid_ = std::make_unique<Grid>(workload_, *pub_);
+  const std::size_t num_cells = grid_->top_cells(options_.max_cells).size();
+  if (assignment.size() != num_cells)
+    throw std::invalid_argument(
+        "GroupManager: snapshot assignment does not match this workload's "
+        "grid (" + std::to_string(assignment.size()) + " labels for " +
+        std::to_string(num_cells) + " cells)");
+  assignment_ = std::move(assignment);
+  make_matcher(num_cells);
 }
 
 SubscriberId GroupManager::add_subscriber(NodeId node, const Rect& interest) {
@@ -96,10 +118,14 @@ void GroupManager::rebuild(bool warm) {
 
   grid_ = std::move(new_grid);
   assignment_ = result.assignment;
+  make_matcher(cells.size());
+}
+
+void GroupManager::make_matcher(std::size_t num_cells) {
   matcher_ = std::make_unique<GridMatcher>(
       *grid_, assignment_,
       static_cast<int>(std::min<std::size_t>(options_.num_groups,
-                                             std::max<std::size_t>(cells.size(), 1))),
+                                             std::max<std::size_t>(num_cells, 1))),
       options_.matcher_threshold);
 }
 

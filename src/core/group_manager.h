@@ -23,6 +23,15 @@
 // refreshes, matching uses the last clustering (new subscribers are not
 // yet in any group and are served by the caller's exact-match unicast
 // path, exactly like unfed cells).
+//
+// The between-refresh window is a load-bearing contract: the matcher knows
+// nothing about subscribers added or updated since the last refresh, and a
+// multicast decision covers only the matched group's members.  A caller
+// that computes the exact interested set from the *live* table (e.g. the
+// broker service layer) must therefore unicast to interested \ group —
+// otherwise a not-yet-refreshed subscriber silently loses events.
+// test_group_manager.cc pins this recipe down; broker/broker.cc relies on
+// it.
 #pragma once
 
 #include <cstddef>
@@ -54,6 +63,16 @@ class GroupManager {
   GroupManager(Workload workload, const PublicationModel& pub,
                const GroupManagerOptions& options = {});
 
+  // Snapshot restore: rebuilds the grid deterministically from `workload`
+  // and adopts `assignment` verbatim (no re-clustering), so the restored
+  // matcher is bit-identical to the one captured.  `assignment` must have
+  // exactly one label per clustered hyper-cell of the rebuilt grid
+  // (std::invalid_argument otherwise — the snapshot belongs to a different
+  // workload or options set).
+  GroupManager(Workload workload, const PublicationModel& pub,
+               const GroupManagerOptions& options, Assignment assignment,
+               std::size_t churn_since_full_build);
+
   const Workload& workload() const { return workload_; }
   const Grid& grid() const { return *grid_; }
   const GridMatcher& matcher() const { return *matcher_; }
@@ -68,6 +87,9 @@ class GroupManager {
 
   // Changes recorded since the last refresh.
   std::size_t pending_churn() const { return pending_churn_; }
+  // Changes accumulated since the last cold (full) build; snapshotted and
+  // restored by the broker so warm/cold refresh decisions replay exactly.
+  std::size_t churn_since_full_build() const { return churn_since_full_build_; }
 
   struct RefreshStats {
     std::size_t churned = 0;
@@ -78,6 +100,7 @@ class GroupManager {
 
  private:
   void rebuild(bool warm);
+  void make_matcher(std::size_t num_cells);
 
   Workload workload_;
   const PublicationModel* pub_;

@@ -19,13 +19,22 @@ class LineReader {
 
   std::string next() {
     std::string line;
+    if (!next_or_eof(&line)) fail("unexpected end of file");
+    return line;
+  }
+
+  // Like next(), but returns false at a clean end of file (for appendable
+  // formats whose record count is not declared up front).
+  bool next_or_eof(std::string* out) {
+    std::string line;
     while (std::getline(is_, line)) {
       ++line_no_;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty() || line[0] == '#') continue;
-      return line;
+      *out = std::move(line);
+      return true;
     }
-    fail("unexpected end of file");
+    return false;
   }
 
   [[noreturn]] void fail(const std::string& what) const {
@@ -304,6 +313,217 @@ ClusteringFile ReadClustering(std::istream& is) {
     c.assignment.push_back(g);
   }
   return c;
+}
+
+// ----------------------------------------------------------------- broker
+
+namespace {
+
+// Counter fields in snapshot `stats` line order.  Keep in sync with
+// BrokerStats; the format version guards the field list.
+constexpr std::size_t kNumStatFields = 15;
+
+std::uint64_t ParseCount(LineReader& r, const std::string& tok) {
+  const long v = ParseLong(r, tok);
+  if (v < 0) r.fail("negative counter '" + tok + "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+void WriteRect(std::ostream& os, const Rect& rect) {
+  for (const Interval& iv : rect.intervals()) {
+    os << ' ';
+    WriteDouble(os, iv.lo());
+    os << ' ';
+    WriteDouble(os, iv.hi());
+  }
+}
+
+Rect ParseRect(LineReader& r, const std::vector<std::string>& toks,
+               std::size_t offset, std::size_t dims) {
+  std::vector<Interval> ivals;
+  ivals.reserve(dims);
+  for (std::size_t d = 0; d < dims; ++d)
+    ivals.emplace_back(ParseDouble(r, toks[offset + 2 * d]),
+                       ParseDouble(r, toks[offset + 2 * d + 1]));
+  return Rect(std::move(ivals));
+}
+
+}  // namespace
+
+void WriteBrokerSnapshot(std::ostream& os, const BrokerSnapshot& snap) {
+  os << "pubsub-broker-snapshot v1\n";
+  os << "seq " << snap.seq << '\n';
+  os << "churn-since-full-build " << snap.churn_since_full_build << '\n';
+  const BrokerStats& s = snap.stats;
+  os << "stats " << s.commands_applied << ' ' << s.subscribes << ' '
+     << s.unsubscribes << ' ' << s.updates << ' ' << s.publishes << ' '
+     << s.events_matched << ' ' << s.multicast_events << ' '
+     << s.unicast_events << ' ' << s.messages_emitted << ' '
+     << s.wasted_deliveries << ' ' << s.refreshes << ' ' << s.full_rebuilds
+     << ' ' << s.journal_bytes << ' ' << s.snapshot_bytes << ' '
+     << s.replayed_records << '\n';
+  os << "queue " << snap.queue_state.size() << '\n';
+  for (const double v : snap.queue_state) {
+    WriteDouble(os, v);
+    os << '\n';
+  }
+  WriteWorkload(os, snap.workload);
+  ClusteringFile c;
+  c.num_groups = snap.num_groups;
+  c.cells_fed = static_cast<std::size_t>(snap.cells_fed);
+  c.assignment = snap.assignment;
+  WriteClustering(os, c);
+}
+
+BrokerSnapshot ReadBrokerSnapshot(std::istream& is) {
+  BrokerSnapshot snap;
+  {
+    LineReader r(is);
+    r.expect(r.next(), "pubsub-broker-snapshot v1");
+    const auto seq_line = SplitN(r, r.next(), 2);
+    if (seq_line[0] != "seq") r.fail("expected 'seq'");
+    snap.seq = ParseCount(r, seq_line[1]);
+    const auto churn_line = SplitN(r, r.next(), 2);
+    if (churn_line[0] != "churn-since-full-build")
+      r.fail("expected 'churn-since-full-build'");
+    snap.churn_since_full_build = ParseCount(r, churn_line[1]);
+
+    const auto stats = SplitN(r, r.next(), 1 + kNumStatFields);
+    if (stats[0] != "stats") r.fail("expected 'stats'");
+    BrokerStats& s = snap.stats;
+    std::size_t i = 1;
+    for (std::uint64_t* field :
+         {&s.commands_applied, &s.subscribes, &s.unsubscribes, &s.updates,
+          &s.publishes, &s.events_matched, &s.multicast_events,
+          &s.unicast_events, &s.messages_emitted, &s.wasted_deliveries,
+          &s.refreshes, &s.full_rebuilds, &s.journal_bytes, &s.snapshot_bytes,
+          &s.replayed_records})
+      *field = ParseCount(r, stats[i++]);
+
+    const auto queue_line = SplitN(r, r.next(), 2);
+    if (queue_line[0] != "queue") r.fail("expected 'queue'");
+    const long queue = ParseLong(r, queue_line[1]);
+    if (queue < 0) r.fail("negative queue size");
+    snap.queue_state.reserve(static_cast<std::size_t>(queue));
+    for (long i2 = 0; i2 < queue; ++i2) {
+      const double v = ParseDouble(r, SplitN(r, r.next(), 1)[0]);
+      if (!std::isfinite(v) || v < 0.0) r.fail("bad queue timestamp");
+      snap.queue_state.push_back(v);
+    }
+  }
+  // Embedded records carry their own headers; their readers consume exactly
+  // their lines, so parsing continues on the same stream.
+  snap.workload = ReadWorkload(is);
+  const ClusteringFile c = ReadClustering(is);
+  snap.num_groups = c.num_groups;
+  snap.cells_fed = c.cells_fed;
+  snap.assignment = c.assignment;
+  return snap;
+}
+
+void WriteJournalHeader(std::ostream& os, std::size_t dims) {
+  os << "pubsub-journal v1\n";
+  os << "dims " << dims << '\n';
+}
+
+void WriteJournalRecord(std::ostream& os, const JournalRecord& rec,
+                        std::size_t dims) {
+  os << rec.seq << ' ';
+  WriteDouble(os, rec.cmd.time_ms);
+  switch (rec.cmd.type) {
+    case BrokerCommandType::kSubscribe:
+      if (rec.cmd.interest.dims() != dims)
+        throw std::invalid_argument("WriteJournalRecord: interest dims mismatch");
+      os << " sub " << rec.cmd.node;
+      WriteRect(os, rec.cmd.interest);
+      break;
+    case BrokerCommandType::kUnsubscribe:
+      os << " unsub " << rec.cmd.subscriber;
+      break;
+    case BrokerCommandType::kUpdate:
+      if (rec.cmd.interest.dims() != dims)
+        throw std::invalid_argument("WriteJournalRecord: interest dims mismatch");
+      os << " upd " << rec.cmd.subscriber;
+      WriteRect(os, rec.cmd.interest);
+      break;
+    case BrokerCommandType::kPublish:
+      if (rec.cmd.point.size() != dims)
+        throw std::invalid_argument("WriteJournalRecord: point dims mismatch");
+      os << " pub " << rec.cmd.node;
+      for (const double x : rec.cmd.point) {
+        os << ' ';
+        WriteDouble(os, x);
+      }
+      break;
+  }
+  os << '\n';
+}
+
+JournalFile ReadJournal(std::istream& is) {
+  LineReader r(is);
+  r.expect(r.next(), "pubsub-journal v1");
+  const auto dims_line = SplitN(r, r.next(), 2);
+  if (dims_line[0] != "dims") r.fail("expected 'dims'");
+  const long dims = ParseLong(r, dims_line[1]);
+  if (dims <= 0) r.fail("non-positive dimension count");
+
+  JournalFile jf;
+  jf.dims = static_cast<std::size_t>(dims);
+  std::string line;
+  while (r.next_or_eof(&line)) {
+    const std::vector<std::string> toks = Split(line);
+    if (toks.size() < 4) r.fail("truncated journal record");
+    JournalRecord rec;
+    rec.seq = ParseCount(r, toks[0]);
+    if (rec.seq == 0) r.fail("journal sequence numbers start at 1");
+    if (!jf.records.empty() && rec.seq != jf.records.back().seq + 1)
+      r.fail("journal sequence gap: expected " +
+             std::to_string(jf.records.back().seq + 1) + ", got " +
+             std::to_string(rec.seq));
+    rec.cmd.time_ms = ParseDouble(r, toks[1]);
+    if (!std::isfinite(rec.cmd.time_ms) || rec.cmd.time_ms < 0.0)
+      r.fail("bad command timestamp");
+
+    const std::string& type = toks[2];
+    const std::size_t rect_fields = 2 * jf.dims;
+    if (type == "sub") {
+      if (toks.size() != 4 + rect_fields) r.fail("bad subscribe record");
+      rec.cmd.type = BrokerCommandType::kSubscribe;
+      const long node = ParseLong(r, toks[3]);
+      if (node < 0) r.fail("negative node id");
+      rec.cmd.node = static_cast<NodeId>(node);
+      rec.cmd.interest = ParseRect(r, toks, 4, jf.dims);
+    } else if (type == "unsub") {
+      if (toks.size() != 4) r.fail("bad unsubscribe record");
+      rec.cmd.type = BrokerCommandType::kUnsubscribe;
+      const long id = ParseLong(r, toks[3]);
+      if (id < 0) r.fail("negative subscriber id");
+      rec.cmd.subscriber = static_cast<SubscriberId>(id);
+    } else if (type == "upd") {
+      if (toks.size() != 4 + rect_fields) r.fail("bad update record");
+      rec.cmd.type = BrokerCommandType::kUpdate;
+      const long id = ParseLong(r, toks[3]);
+      if (id < 0) r.fail("negative subscriber id");
+      rec.cmd.subscriber = static_cast<SubscriberId>(id);
+      rec.cmd.interest = ParseRect(r, toks, 4, jf.dims);
+    } else if (type == "pub") {
+      if (toks.size() != 4 + jf.dims) r.fail("bad publish record");
+      rec.cmd.type = BrokerCommandType::kPublish;
+      const long node = ParseLong(r, toks[3]);
+      if (node < 0) r.fail("negative origin node");
+      rec.cmd.node = static_cast<NodeId>(node);
+      rec.cmd.point.reserve(jf.dims);
+      for (std::size_t d = 0; d < jf.dims; ++d) {
+        const double x = ParseDouble(r, toks[4 + d]);
+        if (!std::isfinite(x)) r.fail("non-finite event coordinate");
+        rec.cmd.point.push_back(x);
+      }
+    } else {
+      r.fail("unknown journal record type '" + type + "'");
+    }
+    jf.records.push_back(std::move(rec));
+  }
+  return jf;
 }
 
 // ------------------------------------------------------------------ files

@@ -10,9 +10,12 @@
 // std::runtime_error with a line-number message on malformed input.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "broker/types.h"
 #include "core/cluster_types.h"
 #include "net/transit_stub.h"
 #include "workload/types.h"
@@ -43,6 +46,27 @@ struct ClusteringFile {
 
 void WriteClustering(std::ostream& os, const ClusteringFile& c);
 ClusteringFile ReadClustering(std::istream& is);
+
+// ------------------------------------------------------- broker durability
+// Snapshot: the full recovery image of broker/broker.h, captured at a
+// refresh boundary (embeds the workload and clustering records above).
+void WriteBrokerSnapshot(std::ostream& os, const BrokerSnapshot& snap);
+BrokerSnapshot ReadBrokerSnapshot(std::istream& is);
+
+// Write-ahead journal: a header naming the event-space dimensionality,
+// then one line per sequenced command, appendable as the broker runs.
+// ReadJournal validates the header and requires contiguous, strictly
+// increasing sequence numbers (a gap means lost updates — fail loudly);
+// any malformed line, including a torn final append, throws.
+void WriteJournalHeader(std::ostream& os, std::size_t dims);
+void WriteJournalRecord(std::ostream& os, const JournalRecord& rec,
+                        std::size_t dims);
+
+struct JournalFile {
+  std::size_t dims = 0;
+  std::vector<JournalRecord> records;
+};
+JournalFile ReadJournal(std::istream& is);
 
 // ------------------------------------------------------------ file helpers
 void SaveToFile(const std::string& path, const std::string& content);

@@ -14,6 +14,13 @@ void DeliveryRuntime::reset() {
   std::fill(broker_free_at_.begin(), broker_free_at_.end(), 0.0);
 }
 
+void DeliveryRuntime::restore_queue_state(std::vector<double> free_at) {
+  if (free_at.size() != broker_free_at_.size())
+    throw std::invalid_argument(
+        "DeliveryRuntime: queue state size does not match the network");
+  broker_free_at_ = std::move(free_at);
+}
+
 const ShortestPathTree& DeliveryRuntime::spt(NodeId origin) {
   const auto it = spt_cache_.find(origin);
   if (it != spt_cache_.end()) return it->second;

@@ -56,6 +56,12 @@ class DeliveryRuntime {
   // Resets broker queues (between experiment runs).
   void reset();
 
+  // Queue state capture/restore (per node, earliest idle time).  The broker
+  // service snapshots this so that recovery reconstructs queueing delays —
+  // not just match decisions — bit-for-bit.
+  const std::vector<double>& queue_state() const { return broker_free_at_; }
+  void restore_queue_state(std::vector<double> free_at);
+
   // A unicast delivery published at `origin` at absolute time `now_ms` to
   // `targets` (per-subscriber node ids; duplicates are distinct messages,
   // sent in order).

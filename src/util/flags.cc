@@ -1,5 +1,6 @@
 #include "util/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -30,13 +31,29 @@ std::string Flags::get(const std::string& key, const std::string& def) const {
 std::int64_t Flags::get_int(const std::string& key, std::int64_t def) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return def;
-  return std::stoll(it->second);
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Flags: bad integer for --" + key + ": '" +
+                                it->second + "'");
+  }
 }
 
 double Flags::get_double(const std::string& key, double def) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return def;
-  return std::stod(it->second);
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Flags: bad number for --" + key + ": '" +
+                                it->second + "'");
+  }
 }
 
 bool Flags::get_bool(const std::string& key, bool def) const {
@@ -46,6 +63,25 @@ bool Flags::get_bool(const std::string& key, bool def) const {
   if (v == "true" || v == "1" || v == "yes") return true;
   if (v == "false" || v == "0" || v == "no") return false;
   throw std::invalid_argument("Flags: bad boolean for --" + key + ": " + v);
+}
+
+std::vector<std::string> Flags::unknown_flags(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    if (std::find(known.begin(), known.end(), key) == known.end())
+      unknown.push_back(key);
+  }
+  return unknown;  // values_ is ordered, so this is sorted
+}
+
+void Flags::require_known(const std::vector<std::string>& known) const {
+  const std::vector<std::string> unknown = unknown_flags(known);
+  if (unknown.empty()) return;
+  std::string msg = "Flags: unknown flag";
+  if (unknown.size() > 1) msg += 's';
+  for (const auto& key : unknown) msg += " --" + key;
+  throw std::invalid_argument(msg);
 }
 
 }  // namespace pubsub

@@ -1,6 +1,12 @@
 // Minimal --key=value command-line parsing for the bench and example
 // binaries.  Unrecognized positional arguments are collected; "--help"
 // handling is left to the caller.
+//
+// Typed getters reject malformed values (std::invalid_argument naming the
+// flag) rather than truncating or aborting mid-parse.  A mistyped flag
+// *name* would otherwise be silently ignored — the value map accepts any
+// key — so binaries with a fixed flag set should call require_known() with
+// it once after construction.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,13 @@ class Flags {
   std::int64_t get_int(const std::string& key, std::int64_t def) const;
   double get_double(const std::string& key, double def) const;
   bool get_bool(const std::string& key, bool def) const;
+
+  // Flags given on the command line that are not in `known` (sorted, one
+  // entry per flag).  require_known throws std::invalid_argument listing
+  // them — call it with the binary's full flag set so a typo like
+  // --thread=8 fails loudly instead of silently running single-threaded.
+  std::vector<std::string> unknown_flags(const std::vector<std::string>& known) const;
+  void require_known(const std::vector<std::string>& known) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }

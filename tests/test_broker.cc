@@ -1,0 +1,434 @@
+#include "broker/broker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "broker/replica.h"
+#include "io/serialize.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "workload/stock_model.h"
+
+namespace pubsub {
+namespace {
+
+BrokerStats WithoutProvenance(BrokerStats s) {
+  s.snapshot_bytes = 0;
+  s.replayed_records = 0;
+  return s;
+}
+
+struct BrokerFixture {
+  BrokerFixture()
+      : scenario(MakeStockScenario(250, PublicationHotSpots::kOne, 61)) {
+    DeliverySimulator sim(scenario.net.graph, scenario.workload);
+    Rng rng(62);
+    events = SampleEvents(sim, *scenario.pub, 120, rng);
+  }
+
+  BrokerOptions SmallOptions() const {
+    BrokerOptions o;
+    o.group.num_groups = 12;
+    o.group.max_cells = 800;
+    o.refresh.churn_fraction = 0.03;  // ~8 churn commands per refresh
+    o.refresh.waste_ratio = 0.0;      // waste trigger off: refreshes are
+    return o;                         // a pure function of churn volume
+  }
+
+  Broker MakeBroker(const BrokerOptions& opts, Clock* clock) const {
+    return Broker(scenario.workload, *scenario.pub, scenario.net.graph, opts,
+                  clock);
+  }
+
+  // Publish every sampled event, interleaving one churn command (cycling
+  // subscribe / update / unsubscribe) every `churn_every` events.  All
+  // randomness is pre-seeded, so two brokers driven by this function
+  // receive identical command streams.
+  void Drive(Broker& broker, ManualClock& clock,
+             std::size_t churn_every = 5) const {
+    Rng churn_rng(63);
+    std::vector<SubscriberId> live(broker.workload().num_subscribers());
+    for (std::size_t i = 0; i < live.size(); ++i)
+      live[i] = static_cast<SubscriberId>(i);
+    int churn_kind = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      clock.advance(7.0);
+      if (churn_every > 0 && (i + 1) % churn_every == 0) {
+        Rng sub_rng = churn_rng.split(i);
+        const Workload one =
+            GenerateStockSubscriptions(scenario.net, 1, {}, sub_rng);
+        const auto pick = static_cast<std::size_t>(churn_rng.uniform_int(
+            0, static_cast<std::int64_t>(live.size()) - 1));
+        switch (churn_kind++ % 3) {
+          case 0:
+            live.push_back(broker.subscribe(one.subscribers[0].node,
+                                            one.subscribers[0].interest));
+            break;
+          case 1:
+            broker.update(live[pick], one.subscribers[0].interest);
+            break;
+          default:
+            broker.unsubscribe(live[pick]);
+            live[pick] = live.back();
+            live.pop_back();
+        }
+      }
+      broker.publish(events[i].pub.origin, events[i].pub.point);
+    }
+  }
+
+  Scenario scenario;
+  std::vector<EventSample> events;
+};
+
+bool Covers(const PublishOutcome& out, SubscriberId id) {
+  if (std::find(out.unicast_targets.begin(), out.unicast_targets.end(), id) !=
+      out.unicast_targets.end())
+    return true;
+  return false;
+}
+
+TEST(Broker, SequencingAndCounters) {
+  BrokerFixture f;
+  ManualClock clock;
+  Broker broker = f.MakeBroker(f.SmallOptions(), &clock);
+  EXPECT_EQ(broker.seq(), 0u);
+  EXPECT_EQ(broker.snapshot().seq, 0u);  // initial build is a checkpoint
+
+  clock.advance(2.0);
+  const SubscriberId id =
+      broker.subscribe(4, broker.workload().space.domain_rect());
+  EXPECT_EQ(id, 250);
+  EXPECT_EQ(broker.seq(), 1u);
+  EXPECT_EQ(broker.last_command_time_ms(), 2.0);
+
+  clock.advance(2.0);
+  broker.update(id, broker.workload().space.domain_rect());
+  clock.advance(2.0);
+  const PublishOutcome out =
+      broker.publish(f.events[0].pub.origin, f.events[0].pub.point);
+  EXPECT_EQ(out.seq, 3u);
+  EXPECT_EQ(broker.seq(), 3u);
+
+  const BrokerStats& s = broker.stats();
+  EXPECT_EQ(s.commands_applied, 3u);
+  EXPECT_EQ(s.subscribes, 1u);
+  EXPECT_EQ(s.updates, 1u);
+  EXPECT_EQ(s.publishes, 1u);
+  EXPECT_EQ(s.multicast_events + s.unicast_events, s.publishes);
+  EXPECT_GT(s.journal_bytes, 0u);
+  EXPECT_EQ(s.snapshot_bytes, 0u);  // fresh broker: no recovery provenance
+  EXPECT_EQ(s.replayed_records, 0u);
+
+  // The live interested set is sorted and includes the domain-wide sub.
+  const auto inter = broker.interested(f.events[0].pub.point);
+  EXPECT_TRUE(std::is_sorted(inter.begin(), inter.end()));
+  EXPECT_NE(std::find(inter.begin(), inter.end(), id), inter.end());
+  EXPECT_EQ(inter.size(), out.interested);
+
+  clock.advance(2.0);
+  broker.unsubscribe(id);
+  EXPECT_EQ(broker.stats().unsubscribes, 1u);
+  const auto after = broker.interested(f.events[0].pub.point);
+  EXPECT_EQ(std::find(after.begin(), after.end(), id), after.end());
+}
+
+// The between-refresh window, end to end: a subscriber added after the
+// last refresh is invisible to the matcher, but the broker's live index +
+// caller-side unicast completion must still deliver every event to it.
+TEST(Broker, PreRefreshSubscriberNeverLosesEvents) {
+  BrokerFixture f;
+  BrokerOptions opts = f.SmallOptions();
+  opts.refresh.churn_fraction = 0.0;  // both triggers off: no refresh ever
+  ManualClock clock;
+  Broker broker = f.MakeBroker(opts, &clock);
+
+  const SubscriberId fresh =
+      broker.subscribe(9, broker.workload().space.domain_rect());
+  std::size_t multicasts = 0;
+  for (const EventSample& e : f.events) {
+    clock.advance(5.0);
+    const PublishOutcome out = broker.publish(e.pub.origin, e.pub.point);
+    EXPECT_FALSE(out.refreshed);
+    if (out.group_id >= 0) {
+      ++multicasts;
+      // The pre-refresh matcher cannot know `fresh`, so coverage must come
+      // from the unicast completion of interested \ group.
+      EXPECT_TRUE(Covers(out, fresh)) << "event at seq " << out.seq;
+    } else {
+      EXPECT_TRUE(Covers(out, fresh));
+    }
+    // One latency per delivered copy: group members + unicast targets.
+    EXPECT_EQ(out.timing.latencies_ms.size(),
+              out.group_size + out.unicast_targets.size());
+  }
+  EXPECT_GT(multicasts, 0u);
+  EXPECT_EQ(broker.stats().refreshes, 0u);
+  EXPECT_EQ(broker.snapshot().seq, 0u);  // no new checkpoint without refresh
+}
+
+TEST(Broker, ChurnTriggersRefresh) {
+  BrokerFixture f;
+  BrokerOptions opts = f.SmallOptions();
+  opts.refresh.churn_fraction = 0.02;  // 250 * 0.02 = 5 churned subs
+  ManualClock clock;
+  Broker broker = f.MakeBroker(opts, &clock);
+
+  const Rect wide = broker.workload().space.domain_rect();
+  for (SubscriberId id = 0; id < 5; ++id) {
+    EXPECT_EQ(broker.stats().refreshes, 0u);
+    clock.advance(1.0);
+    broker.update(id, wide);
+  }
+  EXPECT_EQ(broker.stats().refreshes, 1u);
+  EXPECT_EQ(broker.groups().pending_churn(), 0u);
+  // The refresh captured a checkpoint at the current seq.
+  EXPECT_EQ(broker.snapshot().seq, broker.seq());
+  EXPECT_EQ(broker.snapshot().stats, broker.stats());
+}
+
+TEST(Broker, WasteTriggersRefresh) {
+  BrokerFixture f;
+  BrokerOptions opts = f.SmallOptions();
+  opts.refresh.churn_fraction = 0.0;   // churn trigger off
+  opts.refresh.waste_ratio = 0.05;     // almost any waste qualifies
+  opts.refresh.min_messages = 1;
+  ManualClock clock;
+  Broker broker = f.MakeBroker(opts, &clock);
+
+  // Publish with zero pending churn: waste alone must NOT refresh (there
+  // is nothing a re-clustering of the same table would change).
+  for (std::size_t i = 0; i < 10; ++i) {
+    clock.advance(1.0);
+    broker.publish(f.events[i].pub.origin, f.events[i].pub.point);
+  }
+  EXPECT_EQ(broker.stats().refreshes, 0u);
+
+  // One churned subscription arms the trigger; the next wasteful publish
+  // fires it.
+  clock.advance(1.0);
+  broker.update(0, broker.workload().space.domain_rect());
+  std::size_t published = 10;
+  while (broker.stats().refreshes == 0 && published < f.events.size()) {
+    clock.advance(1.0);
+    broker.publish(f.events[published].pub.origin,
+                   f.events[published].pub.point);
+    ++published;
+  }
+  EXPECT_EQ(broker.stats().refreshes, 1u);
+}
+
+TEST(Broker, IdenticalCommandStreamsProduceIdenticalState) {
+  BrokerFixture f;
+  ManualClock c1, c2;
+  Broker a = f.MakeBroker(f.SmallOptions(), &c1);
+  Broker b = f.MakeBroker(f.SmallOptions(), &c2);
+  f.Drive(a, c1);
+  f.Drive(b, c2);
+  EXPECT_EQ(a.seq(), b.seq());
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  EXPECT_EQ(a.stats(), b.stats());
+}
+
+// The tentpole acceptance test: stop a broker at arbitrary points, recover
+// from its latest snapshot plus the journal tail (both round-tripped
+// through their text formats), and require bit-identical state — digests,
+// counters, and the outcome of a probe publish.
+TEST(Broker, KillAndRecoverIsBitIdentical) {
+  BrokerFixture f;
+  const BrokerOptions opts = f.SmallOptions();
+  ManualClock clock;
+  Broker live = f.MakeBroker(opts, &clock);
+  std::ostringstream journal_text;
+  live.set_journal(&journal_text);
+
+  struct Cut {
+    std::uint64_t seq = 0;
+    std::uint64_t digest = 0;
+    BrokerSnapshot snap;
+    std::string journal;
+  };
+  std::vector<Cut> cuts;
+  const std::vector<std::size_t> cut_after = {10, 47, 95};
+
+  // Inline drive so cuts can be captured mid-stream.
+  {
+    Rng churn_rng(63);
+    std::vector<SubscriberId> alive(live.workload().num_subscribers());
+    for (std::size_t i = 0; i < alive.size(); ++i)
+      alive[i] = static_cast<SubscriberId>(i);
+    int churn_kind = 0;
+    for (std::size_t i = 0; i < f.events.size(); ++i) {
+      clock.advance(7.0);
+      if ((i + 1) % 5 == 0) {
+        Rng sub_rng = churn_rng.split(i);
+        const Workload one =
+            GenerateStockSubscriptions(f.scenario.net, 1, {}, sub_rng);
+        const auto pick = static_cast<std::size_t>(churn_rng.uniform_int(
+            0, static_cast<std::int64_t>(alive.size()) - 1));
+        switch (churn_kind++ % 3) {
+          case 0:
+            alive.push_back(live.subscribe(one.subscribers[0].node,
+                                           one.subscribers[0].interest));
+            break;
+          case 1:
+            live.update(alive[pick], one.subscribers[0].interest);
+            break;
+          default:
+            live.unsubscribe(alive[pick]);
+            alive[pick] = alive.back();
+            alive.pop_back();
+        }
+      }
+      live.publish(f.events[i].pub.origin, f.events[i].pub.point);
+      if (std::find(cut_after.begin(), cut_after.end(), i) != cut_after.end())
+        cuts.push_back(
+            {live.seq(), live.state_digest(), live.snapshot(), journal_text.str()});
+    }
+  }
+  ASSERT_EQ(cuts.size(), 3u);
+  EXPECT_GT(live.stats().refreshes, 1u);  // later cuts recover from a
+                                          // non-trivial checkpoint
+  const std::string full_journal = journal_text.str();
+  const std::uint64_t final_digest = live.state_digest();
+  const BrokerStats final_stats = live.stats();
+
+  std::unique_ptr<Broker> last_recovered;
+  ManualClock recovered_clock;
+  for (const Cut& cut : cuts) {
+    // Round-trip the snapshot through its serialized form, as a real
+    // restart would.
+    std::ostringstream snap_text;
+    WriteBrokerSnapshot(snap_text, cut.snap);
+    std::istringstream snap_in(snap_text.str());
+    const BrokerSnapshot snap = ReadBrokerSnapshot(snap_in);
+    EXPECT_LE(snap.seq, cut.seq);
+
+    std::istringstream journal_in(cut.journal);
+    const JournalFile jf = ReadJournal(journal_in);
+    ASSERT_FALSE(jf.records.empty());
+    EXPECT_EQ(jf.records.back().seq, cut.seq);
+
+    auto recovered =
+        Broker::Recover(snap, jf.records, *f.scenario.pub, f.scenario.net.graph,
+                        opts, &recovered_clock);
+    EXPECT_EQ(recovered->seq(), cut.seq);
+    EXPECT_EQ(recovered->state_digest(), cut.digest) << "cut at " << cut.seq;
+    EXPECT_EQ(recovered->stats().replayed_records, cut.seq - snap.seq);
+    EXPECT_GT(recovered->stats().snapshot_bytes, 0u);
+
+    // Feeding the rest of the journal brings it to the final state.
+    std::istringstream full_in(full_journal);
+    for (const JournalRecord& rec : ReadJournal(full_in).records)
+      if (rec.seq > cut.seq) recovered->apply(rec);
+    EXPECT_EQ(recovered->seq(), live.seq());
+    EXPECT_EQ(recovered->state_digest(), final_digest);
+    EXPECT_EQ(WithoutProvenance(recovered->stats()),
+              WithoutProvenance(final_stats));
+    last_recovered = std::move(recovered);
+  }
+
+  // Equal digests promise equal futures: probe both brokers with the same
+  // publish at the same time and require identical decisions and timing.
+  clock.advance(11.0);
+  recovered_clock.advance_to(clock.now_ms());
+  const PublishOutcome a =
+      live.publish(f.events[0].pub.origin, f.events[0].pub.point);
+  const PublishOutcome b =
+      last_recovered->publish(f.events[0].pub.origin, f.events[0].pub.point);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.group_id, b.group_id);
+  EXPECT_EQ(a.group_size, b.group_size);
+  EXPECT_EQ(a.unicast_targets, b.unicast_targets);
+  EXPECT_EQ(a.interested, b.interested);
+  EXPECT_EQ(a.wasted, b.wasted);
+  EXPECT_EQ(a.timing.queue_wait_ms, b.timing.queue_wait_ms);
+  EXPECT_EQ(a.timing.service_ms, b.timing.service_ms);
+  EXPECT_EQ(a.timing.latencies_ms, b.timing.latencies_ms);
+  EXPECT_EQ(live.state_digest(), last_recovered->state_digest());
+}
+
+TEST(Broker, WarmStandbyPromotionIsBitIdentical) {
+  BrokerFixture f;
+  const BrokerOptions opts = f.SmallOptions();
+  ManualClock primary_clock;
+  Broker primary = f.MakeBroker(opts, &primary_clock);
+
+  // Bootstrap the standby from the primary's seq-0 snapshot and wire it to
+  // the live record stream.
+  ManualClock standby_clock;
+  BrokerReplica replica(primary.snapshot(), *f.scenario.pub,
+                        f.scenario.net.graph, opts, &standby_clock);
+  JournalRecord last_record;
+  primary.set_record_listener([&](const JournalRecord& rec) {
+    replica.apply(rec);
+    last_record = rec;
+  });
+
+  f.Drive(primary, primary_clock);
+  EXPECT_EQ(replica.seq(), primary.seq());
+  EXPECT_EQ(replica.broker().state_digest(), primary.state_digest());
+  EXPECT_EQ(WithoutProvenance(replica.broker().stats()),
+            WithoutProvenance(primary.stats()));
+
+  // A resent record is ignored; a gap is a hard error.
+  replica.apply(last_record);
+  EXPECT_EQ(replica.seq(), primary.seq());
+  JournalRecord gap = last_record;
+  gap.seq += 2;
+  EXPECT_THROW(replica.apply(gap), std::runtime_error);
+
+  // Failover: detach the stream, then promote.  A spent replica rejects
+  // further records instead of crashing.
+  primary.set_record_listener({});
+  std::unique_ptr<Broker> promoted = std::move(replica).promote();
+  EXPECT_THROW(replica.apply(last_record), std::logic_error);
+  primary_clock.advance(4.0);
+  standby_clock.advance_to(primary_clock.now_ms());
+  const PublishOutcome a =
+      primary.publish(f.events[1].pub.origin, f.events[1].pub.point);
+  const PublishOutcome b =
+      promoted->publish(f.events[1].pub.origin, f.events[1].pub.point);
+  EXPECT_EQ(a.group_id, b.group_id);
+  EXPECT_EQ(a.unicast_targets, b.unicast_targets);
+  EXPECT_EQ(a.timing.latencies_ms, b.timing.latencies_ms);
+  EXPECT_EQ(primary.state_digest(), promoted->state_digest());
+}
+
+TEST(Broker, Validation) {
+  BrokerFixture f;
+  ManualClock clock;
+  Broker broker = f.MakeBroker(f.SmallOptions(), &clock);
+
+  // Out-of-order apply is rejected.
+  JournalRecord rec;
+  rec.seq = 5;  // broker is at seq 0
+  rec.cmd.type = BrokerCommandType::kPublish;
+  rec.cmd.node = f.events[0].pub.origin;
+  rec.cmd.point = f.events[0].pub.point;
+  EXPECT_THROW(broker.apply(rec), std::runtime_error);
+
+  // Recovery refuses a journal with a gap after the snapshot.
+  rec.seq = 2;
+  rec.cmd.time_ms = 1.0;
+  const std::vector<JournalRecord> gappy{rec};
+  EXPECT_THROW(Broker::Recover(broker.snapshot(), gappy, *f.scenario.pub,
+                               f.scenario.net.graph, f.SmallOptions()),
+               std::runtime_error);
+
+  // A snapshot only restores under the options it was captured with.
+  BrokerOptions other = f.SmallOptions();
+  other.group.num_groups = 7;
+  EXPECT_THROW(Broker::Recover(broker.snapshot(), {}, *f.scenario.pub,
+                               f.scenario.net.graph, other),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pubsub

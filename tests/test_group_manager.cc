@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 
@@ -133,6 +137,82 @@ TEST(GroupManager, QualityHoldsAcrossChurnRounds) {
         EvaluateMatcher(sim, events, MatcherFn(mgr.matcher()));
     EXPECT_GT(ImprovementPercent(c.network, base), 20.0) << "round " << round;
   }
+}
+
+// The between-refresh window contract (header comment): a subscriber added
+// after the last refresh is invisible to the matcher, so a multicast
+// decision never covers it — the caller owns its delivery via the
+// exact-match unicast path (interested \ group).  This is the recipe the
+// broker service layer implements; an event for a not-yet-refreshed
+// subscriber must not be lost.
+TEST(GroupManager, BetweenRefreshWindowNeedsCallerUnicast) {
+  Fixture f;
+  GroupManager mgr(f.scenario.workload, *f.scenario.pub, f.SmallOptions());
+  // Domain-wide interest: the new subscriber is interested in every event.
+  const SubscriberId fresh =
+      mgr.add_subscriber(9, mgr.workload().space.domain_rect());
+  // No refresh() — the matcher still serves the pre-churn clustering.
+
+  DeliverySimulator sim(f.scenario.net.graph, mgr.workload());
+  Rng rng(55);
+  std::size_t multicasts = 0;
+  for (const EventSample& e : SampleEvents(sim, *f.scenario.pub, 40, rng)) {
+    // The live interested set (what the broker's subscription index
+    // returns) includes the fresh subscriber.
+    ASSERT_NE(std::find(e.interested.begin(), e.interested.end(), fresh),
+              e.interested.end());
+    const MatchDecision d = mgr.matcher().match(e.pub.point, e.interested);
+    if (d.group_id < 0) {
+      // Unicast fallback serves the exact interested set: covered.
+      EXPECT_NE(std::find(d.unicast_targets.begin(), d.unicast_targets.end(),
+                          fresh),
+                d.unicast_targets.end());
+      continue;
+    }
+    ++multicasts;
+    // The matcher's decision alone does NOT cover the fresh subscriber...
+    EXPECT_EQ(std::find(d.group_members.begin(), d.group_members.end(), fresh),
+              d.group_members.end());
+    EXPECT_TRUE(d.unicast_targets.empty());
+    // ...the documented caller recipe does.
+    std::vector<SubscriberId> extras;
+    std::set_difference(e.interested.begin(), e.interested.end(),
+                        d.group_members.begin(), d.group_members.end(),
+                        std::back_inserter(extras));
+    EXPECT_NE(std::find(extras.begin(), extras.end(), fresh), extras.end());
+  }
+  EXPECT_GT(multicasts, 0u);  // the contract was actually exercised
+
+  // After refresh() the window closes and the matcher itself covers the
+  // subscriber (see AddedSubscriberJoinsAGroupAfterRefresh).
+  mgr.refresh();
+  EXPECT_EQ(mgr.pending_churn(), 0u);
+}
+
+TEST(GroupManager, SnapshotRestoreReproducesMatcher) {
+  Fixture f;
+  GroupManager mgr(f.scenario.workload, *f.scenario.pub, f.SmallOptions());
+  mgr.update_subscriber(3, mgr.workload().space.domain_rect());
+  mgr.refresh();
+
+  const GroupManager restored(mgr.workload(), *f.scenario.pub,
+                              f.SmallOptions(), mgr.assignment(),
+                              mgr.churn_since_full_build());
+  EXPECT_EQ(restored.assignment(), mgr.assignment());
+  EXPECT_EQ(restored.churn_since_full_build(), mgr.churn_since_full_build());
+  ASSERT_EQ(restored.matcher().num_groups(), mgr.matcher().num_groups());
+  for (int g = 0; g < mgr.matcher().num_groups(); ++g) {
+    const auto a = mgr.matcher().group_members(g);
+    const auto b = restored.matcher().group_members(g);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+
+  // An assignment from a different workload/options set is rejected.
+  Assignment truncated = mgr.assignment();
+  truncated.pop_back();
+  EXPECT_THROW(GroupManager(mgr.workload(), *f.scenario.pub, f.SmallOptions(),
+                            truncated, 0),
+               std::invalid_argument);
 }
 
 TEST(GroupManager, Validation) {

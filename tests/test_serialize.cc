@@ -122,6 +122,176 @@ TEST(Serialize, IgnoresCommentsAndBlankLines) {
   EXPECT_EQ(g.edge(0).cost, 2.5);
 }
 
+BrokerSnapshot MakeBrokerSnapshot() {
+  BrokerSnapshot snap;
+  snap.seq = 42;
+  snap.workload.space = EventSpace({{"x", 21}, {"y", 11}});
+  Subscriber s;
+  s.node = 3;
+  s.interest = Rect({Interval(0.5, 7.25), Interval::AtMost(4.0)});
+  snap.workload.subscribers.push_back(s);
+  s.node = 1;  // tombstoned slot: empty interest must survive the trip
+  s.interest = Rect(std::vector<Interval>(2, Interval()));
+  snap.workload.subscribers.push_back(s);
+  snap.num_groups = 4;
+  snap.assignment = {0, 3, -1, 2};
+  snap.cells_fed = snap.assignment.size();
+  snap.churn_since_full_build = 9;
+  snap.queue_state = {0.0, 0.1 + 0.2, 123.456};
+  std::uint64_t n = 100;
+  for (std::uint64_t* field :
+       {&snap.stats.commands_applied, &snap.stats.subscribes,
+        &snap.stats.unsubscribes, &snap.stats.updates, &snap.stats.publishes,
+        &snap.stats.events_matched, &snap.stats.multicast_events,
+        &snap.stats.unicast_events, &snap.stats.messages_emitted,
+        &snap.stats.wasted_deliveries, &snap.stats.refreshes,
+        &snap.stats.full_rebuilds, &snap.stats.journal_bytes,
+        &snap.stats.snapshot_bytes, &snap.stats.replayed_records})
+    *field = n++;  // every counter distinct: field-order bugs can't cancel
+  return snap;
+}
+
+TEST(Serialize, BrokerSnapshotRoundTrip) {
+  const BrokerSnapshot snap = MakeBrokerSnapshot();
+  const BrokerSnapshot back =
+      RoundTrip(snap, WriteBrokerSnapshot, ReadBrokerSnapshot);
+  EXPECT_EQ(back.seq, snap.seq);
+  EXPECT_EQ(back.num_groups, snap.num_groups);
+  EXPECT_EQ(back.cells_fed, snap.cells_fed);
+  EXPECT_EQ(back.assignment, snap.assignment);
+  EXPECT_EQ(back.churn_since_full_build, snap.churn_since_full_build);
+  EXPECT_EQ(back.queue_state, snap.queue_state);  // exact doubles
+  EXPECT_EQ(back.stats, snap.stats);
+  ASSERT_EQ(back.workload.subscribers.size(), snap.workload.subscribers.size());
+  for (std::size_t i = 0; i < snap.workload.subscribers.size(); ++i) {
+    EXPECT_EQ(back.workload.subscribers[i].node,
+              snap.workload.subscribers[i].node);
+    EXPECT_EQ(back.workload.subscribers[i].interest,
+              snap.workload.subscribers[i].interest);
+  }
+}
+
+TEST(Serialize, BrokerSnapshotRejectsVersionSkewAndDamage) {
+  std::ostringstream os;
+  WriteBrokerSnapshot(os, MakeBrokerSnapshot());
+  const std::string full = os.str();
+
+  // A future format version must be rejected, not mis-parsed.
+  std::string skewed = full;
+  skewed.replace(skewed.find("v1"), 2, "v2");
+  std::istringstream skew_is(skewed);
+  EXPECT_THROW(ReadBrokerSnapshot(skew_is), std::runtime_error);
+
+  // Too few stats counters (a stale writer) is a hard error.
+  std::string short_stats = full;
+  const std::size_t stats_pos = short_stats.find("stats ");
+  const std::size_t stats_end = short_stats.find('\n', stats_pos);
+  const std::size_t last_space = short_stats.rfind(' ', stats_end);
+  short_stats.erase(last_space, stats_end - last_space);
+  std::istringstream short_is(short_stats);
+  EXPECT_THROW(ReadBrokerSnapshot(short_is), std::runtime_error);
+
+  // Negative counters are rejected.
+  std::string negative = full;
+  negative.replace(negative.find("seq 42"), 6, "seq -2");
+  std::istringstream neg_is(negative);
+  EXPECT_THROW(ReadBrokerSnapshot(neg_is), std::runtime_error);
+}
+
+std::vector<JournalRecord> SampleJournal() {
+  std::vector<JournalRecord> recs(4);
+  recs[0].seq = 1;
+  recs[0].cmd.type = BrokerCommandType::kSubscribe;
+  recs[0].cmd.time_ms = 0.125;
+  recs[0].cmd.node = 7;
+  recs[0].cmd.interest = Rect({Interval::All(), Interval::AtMost(3.5)});
+  recs[1].seq = 2;
+  recs[1].cmd.type = BrokerCommandType::kUpdate;
+  recs[1].cmd.time_ms = 1.5;
+  recs[1].cmd.subscriber = 0;
+  recs[1].cmd.interest = Rect({Interval(0.1 + 0.2, 5.0), Interval::GreaterThan(2.0)});
+  recs[2].seq = 3;
+  recs[2].cmd.type = BrokerCommandType::kUnsubscribe;
+  recs[2].cmd.time_ms = 2.25;
+  recs[2].cmd.subscriber = 4;
+  recs[3].seq = 4;
+  recs[3].cmd.type = BrokerCommandType::kPublish;
+  recs[3].cmd.time_ms = 3.75;
+  recs[3].cmd.node = 2;
+  recs[3].cmd.point = {1.25, 19.999999999999996};
+  return recs;
+}
+
+std::string JournalText(const std::vector<JournalRecord>& recs,
+                        std::size_t dims) {
+  std::ostringstream os;
+  WriteJournalHeader(os, dims);
+  for (const JournalRecord& rec : recs) WriteJournalRecord(os, rec, dims);
+  return os.str();
+}
+
+TEST(Serialize, JournalRoundTrip) {
+  const std::vector<JournalRecord> recs = SampleJournal();
+  std::istringstream is(JournalText(recs, 2));
+  const JournalFile jf = ReadJournal(is);
+  EXPECT_EQ(jf.dims, 2u);
+  ASSERT_EQ(jf.records.size(), recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(jf.records[i].seq, recs[i].seq);
+    EXPECT_EQ(jf.records[i].cmd.type, recs[i].cmd.type);
+    EXPECT_EQ(jf.records[i].cmd.time_ms, recs[i].cmd.time_ms);
+  }
+  EXPECT_EQ(jf.records[0].cmd.node, 7);
+  EXPECT_EQ(jf.records[0].cmd.interest, recs[0].cmd.interest);  // unbounded
+  EXPECT_EQ(jf.records[1].cmd.interest, recs[1].cmd.interest);  // exact lo
+  EXPECT_EQ(jf.records[2].cmd.subscriber, 4);
+  EXPECT_EQ(jf.records[3].cmd.point, recs[3].cmd.point);
+}
+
+TEST(Serialize, JournalRejectsBadSequences) {
+  std::vector<JournalRecord> gap = SampleJournal();
+  gap[2].seq = 5;  // 1, 2, 5: lost updates
+  std::istringstream gap_is(JournalText(gap, 2));
+  EXPECT_THROW(ReadJournal(gap_is), std::runtime_error);
+
+  std::vector<JournalRecord> dup = SampleJournal();
+  dup[1].seq = 1;  // 1, 1: duplicated command
+  std::istringstream dup_is(JournalText(dup, 2));
+  EXPECT_THROW(ReadJournal(dup_is), std::runtime_error);
+
+  std::vector<JournalRecord> zero = SampleJournal();
+  zero[0].seq = 0;  // sequence numbers start at 1
+  std::istringstream zero_is(JournalText(zero, 2));
+  EXPECT_THROW(ReadJournal(zero_is), std::runtime_error);
+}
+
+TEST(Serialize, JournalRejectsVersionSkewAndDamage) {
+  const std::string full = JournalText(SampleJournal(), 2);
+
+  std::string skewed = full;
+  skewed.replace(skewed.find("v1"), 2, "v2");
+  std::istringstream skew_is(skewed);
+  EXPECT_THROW(ReadJournal(skew_is), std::runtime_error);
+
+  // A torn final line — the classic crash-mid-append artifact — fails on
+  // its field count instead of inventing a command.  (A cut *within* a
+  // numeric token can still parse as a shorter valid number; the field
+  // count is what guards a lost token.)
+  std::istringstream torn(full + "5 4.5 pub 2 1.25\n");  // coordinate lost
+  EXPECT_THROW(ReadJournal(torn), std::runtime_error);
+  std::istringstream headless(full.substr(0, 10));
+  EXPECT_THROW(ReadJournal(headless), std::runtime_error);
+
+  // Unknown command types and bad timestamps are rejected.
+  std::istringstream unknown(
+      "pubsub-journal v1\ndims 2\n1 0.5 frobnicate 3\n");
+  EXPECT_THROW(ReadJournal(unknown), std::runtime_error);
+  std::istringstream negative_time("pubsub-journal v1\ndims 2\n1 -4 unsub 3\n");
+  EXPECT_THROW(ReadJournal(negative_time), std::runtime_error);
+  std::istringstream inf_time("pubsub-journal v1\ndims 2\n1 inf unsub 3\n");
+  EXPECT_THROW(ReadJournal(inf_time), std::runtime_error);
+}
+
 TEST(Serialize, FileHelpersRoundTrip) {
   const std::string path = "/tmp/pubsub_serialize_test.txt";
   SaveToFile(path, "hello\nworld\n");

@@ -106,5 +106,141 @@ TEST(SerializeFuzz, SingleCharacterCorruptionNeverCrashes) {
   }
 }
 
+// --- broker formats -------------------------------------------------------
+
+BrokerSnapshot RandomSnapshot(std::mt19937_64& rng) {
+  BrokerSnapshot snap;
+  snap.seq = rng() % 1000;
+  const int dims = 1 + static_cast<int>(rng() % 4);
+  std::vector<DimensionSpec> specs;
+  for (int d = 0; d < dims; ++d)
+    specs.push_back(DimensionSpec{"dim" + std::to_string(d),
+                                  2 + static_cast<int>(rng() % 20)});
+  snap.workload.space = EventSpace(std::move(specs));
+  const int subs = static_cast<int>(rng() % 40);
+  for (int i = 0; i < subs; ++i) {
+    Subscriber s;
+    s.node = static_cast<NodeId>(rng() % 30);
+    std::vector<Interval> ivals;
+    for (int d = 0; d < dims; ++d) {
+      if (rng() % 5 == 0) {
+        ivals.push_back(Interval());  // tombstoned dimension
+      } else {
+        const double lo = static_cast<double>(rng() % 100) / 7.0;
+        ivals.push_back(Interval(lo, lo + static_cast<double>(rng() % 30) / 11.0));
+      }
+    }
+    s.interest = Rect(std::move(ivals));
+    snap.workload.subscribers.push_back(std::move(s));
+  }
+  snap.num_groups = 1 + static_cast<int>(rng() % 8);
+  const int cells = static_cast<int>(rng() % 50);
+  for (int c = 0; c < cells; ++c)
+    snap.assignment.push_back(static_cast<int>(rng() % (static_cast<std::uint64_t>(snap.num_groups) + 1)) - 1);
+  snap.cells_fed = snap.assignment.size();
+  snap.churn_since_full_build = rng() % 100;
+  const int queue = static_cast<int>(rng() % 20);
+  for (int q = 0; q < queue; ++q)
+    snap.queue_state.push_back(static_cast<double>(rng() % 100000) / 13.0);
+  snap.stats.commands_applied = rng() % 10000;
+  snap.stats.publishes = rng() % 10000;
+  snap.stats.journal_bytes = rng() % 100000;
+  return snap;
+}
+
+class BrokerSnapshotFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BrokerSnapshotFuzz, RandomSnapshotsSurvive) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 77);
+  const BrokerSnapshot snap = RandomSnapshot(rng);
+  std::ostringstream os;
+  WriteBrokerSnapshot(os, snap);
+  std::istringstream is(os.str());
+  const BrokerSnapshot back = ReadBrokerSnapshot(is);
+  EXPECT_EQ(back.seq, snap.seq);
+  EXPECT_EQ(back.assignment, snap.assignment);
+  EXPECT_EQ(back.queue_state, snap.queue_state);
+  EXPECT_EQ(back.stats, snap.stats);
+  ASSERT_EQ(back.workload.subscribers.size(), snap.workload.subscribers.size());
+  for (std::size_t i = 0; i < snap.workload.subscribers.size(); ++i)
+    EXPECT_EQ(back.workload.subscribers[i].interest,
+              snap.workload.subscribers[i].interest);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BrokerSnapshotFuzz, ::testing::Range(0, 10));
+
+std::string SampleBrokerFiles(std::uint64_t seed, bool journal) {
+  std::mt19937_64 rng(seed);
+  std::ostringstream os;
+  if (journal) {
+    WriteJournalHeader(os, 2);
+    for (std::uint64_t seq = 1; seq <= 12; ++seq) {
+      JournalRecord rec;
+      rec.seq = seq;
+      rec.cmd.time_ms = static_cast<double>(seq) * 1.5;
+      switch (rng() % 4) {
+        case 0:
+          rec.cmd.type = BrokerCommandType::kSubscribe;
+          rec.cmd.node = static_cast<NodeId>(rng() % 20);
+          rec.cmd.interest = Rect({Interval(1.0, 4.5), Interval::AtMost(3.0)});
+          break;
+        case 1:
+          rec.cmd.type = BrokerCommandType::kUnsubscribe;
+          rec.cmd.subscriber = static_cast<SubscriberId>(rng() % 20);
+          break;
+        case 2:
+          rec.cmd.type = BrokerCommandType::kUpdate;
+          rec.cmd.subscriber = static_cast<SubscriberId>(rng() % 20);
+          rec.cmd.interest = Rect({Interval::All(), Interval(0.25, 2.0)});
+          break;
+        default:
+          rec.cmd.type = BrokerCommandType::kPublish;
+          rec.cmd.node = static_cast<NodeId>(rng() % 20);
+          rec.cmd.point = {static_cast<double>(rng() % 10),
+                           static_cast<double>(rng() % 10)};
+      }
+      WriteJournalRecord(os, rec, 2);
+    }
+  } else {
+    WriteBrokerSnapshot(os, RandomSnapshot(rng));
+  }
+  return os.str();
+}
+
+TEST(SerializeFuzz, BrokerSnapshotTruncationAlwaysThrowsCleanly) {
+  const std::string full = SampleBrokerFiles(5, /*journal=*/false);
+  for (std::size_t frac = 1; frac < 20; ++frac) {
+    const std::size_t cut = full.size() * frac / 20;
+    std::istringstream is(full.substr(0, cut));
+    EXPECT_THROW(ReadBrokerSnapshot(is), std::runtime_error) << "cut=" << cut;
+  }
+  std::istringstream ok(full);
+  EXPECT_NO_THROW(ReadBrokerSnapshot(ok));
+}
+
+TEST(SerializeFuzz, BrokerFilesSingleCharacterCorruptionNeverCrashes) {
+  for (const bool journal : {false, true}) {
+    const std::string full = SampleBrokerFiles(6, journal);
+    std::mt19937_64 mut(11);
+    for (int trial = 0; trial < 60; ++trial) {
+      std::string corrupted = full;
+      const std::size_t pos = mut() % corrupted.size();
+      corrupted[pos] = static_cast<char>('!' + mut() % 90);
+      std::istringstream is(corrupted);
+      try {
+        if (journal) {
+          const JournalFile back = ReadJournal(is);
+          EXPECT_LE(back.records.size(), 12u);
+        } else {
+          const BrokerSnapshot back = ReadBrokerSnapshot(is);
+          EXPECT_GE(back.num_groups, 0);
+        }
+      } catch (const std::exception&) {
+        // expected for most corruptions — the invariant is "no crash"
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pubsub

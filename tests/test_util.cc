@@ -75,6 +75,45 @@ TEST(FlagsTest, DefaultsAndErrors) {
   EXPECT_THROW(f.get_bool("bad", false), std::invalid_argument);
 }
 
+TEST(FlagsTest, MalformedNumbersFailLoudly) {
+  const char* argv[] = {"prog", "--threads=abc", "--ratio=0.5x", "--n=12"};
+  const Flags f(4, argv);
+  // A typo like --threads=abc must not silently run with a default (or
+  // abort mid-parse like raw std::stoll): it names the flag and value.
+  EXPECT_THROW(f.get_int("threads", 1), std::invalid_argument);
+  EXPECT_THROW(f.get_double("ratio", 0.0), std::invalid_argument);
+  try {
+    f.get_int("threads", 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("threads"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos);
+  }
+  // Trailing junk counts as malformed; a clean value still parses.
+  EXPECT_THROW(f.get_double("ratio", 0.0), std::invalid_argument);
+  EXPECT_EQ(f.get_int("n", 0), 12);
+}
+
+TEST(FlagsTest, UnknownFlagDetection) {
+  const char* argv[] = {"prog", "--threads=4", "--thread=8", "--verbose"};
+  const Flags f(4, argv);
+  // A mistyped flag *name* used to vanish into the value map; the
+  // registration check surfaces it.
+  EXPECT_EQ(f.unknown_flags({"threads", "verbose"}),
+            (std::vector<std::string>{"thread"}));
+  EXPECT_TRUE(f.unknown_flags({"threads", "thread", "verbose"}).empty());
+  EXPECT_NO_THROW(f.require_known({"threads", "thread", "verbose"}));
+  try {
+    f.require_known({"threads"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--thread"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("--verbose"), std::string::npos);
+    // ...but the correctly spelled flag is not reported.
+    EXPECT_EQ(std::string(e.what()).find("--threads"), std::string::npos);
+  }
+}
+
 TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch w;
   // Just sanity: non-negative and monotone.

@@ -12,17 +12,41 @@
 //   pubsub_cli evaluate     --net=net.txt --workload=workload.txt
 //                           --groups=groups.txt [--events=N] [--seed=N]
 //                           [--modes=1|4|9]
+//   pubsub_cli snapshot     --net=net.txt --workload=workload.txt
+//                           [--groups=K] [--cells=N] [--threshold=T]
+//                           --out=snap.txt
+//   pubsub_cli serve-replay --net=net.txt --workload=workload.txt (stock)
+//                           [--events=N] [--seed=N] [--churn-every=K]
+//                           [--groups=K] [--cells=N] [--threshold=T]
+//                           [--refresh-churn=F] [--refresh-waste=R]
+//                           [--refresh-min-messages=M]
+//                           [--journal=j.txt] [--snapshot=snap.txt]
+//                           [--snapshot-every=N]
+//   pubsub_cli recover      --net=net.txt --snapshot=snap.txt
+//                           [--journal=j.txt] [--groups=K] [--cells=N]
+//                           [--threshold=T] [--refresh-churn=F]
+//                           [--refresh-waste=R] [--refresh-min-messages=M]
 //
 // The publication model is re-derived from the workload's event space (the
 // §3 space has a regional "stub" dimension; the stock space a "bst"
 // dimension), so every stage is reproducible from its input files plus the
 // flags shown in the file headers it writes.
+//
+// The broker subcommands exercise src/broker: `snapshot` bootstraps a
+// seq-0 snapshot from a workload, `serve-replay` drives a broker from a
+// synthetic trading-day trace (journaling commands and checkpointing as it
+// goes), and `recover` rebuilds a broker from snapshot + journal and
+// prints the same report — matching sequence numbers must yield matching
+// state digests.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "broker/broker.h"
 #include "core/algorithms.h"
 #include "core/grid.h"
 #include "core/matching.h"
@@ -31,6 +55,7 @@
 #include "sim/scenario.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
+#include "workload/trace.h"
 
 namespace pubsub {
 namespace {
@@ -38,10 +63,17 @@ namespace {
 [[noreturn]] void Usage(const std::string& msg = "") {
   if (!msg.empty()) std::fprintf(stderr, "error: %s\n\n", msg.c_str());
   std::fprintf(stderr,
-               "usage: pubsub_cli <gen-net|gen-workload|cluster|evaluate> "
+               "usage: pubsub_cli <gen-net|gen-workload|cluster|evaluate|"
+               "snapshot|serve-replay|recover> "
                "[--flags]\n(see the header of tools/pubsub_cli.cc for the "
                "full flag list)\n");
   std::exit(2);
+}
+
+// Flags every subcommand accepts on top of its own list.
+std::vector<std::string> WithCommonFlags(std::vector<std::string> own) {
+  own.push_back("threads");
+  return own;
 }
 
 TransitStubParams ShapeByName(const std::string& name) {
@@ -74,6 +106,7 @@ std::unique_ptr<PublicationModel> ModelFor(const TransitStubNetwork& net,
 }
 
 int GenNet(const Flags& flags) {
+  flags.require_known(WithCommonFlags({"shape", "last_mile", "seed", "out"}));
   TransitStubParams shape = ShapeByName(flags.get("shape", "sec5"));
   shape.last_mile_cost = flags.get_double("last_mile", 0.0);
   Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
@@ -89,6 +122,8 @@ int GenNet(const Flags& flags) {
 }
 
 int GenWorkload(const Flags& flags) {
+  flags.require_known(WithCommonFlags(
+      {"net", "model", "subs", "seed", "regionalism", "tail", "out"}));
   const std::string net_path = flags.get("net", "");
   if (net_path.empty()) Usage("gen-workload requires --net");
   std::istringstream net_is(LoadFromFile(net_path));
@@ -122,6 +157,9 @@ int GenWorkload(const Flags& flags) {
 }
 
 int Cluster(const Flags& flags) {
+  flags.require_known(WithCommonFlags({"net", "workload", "algo", "groups",
+                                       "cells", "seed", "modes", "regionalism",
+                                       "tail", "out"}));
   const std::string net_path = flags.get("net", "");
   const std::string wl_path = flags.get("workload", "");
   if (net_path.empty() || wl_path.empty())
@@ -156,6 +194,9 @@ int Cluster(const Flags& flags) {
 }
 
 int Evaluate(const Flags& flags) {
+  flags.require_known(WithCommonFlags({"net", "workload", "groups", "events",
+                                       "seed", "modes", "regionalism", "tail",
+                                       "threshold"}));
   const std::string net_path = flags.get("net", "");
   const std::string wl_path = flags.get("workload", "");
   const std::string groups_path = flags.get("groups", "");
@@ -196,6 +237,216 @@ int Evaluate(const Flags& flags) {
   return 0;
 }
 
+// --- broker subcommands ---------------------------------------------------
+
+const std::vector<std::string> kBrokerFlags = {
+    "groups",        "cells",         "threshold",
+    "refresh-churn", "refresh-waste", "refresh-min-messages"};
+
+std::vector<std::string> WithBrokerFlags(std::vector<std::string> own) {
+  own.insert(own.end(), kBrokerFlags.begin(), kBrokerFlags.end());
+  return WithCommonFlags(std::move(own));
+}
+
+BrokerOptions BrokerOptionsFromFlags(const Flags& flags) {
+  BrokerOptions opts;
+  opts.group.num_groups = static_cast<std::size_t>(flags.get_int("groups", 100));
+  opts.group.max_cells = static_cast<std::size_t>(flags.get_int("cells", 6000));
+  opts.group.matcher_threshold = flags.get_double("threshold", 0.0);
+  opts.refresh.churn_fraction = flags.get_double("refresh-churn", 0.05);
+  opts.refresh.waste_ratio = flags.get_double("refresh-waste", 0.5);
+  opts.refresh.min_messages =
+      static_cast<std::size_t>(flags.get_int("refresh-min-messages", 200));
+  return opts;
+}
+
+void PrintBrokerReport(const Broker& broker) {
+  const BrokerStats& s = broker.stats();
+  std::printf("commands applied  %llu  (sub %llu / unsub %llu / upd %llu / "
+              "pub %llu)\n",
+              (unsigned long long)s.commands_applied,
+              (unsigned long long)s.subscribes,
+              (unsigned long long)s.unsubscribes,
+              (unsigned long long)s.updates, (unsigned long long)s.publishes);
+  std::printf("matched events    %llu  (multicast %llu, unicast %llu)\n",
+              (unsigned long long)s.events_matched,
+              (unsigned long long)s.multicast_events,
+              (unsigned long long)s.unicast_events);
+  std::printf("messages emitted  %llu  (wasted %llu)\n",
+              (unsigned long long)s.messages_emitted,
+              (unsigned long long)s.wasted_deliveries);
+  std::printf("refreshes         %llu  (full rebuilds %llu)\n",
+              (unsigned long long)s.refreshes,
+              (unsigned long long)s.full_rebuilds);
+  std::printf("journal bytes     %llu\n", (unsigned long long)s.journal_bytes);
+  if (s.replayed_records > 0 || s.snapshot_bytes > 0)
+    std::printf("recovered from    %llu snapshot bytes + %llu replayed "
+                "records\n",
+                (unsigned long long)s.snapshot_bytes,
+                (unsigned long long)s.replayed_records);
+  std::printf("live subscribers  %zu\n", broker.workload().num_subscribers());
+  std::printf("final seq         %llu\n", (unsigned long long)broker.seq());
+  std::printf("state digest      %016llx\n",
+              (unsigned long long)broker.state_digest());
+}
+
+void SaveSnapshotFile(const std::string& path, const Broker& broker) {
+  std::ostringstream os;
+  broker.write_snapshot(os);
+  SaveToFile(path, os.str());
+}
+
+// Bootstrap a seq-0 snapshot from a workload: cold-cluster it once and
+// persist the refresh-boundary state so serve-replay / recover / replicas
+// can start from a common, durable baseline.
+int Snapshot(const Flags& flags) {
+  flags.require_known(WithBrokerFlags(
+      {"net", "workload", "modes", "regionalism", "tail", "out"}));
+  const std::string net_path = flags.get("net", "");
+  const std::string wl_path = flags.get("workload", "");
+  const std::string out = flags.get("out", "");
+  if (net_path.empty() || wl_path.empty() || out.empty())
+    Usage("snapshot requires --net, --workload and --out");
+  std::istringstream net_is(LoadFromFile(net_path));
+  const TransitStubNetwork net = ReadTransitStub(net_is);
+  std::istringstream wl_is(LoadFromFile(wl_path));
+  Workload wl = ReadWorkload(wl_is);
+
+  const auto model = ModelFor(net, wl, flags);
+  const Broker broker(std::move(wl), *model, net.graph,
+                      BrokerOptionsFromFlags(flags));
+  SaveSnapshotFile(out, broker);
+  std::printf("wrote %s: seq 0, %zu subscribers, %zu clustered cells\n",
+              out.c_str(), broker.workload().num_subscribers(),
+              broker.snapshot().assignment.size());
+  return 0;
+}
+
+// Drive a broker from a synthetic trading-day trace with optional
+// subscription churn, journaling every command and checkpointing along the
+// way.  Kill it at any point; `recover` resumes from the files.
+int ServeReplay(const Flags& flags) {
+  flags.require_known(WithBrokerFlags({"net", "workload", "events", "seed",
+                                       "churn-every", "modes", "journal",
+                                       "snapshot", "snapshot-every"}));
+  const std::string net_path = flags.get("net", "");
+  const std::string wl_path = flags.get("workload", "");
+  if (net_path.empty() || wl_path.empty())
+    Usage("serve-replay requires --net and --workload");
+  std::istringstream net_is(LoadFromFile(net_path));
+  const TransitStubNetwork net = ReadTransitStub(net_is);
+  std::istringstream wl_is(LoadFromFile(wl_path));
+  Workload wl = ReadWorkload(wl_is);
+  if (IsSection3Space(wl.space))
+    Usage("serve-replay drives a stock trace; --workload must be a stock "
+          "workload (gen-workload --model=stock)");
+
+  const auto model = ModelFor(net, wl, flags);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto num_events =
+      static_cast<std::size_t>(flags.get_int("events", 2000));
+  const auto churn_every =
+      static_cast<std::size_t>(flags.get_int("churn-every", 0));
+  const std::string journal_path = flags.get("journal", "");
+  const std::string snapshot_path = flags.get("snapshot", "");
+  const auto snapshot_every =
+      static_cast<std::uint64_t>(flags.get_int("snapshot-every", 500));
+
+  // Track live ids for churn before the workload moves into the broker.
+  std::vector<SubscriberId> live(wl.num_subscribers());
+  for (std::size_t i = 0; i < live.size(); ++i)
+    live[i] = static_cast<SubscriberId>(i);
+
+  ManualClock clock;
+  Broker broker(std::move(wl), *model, net.graph, BrokerOptionsFromFlags(flags),
+                &clock);
+
+  std::ofstream journal;
+  if (!journal_path.empty()) {
+    journal.open(journal_path, std::ios::trunc);
+    if (!journal) Usage("cannot open --journal file " + journal_path);
+    broker.set_journal(&journal);
+  }
+  if (!snapshot_path.empty()) SaveSnapshotFile(snapshot_path, broker);
+
+  Rng trace_rng(seed);
+  const std::vector<TraceEvent> trace =
+      GenerateStockTrace(net, {}, {}, num_events, trace_rng);
+  Rng churn_rng = trace_rng.split(1);
+
+  const std::uint64_t snapshot_base = broker.seq();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    clock.advance_to(trace[i].timestamp * 1000.0);
+    if (churn_every > 0 && (i + 1) % churn_every == 0) {
+      auto action = churn_rng.uniform_int(0, 2);
+      if (live.empty()) action = 0;  // nothing left to update/remove
+      if (action == 0) {
+        Rng sub_rng = churn_rng.split(i);
+        const Workload one = GenerateStockSubscriptions(net, 1, {}, sub_rng);
+        live.push_back(broker.subscribe(one.subscribers[0].node,
+                                        one.subscribers[0].interest));
+      } else if (action == 1 || live.size() <= 1) {
+        Rng sub_rng = churn_rng.split(i);
+        const Workload one = GenerateStockSubscriptions(net, 1, {}, sub_rng);
+        const auto pick = static_cast<std::size_t>(
+            churn_rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        broker.update(live[pick], one.subscribers[0].interest);
+      } else {
+        const auto pick = static_cast<std::size_t>(
+            churn_rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        broker.unsubscribe(live[pick]);
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    }
+    broker.publish(trace[i].pub.origin, trace[i].pub.point);
+    if (!snapshot_path.empty() && snapshot_every > 0 &&
+        (broker.seq() - snapshot_base) % snapshot_every == 0)
+      SaveSnapshotFile(snapshot_path, broker);
+  }
+  if (!snapshot_path.empty()) SaveSnapshotFile(snapshot_path, broker);
+
+  std::printf("replayed %zu trace events over %.1f simulated seconds\n\n",
+              trace.size(), trace.empty() ? 0.0 : trace.back().timestamp);
+  PrintBrokerReport(broker);
+  return 0;
+}
+
+// Rebuild a broker from snapshot + journal tail and print the same report
+// serve-replay prints: at equal sequence numbers the state digests match.
+int Recover(const Flags& flags) {
+  flags.require_known(WithBrokerFlags(
+      {"net", "snapshot", "journal", "modes", "regionalism", "tail"}));
+  const std::string net_path = flags.get("net", "");
+  const std::string snapshot_path = flags.get("snapshot", "");
+  if (net_path.empty() || snapshot_path.empty())
+    Usage("recover requires --net and --snapshot");
+  std::istringstream net_is(LoadFromFile(net_path));
+  const TransitStubNetwork net = ReadTransitStub(net_is);
+  std::istringstream snap_is(LoadFromFile(snapshot_path));
+  const BrokerSnapshot snap = ReadBrokerSnapshot(snap_is);
+
+  std::vector<JournalRecord> tail;
+  const std::string journal_path = flags.get("journal", "");
+  if (!journal_path.empty()) {
+    std::istringstream j_is(LoadFromFile(journal_path));
+    JournalFile jf = ReadJournal(j_is);
+    if (jf.dims != snap.workload.space.dims())
+      Usage("journal dimensionality does not match the snapshot");
+    tail = std::move(jf.records);
+  }
+
+  const auto model = ModelFor(net, snap.workload, flags);
+  BrokerOptions opts = BrokerOptionsFromFlags(flags);
+  // The snapshot is authoritative for the group count; an explicit
+  // --groups still wins (and a mismatch is rejected by the broker).
+  if (!flags.has("groups"))
+    opts.group.num_groups = static_cast<std::size_t>(snap.num_groups);
+  const auto broker = Broker::Recover(snap, tail, *model, net.graph, opts);
+  PrintBrokerReport(*broker);
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) Usage();
   const std::string cmd = argv[1];
@@ -206,6 +457,9 @@ int Run(int argc, char** argv) {
     if (cmd == "gen-workload") return GenWorkload(flags);
     if (cmd == "cluster") return Cluster(flags);
     if (cmd == "evaluate") return Evaluate(flags);
+    if (cmd == "snapshot") return Snapshot(flags);
+    if (cmd == "serve-replay") return ServeReplay(flags);
+    if (cmd == "recover") return Recover(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
