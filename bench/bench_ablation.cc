@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "core/kmeans.h"
 #include "core/noloss.h"
@@ -35,6 +36,11 @@ int Run(int argc, char** argv) {
                     num_events, seed + 1);
   bench::PrintBaselines(p, "ablation baselines");
 
+  bench::BenchReport report("ablation");
+  report.set_config("events", static_cast<long long>(num_events));
+  report.set_config("subs", subs);
+  report.set_config("groups", static_cast<long long>(K));
+
   // ---- 1. outlier removal -------------------------------------------------
   std::printf("\n--- outlier removal: forgy on all %zu hyper-cells, K=%zu ---\n",
               p.grid.hyper_cells().size(), K);
@@ -48,10 +54,11 @@ int Run(int argc, char** argv) {
     const Assignment a = KMeansCluster(cells, K, kopt).assignment;
     const GridMatcher matcher(p.grid, a, static_cast<int>(K));
     const ClusteredCosts c = EvaluateMatcher(p.sim, p.events, MatcherFn(matcher));
-    outlier.row()
-        .cell(frac, 3)
-        .cell(cells.size())
-        .cell(ImprovementPercent(c.network, p.base), 1);
+    const double improvement = ImprovementPercent(c.network, p.base);
+    outlier.row().cell(frac, 3).cell(cells.size()).cell(improvement, 1);
+    char frac_key[32];
+    std::snprintf(frac_key, sizeof(frac_key), "outlier_mass%.3f", frac);
+    report.add(std::string(frac_key) + "_improvement", improvement, "%");
   }
   std::printf("%s", outlier.to_string().c_str());
 
@@ -62,6 +69,11 @@ int Run(int argc, char** argv) {
     const bench::EvalResult r = bench::EvaluateGridAlgorithm(
         p, GridAlgorithmByName("forgy"), K, 6000, seed + 2, t);
     thresh.row().cell(t, 2).cell(r.improvement_net, 1).cell(r.wasted);
+    char t_key[32];
+    std::snprintf(t_key, sizeof(t_key), "threshold%.2f", t);
+    report.add(std::string(t_key) + "_improvement", r.improvement_net, "%");
+    report.add(std::string(t_key) + "_wasted",
+               static_cast<double>(r.wasted), "deliveries");
   }
   std::printf("%s", thresh.to_string().c_str());
 
@@ -106,6 +118,10 @@ int Run(int argc, char** argv) {
               p.grid.hyper_cells().size(),
               static_cast<double>(p.grid.num_occupied_cells()) /
                   static_cast<double>(p.grid.hyper_cells().size()));
+  report.add("hypercell_compression",
+             static_cast<double>(p.grid.num_occupied_cells()) /
+                 static_cast<double>(p.grid.hyper_cells().size()),
+             "x");
   return 0;
 }
 

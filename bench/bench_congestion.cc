@@ -17,6 +17,7 @@
 
 #include <unordered_map>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "sim/link_load.h"
 #include "util/flags.h"
@@ -80,20 +81,31 @@ int Run(int argc, char** argv) {
   }
 
   std::printf("\n%zu events x %.0f KB messages:\n\n", num_events, msg_kb);
+  bench::BenchReport bench_report("congestion");
+  bench_report.set_config("events", static_cast<long long>(num_events));
+  bench_report.set_config("subs", subs);
+  bench_report.set_config("message_kb", static_cast<long long>(msg_kb));
   TextTable table({"strategy", "total traffic (MB)", "hottest link (MB)",
                    "p90 link (MB)", "links used"});
-  const auto report = [&table](const char* name, const LinkLoadTracker& t) {
+  const auto report = [&table, &bench_report](const char* name, const char* key,
+                                              const LinkLoadTracker& t) {
     table.row()
         .cell(name)
         .cell(t.total_bytes() / 1024.0, 1)
         .cell(t.max_link_load() / 1024.0, 2)
         .cell(t.load_quantile(0.9) / 1024.0, 2)
         .cell(t.links_used());
+    bench_report.add(std::string(key) + "_total_mb", t.total_bytes() / 1024.0,
+                     "MB");
+    bench_report.add(std::string(key) + "_hottest_mb",
+                     t.max_link_load() / 1024.0, "MB");
+    bench_report.add(std::string(key) + "_p90_mb",
+                     t.load_quantile(0.9) / 1024.0, "MB");
   };
-  report("unicast", unicast);
-  report("broadcast", broadcast);
-  report("ideal multicast", ideal);
-  report("forgy multicast K=100", clustered);
+  report("unicast", "unicast", unicast);
+  report("broadcast", "broadcast", broadcast);
+  report("ideal multicast", "ideal", ideal);
+  report("forgy multicast K=100", "forgy", clustered);
   std::printf("%s", table.to_string().c_str());
   std::printf("\n(the unicast hot link is the congestion the paper's small-"
               "message assumption hides)\n");

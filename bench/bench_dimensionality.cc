@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_report.h"
 #include "core/algorithms.h"
 #include "core/grid.h"
 #include "core/matching.h"
@@ -24,7 +25,7 @@
 #include "util/flags.h"
 #include "util/thread_pool.h"
 #include "util/table.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 #include "workload/interval_gen.h"
 
 namespace pubsub {
@@ -78,6 +79,11 @@ int Run(int argc, char** argv) {
   Rng net_rng(seed);
   const TransitStubNetwork net = GenerateTransitStub(PaperNetSection5(), net_rng);
 
+  bench::BenchReport report("dimensionality");
+  report.set_config("events", static_cast<long long>(num_events));
+  report.set_config("subs", subs);
+  report.set_config("groups", static_cast<long long>(K));
+
   TextTable table({"dims", "lattice", "hyper-cells", "grid build s",
                    "improvement%", "fallback events"});
   for (const int dims : {2, 3, 4, 5, 6}) {
@@ -85,7 +91,7 @@ int Run(int argc, char** argv) {
     const Workload wl = MakeWorkload(net, dims, domain, subs, rng);
     const auto model = MakeModel(net, wl, domain);
 
-    Stopwatch watch;
+    StopwatchClock watch;
     const Grid grid(wl, *model);
     const double build_s = watch.elapsed_seconds();
 
@@ -107,6 +113,11 @@ int Run(int argc, char** argv) {
         .cell(build_s, 2)
         .cell(ImprovementPercent(c.network, base), 1)
         .cell(c.unicast_events);
+    const std::string prefix = "dims" + std::to_string(dims);
+    report.add(prefix + "_grid_build_s", build_s, "s");
+    report.add(prefix + "_improvement", ImprovementPercent(c.network, base), "%");
+    report.add(prefix + "_fallback_events",
+               static_cast<double>(c.unicast_events), "events");
   }
   std::printf("grid framework vs event-space dimensionality "
               "(domain %d per attribute, %zu-cell budget, K=%zu):\n\n%s",

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
@@ -40,6 +41,10 @@ int Run(int argc, char** argv) {
   std::printf("--- and solution quality (improvement %%) vs cells fed ---\n");
   TextTable table({"cells", "forgy_s", "kmeans_s", "apx-pairs_s", "mst_s",
                    "forgy%", "kmeans%", "apx-pairs%", "mst%"});
+  bench::BenchReport report("fig10");
+  report.set_config("events", static_cast<long long>(num_events));
+  report.set_config("subs", subs);
+  report.set_config("groups", static_cast<long long>(K));
   for (const std::size_t budget : budgets) {
     std::vector<bench::EvalResult> results;
     for (const std::string& name : algos)
@@ -49,6 +54,11 @@ int Run(int argc, char** argv) {
     row.cell(static_cast<long long>(budget));
     for (const auto& r : results) row.cell(r.cluster_seconds, 2);
     for (const auto& r : results) row.cell(r.improvement_net, 1);
+    for (std::size_t i = 0; i < algos.size(); ++i) {
+      const std::string key = "cells" + std::to_string(budget) + "_" + algos[i];
+      report.add(key + "_seconds", results[i].cluster_seconds, "s");
+      report.add(key + "_improvement", results[i].improvement_net, "%");
+    }
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("(the quality drop at large budgets is the paper's outlier "

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
@@ -76,6 +77,16 @@ int Run(int argc, char** argv) {
       frontier.row().cell(budget, 2).cell(best->algo).cell(best->improvement, 1);
   }
   std::printf("%s", frontier.to_string().c_str());
+
+  bench::BenchReport report("fig11");
+  report.set_config("events", static_cast<long long>(num_events));
+  report.set_config("subs", subs);
+  report.set_config("groups", static_cast<long long>(K));
+  for (const Sample& s : samples) {
+    const std::string key = s.algo + "_cells" + std::to_string(s.cells);
+    report.add(key + "_seconds", s.seconds, "s");
+    report.add(key + "_improvement", s.improvement, "%");
+  }
   return 0;
 }
 

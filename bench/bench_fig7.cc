@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
@@ -29,7 +30,8 @@ namespace {
 using bench::EvalResult;
 using bench::Pipeline;
 
-void RunScenario(PublicationHotSpots spots, const Flags& flags) {
+void RunScenario(PublicationHotSpots spots, const Flags& flags,
+                 bench::BenchReport& report) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const auto subs = static_cast<int>(flags.get_int("subs", 1000));
   const auto num_events = static_cast<std::size_t>(flags.get_int("events", 300));
@@ -48,7 +50,7 @@ void RunScenario(PublicationHotSpots spots, const Flags& flags) {
   NoLossOptions nl_opt;
   nl_opt.max_rectangles = 5000;
   nl_opt.iterations = 8;
-  Stopwatch nl_watch;
+  StopwatchClock nl_watch;
   const NoLossResult noloss =
       NoLossCluster(p.scenario.workload, *p.scenario.pub, nl_opt);
   const double nl_seconds = nl_watch.elapsed_seconds();
@@ -56,6 +58,8 @@ void RunScenario(PublicationHotSpots spots, const Flags& flags) {
   TextTable table({"K", "forgy", "kmeans", "mst", "approx-pairs", "noloss",
                    "forgy(app)", "kmeans(app)", "mst(app)", "apx-pairs(app)",
                    "noloss(app)"});
+  const std::vector<std::string> algo_names = {"forgy", "kmeans", "mst",
+                                               "approx_pairs", "noloss"};
   for (const std::size_t k : k_values) {
     std::vector<EvalResult> results;
     for (const char* name : {"forgy", "kmeans", "mst", "approx-pairs"}) {
@@ -70,6 +74,18 @@ void RunScenario(PublicationHotSpots spots, const Flags& flags) {
     row.cell(static_cast<long long>(k));
     for (const EvalResult& r : results) row.cell(r.improvement_net, 1);
     for (const EvalResult& r : results) row.cell(r.improvement_app, 1);
+
+    if (k == k_values.back()) {
+      const std::string prefix =
+          "modes" + std::to_string(static_cast<int>(spots)) + "_K" +
+          std::to_string(k) + "_";
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        report.add(prefix + algo_names[i] + "_net",
+                   results[i].improvement_net, "%");
+        report.add(prefix + algo_names[i] + "_app",
+                   results[i].improvement_app, "%");
+      }
+    }
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("(improvement %% over unicast; 100%% = ideal multicast. "
@@ -81,9 +97,16 @@ int Run(int argc, char** argv) {
   const Flags flags(argc, argv);
   ConfigureThreadsFromFlags(flags);
   const std::string modes = flags.get("modes", "all");
-  if (modes == "all" || modes == "1") RunScenario(PublicationHotSpots::kOne, flags);
-  if (modes == "all" || modes == "4") RunScenario(PublicationHotSpots::kFour, flags);
-  if (modes == "all" || modes == "9") RunScenario(PublicationHotSpots::kNine, flags);
+  bench::BenchReport report("fig7");
+  report.set_config("modes", modes);
+  report.set_config("events", flags.get_int("events", 300));
+  report.set_config("subs", flags.get_int("subs", 1000));
+  if (modes == "all" || modes == "1")
+    RunScenario(PublicationHotSpots::kOne, flags, report);
+  if (modes == "all" || modes == "4")
+    RunScenario(PublicationHotSpots::kFour, flags, report);
+  if (modes == "all" || modes == "9")
+    RunScenario(PublicationHotSpots::kNine, flags, report);
   return 0;
 }
 

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
@@ -26,6 +27,11 @@ int Run(int argc, char** argv) {
   const auto num_events = static_cast<std::size_t>(flags.get_int("events", 300));
   const auto K = static_cast<std::size_t>(flags.get_int("groups", 100));
 
+  bench::BenchReport report("fig8");
+  report.set_config("events", static_cast<long long>(num_events));
+  report.set_config("subs", subs);
+  report.set_config("groups", static_cast<long long>(K));
+
   bench::Pipeline p(MakeStockScenario(subs, PublicationHotSpots::kOne, seed),
                     num_events, seed + 1);
   bench::PrintBaselines(p, "fig8 baselines");
@@ -36,7 +42,7 @@ int Run(int argc, char** argv) {
     NoLossOptions opt;
     opt.max_rectangles = n;
     opt.iterations = 8;
-    Stopwatch watch;
+    StopwatchClock watch;
     const NoLossResult r = NoLossCluster(p.scenario.workload, *p.scenario.pub, opt);
     const double secs = watch.elapsed_seconds();
     const bench::EvalResult e = bench::EvaluateNoLoss(p, r, K, secs);
@@ -45,6 +51,8 @@ int Run(int argc, char** argv) {
         .cell(e.improvement_net, 1)
         .cell(secs, 2)
         .cell(r.groups.size());
+    report.add("rect" + std::to_string(n) + "_improvement",
+               e.improvement_net, "%");
   }
   std::printf("%s", by_rect.to_string().c_str());
 
@@ -54,7 +62,7 @@ int Run(int argc, char** argv) {
     NoLossOptions opt;
     opt.max_rectangles = 5000;
     opt.iterations = iters;
-    Stopwatch watch;
+    StopwatchClock watch;
     const NoLossResult r = NoLossCluster(p.scenario.workload, *p.scenario.pub, opt);
     const double secs = watch.elapsed_seconds();
     const bench::EvalResult e = bench::EvaluateNoLoss(p, r, K, secs);
@@ -63,6 +71,8 @@ int Run(int argc, char** argv) {
         .cell(e.improvement_net, 1)
         .cell(secs, 2)
         .cell(r.groups.size());
+    report.add("iter" + std::to_string(iters) + "_improvement",
+               e.improvement_net, "%");
   }
   std::printf("%s", by_iter.to_string().c_str());
   std::printf("(no-loss deliveries are waste-free by construction; the knobs "

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
@@ -23,8 +24,9 @@
 namespace pubsub {
 namespace {
 
-void RunOne(const char* label, Scenario scenario, const Flags& flags,
-            std::uint64_t seed) {
+void RunOne(const char* label, const char* key, Scenario scenario,
+            const Flags& flags, std::uint64_t seed,
+            bench::BenchReport& report) {
   const auto num_events = static_cast<std::size_t>(flags.get_int("events", 300));
   const auto cells = static_cast<std::size_t>(flags.get_int("cells", 6000));
   const auto pairs_cells = static_cast<std::size_t>(flags.get_int("pairs_cells", 2000));
@@ -39,10 +41,13 @@ void RunOne(const char* label, Scenario scenario, const Flags& flags,
     for (const char* name : {"forgy", "kmeans", "mst", "approx-pairs"}) {
       const std::size_t budget =
           std::string(name) == "approx-pairs" ? pairs_cells : cells;
-      row.cell(bench::EvaluateGridAlgorithm(p, GridAlgorithmByName(name), k,
-                                            budget, seed + 2)
-                   .improvement_net,
-               1);
+      const double improvement =
+          bench::EvaluateGridAlgorithm(p, GridAlgorithmByName(name), k, budget,
+                                       seed + 2)
+              .improvement_net;
+      row.cell(improvement, 1);
+      if (k == 100u)
+        report.add(std::string(key) + "_" + name + "_K100", improvement, "%");
     }
   }
   std::printf("%s\n", table.to_string().c_str());
@@ -55,19 +60,24 @@ int Run(int argc, char** argv) {
   const auto seed_a = static_cast<std::uint64_t>(flags.get_int("seed_a", 7));
   const auto seed_b = static_cast<std::uint64_t>(flags.get_int("seed_b", 1234));
 
+  bench::BenchReport report("fig9");
+  report.set_config("subs", subs);
+
   std::printf("=== Figure 9: same model, two random networks ===\n\n");
-  RunOne("network A", MakeStockScenario(subs, PublicationHotSpots::kOne, seed_a),
-         flags, seed_a);
-  RunOne("network B", MakeStockScenario(subs, PublicationHotSpots::kOne, seed_b),
-         flags, seed_b);
+  RunOne("network A", "netA",
+         MakeStockScenario(subs, PublicationHotSpots::kOne, seed_a), flags,
+         seed_a, report);
+  RunOne("network B", "netB",
+         MakeStockScenario(subs, PublicationHotSpots::kOne, seed_b), flags,
+         seed_b, report);
 
   std::printf("=== Last-mile ablation (§6 item 2): hosts behind cost-4 "
               "access links ===\n\n");
   TransitStubParams shape = PaperNetSection5();
   shape.last_mile_cost = 4.0;
-  RunOne("network A + last-mile",
+  RunOne("network A + last-mile", "netA_lastmile",
          MakeStockScenario(subs, PublicationHotSpots::kOne, seed_a, {}, shape),
-         flags, seed_a);
+         flags, seed_a, report);
   return 0;
 }
 

@@ -10,6 +10,7 @@
 // Flags: --events=N (default 300) --seed=S
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "sim/hybrid.h"
 #include "util/flags.h"
@@ -25,6 +26,10 @@ int Run(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const auto num_events = static_cast<std::size_t>(flags.get_int("events", 300));
   const std::size_t K = 100;
+
+  bench::BenchReport report("hybrid");
+  report.set_config("events", static_cast<long long>(num_events));
+  report.set_config("groups", static_cast<long long>(K));
 
   TextTable table({"subs", "unicast", "broadcast", "multicast", "rule hybrid",
                    "oracle hybrid", "oracle mix (u/m/b)"});
@@ -53,6 +58,10 @@ int Run(int argc, char** argv) {
         .cell(rule.network, 0)
         .cell(oracle.network, 0)
         .cell(mix);
+    const std::string prefix = "subs" + std::to_string(subs);
+    report.add(prefix + "_multicast_cost", pure.network, "cost");
+    report.add(prefix + "_rule_cost", rule.network, "cost");
+    report.add(prefix + "_oracle_cost", oracle.network, "cost");
   }
   std::printf("per-stream delivery cost by strategy (events fixed, "
               "subscription count sweeps density):\n\n%s",

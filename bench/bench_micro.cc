@@ -3,6 +3,10 @@
 // Dijkstra, pruned-SPT multicast cost, and grid construction.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "core/cluster_types.h"
 #include "core/grid.h"
 #include "index/kd_interval_tree.h"
@@ -152,4 +156,29 @@ BENCHMARK(BM_GridConstruction)->Arg(500)->Arg(1000)->Unit(benchmark::kMillisecon
 }  // namespace
 }  // namespace pubsub
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// $BENCH_OUT_DIR/BENCH_micro.json (JSON format) so every bench binary drops a
+// machine-readable report; explicit --benchmark_out flags still win.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    const char* dir = std::getenv("BENCH_OUT_DIR");
+    std::string path = dir != nullptr && *dir != '\0'
+                           ? std::string(dir) + "/BENCH_micro.json"
+                           : std::string("BENCH_micro.json");
+    out_flag = "--benchmark_out=" + path;
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

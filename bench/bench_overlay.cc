@@ -11,6 +11,7 @@
 // Flags: --events=N (default 300) --subs=N (default 1000) --seed=S
 #include <cstdio>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "overlay/content_router.h"
 #include "util/flags.h"
@@ -32,6 +33,11 @@ int Run(int argc, char** argv) {
                     num_events, seed + 1);
   bench::PrintBaselines(p, "overlay baselines");
 
+  bench::BenchReport report("overlay");
+  report.set_config("events", static_cast<long long>(num_events));
+  report.set_config("subs", subs);
+  report.set_config("groups", static_cast<long long>(K));
+
   TextTable table({"approach", "improvement%", "state (KB)", "matches/event",
                    "update cost (summaries)"});
 
@@ -51,6 +57,8 @@ int Run(int argc, char** argv) {
         .cell(state_kb, 1)
         .cell(1.0, 1)
         .cell("n/a (re-balance)");
+    report.add("clustered_improvement", r.improvement_net, "%");
+    report.add("clustered_state_kb", state_kb, "KB");
   }
 
   for (const SummaryKind kind : {SummaryKind::kExact, SummaryKind::kBounds}) {
@@ -91,6 +99,13 @@ int Run(int argc, char** argv) {
         .cell(static_cast<double>(update_total) /
                   static_cast<double>(probe_ids.size()),
               1);
+    const std::string prefix =
+        kind == SummaryKind::kExact ? "routing_exact" : "routing_bounds";
+    report.add(prefix + "_improvement", ImprovementPercent(cost, p.base), "%");
+    report.add(prefix + "_state_kb",
+               static_cast<double>(router.state_bits()) / 8.0 / 1024.0, "KB");
+    report.add(prefix + "_matches_per_event",
+               matches / static_cast<double>(p.events.size()), "matches");
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("\ncontent routing needs no multicast groups but pays state at "

@@ -16,13 +16,14 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "core/kmeans.h"
 #include "core/pairwise.h"
 #include "util/flags.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 
 namespace pubsub {
 namespace {
@@ -40,7 +41,7 @@ struct PhaseResult {
 std::vector<PhaseResult> RunPhases(int subs, std::size_t events,
                                    std::size_t max_cells, std::size_t K,
                                    std::uint64_t seed, double* grid_seconds) {
-  Stopwatch grid_watch;
+  StopwatchClock grid_watch;
   bench::Pipeline p(MakeStockScenario(subs, PublicationHotSpots::kOne, seed),
                     events, seed + 1);
   *grid_seconds = grid_watch.elapsed_seconds();
@@ -52,14 +53,14 @@ std::vector<PhaseResult> RunPhases(int subs, std::size_t events,
     PhaseResult r;
     KMeansOptions opt;
     opt.variant = KMeansVariant::kForgy;
-    Stopwatch watch;
+    StopwatchClock watch;
     r.assignment = KMeansCluster(cells, K, opt).assignment;
     r.seconds = watch.elapsed_seconds();
     out.push_back(std::move(r));
   }
   {
     PhaseResult r;
-    Stopwatch watch;
+    StopwatchClock watch;
     r.assignment = PairwiseCluster(cells, K);
     r.seconds = watch.elapsed_seconds();
     out.push_back(std::move(r));
@@ -67,7 +68,7 @@ std::vector<PhaseResult> RunPhases(int subs, std::size_t events,
   {
     PhaseResult r;
     const GridMatcher matcher(p.grid, out[0].assignment, static_cast<int>(K));
-    Stopwatch watch;
+    StopwatchClock watch;
     r.costs = EvaluateMatcher(p.sim, p.events, MatcherFn(matcher));
     r.seconds = watch.elapsed_seconds();
     out.push_back(std::move(r));
@@ -97,13 +98,25 @@ int Run(int argc, char** argv) {
     ThreadPool::global().set_num_threads(threads);
   }
 
+  bench::BenchReport report("parallel");
+  report.set_config("subs", subs);
+  report.set_config("events", static_cast<long long>(events));
+  report.set_config("threads", threads);
+
   const char* names[] = {"forgy k-means", "pairwise", "batch matching"};
+  const char* keys[] = {"forgy", "pairwise", "batch_matching"};
   TextTable table({"phase", "seconds", "vs 1 thread"});
   table.row().cell("grid build").cell(grid_s, 4).cell(
       ref.empty() ? 1.0 : grid_ref_s / grid_s, 2);
-  for (std::size_t i = 0; i < timed.size(); ++i)
+  report.add("grid_build_seconds", grid_s, "s");
+  for (std::size_t i = 0; i < timed.size(); ++i) {
     table.row().cell(names[i]).cell(timed[i].seconds, 4).cell(
         ref.empty() ? 1.0 : ref[i].seconds / timed[i].seconds, 2);
+    report.add(std::string(keys[i]) + "_seconds", timed[i].seconds, "s");
+    if (!ref.empty())
+      report.add(std::string(keys[i]) + "_speedup",
+                 ref[i].seconds / timed[i].seconds, "x");
+  }
   std::printf("parallel kernel scaling (subs=%d, events=%zu, cells=%zu, K=%zu, "
               "threads=%d):\n\n%s",
               subs, events, max_cells, K, threads, table.to_string().c_str());

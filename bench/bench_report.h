@@ -1,0 +1,103 @@
+// Machine-readable results for the bench_* binaries (telemetry issue
+// satellite): alongside its human-oriented table, every benchmark writes a
+// BENCH_<name>.json so sweeps and CI can diff numbers without scraping
+// stdout.
+//
+//   bench::BenchReport report("fig7");
+//   report.set_config("events", "300");
+//   report.add("forgy_improvement_net", 63.1, "%");
+//   ...
+//   // written to $BENCH_OUT_DIR/BENCH_fig7.json (or ./BENCH_fig7.json)
+//   // by the destructor, or explicitly via write().
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pubsub::bench {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() {
+    if (!written_) write();
+  }
+
+  void set_config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, value);
+  }
+  void set_config(const std::string& key, long long value) {
+    set_config(key, std::to_string(value));
+  }
+
+  void add(const std::string& metric, double value, std::string unit = "") {
+    metrics_.push_back({metric, value, std::move(unit)});
+  }
+
+  // Serializes to BENCH_<name>.json under $BENCH_OUT_DIR (cwd when unset).
+  // Returns the path written, or "" on failure (a benchmark should never
+  // die over its report; the error goes to stderr).
+  std::string write() {
+    written_ = true;
+    std::string dir = ".";
+    if (const char* env = std::getenv("BENCH_OUT_DIR"); env != nullptr && *env)
+      dir = env;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+      return "";
+    }
+    os << "{\n  \"bench\": \"" << Escape(name_) << "\",\n  \"config\": {";
+    for (std::size_t i = 0; i < config_.size(); ++i)
+      os << (i ? ", " : "") << '"' << Escape(config_[i].first) << "\": \""
+         << Escape(config_[i].second) << '"';
+    os << "},\n  \"metrics\": [\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      char value[64];
+      std::snprintf(value, sizeof value, "%.17g", m.value);
+      os << "    {\"name\": \"" << Escape(m.name) << "\", \"value\": " << value
+         << ", \"unit\": \"" << Escape(m.unit) << "\"}"
+         << (i + 1 < metrics_.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+    return path;
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += "?";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<Metric> metrics_;
+  bool written_ = false;
+};
+
+}  // namespace pubsub::bench

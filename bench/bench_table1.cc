@@ -11,5 +11,5 @@
 #include "table_common.h"
 
 int main(int argc, char** argv) {
-  return pubsub::bench::RunBaselineTable(argc, argv, /*default_regionalism=*/0.4);
+  return pubsub::bench::RunBaselineTable(argc, argv, /*default_regionalism=*/0.4, "table1");
 }

@@ -7,5 +7,5 @@
 #include "table_common.h"
 
 int main(int argc, char** argv) {
-  return pubsub::bench::RunBaselineTable(argc, argv, /*default_regionalism=*/0.0);
+  return pubsub::bench::RunBaselineTable(argc, argv, /*default_regionalism=*/0.0, "table2");
 }

@@ -24,13 +24,14 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "runtime/delivery_runtime.h"
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 #include "workload/trace.h"
 
 namespace pubsub {
@@ -79,6 +80,11 @@ int Run(int argc, char** argv) {
     return nodes;
   };
 
+  bench::BenchReport report("throughput");
+  report.set_config("trace_events", static_cast<long long>(total));
+  report.set_config("subs", subs);
+  report.set_config("threads", threads);
+
   TextTable table({"events/s", "match ms", "unicast mean ms", "unicast p99 ms",
                    "unicast wait ms", "forgy mean ms", "forgy p99 ms",
                    "forgy wait ms"});
@@ -94,7 +100,7 @@ int Run(int argc, char** argv) {
     // Batch matching phase: interested sets + group decisions for the whole
     // trace, fanned out over the pool (pure per-event lookups into const
     // structures; slot writes only).  This is the matching delay of §4.6.
-    Stopwatch match_watch;
+    StopwatchClock match_watch;
     std::vector<std::vector<SubscriberId>> interested_of(trace.size());
     std::vector<MatchDecision> decision_of(trace.size());
     ParallelFor(
@@ -152,6 +158,10 @@ int Run(int argc, char** argv) {
         .cell(m.mean, 2)
         .cell(m.p99, 2)
         .cell(m.mean_wait, 2);
+    const std::string prefix = "rate" + std::to_string(static_cast<int>(rate));
+    report.add(prefix + "_match_ms", match_ms, "ms");
+    report.add(prefix + "_unicast_p99_ms", u.p99, "ms");
+    report.add(prefix + "_forgy_p99_ms", m.p99, "ms");
   }
   std::printf("end-to-end delivery latency vs publication rate "
               "(%zu-event trace, K=%zu, threads=%d):\n\n%s", total, K, threads,

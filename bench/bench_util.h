@@ -14,7 +14,7 @@
 #include "core/noloss.h"
 #include "sim/experiment.h"
 #include "sim/scenario.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 
 namespace pubsub::bench {
 
@@ -52,7 +52,7 @@ inline EvalResult EvaluateGridAlgorithm(Pipeline& p, const GridAlgorithm& algo,
                                         double threshold = 0.0) {
   const std::vector<ClusterCell> cells = p.grid.top_cells(max_cells);
   Rng rng(algo_seed);
-  Stopwatch watch;
+  StopwatchClock watch;
   const Assignment assignment = algo.run(cells, K, rng);
   EvalResult r;
   r.cluster_seconds = watch.elapsed_seconds();

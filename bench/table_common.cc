@@ -1,8 +1,10 @@
 #include "table_common.h"
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "sim/delivery.h"
 #include "sim/experiment.h"
 #include "sim/scenario.h"
@@ -22,12 +24,18 @@ struct RowSpec {
 
 }  // namespace
 
-int RunBaselineTable(int argc, char** argv, double default_regionalism) {
+int RunBaselineTable(int argc, char** argv, double default_regionalism,
+                     const char* bench_name) {
   const Flags flags(argc, argv);
   ConfigureThreadsFromFlags(flags);
   const auto num_events = static_cast<std::size_t>(flags.get_int("events", 400));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const double regionalism = flags.get_double("regionalism", default_regionalism);
+
+  BenchReport report(bench_name);
+  report.set_config("events", static_cast<long long>(num_events));
+  report.set_config("seed", static_cast<long long>(seed));
+  report.set_config("regionalism", std::to_string(regionalism));
 
   // The paper's row grid (Tables 1 and 2 share it modulo a few rows; we
   // print the union).
@@ -69,15 +77,23 @@ int RunBaselineTable(int argc, char** argv, double default_regionalism) {
     const auto events = SampleEvents(sim, *s.pub, num_events, rng);
     const BaselineCosts base = EvaluateBaselines(sim, events);
 
+    const char* dist =
+        row.dist == Section3Params::Tail::kUniform ? "uniform" : "gaussian";
     table.row()
         .cell(row.net_name)
         .cell(static_cast<long long>(row.subscriptions))
-        .cell(row.dist == Section3Params::Tail::kUniform ? "uniform" : "gaussian")
+        .cell(dist)
         .cell(base.unicast, 0)
         .cell(base.broadcast, 0)
         .cell(base.ideal, 0)
         .cell(base.unicast / base.ideal, 2)
         .cell(base.broadcast / base.ideal, 2);
+
+    const std::string key = std::string(row.net_name) + "_" +
+                            std::to_string(row.subscriptions) + "_" + dist;
+    report.add(key + "_unicast", base.unicast, "cost");
+    report.add(key + "_broadcast", base.broadcast, "cost");
+    report.add(key + "_ideal", base.ideal, "cost");
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("(costs are totals over %zu events; ratios are the shape "

@@ -6,7 +6,9 @@
 namespace pubsub::bench {
 
 // Parses --events/--seed/--regionalism flags and prints the baseline cost
-// table for the §3 row grid.  Returns a process exit code.
-int RunBaselineTable(int argc, char** argv, double default_regionalism);
+// table for the §3 row grid; also writes BENCH_<bench_name>.json (see
+// bench_report.h).  Returns a process exit code.
+int RunBaselineTable(int argc, char** argv, double default_regionalism,
+                     const char* bench_name);
 
 }  // namespace pubsub::bench

@@ -22,7 +22,7 @@
 #include "util/flags.h"
 #include "util/thread_pool.h"
 #include "util/table.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 
 int main(int argc, char** argv) {
   using namespace pubsub;
@@ -56,12 +56,12 @@ int main(int argc, char** argv) {
         mgr.update_subscriber(id, fresh.subscribers[static_cast<std::size_t>(id)].interest);
 
     // Warm path: the library's refresh.
-    Stopwatch warm_watch;
+    StopwatchClock warm_watch;
     const GroupManager::RefreshStats stats = mgr.refresh();
     const double warm_secs = warm_watch.elapsed_seconds();
 
     // Cold comparison: re-cluster the same cells from scratch.
-    Stopwatch cold_watch;
+    StopwatchClock cold_watch;
     const KMeansResult cold =
         KMeansCluster(mgr.grid().top_cells(opt.max_cells), K, {});
     const double cold_secs = cold_watch.elapsed_seconds();

@@ -21,7 +21,7 @@
 #include "util/flags.h"
 #include "util/thread_pool.h"
 #include "util/table.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 
 namespace {
 
@@ -55,7 +55,7 @@ void RunScenario(PublicationHotSpots spots, const Flags& flags) {
                                    : max_cells;
     const std::vector<ClusterCell> cells = grid.top_cells(budget);
     Rng rng(seed + 2);
-    Stopwatch watch;
+    StopwatchClock watch;
     const Assignment assignment = algo.run(cells, K, rng);
     const double secs = watch.elapsed_seconds();
     const GridMatcher matcher(grid, assignment, static_cast<int>(K));
@@ -71,7 +71,7 @@ void RunScenario(PublicationHotSpots spots, const Flags& flags) {
   }
 
   {
-    Stopwatch watch;
+    StopwatchClock watch;
     const NoLossResult noloss = NoLossCluster(s.workload, *s.pub);
     const double secs = watch.elapsed_seconds();
     const NoLossMatcher matcher(noloss, K);

@@ -25,33 +25,46 @@ std::uint64_t Fnv1a(const std::string& bytes) {
 
 Broker::Broker(Workload initial, const PublicationModel& pub,
                const Graph& network, const BrokerOptions& options, Clock* clock)
-    : pub_(&pub), network_(&network), options_(options), policy_(options.refresh) {
+    : pub_(&pub),
+      network_(&network),
+      options_(options),
+      policy_(options.refresh),
+      trace_(options.obs.trace_capacity) {
+  init_obs(options);
   mgr_ = std::make_unique<GroupManager>(std::move(initial), pub, options_.group);
-  runtime_ = std::make_unique<DeliveryRuntime>(network, options_.runtime);
+  runtime_ =
+      std::make_unique<DeliveryRuntime>(network, options_.runtime, metrics_);
   if (clock == nullptr) {
     owned_clock_ = std::make_unique<ManualClock>();
     clock = owned_clock_.get();
   }
   clock_ = clock;
   bootstrap_index();
+  update_derived_gauges();
   capture_checkpoint();
 }
 
 Broker::Broker(RestoreTag, const BrokerSnapshot& snapshot,
                const PublicationModel& pub, const Graph& network,
                const BrokerOptions& options, Clock* clock)
-    : pub_(&pub), network_(&network), options_(options), policy_(options.refresh) {
+    : pub_(&pub),
+      network_(&network),
+      options_(options),
+      policy_(options.refresh),
+      trace_(options.obs.trace_capacity) {
   if (static_cast<std::size_t>(snapshot.num_groups) != options.group.num_groups)
     throw std::invalid_argument(
         "Broker: snapshot group count (" + std::to_string(snapshot.num_groups) +
         ") does not match options (" +
         std::to_string(options.group.num_groups) + ")");
+  init_obs(options);
   // Adopt the snapshot's clustering verbatim (no re-clustering) along with
   // its warm/cold bookkeeping.
   mgr_ = std::make_unique<GroupManager>(
-      snapshot.workload, pub, options.group, snapshot.assignment,
+      snapshot.workload, pub, options_.group, snapshot.assignment,
       static_cast<std::size_t>(snapshot.churn_since_full_build));
-  runtime_ = std::make_unique<DeliveryRuntime>(network, options.runtime);
+  runtime_ =
+      std::make_unique<DeliveryRuntime>(network, options_.runtime, metrics_);
   runtime_->restore_queue_state(snapshot.queue_state);
   if (clock == nullptr) {
     owned_clock_ = std::make_unique<ManualClock>();
@@ -59,9 +72,156 @@ Broker::Broker(RestoreTag, const BrokerSnapshot& snapshot,
   }
   clock_ = clock;
   seq_ = snapshot.seq;
-  stats_ = snapshot.stats;
+  seed_stats(snapshot.stats);
   bootstrap_index();
+  update_derived_gauges();
   checkpoint_ = snapshot;
+}
+
+void Broker::init_obs(const BrokerOptions& options) {
+  metrics_ = options.obs.metrics;
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  // GroupManager and the matchers it builds share this broker's registry.
+  options_.group.metrics = metrics_;
+  trace_clock_ = options.obs.trace_clock;
+  if (trace_clock_ == nullptr) {
+    owned_trace_clock_ = std::make_unique<StopwatchClock>();
+    trace_clock_ = owned_trace_clock_.get();
+  }
+  trace_sample_ = options.obs.trace_sample;
+
+  MetricsRegistry& r = *metrics_;
+  c_commands_ = r.counter("broker_commands_total", "commands applied");
+  c_subscribes_ = r.counter("broker_subscribe_total", "subscribe commands");
+  c_unsubscribes_ =
+      r.counter("broker_unsubscribe_total", "unsubscribe commands");
+  c_updates_ = r.counter("broker_update_total", "update commands");
+  c_publishes_ = r.counter("broker_publish_total", "publish commands");
+  c_events_matched_ = r.counter("broker_events_matched_total",
+                                "publishes with >= 1 interested subscriber");
+  c_multicast_events_ = r.counter("broker_multicast_events_total",
+                                  "publishes delivered via a multicast group");
+  c_unicast_events_ = r.counter("broker_unicast_events_total",
+                                "publishes delivered purely by unicast");
+  c_messages_emitted_ = r.counter(
+      "broker_messages_emitted_total",
+      "group deliveries + unicast messages across all publishes");
+  c_wasted_ = r.counter("broker_wasted_deliveries_total",
+                        "group deliveries to uninterested subscribers");
+  c_refreshes_ = r.counter("broker_refresh_total", "re-clustering refreshes");
+  c_full_rebuilds_ = r.counter("broker_full_rebuild_total",
+                               "refreshes that fell back to a cold build");
+  c_journal_bytes_ = r.counter("broker_journal_bytes_total",
+                               "serialized bytes of the journal stream");
+  c_refresh_by_churn_ =
+      r.counter("broker_refresh_trigger_total{cause=\"churn\"}",
+                "refreshes fired by the churned-fraction trigger");
+  c_refresh_by_waste_ =
+      r.counter("broker_refresh_trigger_total{cause=\"waste\"}",
+                "refreshes fired by the waste-ratio trigger");
+  c_replayed_ = r.counter("broker_recovery_replayed_records",
+                          "journal tail records applied at recovery");
+  g_snapshot_bytes_ = r.gauge("broker_recovery_snapshot_bytes",
+                              "size of the bootstrap snapshot");
+  g_recovery_progress_ = r.gauge(
+      "broker_recovery_progress",
+      "fraction of the journal tail replayed (1 once recovery finished)");
+  g_seq_ = r.gauge("broker_seq", "last applied sequence number");
+  g_live_subscribers_ = r.gauge(
+      "broker_live_subscribers", "subscribers indexed by the live R-tree");
+  g_window_waste_ratio_ =
+      r.gauge("broker_window_waste_ratio",
+              "wasted/emitted over the current refresh-policy window");
+  g_waste_ratio_ =
+      r.gauge("broker_waste_ratio", "cumulative wasted/emitted messages");
+  g_cost_per_event_ = r.gauge("broker_cost_per_event",
+                              "cumulative messages emitted per publish");
+  h_interested_ =
+      r.histogram("broker_interested_count",
+                  "interested subscribers per publish",
+                  ExponentialBuckets(1.0, 2.0, 12));
+  h_group_size_ = r.histogram("broker_group_size",
+                              "members of the matched multicast group",
+                              ExponentialBuckets(1.0, 2.0, 12));
+  h_delivery_ms_ = r.histogram(
+      "broker_delivery_latency_ms",
+      "modelled publication->subscriber latency (per target)",
+      ExponentialBuckets(0.01, 2.0, 16));
+  h_queue_wait_ms_ =
+      r.histogram("broker_queue_wait_ms", "modelled broker queueing delay",
+                  ExponentialBuckets(0.01, 2.0, 16));
+  h_service_ms_ =
+      r.histogram("broker_service_ms", "modelled broker service time",
+                  ExponentialBuckets(0.01, 2.0, 16));
+  for (std::size_t s = 0; s < kNumPublishStages; ++s)
+    h_stage_[s] = r.histogram(
+        std::string("broker_stage_latency_ms{stage=\"") +
+            StageName(static_cast<PublishStage>(s)) + "\"}",
+        "trace-clock wall time per publish-path stage",
+        ExponentialBuckets(0.001, 4.0, 12), MetricStability::kRuntime);
+  h_journal_flush_ms_ = r.histogram(
+      "broker_journal_flush_ms",
+      "trace-clock time serializing + flushing one journal record",
+      ExponentialBuckets(0.001, 4.0, 12), MetricStability::kRuntime);
+}
+
+BrokerStats Broker::stats() const {
+  BrokerStats s;
+  s.commands_applied = c_commands_->value();
+  s.subscribes = c_subscribes_->value();
+  s.unsubscribes = c_unsubscribes_->value();
+  s.updates = c_updates_->value();
+  s.publishes = c_publishes_->value();
+  s.events_matched = c_events_matched_->value();
+  s.multicast_events = c_multicast_events_->value();
+  s.unicast_events = c_unicast_events_->value();
+  s.messages_emitted = c_messages_emitted_->value();
+  s.wasted_deliveries = c_wasted_->value();
+  s.refreshes = c_refreshes_->value();
+  s.full_rebuilds = c_full_rebuilds_->value();
+  s.journal_bytes = c_journal_bytes_->value();
+  s.snapshot_bytes = static_cast<std::uint64_t>(g_snapshot_bytes_->value());
+  s.replayed_records = c_replayed_->value();
+  return s;
+}
+
+void Broker::seed_stats(const BrokerStats& s) {
+  c_commands_->reset(s.commands_applied);
+  c_subscribes_->reset(s.subscribes);
+  c_unsubscribes_->reset(s.unsubscribes);
+  c_updates_->reset(s.updates);
+  c_publishes_->reset(s.publishes);
+  c_events_matched_->reset(s.events_matched);
+  c_multicast_events_->reset(s.multicast_events);
+  c_unicast_events_->reset(s.unicast_events);
+  c_messages_emitted_->reset(s.messages_emitted);
+  c_wasted_->reset(s.wasted_deliveries);
+  c_refreshes_->reset(s.refreshes);
+  c_full_rebuilds_->reset(s.full_rebuilds);
+  c_journal_bytes_->reset(s.journal_bytes);
+  // Recovery provenance describes *this* instance's bootstrap, not the
+  // snapshotted broker's; Recover() fills it in.
+  g_snapshot_bytes_->set(0.0);
+  c_replayed_->reset(0);
+}
+
+void Broker::update_derived_gauges() {
+  Set(g_seq_, static_cast<double>(seq_));
+  const std::uint64_t emitted = policy_.window_emitted();
+  Set(g_window_waste_ratio_,
+      emitted == 0 ? 0.0
+                   : static_cast<double>(policy_.window_wasted()) /
+                         static_cast<double>(emitted));
+  const std::uint64_t pubs = c_publishes_->value();
+  const std::uint64_t msgs = c_messages_emitted_->value();
+  Set(g_cost_per_event_,
+      pubs == 0 ? 0.0 : static_cast<double>(msgs) / static_cast<double>(pubs));
+  Set(g_waste_ratio_, msgs == 0 ? 0.0
+                                : static_cast<double>(c_wasted_->value()) /
+                                      static_cast<double>(msgs));
 }
 
 // Bulk-load the live index from the current table.  Tombstoned and
@@ -78,6 +238,7 @@ void Broker::bootstrap_index() {
     items.emplace_back(clipped, static_cast<int>(i));
     indexed_rect_[i] = clipped;
   }
+  Set(g_live_subscribers_, static_cast<double>(items.size()));
   live_index_ = RTree::BulkLoad(std::move(items));
 }
 
@@ -92,19 +253,26 @@ std::unique_ptr<Broker> Broker::Recover(const BrokerSnapshot& snapshot,
   {
     std::ostringstream ss;
     WriteBrokerSnapshot(ss, snapshot);
-    b->stats_.snapshot_bytes = ss.str().size();
+    Set(b->g_snapshot_bytes_, static_cast<double>(ss.str().size()));
   }
-  b->stats_.replayed_records = 0;
-  b->checkpoint_.stats = b->stats_;
+  b->checkpoint_.stats = b->stats();
+  std::size_t tail = 0;
+  for (const JournalRecord& rec : journal)
+    if (rec.seq > snapshot.seq) ++tail;
+  std::size_t replayed = 0;
   for (const JournalRecord& rec : journal) {
     if (rec.seq <= snapshot.seq) continue;  // already in the snapshot
     if (rec.seq != b->seq_ + 1)
       throw std::runtime_error("Broker::Recover: journal gap (expected seq " +
                                std::to_string(b->seq_ + 1) + ", got " +
                                std::to_string(rec.seq) + ")");
-    ++b->stats_.replayed_records;
+    Inc(b->c_replayed_);
     b->apply_record(rec);
+    ++replayed;
+    Set(b->g_recovery_progress_, static_cast<double>(replayed) /
+                                     static_cast<double>(tail));
   }
+  Set(b->g_recovery_progress_, 1.0);
   return b;
 }
 
@@ -170,18 +338,27 @@ void Broker::apply(const JournalRecord& rec) {
 PublishOutcome Broker::apply_record(const JournalRecord& rec) {
   if (rec.seq != seq_ + 1)
     throw std::runtime_error("Broker: non-contiguous sequence number");
+  const bool sampled = trace_sample_ > 0 && rec.seq % trace_sample_ == 0;
   // Write-ahead: the record is durable (and its size accounted) before the
   // state mutation.  Serialization also validates the command against the
   // event space.
   {
+    const double flush_start = trace_clock_->now_ms();
     std::ostringstream ss;
     WriteJournalRecord(ss, rec, mgr_->workload().space.dims());
     const std::string text = ss.str();
-    stats_.journal_bytes += text.size();
+    Inc(c_journal_bytes_, text.size());
     if (journal_ != nullptr) {
       *journal_ << text;
       journal_->flush();
     }
+    const double flush_ms = trace_clock_->now_ms() - flush_start;
+    Observe(h_journal_flush_ms_, flush_ms);
+    Observe(h_stage_[static_cast<std::size_t>(PublishStage::kJournalFlush)],
+            flush_ms);
+    if (sampled)
+      trace_.record({rec.seq, PublishStage::kJournalFlush, flush_start,
+                     flush_ms});
   }
   seq_ = rec.seq;
   last_time_ms_ = rec.cmd.time_ms;
@@ -193,8 +370,9 @@ PublishOutcome Broker::apply_record(const JournalRecord& rec) {
     apply_churn(rec.cmd);
   }
   out.seq = seq_;
-  ++stats_.commands_applied;
+  Inc(c_commands_);
   maybe_refresh(&out);
+  update_derived_gauges();
   if (listener_) listener_(rec);
   return out;
 }
@@ -204,19 +382,19 @@ void Broker::apply_churn(const BrokerCommand& cmd) {
     case BrokerCommandType::kSubscribe: {
       const SubscriberId id = mgr_->add_subscriber(cmd.node, cmd.interest);
       index_insert(id, cmd.interest);
-      ++stats_.subscribes;
+      Inc(c_subscribes_);
       break;
     }
     case BrokerCommandType::kUnsubscribe:
       mgr_->remove_subscriber(cmd.subscriber);
       index_erase(cmd.subscriber);
-      ++stats_.unsubscribes;
+      Inc(c_unsubscribes_);
       break;
     case BrokerCommandType::kUpdate:
       mgr_->update_subscriber(cmd.subscriber, cmd.interest);
       index_erase(cmd.subscriber);
       index_insert(cmd.subscriber, cmd.interest);
-      ++stats_.updates;
+      Inc(c_updates_);
       break;
     case BrokerCommandType::kPublish:
       break;  // handled by apply_publish
@@ -224,13 +402,26 @@ void Broker::apply_churn(const BrokerCommand& cmd) {
 }
 
 PublishOutcome Broker::apply_publish(const BrokerCommand& cmd) {
+  // Stage spans: histograms always, the ring only for sampled commands
+  // (seq_ already carries this record's number).
+  const bool sampled = trace_sample_ > 0 && seq_ % trace_sample_ == 0;
+  double mark = trace_clock_->now_ms();
+  const auto stage_done = [&](PublishStage stage) {
+    const double now = trace_clock_->now_ms();
+    Observe(h_stage_[static_cast<std::size_t>(stage)], now - mark);
+    if (sampled) trace_.record({seq_, stage, mark, now - mark});
+    mark = now;
+  };
+
   PublishOutcome out;
   const std::vector<SubscriberId> inter = interested(cmd.point);
   out.interested = inter.size();
   MatchDecision d = mgr_->matcher().match(cmd.point, inter);
+  stage_done(PublishStage::kMatch);
 
-  ++stats_.publishes;
-  if (!inter.empty()) ++stats_.events_matched;
+  Inc(c_publishes_);
+  if (!inter.empty()) Inc(c_events_matched_);
+  Observe(h_interested_, static_cast<double>(inter.size()));
 
   if (d.group_id >= 0) {
     out.group_id = d.group_id;
@@ -243,7 +434,9 @@ PublishOutcome Broker::apply_publish(const BrokerCommand& cmd) {
                         std::back_inserter(out.unicast_targets));
     out.wasted =
         d.group_members.size() - (inter.size() - out.unicast_targets.size());
-    ++stats_.multicast_events;
+    Inc(c_multicast_events_);
+    Observe(h_group_size_, static_cast<double>(out.group_size));
+    stage_done(PublishStage::kGroupSelection);
     out.timing = runtime_->deliver_multicast(cmd.time_ms, cmd.node,
                                              nodes_of(d.group_members));
     if (!out.unicast_targets.empty()) {
@@ -256,25 +449,34 @@ PublishOutcome Broker::apply_publish(const BrokerCommand& cmd) {
     }
   } else {
     out.unicast_targets = std::move(d.unicast_targets);
-    ++stats_.unicast_events;
+    Inc(c_unicast_events_);
+    stage_done(PublishStage::kGroupSelection);
     out.timing = runtime_->deliver_unicast(cmd.time_ms, cmd.node,
                                            nodes_of(out.unicast_targets));
   }
+  stage_done(PublishStage::kDeliveryPlan);
+
+  Observe(h_queue_wait_ms_, out.timing.queue_wait_ms);
+  Observe(h_service_ms_, out.timing.service_ms);
+  for (const double latency : out.timing.latencies_ms)
+    Observe(h_delivery_ms_, latency);
 
   const std::size_t emitted = out.group_size + out.unicast_targets.size();
-  stats_.messages_emitted += emitted;
-  stats_.wasted_deliveries += out.wasted;
+  Inc(c_messages_emitted_, emitted);
+  Inc(c_wasted_, out.wasted);
   policy_.on_publish(emitted, out.wasted);
   return out;
 }
 
 void Broker::maybe_refresh(PublishOutcome* outcome) {
-  if (!policy_.should_refresh(mgr_->pending_churn(),
-                              mgr_->workload().num_subscribers()))
-    return;
+  const RefreshTrigger trig =
+      policy_.trigger(mgr_->pending_churn(), mgr_->workload().num_subscribers());
+  if (trig == RefreshTrigger::kNone) return;
+  Inc(trig == RefreshTrigger::kChurn ? c_refresh_by_churn_
+                                     : c_refresh_by_waste_);
   const GroupManager::RefreshStats rs = mgr_->refresh();
-  ++stats_.refreshes;
-  if (rs.full_rebuild) ++stats_.full_rebuilds;
+  Inc(c_refreshes_);
+  if (rs.full_rebuild) Inc(c_full_rebuilds_);
   policy_.on_refresh();
   capture_checkpoint();
   if (outcome != nullptr) outcome->refreshed = true;
@@ -288,7 +490,7 @@ void Broker::capture_checkpoint() {
   checkpoint_.assignment = mgr_->assignment();
   checkpoint_.churn_since_full_build = mgr_->churn_since_full_build();
   checkpoint_.queue_state = runtime_->queue_state();
-  checkpoint_.stats = stats_;
+  checkpoint_.stats = stats();
 }
 
 std::uint64_t Broker::write_snapshot(std::ostream& os) const {
@@ -331,6 +533,7 @@ void Broker::index_insert(SubscriberId id, const Rect& interest) {
   }
   live_index_.insert(clipped, static_cast<int>(id));
   indexed_rect_[slot] = clipped;
+  if (g_live_subscribers_ != nullptr) g_live_subscribers_->add(1.0);
 }
 
 void Broker::index_erase(SubscriberId id) {
@@ -338,6 +541,7 @@ void Broker::index_erase(SubscriberId id) {
   if (slot >= indexed_rect_.size() || indexed_rect_[slot].dims() == 0) return;
   live_index_.erase(indexed_rect_[slot], static_cast<int>(id));
   indexed_rect_[slot] = Rect();
+  if (g_live_subscribers_ != nullptr) g_live_subscribers_->add(-1.0);
 }
 
 std::vector<NodeId> Broker::nodes_of(std::span<const SubscriberId> subs) const {

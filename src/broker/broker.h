@@ -41,14 +41,37 @@
 #include "broker/types.h"
 #include "core/group_manager.h"
 #include "index/rtree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/delivery_runtime.h"
 
 namespace pubsub {
+
+// Telemetry wiring (all optional; the broker is fully instrumented either
+// way — with no registry supplied it owns a private one, so counters from
+// two brokers in a process never mix).
+struct BrokerObsOptions {
+  // Registry receiving every broker/groups/matcher/runtime metric; nullptr
+  // = broker-owned.  Must outlive the broker when supplied.
+  MetricsRegistry* metrics = nullptr;
+  // Clock for stage spans (match / group-selection / delivery-plan /
+  // journal-flush).  nullptr = owned StopwatchClock (wall time); tests
+  // inject a ManualClock for deterministic traces.  This is distinct from
+  // the broker's command clock: command stamps are replayed state, stage
+  // durations are measurements.
+  Clock* trace_clock = nullptr;
+  // Ring capacity for retained spans (oldest overwritten beyond it).
+  std::size_t trace_capacity = 512;
+  // Record spans for every N-th command (0 disables the ring; stage
+  // latency histograms are always fed).
+  std::uint64_t trace_sample = 0;
+};
 
 struct BrokerOptions {
   GroupManagerOptions group;
   RefreshPolicyOptions refresh;
   RuntimeParams runtime;
+  BrokerObsOptions obs;
 };
 
 // Per-publish outcome: the match decision (with the caller-side unicast
@@ -108,7 +131,11 @@ class Broker {
 
   // --- state ------------------------------------------------------------
   std::uint64_t seq() const { return seq_; }
-  const BrokerStats& stats() const { return stats_; }
+  // Service counters, materialized from the metrics registry (the registry
+  // is the single source of truth; BrokerStats remains the serialized
+  // snapshot form).  Returned by value — binding a const reference at call
+  // sites stays valid through lifetime extension.
+  BrokerStats stats() const;
   const GroupManager& groups() const { return *mgr_; }
   const Workload& workload() const { return mgr_->workload(); }
   double last_command_time_ms() const { return last_time_ms_; }
@@ -126,6 +153,13 @@ class Broker {
   // brokers will make identical decisions from here on.
   std::uint64_t state_digest() const;
 
+  // --- telemetry --------------------------------------------------------
+  // The registry serving this broker (owned unless options.obs.metrics was
+  // supplied).  scrape(false) yields the deterministic subset.
+  MetricsRegistry& metrics() const { return *metrics_; }
+  // Retained publish-path spans (empty unless trace_sample > 0).
+  const TraceRing& trace() const { return trace_; }
+
  private:
   struct RestoreTag {};
   Broker(RestoreTag, const BrokerSnapshot& snapshot,
@@ -142,6 +176,9 @@ class Broker {
   void index_insert(SubscriberId id, const Rect& interest);
   void index_erase(SubscriberId id);
   std::vector<NodeId> nodes_of(std::span<const SubscriberId> subs) const;
+  void init_obs(const BrokerOptions& options);
+  void seed_stats(const BrokerStats& s);
+  void update_derived_gauges();
 
   const PublicationModel* pub_;
   const Graph* network_;
@@ -161,8 +198,48 @@ class Broker {
   std::function<void(const JournalRecord&)> listener_;
   std::uint64_t seq_ = 0;
   double last_time_ms_ = 0.0;
-  BrokerStats stats_;
   BrokerSnapshot checkpoint_;
+
+  // --- telemetry (set once by init_obs, then never null) ---------------
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<StopwatchClock> owned_trace_clock_;
+  Clock* trace_clock_ = nullptr;
+  TraceRing trace_;
+  std::uint64_t trace_sample_ = 0;
+
+  // Deterministic command counters (BrokerStats is a view over these).
+  Counter* c_commands_ = nullptr;
+  Counter* c_subscribes_ = nullptr;
+  Counter* c_unsubscribes_ = nullptr;
+  Counter* c_updates_ = nullptr;
+  Counter* c_publishes_ = nullptr;
+  Counter* c_events_matched_ = nullptr;
+  Counter* c_multicast_events_ = nullptr;
+  Counter* c_unicast_events_ = nullptr;
+  Counter* c_messages_emitted_ = nullptr;
+  Counter* c_wasted_ = nullptr;
+  Counter* c_refreshes_ = nullptr;
+  Counter* c_full_rebuilds_ = nullptr;
+  Counter* c_journal_bytes_ = nullptr;
+  Counter* c_refresh_by_churn_ = nullptr;
+  Counter* c_refresh_by_waste_ = nullptr;
+  Counter* c_replayed_ = nullptr;
+  Gauge* g_snapshot_bytes_ = nullptr;
+  Gauge* g_recovery_progress_ = nullptr;
+  Gauge* g_seq_ = nullptr;
+  Gauge* g_live_subscribers_ = nullptr;
+  Gauge* g_window_waste_ratio_ = nullptr;
+  Gauge* g_waste_ratio_ = nullptr;
+  Gauge* g_cost_per_event_ = nullptr;
+  Histogram* h_interested_ = nullptr;
+  Histogram* h_group_size_ = nullptr;
+  Histogram* h_delivery_ms_ = nullptr;
+  Histogram* h_queue_wait_ms_ = nullptr;
+  Histogram* h_service_ms_ = nullptr;
+  // Wall-clock (kRuntime) stage spans, indexed by PublishStage.
+  Histogram* h_stage_[kNumPublishStages] = {};
+  Histogram* h_journal_flush_ms_ = nullptr;
 };
 
 }  // namespace pubsub

@@ -1,33 +1,6 @@
-// Pluggable time source for the broker service layer.
-//
-// The broker stamps every command with `clock->now_ms()` at submission and
-// journals the stamp, so time is an *input* to the deterministic state
-// machine rather than ambient state: replay and replication apply recorded
-// stamps and reconstruct queueing behaviour bit-for-bit.  Tests and the
-// trace-replay driver use ManualClock, advanced to each trace timestamp.
+// Moved to obs/clock.h so the telemetry layer (publish-path tracing, bench
+// stopwatches) can share the Clock family without depending on the broker.
+// This forwarding header keeps existing includes working.
 #pragma once
 
-#include <algorithm>
-
-namespace pubsub {
-
-class Clock {
- public:
-  virtual ~Clock() = default;
-  virtual double now_ms() = 0;
-};
-
-// Explicitly advanced clock; never moves backwards.
-class ManualClock final : public Clock {
- public:
-  explicit ManualClock(double start_ms = 0.0) : now_(start_ms) {}
-
-  double now_ms() override { return now_; }
-  void advance(double delta_ms) { if (delta_ms > 0.0) now_ += delta_ms; }
-  void advance_to(double t_ms) { now_ = std::max(now_, t_ms); }
-
- private:
-  double now_;
-};
-
-}  // namespace pubsub
+#include "obs/clock.h"

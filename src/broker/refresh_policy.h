@@ -31,6 +31,11 @@ struct RefreshPolicyOptions {
   std::size_t min_messages = 200;
 };
 
+// Which trigger fired (for telemetry: the broker counts refreshes by
+// cause).  Churn is checked first, so a window that trips both reports
+// kChurn — the cheaper, more direct signal.
+enum class RefreshTrigger { kNone, kChurn, kWaste };
+
 class RefreshPolicy {
  public:
   explicit RefreshPolicy(const RefreshPolicyOptions& options = {})
@@ -50,17 +55,21 @@ class RefreshPolicy {
     window_wasted_ = 0;
   }
 
-  bool should_refresh(std::size_t pending_churn, std::size_t table_size) const {
-    if (pending_churn == 0 || table_size == 0) return false;
+  RefreshTrigger trigger(std::size_t pending_churn, std::size_t table_size) const {
+    if (pending_churn == 0 || table_size == 0) return RefreshTrigger::kNone;
     if (options_.churn_fraction > 0.0 &&
         static_cast<double>(pending_churn) >=
             options_.churn_fraction * static_cast<double>(table_size))
-      return true;
+      return RefreshTrigger::kChurn;
     if (options_.waste_ratio > 0.0 && window_emitted_ >= options_.min_messages &&
         static_cast<double>(window_wasted_) >=
             options_.waste_ratio * static_cast<double>(window_emitted_))
-      return true;
-    return false;
+      return RefreshTrigger::kWaste;
+    return RefreshTrigger::kNone;
+  }
+
+  bool should_refresh(std::size_t pending_churn, std::size_t table_size) const {
+    return trigger(pending_churn, table_size) != RefreshTrigger::kNone;
   }
 
   std::size_t window_emitted() const { return window_emitted_; }

@@ -11,7 +11,9 @@ GroupManager::GroupManager(Workload workload, const PublicationModel& pub,
     : workload_(std::move(workload)), pub_(&pub), options_(options) {
   if (options_.num_groups == 0)
     throw std::invalid_argument("GroupManager: num_groups must be positive");
+  init_metrics();
   rebuild(/*warm=*/false);
+  publish_churn_gauges();
 }
 
 GroupManager::GroupManager(Workload workload, const PublicationModel& pub,
@@ -24,6 +26,7 @@ GroupManager::GroupManager(Workload workload, const PublicationModel& pub,
       churn_since_full_build_(churn_since_full_build) {
   if (options_.num_groups == 0)
     throw std::invalid_argument("GroupManager: num_groups must be positive");
+  init_metrics();
   grid_ = std::make_unique<Grid>(workload_, *pub_);
   const std::size_t num_cells = grid_->top_cells(options_.max_cells).size();
   if (assignment.size() != num_cells)
@@ -33,6 +36,36 @@ GroupManager::GroupManager(Workload workload, const PublicationModel& pub,
         std::to_string(num_cells) + " cells)");
   assignment_ = std::move(assignment);
   make_matcher(num_cells);
+  publish_churn_gauges();
+}
+
+void GroupManager::init_metrics() {
+  MetricsRegistry* m = options_.metrics;
+  if (m == nullptr) return;
+  c_refreshes_warm_ = m->counter("groups_refresh_warm_total",
+                                 "warm (incremental) re-clustering refreshes");
+  c_refreshes_cold_ = m->counter("groups_refresh_cold_total",
+                                 "cold (full rebuild) refreshes");
+  g_pending_churn_ = m->gauge("groups_pending_churn",
+                              "churn commands recorded since the last refresh");
+  g_churn_since_full_ =
+      m->gauge("groups_churn_since_full_build",
+               "churn accumulated since the last cold build");
+  g_last_churned_ = m->gauge("groups_refresh_last_churned",
+                             "churn absorbed by the most recent refresh");
+  g_last_iterations_ = m->gauge("groups_refresh_last_iterations",
+                                "k-means passes run by the most recent rebuild");
+  g_clustered_cells_ = m->gauge("groups_clustered_cells",
+                                "hyper-cells covered by the live clustering");
+  g_table_size_ =
+      m->gauge("groups_table_size", "subscription table slots (incl. tombstones)");
+}
+
+void GroupManager::publish_churn_gauges() {
+  Set(g_pending_churn_, static_cast<double>(pending_churn_));
+  Set(g_churn_since_full_, static_cast<double>(churn_since_full_build_));
+  Set(g_table_size_, static_cast<double>(workload_.num_subscribers()));
+  Set(g_clustered_cells_, static_cast<double>(assignment_.size()));
 }
 
 SubscriberId GroupManager::add_subscriber(NodeId node, const Rect& interest) {
@@ -43,6 +76,7 @@ SubscriberId GroupManager::add_subscriber(NodeId node, const Rect& interest) {
   s.interest = interest;
   workload_.subscribers.push_back(std::move(s));
   ++pending_churn_;
+  publish_churn_gauges();
   return static_cast<SubscriberId>(workload_.subscribers.size() - 1);
 }
 
@@ -53,6 +87,7 @@ void GroupManager::update_subscriber(SubscriberId id, const Rect& interest) {
     throw std::invalid_argument("GroupManager: interest dimensionality mismatch");
   workload_.subscribers[static_cast<std::size_t>(id)].interest = interest;
   ++pending_churn_;
+  publish_churn_gauges();
 }
 
 void GroupManager::remove_subscriber(SubscriberId id) {
@@ -62,6 +97,7 @@ void GroupManager::remove_subscriber(SubscriberId id) {
   workload_.subscribers[static_cast<std::size_t>(id)].interest =
       Rect(std::vector<Interval>(workload_.space.dims(), Interval()));
   ++pending_churn_;
+  publish_churn_gauges();
 }
 
 GroupManager::RefreshStats GroupManager::refresh() {
@@ -77,6 +113,11 @@ GroupManager::RefreshStats GroupManager::refresh() {
   rebuild(warm);
   if (!warm) churn_since_full_build_ = 0;
   stats.iterations = last_iterations_;
+
+  Inc(warm ? c_refreshes_warm_ : c_refreshes_cold_);
+  Set(g_last_churned_, static_cast<double>(stats.churned));
+  Set(g_last_iterations_, static_cast<double>(stats.iterations));
+  publish_churn_gauges();
   return stats;
 }
 
@@ -126,7 +167,7 @@ void GroupManager::make_matcher(std::size_t num_cells) {
       *grid_, assignment_,
       static_cast<int>(std::min<std::size_t>(options_.num_groups,
                                              std::max<std::size_t>(num_cells, 1))),
-      options_.matcher_threshold);
+      options_.matcher_threshold, options_.metrics);
 }
 
 }  // namespace pubsub

@@ -40,6 +40,7 @@
 #include "core/grid.h"
 #include "core/kmeans.h"
 #include "core/matching.h"
+#include "obs/metrics.h"
 #include "workload/publication_model.h"
 #include "workload/types.h"
 
@@ -55,6 +56,10 @@ struct GroupManagerOptions {
   // population churned since the last full build.
   double full_rebuild_fraction = 0.5;
   double matcher_threshold = 0.0;
+  // Telemetry sink (nullable).  The manager publishes churn/refresh
+  // gauges + counters here and hands the registry to every matcher it
+  // builds; the broker injects its per-instance registry.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class GroupManager {
@@ -101,6 +106,8 @@ class GroupManager {
  private:
   void rebuild(bool warm);
   void make_matcher(std::size_t num_cells);
+  void init_metrics();
+  void publish_churn_gauges();
 
   Workload workload_;
   const PublicationModel* pub_;
@@ -111,6 +118,16 @@ class GroupManager {
   std::size_t pending_churn_ = 0;
   std::size_t churn_since_full_build_ = 0;
   std::size_t last_iterations_ = 0;
+
+  // Telemetry (nullable; see obs/metrics.h).
+  Counter* c_refreshes_warm_ = nullptr;
+  Counter* c_refreshes_cold_ = nullptr;
+  Gauge* g_pending_churn_ = nullptr;
+  Gauge* g_churn_since_full_ = nullptr;
+  Gauge* g_last_churned_ = nullptr;
+  Gauge* g_last_iterations_ = nullptr;
+  Gauge* g_clustered_cells_ = nullptr;
+  Gauge* g_table_size_ = nullptr;
 };
 
 }  // namespace pubsub

@@ -6,8 +6,24 @@
 namespace pubsub {
 
 GridMatcher::GridMatcher(const Grid& grid, const Assignment& assignment,
-                         int num_groups, double min_interest_fraction)
+                         int num_groups, double min_interest_fraction,
+                         MetricsRegistry* metrics)
     : grid_(&grid), min_interest_fraction_(min_interest_fraction) {
+  if (metrics != nullptr) {
+    c_lookups_ = metrics->counter("matcher_lookups_total",
+                                  "match() calls against the grid matcher");
+    c_cells_probed_ = metrics->counter(
+        "matcher_cells_probed_total", "grid cells located for event lookups");
+    c_hyper_hits_ = metrics->counter(
+        "matcher_hyper_cell_hits_total",
+        "lookups whose cell belongs to a clustered hyper-cell");
+    c_candidates_ = metrics->counter(
+        "matcher_group_candidates_total",
+        "lookups that produced a candidate multicast group");
+    c_confirmed_ = metrics->counter(
+        "matcher_group_confirmed_total",
+        "candidates that cleared the interest threshold (multicast chosen)");
+  }
   if (assignment.size() > grid.hyper_cells().size())
     throw std::invalid_argument("GridMatcher: assignment larger than hyper-cell set");
   if (num_groups < 0) throw std::invalid_argument("GridMatcher: negative group count");
@@ -34,11 +50,15 @@ GridMatcher::GridMatcher(const Grid& grid, const Assignment& assignment,
 MatchDecision GridMatcher::match(const Point& p,
                                  std::span<const SubscriberId> interested) const {
   MatchDecision d;
+  Inc(c_lookups_);
+  Inc(c_cells_probed_);
   const std::int64_t cell = grid_->cell_of(p);
   const int hyper = grid_->hyper_cell_of(cell);
   const int g = hyper >= 0 ? group_of_hyper_[static_cast<std::size_t>(hyper)] : -1;
+  if (hyper >= 0) Inc(c_hyper_hits_);
 
   if (g >= 0) {
+    Inc(c_candidates_);
     const auto& members = groups_[static_cast<std::size_t>(g)];
     // Every interested subscriber intersects the event's cell, hence is in
     // the matched group; the fraction decides multicast vs unicast.
@@ -47,6 +67,7 @@ MatchDecision GridMatcher::match(const Point& p,
                         : static_cast<double>(interested.size()) /
                               static_cast<double>(members.size());
     if (!members.empty() && fraction >= min_interest_fraction_) {
+      Inc(c_confirmed_);
       d.group_id = g;
       d.group_members = members;
       return d;
@@ -57,8 +78,17 @@ MatchDecision GridMatcher::match(const Point& p,
 }
 
 NoLossMatcher::NoLossMatcher(const NoLossResult& result, std::size_t num_groups,
-                             NoLossMatcherOptions options)
+                             NoLossMatcherOptions options,
+                             MetricsRegistry* metrics)
     : options_(options) {
+  if (metrics != nullptr) {
+    c_lookups_ = metrics->counter("noloss_lookups_total",
+                                  "match() calls against the no-loss matcher");
+    c_areas_hit_ = metrics->counter(
+        "noloss_areas_hit_total", "group rectangles stabbed by event lookups");
+    c_confirmed_ = metrics->counter("noloss_group_confirmed_total",
+                                    "lookups that chose a multicast group");
+  }
   const std::size_t n = std::min(num_groups, result.groups.size());
   // Rank the pool under the selection rule instead of trusting the caller's
   // ordering: NoLossCluster emits a weight-sorted pool, but hand-built or
@@ -93,9 +123,11 @@ NoLossMatcher::NoLossMatcher(const NoLossResult& result, std::size_t num_groups,
 MatchDecision NoLossMatcher::match(const Point& p,
                                    std::span<const SubscriberId> interested) const {
   MatchDecision d;
+  Inc(c_lookups_);
 
   std::vector<int> hits;
   rect_index_.stab(p, hits);
+  Inc(c_areas_hit_, hits.size());
   int best = -1;
   const bool by_members = options_.pick == NoLossMatcherOptions::Pick::kMembers;
   for (const int g : hits) {
@@ -117,6 +149,7 @@ MatchDecision NoLossMatcher::match(const Point& p,
   }
 
   const NoLossGroup& grp = groups_[static_cast<std::size_t>(best)];
+  Inc(c_confirmed_);
   d.group_id = best;
   d.group_members = members_[static_cast<std::size_t>(best)];
   // Interested subscribers outside u(s) still get unicasts (Fig. 6).

@@ -26,6 +26,7 @@
 #include "core/grid.h"
 #include "core/noloss.h"
 #include "index/rtree.h"
+#include "obs/metrics.h"
 #include "workload/types.h"
 
 namespace pubsub {
@@ -51,8 +52,14 @@ class GridMatcher {
   // `min_interest_fraction` is the Fig. 5 threshold: multicast only when
   // |interested ∩ group| / |group| >= threshold.  0 reproduces the paper's
   // base behaviour (always multicast when a group is matched).
+  //
+  // With `metrics`, every match() updates the matcher_* counter family
+  // (cells probed, hyper-cell hits, group candidates vs. confirmed
+  // multicasts).  The sharded counters tolerate concurrent match() calls
+  // from the batch-matching parallel path.
   GridMatcher(const Grid& grid, const Assignment& assignment, int num_groups,
-              double min_interest_fraction = 0.0);
+              double min_interest_fraction = 0.0,
+              MetricsRegistry* metrics = nullptr);
 
   int num_groups() const { return static_cast<int>(groups_.size()); }
   std::span<const SubscriberId> group_members(int g) const { return groups_[static_cast<std::size_t>(g)]; }
@@ -66,6 +73,12 @@ class GridMatcher {
   std::vector<int> group_of_hyper_;  // -1 = unclustered
   std::vector<std::vector<SubscriberId>> groups_;
   double min_interest_fraction_;
+  // Telemetry (all nullable; see obs/metrics.h).
+  Counter* c_lookups_ = nullptr;
+  Counter* c_cells_probed_ = nullptr;
+  Counter* c_hyper_hits_ = nullptr;
+  Counter* c_candidates_ = nullptr;
+  Counter* c_confirmed_ = nullptr;
 };
 
 // Matching for the No-Loss algorithm (Fig. 6).
@@ -88,7 +101,8 @@ class NoLossMatcher {
  public:
   // Uses the `num_groups` best areas of `result` under the selection rule.
   NoLossMatcher(const NoLossResult& result, std::size_t num_groups,
-                NoLossMatcherOptions options = {});
+                NoLossMatcherOptions options = {},
+                MetricsRegistry* metrics = nullptr);
 
   int num_groups() const { return static_cast<int>(groups_.size()); }
   std::span<const SubscriberId> group_members(int g) const { return members_[static_cast<std::size_t>(g)]; }
@@ -104,6 +118,9 @@ class NoLossMatcher {
   std::vector<std::vector<SubscriberId>> members_;
   RTree rect_index_;
   NoLossMatcherOptions options_;
+  Counter* c_lookups_ = nullptr;
+  Counter* c_areas_hit_ = nullptr;
+  Counter* c_confirmed_ = nullptr;
 };
 
 }  // namespace pubsub

@@ -1,6 +1,7 @@
 #include "io/serialize.h"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -524,6 +525,138 @@ JournalFile ReadJournal(std::istream& is) {
     jf.records.push_back(std::move(rec));
   }
   return jf;
+}
+
+// ---------------------------------------------------------------- metrics
+
+namespace {
+
+// "%.17g" everywhere in the metrics writers: exact round-trip and, more
+// importantly for the --threads stability contract, one fixed spelling per
+// double value.
+std::string MetricDouble(double x) {
+  if (x == std::numeric_limits<double>::infinity()) return "+Inf";
+  if (x == -std::numeric_limits<double>::infinity()) return "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  return buf;
+}
+
+// Splits "name{a=\"b\"}" into base name and inner label list ("" if none).
+std::pair<std::string, std::string> SplitLabels(const std::string& full) {
+  const std::size_t brace = full.find('{');
+  if (brace == std::string::npos || full.back() != '}')
+    return {full, std::string()};
+  return {full.substr(0, brace),
+          full.substr(brace + 1, full.size() - brace - 2)};
+}
+
+// JSON has no literal for infinities; quote them.
+std::string JsonNumber(double x) {
+  if (!std::isfinite(x)) return "\"" + MetricDouble(x) + "\"";
+  return MetricDouble(x);
+}
+
+std::string WithLabel(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  return "{" + labels + "," + extra + "}";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void WriteMetricsText(std::ostream& os, const MetricsSnapshot& snap) {
+  std::string last_base;
+  for (const MetricSample& s : snap.samples) {
+    const auto [base, labels] = SplitLabels(s.info.name);
+    if (base != last_base) {
+      if (!s.info.help.empty())
+        os << "# HELP " << base << ' ' << s.info.help << '\n';
+      os << "# TYPE " << base << ' ' << KindName(s.info.kind) << '\n';
+      last_base = base;
+    }
+    switch (s.info.kind) {
+      case MetricKind::kCounter:
+        os << s.info.name << ' ' << s.counter_value << '\n';
+        break;
+      case MetricKind::kGauge:
+        os << s.info.name << ' ' << MetricDouble(s.gauge_value) << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < s.hist_buckets.size(); ++b) {
+          cum += s.hist_buckets[b];
+          const std::string le = b < s.hist_bounds.size()
+                                     ? MetricDouble(s.hist_bounds[b])
+                                     : "+Inf";
+          os << base << "_bucket"
+             << WithLabel(labels, "le=\"" + le + "\"") << ' ' << cum << '\n';
+        }
+        os << base << "_sum" << (labels.empty() ? "" : "{" + labels + "}")
+           << ' ' << MetricDouble(s.hist_sum) << '\n';
+        os << base << "_count" << (labels.empty() ? "" : "{" + labels + "}")
+           << ' ' << s.hist_count << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void WriteMetricsJson(std::ostream& os, const MetricsSnapshot& snap) {
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& s : snap.samples) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\"" << JsonEscape(s.info.name) << "\",\"kind\":\""
+       << KindName(s.info.kind) << "\",\"stability\":\""
+       << (s.info.stability == MetricStability::kDeterministic ? "deterministic"
+                                                               : "runtime")
+       << '"';
+    switch (s.info.kind) {
+      case MetricKind::kCounter:
+        os << ",\"value\":" << s.counter_value;
+        break;
+      case MetricKind::kGauge:
+        os << ",\"value\":" << JsonNumber(s.gauge_value);
+        break;
+      case MetricKind::kHistogram: {
+        os << ",\"count\":" << s.hist_count
+           << ",\"sum\":" << JsonNumber(s.hist_sum) << ",\"buckets\":[";
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < s.hist_buckets.size(); ++b) {
+          cum += s.hist_buckets[b];
+          if (b > 0) os << ',';
+          os << "{\"le\":\""
+             << (b < s.hist_bounds.size() ? MetricDouble(s.hist_bounds[b])
+                                          : "+Inf")
+             << "\",\"count\":" << cum << '}';
+        }
+        os << ']';
+        break;
+      }
+    }
+    os << '}';
+  }
+  os << "\n]}\n";
 }
 
 // ------------------------------------------------------------------ files

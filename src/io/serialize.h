@@ -18,6 +18,7 @@
 #include "broker/types.h"
 #include "core/cluster_types.h"
 #include "net/transit_stub.h"
+#include "obs/metrics.h"
 #include "workload/types.h"
 
 namespace pubsub {
@@ -67,6 +68,19 @@ struct JournalFile {
   std::vector<JournalRecord> records;
 };
 JournalFile ReadJournal(std::istream& is);
+
+// ------------------------------------------------------------------ metrics
+// Exposition for obs/metrics snapshots (telemetry tentpole).  Both writers
+// are byte-stable: equal snapshots produce equal bytes, so a deterministic
+// scrape (include_runtime = false) compares exactly across --threads runs.
+//
+// Text is the prometheus exposition format: HELP/TYPE per metric family,
+// histograms as cumulative `_bucket{le="..."}` series plus `_sum`/`_count`.
+// A label set embedded in a metric name ("m{stage=\"match\"}") is merged
+// with the `le` label.  JSON is one object per metric with the same
+// cumulative bucket counts.
+void WriteMetricsText(std::ostream& os, const MetricsSnapshot& snap);
+void WriteMetricsJson(std::ostream& os, const MetricsSnapshot& snap);
 
 // ------------------------------------------------------------ file helpers
 void SaveToFile(const std::string& path, const std::string& content);

@@ -1,0 +1,61 @@
+// Pluggable time sources for the broker service layer and the telemetry
+// subsystem.
+//
+// The broker stamps every command with `clock->now_ms()` at submission and
+// journals the stamp, so time is an *input* to the deterministic state
+// machine rather than ambient state: replay and replication apply recorded
+// stamps and reconstruct queueing behaviour bit-for-bit.  Tests and the
+// trace-replay driver use ManualClock, advanced to each trace timestamp.
+//
+// StopwatchClock is the wall-time member of the family: a monotonic
+// steady_clock-backed source used for *measurement* (publish-path stage
+// tracing, bench timing) — never for command stamps, which must stay
+// deterministic.  It deliberately has no system_clock variant: hot paths
+// must not observe calendar time (satellite of the telemetry issue).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+
+namespace pubsub {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now_ms() = 0;
+};
+
+// Explicitly advanced clock; never moves backwards.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(double start_ms = 0.0) : now_(start_ms) {}
+
+  double now_ms() override { return now_; }
+  void advance(double delta_ms) { if (delta_ms > 0.0) now_ += delta_ms; }
+  void advance_to(double t_ms) { now_ = std::max(now_, t_ms); }
+
+ private:
+  double now_;
+};
+
+// Monotonic wall clock: milliseconds since construction (or the last
+// restart()), measured on std::chrono::steady_clock.  Doubles as the
+// stopwatch the bench binaries use for elapsed-time reporting.
+class StopwatchClock final : public Clock {
+ public:
+  StopwatchClock() : start_(Steady::now()) {}
+
+  double now_ms() override { return elapsed_ms(); }
+
+  void restart() { start_ = Steady::now(); }
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Steady::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Steady = std::chrono::steady_clock;
+  Steady::time_point start_;
+};
+
+}  // namespace pubsub

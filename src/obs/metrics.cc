@@ -1,0 +1,204 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pubsub {
+
+namespace obs_internal {
+
+std::size_t ThreadShard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+}  // namespace obs_internal
+
+Histogram::Histogram(MetricInfo info, std::vector<double> bounds,
+                     const std::atomic<bool>* enabled)
+    : info_(std::move(info)), bounds_(std::move(bounds)), enabled_(enabled) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+    throw std::invalid_argument("Histogram '" + info_.name +
+                                "': bucket bounds must be strictly increasing");
+  cells_ = std::make_unique<obs_internal::ShardCell[]>(
+      obs_internal::kShards * (bounds_.size() + 1));
+}
+
+void Histogram::observe(double v) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  // First bound >= v; past-the-end = +Inf bucket.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  const std::size_t shard = obs_internal::ThreadShard();
+  cells_[shard * (bounds_.size() + 1) + bucket].v.fetch_add(
+      1, std::memory_order_relaxed);
+  obs_internal::AtomicAddD(sums_[shard].v, v);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  const std::size_t stride = bounds_.size() + 1;
+  for (std::size_t s = 0; s < obs_internal::kShards; ++s)
+    for (std::size_t b = 0; b < stride; ++b)
+      total += cells_[s * stride + b].v.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const {
+  // Merge in shard order: deterministic given deterministic shard contents
+  // (serial-path observers always occupy slot 0).
+  double total = 0.0;
+  for (const auto& s : sums_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  const std::size_t stride = bounds_.size() + 1;
+  std::vector<std::uint64_t> merged(stride, 0);
+  for (std::size_t s = 0; s < obs_internal::kShards; ++s)
+    for (std::size_t b = 0; b < stride; ++b)
+      merged[b] += cells_[s * stride + b].v.load(std::memory_order_relaxed);
+  return merged;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       std::size_t count) {
+  if (start <= 0.0 || factor <= 1.0)
+    throw std::invalid_argument("ExponentialBuckets: need start > 0, factor > 1");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i, b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> LinearBuckets(double start, double width,
+                                  std::size_t count) {
+  if (width <= 0.0)
+    throw std::invalid_argument("LinearBuckets: need width > 0");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    bounds.push_back(start + width * static_cast<double>(i));
+  return bounds;
+}
+
+namespace {
+
+[[noreturn]] void KindMismatch(const std::string& name) {
+  throw std::invalid_argument("metric '" + name +
+                              "' already registered with another kind");
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  MetricStability stability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    const MetricInfo& info = e->counter   ? e->counter->info()
+                             : e->gauge   ? e->gauge->info()
+                                          : e->histogram->info();
+    if (info.name != name) continue;
+    if (info.kind != MetricKind::kCounter) KindMismatch(name);
+    return e->counter.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->counter.reset(new Counter(
+      MetricInfo{name, help, MetricKind::kCounter, stability}, &enabled_));
+  Counter* out = entry->counter.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              MetricStability stability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    const MetricInfo& info = e->counter   ? e->counter->info()
+                             : e->gauge   ? e->gauge->info()
+                                          : e->histogram->info();
+    if (info.name != name) continue;
+    if (info.kind != MetricKind::kGauge) KindMismatch(name);
+    return e->gauge.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->gauge.reset(
+      new Gauge(MetricInfo{name, help, MetricKind::kGauge, stability}, &enabled_));
+  Gauge* out = entry->gauge.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> upper_bounds,
+                                      MetricStability stability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    const MetricInfo& info = e->counter   ? e->counter->info()
+                             : e->gauge   ? e->gauge->info()
+                                          : e->histogram->info();
+    if (info.name != name) continue;
+    if (info.kind != MetricKind::kHistogram) KindMismatch(name);
+    return e->histogram.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->histogram.reset(
+      new Histogram(MetricInfo{name, help, MetricKind::kHistogram, stability},
+                    std::move(upper_bounds), &enabled_));
+  Histogram* out = entry->histogram.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::scrape(bool include_runtime) const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.samples.reserve(entries_.size());
+    for (const auto& e : entries_) {
+      MetricSample s;
+      if (e->counter) {
+        s.info = e->counter->info();
+        s.counter_value = e->counter->value();
+      } else if (e->gauge) {
+        s.info = e->gauge->info();
+        s.gauge_value = e->gauge->value();
+      } else {
+        s.info = e->histogram->info();
+        s.hist_count = e->histogram->count();
+        s.hist_sum = e->histogram->sum();
+        s.hist_bounds = e->histogram->upper_bounds();
+        s.hist_buckets = e->histogram->bucket_counts();
+      }
+      if (!include_runtime && s.info.stability == MetricStability::kRuntime)
+        continue;
+      snap.samples.push_back(std::move(s));
+    }
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.info.name < b.info.name;
+            });
+  return snap;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  samples.insert(samples.end(), other.samples.begin(), other.samples.end());
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const MetricSample& a, const MetricSample& b) {
+                     return a.info.name < b.info.name;
+                   });
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* reg = new MetricsRegistry();
+  return *reg;
+}
+
+}  // namespace pubsub

@@ -1,0 +1,238 @@
+// Deterministic, low-overhead metrics registry for the broker stack.
+//
+// Design (telemetry issue tentpole):
+//
+//   * Named counters, gauges and fixed-bucket histograms.  Hot-path
+//     updates are lock-free: counters and histogram cells are sharded
+//     into a fixed number of cache-line-sized slots; each thread hashes to
+//     a slot (relaxed atomic add) and a scrape merges the shards in slot
+//     order.  Because merge is a sum, totals are associative — the same
+//     command stream yields the same counter values at any --threads.
+//
+//   * Every metric carries a *stability class*.  kDeterministic metrics
+//     are pure functions of the applied command stream (bit-identical
+//     across runs and thread counts); kRuntime metrics depend on wall
+//     clocks or scheduling (stage latencies, thread-pool chunk counts)
+//     and can be excluded from a scrape when byte-stable output matters.
+//
+//   * Registries are instantiable: each Broker owns (or is handed) one, so
+//     two brokers in a process never mix counters; MetricsRegistry::Default
+//     serves process-wide instrumentation (the thread pool).  Exposition
+//     lives in io/serialize (WriteMetricsText / WriteMetricsJson) over the
+//     plain MetricsSnapshot produced by scrape().
+//
+// Metric names follow prometheus conventions; a label set may be embedded
+// in the name ("broker_stage_latency_ms{stage=\"match\"}") and is split
+// back out by the exposition writers.
+//
+// Instrument sites hold nullable Metric pointers; the Inc/Set/Observe
+// helpers no-op on nullptr so un-instrumented library use costs one branch.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pubsub {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// kDeterministic: a pure function of the applied command stream.
+// kRuntime: depends on wall time or thread scheduling.
+enum class MetricStability { kDeterministic, kRuntime };
+
+namespace obs_internal {
+
+inline constexpr std::size_t kShards = 16;
+
+// Stable per-thread shard slot in [0, kShards); the first thread to touch
+// the metrics layer (the serial command path) always lands in slot 0.
+std::size_t ThreadShard();
+
+struct alignas(64) ShardCell {
+  std::atomic<std::uint64_t> v{0};
+};
+struct alignas(64) ShardCellD {
+  std::atomic<double> v{0.0};
+};
+
+inline void AtomicAddD(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace obs_internal
+
+class MetricsRegistry;
+
+struct MetricInfo {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  MetricStability stability = MetricStability::kDeterministic;
+};
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    shards_[obs_internal::ThreadShard()].v.fetch_add(n,
+                                                     std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  // Re-seed to an absolute value (broker recovery adopts snapshot
+  // counters).  Only safe while no other thread is incrementing.
+  void reset(std::uint64_t v) {
+    shards_[0].v.store(v, std::memory_order_relaxed);
+    for (std::size_t i = 1; i < shards_.size(); ++i)
+      shards_[i].v.store(0, std::memory_order_relaxed);
+  }
+  const MetricInfo& info() const { return info_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricInfo info, const std::atomic<bool>* enabled)
+      : info_(std::move(info)), enabled_(enabled) {}
+  MetricInfo info_;
+  const std::atomic<bool>* enabled_;
+  std::array<obs_internal::ShardCell, obs_internal::kShards> shards_;
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    obs_internal::AtomicAddD(value_, delta);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const MetricInfo& info() const { return info_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricInfo info, const std::atomic<bool>* enabled)
+      : info_(std::move(info)), enabled_(enabled) {}
+  MetricInfo info_;
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-boundary histogram.  A value lands in the first bucket whose upper
+// bound is >= value (prometheus `le` semantics); values above the last
+// bound land in the implicit +Inf bucket.
+class Histogram {
+ public:
+  void observe(double v);
+  std::uint64_t count() const;
+  double sum() const;
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  // Per-bucket (non-cumulative) merged counts; size = bounds.size() + 1,
+  // last entry is the +Inf bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  const MetricInfo& info() const { return info_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricInfo info, std::vector<double> bounds,
+            const std::atomic<bool>* enabled);
+  MetricInfo info_;
+  std::vector<double> bounds_;
+  const std::atomic<bool>* enabled_;
+  // kShards blocks of (bounds.size() + 1) cells each.
+  std::unique_ptr<obs_internal::ShardCell[]> cells_;
+  std::array<obs_internal::ShardCellD, obs_internal::kShards> sums_;
+};
+
+// `count` upper bounds starting at `start`, each `factor` times the last
+// (factor > 1, start > 0).
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       std::size_t count);
+// `count` upper bounds start, start+width, ...
+std::vector<double> LinearBuckets(double start, double width,
+                                  std::size_t count);
+
+// One scraped metric, decoupled from the live registry so exposition and
+// merging (broker registry + process registry) need no locking.
+struct MetricSample {
+  MetricInfo info;
+  std::uint64_t counter_value = 0;          // kCounter
+  double gauge_value = 0.0;                 // kGauge
+  std::uint64_t hist_count = 0;             // kHistogram
+  double hist_sum = 0.0;
+  std::vector<double> hist_bounds;          // upper bounds, +Inf implicit
+  std::vector<std::uint64_t> hist_buckets;  // per-bucket, size bounds+1
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  // sorted by metric name
+  // Appends `other`'s samples, keeping the name ordering.
+  void merge(const MetricsSnapshot& other);
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create by name; a second call with the same name returns the
+  // same object (std::invalid_argument on a kind mismatch).  Registration
+  // takes a lock; updates through the returned handle never do.
+  Counter* counter(const std::string& name, const std::string& help,
+                   MetricStability stability = MetricStability::kDeterministic);
+  Gauge* gauge(const std::string& name, const std::string& help,
+               MetricStability stability = MetricStability::kDeterministic);
+  Histogram* histogram(const std::string& name, const std::string& help,
+                       std::vector<double> upper_bounds,
+                       MetricStability stability = MetricStability::kDeterministic);
+
+  // Instrumentation master switch (the metrics-overhead CTest compares
+  // enabled vs disabled throughput).  Disabled registries drop updates but
+  // still scrape (stale values).
+  void set_enabled(bool enabled) { enabled_.store(enabled); }
+  bool enabled() const { return enabled_.load(); }
+
+  // Consistent-enough point-in-time copy, sorted by name.  With
+  // include_runtime = false only kDeterministic metrics are emitted — the
+  // byte-stable subset compared across --threads runs.
+  MetricsSnapshot scrape(bool include_runtime = true) const;
+
+  // Process-wide registry (thread pool and other singletons).
+  static MetricsRegistry& Default();
+
+ private:
+  struct Entry {
+    // Exactly one of these is set, matching info.kind.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;       // stable addresses
+  std::atomic<bool> enabled_{true};
+};
+
+// Null-safe update helpers for instrument sites without a registry.
+inline void Inc(Counter* c, std::uint64_t n = 1) {
+  if (c != nullptr) c->inc(n);
+}
+inline void Set(Gauge* g, double v) {
+  if (g != nullptr) g->set(v);
+}
+inline void Observe(Histogram* h, double v) {
+  if (h != nullptr) h->observe(v);
+}
+
+}  // namespace pubsub

@@ -1,0 +1,66 @@
+// Publish-path stage tracing (telemetry issue tentpole, part 2).
+//
+// Every publish walks four stages — match (interested-set + matcher
+// decision), group-selection (unicast completion of interested \ group),
+// delivery-plan (runtime pricing of the multicast tree / unicast fan-out)
+// and journal-flush (write-ahead serialization + sink flush).  The broker
+// measures each stage with a pluggable Clock (StopwatchClock live,
+// ManualClock in deterministic tests) and, for every `--trace-sample`-th
+// command, records the spans into a fixed-capacity ring.
+//
+// The ring is single-writer by construction: the broker command path is
+// serial, so record() needs no synchronization.  When full it overwrites
+// the oldest span and counts the drop — tracing never grows memory or
+// stalls the hot path.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace pubsub {
+
+enum class PublishStage : std::uint8_t {
+  kMatch = 0,
+  kGroupSelection = 1,
+  kDeliveryPlan = 2,
+  kJournalFlush = 3,
+};
+
+inline constexpr std::size_t kNumPublishStages = 4;
+
+const char* StageName(PublishStage stage);
+
+struct TraceSpan {
+  std::uint64_t seq = 0;  // broker sequence number of the traced command
+  PublishStage stage = PublishStage::kMatch;
+  double start_ms = 0.0;     // trace-clock time at stage entry
+  double duration_ms = 0.0;  // stage wall time (0 under a ManualClock)
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+
+  void record(const TraceSpan& span);
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::uint64_t recorded() const { return recorded_; }
+  // Spans overwritten before anyone read them.
+  std::uint64_t dropped() const {
+    return recorded_ > buf_.size() ? recorded_ - buf_.size() : 0;
+  }
+
+  // Retained spans, oldest first.
+  std::vector<TraceSpan> spans() const;
+
+ private:
+  std::vector<TraceSpan> buf_;
+  std::uint64_t recorded_ = 0;
+};
+
+// One line per span: "seq stage start_ms duration_ms", preceded by a
+// summary header (capacity / recorded / dropped).
+void WriteTraceText(std::ostream& os, const TraceRing& ring);
+
+}  // namespace pubsub

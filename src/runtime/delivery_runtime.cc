@@ -5,10 +5,24 @@
 
 namespace pubsub {
 
-DeliveryRuntime::DeliveryRuntime(const Graph& network, const RuntimeParams& params)
+DeliveryRuntime::DeliveryRuntime(const Graph& network, const RuntimeParams& params,
+                                 MetricsRegistry* metrics)
     : network_(&network),
       params_(params),
-      broker_free_at_(static_cast<std::size_t>(network.num_nodes()), 0.0) {}
+      broker_free_at_(static_cast<std::size_t>(network.num_nodes()), 0.0) {
+  if (metrics != nullptr) {
+    c_unicast_ = metrics->counter("runtime_unicast_total",
+                                  "unicast delivery decisions executed");
+    c_multicast_ = metrics->counter("runtime_multicast_total",
+                                    "multicast delivery decisions executed");
+    c_messages_ = metrics->counter(
+        "runtime_messages_sent_total",
+        "point-to-point messages injected at origin brokers");
+    c_bytes_ = metrics->counter(
+        "runtime_bytes_on_wire_total",
+        "estimated bytes crossing network edges (payload_bytes per edge)");
+  }
+}
 
 void DeliveryRuntime::reset() {
   std::fill(broker_free_at_.begin(), broker_free_at_.end(), 0.0);
@@ -46,6 +60,7 @@ DeliveryTiming DeliveryRuntime::deliver_unicast(double now_ms, NodeId origin,
 
   t.latencies_ms.reserve(targets.size());
   double send_done = start + params_.match_time_ms;
+  std::size_t total_hops = 0;
   for (const NodeId target : targets) {
     if (!tree.reachable(target))
       throw std::invalid_argument("deliver_unicast: unreachable target");
@@ -55,12 +70,17 @@ DeliveryTiming DeliveryRuntime::deliver_unicast(double now_ms, NodeId origin,
     for (NodeId v = target; tree.parent[static_cast<std::size_t>(v)] != -1;
          v = tree.parent[static_cast<std::size_t>(v)])
       ++hops;
+    total_hops += static_cast<std::size_t>(hops);
     const double arrival = send_done +
                            tree.dist[static_cast<std::size_t>(target)] *
                                params_.latency_per_cost_ms +
                            static_cast<double>(hops) * params_.per_hop_processing_ms;
     t.latencies_ms.push_back(arrival - now_ms);
   }
+
+  Inc(c_unicast_);
+  Inc(c_messages_, targets.size());
+  Inc(c_bytes_, total_hops * params_.payload_bytes);
   return t;
 }
 
@@ -83,12 +103,18 @@ DeliveryTiming DeliveryRuntime::deliver_multicast(double now_ms, NodeId origin,
   // Children of each needed node within the pruned tree.
   std::vector<std::vector<NodeId>> children(static_cast<std::size_t>(n));
   int origin_branches = 0;
+  std::size_t tree_edges = 0;
   for (NodeId v = 0; v < n; ++v) {
     if (!needed[static_cast<std::size_t>(v)] || v == origin) continue;
     const NodeId parent = tree.parent[static_cast<std::size_t>(v)];
     children[static_cast<std::size_t>(parent)].push_back(v);
+    ++tree_edges;
     if (parent == origin) ++origin_branches;
   }
+
+  Inc(c_multicast_);
+  Inc(c_messages_, static_cast<std::size_t>(origin_branches));
+  Inc(c_bytes_, tree_edges * params_.payload_bytes);
 
   DeliveryTiming t;
   t.service_ms = params_.match_time_ms +

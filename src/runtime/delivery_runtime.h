@@ -23,12 +23,14 @@
 // Outputs are per-subscriber delivery latencies, aggregated by the caller.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "net/graph.h"
 #include "net/shortest_path.h"
+#include "obs/metrics.h"
 #include "workload/types.h"
 
 namespace pubsub {
@@ -38,6 +40,10 @@ struct RuntimeParams {
   double per_message_send_ms = 0.02;  // serialization per emitted message
   double latency_per_cost_ms = 0.1;   // propagation per unit edge cost
   double per_hop_processing_ms = 0.01;
+  // Nominal payload size for the bytes-on-wire telemetry estimate: a
+  // unicast charges payload × path edges per target, a multicast charges
+  // payload × pruned-tree edges once.  Affects metrics only, never timing.
+  std::size_t payload_bytes = 256;
 };
 
 // Per-event outcome: when the broker finished (for throughput accounting)
@@ -51,7 +57,11 @@ struct DeliveryTiming {
 
 class DeliveryRuntime {
  public:
-  DeliveryRuntime(const Graph& network, const RuntimeParams& params = {});
+  // With `metrics`, every delivery updates the runtime_* family: decision
+  // counts (unicast/multicast calls), messages sent and the bytes-on-wire
+  // estimate.  All deterministic — they depend only on the call sequence.
+  DeliveryRuntime(const Graph& network, const RuntimeParams& params = {},
+                  MetricsRegistry* metrics = nullptr);
 
   // Resets broker queues (between experiment runs).
   void reset();
@@ -84,6 +94,12 @@ class DeliveryRuntime {
   RuntimeParams params_;
   std::unordered_map<NodeId, ShortestPathTree> spt_cache_;
   std::vector<double> broker_free_at_;  // per node, earliest idle time
+
+  // Telemetry (nullable; see obs/metrics.h).
+  Counter* c_unicast_ = nullptr;
+  Counter* c_multicast_ = nullptr;
+  Counter* c_messages_ = nullptr;
+  Counter* c_bytes_ = nullptr;
 };
 
 }  // namespace pubsub

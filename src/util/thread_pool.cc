@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "util/flags.h"
 
 namespace pubsub {
@@ -10,6 +12,47 @@ namespace {
 // True on threads currently executing a pool chunk; parallel_for from such
 // a thread runs inline instead of deadlocking on its own pool.
 thread_local bool t_in_parallel_region = false;
+
+// Process-wide pool telemetry (MetricsRegistry::Default()).  All kRuntime:
+// chunk counts and region times depend on the thread count and the
+// scheduler, so they are excluded from the deterministic scrape.
+struct PoolMetrics {
+  Counter* regions;
+  Counter* chunks;
+  Counter* inline_runs;
+  Gauge* threads;
+  Gauge* last_chunks;
+  Histogram* region_ms;
+
+  static const PoolMetrics& get() {
+    static const PoolMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Default();
+      PoolMetrics pm;
+      pm.regions = r.counter("threadpool_parallel_for_total",
+                             "parallel regions dispatched to workers",
+                             MetricStability::kRuntime);
+      pm.chunks = r.counter("threadpool_chunks_total",
+                            "chunks executed across all parallel regions",
+                            MetricStability::kRuntime);
+      pm.inline_runs = r.counter(
+          "threadpool_inline_total",
+          "parallel_for calls that ran inline (serial pool, small n, or "
+          "nested region)",
+          MetricStability::kRuntime);
+      pm.threads = r.gauge("threadpool_threads",
+                           "lanes in the global pool (callers + workers)",
+                           MetricStability::kRuntime);
+      pm.last_chunks = r.gauge("threadpool_last_chunks",
+                               "chunks of the most recent parallel region",
+                               MetricStability::kRuntime);
+      pm.region_ms = r.histogram(
+          "threadpool_region_ms", "wall time per dispatched parallel region",
+          ExponentialBuckets(0.001, 4.0, 12), MetricStability::kRuntime);
+      return pm;
+    }();
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -84,9 +127,12 @@ void ThreadPool::parallel_for(
   if (n == 0) return;
   if (num_threads_ <= 1 || n < std::max<std::size_t>(min_parallel, 2) ||
       t_in_parallel_region) {
+    Inc(PoolMetrics::get().inline_runs);
     body(0, n);
     return;
   }
+  const PoolMetrics& pm = PoolMetrics::get();
+  StopwatchClock region_clock;
   {
     std::lock_guard<std::mutex> lock(mu_);
     body_ = &body;
@@ -106,6 +152,14 @@ void ThreadPool::parallel_for(
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return pending_ == 0; });
   body_ = nullptr;
+  lock.unlock();
+
+  const std::size_t used = std::min(T, (n + chunk - 1) / chunk);
+  Inc(pm.regions);
+  Inc(pm.chunks, used);
+  Set(pm.last_chunks, static_cast<double>(used));
+  Set(pm.threads, static_cast<double>(num_threads_));
+  Observe(pm.region_ms, region_clock.elapsed_ms());
 }
 
 ThreadPool& ThreadPool::global() {

@@ -1,0 +1,242 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "broker/broker.h"
+#include "io/serialize.h"
+#include "obs/clock.h"
+#include "obs/trace.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "util/thread_pool.h"
+#include "workload/stock_model.h"
+
+namespace pubsub {
+namespace {
+
+// ---- histogram bucket boundaries -----------------------------------------
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("h", "test", {1.0, 2.0, 4.0});
+
+  h->observe(0.5);  // -> le=1
+  h->observe(1.0);  // exact bound is inclusive (prometheus `le`) -> le=1
+  h->observe(1.5);  // -> le=2
+  h->observe(2.0);  // -> le=2
+  h->observe(3.0);  // -> le=4
+  h->observe(5.0);  // -> +Inf
+
+  EXPECT_EQ(h->count(), 6u);
+  EXPECT_DOUBLE_EQ(h->sum(), 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 5.0);
+  const std::vector<std::uint64_t> buckets = h->bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + the implicit +Inf bucket
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(Metrics, BucketGenerators) {
+  const std::vector<double> exp = ExponentialBuckets(1.0, 2.0, 3);
+  ASSERT_EQ(exp.size(), 3u);
+  EXPECT_DOUBLE_EQ(exp[0], 1.0);
+  EXPECT_DOUBLE_EQ(exp[1], 2.0);
+  EXPECT_DOUBLE_EQ(exp[2], 4.0);
+
+  const std::vector<double> lin = LinearBuckets(10.0, 5.0, 3);
+  ASSERT_EQ(lin.size(), 3u);
+  EXPECT_DOUBLE_EQ(lin[0], 10.0);
+  EXPECT_DOUBLE_EQ(lin[1], 15.0);
+  EXPECT_DOUBLE_EQ(lin[2], 20.0);
+}
+
+// ---- shard merge under concurrency ---------------------------------------
+
+// Counter and histogram updates are sharded per thread; the scrape-side
+// merge is a plain sum, so the total must equal the number of updates no
+// matter how threads were assigned to shards.
+TEST(Metrics, ShardMergeIsExactUnderThreads) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("c", "test");
+  Histogram* h = reg.histogram("h", "test", {0.5});
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c->inc();
+        h->observe(1.0);
+      }
+    });
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(c->value(), kThreads * kPerThread);
+  EXPECT_EQ(h->count(), kThreads * kPerThread);
+  const std::vector<std::uint64_t> buckets = h->bucket_counts();
+  EXPECT_EQ(buckets.back(), kThreads * kPerThread);  // all in +Inf
+}
+
+// ---- registry semantics ---------------------------------------------------
+
+TEST(Metrics, RegistryDeduplicatesByName) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("dup", "first");
+  Counter* b = reg.counter("dup", "second registration ignored");
+  EXPECT_EQ(a, b);
+  a->inc(3);
+  EXPECT_EQ(b->value(), 3u);
+}
+
+TEST(Metrics, RegistryThrowsOnKindMismatch) {
+  MetricsRegistry reg;
+  reg.counter("m", "a counter");
+  EXPECT_THROW(reg.gauge("m", "now a gauge"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("m", "now a histogram", {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Metrics, DisabledRegistryDropsUpdates) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("c", "test");
+  Gauge* g = reg.gauge("g", "test");
+  c->inc();
+  g->set(2.0);
+  reg.set_enabled(false);
+  c->inc(100);
+  g->set(99.0);
+  EXPECT_EQ(c->value(), 1u);       // stale value survives a scrape
+  EXPECT_DOUBLE_EQ(g->value(), 2.0);
+  reg.set_enabled(true);
+  c->inc();
+  EXPECT_EQ(c->value(), 2u);
+}
+
+TEST(Metrics, NullSafeHelpers) {
+  Inc(nullptr);
+  Set(nullptr, 1.0);
+  Observe(nullptr, 1.0);  // must not crash
+}
+
+// ---- trace ring -----------------------------------------------------------
+
+TEST(Trace, RingWrapsAndCountsDrops) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    ring.record(TraceSpan{i, PublishStage::kMatch, static_cast<double>(i), 0.0});
+
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+
+  const std::vector<TraceSpan> spans = ring.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest first: the last four records survive.
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    EXPECT_EQ(spans[i].seq, 6u + i);
+}
+
+TEST(Trace, TextWriterEmitsSummaryAndSpans) {
+  TraceRing ring(2);
+  ring.record(TraceSpan{7, PublishStage::kDeliveryPlan, 1.0, 0.25});
+  std::ostringstream os;
+  WriteTraceText(os, ring);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# trace capacity 2 recorded 1 dropped 0"),
+            std::string::npos);
+  EXPECT_NE(text.find(StageName(PublishStage::kDeliveryPlan)),
+            std::string::npos);
+}
+
+// ---- exposition -----------------------------------------------------------
+
+TEST(Metrics, PrometheusTextSplitsEmbeddedLabels) {
+  MetricsRegistry reg;
+  reg.counter("requests_total{code=\"200\"}", "labeled counter")->inc(3);
+  reg.gauge("temperature", "plain gauge")->set(21.5);
+  reg.histogram("latency_ms", "histogram", {1.0, 2.0})->observe(1.5);
+
+  std::ostringstream os;
+  WriteMetricsText(os, reg.scrape());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("requests_total{code=\"200\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE temperature gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_count 1"), std::string::npos);
+}
+
+TEST(Metrics, JsonExpositionContainsSamples) {
+  MetricsRegistry reg;
+  reg.counter("c_total", "counter")->inc(5);
+  std::ostringstream os;
+  WriteMetricsJson(os, reg.scrape());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"c_total\""), std::string::npos);
+  EXPECT_NE(text.find("\"counter\""), std::string::npos);
+}
+
+TEST(Metrics, ScrapeCanExcludeRuntimeMetrics) {
+  MetricsRegistry reg;
+  reg.counter("det_total", "deterministic");
+  reg.counter("rt_total", "runtime", MetricStability::kRuntime);
+  const MetricsSnapshot all = reg.scrape();
+  const MetricsSnapshot det = reg.scrape(/*include_runtime=*/false);
+  EXPECT_EQ(all.samples.size(), 2u);
+  ASSERT_EQ(det.samples.size(), 1u);
+  EXPECT_EQ(det.samples[0].info.name, "det_total");
+}
+
+// ---- broker metrics byte-stability across thread counts --------------------
+
+// Drives two brokers with the identical command stream at --threads=1 and
+// --threads=8 and asserts the deterministic scrape is byte-identical: the
+// issue's acceptance criterion for the sharded registry.
+TEST(Metrics, BrokerDeterministicScrapeIsByteStableAcrossThreads) {
+  const Scenario scenario = MakeStockScenario(200, PublicationHotSpots::kOne, 61);
+  DeliverySimulator sim(scenario.net.graph, scenario.workload);
+  Rng rng(62);
+  const std::vector<EventSample> events = SampleEvents(sim, *scenario.pub, 80, rng);
+
+  const auto run = [&](int threads) {
+    ThreadPool::global().set_num_threads(threads);
+    BrokerOptions opts;
+    opts.group.num_groups = 10;
+    opts.group.max_cells = 600;
+    opts.refresh.churn_fraction = 0.05;
+    opts.refresh.waste_ratio = 0.0;
+    opts.obs.trace_sample = 4;
+    ManualClock clock;
+    Broker broker(scenario.workload, *scenario.pub, scenario.net.graph, opts,
+                  &clock);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      clock.advance(5.0);
+      if (i % 7 == 3)
+        broker.subscribe(events[i].pub.origin,
+                         broker.workload().space.domain_rect());
+      broker.publish(events[i].pub.origin, events[i].pub.point);
+    }
+    std::ostringstream os;
+    WriteMetricsText(os, broker.metrics().scrape(/*include_runtime=*/false));
+    return os.str();
+  };
+
+  const std::string serial = run(1);
+  const std::string parallel = run(8);
+  ThreadPool::global().set_num_threads(1);
+  EXPECT_EQ(serial, parallel);
+  // Sanity: the deterministic scrape actually carries broker counters.
+  EXPECT_NE(serial.find("broker_commands_total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pubsub

@@ -6,7 +6,7 @@
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 
 namespace pubsub {
 namespace {
@@ -114,8 +114,8 @@ TEST(FlagsTest, UnknownFlagDetection) {
   }
 }
 
-TEST(StopwatchTest, MeasuresElapsedTime) {
-  Stopwatch w;
+TEST(StopwatchClockTest, MeasuresElapsedTime) {
+  StopwatchClock w;
   // Just sanity: non-negative and monotone.
   const double a = w.elapsed_seconds();
   const double b = w.elapsed_seconds();
@@ -123,6 +123,10 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   EXPECT_GE(b, a);
   w.restart();
   EXPECT_LT(w.elapsed_ms(), 1000.0);
+  // StopwatchClock is also the default trace clock: now_ms() is the same
+  // reading through the Clock interface.
+  Clock& as_clock = w;
+  EXPECT_GE(as_clock.now_ms(), 0.0);
 }
 
 }  // namespace

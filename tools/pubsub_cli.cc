@@ -22,10 +22,20 @@
 //                           [--refresh-min-messages=M]
 //                           [--journal=j.txt] [--snapshot=snap.txt]
 //                           [--snapshot-every=N]
+//                           [--metrics-out=m.prom] [--metrics-json=m.json]
+//                           [--metrics-deterministic-only]
+//                           [--trace-sample=N] [--trace-out=trace.txt]
 //   pubsub_cli recover      --net=net.txt --snapshot=snap.txt
 //                           [--journal=j.txt] [--groups=K] [--cells=N]
 //                           [--threshold=T] [--refresh-churn=F]
 //                           [--refresh-waste=R] [--refresh-min-messages=M]
+//                           [--metrics-out=m.prom] [--metrics-json=m.json]
+//                           [--metrics-deterministic-only]
+//   pubsub_cli stats        --net=net.txt --snapshot=snap.txt
+//                           [--journal=j.txt] [broker flags as recover]
+//                           [--metrics-deterministic-only]
+//       recovers the broker from snapshot + journal, then dumps every
+//       metric to stdout — Prometheus text first, then JSON.
 //
 // The publication model is re-derived from the workload's event space (the
 // §3 space has a regional "stub" dimension; the stock space a "bst"
@@ -60,13 +70,17 @@
 namespace pubsub {
 namespace {
 
+// Diagnostics go to stderr so stdout stays parseable (reports, metrics
+// dumps); exit codes: 0 ok, 1 runtime failure, 2 usage error.
+const char kUsageText[] =
+    "usage: pubsub_cli <gen-net|gen-workload|cluster|evaluate|"
+    "snapshot|serve-replay|recover|stats> "
+    "[--flags]\n(see the header of tools/pubsub_cli.cc for the "
+    "full flag list)\n";
+
 [[noreturn]] void Usage(const std::string& msg = "") {
   if (!msg.empty()) std::fprintf(stderr, "error: %s\n\n", msg.c_str());
-  std::fprintf(stderr,
-               "usage: pubsub_cli <gen-net|gen-workload|cluster|evaluate|"
-               "snapshot|serve-replay|recover> "
-               "[--flags]\n(see the header of tools/pubsub_cli.cc for the "
-               "full flag list)\n");
+  std::fputs(kUsageText, stderr);
   std::exit(2);
 }
 
@@ -241,7 +255,8 @@ int Evaluate(const Flags& flags) {
 
 const std::vector<std::string> kBrokerFlags = {
     "groups",        "cells",         "threshold",
-    "refresh-churn", "refresh-waste", "refresh-min-messages"};
+    "refresh-churn", "refresh-waste", "refresh-min-messages",
+    "metrics-out",   "metrics-json",  "metrics-deterministic-only"};
 
 std::vector<std::string> WithBrokerFlags(std::vector<std::string> own) {
   own.insert(own.end(), kBrokerFlags.begin(), kBrokerFlags.end());
@@ -257,7 +272,38 @@ BrokerOptions BrokerOptionsFromFlags(const Flags& flags) {
   opts.refresh.waste_ratio = flags.get_double("refresh-waste", 0.5);
   opts.refresh.min_messages =
       static_cast<std::size_t>(flags.get_int("refresh-min-messages", 200));
+  opts.obs.trace_sample =
+      static_cast<std::uint64_t>(flags.get_int("trace-sample", 0));
   return opts;
+}
+
+// Everything the process measured: the broker's registry plus the
+// process-wide one (thread pool).  --metrics-deterministic-only restricts
+// to the byte-stable subset (identical across --threads runs).
+MetricsSnapshot ScrapeAll(const Broker& broker, const Flags& flags) {
+  const bool runtime_too = !flags.get_bool("metrics-deterministic-only", false);
+  MetricsSnapshot snap = broker.metrics().scrape(runtime_too);
+  snap.merge(MetricsRegistry::Default().scrape(runtime_too));
+  return snap;
+}
+
+// --metrics-out (Prometheus text) / --metrics-json side outputs shared by
+// serve-replay and recover.
+void WriteMetricsOutputs(const Broker& broker, const Flags& flags) {
+  const std::string text_path = flags.get("metrics-out", "");
+  const std::string json_path = flags.get("metrics-json", "");
+  if (text_path.empty() && json_path.empty()) return;
+  const MetricsSnapshot snap = ScrapeAll(broker, flags);
+  if (!text_path.empty()) {
+    std::ostringstream os;
+    WriteMetricsText(os, snap);
+    SaveToFile(text_path, os.str());
+  }
+  if (!json_path.empty()) {
+    std::ostringstream os;
+    WriteMetricsJson(os, snap);
+    SaveToFile(json_path, os.str());
+  }
 }
 
 void PrintBrokerReport(const Broker& broker) {
@@ -328,7 +374,8 @@ int Snapshot(const Flags& flags) {
 int ServeReplay(const Flags& flags) {
   flags.require_known(WithBrokerFlags({"net", "workload", "events", "seed",
                                        "churn-every", "modes", "journal",
-                                       "snapshot", "snapshot-every"}));
+                                       "snapshot", "snapshot-every",
+                                       "trace-sample", "trace-out"}));
   const std::string net_path = flags.get("net", "");
   const std::string wl_path = flags.get("workload", "");
   if (net_path.empty() || wl_path.empty())
@@ -409,20 +456,27 @@ int ServeReplay(const Flags& flags) {
   std::printf("replayed %zu trace events over %.1f simulated seconds\n\n",
               trace.size(), trace.empty() ? 0.0 : trace.back().timestamp);
   PrintBrokerReport(broker);
+  WriteMetricsOutputs(broker, flags);
+  const std::string trace_path = flags.get("trace-out", "");
+  if (!trace_path.empty()) {
+    std::ostringstream os;
+    WriteTraceText(os, broker.trace());
+    SaveToFile(trace_path, os.str());
+  }
   return 0;
 }
 
-// Rebuild a broker from snapshot + journal tail and print the same report
-// serve-replay prints: at equal sequence numbers the state digests match.
-int Recover(const Flags& flags) {
-  flags.require_known(WithBrokerFlags(
-      {"net", "snapshot", "journal", "modes", "regionalism", "tail"}));
+// Shared recovery path for `recover` and `stats`: rebuild a broker from
+// snapshot + journal tail.
+std::unique_ptr<Broker> RecoverFromFlags(const Flags& flags,
+                                         TransitStubNetwork* net_out,
+                                         std::unique_ptr<PublicationModel>* model_out) {
   const std::string net_path = flags.get("net", "");
   const std::string snapshot_path = flags.get("snapshot", "");
   if (net_path.empty() || snapshot_path.empty())
-    Usage("recover requires --net and --snapshot");
+    Usage("recover/stats requires --net and --snapshot");
   std::istringstream net_is(LoadFromFile(net_path));
-  const TransitStubNetwork net = ReadTransitStub(net_is);
+  *net_out = ReadTransitStub(net_is);
   std::istringstream snap_is(LoadFromFile(snapshot_path));
   const BrokerSnapshot snap = ReadBrokerSnapshot(snap_is);
 
@@ -436,20 +490,55 @@ int Recover(const Flags& flags) {
     tail = std::move(jf.records);
   }
 
-  const auto model = ModelFor(net, snap.workload, flags);
+  *model_out = ModelFor(*net_out, snap.workload, flags);
   BrokerOptions opts = BrokerOptionsFromFlags(flags);
   // The snapshot is authoritative for the group count; an explicit
   // --groups still wins (and a mismatch is rejected by the broker).
   if (!flags.has("groups"))
     opts.group.num_groups = static_cast<std::size_t>(snap.num_groups);
-  const auto broker = Broker::Recover(snap, tail, *model, net.graph, opts);
+  return Broker::Recover(snap, tail, **model_out, net_out->graph, opts);
+}
+
+// Rebuild a broker from snapshot + journal tail and print the same report
+// serve-replay prints: at equal sequence numbers the state digests match.
+int Recover(const Flags& flags) {
+  flags.require_known(WithBrokerFlags(
+      {"net", "snapshot", "journal", "modes", "regionalism", "tail"}));
+  TransitStubNetwork net;
+  std::unique_ptr<PublicationModel> model;
+  const auto broker = RecoverFromFlags(flags, &net, &model);
   PrintBrokerReport(*broker);
+  WriteMetricsOutputs(*broker, flags);
+  return 0;
+}
+
+// Recover and dump every metric to stdout: Prometheus text, a blank line,
+// then the JSON form.  All counters/gauges are deterministic functions of
+// snapshot + journal, so two invocations print identical values.
+int Stats(const Flags& flags) {
+  flags.require_known(WithBrokerFlags(
+      {"net", "snapshot", "journal", "modes", "regionalism", "tail"}));
+  TransitStubNetwork net;
+  std::unique_ptr<PublicationModel> model;
+  const auto broker = RecoverFromFlags(flags, &net, &model);
+  const MetricsSnapshot snap = ScrapeAll(*broker, flags);
+  std::ostringstream text;
+  WriteMetricsText(text, snap);
+  std::ostringstream json;
+  WriteMetricsJson(json, snap);
+  std::fputs(text.str().c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(json.str().c_str(), stdout);
   return 0;
 }
 
 int Run(int argc, char** argv) {
   if (argc < 2) Usage();
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    std::fputs(kUsageText, stdout);  // requested help is not an error
+    return 0;
+  }
   const Flags flags(argc - 1, argv + 1);
   ConfigureThreadsFromFlags(flags);
   try {
@@ -460,6 +549,7 @@ int Run(int argc, char** argv) {
     if (cmd == "snapshot") return Snapshot(flags);
     if (cmd == "serve-replay") return ServeReplay(flags);
     if (cmd == "recover") return Recover(flags);
+    if (cmd == "stats") return Stats(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
