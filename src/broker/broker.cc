@@ -6,8 +6,10 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "io/serialize.h"
+#include "util/failpoint.h"
 
 namespace pubsub {
 namespace {
@@ -124,6 +126,19 @@ void Broker::init_obs(const BrokerOptions& options) {
                 "refreshes fired by the waste-ratio trigger");
   c_replayed_ = r.counter("broker_recovery_replayed_records",
                           "journal tail records applied at recovery");
+  c_flush_failures_ =
+      r.counter("broker_journal_flush_failures_total",
+                "journal append/flush attempts that failed");
+  c_flush_retries_ = r.counter("broker_journal_flush_retries_total",
+                               "backoff retries of failed journal appends");
+  c_degraded_entries_ =
+      r.counter("broker_degraded_entered_total",
+                "times the broker entered read-only degraded mode");
+  c_mutations_rejected_ =
+      r.counter("broker_mutations_rejected_total",
+                "commands rejected while in degraded mode");
+  g_degraded_ =
+      r.gauge("broker_degraded", "1 while in read-only degraded mode, else 0");
   g_snapshot_bytes_ = r.gauge("broker_recovery_snapshot_bytes",
                               "size of the bootstrap snapshot");
   g_recovery_progress_ = r.gauge(
@@ -185,6 +200,10 @@ BrokerStats Broker::stats() const {
   s.journal_bytes = c_journal_bytes_->value();
   s.snapshot_bytes = static_cast<std::uint64_t>(g_snapshot_bytes_->value());
   s.replayed_records = c_replayed_->value();
+  s.journal_flush_failures = c_flush_failures_->value();
+  s.journal_flush_retries = c_flush_retries_->value();
+  s.degraded_entries = c_degraded_entries_->value();
+  s.mutations_rejected = c_mutations_rejected_->value();
   return s;
 }
 
@@ -206,6 +225,13 @@ void Broker::seed_stats(const BrokerStats& s) {
   // snapshotted broker's; Recover() fills it in.
   g_snapshot_bytes_->set(0.0);
   c_replayed_->reset(0);
+  // Fault provenance, by contrast, is history worth keeping: an operator
+  // recovering a degraded broker should still see what storage did to it
+  // (`pubsub_cli stats` reads exactly these).
+  c_flush_failures_->reset(s.journal_flush_failures);
+  c_flush_retries_->reset(s.journal_flush_retries);
+  c_degraded_entries_->reset(s.degraded_entries);
+  c_mutations_rejected_->reset(s.mutations_rejected);
 }
 
 void Broker::update_derived_gauges() {
@@ -260,8 +286,11 @@ std::unique_ptr<Broker> Broker::Recover(const BrokerSnapshot& snapshot,
   for (const JournalRecord& rec : journal)
     if (rec.seq > snapshot.seq) ++tail;
   std::size_t replayed = 0;
+  FailPoints& fp = FailPoints::Instance();
   for (const JournalRecord& rec : journal) {
     if (rec.seq <= snapshot.seq) continue;  // already in the snapshot
+    if (fp.active() && fp.eval("recover.replay").action != FailAction::kOff)
+      throw InjectedCrash("recover.replay");
     if (rec.seq != b->seq_ + 1)
       throw std::runtime_error("Broker::Recover: journal gap (expected seq " +
                                std::to_string(b->seq_ + 1) + ", got " +
@@ -277,9 +306,22 @@ std::unique_ptr<Broker> Broker::Recover(const BrokerSnapshot& snapshot,
 }
 
 void Broker::set_journal(std::ostream* sink, bool write_header) {
-  if (sink != nullptr && write_header)
-    WriteJournalHeader(*sink, mgr_->workload().space.dims());
+  if (sink == nullptr) {
+    set_journal_sink(nullptr, false);
+    owned_journal_sink_.reset();
+    return;
+  }
+  owned_journal_sink_ = std::make_unique<StreamSink>(*sink, "journal");
+  set_journal_sink(owned_journal_sink_.get(), write_header);
+}
+
+void Broker::set_journal_sink(FileSink* sink, bool write_header) {
   journal_ = sink;
+  if (sink != nullptr && write_header) {
+    std::ostringstream ss;
+    WriteJournalHeader(ss, mgr_->workload().space.dims());
+    journal_append(ss.str(), nullptr);
+  }
 }
 
 void Broker::set_record_listener(
@@ -336,9 +378,20 @@ void Broker::apply(const JournalRecord& rec) {
 }
 
 PublishOutcome Broker::apply_record(const JournalRecord& rec) {
+  if (degraded_) {
+    Inc(c_mutations_rejected_);
+    throw BrokerDegradedError(
+        "broker is degraded (read-only): journal durability lost; seq " +
+        std::to_string(rec.seq) + " rejected");
+  }
   if (rec.seq != seq_ + 1)
     throw std::runtime_error("Broker: non-contiguous sequence number");
   const bool sampled = trace_sample_ > 0 && rec.seq % trace_sample_ == 0;
+  FailPoints& fp = FailPoints::Instance();
+  const bool is_publish = rec.cmd.type == BrokerCommandType::kPublish;
+  if (fp.active() && is_publish &&
+      fp.eval("broker.publish.pre_journal").action != FailAction::kOff)
+    throw InjectedCrash("broker.publish.pre_journal");
   // Write-ahead: the record is durable (and its size accounted) before the
   // state mutation.  Serialization also validates the command against the
   // event space.
@@ -346,12 +399,7 @@ PublishOutcome Broker::apply_record(const JournalRecord& rec) {
     const double flush_start = trace_clock_->now_ms();
     std::ostringstream ss;
     WriteJournalRecord(ss, rec, mgr_->workload().space.dims());
-    const std::string text = ss.str();
-    Inc(c_journal_bytes_, text.size());
-    if (journal_ != nullptr) {
-      *journal_ << text;
-      journal_->flush();
-    }
+    journal_append(ss.str(), &rec);
     const double flush_ms = trace_clock_->now_ms() - flush_start;
     Observe(h_journal_flush_ms_, flush_ms);
     Observe(h_stage_[static_cast<std::size_t>(PublishStage::kJournalFlush)],
@@ -360,6 +408,15 @@ PublishOutcome Broker::apply_record(const JournalRecord& rec) {
       trace_.record({rec.seq, PublishStage::kJournalFlush, flush_start,
                      flush_ms});
   }
+  if (fp.active() && is_publish &&
+      fp.eval("broker.publish.post_journal").action != FailAction::kOff)
+    throw InjectedCrash("broker.publish.post_journal");
+  return finish_apply(rec);
+}
+
+// Everything after the record is durable: the crash-recovery contract is
+// that rerunning this half from the journal reproduces the mutation.
+PublishOutcome Broker::finish_apply(const JournalRecord& rec) {
   seq_ = rec.seq;
   last_time_ms_ = rec.cmd.time_ms;
 
@@ -375,6 +432,97 @@ PublishOutcome Broker::apply_record(const JournalRecord& rec) {
   update_derived_gauges();
   if (listener_) listener_(rec);
   return out;
+}
+
+void Broker::journal_append(const std::string& text, const JournalRecord* rec) {
+  if (journal_ == nullptr) {
+    // No sink attached (replay, tests): the stream size is still accounted
+    // so journal_bytes matches a broker that did write these records.
+    if (rec != nullptr) Inc(c_journal_bytes_, text.size());
+    return;
+  }
+  const DurabilityOptions& d = options_.durability;
+  std::size_t offset = 0;
+  std::size_t failures = 0;
+  double delay_ms = d.backoff_base_ms;
+  const auto on_failure = [&](const char* what) {
+    Inc(c_flush_failures_);
+    if (failures >= d.flush_retries) enter_degraded(what, text, offset, rec);
+    ++failures;
+    Inc(c_flush_retries_);
+    // Capped exponential backoff.  With a ManualClock (the deterministic
+    // default) the broker advances time itself so retry schedules replay
+    // exactly; under a wall clock the delay is advisory — the caller owns
+    // actual sleeping.
+    if (auto* manual = dynamic_cast<ManualClock*>(clock_))
+      manual->advance(delay_ms);
+    delay_ms = std::min(delay_ms * 2.0, d.backoff_cap_ms);
+  };
+  while (offset < text.size()) {
+    const std::size_t wrote =
+        journal_->write(text.data() + offset, text.size() - offset);
+    offset += wrote;
+    if (offset >= text.size()) break;
+    // A short write that made progress is retried immediately with the
+    // remainder (ordinary POSIX append semantics); only a stalled sink
+    // spends retry budget.
+    if (wrote == 0) on_failure("journal write made no progress");
+  }
+  while (!journal_->flush()) on_failure("journal flush (fsync) failed");
+  if (rec != nullptr) Inc(c_journal_bytes_, text.size());
+}
+
+void Broker::enter_degraded(const std::string& why, const std::string& text,
+                            std::size_t offset, const JournalRecord* rec) {
+  degraded_ = true;
+  pending_text_ = text;
+  pending_offset_ = offset;
+  pending_is_record_ = rec != nullptr;
+  if (rec != nullptr) pending_rec_ = *rec;
+  Inc(c_degraded_entries_);
+  Set(g_degraded_, 1.0);
+  throw BrokerDegradedError(
+      "broker degraded (read-only): " + why + " after " +
+      std::to_string(options_.durability.flush_retries) + " retries");
+}
+
+bool Broker::clear_degraded() {
+  if (!degraded_) return true;
+  if (journal_ != nullptr) {
+    // Finish the interrupted append before anything else: its prefix may
+    // already be on disk, and abandoning it would hand the same seq to the
+    // next command — a duplicate no reader accepts.
+    while (pending_offset_ < pending_text_.size()) {
+      const std::size_t wrote =
+          journal_->write(pending_text_.data() + pending_offset_,
+                          pending_text_.size() - pending_offset_);
+      if (wrote == 0) {
+        Inc(c_flush_failures_);
+        return false;
+      }
+      pending_offset_ += wrote;
+    }
+    if (!journal_->flush()) {
+      Inc(c_flush_failures_);
+      return false;
+    }
+  }
+  degraded_ = false;
+  Set(g_degraded_, 0.0);
+  if (pending_is_record_) {
+    Inc(c_journal_bytes_, pending_text_.size());
+    const JournalRecord rec = pending_rec_;
+    pending_is_record_ = false;
+    pending_text_.clear();
+    pending_offset_ = 0;
+    // The record is durable now, so the command takes effect — the caller
+    // that saw BrokerDegradedError observes it as a late success.
+    finish_apply(rec);
+  } else {
+    pending_text_.clear();
+    pending_offset_ = 0;
+  }
+  return true;
 }
 
 void Broker::apply_churn(const BrokerCommand& cmd) {
@@ -494,12 +642,50 @@ void Broker::capture_checkpoint() {
 }
 
 std::uint64_t Broker::write_snapshot(std::ostream& os) const {
+  // The command counters in the checkpoint are pinned to the checkpoint's
+  // seq (recovery re-applies the journal tail on top of them), but the
+  // durability block is *provenance*, not replayed state — export the live
+  // values so a snapshot taken after an incident carries its history.
+  BrokerSnapshot out = checkpoint_;
+  const BrokerStats live = stats();
+  out.stats.journal_flush_failures = live.journal_flush_failures;
+  out.stats.journal_flush_retries = live.journal_flush_retries;
+  out.stats.degraded_entries = live.degraded_entries;
+  out.stats.mutations_rejected = live.mutations_rejected;
   std::ostringstream ss;
-  WriteBrokerSnapshot(ss, checkpoint_);
+  WriteBrokerSnapshot(ss, out);
   const std::string text = ss.str();
-  os << text;
-  os.flush();
+  // Route through a sink so the snapshot.* fail-point sites cover this
+  // path too; snapshot writes have no retry budget — the caller owns the
+  // temp-file-plus-rename protocol (SaveToFileAtomic) and simply keeps the
+  // previous snapshot on failure.
+  StreamSink sink(os, "snapshot");
+  std::size_t offset = 0;
+  while (offset < text.size()) {
+    const std::size_t wrote =
+        sink.write(text.data() + offset, text.size() - offset);
+    if (wrote == 0) throw std::runtime_error("Broker: snapshot write failed");
+    offset += wrote;
+  }
+  if (!sink.flush()) throw std::runtime_error("Broker: snapshot flush failed");
   return text.size();
+}
+
+Broker::MatchOutcome Broker::match(const Point& event) const {
+  MatchOutcome out;
+  const std::vector<SubscriberId> inter = interested(event);
+  out.interested = inter.size();
+  MatchDecision d = mgr_->matcher().match(event, inter);
+  if (d.group_id >= 0) {
+    out.group_id = d.group_id;
+    out.group_size = d.group_members.size();
+    std::set_difference(inter.begin(), inter.end(), d.group_members.begin(),
+                        d.group_members.end(),
+                        std::back_inserter(out.unicast_targets));
+  } else {
+    out.unicast_targets = std::move(d.unicast_targets);
+  }
+  return out;
 }
 
 std::vector<SubscriberId> Broker::interested(const Point& event) const {

@@ -34,6 +34,8 @@
 #include <iosfwd>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "broker/clock.h"
@@ -41,6 +43,7 @@
 #include "broker/types.h"
 #include "core/group_manager.h"
 #include "index/rtree.h"
+#include "io/file.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/delivery_runtime.h"
@@ -67,11 +70,34 @@ struct BrokerObsOptions {
   std::uint64_t trace_sample = 0;
 };
 
+// How the broker responds to journal-flush failures (fsync errors, short
+// writes that make no progress).  A failed flush is retried with capped
+// exponential backoff — deterministic when the command clock is a
+// ManualClock, which the broker advances by each backoff delay — and when
+// the budget is exhausted the broker *degrades* instead of crashing: the
+// rejected command is rolled off, matching keeps serving reads, and every
+// further mutation throws BrokerDegradedError until clear_degraded()
+// verifies the sink again (see docs/OPERATIONS.md, "Degraded mode").
+struct DurabilityOptions {
+  std::size_t flush_retries = 4;   // retries after the first failed attempt
+  double backoff_base_ms = 1.0;    // first retry delay
+  double backoff_cap_ms = 64.0;    // delay ceiling (base * 2^k clamped)
+};
+
 struct BrokerOptions {
   GroupManagerOptions group;
   RefreshPolicyOptions refresh;
   RuntimeParams runtime;
+  DurabilityOptions durability;
   BrokerObsOptions obs;
+};
+
+// A mutation arrived while the broker is in read-only degraded mode (the
+// journal could not be made durable).  Distinct from other failures so
+// callers can shed writes and keep reading.
+class BrokerDegradedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 // Per-publish outcome: the match decision (with the caller-side unicast
@@ -113,7 +139,12 @@ class Broker {
   // Append journal records to `sink` (nullptr detaches).  With
   // `write_header`, emits the journal header first — pass false when
   // resuming an existing journal file.  Records are flushed per command.
+  // The stream is wrapped in a StreamSink under the "journal.*" fail-point
+  // sites; use set_journal_sink to supply a custom FileSink.
   void set_journal(std::ostream* sink, bool write_header = true);
+  // As set_journal, but with an injectable sink (must outlive the broker;
+  // nullptr detaches).
+  void set_journal_sink(FileSink* sink, bool write_header = true);
   // Live update stream (primary → warm standby): invoked after each
   // locally submitted command is applied.
   void set_record_listener(std::function<void(const JournalRecord&)> listener);
@@ -143,6 +174,31 @@ class Broker {
   // Exact interested set for an event against the live table (sorted).
   std::vector<SubscriberId> interested(const Point& event) const;
 
+  // Read-only match decision: the group (if any) plus the unicast
+  // completion the broker *would* use for this event, with no journaling,
+  // no delivery-timing mutation and no refresh — the lookup path degraded
+  // mode keeps serving.
+  struct MatchOutcome {
+    int group_id = -1;  // -1 = pure unicast
+    std::size_t group_size = 0;
+    std::vector<SubscriberId> unicast_targets;  // sorted ascending
+    std::size_t interested = 0;
+  };
+  MatchOutcome match(const Point& event) const;
+
+  // --- degraded mode ----------------------------------------------------
+  // True once a journal append exhausted its retry budget: mutations
+  // (subscribe/unsubscribe/update/publish/apply) throw BrokerDegradedError,
+  // reads (interested/match/stats/snapshot) keep serving.
+  bool degraded() const { return degraded_; }
+  // Probe the journal sink again (operator action after fixing storage).
+  // Returns true — and re-enables mutations — iff the interrupted append
+  // completes and the sink flushes clean.  Because part of the rejected
+  // record may already be on disk, the append is *finished*, not abandoned:
+  // on success the command that triggered degradation takes effect (its
+  // seq is consumed), exactly as if the original caller had retried it.
+  bool clear_degraded();
+
   // Latest refresh-boundary snapshot (see types.h).  write_snapshot
   // serializes it and returns the byte count.
   const BrokerSnapshot& snapshot() const { return checkpoint_; }
@@ -168,6 +224,15 @@ class Broker {
 
   JournalRecord make_record(BrokerCommand cmd);
   PublishOutcome apply_record(const JournalRecord& rec);
+  PublishOutcome finish_apply(const JournalRecord& rec);
+  // Durable append with short-write/flush retries and capped exponential
+  // backoff; `rec` is the record the bytes encode (nullptr for the header,
+  // which is not byte-accounted and has no state to carry into degraded
+  // mode).  Throws BrokerDegradedError once the retry budget is spent.
+  void journal_append(const std::string& text, const JournalRecord* rec);
+  [[noreturn]] void enter_degraded(const std::string& why,
+                                   const std::string& text, std::size_t offset,
+                                   const JournalRecord* rec);
   void apply_churn(const BrokerCommand& cmd);
   PublishOutcome apply_publish(const BrokerCommand& cmd);
   void maybe_refresh(PublishOutcome* outcome);
@@ -194,7 +259,18 @@ class Broker {
   RTree live_index_;
   std::vector<Rect> indexed_rect_;
 
-  std::ostream* journal_ = nullptr;
+  // Journal sink: either caller-supplied or an owned StreamSink wrapper
+  // around the std::ostream passed to set_journal.
+  FileSink* journal_ = nullptr;
+  std::unique_ptr<StreamSink> owned_journal_sink_;
+  bool degraded_ = false;
+  // The append interrupted by degradation: bytes [0, pending_offset_) were
+  // accepted by the sink before the budget ran out, so clear_degraded()
+  // must finish this exact text before any new record may be appended.
+  std::string pending_text_;
+  std::size_t pending_offset_ = 0;
+  bool pending_is_record_ = false;
+  JournalRecord pending_rec_;
   std::function<void(const JournalRecord&)> listener_;
   std::uint64_t seq_ = 0;
   double last_time_ms_ = 0.0;
@@ -225,6 +301,11 @@ class Broker {
   Counter* c_refresh_by_churn_ = nullptr;
   Counter* c_refresh_by_waste_ = nullptr;
   Counter* c_replayed_ = nullptr;
+  Counter* c_flush_failures_ = nullptr;
+  Counter* c_flush_retries_ = nullptr;
+  Counter* c_degraded_entries_ = nullptr;
+  Counter* c_mutations_rejected_ = nullptr;
+  Gauge* g_degraded_ = nullptr;
   Gauge* g_snapshot_bytes_ = nullptr;
   Gauge* g_recovery_progress_ = nullptr;
   Gauge* g_seq_ = nullptr;

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "util/failpoint.h"
+
 namespace pubsub {
 
 BrokerReplica::BrokerReplica(const BrokerSnapshot& snapshot,
@@ -16,6 +18,11 @@ void BrokerReplica::apply(const JournalRecord& rec) {
     throw std::logic_error(
         "BrokerReplica: already promoted; detach it from the record stream");
   if (rec.seq <= broker_->seq()) return;  // duplicate from a resent stream
+  {
+    FailPoints& fp = FailPoints::Instance();
+    if (fp.active() && fp.eval("replica.apply").action != FailAction::kOff)
+      throw InjectedCrash("replica.apply");
+  }
   if (rec.seq != broker_->seq() + 1)
     throw std::runtime_error(
         "BrokerReplica: stream gap (expected seq " +

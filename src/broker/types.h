@@ -40,8 +40,11 @@ struct JournalRecord {
 };
 
 // Service counters.  All fields are pure functions of the applied command
-// stream except the last two, which record recovery provenance (what this
-// broker instance was bootstrapped from) and are zero for a fresh broker.
+// stream except snapshot_bytes / replayed_records, which record recovery
+// provenance (what this broker instance was bootstrapped from), and the
+// durability block (flush failures through mutations rejected), which
+// records fault provenance — what storage did to this broker — and is zero
+// on a healthy run.
 struct BrokerStats {
   std::uint64_t commands_applied = 0;
   std::uint64_t subscribes = 0;
@@ -58,6 +61,11 @@ struct BrokerStats {
   std::uint64_t journal_bytes = 0;  // serialized size of the record stream
   std::uint64_t snapshot_bytes = 0;   // size of the bootstrap snapshot
   std::uint64_t replayed_records = 0; // journal tail applied at recovery
+  // Durability block (snapshot format v2; see docs/OPERATIONS.md).
+  std::uint64_t journal_flush_failures = 0;  // flush attempts that failed
+  std::uint64_t journal_flush_retries = 0;   // backoff retries performed
+  std::uint64_t degraded_entries = 0;        // times degraded mode engaged
+  std::uint64_t mutations_rejected = 0;      // commands refused while degraded
   bool operator==(const BrokerStats&) const = default;
 };
 

@@ -32,11 +32,21 @@ class LineReader {
       ++line_no_;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty() || line[0] == '#') continue;
+      // getline sets eofbit iff it stopped at end-of-stream instead of a
+      // delimiter, so this is exactly "the line has its trailing newline".
+      last_terminated_ = !is_.eof();
       *out = std::move(line);
       return true;
     }
     return false;
   }
+
+  // Whether the line last returned by next()/next_or_eof ended in '\n'.
+  // An unterminated final line is the signature of a crash mid-append
+  // (records are serialized newline-included and written in one call).
+  bool last_line_terminated() const { return last_terminated_; }
+
+  int line_no() const { return line_no_; }
 
   [[noreturn]] void fail(const std::string& what) const {
     throw std::runtime_error("parse error at line " + std::to_string(line_no_) +
@@ -50,6 +60,7 @@ class LineReader {
  private:
   std::istream& is_;
   int line_no_ = 0;
+  bool last_terminated_ = true;
 };
 
 void WriteDouble(std::ostream& os, double x) {
@@ -321,8 +332,24 @@ ClusteringFile ReadClustering(std::istream& is) {
 namespace {
 
 // Counter fields in snapshot `stats` line order.  Keep in sync with
-// BrokerStats; the format version guards the field list.
-constexpr std::size_t kNumStatFields = 15;
+// BrokerStats; the format version guards the field list.  v1 files carry
+// the first 15 fields; v2 appends the durability/degradation counters.
+constexpr std::size_t kNumStatFieldsV1 = 15;
+constexpr std::size_t kNumStatFieldsV2 = 19;
+
+// Pointers to the stats fields in serialized order (v1 prefix first).
+std::vector<std::uint64_t*> StatFields(BrokerStats& s) {
+  return {&s.commands_applied,   &s.subscribes,
+          &s.unsubscribes,       &s.updates,
+          &s.publishes,          &s.events_matched,
+          &s.multicast_events,   &s.unicast_events,
+          &s.messages_emitted,   &s.wasted_deliveries,
+          &s.refreshes,          &s.full_rebuilds,
+          &s.journal_bytes,      &s.snapshot_bytes,
+          &s.replayed_records,   &s.journal_flush_failures,
+          &s.journal_flush_retries, &s.degraded_entries,
+          &s.mutations_rejected};
+}
 
 std::uint64_t ParseCount(LineReader& r, const std::string& tok) {
   const long v = ParseLong(r, tok);
@@ -352,17 +379,13 @@ Rect ParseRect(LineReader& r, const std::vector<std::string>& toks,
 }  // namespace
 
 void WriteBrokerSnapshot(std::ostream& os, const BrokerSnapshot& snap) {
-  os << "pubsub-broker-snapshot v1\n";
+  os << "pubsub-broker-snapshot v2\n";
   os << "seq " << snap.seq << '\n';
   os << "churn-since-full-build " << snap.churn_since_full_build << '\n';
-  const BrokerStats& s = snap.stats;
-  os << "stats " << s.commands_applied << ' ' << s.subscribes << ' '
-     << s.unsubscribes << ' ' << s.updates << ' ' << s.publishes << ' '
-     << s.events_matched << ' ' << s.multicast_events << ' '
-     << s.unicast_events << ' ' << s.messages_emitted << ' '
-     << s.wasted_deliveries << ' ' << s.refreshes << ' ' << s.full_rebuilds
-     << ' ' << s.journal_bytes << ' ' << s.snapshot_bytes << ' '
-     << s.replayed_records << '\n';
+  BrokerStats stats_copy = snap.stats;
+  os << "stats";
+  for (const std::uint64_t* field : StatFields(stats_copy)) os << ' ' << *field;
+  os << '\n';
   os << "queue " << snap.queue_state.size() << '\n';
   for (const double v : snap.queue_state) {
     WriteDouble(os, v);
@@ -380,7 +403,12 @@ BrokerSnapshot ReadBrokerSnapshot(std::istream& is) {
   BrokerSnapshot snap;
   {
     LineReader r(is);
-    r.expect(r.next(), "pubsub-broker-snapshot v1");
+    const std::string header = r.next();
+    std::size_t num_stat_fields = kNumStatFieldsV2;
+    if (header == "pubsub-broker-snapshot v1")
+      num_stat_fields = kNumStatFieldsV1;  // back-compat: pre-durability file
+    else if (header != "pubsub-broker-snapshot v2")
+      r.fail("expected 'pubsub-broker-snapshot v2', got '" + header + "'");
     const auto seq_line = SplitN(r, r.next(), 2);
     if (seq_line[0] != "seq") r.fail("expected 'seq'");
     snap.seq = ParseCount(r, seq_line[1]);
@@ -389,17 +417,11 @@ BrokerSnapshot ReadBrokerSnapshot(std::istream& is) {
       r.fail("expected 'churn-since-full-build'");
     snap.churn_since_full_build = ParseCount(r, churn_line[1]);
 
-    const auto stats = SplitN(r, r.next(), 1 + kNumStatFields);
+    const auto stats = SplitN(r, r.next(), 1 + num_stat_fields);
     if (stats[0] != "stats") r.fail("expected 'stats'");
-    BrokerStats& s = snap.stats;
-    std::size_t i = 1;
-    for (std::uint64_t* field :
-         {&s.commands_applied, &s.subscribes, &s.unsubscribes, &s.updates,
-          &s.publishes, &s.events_matched, &s.multicast_events,
-          &s.unicast_events, &s.messages_emitted, &s.wasted_deliveries,
-          &s.refreshes, &s.full_rebuilds, &s.journal_bytes, &s.snapshot_bytes,
-          &s.replayed_records})
-      *field = ParseCount(r, stats[i++]);
+    const std::vector<std::uint64_t*> fields = StatFields(snap.stats);
+    for (std::size_t i = 0; i < num_stat_fields; ++i)
+      *fields[i] = ParseCount(r, stats[i + 1]);
 
     const auto queue_line = SplitN(r, r.next(), 2);
     if (queue_line[0] != "queue") r.fail("expected 'queue'");
@@ -460,71 +482,153 @@ void WriteJournalRecord(std::ostream& os, const JournalRecord& rec,
   os << '\n';
 }
 
-JournalFile ReadJournal(std::istream& is) {
-  LineReader r(is);
-  r.expect(r.next(), "pubsub-journal v1");
-  const auto dims_line = SplitN(r, r.next(), 2);
-  if (dims_line[0] != "dims") r.fail("expected 'dims'");
-  const long dims = ParseLong(r, dims_line[1]);
-  if (dims <= 0) r.fail("non-positive dimension count");
+const char* JournalErrorCodeName(JournalErrorCode code) {
+  switch (code) {
+    case JournalErrorCode::kBadHeader: return "bad-header";
+    case JournalErrorCode::kMalformedRecord: return "malformed-record";
+    case JournalErrorCode::kTornTail: return "torn-tail";
+    case JournalErrorCode::kSeqGap: return "seq-gap";
+  }
+  return "unknown";
+}
 
+JournalError::JournalError(JournalErrorCode code, int line_no,
+                           const std::string& what)
+    : std::runtime_error("journal error [" +
+                         std::string(JournalErrorCodeName(code)) +
+                         "] at line " + std::to_string(line_no) + ": " + what),
+      code_(code),
+      line_no_(line_no) {}
+
+namespace {
+
+// One record line, seq checks excluded (the caller owns the gap/torn-tail
+// classification).  Throws plain runtime_error via r.fail on damage.
+JournalRecord ParseJournalRecordLine(LineReader& r, const std::string& line,
+                                     std::size_t dims) {
+  const std::vector<std::string> toks = Split(line);
+  if (toks.size() < 4) r.fail("truncated journal record");
+  JournalRecord rec;
+  rec.seq = ParseCount(r, toks[0]);
+  rec.cmd.time_ms = ParseDouble(r, toks[1]);
+  if (!std::isfinite(rec.cmd.time_ms) || rec.cmd.time_ms < 0.0)
+    r.fail("bad command timestamp");
+
+  const std::string& type = toks[2];
+  const std::size_t rect_fields = 2 * dims;
+  if (type == "sub") {
+    if (toks.size() != 4 + rect_fields) r.fail("bad subscribe record");
+    rec.cmd.type = BrokerCommandType::kSubscribe;
+    const long node = ParseLong(r, toks[3]);
+    if (node < 0) r.fail("negative node id");
+    rec.cmd.node = static_cast<NodeId>(node);
+    rec.cmd.interest = ParseRect(r, toks, 4, dims);
+  } else if (type == "unsub") {
+    if (toks.size() != 4) r.fail("bad unsubscribe record");
+    rec.cmd.type = BrokerCommandType::kUnsubscribe;
+    const long id = ParseLong(r, toks[3]);
+    if (id < 0) r.fail("negative subscriber id");
+    rec.cmd.subscriber = static_cast<SubscriberId>(id);
+  } else if (type == "upd") {
+    if (toks.size() != 4 + rect_fields) r.fail("bad update record");
+    rec.cmd.type = BrokerCommandType::kUpdate;
+    const long id = ParseLong(r, toks[3]);
+    if (id < 0) r.fail("negative subscriber id");
+    rec.cmd.subscriber = static_cast<SubscriberId>(id);
+    rec.cmd.interest = ParseRect(r, toks, 4, dims);
+  } else if (type == "pub") {
+    if (toks.size() != 4 + dims) r.fail("bad publish record");
+    rec.cmd.type = BrokerCommandType::kPublish;
+    const long node = ParseLong(r, toks[3]);
+    if (node < 0) r.fail("negative origin node");
+    rec.cmd.node = static_cast<NodeId>(node);
+    rec.cmd.point.reserve(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double x = ParseDouble(r, toks[4 + d]);
+      if (!std::isfinite(x)) r.fail("non-finite event coordinate");
+      rec.cmd.point.push_back(x);
+    }
+  } else {
+    r.fail("unknown journal record type '" + type + "'");
+  }
+  return rec;
+}
+
+JournalFile ParseJournal(std::istream& is, bool lenient, bool* torn_tail,
+                         std::string* tail_error) {
+  LineReader r(is);
   JournalFile jf;
-  jf.dims = static_cast<std::size_t>(dims);
+  try {
+    r.expect(r.next(), "pubsub-journal v1");
+    const auto dims_line = SplitN(r, r.next(), 2);
+    if (dims_line[0] != "dims") r.fail("expected 'dims'");
+    const long dims = ParseLong(r, dims_line[1]);
+    if (dims <= 0) r.fail("non-positive dimension count");
+    jf.dims = static_cast<std::size_t>(dims);
+  } catch (const std::runtime_error& e) {
+    throw JournalError(JournalErrorCode::kBadHeader, r.line_no(), e.what());
+  }
+
   std::string line;
   while (r.next_or_eof(&line)) {
-    const std::vector<std::string> toks = Split(line);
-    if (toks.size() < 4) r.fail("truncated journal record");
-    JournalRecord rec;
-    rec.seq = ParseCount(r, toks[0]);
-    if (rec.seq == 0) r.fail("journal sequence numbers start at 1");
-    if (!jf.records.empty() && rec.seq != jf.records.back().seq + 1)
-      r.fail("journal sequence gap: expected " +
-             std::to_string(jf.records.back().seq + 1) + ", got " +
-             std::to_string(rec.seq));
-    rec.cmd.time_ms = ParseDouble(r, toks[1]);
-    if (!std::isfinite(rec.cmd.time_ms) || rec.cmd.time_ms < 0.0)
-      r.fail("bad command timestamp");
-
-    const std::string& type = toks[2];
-    const std::size_t rect_fields = 2 * jf.dims;
-    if (type == "sub") {
-      if (toks.size() != 4 + rect_fields) r.fail("bad subscribe record");
-      rec.cmd.type = BrokerCommandType::kSubscribe;
-      const long node = ParseLong(r, toks[3]);
-      if (node < 0) r.fail("negative node id");
-      rec.cmd.node = static_cast<NodeId>(node);
-      rec.cmd.interest = ParseRect(r, toks, 4, jf.dims);
-    } else if (type == "unsub") {
-      if (toks.size() != 4) r.fail("bad unsubscribe record");
-      rec.cmd.type = BrokerCommandType::kUnsubscribe;
-      const long id = ParseLong(r, toks[3]);
-      if (id < 0) r.fail("negative subscriber id");
-      rec.cmd.subscriber = static_cast<SubscriberId>(id);
-    } else if (type == "upd") {
-      if (toks.size() != 4 + rect_fields) r.fail("bad update record");
-      rec.cmd.type = BrokerCommandType::kUpdate;
-      const long id = ParseLong(r, toks[3]);
-      if (id < 0) r.fail("negative subscriber id");
-      rec.cmd.subscriber = static_cast<SubscriberId>(id);
-      rec.cmd.interest = ParseRect(r, toks, 4, jf.dims);
-    } else if (type == "pub") {
-      if (toks.size() != 4 + jf.dims) r.fail("bad publish record");
-      rec.cmd.type = BrokerCommandType::kPublish;
-      const long node = ParseLong(r, toks[3]);
-      if (node < 0) r.fail("negative origin node");
-      rec.cmd.node = static_cast<NodeId>(node);
-      rec.cmd.point.reserve(jf.dims);
-      for (std::size_t d = 0; d < jf.dims; ++d) {
-        const double x = ParseDouble(r, toks[4 + d]);
-        if (!std::isfinite(x)) r.fail("non-finite event coordinate");
-        rec.cmd.point.push_back(x);
+    try {
+      JournalRecord rec = ParseJournalRecordLine(r, line, jf.dims);
+      if (rec.seq == 0)
+        throw JournalError(JournalErrorCode::kSeqGap, r.line_no(),
+                           "journal sequence numbers start at 1");
+      if (!jf.records.empty() && rec.seq != jf.records.back().seq + 1)
+        throw JournalError(
+            JournalErrorCode::kSeqGap, r.line_no(),
+            "journal sequence gap: expected " +
+                std::to_string(jf.records.back().seq + 1) + ", got " +
+                std::to_string(rec.seq));
+      jf.records.push_back(std::move(rec));
+    } catch (const std::runtime_error& e) {
+      // Records are serialized newline-included and appended in one write,
+      // so an unterminated final line is a torn append — recoverable by
+      // dropping it.  Damage on a terminated line is corruption (or, for a
+      // terminated seq anomaly, lost records) and is never dropped.
+      if (!r.last_line_terminated()) {
+        if (lenient) {
+          *torn_tail = true;
+          *tail_error = e.what();
+          return jf;
+        }
+        throw JournalError(JournalErrorCode::kTornTail, r.line_no(), e.what());
       }
-    } else {
-      r.fail("unknown journal record type '" + type + "'");
+      if (dynamic_cast<const JournalError*>(&e) != nullptr) throw;
+      throw JournalError(JournalErrorCode::kMalformedRecord, r.line_no(),
+                         e.what());
     }
-    jf.records.push_back(std::move(rec));
+  }
+  // The final line parsed — but without its newline it may be the prefix
+  // of a longer record that happens to parse (e.g. a publish missing the
+  // last digits of a coordinate).  Crash-mid-append means the command was
+  // never applied, so dropping it is always correct.
+  if (!r.last_line_terminated() && !jf.records.empty()) {
+    if (!lenient)
+      throw JournalError(JournalErrorCode::kTornTail, r.line_no(),
+                         "unterminated final record (crash mid-append)");
+    *torn_tail = true;
+    *tail_error = "unterminated final record (crash mid-append)";
+    jf.records.pop_back();
   }
   return jf;
+}
+
+}  // namespace
+
+JournalFile ReadJournal(std::istream& is) {
+  bool torn = false;
+  std::string err;
+  return ParseJournal(is, /*lenient=*/false, &torn, &err);
+}
+
+JournalReadResult ReadJournalLenient(std::istream& is) {
+  JournalReadResult result;
+  result.journal =
+      ParseJournal(is, /*lenient=*/true, &result.torn_tail, &result.tail_error);
+  return result;
 }
 
 // ---------------------------------------------------------------- metrics
@@ -666,6 +770,21 @@ void SaveToFile(const std::string& path, const std::string& content) {
   if (!os) throw std::runtime_error("cannot open for writing: " + path);
   os << content;
   if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+void SaveToFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("cannot open for writing: " + tmp);
+    os << content;
+    os.flush();
+    if (!os) throw std::runtime_error("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("rename failed: " + tmp + " -> " + path);
+  }
 }
 
 std::string LoadFromFile(const std::string& path) {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -51,14 +52,16 @@ ClusteringFile ReadClustering(std::istream& is);
 // ------------------------------------------------------- broker durability
 // Snapshot: the full recovery image of broker/broker.h, captured at a
 // refresh boundary (embeds the workload and clustering records above).
+// Current format is v2 (adds the durability/degradation counters to the
+// stats line); the reader also accepts v1 files, zero-filling the new
+// fields.
 void WriteBrokerSnapshot(std::ostream& os, const BrokerSnapshot& snap);
 BrokerSnapshot ReadBrokerSnapshot(std::istream& is);
 
 // Write-ahead journal: a header naming the event-space dimensionality,
 // then one line per sequenced command, appendable as the broker runs.
 // ReadJournal validates the header and requires contiguous, strictly
-// increasing sequence numbers (a gap means lost updates — fail loudly);
-// any malformed line, including a torn final append, throws.
+// increasing sequence numbers.
 void WriteJournalHeader(std::ostream& os, std::size_t dims);
 void WriteJournalRecord(std::ostream& os, const JournalRecord& rec,
                         std::size_t dims);
@@ -67,7 +70,46 @@ struct JournalFile {
   std::size_t dims = 0;
   std::vector<JournalRecord> records;
 };
+
+// Journal failures are not interchangeable: a torn tail is the expected
+// artifact of a crash mid-append and recovery simply drops it, while a
+// sequence gap or a damaged interior record means lost updates — the
+// journal cannot be trusted and the operator must re-bootstrap from a
+// newer snapshot (docs/OPERATIONS.md, "Journal damage matrix").
+enum class JournalErrorCode {
+  kBadHeader,        // magic/version/dims lines missing or wrong
+  kMalformedRecord,  // a newline-terminated record is damaged (corruption)
+  kTornTail,         // the final line lacks its newline: crash mid-append
+  kSeqGap,           // sequence not contiguous from 1: lost records
+};
+const char* JournalErrorCodeName(JournalErrorCode code);
+
+class JournalError : public std::runtime_error {
+ public:
+  JournalError(JournalErrorCode code, int line_no, const std::string& what);
+  JournalErrorCode code() const { return code_; }
+  int line_no() const { return line_no_; }
+
+ private:
+  JournalErrorCode code_;
+  int line_no_;
+};
+
+// Strict read: any anomaly, torn tail included, throws JournalError with
+// the code above.  Records are written newline-terminated in one append,
+// so an unterminated final line is always a torn append — even when its
+// prefix happens to parse as a complete record.
 JournalFile ReadJournal(std::istream& is);
+
+// Recovery read: a torn tail is dropped and reported instead of thrown
+// (the crashed append never mutated state, so the truncated journal is the
+// durable truth).  Gaps and interior damage still throw.
+struct JournalReadResult {
+  JournalFile journal;
+  bool torn_tail = false;
+  std::string tail_error;  // why the dropped tail line did not count
+};
+JournalReadResult ReadJournalLenient(std::istream& is);
 
 // ------------------------------------------------------------------ metrics
 // Exposition for obs/metrics snapshots (telemetry tentpole).  Both writers
@@ -84,6 +126,10 @@ void WriteMetricsJson(std::ostream& os, const MetricsSnapshot& snap);
 
 // ------------------------------------------------------------ file helpers
 void SaveToFile(const std::string& path, const std::string& content);
+// Crash-safe replacement: writes `path`.tmp, flushes, then renames over
+// `path`, so readers observe either the old or the new content — never a
+// torn file.  Snapshot files must be replaced this way (docs/OPERATIONS.md).
+void SaveToFileAtomic(const std::string& path, const std::string& content);
 std::string LoadFromFile(const std::string& path);
 
 }  // namespace pubsub

@@ -1,0 +1,45 @@
+// Declarative command/flag table for tools/pubsub_cli.
+//
+// One table drives three consumers that used to drift independently:
+//   * `pubsub_cli help` prints CliUsageText() verbatim;
+//   * each subcommand validates its flags with CliFlagNames(command)
+//     (unknown-flag typos are hard usage errors);
+//   * docs/CLI.md embeds the same usage text in a fenced code block, and
+//     tests/test_cli_docs.cc diffs the two byte-for-byte.
+// Adding a flag therefore means editing exactly one table — forgetting the
+// doc or the validator is a test failure, not a silent gap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pubsub {
+
+struct CliFlag {
+  std::string name;         // without the leading "--"
+  std::string value;        // value hint shown in help ("PATH", "N", ...)
+  std::string description;  // one line
+};
+
+struct CliCommand {
+  std::string name;
+  std::string summary;             // one line for the command index
+  std::vector<CliFlag> flags;      // full accepted set, common flags included
+};
+
+// Every subcommand, in help order.
+const std::vector<CliCommand>& CliCommands();
+
+// nullptr if `name` is not a subcommand.
+const CliCommand* FindCliCommand(const std::string& name);
+
+// Accepted flag names for Flags::require_known.  Throws std::out_of_range
+// for an unknown command (a programming error, not a user error).
+std::vector<std::string> CliFlagNames(const std::string& command);
+
+// The full help text: command index, then one section per command listing
+// each flag with its value hint and description.  `pubsub_cli help` prints
+// exactly this; docs/CLI.md embeds exactly this.
+std::string CliUsageText();
+
+}  // namespace pubsub

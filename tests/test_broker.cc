@@ -9,10 +9,12 @@
 #include <string>
 #include <vector>
 
+#include "broker/chaos.h"
 #include "broker/replica.h"
 #include "io/serialize.h"
 #include "sim/experiment.h"
 #include "sim/scenario.h"
+#include "util/failpoint.h"
 #include "workload/stock_model.h"
 
 namespace pubsub {
@@ -428,6 +430,156 @@ TEST(Broker, Validation) {
   EXPECT_THROW(Broker::Recover(broker.snapshot(), {}, *f.scenario.pub,
                                f.scenario.net.graph, other),
                std::invalid_argument);
+}
+
+// --- fault injection & graceful degradation -------------------------------
+
+// Clears the process-global fail-point registry on both sides of each test.
+class BrokerFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailPoints::Instance().clear(); }
+  void TearDown() override { FailPoints::Instance().clear(); }
+};
+
+TEST_F(BrokerFaultTest, ShortJournalWritesRetryToCompletion) {
+  BrokerFixture f;
+  const BrokerOptions opts = f.SmallOptions();
+  const auto schedule =
+      BuildChaosSchedule(f.scenario.net, f.scenario.workload, 10, 5, 7);
+
+  ManualClock clock_a, clock_b;
+  Broker a = f.MakeBroker(opts, &clock_a);
+  Broker b = f.MakeBroker(opts, &clock_b);
+  std::ostringstream ja, jb;
+  a.set_journal(&ja);
+  b.set_journal(&jb);
+
+  // Every append lands only 3 bytes per write call: the broker must loop
+  // the remainder without counting failures or losing bytes.
+  FailPoints::Instance().configure("journal.write=error:3");
+  for (const JournalRecord& rec : schedule) a.apply(rec);
+  FailPoints::Instance().clear();
+  for (const JournalRecord& rec : schedule) b.apply(rec);
+
+  EXPECT_EQ(ja.str(), jb.str());  // byte-identical journal despite faults
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  EXPECT_EQ(a.stats().journal_flush_failures, 0u);
+  EXPECT_FALSE(a.degraded());
+}
+
+TEST_F(BrokerFaultTest, PostJournalCrashLeavesTheRecordDurable) {
+  BrokerFixture f;
+  const BrokerOptions opts = f.SmallOptions();
+  const auto schedule =
+      BuildChaosSchedule(f.scenario.net, f.scenario.workload, 6, 3, 7);
+
+  ManualClock clock;
+  Broker broker = f.MakeBroker(opts, &clock);
+  std::ostringstream journal;
+  broker.set_journal(&journal);
+  const BrokerSnapshot base = broker.snapshot();
+
+  broker.apply(schedule[0]);
+  FailPoints::Instance().configure("broker.publish.post_journal=crash*1");
+  EXPECT_THROW(broker.apply(schedule[1]), InjectedCrash);
+  FailPoints::Instance().clear();
+  EXPECT_EQ(broker.seq(), 1u);  // the mutation never happened in memory...
+
+  // ...but the WAL record is durable, so recovery replays it.
+  std::istringstream is(journal.str());
+  const JournalFile jf = ReadJournal(is);
+  ASSERT_EQ(jf.records.size(), 2u);
+  const auto recovered =
+      Broker::Recover(base, jf.records, *f.scenario.pub, f.scenario.net.graph,
+                      opts);
+  EXPECT_EQ(recovered->seq(), 2u);
+}
+
+TEST_F(BrokerFaultTest, PersistentFlushFailureBacksOffThenDegrades) {
+  BrokerFixture f;
+  BrokerOptions opts = f.SmallOptions();
+  opts.durability.flush_retries = 6;
+  opts.durability.backoff_base_ms = 1.0;
+  opts.durability.backoff_cap_ms = 4.0;
+  const auto schedule =
+      BuildChaosSchedule(f.scenario.net, f.scenario.workload, 10, 5, 7);
+
+  ManualClock clock;
+  Broker broker = f.MakeBroker(opts, &clock);
+  std::ostringstream journal;
+  broker.set_journal(&journal);
+  broker.apply(schedule[0]);
+
+  const double before_ms = clock.now_ms();
+  FailPoints::Instance().configure("journal.flush=error");
+  EXPECT_THROW(broker.apply(schedule[1]), BrokerDegradedError);
+
+  // Capped exponential backoff, deterministic through the manual clock:
+  // 1 + 2 + 4 + 4 + 4 + 4 = 19ms across the six retries.
+  EXPECT_DOUBLE_EQ(clock.now_ms() - before_ms, 19.0);
+  EXPECT_TRUE(broker.degraded());
+  const BrokerStats& s = broker.stats();
+  EXPECT_EQ(s.journal_flush_retries, 6u);
+  EXPECT_EQ(s.journal_flush_failures, 7u);  // initial attempt + 6 retries
+  EXPECT_EQ(s.degraded_entries, 1u);
+  EXPECT_EQ(broker.seq(), 1u);  // the faulted command did not take effect
+}
+
+TEST_F(BrokerFaultTest, DegradedModeServesReadsRejectsWritesAndResumes) {
+  BrokerFixture f;
+  const BrokerOptions opts = f.SmallOptions();
+  const auto schedule =
+      BuildChaosSchedule(f.scenario.net, f.scenario.workload, 15, 5, 7);
+
+  ManualClock clock_a, clock_b;
+  Broker a = f.MakeBroker(opts, &clock_a);
+  Broker b = f.MakeBroker(opts, &clock_b);  // clean twin, no journal faults
+  std::ostringstream ja, jb;
+  a.set_journal(&ja);
+  b.set_journal(&jb);
+
+  const std::size_t half = schedule.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    a.apply(schedule[i]);
+    b.apply(schedule[i]);
+  }
+
+  FailPoints::Instance().configure("journal.flush=error");
+  EXPECT_THROW(a.apply(schedule[half]), BrokerDegradedError);
+  EXPECT_TRUE(a.degraded());
+
+  // Reads keep serving while degraded.
+  const Point& probe = f.events[0].pub.point;
+  EXPECT_EQ(a.interested(probe), b.interested(probe));
+  EXPECT_NO_THROW(a.match(probe));
+  EXPECT_NO_THROW(a.stats());
+
+  // Mutations are rejected and counted.
+  EXPECT_THROW(a.apply(schedule[half]), BrokerDegradedError);
+  EXPECT_THROW(a.subscribe(3, a.workload().space.domain_rect()),
+               BrokerDegradedError);
+  EXPECT_EQ(a.stats().mutations_rejected, 2u);
+
+  // While the fault persists, clear_degraded() reports failure and stays
+  // degraded.
+  EXPECT_FALSE(a.clear_degraded());
+  EXPECT_TRUE(a.degraded());
+
+  // Once the "disk" heals, clearing finishes the interrupted append and
+  // applies the pending command — a late success, not a lost update.
+  FailPoints::Instance().clear();
+  EXPECT_TRUE(a.clear_degraded());
+  EXPECT_FALSE(a.degraded());
+  b.apply(schedule[half]);
+  EXPECT_EQ(a.seq(), b.seq());
+
+  for (std::size_t i = half + 1; i < schedule.size(); ++i) {
+    a.apply(schedule[i]);
+    b.apply(schedule[i]);
+  }
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  EXPECT_EQ(ja.str(), jb.str());  // journal bytes identical too
+  EXPECT_EQ(a.stats().degraded_entries, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,74 @@
+// Pins docs/CLI.md to the CLI spec table (util/cli_spec).  The doc embeds
+// the full `pubsub_cli help` text in a ```text fence; this test diffs that
+// fence byte-for-byte against CliUsageText(), so the doc cannot drift from
+// the binary — adding a flag without regenerating the doc is a test
+// failure, not a silent gap.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/cli_spec.h"
+
+#ifndef PUBSUB_SOURCE_DIR
+#error "tests/CMakeLists.txt must define PUBSUB_SOURCE_DIR"
+#endif
+
+namespace pubsub {
+namespace {
+
+std::string ReadDoc() {
+  const std::string path = std::string(PUBSUB_SOURCE_DIR) + "/docs/CLI.md";
+  std::ifstream in(path);
+  if (!in) ADD_FAILURE() << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(CliDocs, HelpTextMatchesDocFenceByteForByte) {
+  const std::string doc = ReadDoc();
+  const std::string open = "```text\n";
+  const std::size_t begin = doc.find(open);
+  ASSERT_NE(begin, std::string::npos) << "docs/CLI.md has no ```text fence";
+  const std::size_t body = begin + open.size();
+  const std::size_t end = doc.find("```", body);
+  ASSERT_NE(end, std::string::npos) << "docs/CLI.md fence is unterminated";
+  EXPECT_EQ(doc.substr(body, end - body), CliUsageText())
+      << "docs/CLI.md fence is stale; paste the output of `pubsub_cli help`";
+}
+
+TEST(CliDocs, EveryCommandHasANarrativeSection) {
+  const std::string doc = ReadDoc();
+  for (const CliCommand& c : CliCommands())
+    EXPECT_NE(doc.find("## `" + c.name + "`"), std::string::npos)
+        << "docs/CLI.md is missing a section for " << c.name;
+}
+
+TEST(CliSpec, TableIsInternallyConsistent) {
+  ASSERT_NE(FindCliCommand("chaos"), nullptr);
+  EXPECT_EQ(FindCliCommand("not-a-command"), nullptr);
+  EXPECT_THROW(CliFlagNames("not-a-command"), std::out_of_range);
+
+  // Every subcommand accepts the common fault-injection flags.
+  for (const CliCommand& c : CliCommands()) {
+    bool has_failpoints = false;
+    for (const CliFlag& f : c.flags)
+      if (f.name == "failpoints") has_failpoints = true;
+    EXPECT_TRUE(has_failpoints) << c.name;
+  }
+
+  // The usage text mentions every command and every flag.
+  const std::string usage = CliUsageText();
+  for (const CliCommand& c : CliCommands()) {
+    EXPECT_NE(usage.find(c.name), std::string::npos) << c.name;
+    for (const CliFlag& f : c.flags)
+      EXPECT_NE(usage.find("--" + f.name), std::string::npos)
+          << c.name << " --" << f.name;
+  }
+}
+
+}  // namespace
+}  // namespace pubsub

@@ -146,7 +146,9 @@ BrokerSnapshot MakeBrokerSnapshot() {
         &snap.stats.unicast_events, &snap.stats.messages_emitted,
         &snap.stats.wasted_deliveries, &snap.stats.refreshes,
         &snap.stats.full_rebuilds, &snap.stats.journal_bytes,
-        &snap.stats.snapshot_bytes, &snap.stats.replayed_records})
+        &snap.stats.snapshot_bytes, &snap.stats.replayed_records,
+        &snap.stats.journal_flush_failures, &snap.stats.journal_flush_retries,
+        &snap.stats.degraded_entries, &snap.stats.mutations_rejected})
     *field = n++;  // every counter distinct: field-order bugs can't cancel
   return snap;
 }
@@ -178,7 +180,9 @@ TEST(Serialize, BrokerSnapshotRejectsVersionSkewAndDamage) {
 
   // A future format version must be rejected, not mis-parsed.
   std::string skewed = full;
-  skewed.replace(skewed.find("v1"), 2, "v2");
+  skewed.replace(skewed.find("pubsub-broker-snapshot v2"),
+                 std::string("pubsub-broker-snapshot v2").size(),
+                 "pubsub-broker-snapshot v3");
   std::istringstream skew_is(skewed);
   EXPECT_THROW(ReadBrokerSnapshot(skew_is), std::runtime_error);
 
@@ -196,6 +200,33 @@ TEST(Serialize, BrokerSnapshotRejectsVersionSkewAndDamage) {
   negative.replace(negative.find("seq 42"), 6, "seq -2");
   std::istringstream neg_is(negative);
   EXPECT_THROW(ReadBrokerSnapshot(neg_is), std::runtime_error);
+}
+
+TEST(Serialize, BrokerSnapshotReadsV1WithZeroFilledDurability) {
+  // A pre-durability (v1) snapshot carries 15 stats fields; the v2 reader
+  // must accept it and zero-fill the four durability counters.
+  const BrokerSnapshot snap = MakeBrokerSnapshot();
+  std::ostringstream os;
+  WriteBrokerSnapshot(os, snap);
+  std::string v1 = os.str();
+  v1.replace(v1.find("pubsub-broker-snapshot v2"),
+             std::string("pubsub-broker-snapshot v2").size(),
+             "pubsub-broker-snapshot v1");
+  const std::size_t stats_pos = v1.find("stats ");
+  std::size_t stats_end = v1.find('\n', stats_pos);
+  for (int i = 0; i < 4; ++i)  // drop the four v2-only trailing counters
+    stats_end = v1.rfind(' ', stats_end - 1);
+  v1.erase(stats_end, v1.find('\n', stats_pos) - stats_end);
+
+  std::istringstream is(v1);
+  const BrokerSnapshot back = ReadBrokerSnapshot(is);
+  EXPECT_EQ(back.seq, snap.seq);
+  EXPECT_EQ(back.stats.replayed_records, snap.stats.replayed_records);
+  EXPECT_EQ(back.stats.journal_flush_failures, 0u);
+  EXPECT_EQ(back.stats.journal_flush_retries, 0u);
+  EXPECT_EQ(back.stats.degraded_entries, 0u);
+  EXPECT_EQ(back.stats.mutations_rejected, 0u);
+  EXPECT_EQ(back.assignment, snap.assignment);
 }
 
 std::vector<JournalRecord> SampleJournal() {
@@ -290,6 +321,83 @@ TEST(Serialize, JournalRejectsVersionSkewAndDamage) {
   EXPECT_THROW(ReadJournal(negative_time), std::runtime_error);
   std::istringstream inf_time("pubsub-journal v1\ndims 2\n1 inf unsub 3\n");
   EXPECT_THROW(ReadJournal(inf_time), std::runtime_error);
+}
+
+// Journal failures carry distinct error codes, because they demand distinct
+// operator responses: a torn tail is dropped and recovery proceeds, while a
+// gap or interior damage means lost updates (docs/OPERATIONS.md).
+TEST(Serialize, JournalErrorCodesDistinguishFailures) {
+  const std::string full = JournalText(SampleJournal(), 2);
+  const auto code_of = [](const std::string& text) {
+    std::istringstream is(text);
+    try {
+      ReadJournal(is);
+    } catch (const JournalError& e) {
+      return e.code();
+    }
+    throw std::logic_error("expected a JournalError");
+  };
+
+  // Truncation of the final line (no trailing newline) is a torn tail —
+  // whether the prefix still parses as a record or not.
+  EXPECT_EQ(code_of(full.substr(0, full.size() - 1)),
+            JournalErrorCode::kTornTail);
+  // Cut deep enough to lose a whole field, so the line cannot parse.
+  EXPECT_EQ(code_of(full.substr(0, full.size() - 21)),
+            JournalErrorCode::kTornTail);
+
+  // The same damage on a newline-terminated line is interior corruption.
+  EXPECT_EQ(code_of(full.substr(0, full.size() - 21) + "\n"),
+            JournalErrorCode::kMalformedRecord);
+
+  // A terminated record with a skipped sequence number is lost updates.
+  std::vector<JournalRecord> gap = SampleJournal();
+  gap[3].seq = 9;
+  EXPECT_EQ(code_of(JournalText(gap, 2)), JournalErrorCode::kSeqGap);
+
+  // Header damage is its own class.
+  EXPECT_EQ(code_of("pubsub-journal v9\ndims 2\n"),
+            JournalErrorCode::kBadHeader);
+
+  // The code name appears in what(), so a bare log line still classifies.
+  try {
+    std::istringstream is(full.substr(0, full.size() - 1));
+    ReadJournal(is);
+    FAIL() << "expected JournalError";
+  } catch (const JournalError& e) {
+    EXPECT_NE(std::string(e.what()).find("torn-tail"), std::string::npos);
+    EXPECT_GT(e.line_no(), 0);
+  }
+}
+
+TEST(Serialize, LenientJournalReadDropsOnlyTheTornTail) {
+  const std::string full = JournalText(SampleJournal(), 2);
+
+  // Torn mid-record: the damaged line is dropped, complete records survive.
+  std::istringstream torn(full.substr(0, full.size() - 21));
+  const JournalReadResult a = ReadJournalLenient(torn);
+  EXPECT_TRUE(a.torn_tail);
+  EXPECT_EQ(a.journal.records.size(), 3u);
+  EXPECT_FALSE(a.tail_error.empty());
+
+  // Torn exactly at the newline: the final line parses, but without its
+  // terminator it may be a prefix of a longer record — dropped regardless.
+  std::istringstream clean_cut(full.substr(0, full.size() - 1));
+  const JournalReadResult b = ReadJournalLenient(clean_cut);
+  EXPECT_TRUE(b.torn_tail);
+  EXPECT_EQ(b.journal.records.size(), 3u);
+
+  // No damage: nothing dropped.
+  std::istringstream whole(full);
+  const JournalReadResult c = ReadJournalLenient(whole);
+  EXPECT_FALSE(c.torn_tail);
+  EXPECT_EQ(c.journal.records.size(), 4u);
+
+  // Interior damage and gaps still throw even leniently.
+  std::vector<JournalRecord> gap = SampleJournal();
+  gap[2].seq = 7;
+  std::istringstream gap_is(JournalText(gap, 2));
+  EXPECT_THROW(ReadJournalLenient(gap_is), JournalError);
 }
 
 TEST(Serialize, FileHelpersRoundTrip) {

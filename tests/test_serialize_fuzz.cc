@@ -7,6 +7,8 @@
 #include <random>
 #include <sstream>
 
+#include "broker/broker.h"
+#include "broker/chaos.h"
 #include "io/serialize.h"
 #include "sim/scenario.h"
 
@@ -240,6 +242,62 @@ TEST(SerializeFuzz, BrokerFilesSingleCharacterCorruptionNeverCrashes) {
       }
     }
   }
+}
+
+// Torn tail at EVERY byte offset of the final record: wherever the crash
+// lands mid-append, the lenient reader must keep exactly the complete
+// records, and Broker::Recover on them must reproduce — bit for bit — the
+// state of a broker that executed exactly those commands.
+TEST(SerializeFuzz, TornTailAtEveryByteOffsetRecoversToLastCompleteRecord) {
+  const Scenario sc = MakeStockScenario(30, PublicationHotSpots::kOne, 61);
+  BrokerOptions opts;
+  opts.group.num_groups = 6;
+  opts.group.max_cells = 200;
+
+  const std::vector<JournalRecord> schedule =
+      BuildChaosSchedule(sc.net, sc.workload, 6, 3, 7);
+  ASSERT_GE(schedule.size(), 4u);
+
+  // Reference digests and the seq-0 snapshot all recoveries start from.
+  Broker ref(sc.workload, *sc.pub, sc.net.graph, opts);
+  const BrokerSnapshot base = ref.snapshot();
+  std::vector<std::uint64_t> ref_digest;
+  ref_digest.push_back(ref.state_digest());
+  for (const JournalRecord& rec : schedule) {
+    ref.apply(rec);
+    ref_digest.push_back(ref.state_digest());
+  }
+
+  std::ostringstream os;
+  const std::size_t dims = sc.workload.space.dims();
+  WriteJournalHeader(os, dims);
+  for (const JournalRecord& rec : schedule) WriteJournalRecord(os, rec, dims);
+  const std::string full = os.str();
+  // First byte of the final record's line.
+  const std::size_t last_start = full.rfind('\n', full.size() - 2) + 1;
+  const std::uint64_t complete = schedule.back().seq - 1;
+
+  for (std::size_t cut = last_start; cut < full.size(); ++cut) {
+    std::istringstream is(full.substr(0, cut));
+    const JournalReadResult jr = ReadJournalLenient(is);
+    // cut == last_start leaves a cleanly terminated journal; any deeper cut
+    // leaves an unterminated fragment the reader must classify as torn.
+    EXPECT_EQ(jr.torn_tail, cut > last_start) << "cut=" << cut;
+    ASSERT_EQ(jr.journal.records.size(), complete) << "cut=" << cut;
+
+    const auto broker = Broker::Recover(base, jr.journal.records, *sc.pub,
+                                        sc.net.graph, opts);
+    EXPECT_EQ(broker->seq(), complete) << "cut=" << cut;
+    EXPECT_EQ(broker->state_digest(), ref_digest[complete]) << "cut=" << cut;
+  }
+
+  // The untouched journal still replays to the very end.
+  std::istringstream whole(full);
+  const JournalReadResult jr = ReadJournalLenient(whole);
+  EXPECT_FALSE(jr.torn_tail);
+  const auto broker =
+      Broker::Recover(base, jr.journal.records, *sc.pub, sc.net.graph, opts);
+  EXPECT_EQ(broker->state_digest(), ref_digest.back());
 }
 
 }  // namespace

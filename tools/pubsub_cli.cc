@@ -1,41 +1,10 @@
 // pubsub_cli — file-based pipeline driver for the library.
 //
-//   pubsub_cli gen-net      --shape=100|300|600|sec5 [--seed=N]
-//                           [--last_mile=C] --out=net.txt
-//   pubsub_cli gen-workload --net=net.txt --model=section3|stock
-//                           [--subs=N] [--seed=N] [--regionalism=R]
-//                           [--tail=uniform|gaussian] --out=workload.txt
-//   pubsub_cli cluster      --net=net.txt --workload=workload.txt
-//                           [--algo=forgy|kmeans|mst|pairs|approx-pairs]
-//                           [--groups=K] [--cells=N] [--seed=N]
-//                           [--modes=1|4|9] --out=groups.txt
-//   pubsub_cli evaluate     --net=net.txt --workload=workload.txt
-//                           --groups=groups.txt [--events=N] [--seed=N]
-//                           [--modes=1|4|9]
-//   pubsub_cli snapshot     --net=net.txt --workload=workload.txt
-//                           [--groups=K] [--cells=N] [--threshold=T]
-//                           --out=snap.txt
-//   pubsub_cli serve-replay --net=net.txt --workload=workload.txt (stock)
-//                           [--events=N] [--seed=N] [--churn-every=K]
-//                           [--groups=K] [--cells=N] [--threshold=T]
-//                           [--refresh-churn=F] [--refresh-waste=R]
-//                           [--refresh-min-messages=M]
-//                           [--journal=j.txt] [--snapshot=snap.txt]
-//                           [--snapshot-every=N]
-//                           [--metrics-out=m.prom] [--metrics-json=m.json]
-//                           [--metrics-deterministic-only]
-//                           [--trace-sample=N] [--trace-out=trace.txt]
-//   pubsub_cli recover      --net=net.txt --snapshot=snap.txt
-//                           [--journal=j.txt] [--groups=K] [--cells=N]
-//                           [--threshold=T] [--refresh-churn=F]
-//                           [--refresh-waste=R] [--refresh-min-messages=M]
-//                           [--metrics-out=m.prom] [--metrics-json=m.json]
-//                           [--metrics-deterministic-only]
-//   pubsub_cli stats        --net=net.txt --snapshot=snap.txt
-//                           [--journal=j.txt] [broker flags as recover]
-//                           [--metrics-deterministic-only]
-//       recovers the broker from snapshot + journal, then dumps every
-//       metric to stdout — Prometheus text first, then JSON.
+// Subcommands and their flags are declared once in util/cli_spec.h; the
+// rendered reference lives in docs/CLI.md (tests/test_cli_docs.cc pins the
+// two together byte-for-byte).  Pipeline: gen-net → gen-workload →
+// cluster → evaluate, plus the broker service commands — snapshot,
+// serve-replay, recover, stats — and the fault-injection driver `chaos`.
 //
 // The publication model is re-derived from the workload's event space (the
 // §3 space has a regional "stub" dimension; the stock space a "bst"
@@ -45,9 +14,11 @@
 // The broker subcommands exercise src/broker: `snapshot` bootstraps a
 // seq-0 snapshot from a workload, `serve-replay` drives a broker from a
 // synthetic trading-day trace (journaling commands and checkpointing as it
-// goes), and `recover` rebuilds a broker from snapshot + journal and
-// prints the same report — matching sequence numbers must yield matching
-// state digests.
+// goes), `recover` rebuilds a broker from snapshot + journal and prints
+// the same report — matching sequence numbers must yield matching state
+// digests — and `chaos` proves that claim under injected crashes, torn
+// journal tails and fsync failures (--failpoints arms the same faults on
+// any command; see docs/OPERATIONS.md).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -57,12 +28,15 @@
 #include <vector>
 
 #include "broker/broker.h"
+#include "broker/chaos.h"
 #include "core/algorithms.h"
 #include "core/grid.h"
 #include "core/matching.h"
 #include "io/serialize.h"
 #include "sim/experiment.h"
 #include "sim/scenario.h"
+#include "util/cli_spec.h"
+#include "util/failpoint.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 #include "workload/trace.h"
@@ -71,23 +45,17 @@ namespace pubsub {
 namespace {
 
 // Diagnostics go to stderr so stdout stays parseable (reports, metrics
-// dumps); exit codes: 0 ok, 1 runtime failure, 2 usage error.
-const char kUsageText[] =
-    "usage: pubsub_cli <gen-net|gen-workload|cluster|evaluate|"
-    "snapshot|serve-replay|recover|stats> "
-    "[--flags]\n(see the header of tools/pubsub_cli.cc for the "
-    "full flag list)\n";
-
+// dumps); exit codes: 0 ok, 1 runtime failure, 2 usage error.  The full
+// help text and every subcommand's accepted flag set both come from
+// util/cli_spec.h — docs/CLI.md embeds the same text, pinned by
+// tests/test_cli_docs.cc.
 [[noreturn]] void Usage(const std::string& msg = "") {
   if (!msg.empty()) std::fprintf(stderr, "error: %s\n\n", msg.c_str());
-  std::fputs(kUsageText, stderr);
+  std::fputs("usage: pubsub_cli <command> [--flag=value ...]\n"
+             "run `pubsub_cli help` (or see docs/CLI.md) for the command and "
+             "flag list\n",
+             stderr);
   std::exit(2);
-}
-
-// Flags every subcommand accepts on top of its own list.
-std::vector<std::string> WithCommonFlags(std::vector<std::string> own) {
-  own.push_back("threads");
-  return own;
 }
 
 TransitStubParams ShapeByName(const std::string& name) {
@@ -120,7 +88,7 @@ std::unique_ptr<PublicationModel> ModelFor(const TransitStubNetwork& net,
 }
 
 int GenNet(const Flags& flags) {
-  flags.require_known(WithCommonFlags({"shape", "last_mile", "seed", "out"}));
+  flags.require_known(CliFlagNames("gen-net"));
   TransitStubParams shape = ShapeByName(flags.get("shape", "sec5"));
   shape.last_mile_cost = flags.get_double("last_mile", 0.0);
   Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
@@ -136,8 +104,7 @@ int GenNet(const Flags& flags) {
 }
 
 int GenWorkload(const Flags& flags) {
-  flags.require_known(WithCommonFlags(
-      {"net", "model", "subs", "seed", "regionalism", "tail", "out"}));
+  flags.require_known(CliFlagNames("gen-workload"));
   const std::string net_path = flags.get("net", "");
   if (net_path.empty()) Usage("gen-workload requires --net");
   std::istringstream net_is(LoadFromFile(net_path));
@@ -171,9 +138,7 @@ int GenWorkload(const Flags& flags) {
 }
 
 int Cluster(const Flags& flags) {
-  flags.require_known(WithCommonFlags({"net", "workload", "algo", "groups",
-                                       "cells", "seed", "modes", "regionalism",
-                                       "tail", "out"}));
+  flags.require_known(CliFlagNames("cluster"));
   const std::string net_path = flags.get("net", "");
   const std::string wl_path = flags.get("workload", "");
   if (net_path.empty() || wl_path.empty())
@@ -208,9 +173,7 @@ int Cluster(const Flags& flags) {
 }
 
 int Evaluate(const Flags& flags) {
-  flags.require_known(WithCommonFlags({"net", "workload", "groups", "events",
-                                       "seed", "modes", "regionalism", "tail",
-                                       "threshold"}));
+  flags.require_known(CliFlagNames("evaluate"));
   const std::string net_path = flags.get("net", "");
   const std::string wl_path = flags.get("workload", "");
   const std::string groups_path = flags.get("groups", "");
@@ -252,16 +215,6 @@ int Evaluate(const Flags& flags) {
 }
 
 // --- broker subcommands ---------------------------------------------------
-
-const std::vector<std::string> kBrokerFlags = {
-    "groups",        "cells",         "threshold",
-    "refresh-churn", "refresh-waste", "refresh-min-messages",
-    "metrics-out",   "metrics-json",  "metrics-deterministic-only"};
-
-std::vector<std::string> WithBrokerFlags(std::vector<std::string> own) {
-  own.insert(own.end(), kBrokerFlags.begin(), kBrokerFlags.end());
-  return WithCommonFlags(std::move(own));
-}
 
 BrokerOptions BrokerOptionsFromFlags(const Flags& flags) {
   BrokerOptions opts;
@@ -339,15 +292,16 @@ void PrintBrokerReport(const Broker& broker) {
 void SaveSnapshotFile(const std::string& path, const Broker& broker) {
   std::ostringstream os;
   broker.write_snapshot(os);
-  SaveToFile(path, os.str());
+  // Atomic replace: a crash mid-checkpoint must leave the previous
+  // snapshot readable (docs/OPERATIONS.md, "Snapshot protocol").
+  SaveToFileAtomic(path, os.str());
 }
 
 // Bootstrap a seq-0 snapshot from a workload: cold-cluster it once and
 // persist the refresh-boundary state so serve-replay / recover / replicas
 // can start from a common, durable baseline.
 int Snapshot(const Flags& flags) {
-  flags.require_known(WithBrokerFlags(
-      {"net", "workload", "modes", "regionalism", "tail", "out"}));
+  flags.require_known(CliFlagNames("snapshot"));
   const std::string net_path = flags.get("net", "");
   const std::string wl_path = flags.get("workload", "");
   const std::string out = flags.get("out", "");
@@ -372,10 +326,7 @@ int Snapshot(const Flags& flags) {
 // subscription churn, journaling every command and checkpointing along the
 // way.  Kill it at any point; `recover` resumes from the files.
 int ServeReplay(const Flags& flags) {
-  flags.require_known(WithBrokerFlags({"net", "workload", "events", "seed",
-                                       "churn-every", "modes", "journal",
-                                       "snapshot", "snapshot-every",
-                                       "trace-sample", "trace-out"}));
+  flags.require_known(CliFlagNames("serve-replay"));
   const std::string net_path = flags.get("net", "");
   const std::string wl_path = flags.get("workload", "");
   if (net_path.empty() || wl_path.empty())
@@ -399,10 +350,11 @@ int ServeReplay(const Flags& flags) {
   const auto snapshot_every =
       static_cast<std::uint64_t>(flags.get_int("snapshot-every", 500));
 
-  // Track live ids for churn before the workload moves into the broker.
-  std::vector<SubscriberId> live(wl.num_subscribers());
-  for (std::size_t i = 0; i < live.size(); ++i)
-    live[i] = static_cast<SubscriberId>(i);
+  // The command stream is precomputed (trace + churn policy); chaos runs
+  // drive the very same schedule, so a serve-replay journal and a chaos
+  // journal for one seed are interchangeable.
+  const std::vector<JournalRecord> schedule =
+      BuildChaosSchedule(net, wl, num_events, churn_every, seed);
 
   ManualClock clock;
   Broker broker(std::move(wl), *model, net.graph, BrokerOptionsFromFlags(flags),
@@ -416,45 +368,50 @@ int ServeReplay(const Flags& flags) {
   }
   if (!snapshot_path.empty()) SaveSnapshotFile(snapshot_path, broker);
 
-  Rng trace_rng(seed);
-  const std::vector<TraceEvent> trace =
-      GenerateStockTrace(net, {}, {}, num_events, trace_rng);
-  Rng churn_rng = trace_rng.split(1);
-
   const std::uint64_t snapshot_base = broker.seq();
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    clock.advance_to(trace[i].timestamp * 1000.0);
-    if (churn_every > 0 && (i + 1) % churn_every == 0) {
-      auto action = churn_rng.uniform_int(0, 2);
-      if (live.empty()) action = 0;  // nothing left to update/remove
-      if (action == 0) {
-        Rng sub_rng = churn_rng.split(i);
-        const Workload one = GenerateStockSubscriptions(net, 1, {}, sub_rng);
-        live.push_back(broker.subscribe(one.subscribers[0].node,
-                                        one.subscribers[0].interest));
-      } else if (action == 1 || live.size() <= 1) {
-        Rng sub_rng = churn_rng.split(i);
-        const Workload one = GenerateStockSubscriptions(net, 1, {}, sub_rng);
-        const auto pick = static_cast<std::size_t>(
-            churn_rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
-        broker.update(live[pick], one.subscribers[0].interest);
-      } else {
-        const auto pick = static_cast<std::size_t>(
-            churn_rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
-        broker.unsubscribe(live[pick]);
-        live[pick] = live.back();
-        live.pop_back();
+  std::size_t events_replayed = 0;
+  double last_timestamp = 0.0;
+  for (const JournalRecord& rec : schedule) {
+    clock.advance_to(rec.cmd.time_ms);
+    try {
+      broker.apply(rec);
+    } catch (const BrokerDegradedError& e) {
+      // Journal durability is gone and the retry budget is spent: stop
+      // accepting the stream, report what the broker managed to make
+      // durable, and exit non-zero so supervisors notice.  The journal on
+      // disk plus the last snapshot recover to exactly broker.seq().
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::fprintf(stderr,
+                   "broker entered degraded (read-only) mode at seq %llu; "
+                   "see docs/OPERATIONS.md (\"Degraded mode\")\n",
+                   (unsigned long long)broker.seq());
+      // Snapshot writes still work while degraded (different file, atomic
+      // replace); checkpoint once more so the durability counters — the
+      // fault's provenance — survive into `recover` / `stats`.
+      if (!snapshot_path.empty()) {
+        try {
+          SaveSnapshotFile(snapshot_path, broker);
+        } catch (const std::exception& snap_err) {
+          std::fprintf(stderr, "warning: degraded-exit checkpoint failed: %s\n",
+                       snap_err.what());
+        }
       }
+      PrintBrokerReport(broker);
+      WriteMetricsOutputs(broker, flags);
+      return 1;
     }
-    broker.publish(trace[i].pub.origin, trace[i].pub.point);
-    if (!snapshot_path.empty() && snapshot_every > 0 &&
-        (broker.seq() - snapshot_base) % snapshot_every == 0)
-      SaveSnapshotFile(snapshot_path, broker);
+    if (rec.cmd.type == BrokerCommandType::kPublish) {
+      ++events_replayed;
+      last_timestamp = rec.cmd.time_ms / 1000.0;
+      if (!snapshot_path.empty() && snapshot_every > 0 &&
+          (broker.seq() - snapshot_base) % snapshot_every == 0)
+        SaveSnapshotFile(snapshot_path, broker);
+    }
   }
   if (!snapshot_path.empty()) SaveSnapshotFile(snapshot_path, broker);
 
   std::printf("replayed %zu trace events over %.1f simulated seconds\n\n",
-              trace.size(), trace.empty() ? 0.0 : trace.back().timestamp);
+              events_replayed, last_timestamp);
   PrintBrokerReport(broker);
   WriteMetricsOutputs(broker, flags);
   const std::string trace_path = flags.get("trace-out", "");
@@ -484,10 +441,19 @@ std::unique_ptr<Broker> RecoverFromFlags(const Flags& flags,
   const std::string journal_path = flags.get("journal", "");
   if (!journal_path.empty()) {
     std::istringstream j_is(LoadFromFile(journal_path));
-    JournalFile jf = ReadJournal(j_is);
-    if (jf.dims != snap.workload.space.dims())
+    // Lenient read: a torn tail is the normal residue of a crash
+    // mid-append and recovery proceeds to the last complete record.
+    // Interior damage or a sequence gap still aborts (JournalError carries
+    // the distinct code; see docs/OPERATIONS.md, "Journal damage matrix").
+    JournalReadResult jr = ReadJournalLenient(j_is);
+    if (jr.torn_tail)
+      std::fprintf(stderr,
+                   "warning: %s: dropped torn journal tail (%s); recovering "
+                   "to the last complete record\n",
+                   journal_path.c_str(), jr.tail_error.c_str());
+    if (jr.journal.dims != snap.workload.space.dims())
       Usage("journal dimensionality does not match the snapshot");
-    tail = std::move(jf.records);
+    tail = std::move(jr.journal.records);
   }
 
   *model_out = ModelFor(*net_out, snap.workload, flags);
@@ -502,8 +468,7 @@ std::unique_ptr<Broker> RecoverFromFlags(const Flags& flags,
 // Rebuild a broker from snapshot + journal tail and print the same report
 // serve-replay prints: at equal sequence numbers the state digests match.
 int Recover(const Flags& flags) {
-  flags.require_known(WithBrokerFlags(
-      {"net", "snapshot", "journal", "modes", "regionalism", "tail"}));
+  flags.require_known(CliFlagNames("recover"));
   TransitStubNetwork net;
   std::unique_ptr<PublicationModel> model;
   const auto broker = RecoverFromFlags(flags, &net, &model);
@@ -516,8 +481,7 @@ int Recover(const Flags& flags) {
 // then the JSON form.  All counters/gauges are deterministic functions of
 // snapshot + journal, so two invocations print identical values.
 int Stats(const Flags& flags) {
-  flags.require_known(WithBrokerFlags(
-      {"net", "snapshot", "journal", "modes", "regionalism", "tail"}));
+  flags.require_known(CliFlagNames("stats"));
   TransitStubNetwork net;
   std::unique_ptr<PublicationModel> model;
   const auto broker = RecoverFromFlags(flags, &net, &model);
@@ -532,16 +496,60 @@ int Stats(const Flags& flags) {
   return 0;
 }
 
+// Scripted kill/recover cycles against an in-memory disk; exits 0 only if
+// every recovered incarnation (and the warm standby) stayed bit-identical
+// to the un-faulted reference run.
+int Chaos(const Flags& flags) {
+  flags.require_known(CliFlagNames("chaos"));
+  const std::string net_path = flags.get("net", "");
+  const std::string wl_path = flags.get("workload", "");
+  if (net_path.empty() || wl_path.empty())
+    Usage("chaos requires --net and --workload");
+  std::istringstream net_is(LoadFromFile(net_path));
+  const TransitStubNetwork net = ReadTransitStub(net_is);
+  std::istringstream wl_is(LoadFromFile(wl_path));
+  const Workload wl = ReadWorkload(wl_is);
+  if (IsSection3Space(wl.space))
+    Usage("chaos drives a stock trace; --workload must be a stock workload "
+          "(gen-workload --model=stock)");
+
+  const auto model = ModelFor(net, wl, flags);
+  ChaosOptions copts;
+  copts.num_events = static_cast<std::size_t>(flags.get_int("events", 400));
+  copts.churn_every =
+      static_cast<std::size_t>(flags.get_int("churn-every", 5));
+  copts.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  copts.chaos_seed = static_cast<std::uint64_t>(flags.get_int("chaos-seed", 1));
+  copts.cycles = static_cast<std::size_t>(flags.get_int("cycles", 200));
+  copts.snapshot_every =
+      static_cast<std::uint64_t>(flags.get_int("snapshot-every", 50));
+  copts.broker = BrokerOptionsFromFlags(flags);
+
+  const ChaosReport report = RunChaos(net, wl, *model, copts);
+  std::fputs(FormatChaosReport(report).c_str(), stdout);
+  const bool ok = report.digests_match && report.replica_matches &&
+                  report.digest_mismatches == 0;
+  return ok ? 0 : 1;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) Usage();
   const std::string cmd = argv[1];
   if (cmd == "help" || cmd == "--help" || cmd == "-h") {
-    std::fputs(kUsageText, stdout);  // requested help is not an error
+    // Requested help is not an error; the text is the cli_spec table,
+    // byte-identical to the block embedded in docs/CLI.md.
+    std::fputs(CliUsageText().c_str(), stdout);
     return 0;
   }
   const Flags flags(argc - 1, argv + 1);
   ConfigureThreadsFromFlags(flags);
   try {
+    FailPoints::Instance().configure_from_env();
+    if (flags.has("failpoints-seed"))
+      FailPoints::Instance().set_seed(
+          static_cast<std::uint64_t>(flags.get_int("failpoints-seed", 0)));
+    if (flags.has("failpoints"))
+      FailPoints::Instance().configure(flags.get("failpoints", ""));
     if (cmd == "gen-net") return GenNet(flags);
     if (cmd == "gen-workload") return GenWorkload(flags);
     if (cmd == "cluster") return Cluster(flags);
@@ -550,7 +558,10 @@ int Run(int argc, char** argv) {
     if (cmd == "serve-replay") return ServeReplay(flags);
     if (cmd == "recover") return Recover(flags);
     if (cmd == "stats") return Stats(flags);
+    if (cmd == "chaos") return Chaos(flags);
   } catch (const std::exception& e) {
+    // Covers InjectedCrash too: an armed --failpoints crash behaves like
+    // the process death it simulates (exit 1, journal left as-is).
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
