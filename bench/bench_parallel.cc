@@ -11,9 +11,17 @@
 //   bench_parallel --threads=4     # expect ~2-4x on the clustering phases
 //
 // Flags: --subs=N (default 2000) --events=N (default 4000) --cells=N
-//        (default 1200) --groups=K (default 100) --seed=S --threads=N
-//        --verify=BOOL (default true)
+//        (default 1200) --groups=K (default 100) --dims=D (default 0 =
+//        stock 4-attribute workload; D>0 = parametric D-dim workload)
+//        --seed=S --threads=N --verify=BOOL (default true)
+//        --report_tag=STR (suffix for BENCH_parallel_STR.json, so sweeps
+//        keep one JSON per configuration)
+//        --require_batch_speedup=X (CI gate: exit 1 if the batch-matching
+//        speedup vs --threads=1 is below X; exit 77 = "skip" when the host
+//        cannot run 2 hardware threads, where wall-clock speedup >1 is
+//        physically impossible)
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench_report.h"
@@ -38,12 +46,11 @@ struct PhaseResult {
 // Runs every phase once at the pool's current size.  The scenario is
 // rebuilt from the seed each call (Scenario is move-only); construction is
 // deterministic, so both runs see the same workload.
-std::vector<PhaseResult> RunPhases(int subs, std::size_t events,
+std::vector<PhaseResult> RunPhases(int subs, std::size_t events, int dims,
                                    std::size_t max_cells, std::size_t K,
                                    std::uint64_t seed, double* grid_seconds) {
   StopwatchClock grid_watch;
-  bench::Pipeline p(MakeStockScenario(subs, PublicationHotSpots::kOne, seed),
-                    events, seed + 1);
+  bench::Pipeline p(bench::MakeDimsScenario(dims, subs, seed), events, seed + 1);
   *grid_seconds = grid_watch.elapsed_seconds();
 
   const std::vector<ClusterCell> cells = p.grid.top_cells(max_cells);
@@ -84,23 +91,35 @@ int Run(int argc, char** argv) {
   const auto events = static_cast<std::size_t>(flags.get_int("events", 4000));
   const auto max_cells = static_cast<std::size_t>(flags.get_int("cells", 1200));
   const auto K = static_cast<std::size_t>(flags.get_int("groups", 100));
+  const auto dims = static_cast<int>(flags.get_int("dims", 0));
   const bool verify = flags.get_bool("verify", true);
+  const std::string tag = flags.get("report_tag", "");
+  const double require_speedup = flags.get_double("require_batch_speedup", 0.0);
+
+  if (require_speedup > 0.0 && std::thread::hardware_concurrency() < 2) {
+    // Wall-clock parallel speedup >1 is impossible on a single hardware
+    // thread; 77 is CTest's SKIP_RETURN_CODE.  Checked before the phases
+    // run so a single-core CI host skips in milliseconds.
+    std::printf("perf gate: SKIPPED (hardware_concurrency < 2)\n");
+    return 77;
+  }
 
   double grid_s = 0.0;
   const std::vector<PhaseResult> timed =
-      RunPhases(subs, events, max_cells, K, seed, &grid_s);
+      RunPhases(subs, events, dims, max_cells, K, seed, &grid_s);
 
   double grid_ref_s = 0.0;
   std::vector<PhaseResult> ref;
   if (verify && threads != 1) {
     ThreadPool::global().set_num_threads(1);
-    ref = RunPhases(subs, events, max_cells, K, seed, &grid_ref_s);
+    ref = RunPhases(subs, events, dims, max_cells, K, seed, &grid_ref_s);
     ThreadPool::global().set_num_threads(threads);
   }
 
-  bench::BenchReport report("parallel");
+  bench::BenchReport report(tag.empty() ? "parallel" : "parallel_" + tag);
   report.set_config("subs", subs);
   report.set_config("events", static_cast<long long>(events));
+  report.set_config("dims", dims);
   report.set_config("threads", threads);
 
   const char* names[] = {"forgy k-means", "pairwise", "batch matching"};
@@ -118,8 +137,9 @@ int Run(int argc, char** argv) {
                  ref[i].seconds / timed[i].seconds, "x");
   }
   std::printf("parallel kernel scaling (subs=%d, events=%zu, cells=%zu, K=%zu, "
-              "threads=%d):\n\n%s",
-              subs, events, max_cells, K, threads, table.to_string().c_str());
+              "dims=%d, threads=%d):\n\n%s",
+              subs, events, max_cells, K, dims, threads,
+              table.to_string().c_str());
 
   if (!ref.empty()) {
     bool identical = true;
@@ -133,6 +153,19 @@ int Run(int argc, char** argv) {
     std::printf("\ndeterminism check vs --threads=1: %s\n",
                 identical ? "bit-identical" : "MISMATCH (bug!)");
     if (!identical) return 1;
+  }
+
+  if (require_speedup > 0.0) {
+    if (ref.empty()) {
+      std::fprintf(stderr, "perf gate needs --verify=true and --threads>1\n");
+      return 1;
+    }
+    const double speedup = ref[2].seconds / timed[2].seconds;
+    std::printf("\nperf gate: batch-matching speedup %.2fx (require >= %.2fx)"
+                " -> %s\n",
+                speedup, require_speedup,
+                speedup >= require_speedup ? "PASS" : "FAIL");
+    if (speedup < require_speedup) return 1;
   }
   return 0;
 }

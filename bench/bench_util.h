@@ -15,8 +15,48 @@
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "obs/clock.h"
+#include "workload/interval_gen.h"
 
 namespace pubsub::bench {
+
+// A d-dimensional parametric scenario for the --dims sweeps: every
+// attribute uses the §5.1 price-style intervals over an 11-value domain,
+// publications are one-mode gaussians.  dims <= 0 falls back to the stock
+// 4-attribute scenario, so benches can default to the paper workload.
+inline Scenario MakeDimsScenario(int dims, int subs, std::uint64_t seed) {
+  if (dims <= 0) return MakeStockScenario(subs, PublicationHotSpots::kOne, seed);
+  const int domain = 11;  // values 0..10 per attribute
+  Rng net_rng(seed);
+  Scenario s;
+  s.net = GenerateTransitStub(PaperNetSection5(), net_rng);
+
+  std::vector<DimensionSpec> specs;
+  for (int d = 0; d < dims; ++d)
+    specs.push_back(DimensionSpec{"a" + std::to_string(d), domain});
+  s.workload.space = EventSpace(std::move(specs));
+
+  Rng rng(seed + 1);
+  const Interval attr_domain(-1.0, static_cast<double>(domain - 1));
+  const ParametricIntervalSpec spec{0.25, 0.1, 0.1, 5, 1, 5, 1, 5, 2, 3, 1, false};
+  const std::vector<NodeId> hosts = s.net.host_nodes();
+  for (int i = 0; i < subs; ++i) {
+    Subscriber sub;
+    sub.node = hosts[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1))];
+    std::vector<Interval> ivals;
+    for (int d = 0; d < dims; ++d)
+      ivals.push_back(SampleParametricInterval(spec, attr_domain, rng));
+    sub.interest = Rect(std::move(ivals));
+    s.workload.subscribers.push_back(std::move(sub));
+  }
+
+  std::vector<Marginal1D> marginals;
+  for (int d = 0; d < dims; ++d)
+    marginals.push_back(Marginal1D::Gaussian(GaussianMixture1D::Single(5, 2), domain));
+  s.pub = std::make_unique<ProductPublicationModel>(
+      s.workload.space, std::move(marginals), s.net.host_nodes());
+  return s;
+}
 
 struct Pipeline {
   Pipeline(Scenario s, std::size_t num_events, std::uint64_t seed)

@@ -11,6 +11,7 @@
 //
 // Run:  ./broker_failover [--subs=400] [--groups=30] [--events=600]
 //                         [--churn-every=8] [--seed=17]
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <sstream>
@@ -136,8 +137,9 @@ int main(int argc, char** argv) {
   const PublishOutcome a = primary.publish(probe.pub.origin, probe.pub.point);
   const PublishOutcome b = promoted->publish(probe.pub.origin, probe.pub.point);
   const bool identical =
-      a.group_id == b.group_id && a.unicast_targets == b.unicast_targets &&
-      a.timing.latencies_ms == b.timing.latencies_ms &&
+      a.group_id == b.group_id &&
+      std::ranges::equal(a.unicast_targets, b.unicast_targets) &&
+      std::ranges::equal(a.timing.latencies_ms, b.timing.latencies_ms) &&
       primary.state_digest() == promoted->state_digest();
   std::printf("\nprobe publish on the (ghost) primary and the promoted "
               "standby:\n  group %d vs %d, %zu vs %zu unicast targets -> %s\n",

@@ -1,6 +1,7 @@
 #include "broker/broker.h"
 
 #include <algorithm>
+#include <bit>
 #include <iterator>
 #include <ostream>
 #include <sstream>
@@ -362,11 +363,16 @@ void Broker::update(SubscriberId id, const Rect& interest) {
 }
 
 PublishOutcome Broker::publish(NodeId origin, const Point& event) {
-  BrokerCommand cmd;
-  cmd.type = BrokerCommandType::kPublish;
-  cmd.node = origin;
-  cmd.point = event;
-  return apply_record(make_record(std::move(cmd)));
+  // Publishes reuse a dedicated record so the point buffer's capacity
+  // survives across events (churn commands keep the allocating make_record
+  // path; they are off the hot path and carry Rect payloads).
+  JournalRecord& rec = publish_rec_;
+  rec.cmd.type = BrokerCommandType::kPublish;
+  rec.cmd.node = origin;
+  rec.cmd.point.assign(event.begin(), event.end());
+  rec.cmd.time_ms = clock_->now_ms();
+  rec.seq = seq_ + 1;
+  return apply_record(rec);
 }
 
 void Broker::apply(const JournalRecord& rec) {
@@ -388,6 +394,10 @@ PublishOutcome Broker::apply_record(const JournalRecord& rec) {
     throw std::runtime_error("Broker: non-contiguous sequence number");
   const bool sampled = trace_sample_ > 0 && rec.seq % trace_sample_ == 0;
   FailPoints& fp = FailPoints::Instance();
+  // Feed the broker's command sequence to the fail-point layer so +SEQ
+  // (arm-at-seq) specs can target a specific command — e.g. the organic
+  // checkpoint a chaos schedule knows is coming.
+  if (fp.active()) fp.advance_sequence(rec.seq);
   const bool is_publish = rec.cmd.type == BrokerCommandType::kPublish;
   if (fp.active() && is_publish &&
       fp.eval("broker.publish.pre_journal").action != FailAction::kOff)
@@ -397,9 +407,9 @@ PublishOutcome Broker::apply_record(const JournalRecord& rec) {
   // event space.
   {
     const double flush_start = trace_clock_->now_ms();
-    std::ostringstream ss;
-    WriteJournalRecord(ss, rec, mgr_->workload().space.dims());
-    journal_append(ss.str(), &rec);
+    journal_stream_.reset();
+    WriteJournalRecord(journal_stream_, rec, mgr_->workload().space.dims());
+    journal_append(journal_stream_.str(), &rec);
     const double flush_ms = trace_clock_->now_ms() - flush_start;
     Observe(h_journal_flush_ms_, flush_ms);
     Observe(h_stage_[static_cast<std::size_t>(PublishStage::kJournalFlush)],
@@ -562,46 +572,66 @@ PublishOutcome Broker::apply_publish(const BrokerCommand& cmd) {
   };
 
   PublishOutcome out;
-  const std::vector<SubscriberId> inter = interested(cmd.point);
+  MatchScratch& s = scratch_;
+  const std::span<const SubscriberId> inter = interested_into(cmd.point, s);
   out.interested = inter.size();
-  MatchDecision d = mgr_->matcher().match(cmd.point, inter);
+  MatchDecision d = mgr_->matcher().match(cmd.point, inter, s);
   stage_done(PublishStage::kMatch);
 
   Inc(c_publishes_);
   if (!inter.empty()) Inc(c_events_matched_);
   Observe(h_interested_, static_cast<double>(inter.size()));
 
+  s.latencies.clear();
   if (d.group_id >= 0) {
     out.group_id = d.group_id;
     out.group_size = d.group_members.size();
     // The matcher only knows the refresh-time table; interested subscribers
     // outside the group (added/updated since) get the exact-match unicast
-    // path (see core/group_manager.h).  Both inputs are sorted ascending.
-    std::set_difference(inter.begin(), inter.end(), d.group_members.begin(),
-                        d.group_members.end(),
-                        std::back_inserter(out.unicast_targets));
+    // path (see core/group_manager.h).  interested_into left the interested
+    // bits set in s.words, so the completion is a word-level AND-NOT against
+    // the group's membership words — emission over the touched word range
+    // ascends, reproducing the sorted set_difference this replaced.
+    const std::span<const std::uint64_t> gw =
+        mgr_->matcher().group_bits(d.group_id).words();
+    s.unicast.clear();
+    for (std::size_t w = s.word_lo; w <= s.word_hi; ++w) {
+      std::uint64_t word = s.words[w] & ~(w < gw.size() ? gw[w] : 0);
+      while (word != 0) {
+        const int b = std::countr_zero(word);
+        s.unicast.push_back(static_cast<SubscriberId>(
+            w * 64 + static_cast<std::size_t>(b)));
+        word &= word - 1;
+      }
+    }
+    s.clear_words();
+    out.unicast_targets = s.unicast;
     out.wasted =
         d.group_members.size() - (inter.size() - out.unicast_targets.size());
     Inc(c_multicast_events_);
     Observe(h_group_size_, static_cast<double>(out.group_size));
     stage_done(PublishStage::kGroupSelection);
-    out.timing = runtime_->deliver_multicast(cmd.time_ms, cmd.node,
-                                             nodes_of(d.group_members));
+    out.timing = runtime_->deliver_multicast(
+        cmd.time_ms, cmd.node, nodes_into(d.group_members, s.nodes),
+        &s.latencies);
     if (!out.unicast_targets.empty()) {
       const DeliveryTiming u = runtime_->deliver_unicast(
-          cmd.time_ms, cmd.node, nodes_of(out.unicast_targets));
+          cmd.time_ms, cmd.node, nodes_into(out.unicast_targets, s.nodes),
+          &s.latencies);
       out.timing.service_ms += u.service_ms;
-      out.timing.latencies_ms.insert(out.timing.latencies_ms.end(),
-                                     u.latencies_ms.begin(),
-                                     u.latencies_ms.end());
     }
   } else {
-    out.unicast_targets = std::move(d.unicast_targets);
+    s.clear_words();
+    out.unicast_targets = d.unicast_targets;
     Inc(c_unicast_events_);
     stage_done(PublishStage::kGroupSelection);
-    out.timing = runtime_->deliver_unicast(cmd.time_ms, cmd.node,
-                                           nodes_of(out.unicast_targets));
+    out.timing = runtime_->deliver_unicast(
+        cmd.time_ms, cmd.node, nodes_into(out.unicast_targets, s.nodes),
+        &s.latencies);
   }
+  // Both delivery calls appended into s.latencies (group latencies first);
+  // re-span after the final append in case the buffer grew.
+  out.timing.latencies_ms = s.latencies;
   stage_done(PublishStage::kDeliveryPlan);
 
   Observe(h_queue_wait_ms_, out.timing.queue_wait_ms);
@@ -672,6 +702,8 @@ std::uint64_t Broker::write_snapshot(std::ostream& os) const {
 }
 
 Broker::MatchOutcome Broker::match(const Point& event) const {
+  // Cold read path: returns owning vectors (callers hold results across
+  // later commands), built from the same scratch kernels as apply_publish.
   MatchOutcome out;
   const std::vector<SubscriberId> inter = interested(event);
   out.interested = inter.size();
@@ -683,18 +715,52 @@ Broker::MatchOutcome Broker::match(const Point& event) const {
                         d.group_members.end(),
                         std::back_inserter(out.unicast_targets));
   } else {
-    out.unicast_targets = std::move(d.unicast_targets);
+    out.unicast_targets.assign(d.unicast_targets.begin(),
+                               d.unicast_targets.end());
   }
   return out;
 }
 
 std::vector<SubscriberId> Broker::interested(const Point& event) const {
-  std::vector<int> hits = live_index_.stab(event);
+  const std::span<const SubscriberId> s = interested_into(event, scratch_);
+  scratch_.clear_words();
+  return {s.begin(), s.end()};
+}
+
+std::span<const SubscriberId> Broker::interested_into(const Point& event,
+                                                      MatchScratch& s) const {
+  s.stab_hits.clear();
+  live_index_.stab(event, s.stab_hits, s.index_stack);
+  s.interested.clear();
+  if (s.stab_hits.empty()) return s.interested;
   // The tree's structure (hence stab order) depends on insert/erase
-  // history, which differs between a live broker and a recovered one; sort
-  // so downstream decisions depend only on the stored set.
-  std::sort(hits.begin(), hits.end());
-  return hits;
+  // history, which differs between a live broker and a recovered one.
+  // Scatter the hits into bit-words and emit the touched word range in
+  // ascending order: a counting sort, so downstream decisions depend only
+  // on the stored set — same contract as the std::sort this replaced, but
+  // allocation-free and O(hits + population/64).  The bits stay set on
+  // return (see the header) for the completion kernel.
+  s.require_bits(indexed_rect_.size());
+  std::size_t lo = s.words.size();
+  std::size_t hi = 0;
+  for (const int id : s.stab_hits) {
+    const std::size_t w = static_cast<std::size_t>(id) / 64;
+    s.words[w] |= std::uint64_t{1} << (static_cast<std::size_t>(id) % 64);
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  s.word_lo = lo;
+  s.word_hi = hi;
+  for (std::size_t w = lo; w <= hi; ++w) {
+    std::uint64_t word = s.words[w];
+    while (word != 0) {
+      const int b = std::countr_zero(word);
+      s.interested.push_back(static_cast<SubscriberId>(
+          w * 64 + static_cast<std::size_t>(b)));
+      word &= word - 1;
+    }
+  }
+  return s.interested;
 }
 
 std::uint64_t Broker::state_digest() const {
@@ -730,13 +796,13 @@ void Broker::index_erase(SubscriberId id) {
   if (g_live_subscribers_ != nullptr) g_live_subscribers_->add(-1.0);
 }
 
-std::vector<NodeId> Broker::nodes_of(std::span<const SubscriberId> subs) const {
-  std::vector<NodeId> nodes;
-  nodes.reserve(subs.size());
+std::span<const NodeId> Broker::nodes_into(std::span<const SubscriberId> subs,
+                                           std::vector<NodeId>& out) const {
+  out.clear();
   for (const SubscriberId s : subs)
-    nodes.push_back(
+    out.push_back(
         mgr_->workload().subscribers[static_cast<std::size_t>(s)].node);
-  return nodes;
+  return out;
 }
 
 }  // namespace pubsub

@@ -42,8 +42,10 @@
 #include "broker/refresh_policy.h"
 #include "broker/types.h"
 #include "core/group_manager.h"
+#include "core/match_scratch.h"
 #include "index/rtree.h"
 #include "io/file.h"
+#include "io/string_stream.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/delivery_runtime.h"
@@ -102,6 +104,11 @@ class BrokerDegradedError : public std::runtime_error {
 
 // Per-publish outcome: the match decision (with the caller-side unicast
 // completion applied) plus delivery timing.
+//
+// Zero-copy: unicast_targets and timing.latencies_ms alias the broker's
+// publish scratch and stay valid until the broker's next command (publish,
+// churn, apply or clear_degraded).  Copy them out to keep them longer
+// (DESIGN.md §10).
 struct PublishOutcome {
   std::uint64_t seq = 0;
   int group_id = -1;       // -1 = pure unicast
@@ -109,7 +116,7 @@ struct PublishOutcome {
   // Interested subscribers served by unicast: the matcher's fallback set,
   // plus interested \ group when a group was used (the between-refresh
   // window contract — see core/group_manager.h).  Sorted ascending.
-  std::vector<SubscriberId> unicast_targets;
+  std::span<const SubscriberId> unicast_targets;
   std::size_t interested = 0;
   std::size_t wasted = 0;  // group members not interested
   bool refreshed = false;  // this command triggered a refresh
@@ -240,7 +247,14 @@ class Broker {
   void bootstrap_index();
   void index_insert(SubscriberId id, const Rect& interest);
   void index_erase(SubscriberId id);
-  std::vector<NodeId> nodes_of(std::span<const SubscriberId> subs) const;
+  // Sorted interested set for `event`, emitted into `s.interested` via a
+  // word-level counting sort over `s.words`; the interested bits (and
+  // s.word_lo/word_hi) are left set for the completion kernel — the caller
+  // must s.clear_words() when done.
+  std::span<const SubscriberId> interested_into(const Point& event,
+                                                MatchScratch& s) const;
+  std::span<const NodeId> nodes_into(std::span<const SubscriberId> subs,
+                                     std::vector<NodeId>& out) const;
   void init_obs(const BrokerOptions& options);
   void seed_stats(const BrokerStats& s);
   void update_derived_gauges();
@@ -275,6 +289,15 @@ class Broker {
   std::uint64_t seq_ = 0;
   double last_time_ms_ = 0.0;
   BrokerSnapshot checkpoint_;
+
+  // Publish-path working memory (DESIGN.md §10): every per-event buffer —
+  // stab hits, interested set, completion targets, node lists, latencies,
+  // serialized journal bytes, the local publish record — is reused across
+  // commands, so steady-state publish performs zero heap allocations.
+  // mutable: the read paths (interested/match) share the same scratch.
+  mutable MatchScratch scratch_;
+  StringStream journal_stream_;
+  JournalRecord publish_rec_;
 
   // --- telemetry (set once by init_obs, then never null) ---------------
   std::unique_ptr<MetricsRegistry> owned_metrics_;

@@ -333,11 +333,22 @@ ChaosReport RunChaos(const TransitStubNetwork& net, const Workload& base,
       std::string spec = std::string(ks.site) + "=" + ks.action;
       if (spec.back() == ':')  // torn: pick how many bytes land
         spec += std::to_string(chaos_rng.uniform_int(1, 40));
-      spec += "*1^" + std::to_string(chaos_rng.uniform_int(0, 3));
-      fp.configure(spec);
-      if (spec.rfind("snapshot.", 0) == 0) {
-        // Snapshots are too rare on the natural cadence to meet a
-        // 10-command fault window, so force one into the armed fault.
+      const bool snapshot_site = spec.rfind("snapshot.", 0) == 0;
+      if (snapshot_site && opts.snapshot_every > 0) {
+        // Arm the fault at the next organic checkpoint (+SEQ keeps it
+        // dormant until the broker reaches that command) and drive the
+        // schedule into it, so the fault fires on the natural cadence path
+        // inside drive() instead of a forced snapshot call.
+        const std::uint64_t next =
+            (broker->seq() / opts.snapshot_every + 1) * opts.snapshot_every;
+        spec += "*1+" + std::to_string(next);
+        fp.configure(spec);
+        drive(static_cast<std::size_t>(next - broker->seq()) + 1);
+      } else if (snapshot_site) {
+        // No cadence configured: snapshots never happen organically, so
+        // force one into the armed fault.
+        spec += "*1^" + std::to_string(chaos_rng.uniform_int(0, 3));
+        fp.configure(spec);
         drive(1);
         if (broker != nullptr) {
           try {
@@ -350,6 +361,8 @@ ChaosReport RunChaos(const TransitStubNetwork& net, const Workload& base,
           }
         }
       } else {
+        spec += "*1^" + std::to_string(chaos_rng.uniform_int(0, 3));
+        fp.configure(spec);
         drive(10);
       }
     }

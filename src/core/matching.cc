@@ -29,20 +29,23 @@ GridMatcher::GridMatcher(const Grid& grid, const Assignment& assignment,
   if (num_groups < 0) throw std::invalid_argument("GridMatcher: negative group count");
 
   group_of_hyper_.assign(grid.hyper_cells().size(), -1);
-  std::vector<BitVector> group_vecs(static_cast<std::size_t>(num_groups),
-                                    BitVector(grid.num_subscribers()));
+  group_bits_.assign(static_cast<std::size_t>(num_groups),
+                     BitVector(grid.num_subscribers()));
   for (std::size_t i = 0; i < assignment.size(); ++i) {
     const int g = assignment[i];
     if (g < 0) continue;
     if (g >= num_groups) throw std::invalid_argument("GridMatcher: group out of range");
     group_of_hyper_[i] = g;
-    group_vecs[static_cast<std::size_t>(g)] |= grid.hyper_cells()[i].members;
+    group_bits_[static_cast<std::size_t>(g)] |= grid.hyper_cells()[i].members;
   }
 
   groups_.resize(static_cast<std::size_t>(num_groups));
   for (int g = 0; g < num_groups; ++g) {
-    group_vecs[static_cast<std::size_t>(g)].for_each_set([this, g](std::size_t i) {
-      groups_[static_cast<std::size_t>(g)].push_back(static_cast<SubscriberId>(i));
+    auto& members = groups_[static_cast<std::size_t>(g)];
+    const BitVector& bits = group_bits_[static_cast<std::size_t>(g)];
+    members.reserve(bits.count());
+    bits.for_each_set([&members](std::size_t i) {
+      members.push_back(static_cast<SubscriberId>(i));
     });
   }
 }
@@ -73,7 +76,9 @@ MatchDecision GridMatcher::match(const Point& p,
       return d;
     }
   }
-  d.unicast_targets.assign(interested.begin(), interested.end());
+  // Pure-unicast fallback: alias the caller's interested set (every
+  // interested subscriber is a unicast target — no copy needed).
+  d.unicast_targets = interested;
   return d;
 }
 
@@ -122,11 +127,18 @@ NoLossMatcher::NoLossMatcher(const NoLossResult& result, std::size_t num_groups,
 
 MatchDecision NoLossMatcher::match(const Point& p,
                                    std::span<const SubscriberId> interested) const {
+  return match(p, interested, MatchScratch::thread_local_instance());
+}
+
+MatchDecision NoLossMatcher::match(const Point& p,
+                                   std::span<const SubscriberId> interested,
+                                   MatchScratch& scratch) const {
   MatchDecision d;
   Inc(c_lookups_);
 
-  std::vector<int> hits;
-  rect_index_.stab(p, hits);
+  std::vector<int>& hits = scratch.stab_hits;
+  hits.clear();
+  rect_index_.stab(p, hits, scratch.index_stack);
   Inc(c_areas_hit_, hits.size());
   int best = -1;
   const bool by_members = options_.pick == NoLossMatcherOptions::Pick::kMembers;
@@ -135,16 +147,18 @@ MatchDecision NoLossMatcher::match(const Point& p,
       best = g;
       continue;
     }
-    const NoLossGroup& cand = groups_[static_cast<std::size_t>(g)];
-    const NoLossGroup& cur = groups_[static_cast<std::size_t>(best)];
-    const bool better = by_members
-                            ? cand.subscribers.count() > cur.subscribers.count()
-                            : cand.weight > cur.weight;
+    // |u(s)| is the size of the extracted member list — O(1), instead of a
+    // popcount over the membership words on every comparison.
+    const bool better =
+        by_members ? members_[static_cast<std::size_t>(g)].size() >
+                         members_[static_cast<std::size_t>(best)].size()
+                   : groups_[static_cast<std::size_t>(g)].weight >
+                         groups_[static_cast<std::size_t>(best)].weight;
     if (better) best = g;
   }
 
   if (best == -1) {
-    d.unicast_targets.assign(interested.begin(), interested.end());
+    d.unicast_targets = interested;
     return d;
   }
 
@@ -152,9 +166,14 @@ MatchDecision NoLossMatcher::match(const Point& p,
   Inc(c_confirmed_);
   d.group_id = best;
   d.group_members = members_[static_cast<std::size_t>(best)];
-  // Interested subscribers outside u(s) still get unicasts (Fig. 6).
+  // Interested subscribers outside u(s) still get unicasts (Fig. 6).  The
+  // per-id bit test preserves the caller's `interested` order exactly
+  // (callers may pass index-order sets whose iteration order is pinned).
+  scratch.unicast.clear();
   for (const SubscriberId s : interested)
-    if (!grp.subscribers.test(static_cast<std::size_t>(s))) d.unicast_targets.push_back(s);
+    if (!grp.subscribers.test(static_cast<std::size_t>(s)))
+      scratch.unicast.push_back(s);
+  d.unicast_targets = scratch.unicast;
   return d;
 }
 

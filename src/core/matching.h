@@ -24,6 +24,7 @@
 
 #include "core/cluster_types.h"
 #include "core/grid.h"
+#include "core/match_scratch.h"
 #include "core/noloss.h"
 #include "index/rtree.h"
 #include "obs/metrics.h"
@@ -31,15 +32,19 @@
 
 namespace pubsub {
 
-// Outcome of matching one event.
+// Outcome of matching one event.  Zero-copy: both spans alias storage owned
+// elsewhere (DESIGN.md §10).
 struct MatchDecision {
   // Multicast group used, or -1 for pure unicast delivery.
   int group_id = -1;
   // Members of that group (empty when group_id == -1).  Points into the
   // matcher; valid until the matcher is destroyed.
   std::span<const SubscriberId> group_members;
-  // Subscribers served by individual unicast messages.
-  std::vector<SubscriberId> unicast_targets;
+  // Subscribers served by individual unicast messages.  Aliases either the
+  // caller's `interested` span (pure-unicast fallback) or the scratch the
+  // match ran against; valid until that scratch's next match() (the
+  // two-argument overloads use the calling thread's scratch).
+  std::span<const SubscriberId> unicast_targets;
 };
 
 // Matching for the grid-based algorithms (Fig. 5).
@@ -63,15 +68,28 @@ class GridMatcher {
 
   int num_groups() const { return static_cast<int>(groups_.size()); }
   std::span<const SubscriberId> group_members(int g) const { return groups_[static_cast<std::size_t>(g)]; }
+  // Word-packed membership of group g (over the grid's subscriber
+  // population at build time); the broker's completion kernel runs AND-NOT
+  // set difference against these words.
+  const BitVector& group_bits(int g) const { return group_bits_[static_cast<std::size_t>(g)]; }
 
   // `interested` must be the exact interested-subscriber set for `p`
-  // (from the subscription index).
+  // (from the subscription index).  The grid matcher needs no scratch
+  // storage — its unicast fallback aliases `interested` — so both
+  // overloads are allocation-free; the scratch one exists for call-site
+  // symmetry with NoLossMatcher.
   MatchDecision match(const Point& p, std::span<const SubscriberId> interested) const;
+  MatchDecision match(const Point& p, std::span<const SubscriberId> interested,
+                      MatchScratch& scratch) const {
+    (void)scratch;
+    return match(p, interested);
+  }
 
  private:
   const Grid* grid_;
   std::vector<int> group_of_hyper_;  // -1 = unclustered
   std::vector<std::vector<SubscriberId>> groups_;
+  std::vector<BitVector> group_bits_;
   double min_interest_fraction_;
   // Telemetry (all nullable; see obs/metrics.h).
   Counter* c_lookups_ = nullptr;
@@ -107,7 +125,12 @@ class NoLossMatcher {
   int num_groups() const { return static_cast<int>(groups_.size()); }
   std::span<const SubscriberId> group_members(int g) const { return members_[static_cast<std::size_t>(g)]; }
 
+  // The two-argument overload matches against the calling thread's scratch
+  // (see MatchScratch::thread_local_instance); the three-argument one uses
+  // the caller's.  Unicast completion preserves the order of `interested`.
   MatchDecision match(const Point& p, std::span<const SubscriberId> interested) const;
+  MatchDecision match(const Point& p, std::span<const SubscriberId> interested,
+                      MatchScratch& scratch) const;
 
   // True iff no group contains an uninterested subscriber for any event in
   // its rectangle (trivially true by construction; exposed for tests).

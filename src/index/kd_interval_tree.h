@@ -46,6 +46,13 @@ class KdIntervalTree final : public SpatialIndex {
   using SpatialIndex::containing;
   using SpatialIndex::intersecting;
   using SpatialIndex::stab;
+  // Emission order: the single root→leaf walk reports each node's spanning
+  // list in storage (insertion) order — deterministic, a pure function of
+  // the tree's build/insert history.  It is NOT sorted, and two trees
+  // holding the same set via different histories (Build vs incremental
+  // insert) may emit in different orders.  Callers on the sorted-set
+  // convention scatter the ids into a bitset and emit ascending (see
+  // Broker::interested_into) instead of sorting per query.
   void stab(const Point& p, std::vector<int>& out) const override;
   void intersecting(const Rect& r, std::vector<int>& out) const override;
   void containing(const Rect& r, std::vector<int>& out) const override;

@@ -46,6 +46,12 @@ class RTree final : public SpatialIndex {
   using SpatialIndex::intersecting;
   using SpatialIndex::stab;
   void stab(const Point& p, std::vector<int>& out) const override;
+  // Allocation-free stab for the publish hot path: the traversal runs on
+  // the caller's reusable stack (cleared on entry; type-erased because Node
+  // is private).  Hits append to `out` in the same order as the
+  // two-argument overload.
+  void stab(const Point& p, std::vector<int>& out,
+            std::vector<const void*>& stack) const;
   void intersecting(const Rect& r, std::vector<int>& out) const override;
   void containing(const Rect& r, std::vector<int>& out) const override;
 

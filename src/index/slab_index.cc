@@ -1,0 +1,99 @@
+#include "index/slab_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace pubsub {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+SlabIndex::SlabIndex(const std::vector<std::pair<Rect, int>>& items,
+                     std::size_t universe) {
+  words_ = (universe + 63) / 64;
+  std::size_t ndims = 0;
+  for (const auto& [rect, id] : items) {
+    if (rect.empty()) continue;
+    if (id < 0 || static_cast<std::size_t>(id) >= universe)
+      throw std::invalid_argument("SlabIndex: id outside universe");
+    if (ndims == 0) ndims = rect.dims();
+    if (rect.dims() != ndims)
+      throw std::invalid_argument("SlabIndex: mixed dimensionality");
+    ++size_;
+  }
+  if (size_ == 0) return;
+
+  dims_.resize(ndims);
+  for (std::size_t d = 0; d < ndims; ++d) {
+    Dim& dim = dims_[d];
+    for (const auto& [rect, id] : items) {
+      if (rect.empty()) continue;
+      const Interval& iv = rect[d];
+      if (iv.lo() != -kInf) dim.ends.push_back(iv.lo());
+      if (iv.hi() != kInf) dim.ends.push_back(iv.hi());
+    }
+    std::sort(dim.ends.begin(), dim.ends.end());
+    dim.ends.erase(std::unique(dim.ends.begin(), dim.ends.end()),
+                   dim.ends.end());
+
+    // Piece j is (e_{j-1}, e_j]; j ranges over [0, ends.size()].  An
+    // interval (lo, hi] covers exactly the pieces whose bounds it encloses:
+    // index(lo)+1 … index(hi) (unbounded ends extend to the edge pieces).
+    dim.rows.assign((dim.ends.size() + 1) * words_, 0);
+    for (const auto& [rect, id] : items) {
+      if (rect.empty()) continue;
+      const Interval& iv = rect[d];
+      const std::size_t first =
+          iv.lo() == -kInf
+              ? 0
+              : static_cast<std::size_t>(
+                    std::lower_bound(dim.ends.begin(), dim.ends.end(), iv.lo()) -
+                    dim.ends.begin()) +
+                    1;
+      const std::size_t last =
+          iv.hi() == kInf
+              ? dim.ends.size()
+              : static_cast<std::size_t>(
+                    std::lower_bound(dim.ends.begin(), dim.ends.end(), iv.hi()) -
+                    dim.ends.begin());
+      const std::size_t w = static_cast<std::size_t>(id) / 64;
+      const std::uint64_t bit = std::uint64_t{1}
+                                << (static_cast<std::size_t>(id) % 64);
+      for (std::size_t j = first; j <= last; ++j)
+        dim.rows[j * words_ + w] |= bit;
+    }
+  }
+}
+
+void SlabIndex::stab(const Point& p, std::vector<int>& out,
+                     std::vector<std::uint64_t>& tmp) const {
+  out.clear();
+  if (size_ == 0 || p.size() < dims_.size()) return;
+  tmp.resize(words_);
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const Dim& dim = dims_[d];
+    // Piece index: first endpoint >= x (the piece's closed upper bound).
+    const std::size_t j = static_cast<std::size_t>(
+        std::lower_bound(dim.ends.begin(), dim.ends.end(), p[d]) -
+        dim.ends.begin());
+    const std::uint64_t* row = &dim.rows[j * words_];
+    if (d == 0) {
+      std::copy(row, row + words_, tmp.begin());
+    } else {
+      for (std::size_t w = 0; w < words_; ++w) tmp[w] &= row[w];
+    }
+  }
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t word = tmp[w];
+    while (word != 0) {
+      const int b = std::countr_zero(word);
+      out.push_back(static_cast<int>(w * 64 + static_cast<std::size_t>(b)));
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace pubsub

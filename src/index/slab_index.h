@@ -1,0 +1,61 @@
+// Word-parallel point-stabbing over a static rectangle set.
+//
+// The R-tree answers "which rectangles contain p?" by walking MBRs; for the
+// batch matching hot path that DFS — pointer chasing plus per-rectangle
+// interval tests — dominates the per-event cost.  This index exploits the
+// repo-wide (lo, hi] interval convention instead: along each dimension the
+// distinct endpoints e_0 < … < e_{m-1} split the line into m+1 elementary
+// pieces (-inf, e_0], (e_0, e_1], …, (e_{m-1}, +inf), and every rectangle's
+// membership is constant on each piece.  Build time precomputes, per
+// dimension and piece, the bit-set of rectangles whose interval covers the
+// piece; a stab is then one binary search per dimension plus a word-level
+// AND across dimensions — no tree walk, no per-rectangle test.
+//
+// Hits are emitted in ascending id order (the bit order), so a stab doubles
+// as the sorted-set kernel the broker's hot path uses.  The structure is
+// static: subscription churn requires a rebuild (the dynamic side keeps the
+// KdIntervalTree; this index serves the batch/simulation paths).
+//
+// Cost: build O(items × pieces / 64) bit-sets and (2n+1) × ceil(u/64) words
+// of memory per dimension; stab O(dims × (log n + u/64) + hits).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geometry/rect.h"
+
+namespace pubsub {
+
+class SlabIndex {
+ public:
+  SlabIndex() = default;
+
+  // Index (rect, id) pairs; every id must lie in [0, universe).  Empty
+  // rectangles are skipped (they contain no point).  All rectangles must
+  // have the same dimensionality.
+  SlabIndex(const std::vector<std::pair<Rect, int>>& items, std::size_t universe);
+
+  // Append every id whose rectangle contains p to `out` (cleared on entry),
+  // in ascending id order.  `tmp` is the caller's reusable word buffer —
+  // steady-state stabs are allocation-free once it has grown to
+  // word_count().
+  void stab(const Point& p, std::vector<int>& out,
+            std::vector<std::uint64_t>& tmp) const;
+
+  std::size_t size() const { return size_; }
+  std::size_t word_count() const { return words_; }
+
+ private:
+  struct Dim {
+    std::vector<double> ends;            // sorted distinct finite endpoints
+    std::vector<std::uint64_t> rows;     // (ends.size()+1) rows of words_
+  };
+
+  std::vector<Dim> dims_;
+  std::size_t words_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pubsub

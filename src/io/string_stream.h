@@ -1,0 +1,47 @@
+// Reusable in-memory output stream.
+//
+// std::ostringstream allocates a fresh buffer per instance, which made the
+// broker's per-record journal serialization the last allocation on the
+// publish hot path.  StringStream formats into a retained std::string:
+// reset() clears the content but keeps the capacity, so steady-state use
+// never touches the heap (DESIGN.md §10).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <streambuf>
+#include <string>
+
+namespace pubsub {
+
+class StringStream : private std::streambuf, public std::ostream {
+ public:
+  StringStream() : std::ostream(static_cast<std::streambuf*>(this)) {}
+  StringStream(const StringStream&) = delete;
+  StringStream& operator=(const StringStream&) = delete;
+
+  // Empties the buffer (capacity retained) and clears stream state.
+  void reset() {
+    buf_.clear();
+    std::ostream::clear();
+  }
+  const std::string& str() const { return buf_; }
+
+ protected:
+  // Both bases typedef int_type/traits_type; qualify via the streambuf.
+  using Buf = std::streambuf;
+  Buf::int_type overflow(Buf::int_type ch) override {
+    if (!Buf::traits_type::eq_int_type(ch, Buf::traits_type::eof()))
+      buf_.push_back(Buf::traits_type::to_char_type(ch));
+    return Buf::traits_type::not_eof(ch);
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    buf_.append(s, static_cast<std::size_t>(n));
+    return n;
+  }
+
+ private:
+  std::string buf_;
+};
+
+}  // namespace pubsub

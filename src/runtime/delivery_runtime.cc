@@ -49,8 +49,13 @@ double DeliveryRuntime::enqueue(NodeId broker, double now_ms, double service_ms)
 }
 
 DeliveryTiming DeliveryRuntime::deliver_unicast(double now_ms, NodeId origin,
-                                                std::span<const NodeId> targets) {
+                                                std::span<const NodeId> targets,
+                                                std::vector<double>* latencies_out) {
   const ShortestPathTree& tree = spt(origin);
+
+  std::vector<double>& lat = latencies_out != nullptr ? *latencies_out : own_latencies_;
+  if (latencies_out == nullptr) lat.clear();
+  const std::size_t base = lat.size();
 
   DeliveryTiming t;
   t.service_ms = params_.match_time_ms +
@@ -58,7 +63,7 @@ DeliveryTiming DeliveryRuntime::deliver_unicast(double now_ms, NodeId origin,
   const double start = enqueue(origin, now_ms, t.service_ms);
   t.queue_wait_ms = start - now_ms;
 
-  t.latencies_ms.reserve(targets.size());
+  lat.reserve(base + targets.size());
   double send_done = start + params_.match_time_ms;
   std::size_t total_hops = 0;
   for (const NodeId target : targets) {
@@ -75,8 +80,9 @@ DeliveryTiming DeliveryRuntime::deliver_unicast(double now_ms, NodeId origin,
                            tree.dist[static_cast<std::size_t>(target)] *
                                params_.latency_per_cost_ms +
                            static_cast<double>(hops) * params_.per_hop_processing_ms;
-    t.latencies_ms.push_back(arrival - now_ms);
+    lat.push_back(arrival - now_ms);
   }
+  t.latencies_ms = std::span<const double>(lat).subspan(base);
 
   Inc(c_unicast_);
   Inc(c_messages_, targets.size());
@@ -85,29 +91,40 @@ DeliveryTiming DeliveryRuntime::deliver_unicast(double now_ms, NodeId origin,
 }
 
 DeliveryTiming DeliveryRuntime::deliver_multicast(double now_ms, NodeId origin,
-                                                  std::span<const NodeId> targets) {
+                                                  std::span<const NodeId> targets,
+                                                  std::vector<double>* latencies_out) {
   const ShortestPathTree& tree = spt(origin);
+
+  std::vector<double>& lat = latencies_out != nullptr ? *latencies_out : own_latencies_;
+  if (latencies_out == nullptr) lat.clear();
+  const std::size_t base = lat.size();
 
   // Pruned-tree membership: every node on some origin→target path.
   const int n = network_->num_nodes();
-  std::vector<char> needed(static_cast<std::size_t>(n), 0);
-  needed[static_cast<std::size_t>(origin)] = 1;
+  needed_.assign(static_cast<std::size_t>(n), 0);
+  needed_[static_cast<std::size_t>(origin)] = 1;
   for (const NodeId target : targets) {
     if (!tree.reachable(target))
       throw std::invalid_argument("deliver_multicast: unreachable target");
-    for (NodeId v = target; !needed[static_cast<std::size_t>(v)];
+    for (NodeId v = target; !needed_[static_cast<std::size_t>(v)];
          v = tree.parent[static_cast<std::size_t>(v)])
-      needed[static_cast<std::size_t>(v)] = 1;
+      needed_[static_cast<std::size_t>(v)] = 1;
   }
 
-  // Children of each needed node within the pruned tree.
-  std::vector<std::vector<NodeId>> children(static_cast<std::size_t>(n));
+  // Children of each needed node within the pruned tree, as flat linked
+  // lists.  Building in descending node order makes each per-parent list
+  // ascend, matching the vector-of-vectors order this replaced — the DFS
+  // below accumulates per-child send times in that order, so arrival times
+  // stay bit-identical.
+  child_head_.assign(static_cast<std::size_t>(n), -1);
+  child_next_.resize(static_cast<std::size_t>(n));
   int origin_branches = 0;
   std::size_t tree_edges = 0;
-  for (NodeId v = 0; v < n; ++v) {
-    if (!needed[static_cast<std::size_t>(v)] || v == origin) continue;
+  for (NodeId v = n - 1; v >= 0; --v) {
+    if (!needed_[static_cast<std::size_t>(v)] || v == origin) continue;
     const NodeId parent = tree.parent[static_cast<std::size_t>(v)];
-    children[static_cast<std::size_t>(parent)].push_back(v);
+    child_next_[static_cast<std::size_t>(v)] = child_head_[static_cast<std::size_t>(parent)];
+    child_head_[static_cast<std::size_t>(parent)] = v;
     ++tree_edges;
     if (parent == origin) ++origin_branches;
   }
@@ -123,29 +140,34 @@ DeliveryTiming DeliveryRuntime::deliver_multicast(double now_ms, NodeId origin,
   t.queue_wait_ms = start - now_ms;
 
   // Arrival times by DFS; per node, forwarding to children is sequential.
-  std::vector<double> arrival(static_cast<std::size_t>(n), 0.0);
-  arrival[static_cast<std::size_t>(origin)] = start + params_.match_time_ms;
-  std::vector<NodeId> stack{origin};
-  while (!stack.empty()) {
-    const NodeId u = stack.back();
-    stack.pop_back();
-    double send_done = arrival[static_cast<std::size_t>(u)];
+  // arrival_ carries stale values from earlier calls, but every node in the
+  // pruned tree (origin included) is written before it is read.
+  arrival_.resize(static_cast<std::size_t>(n));
+  arrival_[static_cast<std::size_t>(origin)] = start + params_.match_time_ms;
+  dfs_stack_.clear();
+  dfs_stack_.push_back(origin);
+  while (!dfs_stack_.empty()) {
+    const NodeId u = dfs_stack_.back();
+    dfs_stack_.pop_back();
+    double send_done = arrival_[static_cast<std::size_t>(u)];
     if (u != origin) send_done += params_.per_hop_processing_ms;
-    for (const NodeId c : children[static_cast<std::size_t>(u)]) {
+    for (NodeId c = child_head_[static_cast<std::size_t>(u)]; c != -1;
+         c = child_next_[static_cast<std::size_t>(c)]) {
       send_done += params_.per_message_send_ms;
       const double edge_cost =
           network_->edge(tree.parent_edge[static_cast<std::size_t>(c)]).cost;
-      arrival[static_cast<std::size_t>(c)] =
+      arrival_[static_cast<std::size_t>(c)] =
           send_done + edge_cost * params_.latency_per_cost_ms;
-      stack.push_back(c);
+      dfs_stack_.push_back(c);
     }
   }
 
-  t.latencies_ms.reserve(targets.size());
+  lat.reserve(base + targets.size());
   for (const NodeId target : targets)
-    t.latencies_ms.push_back(arrival[static_cast<std::size_t>(target)] +
-                             (target == origin ? 0.0 : params_.per_hop_processing_ms) -
-                             now_ms);
+    lat.push_back(arrival_[static_cast<std::size_t>(target)] +
+                  (target == origin ? 0.0 : params_.per_hop_processing_ms) -
+                  now_ms);
+  t.latencies_ms = std::span<const double>(lat).subspan(base);
   return t;
 }
 

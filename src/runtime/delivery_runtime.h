@@ -51,8 +51,12 @@ struct RuntimeParams {
 struct DeliveryTiming {
   double queue_wait_ms = 0.0;
   double service_ms = 0.0;
-  // One latency per requested target (publication → subscriber arrival).
-  std::vector<double> latencies_ms;
+  // One latency per requested target (publication → subscriber arrival), in
+  // target order.  Aliases the latency buffer the deliver_* call ran
+  // against: the caller's buffer when one was passed (valid until the
+  // caller mutates it), otherwise the runtime's internal buffer (valid
+  // until the next buffer-less deliver_* call).  See DESIGN.md §10.
+  std::span<const double> latencies_ms;
 };
 
 class DeliveryRuntime {
@@ -75,14 +79,22 @@ class DeliveryRuntime {
   // A unicast delivery published at `origin` at absolute time `now_ms` to
   // `targets` (per-subscriber node ids; duplicates are distinct messages,
   // sent in order).
+  //
+  // Latencies append to `*latencies_out` when given (so one event's
+  // multicast + unicast completion can share a buffer and concatenate) and
+  // the returned span covers just this call's entries; with nullptr an
+  // internal reusable buffer is cleared and used.  Either way the call
+  // performs no steady-state allocation once buffers are warm.
   DeliveryTiming deliver_unicast(double now_ms, NodeId origin,
-                                 std::span<const NodeId> targets);
+                                 std::span<const NodeId> targets,
+                                 std::vector<double>* latencies_out = nullptr);
 
   // A single-message delivery over the origin-rooted pruned SPT covering
   // `targets`; per-target latency includes sequential child forwarding at
-  // every tree node on the way.
+  // every tree node on the way.  Latency buffer semantics as above.
   DeliveryTiming deliver_multicast(double now_ms, NodeId origin,
-                                   std::span<const NodeId> targets);
+                                   std::span<const NodeId> targets,
+                                   std::vector<double>* latencies_out = nullptr);
 
  private:
   const ShortestPathTree& spt(NodeId origin);
@@ -94,6 +106,16 @@ class DeliveryRuntime {
   RuntimeParams params_;
   std::unordered_map<NodeId, ShortestPathTree> spt_cache_;
   std::vector<double> broker_free_at_;  // per node, earliest idle time
+
+  // Per-delivery working memory, reused across calls (DESIGN.md §10).
+  // deliver_multicast builds the pruned tree in flat child lists
+  // (child_head_/child_next_) instead of a vector-of-vectors.
+  std::vector<double> own_latencies_;
+  std::vector<char> needed_;
+  std::vector<NodeId> child_head_;
+  std::vector<NodeId> child_next_;
+  std::vector<double> arrival_;
+  std::vector<NodeId> dfs_stack_;
 
   // Telemetry (nullable; see obs/metrics.h).
   Counter* c_unicast_ = nullptr;

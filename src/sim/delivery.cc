@@ -13,11 +13,18 @@ DeliverySimulator::DeliverySimulator(const Graph& network, const Workload& wl)
     const Rect r = wl.subscribers[i].interest.intersection(domain);
     if (!r.empty()) items.emplace_back(r, static_cast<int>(i));
   }
+  slab_index_ = SlabIndex(items, wl.subscribers.size());
   sub_index_ = RTree::BulkLoad(std::move(items));
 }
 
 std::vector<SubscriberId> DeliverySimulator::interested(const Point& p) const {
   return sub_index_.stab(p);
+}
+
+void DeliverySimulator::interested_into(const Point& p,
+                                        std::vector<SubscriberId>& out,
+                                        std::vector<std::uint64_t>& tmp) const {
+  slab_index_.stab(p, out, tmp);
 }
 
 const ShortestPathTree& DeliverySimulator::spt(NodeId origin) {

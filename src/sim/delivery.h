@@ -25,6 +25,7 @@
 
 #include "core/matching.h"
 #include "index/rtree.h"
+#include "index/slab_index.h"
 #include "net/graph.h"
 #include "net/multicast.h"
 #include "net/shortest_path.h"
@@ -38,8 +39,16 @@ class DeliverySimulator {
 
   const Workload& workload() const { return *workload_; }
 
-  // Exact interested subscribers for an event (R-tree stabbing query).
+  // Exact interested subscribers for an event (R-tree stabbing query, in
+  // the tree's traversal order — the order the sim experiments are pinned
+  // to).
   std::vector<SubscriberId> interested(const Point& p) const;
+  // Batch-phase kernel: the same set via the word-parallel SlabIndex,
+  // emitted in ascending id order (the broker's sorted-set convention) into
+  // `out` (cleared on entry).  `tmp` is the caller's reusable word buffer;
+  // steady-state calls are allocation-free.
+  void interested_into(const Point& p, std::vector<SubscriberId>& out,
+                       std::vector<std::uint64_t>& tmp) const;
 
   // Baseline strategies.
   double unicast_cost(NodeId origin, std::span<const SubscriberId> subs);
@@ -70,6 +79,7 @@ class DeliverySimulator {
   const Graph* network_;
   const Workload* workload_;
   RTree sub_index_;
+  SlabIndex slab_index_;
   PrunedSptCost pruner_;
   std::unordered_map<NodeId, ShortestPathTree> spt_cache_;
   std::unique_ptr<DistanceMatrix> dm_;  // built on first app-level query

@@ -1,8 +1,18 @@
 #include "sim/experiment.h"
 
+#include <deque>
+#include <mutex>
+
 #include "util/thread_pool.h"
 
 namespace pubsub {
+
+namespace {
+// Minimum events per chunk for the batch-match fan-out.  A match is cheap
+// (one stab + a few comparisons), so without a floor an 8-lane split of a
+// small batch pays more in wakeups than it saves in work.
+constexpr std::size_t kMatchGrain = 256;
+}  // namespace
 
 std::vector<EventSample> SampleEvents(const DeliverySimulator& sim,
                                       const PublicationModel& model,
@@ -15,7 +25,7 @@ std::vector<EventSample> SampleEvents(const DeliverySimulator& sim,
   ParallelFor(
       count,
       [&](std::size_t i) { events[i].interested = sim.interested(events[i].pub.point); },
-      /*min_parallel=*/16);
+      /*min_parallel=*/16, /*grain=*/64);
   return events;
 }
 
@@ -43,23 +53,58 @@ double ImprovementPercent(double cost, const BaselineCosts& base) {
 ClusteredCosts EvaluateMatcher(DeliverySimulator& sim,
                                std::span<const EventSample> events,
                                const MatchFn& match) {
-  // Phase 1 (parallel): per-event match decisions.  Matchers are const and
-  // pure, so each slot write is independent and the decisions are identical
-  // for any thread count.  Phase 2 (serial, event order): cost accumulation
-  // — the simulator caches shortest-path trees, and summing doubles in a
-  // fixed order keeps the totals bit-identical.
-  std::vector<MatchDecision> decisions(events.size());
-  ParallelFor(
+  // Phase 1 (parallel, chunked): per-event match decisions.  A decision's
+  // unicast span may alias the matching thread's scratch, which the same
+  // thread's *next* match clobbers — so each chunk copies its unicast ids
+  // into a chunk-local pool before moving on.  Slot writes to `metas` are a
+  // pure per-index map and the chunk pools are append-only within a chunk,
+  // so the per-event content is identical for any thread count or grain.
+  // Phase 2 (serial, event order): cost accumulation — the simulator caches
+  // shortest-path trees, and summing doubles in a fixed order keeps the
+  // totals bit-identical.
+  struct Meta {
+    int group_id = -1;
+    std::span<const SubscriberId> group_members;  // stable: points into matcher
+    const std::vector<SubscriberId>* pool = nullptr;
+    std::size_t uni_off = 0;
+    std::size_t uni_len = 0;
+  };
+  std::vector<Meta> metas(events.size());
+  std::deque<std::vector<SubscriberId>> pools;  // deque: stable element addresses
+  std::mutex pools_mu;
+  ParallelForChunks(
       events.size(),
-      [&](std::size_t i) {
-        decisions[i] = match(events[i].pub.point, events[i].interested);
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<SubscriberId>* pool;
+        {
+          std::lock_guard<std::mutex> lock(pools_mu);
+          pool = &pools.emplace_back();
+        }
+        pool->reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          const MatchDecision d =
+              match(events[i].pub.point, events[i].interested);
+          Meta& m = metas[i];
+          m.group_id = d.group_id;
+          m.group_members = d.group_members;
+          m.pool = pool;
+          m.uni_off = pool->size();
+          pool->insert(pool->end(), d.unicast_targets.begin(),
+                       d.unicast_targets.end());
+          m.uni_len = pool->size() - m.uni_off;
+        }
       },
-      /*min_parallel=*/16);
+      /*min_parallel=*/16, kMatchGrain);
 
   ClusteredCosts out;
   for (std::size_t i = 0; i < events.size(); ++i) {
     const EventSample& e = events[i];
-    const MatchDecision& d = decisions[i];
+    const Meta& m = metas[i];
+    MatchDecision d;
+    d.group_id = m.group_id;
+    d.group_members = m.group_members;
+    d.unicast_targets =
+        std::span<const SubscriberId>(*m.pool).subspan(m.uni_off, m.uni_len);
     out.network += sim.clustered_cost_network(e.pub.origin, d);
     out.applevel += sim.clustered_cost_applevel(e.pub.origin, d);
     if (d.group_id >= 0) {

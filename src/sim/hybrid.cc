@@ -20,10 +20,7 @@ HybridCosts EvaluateHybrid(DeliverySimulator& sim,
     // Multicast candidate: the matcher's decision (group + residual
     // unicasts); a pure-unicast decision makes this identical to unicast.
     MatchDecision multicast_decision = d;
-    if (d.group_id < 0) {
-      multicast_decision.unicast_targets.assign(e.interested.begin(),
-                                                e.interested.end());
-    }
+    if (d.group_id < 0) multicast_decision.unicast_targets = e.interested;
     const double multicast = sim.clustered_cost_network(e.pub.origin,
                                                         multicast_decision);
 

@@ -84,17 +84,6 @@ bool BitVector::intersects(const BitVector& o) const {
   return false;
 }
 
-void BitVector::for_each_set(const std::function<void(std::size_t)>& f) const {
-  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-    std::uint64_t w = words_[wi];
-    while (w != 0) {
-      const int b = std::countr_zero(w);
-      f(wi * kWordBits + static_cast<std::size_t>(b));
-      w &= w - 1;
-    }
-  }
-}
-
 std::vector<std::size_t> BitVector::set_bits() const {
   std::vector<std::size_t> out;
   out.reserve(count());

@@ -7,9 +7,10 @@
 // operations the clustering layer needs, on 64-bit words.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -65,9 +66,26 @@ class BitVector {
   bool is_subset_of(const BitVector& o) const;
   bool intersects(const BitVector& o) const;
 
-  // Invoke f(i) for every set bit, in increasing order.
-  void for_each_set(const std::function<void(std::size_t)>& f) const;
+  // Invoke f(i) for every set bit, in increasing order.  Templated so the
+  // callback inlines into the word loop — this runs on the publish hot path.
+  template <typename F>
+  void for_each_set(F&& f) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int b = std::countr_zero(w);
+        f(wi * kWordBits + static_cast<std::size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
   std::vector<std::size_t> set_bits() const;
+
+  // Raw 64-bit words (bit i of the vector is bit i%64 of word i/64).  Exposed
+  // so hot paths can run fused word kernels (AND-NOT set difference, popcount
+  // of AND) against membership vectors without per-bit calls.
+  std::span<const std::uint64_t> words() const { return words_; }
+  static constexpr std::size_t word_bits() { return kWordBits; }
 
   // FNV-1a over the words; used to merge identical membership vectors into
   // hyper-cells (paper §4.1 "Implementation Notes").

@@ -59,6 +59,7 @@ struct FailPoints::Impl {
     std::size_t arg = 0;
     std::uint64_t remaining = UINT64_MAX;  // *COUNT budget
     std::uint64_t skip = 0;                // ^SKIP evaluations to let pass
+    std::uint64_t arm_at_seq = 0;          // +SEQ dormancy gate (0 = armed)
     double prob = 1.0;                     // @PROB per evaluation
   };
   mutable std::mutex mu;
@@ -66,6 +67,7 @@ struct FailPoints::Impl {
   std::map<std::string, std::uint64_t> hit_count;
   std::map<std::string, std::uint64_t> fire_count;
   std::uint64_t rng_state = 0;
+  std::atomic<std::uint64_t> current_seq{0};
 };
 
 FailPoints::FailPoints() : impl_(new Impl) {}
@@ -92,7 +94,7 @@ void FailPoints::configure(const std::string& spec) {
     const std::size_t eq = entry.find('=');
     if (eq == std::string::npos || eq == 0)
       throw std::invalid_argument("failpoint '" + entry +
-                                  "': want site=action[:arg][*count][^skip][@prob]");
+                                  "': want site=action[:arg][*count][^skip][+seq][@prob]");
     const std::string site = entry.substr(0, eq);
     std::string rest = entry.substr(eq + 1);
 
@@ -108,11 +110,15 @@ void FailPoints::configure(const std::string& spec) {
       rest.erase(pos);
       return tok;
     };
+    // Peel order is the reverse of the grammar order.  '@' before '+' so a
+    // probability like 1e+0 keeps its exponent sign.
     const std::string prob_tok = peel('@');
+    const std::string seq_tok = peel('+');
     const std::string skip_tok = peel('^');
     const std::string count_tok = peel('*');
     const std::string arg_tok = peel(':');
     if (!prob_tok.empty()) e.prob = ParseProbability(prob_tok, entry);
+    if (!seq_tok.empty()) e.arm_at_seq = ParseUnsigned(seq_tok, entry);
     if (!skip_tok.empty()) e.skip = ParseUnsigned(skip_tok, entry);
     if (!count_tok.empty()) e.remaining = ParseUnsigned(count_tok, entry);
     if (!arg_tok.empty())
@@ -139,7 +145,12 @@ void FailPoints::clear() {
   impl_->entries.clear();
   impl_->hit_count.clear();
   impl_->fire_count.clear();
+  impl_->current_seq.store(0, std::memory_order_relaxed);
   active_.store(false, std::memory_order_relaxed);
+}
+
+void FailPoints::advance_sequence(std::uint64_t seq) {
+  impl_->current_seq.store(seq, std::memory_order_relaxed);
 }
 
 void FailPoints::set_seed(std::uint64_t seed) {
@@ -154,6 +165,11 @@ FailPointDecision FailPoints::eval(const std::string& site) {
   if (it == impl_->entries.end()) return {};
   ++impl_->hit_count[site];
   Impl::Entry& e = it->second;
+  // Dormant until the component reaches the +SEQ position; dormant
+  // evaluations consume neither skip nor count budget.
+  if (e.arm_at_seq > 0 &&
+      impl_->current_seq.load(std::memory_order_relaxed) < e.arm_at_seq)
+    return {};
   if (e.skip > 0) {
     --e.skip;
     return {};

@@ -9,7 +9,7 @@
 //
 // Spec grammar (comma- or semicolon-separated list):
 //
-//   site=ACTION[:ARG][*COUNT][^SKIP][@PROB]
+//   site=ACTION[:ARG][*COUNT][^SKIP][+SEQ][@PROB]
 //
 //   ACTION  off    — disarm the site (useful to override an earlier entry)
 //           error  — report failure: a flush site returns false (fsync
@@ -23,6 +23,11 @@
 //   COUNT   fire at most COUNT times, then disarm (default: unlimited)
 //   SKIP    let the first SKIP matching evaluations pass before arming
 //           (deterministic "fail on the Nth append" scheduling)
+//   SEQ     stay dormant until the instrumented component reports sequence
+//           number SEQ or later via advance_sequence() (the broker reports
+//           each command's seq).  Dormant evaluations consume neither SKIP
+//           nor COUNT, so a fault can target e.g. the organic checkpoint a
+//           schedule knows will run at a given command.
 //   PROB    fire with probability PROB per evaluation (default 1), drawn
 //           from the registry's seeded generator — randomized but
 //           reproducible chaos runs
@@ -31,6 +36,8 @@
 //   journal.flush=error*1            fail exactly the next fsync
 //   journal.write=torn:7^3           3 appends succeed, the 4th tears
 //                                    after 7 bytes
+//   snapshot.write=crash*1+40        crash the first snapshot write at or
+//                                    after broker seq 40
 //   broker.publish.post_journal=crash@0.01   1% crash after the WAL append
 //
 // Site names follow `component.operation[.detail]` (see DESIGN.md §9);
@@ -95,6 +102,12 @@ class FailPoints {
   // Evaluate a site: called by the instrumented code on every pass through
   // the seam.  Returns kOff unless the site is armed and due.
   FailPointDecision eval(const std::string& site);
+
+  // Report the instrumented component's current sequence number; +SEQ
+  // entries stay dormant while the last reported value is below theirs.
+  // A plain store, not a running max: recovery replays from an older seq,
+  // and the window should track the live position.
+  void advance_sequence(std::uint64_t seq);
 
   // True once configure() armed anything (fast path: one atomic load).
   bool active() const { return active_.load(std::memory_order_relaxed); }

@@ -96,6 +96,7 @@ void ThreadPool::worker_loop(int lane, std::uint64_t spawn_generation) {
   while (true) {
     const std::function<void(std::size_t, std::size_t)>* body;
     std::size_t n;
+    std::size_t chunk;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
@@ -103,10 +104,11 @@ void ThreadPool::worker_loop(int lane, std::uint64_t spawn_generation) {
       seen = generation_;
       body = body_;
       n = job_n_;
+      chunk = job_chunk_;
     }
-    // Fixed sharding: lane t owns [t*chunk, (t+1)*chunk) ∩ [0, n).
-    const std::size_t T = static_cast<std::size_t>(num_threads_);
-    const std::size_t chunk = (n + T - 1) / T;
+    // Fixed sharding: lane t owns [t*chunk, (t+1)*chunk) ∩ [0, n).  Lanes
+    // past the job's chunk count (grain left fewer chunks than lanes) get
+    // an empty range and only handshake on pending_.
     const std::size_t begin = std::min(n, static_cast<std::size_t>(lane) * chunk);
     const std::size_t end = std::min(n, begin + chunk);
     if (begin < end) {
@@ -123,28 +125,34 @@ void ThreadPool::worker_loop(int lane, std::uint64_t spawn_generation) {
 
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
-    std::size_t min_parallel) {
+    std::size_t min_parallel, std::size_t grain) {
   if (n == 0) return;
+  // Task granularity: never hand a lane fewer than `grain` indices.  The
+  // lane count (and thus the chunk boundaries) stays a pure function of
+  // (n, num_threads, grain), preserving determinism.
+  const std::size_t g = std::max<std::size_t>(grain, 1);
+  const std::size_t T = static_cast<std::size_t>(num_threads_);
+  const std::size_t lanes = std::min(T, (n + g - 1) / g);
   if (num_threads_ <= 1 || n < std::max<std::size_t>(min_parallel, 2) ||
-      t_in_parallel_region) {
+      lanes <= 1 || t_in_parallel_region) {
     Inc(PoolMetrics::get().inline_runs);
     body(0, n);
     return;
   }
+  const std::size_t chunk = (n + lanes - 1) / lanes;
   const PoolMetrics& pm = PoolMetrics::get();
   StopwatchClock region_clock;
   {
     std::lock_guard<std::mutex> lock(mu_);
     body_ = &body;
     job_n_ = n;
+    job_chunk_ = chunk;
     pending_ = num_threads_ - 1;
     ++generation_;
   }
   work_cv_.notify_all();
 
   // The caller is lane 0.
-  const std::size_t T = static_cast<std::size_t>(num_threads_);
-  const std::size_t chunk = (n + T - 1) / T;
   t_in_parallel_region = true;
   body(0, std::min(n, chunk));
   t_in_parallel_region = false;
@@ -154,7 +162,7 @@ void ThreadPool::parallel_for(
   body_ = nullptr;
   lock.unlock();
 
-  const std::size_t used = std::min(T, (n + chunk - 1) / chunk);
+  const std::size_t used = std::min(lanes, (n + chunk - 1) / chunk);
   Inc(pm.regions);
   Inc(pm.chunks, used);
   Set(pm.last_chunks, static_cast<double>(used));
@@ -168,19 +176,19 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
-                 std::size_t min_parallel) {
+                 std::size_t min_parallel, std::size_t grain) {
   ThreadPool::global().parallel_for(
       n,
       [&body](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) body(i);
       },
-      min_parallel);
+      min_parallel, grain);
 }
 
 void ParallelForChunks(std::size_t n,
                        const std::function<void(std::size_t, std::size_t)>& body,
-                       std::size_t min_parallel) {
-  ThreadPool::global().parallel_for(n, body, min_parallel);
+                       std::size_t min_parallel, std::size_t grain) {
+  ThreadPool::global().parallel_for(n, body, min_parallel, grain);
 }
 
 int ConfigureThreadsFromFlags(const Flags& flags) {

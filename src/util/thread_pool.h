@@ -43,15 +43,22 @@ class ThreadPool {
   void set_num_threads(int num_threads);
 
   // Invokes body(begin, end) on disjoint chunks covering [0, n); blocks
-  // until all chunks finish.  Chunk boundaries depend only on n and
-  // num_threads().  Runs inline (single chunk) when the pool is serial,
-  // n < min_parallel, or the caller is itself a pool worker (no nesting).
+  // until all chunks finish.  Chunk boundaries depend only on n,
+  // num_threads() and grain.  Runs inline (single chunk) when the pool is
+  // serial, n < min_parallel, the grain leaves a single chunk, or the
+  // caller is itself a pool worker (no nesting).
+  //
+  // `grain` is the minimum indices per chunk: small jobs use
+  // ceil(n / grain) lanes instead of all of them, so fork/join overhead
+  // cannot dwarf the work (the task-granularity fix — a 120-index job at 8
+  // threads used to pay 8 wakeups for 15-index chunks).  Idle lanes still
+  // handshake on the generation, but run no body.
   //
   // The body must only write state disjoint per index, or per-chunk state
   // merged by the caller afterwards; it must not throw.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& body,
-                    std::size_t min_parallel = 2);
+                    std::size_t min_parallel = 2, std::size_t grain = 1);
 
   // Process-wide pool used by the clustering/matching hot paths.
   static ThreadPool& global();
@@ -76,16 +83,17 @@ class ThreadPool {
   // Job state for the current generation (guarded by mu_ for publication).
   const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
   std::size_t job_n_ = 0;
+  std::size_t job_chunk_ = 0;
 };
 
 // Applies body(i) for each i in [0, n) via ThreadPool::global().
 void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
-                 std::size_t min_parallel = 2);
+                 std::size_t min_parallel = 2, std::size_t grain = 1);
 
 // Chunked flavor: body(begin, end) per shard, via ThreadPool::global().
 void ParallelForChunks(std::size_t n,
                        const std::function<void(std::size_t, std::size_t)>& body,
-                       std::size_t min_parallel = 2);
+                       std::size_t min_parallel = 2, std::size_t grain = 1);
 
 // Reads --threads=N (N >= 1; 0 means "all hardware threads") and resizes
 // the global pool accordingly.  Returns the resulting thread count.

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <iterator>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -24,6 +25,12 @@ BrokerStats WithoutProvenance(BrokerStats s) {
   s.snapshot_bytes = 0;
   s.replayed_records = 0;
   return s;
+}
+
+// PublishOutcome's spans have no operator==; materialize for EXPECT_EQ.
+template <typename T>
+std::vector<T> ToVec(std::span<const T> s) {
+  return {s.begin(), s.end()};
 }
 
 struct BrokerFixture {
@@ -347,12 +354,12 @@ TEST(Broker, KillAndRecoverIsBitIdentical) {
   EXPECT_EQ(a.seq, b.seq);
   EXPECT_EQ(a.group_id, b.group_id);
   EXPECT_EQ(a.group_size, b.group_size);
-  EXPECT_EQ(a.unicast_targets, b.unicast_targets);
+  EXPECT_EQ(ToVec(a.unicast_targets), ToVec(b.unicast_targets));
   EXPECT_EQ(a.interested, b.interested);
   EXPECT_EQ(a.wasted, b.wasted);
   EXPECT_EQ(a.timing.queue_wait_ms, b.timing.queue_wait_ms);
   EXPECT_EQ(a.timing.service_ms, b.timing.service_ms);
-  EXPECT_EQ(a.timing.latencies_ms, b.timing.latencies_ms);
+  EXPECT_EQ(ToVec(a.timing.latencies_ms), ToVec(b.timing.latencies_ms));
   EXPECT_EQ(live.state_digest(), last_recovered->state_digest());
 }
 
@@ -398,8 +405,8 @@ TEST(Broker, WarmStandbyPromotionIsBitIdentical) {
   const PublishOutcome b =
       promoted->publish(f.events[1].pub.origin, f.events[1].pub.point);
   EXPECT_EQ(a.group_id, b.group_id);
-  EXPECT_EQ(a.unicast_targets, b.unicast_targets);
-  EXPECT_EQ(a.timing.latencies_ms, b.timing.latencies_ms);
+  EXPECT_EQ(ToVec(a.unicast_targets), ToVec(b.unicast_targets));
+  EXPECT_EQ(ToVec(a.timing.latencies_ms), ToVec(b.timing.latencies_ms));
   EXPECT_EQ(primary.state_digest(), promoted->state_digest());
 }
 

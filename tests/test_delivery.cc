@@ -67,12 +67,14 @@ TEST(DeliverySimulator, ClusteredCostCombinesGroupAndUnicasts) {
   d.group_id = 0;
   const std::vector<SubscriberId> members = {0, 1};  // both node 1
   d.group_members = members;
-  d.unicast_targets = {2, 3};  // nodes 2 and 3
+  const std::vector<SubscriberId> unicasts = {2, 3};  // nodes 2 and 3
+  d.unicast_targets = unicasts;
   // Tree to node 1 (cost 2) + unicasts 2 and 2.
   EXPECT_EQ(sim.clustered_cost_network(0, d), 6.0);
 
   MatchDecision pure;
-  pure.unicast_targets = {0, 1};
+  const std::vector<SubscriberId> pure_targets = {0, 1};
+  pure.unicast_targets = pure_targets;
   EXPECT_EQ(sim.clustered_cost_network(0, pure), 4.0);
 
   MatchDecision none;

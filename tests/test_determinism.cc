@@ -93,7 +93,8 @@ RunOutput RunPipeline(int threads) {
     out.decision_groups.push_back(d.group_id);
     out.decision_members.emplace_back(d.group_members.begin(),
                                       d.group_members.end());
-    out.decision_unicasts.push_back(d.unicast_targets);
+    out.decision_unicasts.emplace_back(d.unicast_targets.begin(),
+                                       d.unicast_targets.end());
   }
   out.grid_costs = EvaluateMatcher(sim, events, MatcherFn(matcher));
 

@@ -87,7 +87,7 @@ TEST(EvaluateMatcherTest, CountsEventsAndMatchesManualSum) {
   // A matcher that always unicasts must cost exactly the unicast baseline.
   const MatchFn unicast_all = [](const Point&, std::span<const SubscriberId> interested) {
     MatchDecision d;
-    d.unicast_targets.assign(interested.begin(), interested.end());
+    d.unicast_targets = interested;  // aliases the caller's stable storage
     return d;
   };
   const ClusteredCosts c = EvaluateMatcher(sim, events, unicast_all);

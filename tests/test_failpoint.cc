@@ -87,8 +87,63 @@ TEST_F(FailPointTest, MalformedSpecsThrow) {
   EXPECT_THROW(fp().configure("journal.flush=boom"), std::invalid_argument);
   EXPECT_THROW(fp().configure("journal.write=error:x"), std::invalid_argument);
   EXPECT_THROW(fp().configure("journal.write=crash*"), std::invalid_argument);
+  EXPECT_THROW(fp().configure("journal.write=crash+"), std::invalid_argument);
+  EXPECT_THROW(fp().configure("journal.write=crash+x"), std::invalid_argument);
   EXPECT_THROW(fp().configure("journal.write=crash@1.5"), std::invalid_argument);
   EXPECT_THROW(fp().configure("journal.write=crash@nope"), std::invalid_argument);
+}
+
+TEST_F(FailPointTest, SeqGateKeepsSiteDormantUntilReported) {
+  fp().configure("journal.write=error*1+40");
+  EXPECT_EQ(fp().eval("journal.write").action, FailAction::kOff);  // seq 0
+  fp().advance_sequence(39);
+  EXPECT_EQ(fp().eval("journal.write").action, FailAction::kOff);
+  fp().advance_sequence(40);
+  EXPECT_EQ(fp().eval("journal.write").action, FailAction::kError);
+  EXPECT_EQ(fp().eval("journal.write").action, FailAction::kOff);  // *1 spent
+  EXPECT_EQ(fp().hits("journal.write"), 4u);   // dormant evals still counted
+  EXPECT_EQ(fp().fired("journal.write"), 1u);
+}
+
+TEST_F(FailPointTest, DormantEvaluationsConsumeNeitherSkipNorCount) {
+  fp().configure("snapshot.write=crash*1^1+10");
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(fp().eval("snapshot.write").action, FailAction::kOff);
+  fp().advance_sequence(10);
+  // The full ^1 skip and *1 budget are still intact after three dormant
+  // evaluations — scheduling by seq does not drift with evaluation volume.
+  EXPECT_EQ(fp().eval("snapshot.write").action, FailAction::kOff);  // skip
+  EXPECT_EQ(fp().eval("snapshot.write").action, FailAction::kCrash);
+  EXPECT_EQ(fp().eval("snapshot.write").action, FailAction::kOff);
+}
+
+TEST_F(FailPointTest, SequenceIsAPlainStoreNotARunningMax) {
+  // Recovery replays from an older seq; the window must track the live
+  // position, so reporting a smaller seq re-enters dormancy.
+  fp().configure("journal.flush=error+40");
+  fp().advance_sequence(50);
+  EXPECT_EQ(fp().eval("journal.flush").action, FailAction::kError);
+  fp().advance_sequence(10);
+  EXPECT_EQ(fp().eval("journal.flush").action, FailAction::kOff);
+}
+
+TEST_F(FailPointTest, ClearResetsTheReportedSequence) {
+  fp().configure("journal.flush=error+5");
+  fp().advance_sequence(7);
+  EXPECT_EQ(fp().eval("journal.flush").action, FailAction::kError);
+  fp().clear();
+  fp().configure("journal.flush=error+5");
+  EXPECT_EQ(fp().eval("journal.flush").action, FailAction::kOff) << "seq leaked";
+  fp().advance_sequence(5);
+  EXPECT_EQ(fp().eval("journal.flush").action, FailAction::kError);
+}
+
+TEST_F(FailPointTest, ProbPeelsBeforeSeqSoExponentsSurvive) {
+  // '@' is peeled before '+', so a scientific-notation probability keeps
+  // its exponent sign instead of being misread as a +SEQ gate.
+  fp().configure("journal.flush=error+2@1e+0");
+  fp().advance_sequence(2);
+  EXPECT_EQ(fp().eval("journal.flush").action, FailAction::kError);
 }
 
 TEST_F(FailPointTest, KnownSitesAreSortedAndDescribed) {

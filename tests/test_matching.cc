@@ -46,6 +46,11 @@ std::vector<SubscriberId> Interested(const Workload& wl, const Point& p) {
   return out;
 }
 
+// MatchDecision's spans have no operator==; materialize for EXPECT_EQ.
+std::vector<SubscriberId> ToVec(std::span<const SubscriberId> s) {
+  return {s.begin(), s.end()};
+}
+
 class GridMatcherTest : public ::testing::Test {
  protected:
   GridMatcherTest()
@@ -71,7 +76,7 @@ TEST_F(GridMatcherTest, GroupAlwaysSupersetOfInterested) {
             << "x=" << x << " sub=" << s;
       EXPECT_TRUE(d.unicast_targets.empty());
     } else {
-      EXPECT_EQ(d.unicast_targets, interested);
+      EXPECT_EQ(ToVec(d.unicast_targets), interested);
     }
   }
 }
@@ -104,7 +109,7 @@ TEST_F(GridMatcherTest, ThresholdForcesUnicastWhenInterestSparse) {
   EXPECT_GE(all_in.match(p, interested).group_id, 0);
   const MatchDecision d = strict.match(p, interested);
   EXPECT_EQ(d.group_id, -1);
-  EXPECT_EQ(d.unicast_targets, interested);
+  EXPECT_EQ(ToVec(d.unicast_targets), interested);
 }
 
 TEST_F(GridMatcherTest, EventOutsideDomainUnicasts) {
@@ -135,7 +140,7 @@ TEST(NoLossMatcherTest, ZeroWasteOnEveryMatchedEvent) {
     const auto interested = Interested(wl, p);
     const MatchDecision d = matcher.match(p, interested);
     if (d.group_id < 0) {
-      EXPECT_EQ(d.unicast_targets, interested);
+      EXPECT_EQ(ToVec(d.unicast_targets), interested);
       continue;
     }
     // No-loss property: every group member is interested.

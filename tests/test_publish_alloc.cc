@@ -1,0 +1,180 @@
+// Zero-allocation regression test for the publish hot path (DESIGN.md §10).
+//
+// The binary replaces global operator new/delete with counting wrappers;
+// after a warm-up pass that grows every scratch arena to its steady-state
+// capacity, a full replay of the same event set through Broker::publish
+// must perform ZERO heap allocations.  Runs RUN_SERIAL so another test
+// process cannot skew the wall clock of the warm-up (the count itself is
+// exact either way).
+//
+// Also pins the span-lifetime contract: a MatchDecision aliases the
+// scratch it was matched against and survives matches against *other*
+// scratches, but not a reuse of its own.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "broker/broker.h"
+#include "core/matching.h"
+#include "core/noloss.h"
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+#include "workload/publication_model.h"
+#include "workload/stock_model.h"
+
+namespace {
+std::atomic<std::size_t> g_news{0};
+
+void* CountedAlloc(std::size_t n) {
+  ++g_news;
+  void* p = std::malloc(n ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t n, std::align_val_t al) {
+  ++g_news;
+  const std::size_t a = static_cast<std::size_t>(al);
+  void* p = std::aligned_alloc(a, (n + a - 1) / a * a);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return CountedAlloc(n); }
+void* operator new[](std::size_t n) { return CountedAlloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_news;
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_news;
+  return std::malloc(n ? n : 1);
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  return CountedAlignedAlloc(n, al);
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return CountedAlignedAlloc(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace pubsub {
+namespace {
+
+TEST(PublishAlloc, SteadyStatePublishIsAllocationFree) {
+  Scenario scenario = MakeStockScenario(250, PublicationHotSpots::kOne, 61);
+  DeliverySimulator sim(scenario.net.graph, scenario.workload);
+  Rng rng(62);
+  const std::vector<EventSample> events =
+      SampleEvents(sim, *scenario.pub, 150, rng);
+
+  BrokerOptions opts;
+  opts.group.num_groups = 12;
+  opts.group.max_cells = 800;
+  opts.refresh.churn_fraction = 0.03;
+  opts.refresh.waste_ratio = 0.0;  // publish-only stream: no refreshes
+  ManualClock clock;
+  Broker broker(scenario.workload, *scenario.pub, scenario.net.graph, opts,
+                &clock);
+
+  // Warm-up: two full passes grow every arena (stab hits, interested,
+  // completion targets, node lists, latencies, metrics shards, runtime
+  // queues) to its high-water capacity for this workload.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const EventSample& e : events) {
+      clock.advance(1.0);
+      broker.publish(e.pub.origin, e.pub.point);
+    }
+  }
+
+  const std::size_t before = g_news.load();
+  std::size_t interested_total = 0;
+  for (const EventSample& e : events) {
+    clock.advance(1.0);
+    const PublishOutcome out = broker.publish(e.pub.origin, e.pub.point);
+    interested_total += out.interested;
+  }
+  const std::size_t allocs = g_news.load() - before;
+  EXPECT_EQ(allocs, 0u) << "steady-state publish touched the heap";
+  EXPECT_GT(interested_total, 0u) << "events matched nobody; test is vacuous";
+}
+
+// 1-D workload whose NoLoss clustering yields a group with a residual
+// unicast set (subscriber 0 and 1 overlap outside the (4,9] core).
+Workload LineWorkload() {
+  Workload wl;
+  wl.space = EventSpace({{"x", 20}});
+  auto add = [&wl](double lo, double hi) {
+    Subscriber s;
+    s.node = static_cast<NodeId>(wl.subscribers.size());
+    s.interest = Rect({Interval(lo, hi)});
+    wl.subscribers.push_back(std::move(s));
+  };
+  add(-1, 9);
+  add(4, 14);
+  add(4, 9);
+  add(15, 19);
+  return wl;
+}
+
+TEST(PublishAlloc, DecisionSpansFollowTheirScratch) {
+  const Workload wl = LineWorkload();
+  std::vector<Marginal1D> m;
+  for (std::size_t d = 0; d < wl.space.dims(); ++d)
+    m.push_back(Marginal1D::UniformInt(wl.space.dim(d).domain_size));
+  const ProductPublicationModel pub(wl.space, std::move(m),
+                                    std::vector<NodeId>{0});
+  const NoLossResult r = NoLossCluster(wl, pub);
+  ASSERT_FALSE(r.groups.empty());
+  const NoLossMatcher matcher(r, 2);
+
+  // Event in (4,9]: the matched group covers 0,1,2; the extra id 3 in the
+  // caller's set becomes a residual unicast, which lands in the scratch the
+  // match ran against.
+  const Point p{5.0};
+  const std::vector<SubscriberId> interested{0, 1, 2, 3};
+
+  MatchScratch a, b;
+  const MatchDecision da = matcher.match(p, interested, a);
+  const MatchDecision db = matcher.match(p, interested, b);
+  const std::vector<SubscriberId> da_uni(da.unicast_targets.begin(),
+                                         da.unicast_targets.end());
+  ASSERT_FALSE(da_uni.empty()) << "no residual unicasts; test is vacuous";
+
+  // A match against a *different* scratch must not disturb da's spans.
+  EXPECT_EQ(std::vector<SubscriberId>(db.unicast_targets.begin(),
+                                      db.unicast_targets.end()),
+            da_uni);
+  EXPECT_EQ(std::vector<SubscriberId>(da.unicast_targets.begin(),
+                                      da.unicast_targets.end()),
+            da_uni);
+
+  // Reusing scratch `a` on an event with a different completion set
+  // repoints the storage under da — the documented invalidation.  db,
+  // backed by untouched scratch `b`, still reads the original values.
+  const std::vector<SubscriberId> other{0, 1};
+  (void)matcher.match(Point{16.0}, other, a);
+  EXPECT_EQ(std::vector<SubscriberId>(db.unicast_targets.begin(),
+                                      db.unicast_targets.end()),
+            da_uni);
+}
+
+}  // namespace
+}  // namespace pubsub

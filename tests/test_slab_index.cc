@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <random>
+
+#include "index/slab_index.h"
+#include "index/spatial_index.h"
+
+namespace pubsub {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Rect RandRect(std::mt19937_64& rng, int dims, int domain) {
+  std::vector<Interval> ivals;
+  for (int d = 0; d < dims; ++d) {
+    double a = static_cast<double>(rng() % static_cast<unsigned>(domain));
+    double b = static_cast<double>(rng() % static_cast<unsigned>(domain));
+    if (a > b) std::swap(a, b);
+    ivals.emplace_back(a - 1.0, b);
+  }
+  return Rect(std::move(ivals));
+}
+
+Point RandPoint(std::mt19937_64& rng, int dims, int domain) {
+  Point p;
+  for (int d = 0; d < dims; ++d)
+    p.push_back(static_cast<double>(rng() % static_cast<unsigned>(domain)));
+  return p;
+}
+
+std::vector<int> Sorted(std::vector<int> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(SlabIndex, EmptyIndexAnswersNothing) {
+  const SlabIndex idx({}, 0);
+  EXPECT_EQ(idx.size(), 0u);
+  std::vector<int> out{99};
+  std::vector<std::uint64_t> tmp;
+  idx.stab(Point{1.0}, out, tmp);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SlabIndex, HalfOpenBoundarySemantics) {
+  // (0, 2] x (0, 2]: the lower edge is excluded, the upper edge included —
+  // the repo-wide interval convention (geometry/interval.h).
+  const SlabIndex idx({{Rect({Interval(0, 2), Interval(0, 2)}), 7}}, 8);
+  std::vector<int> out;
+  std::vector<std::uint64_t> tmp;
+  idx.stab(Point{1.0, 1.0}, out, tmp);
+  EXPECT_EQ(out, std::vector<int>{7});
+  idx.stab(Point{0.0, 1.0}, out, tmp);
+  EXPECT_TRUE(out.empty()) << "open left edge";
+  idx.stab(Point{2.0, 2.0}, out, tmp);
+  EXPECT_EQ(out, std::vector<int>{7});
+  idx.stab(Point{2.0 + 1e-9, 2.0}, out, tmp);
+  EXPECT_TRUE(out.empty()) << "closed right edge";
+}
+
+TEST(SlabIndex, UnboundedIntervalsCoverEdgePieces) {
+  // Unlike the R-tree, the slab index accepts unbounded intervals (they map
+  // to the open edge pieces of the decomposition).
+  const SlabIndex idx(
+      {{Rect({Interval(-kInf, 5.0)}), 0}, {Rect({Interval(5.0, kInf)}), 1}},
+      2);
+  std::vector<int> out;
+  std::vector<std::uint64_t> tmp;
+  idx.stab(Point{-1000.0}, out, tmp);
+  EXPECT_EQ(out, std::vector<int>{0});
+  idx.stab(Point{5.0}, out, tmp);
+  EXPECT_EQ(out, std::vector<int>{0});  // hi=5 closed, lo=5 open
+  idx.stab(Point{5.5}, out, tmp);
+  EXPECT_EQ(out, std::vector<int>{1});
+  idx.stab(Point{1000.0}, out, tmp);
+  EXPECT_EQ(out, std::vector<int>{1});
+}
+
+TEST(SlabIndex, RejectsIdsOutsideUniverse) {
+  EXPECT_THROW(SlabIndex({{Rect({Interval(0, 1)}), 3}}, 3),
+               std::invalid_argument);
+  EXPECT_THROW(SlabIndex({{Rect({Interval(0, 1)}), -1}}, 3),
+               std::invalid_argument);
+}
+
+// Property suite: the slab index must agree with the brute-force
+// LinearIndex on stabbing queries — including queries placed exactly on
+// stored endpoints, where the half-open piece decomposition is most likely
+// to be off by one.  Output must arrive in ascending id order (the broker's
+// sorted-set convention).
+struct SlabParam {
+  int seed;
+  int entries;
+  int dims;
+};
+
+class SlabOracleTest : public ::testing::TestWithParam<SlabParam> {};
+
+TEST_P(SlabOracleTest, AgreesWithLinearIndexInAscendingOrder) {
+  const SlabParam param = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(param.seed));
+  constexpr int kDomain = 12;
+
+  LinearIndex oracle;
+  std::vector<std::pair<Rect, int>> items;
+  for (int i = 0; i < param.entries; ++i) {
+    const Rect r = RandRect(rng, param.dims, kDomain);
+    if (r.empty()) continue;
+    oracle.insert(r, i);
+    items.emplace_back(r, i);
+  }
+  const SlabIndex idx(items, static_cast<std::size_t>(param.entries));
+  EXPECT_EQ(idx.size(), oracle.size());
+
+  std::vector<int> out;
+  std::vector<std::uint64_t> tmp;
+  auto check = [&](const Point& p) {
+    idx.stab(p, out, tmp);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end())) << "ascending order";
+    EXPECT_EQ(out, Sorted(oracle.stab(p)));
+  };
+  for (int q = 0; q < 80; ++q) check(RandPoint(rng, param.dims, kDomain));
+  // Boundary probes: every coordinate sits exactly on a stored endpoint.
+  for (int q = 0; q < 40 && !items.empty(); ++q) {
+    Point p;
+    for (int d = 0; d < param.dims; ++d) {
+      const Rect& r = items[rng() % items.size()].first;
+      p.push_back(rng() % 2 == 0 ? r[static_cast<std::size_t>(d)].lo()
+                                 : r[static_cast<std::size_t>(d)].hi());
+    }
+    check(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SlabOracleTest,
+    ::testing::Values(SlabParam{1, 10, 1}, SlabParam{2, 100, 2},
+                      SlabParam{3, 500, 3}, SlabParam{4, 65, 4},
+                      SlabParam{5, 1000, 2}, SlabParam{6, 64, 1}));
+
+}  // namespace
+}  // namespace pubsub
