@@ -76,7 +76,13 @@ Broker::Broker(RestoreTag, const BrokerSnapshot& snapshot,
   clock_ = clock;
   seq_ = snapshot.seq;
   seed_stats(snapshot.stats);
-  bootstrap_index();
+  // v3 snapshots carry the covering table verbatim; older ones (or an
+  // empty table) rebuild it from the workload — same observable behavior,
+  // the canonical ascending bootstrap yields the same maximal index set.
+  if (snapshot.covering.entries.empty())
+    bootstrap_index();
+  else
+    restore_index(snapshot.covering);
   update_derived_gauges();
   checkpoint_ = snapshot;
 }
@@ -147,7 +153,36 @@ void Broker::init_obs(const BrokerOptions& options) {
       "fraction of the journal tail replayed (1 once recovery finished)");
   g_seq_ = r.gauge("broker_seq", "last applied sequence number");
   g_live_subscribers_ = r.gauge(
-      "broker_live_subscribers", "subscribers indexed by the live R-tree");
+      "broker_live_subscribers",
+      "subscribers with a live in-domain interest (covering riders)");
+  g_covering_entries_ = r.gauge(
+      "broker_covering_entries",
+      "distinct interest rectangles resident in the covering table");
+  g_covering_indexed_ = r.gauge(
+      "broker_covering_indexed_entries",
+      "covering entries resident in the slab index (maximal rectangles)");
+  g_covered_subscribers_ = r.gauge(
+      "broker_covered_subscribers",
+      "subscribers riding a covered (non-indexed) entry");
+  // Slab maintenance telemetry depends on *index history* (a recovered
+  // broker bulk-builds a compact slab), so it is runtime-only — unlike the
+  // covering gauges above, which are pure functions of the live table.
+  g_slab_endpoints_ =
+      r.gauge("broker_slab_endpoints",
+              "slab-index endpoints resident across all dimensions",
+              MetricStability::kRuntime);
+  g_slab_dead_endpoints_ =
+      r.gauge("broker_slab_dead_endpoints",
+              "slab-index endpoints no live entry references (table bloat)",
+              MetricStability::kRuntime);
+  g_slab_rebuilds_ =
+      r.gauge("broker_slab_rebuilds",
+              "threshold rebuilds performed by the slab index",
+              MetricStability::kRuntime);
+  g_slab_splices_ =
+      r.gauge("broker_slab_spliced_endpoints",
+              "endpoints spliced in by incremental slab inserts",
+              MetricStability::kRuntime);
   g_window_waste_ratio_ =
       r.gauge("broker_window_waste_ratio",
               "wasted/emitted over the current refresh-policy window");
@@ -237,6 +272,15 @@ void Broker::seed_stats(const BrokerStats& s) {
 
 void Broker::update_derived_gauges() {
   Set(g_seq_, static_cast<double>(seq_));
+  Set(g_live_subscribers_, static_cast<double>(covering_.subscriber_count()));
+  Set(g_covering_entries_, static_cast<double>(covering_.entry_count()));
+  Set(g_covering_indexed_, static_cast<double>(covering_.indexed_count()));
+  Set(g_covered_subscribers_,
+      static_cast<double>(covering_.covered_subscriber_count()));
+  Set(g_slab_endpoints_, static_cast<double>(slab_.endpoint_count()));
+  Set(g_slab_dead_endpoints_, static_cast<double>(slab_.dead_endpoints()));
+  Set(g_slab_rebuilds_, static_cast<double>(slab_.rebuilds()));
+  Set(g_slab_splices_, static_cast<double>(slab_.spliced_endpoints()));
   const std::uint64_t emitted = policy_.window_emitted();
   Set(g_window_waste_ratio_,
       emitted == 0 ? 0.0
@@ -251,22 +295,36 @@ void Broker::update_derived_gauges() {
                                       static_cast<double>(msgs));
 }
 
-// Bulk-load the live index from the current table.  Tombstoned and
-// out-of-domain interests clip to empty and stay unindexed.
+// Bulk-load the covering table from the current table (ascending
+// subscriber order — canonical, so two brokers bootstrapping the same
+// workload agree exactly) and derive the slab index from it.  Tombstoned
+// and out-of-domain interests clip to empty and stay unindexed.
 void Broker::bootstrap_index() {
-  indexed_rect_.assign(mgr_->workload().num_subscribers(), Rect());
+  covering_ = CoveringTable();
   const Rect domain = mgr_->workload().space.domain_rect();
-  std::vector<std::pair<Rect, int>> items;
-  items.reserve(indexed_rect_.size());
-  for (std::size_t i = 0; i < indexed_rect_.size(); ++i) {
+  const std::size_t n = mgr_->workload().num_subscribers();
+  delta_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
     const Rect clipped =
         mgr_->workload().subscribers[i].interest.intersection(domain);
     if (clipped.empty()) continue;
-    items.emplace_back(clipped, static_cast<int>(i));
-    indexed_rect_[i] = clipped;
+    covering_.subscribe(static_cast<SubscriberId>(i), clipped, delta_);
   }
-  Set(g_live_subscribers_, static_cast<double>(items.size()));
-  live_index_ = RTree::BulkLoad(std::move(items));
+  delta_.clear();  // the bulk rebuild below supersedes the incremental ops
+  rebuild_slab();
+}
+
+// Adopt a snapshot's covering image verbatim (exact state, including entry
+// ids and free-list order) and derive the slab index from it.
+void Broker::restore_index(const CoveringState& state) {
+  covering_.import_state(state);
+  rebuild_slab();
+}
+
+void Broker::rebuild_slab() {
+  slab_ = SlabIndex(covering_.indexed_entries(), covering_.entry_capacity());
+  Set(g_live_subscribers_,
+      static_cast<double>(covering_.subscriber_count()));
 }
 
 std::unique_ptr<Broker> Broker::Recover(const BrokerSnapshot& snapshot,
@@ -392,6 +450,7 @@ PublishOutcome Broker::apply_record(const JournalRecord& rec) {
   }
   if (rec.seq != seq_ + 1)
     throw std::runtime_error("Broker: non-contiguous sequence number");
+  validate_churn(rec.cmd);
   const bool sampled = trace_sample_ > 0 && rec.seq % trace_sample_ == 0;
   FailPoints& fp = FailPoints::Instance();
   // Feed the broker's command sequence to the fail-point layer so +SEQ
@@ -535,6 +594,23 @@ bool Broker::clear_degraded() {
   return true;
 }
 
+void Broker::validate_churn(const BrokerCommand& cmd) const {
+  // Only checks serialization cannot do: WriteJournalRecord already
+  // rejects interest/point dimensionality mismatches before any byte
+  // reaches the sink, but it cannot know the subscriber table — an
+  // unknown-id unsubscribe/update must be caught here, pre-journal, or the
+  // record lands in the journal (and consumes a seq) while the mutation
+  // throws, desyncing every replica and crashing recovery replay.
+  if (cmd.type != BrokerCommandType::kUnsubscribe &&
+      cmd.type != BrokerCommandType::kUpdate)
+    return;
+  if (cmd.subscriber < 0 ||
+      static_cast<std::size_t>(cmd.subscriber) >=
+          mgr_->workload().num_subscribers())
+    throw std::out_of_range("Broker: unknown subscriber id " +
+                            std::to_string(cmd.subscriber));
+}
+
 void Broker::apply_churn(const BrokerCommand& cmd) {
   switch (cmd.type) {
     case BrokerCommandType::kSubscribe: {
@@ -550,8 +626,7 @@ void Broker::apply_churn(const BrokerCommand& cmd) {
       break;
     case BrokerCommandType::kUpdate:
       mgr_->update_subscriber(cmd.subscriber, cmd.interest);
-      index_erase(cmd.subscriber);
-      index_insert(cmd.subscriber, cmd.interest);
+      index_update(cmd.subscriber, cmd.interest);
       Inc(c_updates_);
       break;
     case BrokerCommandType::kPublish:
@@ -669,6 +744,7 @@ void Broker::capture_checkpoint() {
   checkpoint_.churn_since_full_build = mgr_->churn_since_full_build();
   checkpoint_.queue_state = runtime_->queue_state();
   checkpoint_.stats = stats();
+  checkpoint_.covering = covering_.export_state();
 }
 
 std::uint64_t Broker::write_snapshot(std::ostream& os) const {
@@ -730,20 +806,24 @@ std::vector<SubscriberId> Broker::interested(const Point& event) const {
 std::span<const SubscriberId> Broker::interested_into(const Point& event,
                                                       MatchScratch& s) const {
   s.stab_hits.clear();
-  live_index_.stab(event, s.stab_hits, s.index_stack);
+  slab_.stab(event, s.stab_hits, s.entry_words);
   s.interested.clear();
   if (s.stab_hits.empty()) return s.interested;
-  // The tree's structure (hence stab order) depends on insert/erase
-  // history, which differs between a live broker and a recovered one.
-  // Scatter the hits into bit-words and emit the touched word range in
-  // ascending order: a counting sort, so downstream decisions depend only
-  // on the stored set — same contract as the std::sort this replaced, but
+  // The slab stab yields *covering entries* (maximal distinct rectangles);
+  // expand each into its riders plus the riders of covered children whose
+  // rectangle point-tests true.  The expansion order reflects covering
+  // topology — which depends on churn history, and differs between a live
+  // broker and a recovered one.  Scatter the subscriber ids into bit-words
+  // and emit the touched word range in ascending order: a counting sort,
+  // so downstream decisions depend only on the interested *set* —
   // allocation-free and O(hits + population/64).  The bits stay set on
   // return (see the header) for the completion kernel.
-  s.require_bits(indexed_rect_.size());
+  s.expanded.clear();
+  for (const int e : s.stab_hits) covering_.expand(e, event, s.expanded);
+  s.require_bits(mgr_->workload().num_subscribers());
   std::size_t lo = s.words.size();
   std::size_t hi = 0;
-  for (const int id : s.stab_hits) {
+  for (const int id : s.expanded) {
     const std::size_t w = static_cast<std::size_t>(id) / 64;
     s.words[w] |= std::uint64_t{1} << (static_cast<std::size_t>(id) % 64);
     lo = std::min(lo, w);
@@ -775,25 +855,45 @@ std::uint64_t Broker::state_digest() const {
 }
 
 void Broker::index_insert(SubscriberId id, const Rect& interest) {
-  const auto slot = static_cast<std::size_t>(id);
-  if (slot >= indexed_rect_.size()) indexed_rect_.resize(slot + 1);
   const Rect clipped =
       interest.intersection(mgr_->workload().space.domain_rect());
-  if (clipped.empty()) {
-    indexed_rect_[slot] = Rect();
-    return;
-  }
-  live_index_.insert(clipped, static_cast<int>(id));
-  indexed_rect_[slot] = clipped;
-  if (g_live_subscribers_ != nullptr) g_live_subscribers_->add(1.0);
+  if (clipped.empty()) return;  // never matches an in-domain event
+  delta_.clear();
+  covering_.subscribe(id, clipped, delta_);
+  apply_index_delta();
 }
 
 void Broker::index_erase(SubscriberId id) {
-  const auto slot = static_cast<std::size_t>(id);
-  if (slot >= indexed_rect_.size() || indexed_rect_[slot].dims() == 0) return;
-  live_index_.erase(indexed_rect_[slot], static_cast<int>(id));
-  indexed_rect_[slot] = Rect();
-  if (g_live_subscribers_ != nullptr) g_live_subscribers_->add(-1.0);
+  if (!covering_.contains(id)) return;  // tombstoned or out-of-domain
+  delta_.clear();
+  covering_.unsubscribe(id, delta_);
+  apply_index_delta();
+}
+
+void Broker::index_update(SubscriberId id, const Rect& interest) {
+  const Rect clipped =
+      interest.intersection(mgr_->workload().space.domain_rect());
+  delta_.clear();
+  if (covering_.contains(id)) {
+    if (clipped.empty())
+      covering_.unsubscribe(id, delta_);
+    else
+      covering_.update(id, clipped, delta_);  // no-op when rect unchanged
+  } else if (!clipped.empty()) {
+    covering_.subscribe(id, clipped, delta_);
+  }
+  apply_index_delta();
+}
+
+// Replay the covering table's index ops against the slab index, strictly
+// in order (one churn command can add then remove the same entry id).
+void Broker::apply_index_delta() {
+  for (const CoveringTable::IndexOp& op : delta_) {
+    if (op.kind == CoveringTable::IndexOp::kAdd)
+      slab_.insert(op.rect, op.entry);
+    else
+      slab_.erase(op.entry);
+  }
 }
 
 std::span<const NodeId> Broker::nodes_into(std::span<const SubscriberId> subs,

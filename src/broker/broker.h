@@ -24,9 +24,10 @@
 // Determinism inputs are explicit: a pluggable Clock stamps commands, and
 // nothing in the command path draws randomness (clustering warm starts are
 // deterministic; drivers that want stochastic churn seed their own Rng and
-// the resulting commands are journaled).  The live subscription index is
-// kept incrementally (RTree insert/erase) and stab results are sorted, so
-// interested sets do not depend on index history.
+// the resulting commands are journaled).  The live subscription index is a
+// covering table (core/covering.h) over an incrementally maintained slab
+// index (index/slab_index.h); stab results are emitted in ascending order
+// by a counting sort, so interested sets do not depend on index history.
 #pragma once
 
 #include <cstdint>
@@ -41,9 +42,10 @@
 #include "broker/clock.h"
 #include "broker/refresh_policy.h"
 #include "broker/types.h"
+#include "core/covering.h"
 #include "core/group_manager.h"
 #include "core/match_scratch.h"
-#include "index/rtree.h"
+#include "index/slab_index.h"
 #include "io/file.h"
 #include "io/string_stream.h"
 #include "obs/metrics.h"
@@ -240,13 +242,23 @@ class Broker {
   [[noreturn]] void enter_degraded(const std::string& why,
                                    const std::string& text, std::size_t offset,
                                    const JournalRecord* rec);
+  // Reject invalid churn commands BEFORE the write-ahead append: a command
+  // that would fail mid-apply must fail identically on live submit, apply()
+  // and journal replay, without consuming a sequence number or reaching
+  // the journal/replica (an unknown-id unsubscribe that got journaled
+  // would desync the replica digest and crash recovery).
+  void validate_churn(const BrokerCommand& cmd) const;
   void apply_churn(const BrokerCommand& cmd);
   PublishOutcome apply_publish(const BrokerCommand& cmd);
   void maybe_refresh(PublishOutcome* outcome);
   void capture_checkpoint();
   void bootstrap_index();
+  void restore_index(const CoveringState& state);
+  void rebuild_slab();
   void index_insert(SubscriberId id, const Rect& interest);
   void index_erase(SubscriberId id);
+  void index_update(SubscriberId id, const Rect& interest);
+  void apply_index_delta();
   // Sorted interested set for `event`, emitted into `s.interested` via a
   // word-level counting sort over `s.words`; the interested bits (and
   // s.word_lo/word_hi) are left set for the completion kernel — the caller
@@ -268,10 +280,14 @@ class Broker {
   std::unique_ptr<ManualClock> owned_clock_;
   Clock* clock_;
 
-  // Live subscription index over domain-clipped interests; indexed_rect_
-  // remembers each id's stored rectangle (dims()==0 = not indexed).
-  RTree live_index_;
-  std::vector<Rect> indexed_rect_;
+  // Live subscription index over domain-clipped interests (DESIGN.md §10):
+  // the covering table dedups equal interests and nests contained ones, so
+  // the slab index holds one entry per *maximal distinct rectangle* —
+  // matcher state grows with distinct interest, not subscriber count, and
+  // churn on a known rectangle never touches the index.
+  CoveringTable covering_;
+  SlabIndex slab_;
+  CoveringTable::Delta delta_;  // reused per churn command
 
   // Journal sink: either caller-supplied or an owned StreamSink wrapper
   // around the std::ostream passed to set_journal.
@@ -333,6 +349,13 @@ class Broker {
   Gauge* g_recovery_progress_ = nullptr;
   Gauge* g_seq_ = nullptr;
   Gauge* g_live_subscribers_ = nullptr;
+  Gauge* g_covering_entries_ = nullptr;
+  Gauge* g_covering_indexed_ = nullptr;
+  Gauge* g_covered_subscribers_ = nullptr;
+  Gauge* g_slab_endpoints_ = nullptr;
+  Gauge* g_slab_dead_endpoints_ = nullptr;
+  Gauge* g_slab_rebuilds_ = nullptr;
+  Gauge* g_slab_splices_ = nullptr;
   Gauge* g_window_waste_ratio_ = nullptr;
   Gauge* g_waste_ratio_ = nullptr;
   Gauge* g_cost_per_event_ = nullptr;

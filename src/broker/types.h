@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/cluster_types.h"
+#include "core/covering_state.h"
 #include "geometry/rect.h"
 #include "workload/types.h"
 
@@ -87,6 +88,9 @@ struct BrokerSnapshot {
   // DeliveryRuntime per-node queue state (earliest idle time).
   std::vector<double> queue_state;
   BrokerStats stats;
+  // Covering-table image at capture (snapshot format v3; empty when the
+  // snapshot predates covering — restore then rebuilds it from `workload`).
+  CoveringState covering;
 };
 
 }  // namespace pubsub

@@ -1,0 +1,397 @@
+#include "core/covering.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pubsub {
+
+bool RectLess::operator()(const Rect& a, const Rect& b) const {
+  if (a.dims() != b.dims()) return a.dims() < b.dims();
+  for (std::size_t d = 0; d < a.dims(); ++d) {
+    if (a[d].lo() != b[d].lo()) return a[d].lo() < b[d].lo();
+    if (a[d].hi() != b[d].hi()) return a[d].hi() < b[d].hi();
+  }
+  return false;
+}
+
+void CoveringTable::subscribe(SubscriberId sub, const Rect& rect,
+                              Delta& delta) {
+  if (sub < 0)
+    throw std::invalid_argument("CoveringTable: negative subscriber id");
+  if (contains(sub))
+    throw std::invalid_argument("CoveringTable: duplicate subscriber");
+  if (rect.dims() == 0 || rect.empty())
+    throw std::invalid_argument("CoveringTable: empty interest rectangle");
+
+  EntryId e;
+  const auto it = by_rect_.find(rect);
+  if (it != by_rect_.end()) {
+    e = it->second;  // equal-rect dedup: pure refcount churn
+  } else {
+    e = alloc_entry(rect);
+    by_rect_.emplace(rect, e);
+    place_entry(e, delta);
+  }
+  Entry& entry = entries_[static_cast<std::size_t>(e)];
+  if (entry_of_.size() <= static_cast<std::size_t>(sub)) {
+    entry_of_.resize(static_cast<std::size_t>(sub) + 1, -1);
+    pos_.resize(static_cast<std::size_t>(sub) + 1, 0);
+  }
+  entry_of_[static_cast<std::size_t>(sub)] = e;
+  pos_[static_cast<std::size_t>(sub)] =
+      static_cast<std::uint32_t>(entry.subs.size());
+  entry.subs.push_back(sub);
+  ++sub_count_;
+  if (entry.parent >= 0) ++covered_subs_;
+}
+
+void CoveringTable::unsubscribe(SubscriberId sub, Delta& delta) {
+  if (!contains(sub))
+    throw std::out_of_range("CoveringTable: unknown subscriber");
+  const EntryId e = entry_of_[static_cast<std::size_t>(sub)];
+  detach_rider(sub);
+  --sub_count_;
+  Entry& entry = entries_[static_cast<std::size_t>(e)];
+  if (entry.parent >= 0) --covered_subs_;
+  if (!entry.subs.empty()) return;  // entry still ridden
+
+  by_rect_.erase(entry.rect);
+  if (entry.parent >= 0) {
+    // Covered child: unlink from the parent (swap-pop, order is internal).
+    auto& kids = entries_[static_cast<std::size_t>(entry.parent)].children;
+    const auto pos = std::find(kids.begin(), kids.end(), e);
+    *pos = kids.back();
+    kids.pop_back();
+    free_entry(e);
+    return;
+  }
+
+  // Indexed entry dies: drop it from the backing index, then re-home its
+  // children in ascending id order — each attaches to the smallest-id
+  // remaining coverer or is promoted (demoting any siblings it covers).
+  indexed_.erase(e);
+  rtree_.erase(entry.rect, e);
+  delta.push_back({IndexOp::kRemove, e, Rect()});
+  std::vector<EntryId> kids = std::move(entry.children);
+  entry.children.clear();
+  std::sort(kids.begin(), kids.end());
+  for (const EntryId c : kids) {
+    Entry& child = entries_[static_cast<std::size_t>(c)];
+    coverers_.clear();
+    rtree_.containing(child.rect, coverers_);
+    EntryId best = -1;
+    for (const int id : coverers_)
+      if (best < 0 || id < best) best = id;
+    if (best >= 0) {
+      child.parent = best;
+      entries_[static_cast<std::size_t>(best)].children.push_back(c);
+    } else {
+      covered_subs_ -= child.subs.size();
+      make_indexed(c, delta);
+    }
+  }
+  free_entry(e);
+}
+
+void CoveringTable::update(SubscriberId sub, const Rect& rect, Delta& delta) {
+  if (!contains(sub))
+    throw std::out_of_range("CoveringTable: unknown subscriber");
+  if (entries_[static_cast<std::size_t>(entry_of_[static_cast<std::size_t>(
+          sub)])].rect == rect)
+    return;  // unchanged interest: no churn
+  unsubscribe(sub, delta);
+  subscribe(sub, rect, delta);
+}
+
+void CoveringTable::expand(EntryId e, const Point& p,
+                           std::vector<SubscriberId>& out) const {
+  const Entry& entry = entries_[static_cast<std::size_t>(e)];
+  out.insert(out.end(), entry.subs.begin(), entry.subs.end());
+  for (const EntryId c : entry.children) {
+    const Entry& child = entries_[static_cast<std::size_t>(c)];
+    if (!child.rect.contains(p)) continue;
+    out.insert(out.end(), child.subs.begin(), child.subs.end());
+  }
+}
+
+CoveringTable::EntryId CoveringTable::alloc_entry(const Rect& rect) {
+  if (ndims_ == 0)
+    ndims_ = rect.dims();
+  else if (rect.dims() != ndims_)
+    throw std::invalid_argument("CoveringTable: mixed dimensionality");
+  EntryId e;
+  if (!free_.empty()) {
+    e = free_.back();
+    free_.pop_back();
+  } else {
+    e = static_cast<EntryId>(entries_.size());
+    entries_.emplace_back();
+  }
+  Entry& entry = entries_[static_cast<std::size_t>(e)];
+  entry.rect = rect;
+  entry.parent = -1;
+  ++entry_live_;
+  return e;
+}
+
+void CoveringTable::free_entry(EntryId e) {
+  Entry& entry = entries_[static_cast<std::size_t>(e)];
+  entry.rect = Rect();
+  entry.parent = -1;
+  entry.subs.clear();
+  entry.children.clear();
+  free_.push_back(e);
+  --entry_live_;
+  if (entry_live_ == 0) ndims_ = 0;  // an emptied table may adopt new dims
+}
+
+void CoveringTable::place_entry(EntryId e, Delta& delta) {
+  Entry& entry = entries_[static_cast<std::size_t>(e)];
+  coverers_.clear();
+  rtree_.containing(entry.rect, coverers_);
+  EntryId best = -1;  // min-id canonical coverer, independent of tree order
+  for (const int id : coverers_)
+    if (best < 0 || id < best) best = id;
+  if (best >= 0) {
+    entry.parent = best;
+    entries_[static_cast<std::size_t>(best)].children.push_back(e);
+  } else {
+    make_indexed(e, delta);
+  }
+}
+
+void CoveringTable::make_indexed(EntryId e, Delta& delta) {
+  Entry& entry = entries_[static_cast<std::size_t>(e)];
+  entry.parent = -1;
+  indexed_.insert(e);
+  rtree_.insert(entry.rect, e);
+  delta.push_back({IndexOp::kAdd, e, entry.rect});
+  // Demote every indexed entry the new rectangle covers — keeps the
+  // indexed set exactly the maximal rectangles under containment.
+  std::vector<int> overlap;
+  rtree_.intersecting(entry.rect, overlap);
+  std::sort(overlap.begin(), overlap.end());
+  for (const int o : overlap) {
+    if (o == e) continue;
+    if (entry.rect.contains(entries_[static_cast<std::size_t>(o)].rect))
+      demote(o, e, delta);
+  }
+}
+
+void CoveringTable::demote(EntryId o, EntryId parent, Delta& delta) {
+  Entry& od = entries_[static_cast<std::size_t>(o)];
+  Entry& pd = entries_[static_cast<std::size_t>(parent)];
+  indexed_.erase(o);
+  rtree_.erase(od.rect, o);
+  delta.push_back({IndexOp::kRemove, o, Rect()});
+  od.parent = parent;
+  pd.children.push_back(o);
+  covered_subs_ += od.subs.size();
+  // Two-level invariant: o's children re-home to the new parent (their
+  // rects are contained in o's, hence in the parent's).
+  for (const EntryId c : od.children) {
+    entries_[static_cast<std::size_t>(c)].parent = parent;
+    pd.children.push_back(c);
+  }
+  od.children.clear();
+}
+
+void CoveringTable::detach_rider(SubscriberId sub) {
+  const EntryId e = entry_of_[static_cast<std::size_t>(sub)];
+  Entry& entry = entries_[static_cast<std::size_t>(e)];
+  const std::uint32_t p = pos_[static_cast<std::size_t>(sub)];
+  const SubscriberId moved = entry.subs.back();
+  entry.subs[p] = moved;
+  pos_[static_cast<std::size_t>(moved)] = p;
+  entry.subs.pop_back();
+  entry_of_[static_cast<std::size_t>(sub)] = -1;
+}
+
+std::vector<std::pair<Rect, int>> CoveringTable::indexed_entries() const {
+  std::vector<std::pair<Rect, int>> out;
+  out.reserve(indexed_.size());
+  for (const EntryId e : indexed_)  // std::set iterates ascending
+    out.emplace_back(entries_[static_cast<std::size_t>(e)].rect, e);
+  return out;
+}
+
+CoveringTable::State CoveringTable::export_state() const {
+  State st;
+  st.entries.reserve(entry_live_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    if (entry.rect.dims() == 0) continue;  // free slot
+    EntryState es;
+    es.id = static_cast<EntryId>(i);
+    es.rect = entry.rect;
+    es.parent = entry.parent;
+    es.subs = entry.subs;
+    es.children = entry.children;
+    st.entries.push_back(std::move(es));
+  }
+  st.free_list = free_;
+  return st;
+}
+
+void CoveringTable::import_state(const State& state) {
+  entries_.clear();
+  free_.clear();
+  by_rect_.clear();
+  entry_of_.clear();
+  pos_.clear();
+  indexed_.clear();
+  rtree_ = RTree();
+  sub_count_ = 0;
+  entry_live_ = 0;
+  covered_subs_ = 0;
+  ndims_ = 0;
+
+  std::size_t cap = 0;
+  for (const EntryState& es : state.entries) {
+    if (es.id < 0)
+      throw std::invalid_argument("CoveringTable: negative entry id");
+    cap = std::max(cap, static_cast<std::size_t>(es.id) + 1);
+  }
+  for (const EntryId f : state.free_list) {
+    if (f < 0)
+      throw std::invalid_argument("CoveringTable: negative free-list id");
+    cap = std::max(cap, static_cast<std::size_t>(f) + 1);
+  }
+  entries_.resize(cap);
+  std::vector<char> used(cap, 0);  // 0 unaccounted, 1 free, 2 live
+  for (const EntryState& es : state.entries) {
+    if (used[static_cast<std::size_t>(es.id)] != 0)
+      throw std::invalid_argument("CoveringTable: duplicate entry id");
+    used[static_cast<std::size_t>(es.id)] = 2;
+  }
+  for (const EntryId f : state.free_list) {
+    if (used[static_cast<std::size_t>(f)] != 0)
+      throw std::invalid_argument("CoveringTable: free-list/entry conflict");
+    used[static_cast<std::size_t>(f)] = 1;
+  }
+  for (std::size_t i = 0; i < cap; ++i)
+    if (used[i] == 0)
+      throw std::invalid_argument("CoveringTable: unaccounted entry slot");
+  free_ = state.free_list;
+
+  for (const EntryState& es : state.entries) {
+    if (es.rect.dims() == 0 || es.rect.empty())
+      throw std::invalid_argument("CoveringTable: empty entry rectangle");
+    if (ndims_ == 0)
+      ndims_ = es.rect.dims();
+    else if (es.rect.dims() != ndims_)
+      throw std::invalid_argument("CoveringTable: mixed dimensionality");
+    Entry& entry = entries_[static_cast<std::size_t>(es.id)];
+    entry.rect = es.rect;
+    entry.parent = es.parent;
+    entry.subs = es.subs;
+    entry.children = es.children;
+    if (!by_rect_.emplace(es.rect, es.id).second)
+      throw std::invalid_argument("CoveringTable: duplicate entry rectangle");
+    ++entry_live_;
+  }
+
+  for (const EntryState& es : state.entries) {
+    Entry& entry = entries_[static_cast<std::size_t>(es.id)];
+    if (entry.parent >= 0) {
+      if (static_cast<std::size_t>(entry.parent) >= cap ||
+          used[static_cast<std::size_t>(entry.parent)] != 2)
+        throw std::invalid_argument("CoveringTable: bad parent id");
+      const Entry& par = entries_[static_cast<std::size_t>(entry.parent)];
+      if (par.parent >= 0)
+        throw std::invalid_argument(
+            "CoveringTable: covered parent (two-level violation)");
+      if (!par.rect.contains(entry.rect))
+        throw std::invalid_argument(
+            "CoveringTable: child not contained in parent");
+      if (!entry.children.empty())
+        throw std::invalid_argument("CoveringTable: covered entry has children");
+      covered_subs_ += entry.subs.size();
+    } else {
+      indexed_.insert(es.id);
+      rtree_.insert(entry.rect, es.id);
+    }
+    if (entry.subs.empty())
+      throw std::invalid_argument("CoveringTable: entry without riders");
+    for (std::size_t k = 0; k < entry.subs.size(); ++k) {
+      const SubscriberId sub = entry.subs[k];
+      if (sub < 0)
+        throw std::invalid_argument("CoveringTable: negative subscriber id");
+      if (static_cast<std::size_t>(sub) >= entry_of_.size()) {
+        entry_of_.resize(static_cast<std::size_t>(sub) + 1, -1);
+        pos_.resize(static_cast<std::size_t>(sub) + 1, 0);
+      }
+      if (entry_of_[static_cast<std::size_t>(sub)] >= 0)
+        throw std::invalid_argument("CoveringTable: subscriber listed twice");
+      entry_of_[static_cast<std::size_t>(sub)] = es.id;
+      pos_[static_cast<std::size_t>(sub)] = static_cast<std::uint32_t>(k);
+      ++sub_count_;
+    }
+  }
+
+  // Children cross-check: every child is listed exactly once, under the
+  // entry it names as parent, and every covered entry is listed.
+  std::vector<char> child_seen(cap, 0);
+  for (const EntryState& es : state.entries) {
+    for (const EntryId c : entries_[static_cast<std::size_t>(es.id)].children) {
+      if (c < 0 || static_cast<std::size_t>(c) >= cap ||
+          used[static_cast<std::size_t>(c)] != 2)
+        throw std::invalid_argument("CoveringTable: bad child id");
+      if (entries_[static_cast<std::size_t>(c)].parent != es.id)
+        throw std::invalid_argument("CoveringTable: child/parent mismatch");
+      if (child_seen[static_cast<std::size_t>(c)])
+        throw std::invalid_argument("CoveringTable: child listed twice");
+      child_seen[static_cast<std::size_t>(c)] = 1;
+    }
+  }
+  for (const EntryState& es : state.entries)
+    if (entries_[static_cast<std::size_t>(es.id)].parent >= 0 &&
+        !child_seen[static_cast<std::size_t>(es.id)])
+      throw std::invalid_argument(
+          "CoveringTable: covered entry missing from parent's children");
+}
+
+bool CoveringTable::check_invariants() const {
+  std::size_t subs = 0;
+  std::size_t covered = 0;
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    if (entry.rect.dims() == 0) {  // free slot must be fully cleared
+      if (!entry.subs.empty() || !entry.children.empty()) return false;
+      continue;
+    }
+    ++live;
+    if (entry.subs.empty()) return false;
+    subs += entry.subs.size();
+    const EntryId id = static_cast<EntryId>(i);
+    if (entry.parent >= 0) {
+      covered += entry.subs.size();
+      const Entry& par = entries_[static_cast<std::size_t>(entry.parent)];
+      if (par.parent >= 0) return false;
+      if (!par.rect.contains(entry.rect)) return false;
+      if (!entry.children.empty()) return false;
+      if (indexed_.count(id) != 0) return false;
+    } else if (indexed_.count(id) == 0) {
+      return false;
+    }
+    for (const SubscriberId s : entry.subs) {
+      if (!contains(s) || entry_of_[static_cast<std::size_t>(s)] != id)
+        return false;
+      if (entry.subs[pos_[static_cast<std::size_t>(s)]] != s) return false;
+    }
+  }
+  if (live != entry_live_ || subs != sub_count_ || covered != covered_subs_)
+    return false;
+  if (live + free_.size() != entries_.size()) return false;
+  if (indexed_.size() != rtree_.size()) return false;
+  // Maximality: no indexed entry's rectangle contains another's.
+  for (const EntryId a : indexed_)
+    for (const EntryId b : indexed_)
+      if (a != b && entries_[static_cast<std::size_t>(b)].rect.contains(
+                        entries_[static_cast<std::size_t>(a)].rect))
+        return false;
+  return true;
+}
+
+}  // namespace pubsub

@@ -1,0 +1,173 @@
+// Subscription covering/aggregation: N subscribers -> K <= N index entries.
+//
+// The matcher's cost and footprint should grow with *distinct interest*,
+// not with the subscriber population (arXiv 1811.07088): a workload where a
+// million subscribers share a few thousand interest rectangles needs a few
+// thousand index entries, and a subscription whose rectangle lies inside an
+// already-indexed one needs none at all.  The CoveringTable sits between
+// the broker's churn path and the backing SlabIndex and enforces exactly
+// that:
+//
+//   * Equal rectangles dedup onto one entry with a subscriber refcount —
+//     churn on a known rectangle never touches the backing index.
+//   * A new entry whose rectangle is contained in an indexed entry's
+//     rectangle becomes a *covered child* of that entry (the coverer with
+//     the smallest entry id, a canonical choice independent of lookup
+//     order).  Children are never put in the backing index.
+//   * Otherwise the entry is indexed, and any indexed entries its rectangle
+//     strictly contains are demoted to children.  The indexed set is
+//     therefore always exactly the maximal rectangles under containment —
+//     a deterministic function of the resident rectangle *set*, which is
+//     what makes indexed_count()/covered_subscriber_count() safe to expose
+//     as deterministic metrics.
+//   * When an indexed entry's last subscriber leaves, its children re-home
+//     in ascending entry-id order: each attaches to a remaining coverer or
+//     is promoted (with demotion of any siblings it contains).
+//
+// Matching stays exact because of the two-level invariant — every covered
+// child's rectangle is contained in its indexed parent's rectangle.  A
+// point stab of the backing index over indexed entries therefore reaches
+// every entry that could contain the point; expand() turns one indexed hit
+// into subscribers by taking the entry's own riders plus the riders of each
+// child whose rectangle point-tests true.  Emission order is canonicalized
+// downstream (the broker's counting-sort scatter), so the table's
+// history-dependent internals never reach an observable output.
+//
+// Mutations report the backing-index work as an ordered op list (Delta);
+// ops MUST be applied in sequence — one churn call can add and then remove
+// the same entry id (promote-then-demote during re-homing), and update()
+// can retire an id and re-issue it (LIFO reuse) in a single delta.
+//
+// Determinism: every tie is broken canonically (min-id coverer, ascending
+// re-home, LIFO id reuse, swap-pop rider removal), so the full table state
+// is a pure function of the churn-command stream — which is what lets a
+// snapshot embed the table verbatim (export_state/import_state) and a
+// restored broker continue bit-identically (DESIGN.md §10).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/covering_state.h"
+#include "geometry/rect.h"
+#include "index/rtree.h"
+#include "workload/types.h"
+
+namespace pubsub {
+
+// Lexicographic rectangle order for the dedup map (dims, then lo/hi pairs).
+struct RectLess {
+  bool operator()(const Rect& a, const Rect& b) const;
+};
+
+class CoveringTable {
+ public:
+  using EntryId = int;
+
+  // One backing-index mutation.  `rect` is meaningful for kAdd only.
+  struct IndexOp {
+    enum Kind { kAdd, kRemove };
+    Kind kind;
+    EntryId entry;
+    Rect rect;
+  };
+  // Ordered op list — apply strictly in sequence (see header comment).
+  using Delta = std::vector<IndexOp>;
+
+  // --- churn ------------------------------------------------------------
+  // Register `sub` with interest `rect` (non-empty, finite — the broker
+  // clips to the event-space domain first).  Appends backing-index ops to
+  // `delta`.  Throws std::invalid_argument on a duplicate subscriber, an
+  // empty rectangle, or mixed dimensionality.
+  void subscribe(SubscriberId sub, const Rect& rect, Delta& delta);
+  // Remove `sub`.  Throws std::out_of_range if unknown (mirrors
+  // GroupManager's churn contract).
+  void unsubscribe(SubscriberId sub, Delta& delta);
+  // Replace `sub`'s interest.  No-op (and no delta) when the rectangle is
+  // unchanged; otherwise equivalent to unsubscribe + subscribe.
+  void update(SubscriberId sub, const Rect& rect, Delta& delta);
+
+  bool contains(SubscriberId sub) const {
+    return sub >= 0 && static_cast<std::size_t>(sub) < entry_of_.size() &&
+           entry_of_[static_cast<std::size_t>(sub)] >= 0;
+  }
+  // The entry `sub` rides (-1 when absent).
+  EntryId entry_of(SubscriberId sub) const {
+    return contains(sub) ? entry_of_[static_cast<std::size_t>(sub)] : -1;
+  }
+
+  // Indexed (rect, entry-id) pairs in ascending id order — the bulk-load
+  // image of the backing index.
+  std::vector<std::pair<Rect, int>> indexed_entries() const;
+
+  // --- matching ---------------------------------------------------------
+  // Expand an indexed-entry stab hit at point `p` into subscriber ids
+  // (appended, unsorted): the entry's riders plus the riders of every
+  // covered child whose rectangle contains `p`.
+  void expand(EntryId e, const Point& p, std::vector<SubscriberId>& out) const;
+
+  // --- stats ------------------------------------------------------------
+  std::size_t subscriber_count() const { return sub_count_; }
+  // Distinct resident rectangles (K).
+  std::size_t entry_count() const { return entry_live_; }
+  // Entries resident in the backing index (maximal rectangles).
+  std::size_t indexed_count() const { return indexed_.size(); }
+  // Subscribers riding a covered (non-indexed) entry.
+  std::size_t covered_subscriber_count() const { return covered_subs_; }
+  // Upper bound on entry ids ever issued (backing-index universe sizing).
+  std::size_t entry_capacity() const { return entries_.size(); }
+
+  // --- snapshot ---------------------------------------------------------
+  // Verbatim state for snapshot embedding (see core/covering_state.h).
+  using EntryState = CoveringEntryState;
+  using State = CoveringState;
+  State export_state() const;
+  // Replaces the table.  Throws std::invalid_argument on structural
+  // corruption (bad ids, a child not contained in its parent, a rider
+  // listed twice, free-list/entry disagreement).
+  void import_state(const State& state);
+
+  // Structural invariants (two-level topology, containment, refcount
+  // consistency, maximality of the indexed set); used by tests.
+  bool check_invariants() const;
+
+ private:
+  struct Entry {
+    Rect rect;  // empty = free slot
+    EntryId parent = -1;
+    std::vector<SubscriberId> subs;
+    std::vector<EntryId> children;
+  };
+
+  EntryId alloc_entry(const Rect& rect);
+  void free_entry(EntryId e);
+  // Decide indexed-vs-covered for a fresh entry and record index ops.
+  void place_entry(EntryId e, Delta& delta);
+  // Put `e` in the backing index and demote any indexed entries its
+  // rectangle now covers.
+  void make_indexed(EntryId e, Delta& delta);
+  // Move indexed `o` under indexed `parent` (rect(parent) contains
+  // rect(o)); o's children re-home to `parent`.
+  void demote(EntryId o, EntryId parent, Delta& delta);
+  void detach_rider(SubscriberId sub);
+
+  std::vector<Entry> entries_;
+  std::vector<EntryId> free_;  // LIFO id reuse
+  // rect -> entry dedup; ordered map keeps lookups deterministic without a
+  // float-hashing pitfall (-0.0 vs 0.0).
+  std::map<Rect, EntryId, RectLess> by_rect_;
+  std::vector<EntryId> entry_of_;     // per subscriber, -1 = absent
+  std::vector<std::uint32_t> pos_;    // position in its entry's subs list
+  std::set<EntryId> indexed_;         // ascending iteration for demote scan
+  RTree rtree_;                       // indexed rects, containing() lookup
+  std::vector<int> coverers_;         // scratch for containing() results
+  std::size_t sub_count_ = 0;
+  std::size_t entry_live_ = 0;
+  std::size_t covered_subs_ = 0;
+  std::size_t ndims_ = 0;  // locked at first resident entry
+};
+
+}  // namespace pubsub

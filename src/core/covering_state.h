@@ -1,0 +1,32 @@
+// Plain serializable image of a CoveringTable (core/covering.h).
+//
+// Split from the table itself so broker/types.h and io/serialize can embed
+// a covering image in BrokerSnapshot without depending on the table's
+// machinery (R-tree, dedup map).  The image is verbatim internal state:
+// entries in ascending id order with rider/child lists in *internal* order
+// plus the LIFO free list — importing it reproduces the exact table, so a
+// restored broker's future behavior (including future exports) is
+// bit-identical to the original's.
+#pragma once
+
+#include <vector>
+
+#include "geometry/rect.h"
+#include "workload/types.h"
+
+namespace pubsub {
+
+struct CoveringEntryState {
+  int id = -1;
+  Rect rect;
+  int parent = -1;  // -1 = indexed (resident in the backing index)
+  std::vector<SubscriberId> subs;
+  std::vector<int> children;
+};
+
+struct CoveringState {
+  std::vector<CoveringEntryState> entries;  // ascending id
+  std::vector<int> free_list;               // LIFO (back = next id issued)
+};
+
+}  // namespace pubsub

@@ -50,11 +50,19 @@ void WriteClustering(std::ostream& os, const ClusteringFile& c);
 ClusteringFile ReadClustering(std::istream& is);
 
 // ------------------------------------------------------- broker durability
+// Covering-table image (core/covering_state.h): entries with their rider /
+// child lists in verbatim internal order plus the LIFO free list, so a
+// restore reproduces the exact table.  The reader needs the event-space
+// dimensionality (snapshots read it from the embedded workload first).
+void WriteCovering(std::ostream& os, const CoveringState& state);
+CoveringState ReadCovering(std::istream& is, std::size_t dims);
+
 // Snapshot: the full recovery image of broker/broker.h, captured at a
-// refresh boundary (embeds the workload and clustering records above).
-// Current format is v2 (adds the durability/degradation counters to the
-// stats line); the reader also accepts v1 files, zero-filling the new
-// fields.
+// refresh boundary (embeds the workload, clustering and covering records
+// above).  Current format is v3 (appends the covering-table image); the
+// reader also accepts v2 (pre-covering; restore rebuilds the table from
+// the workload) and v1 (additionally pre-durability, zero-filling those
+// stats fields).
 void WriteBrokerSnapshot(std::ostream& os, const BrokerSnapshot& snap);
 BrokerSnapshot ReadBrokerSnapshot(std::istream& is);
 

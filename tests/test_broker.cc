@@ -439,6 +439,93 @@ TEST(Broker, Validation) {
                std::invalid_argument);
 }
 
+// A churn command naming an unknown subscriber id must be rejected BEFORE
+// it is journaled or sequenced — on the live path and on replay alike.
+// (Regression: pre-validation happened only inside apply_churn, after the
+// write-ahead append, so a primary that rejected the command had already
+// replicated it and every replica desynced.)
+TEST(Broker, UnknownChurnTargetRejectedWithoutDesync) {
+  BrokerFixture f;
+  ManualClock clock_a, clock_b;
+  Broker a = f.MakeBroker(f.SmallOptions(), &clock_a);
+  Broker b = f.MakeBroker(f.SmallOptions(), &clock_b);  // rejection-free twin
+  std::ostringstream journal;
+  a.set_journal(&journal);
+
+  const Rect rect = a.workload().space.domain_rect();
+  clock_a.advance(1.0);
+  clock_b.advance(1.0);
+  a.subscribe(2, rect);
+  b.subscribe(2, rect);
+
+  const SubscriberId bogus =
+      static_cast<SubscriberId>(a.workload().num_subscribers()) + 7;
+  const std::uint64_t seq_before = a.seq();
+  const std::string journal_before = journal.str();
+  EXPECT_THROW(a.unsubscribe(bogus), std::out_of_range);
+  EXPECT_THROW(a.update(bogus, rect), std::out_of_range);
+  EXPECT_THROW(a.unsubscribe(-1), std::out_of_range);
+  EXPECT_EQ(a.seq(), seq_before) << "rejected command must not consume seq";
+  EXPECT_EQ(journal.str(), journal_before)
+      << "rejected command must never reach the journal";
+
+  // Replay path: the same records throw the same type, same state.
+  JournalRecord rec;
+  rec.seq = a.seq() + 1;
+  rec.cmd.type = BrokerCommandType::kUnsubscribe;
+  rec.cmd.time_ms = a.last_command_time_ms() + 1.0;
+  rec.cmd.subscriber = bogus;
+  EXPECT_THROW(a.apply(rec), std::out_of_range);
+  rec.cmd.type = BrokerCommandType::kUpdate;
+  rec.cmd.interest = rect;
+  EXPECT_THROW(a.apply(rec), std::out_of_range);
+  EXPECT_EQ(a.seq(), seq_before);
+
+  // The attempts are unobservable: the twin that never saw them stays
+  // bit-identical through further service.
+  clock_a.advance(1.0);
+  clock_b.advance(1.0);
+  a.publish(f.events[0].pub.origin, f.events[0].pub.point);
+  b.publish(f.events[0].pub.origin, f.events[0].pub.point);
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+
+  // Recovery refuses a journal carrying such a record instead of replaying
+  // it into a divergent state.
+  std::vector<JournalRecord> bad(1, rec);
+  bad[0].seq = a.snapshot().seq + 1;
+  EXPECT_THROW(Broker::Recover(a.snapshot(), bad, *f.scenario.pub,
+                               f.scenario.net.graph, f.SmallOptions()),
+               std::out_of_range);
+}
+
+// Snapshot format v3 embeds the covering table verbatim; a pre-covering
+// (v2) snapshot restores by rebuilding the table from the workload.  Both
+// paths must land on the same state as the live broker.
+TEST(Broker, SnapshotRoundTripRestoresCoveringTable) {
+  BrokerFixture f;
+  ManualClock clock;
+  Broker broker = f.MakeBroker(f.SmallOptions(), &clock);
+  const BrokerSnapshot& snap = broker.snapshot();
+  ASSERT_FALSE(snap.covering.entries.empty());
+
+  std::ostringstream os;
+  WriteBrokerSnapshot(os, snap);
+  std::istringstream is(os.str());
+  const BrokerSnapshot back = ReadBrokerSnapshot(is);
+  ASSERT_EQ(back.covering.entries.size(), snap.covering.entries.size());
+
+  const auto restored = Broker::Recover(back, {}, *f.scenario.pub,
+                                        f.scenario.net.graph, f.SmallOptions());
+  EXPECT_EQ(restored->state_digest(), broker.state_digest());
+
+  // Legacy image: drop the covering section as a v2 reader would.
+  BrokerSnapshot legacy = back;
+  legacy.covering = CoveringState();
+  const auto rebuilt = Broker::Recover(legacy, {}, *f.scenario.pub,
+                                       f.scenario.net.graph, f.SmallOptions());
+  EXPECT_EQ(rebuilt->state_digest(), broker.state_digest());
+}
+
 // --- fault injection & graceful degradation -------------------------------
 
 // Clears the process-global fail-point registry on both sides of each test.

@@ -150,6 +150,22 @@ BrokerSnapshot MakeBrokerSnapshot() {
         &snap.stats.journal_flush_failures, &snap.stats.journal_flush_retries,
         &snap.stats.degraded_entries, &snap.stats.mutations_rejected})
     *field = n++;  // every counter distinct: field-order bugs can't cancel
+  // Covering image: an indexed parent with a covered child and a free slot,
+  // with rider/child lists in deliberately non-sorted order — the format
+  // must preserve them verbatim.
+  CoveringEntryState parent;
+  parent.id = 0;
+  parent.rect = Rect({Interval(0.5, 7.25), Interval::AtMost(4.0)});
+  parent.parent = -1;
+  parent.subs = {3, 0};
+  parent.children = {1};
+  CoveringEntryState child;
+  child.id = 1;
+  child.rect = Rect({Interval(1.0, 2.0), Interval(1.5, 3.5)});
+  child.parent = 0;
+  child.subs = {2};
+  snap.covering.entries = {parent, child};
+  snap.covering.free_list = {2};
   return snap;
 }
 
@@ -171,6 +187,17 @@ TEST(Serialize, BrokerSnapshotRoundTrip) {
     EXPECT_EQ(back.workload.subscribers[i].interest,
               snap.workload.subscribers[i].interest);
   }
+  ASSERT_EQ(back.covering.entries.size(), snap.covering.entries.size());
+  for (std::size_t i = 0; i < snap.covering.entries.size(); ++i) {
+    EXPECT_EQ(back.covering.entries[i].id, snap.covering.entries[i].id);
+    EXPECT_EQ(back.covering.entries[i].rect, snap.covering.entries[i].rect);
+    EXPECT_EQ(back.covering.entries[i].parent,
+              snap.covering.entries[i].parent);
+    EXPECT_EQ(back.covering.entries[i].subs, snap.covering.entries[i].subs);
+    EXPECT_EQ(back.covering.entries[i].children,
+              snap.covering.entries[i].children);
+  }
+  EXPECT_EQ(back.covering.free_list, snap.covering.free_list);
 }
 
 TEST(Serialize, BrokerSnapshotRejectsVersionSkewAndDamage) {
@@ -180,9 +207,9 @@ TEST(Serialize, BrokerSnapshotRejectsVersionSkewAndDamage) {
 
   // A future format version must be rejected, not mis-parsed.
   std::string skewed = full;
-  skewed.replace(skewed.find("pubsub-broker-snapshot v2"),
-                 std::string("pubsub-broker-snapshot v2").size(),
-                 "pubsub-broker-snapshot v3");
+  skewed.replace(skewed.find("pubsub-broker-snapshot v3"),
+                 std::string("pubsub-broker-snapshot v3").size(),
+                 "pubsub-broker-snapshot v4");
   std::istringstream skew_is(skewed);
   EXPECT_THROW(ReadBrokerSnapshot(skew_is), std::runtime_error);
 
@@ -203,14 +230,17 @@ TEST(Serialize, BrokerSnapshotRejectsVersionSkewAndDamage) {
 }
 
 TEST(Serialize, BrokerSnapshotReadsV1WithZeroFilledDurability) {
-  // A pre-durability (v1) snapshot carries 15 stats fields; the v2 reader
-  // must accept it and zero-fill the four durability counters.
+  // A pre-durability (v1) snapshot carries 15 stats fields; the reader
+  // must accept it and zero-fill the four durability counters.  The
+  // trailing covering section the v3 writer emits is simply never read
+  // by the v1 path, matching a genuine v1 file that ends after the
+  // clustering record.
   const BrokerSnapshot snap = MakeBrokerSnapshot();
   std::ostringstream os;
   WriteBrokerSnapshot(os, snap);
   std::string v1 = os.str();
-  v1.replace(v1.find("pubsub-broker-snapshot v2"),
-             std::string("pubsub-broker-snapshot v2").size(),
+  v1.replace(v1.find("pubsub-broker-snapshot v3"),
+             std::string("pubsub-broker-snapshot v3").size(),
              "pubsub-broker-snapshot v1");
   const std::size_t stats_pos = v1.find("stats ");
   std::size_t stats_end = v1.find('\n', stats_pos);
@@ -227,6 +257,56 @@ TEST(Serialize, BrokerSnapshotReadsV1WithZeroFilledDurability) {
   EXPECT_EQ(back.stats.degraded_entries, 0u);
   EXPECT_EQ(back.stats.mutations_rejected, 0u);
   EXPECT_EQ(back.assignment, snap.assignment);
+  EXPECT_TRUE(back.covering.entries.empty());  // pre-covering format
+  EXPECT_TRUE(back.covering.free_list.empty());
+}
+
+TEST(Serialize, BrokerSnapshotReadsV2WithoutCovering) {
+  // A pre-covering (v2) snapshot ends after the clustering record; the
+  // reader must accept it and leave the covering image empty so a restore
+  // rebuilds the table from the workload.
+  const BrokerSnapshot snap = MakeBrokerSnapshot();
+  std::ostringstream os;
+  WriteBrokerSnapshot(os, snap);
+  std::string v2 = os.str();
+  v2.replace(v2.find("pubsub-broker-snapshot v3"),
+             std::string("pubsub-broker-snapshot v3").size(),
+             "pubsub-broker-snapshot v2");
+  v2.erase(v2.find("pubsub-covering"));  // a genuine v2 file has no covering
+
+  std::istringstream is(v2);
+  const BrokerSnapshot back = ReadBrokerSnapshot(is);
+  EXPECT_EQ(back.seq, snap.seq);
+  EXPECT_EQ(back.stats, snap.stats);
+  EXPECT_TRUE(back.covering.entries.empty());
+  EXPECT_TRUE(back.covering.free_list.empty());
+}
+
+TEST(Serialize, BrokerSnapshotRejectsDamagedCovering) {
+  std::ostringstream os;
+  WriteBrokerSnapshot(os, MakeBrokerSnapshot());
+  const std::string full = os.str();
+
+  // Wrong covering magic/version.
+  std::string skewed = full;
+  skewed.replace(skewed.find("pubsub-covering v1"),
+                 std::string("pubsub-covering v1").size(),
+                 "pubsub-covering v2");
+  std::istringstream skew_is(skewed);
+  EXPECT_THROW(ReadBrokerSnapshot(skew_is), std::runtime_error);
+
+  // A negative rider id inside an entry record is rejected.
+  std::string negative = full;
+  const std::size_t entry_pos = negative.find("entry 0");
+  const std::size_t subs_pos = negative.find('\n', entry_pos) + 1;
+  negative.replace(subs_pos, 1, "-3");  // first rider line ("3" -> "-3")
+  std::istringstream neg_is(negative);
+  EXPECT_THROW(ReadBrokerSnapshot(neg_is), std::runtime_error);
+
+  // Truncation inside the covering section is rejected.
+  std::string truncated = full.substr(0, full.find("entry 1"));
+  std::istringstream trunc_is(truncated);
+  EXPECT_THROW(ReadBrokerSnapshot(trunc_is), std::runtime_error);
 }
 
 std::vector<JournalRecord> SampleJournal() {
