@@ -126,10 +126,10 @@ void Broker::init_obs(const BrokerOptions& options) {
   c_journal_bytes_ = r.counter("broker_journal_bytes_total",
                                "serialized bytes of the journal stream");
   c_refresh_by_churn_ =
-      r.counter("broker_refresh_trigger_total{cause=\"churn\"}",
+      r.counter(LabeledName("broker_refresh_trigger_total", "cause", "churn"),
                 "refreshes fired by the churned-fraction trigger");
   c_refresh_by_waste_ =
-      r.counter("broker_refresh_trigger_total{cause=\"waste\"}",
+      r.counter(LabeledName("broker_refresh_trigger_total", "cause", "waste"),
                 "refreshes fired by the waste-ratio trigger");
   c_replayed_ = r.counter("broker_recovery_replayed_records",
                           "journal tail records applied at recovery");
@@ -144,6 +144,14 @@ void Broker::init_obs(const BrokerOptions& options) {
   c_mutations_rejected_ =
       r.counter("broker_mutations_rejected_total",
                 "commands rejected while in degraded mode");
+  // Heal probes are timer-driven (serve loop), not journaled commands, so
+  // their counts are runtime-only: a recovered broker has no probe history.
+  c_heal_probes_ = r.counter("broker_heal_probe_total",
+                             "degraded-mode heal probes attempted",
+                             MetricStability::kRuntime);
+  c_heal_successes_ = r.counter("broker_heal_success_total",
+                                "heal probes that cleared degraded mode",
+                                MetricStability::kRuntime);
   g_degraded_ =
       r.gauge("broker_degraded", "1 while in read-only degraded mode, else 0");
   g_snapshot_bytes_ = r.gauge("broker_recovery_snapshot_bytes",
@@ -209,8 +217,8 @@ void Broker::init_obs(const BrokerOptions& options) {
                   ExponentialBuckets(0.01, 2.0, 16));
   for (std::size_t s = 0; s < kNumPublishStages; ++s)
     h_stage_[s] = r.histogram(
-        std::string("broker_stage_latency_ms{stage=\"") +
-            StageName(static_cast<PublishStage>(s)) + "\"}",
+        LabeledName("broker_stage_latency_ms", "stage",
+                    StageName(static_cast<PublishStage>(s))),
         "trace-clock wall time per publish-path stage",
         ExponentialBuckets(0.001, 4.0, 12), MetricStability::kRuntime);
   h_journal_flush_ms_ = r.histogram(
@@ -433,12 +441,14 @@ PublishOutcome Broker::publish(NodeId origin, const Point& event) {
   return apply_record(rec);
 }
 
-void Broker::apply(const JournalRecord& rec) {
+void Broker::apply(const JournalRecord& rec) { apply_with_outcome(rec); }
+
+PublishOutcome Broker::apply_with_outcome(const JournalRecord& rec) {
   if (rec.seq != seq_ + 1)
     throw std::runtime_error("Broker::apply: out-of-order record (expected seq " +
                              std::to_string(seq_ + 1) + ", got " +
                              std::to_string(rec.seq) + ")");
-  apply_record(rec);
+  return apply_record(rec);
 }
 
 PublishOutcome Broker::apply_record(const JournalRecord& rec) {
@@ -594,6 +604,14 @@ bool Broker::clear_degraded() {
   return true;
 }
 
+bool Broker::heal_probe() {
+  if (!degraded_) return true;
+  Inc(c_heal_probes_);
+  const bool healed = clear_degraded();
+  if (healed) Inc(c_heal_successes_);
+  return healed;
+}
+
 void Broker::validate_churn(const BrokerCommand& cmd) const {
   // Only checks serialization cannot do: WriteJournalRecord already
   // rejects interest/point dimensionality mismatches before any byte
@@ -649,6 +667,7 @@ PublishOutcome Broker::apply_publish(const BrokerCommand& cmd) {
   PublishOutcome out;
   MatchScratch& s = scratch_;
   const std::span<const SubscriberId> inter = interested_into(cmd.point, s);
+  out.interested_set = inter;
   out.interested = inter.size();
   MatchDecision d = mgr_->matcher().match(cmd.point, inter, s);
   stage_done(PublishStage::kMatch);

@@ -119,6 +119,10 @@ struct PublishOutcome {
   // plus interested \ group when a group was used (the between-refresh
   // window contract — see core/group_manager.h).  Sorted ascending.
   std::span<const SubscriberId> unicast_targets;
+  // The full interested set for the event, sorted ascending (the
+  // counting-sort emission of interested_into).  A sharded fleet merges
+  // these per-shard sets into the global decision (src/serve/fleet.h).
+  std::span<const SubscriberId> interested_set;
   std::size_t interested = 0;
   std::size_t wasted = 0;  // group members not interested
   bool refreshed = false;  // this command triggered a refresh
@@ -168,6 +172,10 @@ class Broker {
   // seq() + 1 and is applied with its recorded timestamp.  Journals to the
   // sink and notifies the listener like a local command.
   void apply(const JournalRecord& rec);
+  // As apply(), but returns the publish outcome (default-constructed for
+  // churn records).  The fleet fan-out path needs the per-shard interested
+  // set; plain apply() discards it.
+  PublishOutcome apply_with_outcome(const JournalRecord& rec);
 
   // --- state ------------------------------------------------------------
   std::uint64_t seq() const { return seq_; }
@@ -207,6 +215,12 @@ class Broker {
   // on success the command that triggered degradation takes effect (its
   // seq is consumed), exactly as if the original caller had retried it.
   bool clear_degraded();
+  // Supervision hook (serve-loop heal timer): clear_degraded() plus probe
+  // accounting, and a cheap no-op on a healthy broker.  Returns true when
+  // the broker is (or becomes) healthy.  Probe counters are kRuntime —
+  // probes are driven by timers, not by the journaled command stream, so a
+  // recovered broker legitimately reports different values.
+  bool heal_probe();
 
   // Latest refresh-boundary snapshot (see types.h).  write_snapshot
   // serializes it and returns the byte count.
@@ -344,6 +358,8 @@ class Broker {
   Counter* c_flush_retries_ = nullptr;
   Counter* c_degraded_entries_ = nullptr;
   Counter* c_mutations_rejected_ = nullptr;
+  Counter* c_heal_probes_ = nullptr;
+  Counter* c_heal_successes_ = nullptr;
   Gauge* g_degraded_ = nullptr;
   Gauge* g_snapshot_bytes_ = nullptr;
   Gauge* g_recovery_progress_ = nullptr;

@@ -702,6 +702,88 @@ JournalReadResult ReadJournalLenient(std::istream& is) {
   return result;
 }
 
+// ---------------------------------------------------------- fleet manifests
+
+void WriteFleetManifest(std::ostream& os, const FleetManifest& m) {
+  os << "pubsub-fleet-manifest v1\n";
+  os << "seq " << m.seq << '\n';
+  os << "chain " << m.match_chain << '\n';
+  os << "shards " << m.shards.size() << '\n';
+  for (std::size_t k = 0; k < m.shards.size(); ++k) {
+    const FleetManifestShard& s = m.shards[k];
+    os << "shard " << k << ' ' << s.seq << ' ' << s.global_ids.size() << '\n';
+    if (!s.global_ids.empty()) {
+      for (std::size_t i = 0; i < s.global_ids.size(); ++i)
+        os << (i == 0 ? "" : " ") << s.global_ids[i];
+      os << '\n';
+    }
+  }
+}
+
+FleetManifest ReadFleetManifest(std::istream& is) {
+  LineReader r(is);
+  r.expect(r.next(), "pubsub-fleet-manifest v1");
+  FleetManifest m;
+  {
+    const auto toks = SplitN(r, r.next(), 2);
+    if (toks[0] != "seq") r.fail("expected 'seq'");
+    m.seq = static_cast<std::uint64_t>(ParseLong(r, toks[1]));
+  }
+  {
+    const auto toks = SplitN(r, r.next(), 2);
+    if (toks[0] != "chain") r.fail("expected 'chain'");
+    // The chain is a full 64-bit digest; stoul covers the unsigned range
+    // stol cannot.
+    try {
+      std::size_t pos = 0;
+      m.match_chain = std::stoull(toks[1], &pos);
+      if (pos != toks[1].size()) r.fail("trailing characters in chain");
+    } catch (const std::exception&) {
+      r.fail("bad chain value '" + toks[1] + "'");
+    }
+  }
+  long num_shards = 0;
+  {
+    const auto toks = SplitN(r, r.next(), 2);
+    if (toks[0] != "shards") r.fail("expected 'shards'");
+    num_shards = ParseLong(r, toks[1]);
+    if (num_shards < 1) r.fail("fleet needs at least one shard");
+  }
+  m.shards.resize(static_cast<std::size_t>(num_shards));
+  for (long k = 0; k < num_shards; ++k) {
+    const auto toks = SplitN(r, r.next(), 4);
+    if (toks[0] != "shard") r.fail("expected 'shard'");
+    if (ParseLong(r, toks[1]) != k) r.fail("shard entries out of order");
+    FleetManifestShard& s = m.shards[static_cast<std::size_t>(k)];
+    s.seq = static_cast<std::uint64_t>(ParseLong(r, toks[2]));
+    const long slots = ParseLong(r, toks[3]);
+    if (slots < 0) r.fail("negative slot count");
+    if (slots > 0) {
+      const auto ids = SplitN(r, r.next(), static_cast<std::size_t>(slots));
+      s.global_ids.reserve(static_cast<std::size_t>(slots));
+      for (const std::string& tok : ids) {
+        const long id = ParseLong(r, tok);
+        if (id < 0) r.fail("negative global subscriber id");
+        s.global_ids.push_back(static_cast<SubscriberId>(id));
+      }
+    }
+  }
+  return m;
+}
+
+std::string FleetManifestPath(const std::string& base) {
+  return base + ".manifest";
+}
+std::string FleetJournalPath(const std::string& base) {
+  return base + ".journal";
+}
+std::string FleetShardSnapshotPath(const std::string& base, std::size_t shard) {
+  return base + ".shard" + std::to_string(shard) + ".snap";
+}
+std::string FleetShardJournalPath(const std::string& base, std::size_t shard) {
+  return base + ".shard" + std::to_string(shard) + ".journal";
+}
+
 // ---------------------------------------------------------------- metrics
 
 namespace {

@@ -119,6 +119,35 @@ struct JournalReadResult {
 };
 JournalReadResult ReadJournalLenient(std::istream& is);
 
+// ---------------------------------------------------------- fleet durability
+// Manifest of a sharded BrokerFleet checkpoint (src/serve/fleet.h): the
+// fleet sequence number and match chain at capture, plus — per shard — the
+// shard broker's sequence number and the local-slot → global-id map
+// (tombstoned slots included; slots are never reused).  The manifest plus
+// one refresh-boundary BrokerSnapshot and one journal per shard, plus the
+// fleet-level journal tail, is the complete fleet recovery recipe.
+struct FleetManifestShard {
+  std::uint64_t seq = 0;                 // shard broker seq at capture
+  std::vector<SubscriberId> global_ids;  // local slot -> global subscriber id
+};
+
+struct FleetManifest {
+  std::uint64_t seq = 0;          // fleet seq at capture
+  std::uint64_t match_chain = 0;  // rolling digest of merged interested sets
+  std::vector<FleetManifestShard> shards;
+};
+
+void WriteFleetManifest(std::ostream& os, const FleetManifest& m);
+FleetManifest ReadFleetManifest(std::istream& is);
+
+// Canonical on-disk naming for `pubsub_cli serve --base=<base>` artifacts:
+// <base>.manifest, <base>.journal (fleet-level command stream), and
+// <base>.shard<k>.snap / <base>.shard<k>.journal per shard.
+std::string FleetManifestPath(const std::string& base);
+std::string FleetJournalPath(const std::string& base);
+std::string FleetShardSnapshotPath(const std::string& base, std::size_t shard);
+std::string FleetShardJournalPath(const std::string& base, std::size_t shard);
+
 // ------------------------------------------------------------------ metrics
 // Exposition for obs/metrics snapshots (telemetry tentpole).  Both writers
 // are byte-stable: equal snapshots produce equal bytes, so a deterministic

@@ -64,6 +64,11 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return merged;
 }
 
+std::string LabeledName(const std::string& base, const std::string& key,
+                        const std::string& value) {
+  return base + "{" + key + "=\"" + value + "\"}";
+}
+
 std::vector<double> ExponentialBuckets(double start, double factor,
                                        std::size_t count) {
   if (start <= 0.0 || factor <= 1.0)

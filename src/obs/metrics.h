@@ -155,6 +155,13 @@ class Histogram {
   std::array<obs_internal::ShardCellD, obs_internal::kShards> sums_;
 };
 
+// The embedded-label naming convention ("base{key=\"value\"}") the
+// exposition writers split back into a label set.  Instrument sites that
+// register one metric per member of a family (publish stages, fleet
+// shards) build names through this so the convention has one spelling.
+std::string LabeledName(const std::string& base, const std::string& key,
+                        const std::string& value);
+
 // `count` upper bounds starting at `start`, each `factor` times the last
 // (factor > 1, start > 0).
 std::vector<double> ExponentialBuckets(double start, double factor,

@@ -1,0 +1,100 @@
+// Late-joiner catch-up and promotion chaos for the sharded fleet.
+//
+// ShardReplica is the fleet's clone-pattern late joiner: it bootstraps
+// from a FleetStateReply — the shard's refresh-boundary snapshot plus the
+// records buffered since it (state-request/state-reply) — which lands it
+// at the shard's *exact* current sequence number.  Attached to the fleet
+// it follows the live per-shard record stream; on primary death
+// BrokerFleet::promote replays the durable journal tail into it (covering
+// any window it missed) and installs it as the live shard.
+//
+// RunPromotionChaos is the scripted adversary for that failover path: it
+// drives a fleet through the serve-replay command stream, repeatedly
+// builds standbys (alternating streamed followers and cold joiners that
+// must catch up from the journal tail), kills primaries, arms the
+// promote.journal_handoff fail point so promotions die mid-replay, falls
+// back to snapshot+journal shard recovery, and checks the fleet digest
+// against a single-broker oracle after every cycle.  Any digest mismatch
+// is a found bug.
+//
+// The harness owns the process-global FailPoints registry for its run:
+// callers must not have fail points armed concurrently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "broker/chaos.h"
+#include "broker/replica.h"
+#include "net/transit_stub.h"
+#include "serve/fleet.h"
+
+namespace pubsub {
+
+class ShardReplica {
+ public:
+  // Bootstrap from a state reply for one shard.  `options` must match the
+  // fleet's per-shard broker options; `pub` / `network` / `clock` must
+  // outlive the replica (and the broker a later promotion hands over).
+  ShardReplica(const FleetStateReply& reply, const PublicationModel& pub,
+               const Graph& network, const BrokerOptions& options = {},
+               Clock* clock = nullptr);
+
+  // Apply one streamed shard record (records at or below seq() are
+  // ignored; a gap throws — the standby must re-bootstrap).
+  void apply(const JournalRecord& rec) { replica_.apply(rec); }
+
+  int shard() const { return shard_; }
+  std::uint64_t seq() const { return replica_.seq(); }
+  const Broker& broker() const { return replica_.broker(); }
+
+  // Hand over the underlying broker (the standby is spent).  Drive this
+  // through BrokerFleet::promote, which replays the journal tail and
+  // verifies the seq before installing.
+  std::unique_ptr<Broker> take() && { return std::move(replica_).promote(); }
+
+ private:
+  int shard_;
+  BrokerReplica replica_;
+};
+
+struct PromotionChaosOptions {
+  std::size_t num_shards = 3;
+  std::size_t num_events = 300;  // trace length (as serve --events)
+  std::size_t churn_every = 4;   // churn cadence (as serve --churn-every)
+  std::uint64_t seed = 7;        // trace/churn seed (as serve --seed)
+  std::uint64_t chaos_seed = 1;  // victim/timing/fault selection stream
+  std::size_t cycles = 25;       // kill/promote cycles to force
+  std::uint64_t snapshot_every = 40;  // fleet checkpoint cadence in commands
+  BrokerOptions broker;
+};
+
+struct PromotionChaosReport {
+  std::size_t commands = 0;         // schedule length (== the final seq)
+  std::size_t cycles = 0;           // kill cycles executed
+  std::size_t standbys_built = 0;   // ShardReplica bootstraps
+  std::size_t streamed_standbys = 0;  // of those, attached live followers
+  std::size_t promotions = 0;         // promotions that completed
+  std::size_t handoff_crashes = 0;    // promotions killed by the fail point
+  std::size_t shard_recoveries = 0;   // snapshot+journal fallbacks
+  std::size_t digest_checks = 0;
+  std::size_t digest_mismatches = 0;  // any non-zero value is a found bug
+  std::uint64_t final_seq = 0;
+  std::uint64_t final_digest = 0;
+  std::uint64_t reference_digest = 0;
+  bool digests_match = false;
+  bool ok() const { return digests_match && digest_mismatches == 0; }
+};
+
+// Run the promotion chaos schedule.  Hermetic and deterministic in
+// (opts.seed, opts.chaos_seed, opts): all journal I/O is in-memory.
+PromotionChaosReport RunPromotionChaos(const TransitStubNetwork& net,
+                                       const Workload& base,
+                                       const PublicationModel& pub,
+                                       const PromotionChaosOptions& opts);
+
+// Multi-line human-readable rendering (pubsub_cli chaos --promotions).
+std::string FormatPromotionChaosReport(const PromotionChaosReport& r);
+
+}  // namespace pubsub

@@ -1,0 +1,38 @@
+#include "serve/event_loop.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pubsub {
+
+void EventLoop::at(double due_ms, std::function<void()> task) {
+  heap_.push(Timer{due_ms, next_order_++, 0.0, std::move(task)});
+  ++pending_oneshots_;
+}
+
+void EventLoop::every(double first_ms, double period_ms,
+                      std::function<void()> task) {
+  if (period_ms <= 0.0)
+    throw std::invalid_argument("EventLoop::every: period must be > 0");
+  heap_.push(Timer{first_ms, next_order_++, period_ms, std::move(task)});
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  while (!stopped_ && pending_oneshots_ > 0 && !heap_.empty()) {
+    Timer t = heap_.top();
+    heap_.pop();
+    clock_->advance_to(t.due_ms);
+    if (t.period_ms > 0.0) {
+      // Re-arm before running: a periodic task that schedules one-shots
+      // observes its own next firing already in place.
+      heap_.push(Timer{t.due_ms + t.period_ms, next_order_++, t.period_ms,
+                       t.task});
+    } else {
+      --pending_oneshots_;
+    }
+    t.task();
+  }
+}
+
+}  // namespace pubsub

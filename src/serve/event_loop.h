@@ -1,0 +1,72 @@
+// Deterministic timer-driven event loop for the serve daemon.
+//
+// The serve daemon is a state machine over *simulated* time: trace events
+// fire at their recorded timestamps, the heal probe and the checkpointer
+// fire on periodic timers, and nothing observes wall clocks.  The loop is
+// a min-heap of (due time, insertion order) over a ManualClock — run()
+// pops the earliest task, advances the clock to its due time, and executes
+// it.  Ties break by insertion order, so two tasks due at the same
+// millisecond always run in the order they were scheduled and a serve run
+// is bit-reproducible at any host speed.
+//
+// One-shot tasks (at) drive the loop; periodic tasks (every) ride along —
+// run() returns when no one-shots remain, so a heal timer alone never
+// keeps the daemon spinning after the trace is exhausted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace pubsub {
+
+class EventLoop {
+ public:
+  // `clock` must outlive the loop; the loop only ever advances it.
+  explicit EventLoop(ManualClock* clock) : clock_(clock) {}
+
+  // Run `task` once at simulated time `due_ms` (tasks already in the past
+  // run immediately at the current clock, in schedule order).
+  void at(double due_ms, std::function<void()> task);
+  // Run `task` at first_ms, then every period_ms after (period_ms > 0).
+  // Each firing re-schedules with a fresh insertion order, so a periodic
+  // task due at the same instant as a later-scheduled one-shot runs first
+  // on its first firing and after it on re-armed firings only if re-armed
+  // later — ordering stays a pure function of the schedule calls.
+  void every(double first_ms, double period_ms, std::function<void()> task);
+  // Makes run() return before executing any further task.
+  void stop() { stopped_ = true; }
+
+  // Executes tasks in (due, order) sequence until no one-shot tasks remain
+  // or stop() is called.  The clock never moves backwards: a task due in
+  // the past runs at the current time.
+  void run();
+
+  double now_ms() const { return clock_->now_ms(); }
+  bool stopped() const { return stopped_; }
+
+ private:
+  struct Timer {
+    double due_ms = 0.0;
+    std::uint64_t order = 0;     // insertion tiebreak
+    double period_ms = 0.0;      // 0 = one-shot
+    std::function<void()> task;  // shared across firings of a periodic
+  };
+  struct Later {
+    bool operator()(const Timer& a, const Timer& b) const {
+      if (a.due_ms != b.due_ms) return a.due_ms > b.due_ms;
+      return a.order > b.order;
+    }
+  };
+
+  ManualClock* clock_;
+  std::priority_queue<Timer, std::vector<Timer>, Later> heap_;
+  std::uint64_t next_order_ = 0;
+  std::size_t pending_oneshots_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace pubsub

@@ -1,0 +1,856 @@
+#include "serve/fleet.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "serve/catchup.h"
+#include "util/failpoint.h"
+#include "util/thread_pool.h"
+
+namespace pubsub {
+namespace {
+
+// Same digest primitive as the broker's state digest (FNV-1a, 64-bit).
+std::uint64_t Fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// The tombstone GroupManager writes on remove: one default (empty)
+// interval per dimension.  The logical mirror must reproduce it exactly or
+// the fleet digest diverges from the oracle on the first unsubscribe.
+Rect TombstoneRect(std::size_t dims) {
+  return Rect(std::vector<Interval>(dims, Interval()));
+}
+
+}  // namespace
+
+std::size_t FleetShardOf(SubscriberId global_id, std::size_t num_shards) {
+  // splitmix64 finalizer: stable in the id, so growing the population or
+  // resharding a fresh fleet never remaps an existing subscriber.
+  std::uint64_t z =
+      static_cast<std::uint64_t>(global_id) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<std::size_t>(z % num_shards);
+}
+
+std::uint64_t FleetChainFold(std::uint64_t chain, std::uint64_t seq,
+                             std::span<const SubscriberId> interested) {
+  std::uint64_t h = chain ^ 0x9e3779b97f4a7c15ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(seq);
+  mix(static_cast<std::uint64_t>(interested.size()));
+  for (const SubscriberId id : interested) mix(static_cast<std::uint64_t>(id));
+  return h;
+}
+
+std::uint64_t FleetStateDigest(std::uint64_t seq, const Workload& logical,
+                               std::uint64_t match_chain) {
+  std::ostringstream os;
+  os << seq << ' ' << match_chain << '\n';
+  WriteWorkload(os, logical);
+  return Fnv1a(os.str());
+}
+
+// ----------------------------------------------------------- construction
+
+BrokerFleet::BrokerFleet(Workload initial, const PublicationModel& pub,
+                         const Graph& network, const FleetOptions& options,
+                         ManualClock* clock)
+    : BrokerFleet(RestoreTag{}, pub, network, options, clock) {
+  logical_ = std::move(initial);
+  const std::size_t n = shards_.size();
+  std::vector<Workload> parts(n);
+  for (Workload& p : parts) p.space = logical_.space;
+  global_to_local_.resize(logical_.num_subscribers());
+  alive_.assign(logical_.num_subscribers(), 0);
+  for (std::size_t g = 0; g < logical_.num_subscribers(); ++g) {
+    const std::size_t k = FleetShardOf(static_cast<SubscriberId>(g), n);
+    global_to_local_[g] =
+        static_cast<SubscriberId>(parts[k].subscribers.size());
+    local_to_global_[k].push_back(static_cast<SubscriberId>(g));
+    parts[k].subscribers.push_back(logical_.subscribers[g]);
+    alive_[g] = logical_.subscribers[g].interest.empty() ? 0 : 1;
+    live_count_ += alive_[g];
+  }
+  for (std::size_t k = 0; k < n; ++k)
+    install_shard(k, std::make_unique<Broker>(std::move(parts[k]), *pub_,
+                                              *network_, shard_options(),
+                                              clock_));
+  update_gauges();
+}
+
+BrokerFleet::BrokerFleet(RestoreTag, const PublicationModel& pub,
+                         const Graph& network, const FleetOptions& options,
+                         ManualClock* clock)
+    : pub_(&pub), network_(&network), options_(options) {
+  if (options_.num_shards < 1)
+    throw std::invalid_argument("BrokerFleet: num_shards must be >= 1");
+  if (clock == nullptr) {
+    owned_clock_ = std::make_unique<ManualClock>();
+    clock_ = owned_clock_.get();
+  } else {
+    clock_ = clock;
+  }
+  const std::size_t n = options_.num_shards;
+  shards_.resize(n);
+  shard_seq_.assign(n, 0);
+  shard_journal_os_.assign(n, nullptr);
+  replicas_.assign(n, nullptr);
+  update_buffer_.resize(n);
+  local_to_global_.resize(n);
+  init_obs(n);
+}
+
+BrokerFleet::~BrokerFleet() = default;
+
+BrokerOptions BrokerFleet::shard_options() const {
+  BrokerOptions o = options_.broker;
+  // Every shard owns a private registry: the registry is get-or-create by
+  // name, so N shards sharing one would sum their counters into a single
+  // series.  Shard metrics surface through shard(k).metrics().
+  o.obs.metrics = nullptr;
+  return o;
+}
+
+void BrokerFleet::init_obs(std::size_t num_shards) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  if (options_.trace_clock != nullptr) {
+    trace_clock_ = options_.trace_clock;
+  } else {
+    owned_trace_clock_ = std::make_unique<StopwatchClock>();
+    trace_clock_ = owned_trace_clock_.get();
+  }
+  MetricsRegistry& m = *metrics_;
+  c_commands_ = m.counter("fleet_commands_total",
+                          "commands applied by the fleet (all types)");
+  c_publishes_ = m.counter("fleet_publishes_total", "publish fan-outs merged");
+  c_churn_ = m.counter("fleet_churn_total",
+                       "subscribe/unsubscribe/update commands routed");
+  c_stalls_ = m.counter("fleet_stalls_total",
+                        "records left pending on a degraded shard");
+  c_heals_ = m.counter("fleet_heals_total",
+                       "stalled records completed through heal()");
+  c_kills_ = m.counter("fleet_shard_kills_total", "shard brokers discarded");
+  c_promotions_ = m.counter("fleet_promotions_total",
+                            "standbys promoted into live shards");
+  c_recoveries_ = m.counter("fleet_shard_recoveries_total",
+                            "shards rebuilt from snapshot + journal");
+  c_replica_drops_ = m.counter(
+      "fleet_replica_drops_total",
+      "attached replicas dropped after crashing on a streamed record");
+  g_shards_ = m.gauge("fleet_shards", "configured shard count");
+  g_seq_ = m.gauge("fleet_seq", "last fleet sequence number applied");
+  g_live_ = m.gauge("fleet_live_subscribers",
+                    "non-tombstoned subscribers across all shards");
+  g_stalled_ = m.gauge("fleet_stalled",
+                       "1 while a record is pending on a degraded shard");
+  h_interested_ =
+      m.histogram("fleet_interested_size",
+                  "merged interested-set size per publish",
+                  ExponentialBuckets(1.0, 2.0, 12));
+  // Wall time, not state: fan-out latency depends on thread count and
+  // scheduling, so it is excluded from deterministic scrapes.
+  h_fanout_ms_ = m.histogram("fleet_fanout_ms",
+                             "publish fan-out + merge wall time (ms)",
+                             ExponentialBuckets(0.001, 4.0, 12),
+                             MetricStability::kRuntime);
+  g_shard_seq_.resize(num_shards);
+  g_shard_subs_.resize(num_shards);
+  g_shard_up_.resize(num_shards);
+  g_shard_degraded_.resize(num_shards);
+  for (std::size_t k = 0; k < num_shards; ++k) {
+    const std::string shard = std::to_string(k);
+    g_shard_seq_[k] = m.gauge(LabeledName("fleet_shard_seq", "shard", shard),
+                              "shard broker sequence number");
+    g_shard_subs_[k] =
+        m.gauge(LabeledName("fleet_shard_subscribers", "shard", shard),
+                "subscriber slots owned by the shard (tombstones included)");
+    g_shard_up_[k] = m.gauge(LabeledName("fleet_shard_up", "shard", shard),
+                             "1 while the shard broker is alive");
+    g_shard_degraded_[k] =
+        m.gauge(LabeledName("fleet_shard_degraded", "shard", shard),
+                "1 while the shard broker is in degraded read-only mode");
+  }
+}
+
+void BrokerFleet::install_shard(std::size_t k, std::unique_ptr<Broker> broker) {
+  // Every record the shard finishes — live fan-out, a heal's late apply —
+  // lands in the state-reply buffer and streams to the attached standby.
+  // A standby that crashes applying a record died; the shard did not, so
+  // the crash is contained to a detach.
+  broker->set_record_listener([this, k](const JournalRecord& rec) {
+    update_buffer_[k].push_back(rec);
+    ShardReplica* standby = replicas_[k];
+    if (standby == nullptr) return;
+    try {
+      standby->apply(rec);
+    } catch (const InjectedCrash&) {
+      replicas_[k] = nullptr;
+      Inc(c_replica_drops_);
+    }
+  });
+  shards_[k] = std::move(broker);
+}
+
+// ------------------------------------------------------------ command API
+
+JournalRecord BrokerFleet::make_record(BrokerCommand cmd) {
+  JournalRecord rec;
+  rec.seq = seq_ + 1;
+  cmd.time_ms = clock_->now_ms();
+  rec.cmd = std::move(cmd);
+  return rec;
+}
+
+SubscriberId BrokerFleet::subscribe(NodeId node, const Rect& interest) {
+  BrokerCommand cmd;
+  cmd.type = BrokerCommandType::kSubscribe;
+  cmd.node = node;
+  cmd.interest = interest;
+  const SubscriberId id =
+      static_cast<SubscriberId>(logical_.num_subscribers());
+  apply_sequenced(make_record(std::move(cmd)));
+  return id;
+}
+
+void BrokerFleet::unsubscribe(SubscriberId global_id) {
+  BrokerCommand cmd;
+  cmd.type = BrokerCommandType::kUnsubscribe;
+  cmd.subscriber = global_id;
+  apply_sequenced(make_record(std::move(cmd)));
+}
+
+void BrokerFleet::update(SubscriberId global_id, const Rect& interest) {
+  BrokerCommand cmd;
+  cmd.type = BrokerCommandType::kUpdate;
+  cmd.subscriber = global_id;
+  cmd.interest = interest;
+  apply_sequenced(make_record(std::move(cmd)));
+}
+
+FleetPublishOutcome BrokerFleet::publish(NodeId origin, const Point& event) {
+  BrokerCommand cmd;
+  cmd.type = BrokerCommandType::kPublish;
+  cmd.node = origin;
+  cmd.point = event;
+  return apply_sequenced(make_record(std::move(cmd)));
+}
+
+FleetPublishOutcome BrokerFleet::apply(const JournalRecord& rec) {
+  return apply_sequenced(rec);
+}
+
+void BrokerFleet::validate(const JournalRecord& rec) const {
+  if (rec.seq != seq_ + 1)
+    throw std::runtime_error(
+        "BrokerFleet::apply: out-of-order record (expected seq " +
+        std::to_string(seq_ + 1) + ", got " + std::to_string(rec.seq) + ")");
+  // Mirror Broker::validate_churn at the fleet boundary: an unknown-id
+  // command must fail before the write-ahead append, or the fleet journal
+  // carries a record replay can never apply.
+  if (rec.cmd.type == BrokerCommandType::kUnsubscribe ||
+      rec.cmd.type == BrokerCommandType::kUpdate) {
+    if (rec.cmd.subscriber < 0 ||
+        static_cast<std::size_t>(rec.cmd.subscriber) >=
+            logical_.num_subscribers())
+      throw std::out_of_range("BrokerFleet: unknown subscriber id " +
+                              std::to_string(rec.cmd.subscriber));
+  }
+}
+
+void BrokerFleet::journal_fleet_record(const JournalRecord& rec) {
+  if (fleet_journal_ == nullptr) return;
+  record_stream_.reset();
+  WriteJournalRecord(record_stream_, rec, logical_.space.dims());
+  const std::string& text = record_stream_.str();
+  fleet_journal_->write(text.data(),
+                        static_cast<std::streamsize>(text.size()));
+  fleet_journal_->flush();
+}
+
+FleetPublishOutcome BrokerFleet::apply_sequenced(const JournalRecord& rec) {
+  if (pending_active_)
+    throw FleetDegradedError(
+        "fleet is stalled: a record is pending on a degraded shard; heal() "
+        "must complete it before new mutations");
+  for (std::size_t k = 0; k < shards_.size(); ++k)
+    if (shards_[k] == nullptr)
+      throw std::logic_error("BrokerFleet: shard " + std::to_string(k) +
+                             " is down (promote or recover it first)");
+  validate(rec);
+  // Write-ahead at the fleet level: the global record is on the routing
+  // log before any shard sees its re-stamped copy.  Plain stream — the
+  // per-shard WALs underneath are the durability seams the fail points
+  // exercise; this log only replays routing.
+  journal_fleet_record(rec);
+  if (rec.cmd.type == BrokerCommandType::kPublish) return fan_out_publish(rec);
+  route_churn(rec);
+  FleetPublishOutcome out;
+  out.seq = seq_;
+  return out;
+}
+
+void BrokerFleet::route_churn(const JournalRecord& rec) {
+  const std::size_t n = shards_.size();
+  std::size_t k = 0;
+  JournalRecord srec = rec;
+  if (rec.cmd.type == BrokerCommandType::kSubscribe) {
+    // The new global id is the next logical slot; its hash picks the home
+    // shard, where it lands in the next local slot.
+    k = FleetShardOf(static_cast<SubscriberId>(logical_.num_subscribers()), n);
+  } else {
+    k = FleetShardOf(rec.cmd.subscriber, n);
+    srec.cmd.subscriber = global_to_local_[rec.cmd.subscriber];
+  }
+  srec.seq = shard_seq_[k] + 1;
+  try {
+    shards_[k]->apply(srec);
+  } catch (const BrokerDegradedError&) {
+    // The shard lost journal durability mid-append; the fleet record is
+    // pending until heal() finishes it (the shard seq was not consumed).
+    pending_active_ = true;
+    pending_rec_ = rec;
+    pending_applied_.assign(n, 1);
+    pending_applied_[k] = 0;
+    Inc(c_stalls_);
+    update_gauges();
+    throw FleetDegradedError("fleet stalled: shard " + std::to_string(k) +
+                             " degraded while applying seq " +
+                             std::to_string(rec.seq));
+  }
+  shard_seq_[k] += 1;
+  finish_churn(rec);
+}
+
+void BrokerFleet::finish_churn(const JournalRecord& rec) {
+  // The logical mirror replays GroupManager's exact mutation semantics
+  // (append / raw replace / tombstone, slots never reused) so the fleet
+  // digest compares byte-identically with the single-broker oracle.
+  switch (rec.cmd.type) {
+    case BrokerCommandType::kSubscribe: {
+      const SubscriberId g =
+          static_cast<SubscriberId>(logical_.num_subscribers());
+      const std::size_t k = FleetShardOf(g, shards_.size());
+      global_to_local_.push_back(
+          static_cast<SubscriberId>(local_to_global_[k].size()));
+      local_to_global_[k].push_back(g);
+      logical_.subscribers.push_back(Subscriber{rec.cmd.node, rec.cmd.interest});
+      const char live = rec.cmd.interest.empty() ? 0 : 1;
+      alive_.push_back(live);
+      live_count_ += live;
+      break;
+    }
+    case BrokerCommandType::kUnsubscribe: {
+      const SubscriberId g = rec.cmd.subscriber;
+      logical_.subscribers[g].interest = TombstoneRect(logical_.space.dims());
+      live_count_ -= alive_[g];
+      alive_[g] = 0;
+      break;
+    }
+    case BrokerCommandType::kUpdate: {
+      const SubscriberId g = rec.cmd.subscriber;
+      logical_.subscribers[g].interest = rec.cmd.interest;
+      const char live = rec.cmd.interest.empty() ? 0 : 1;
+      live_count_ += live - alive_[g];
+      alive_[g] = live;
+      break;
+    }
+    case BrokerCommandType::kPublish:
+      break;  // finish_publish
+  }
+  seq_ = rec.seq;
+  Inc(c_commands_);
+  Inc(c_churn_);
+  prune_buffers();
+  update_gauges();
+}
+
+FleetPublishOutcome BrokerFleet::fan_out_publish(const JournalRecord& rec) {
+  const std::size_t n = shards_.size();
+  fan_recs_.resize(n);
+  fan_outcomes_.assign(n, PublishOutcome{});
+  fan_errors_.assign(n, nullptr);
+  for (std::size_t k = 0; k < n; ++k) {
+    fan_recs_[k] = rec;
+    fan_recs_[k].seq = shard_seq_[k] + 1;
+  }
+  const std::size_t need = (logical_.num_subscribers() + 63) / 64;
+  if (words_.size() < need) words_.resize(need, 0);
+  word_lo_ = words_.size();
+  word_hi_ = 0;
+  pending_shards_matched_ = 0;
+  pending_refreshed_ = false;
+
+  // Fan out to every shard.  Each lane touches only shard-disjoint state
+  // (the shard broker, its journal, its replica, its buffer slot), and the
+  // merge below walks shards in index order — so the fleet's durable state
+  // is bit-identical at any --threads.  Bodies must not throw: exceptions
+  // are captured per shard and re-raised in shard order after the join.
+  const double fan_start = trace_clock_->now_ms();
+  ParallelForChunks(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      try {
+        fan_outcomes_[k] = shards_[k]->apply_with_outcome(fan_recs_[k]);
+      } catch (...) {
+        fan_errors_[k] = std::current_exception();
+      }
+    }
+  });
+  Observe(h_fanout_ms_, trace_clock_->now_ms() - fan_start);
+
+  // An injected crash (or any non-degraded failure) on any shard is
+  // process death: some shards applied, some did not, and only recovery
+  // from the durable files reconciles them.  Degraded shards, by contrast,
+  // are a survivable stall.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (fan_errors_[k] == nullptr) continue;
+    try {
+      std::rethrow_exception(fan_errors_[k]);
+    } catch (const BrokerDegradedError&) {
+      // handled below
+    }
+  }
+
+  bool any_degraded = false;
+  pending_applied_.assign(n, 1);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (fan_errors_[k] != nullptr) {
+      any_degraded = true;
+      pending_applied_[k] = 0;
+      continue;
+    }
+    shard_seq_[k] += 1;
+    if (fan_outcomes_[k].refreshed) pending_refreshed_ = true;
+    if (!fan_outcomes_[k].interested_set.empty()) ++pending_shards_matched_;
+    scatter(k, fan_outcomes_[k].interested_set);
+  }
+  if (any_degraded) {
+    pending_active_ = true;
+    pending_rec_ = rec;
+    Inc(c_stalls_);
+    update_gauges();
+    throw FleetDegradedError(
+        "fleet stalled: a shard degraded during the fan-out of seq " +
+        std::to_string(rec.seq));
+  }
+  return finish_publish(rec);
+}
+
+void BrokerFleet::scatter(std::size_t k,
+                          std::span<const SubscriberId> local_ids) {
+  const std::vector<SubscriberId>& map = local_to_global_[k];
+  for (const SubscriberId lid : local_ids) {
+    const std::size_t g = static_cast<std::size_t>(map[lid]);
+    const std::size_t w = g >> 6;
+    words_[w] |= 1ull << (g & 63u);
+    word_lo_ = std::min(word_lo_, w);
+    word_hi_ = std::max(word_hi_, w);
+  }
+}
+
+FleetPublishOutcome BrokerFleet::finish_publish(const JournalRecord& rec) {
+  // Counting-sort union: OR'd bits emit in ascending global id order, so
+  // the merged set is independent of shard count and fan-out interleaving.
+  merged_.clear();
+  if (word_lo_ <= word_hi_) {
+    for (std::size_t w = word_lo_; w <= word_hi_; ++w) {
+      std::uint64_t bits = words_[w];
+      words_[w] = 0;
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        merged_.push_back(static_cast<SubscriberId>((w << 6) |
+                                                    static_cast<std::size_t>(b)));
+      }
+    }
+  }
+  match_chain_ = FleetChainFold(match_chain_, rec.seq, merged_);
+  seq_ = rec.seq;
+  Inc(c_commands_);
+  Inc(c_publishes_);
+  Observe(h_interested_, static_cast<double>(merged_.size()));
+  prune_buffers();
+  update_gauges();
+  FleetPublishOutcome out;
+  out.seq = seq_;
+  out.interested = std::span<const SubscriberId>(merged_);
+  out.shards_matched = pending_shards_matched_;
+  out.refreshed = pending_refreshed_;
+  return out;
+}
+
+// -------------------------------------------------------- degraded shards
+
+bool BrokerFleet::heal() {
+  bool all_ok = true;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    if (shards_[k] == nullptr) {
+      all_ok = false;  // a dead shard needs promote/recover, not a probe
+      continue;
+    }
+    if (pending_active_ && pending_applied_[k] == 0) {
+      // The probe re-runs the interrupted append; success means the shard
+      // finished the pending record (its listener already fed the buffer
+      // and the standby) and its seq advanced.
+      if (!shards_[k]->heal_probe()) {
+        all_ok = false;
+        continue;
+      }
+      shard_seq_[k] += 1;
+      pending_applied_[k] = 1;
+      if (pending_rec_.cmd.type == BrokerCommandType::kPublish) {
+        // Publishes do not mutate the subscription table, so the late
+        // query reproduces the exact set the stalled fan-out would have
+        // merged.
+        const std::vector<SubscriberId> late =
+            shards_[k]->interested(pending_rec_.cmd.point);
+        if (!late.empty()) ++pending_shards_matched_;
+        scatter(k, late);
+      }
+    } else if (!shards_[k]->heal_probe()) {
+      // Covers degradation outside a stalled record (e.g. a failed journal
+      // header append, which consumes no seq).
+      all_ok = false;
+    }
+  }
+  if (pending_active_ &&
+      std::find(pending_applied_.begin(), pending_applied_.end(), 0) ==
+          pending_applied_.end()) {
+    pending_active_ = false;
+    if (pending_rec_.cmd.type == BrokerCommandType::kPublish)
+      finish_publish(pending_rec_);
+    else
+      finish_churn(pending_rec_);
+    Inc(c_heals_);
+  }
+  update_gauges();
+  return all_ok && !pending_active_;
+}
+
+// ------------------------------------------------------------------ state
+
+const Broker& BrokerFleet::shard(std::size_t k) const {
+  if (shards_[k] == nullptr)
+    throw std::logic_error("BrokerFleet: shard " + std::to_string(k) +
+                           " is down");
+  return *shards_[k];
+}
+
+std::uint64_t BrokerFleet::state_digest() const {
+  return FleetStateDigest(seq_, logical_, match_chain_);
+}
+
+std::vector<SubscriberId> BrokerFleet::interested(const Point& event) const {
+  // Cold read path, shard by shard.  Down shards are skipped: during a
+  // failover window the merged read is best-effort, like any other read
+  // against a partially available fleet.
+  std::vector<SubscriberId> out;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    if (shards_[k] == nullptr) continue;
+    for (const SubscriberId lid : shards_[k]->interested(event))
+      out.push_back(local_to_global_[k][lid]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ------------------------------------------------------------- durability
+
+void BrokerFleet::set_fleet_journal(std::ostream* sink, bool write_header) {
+  fleet_journal_ = sink;
+  if (sink != nullptr && write_header)
+    WriteJournalHeader(*sink, logical_.space.dims());
+}
+
+void BrokerFleet::set_shard_journal(std::size_t k, std::ostream* sink,
+                                    bool write_header) {
+  shard_journal_os_[k] = sink;  // remembered for the promotion handoff
+  if (shards_[k] != nullptr) shards_[k]->set_journal(sink, write_header);
+}
+
+FleetCheckpoint BrokerFleet::checkpoint() const {
+  // A stalled fleet is partially applied: some shards already hold the
+  // pending record, the fleet seq does not.  A manifest cut there would
+  // double-apply the record on replay — refuse instead (the serve loop
+  // skips checkpoints while stalled).
+  if (pending_active_)
+    throw std::logic_error("BrokerFleet::checkpoint: fleet is stalled");
+  FleetCheckpoint cp;
+  cp.manifest.seq = seq_;
+  cp.manifest.match_chain = match_chain_;
+  cp.manifest.shards.resize(shards_.size());
+  cp.shard_snapshots.resize(shards_.size());
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    if (shards_[k] == nullptr)
+      throw std::logic_error(
+          "BrokerFleet::checkpoint: shard " + std::to_string(k) + " is down");
+    cp.manifest.shards[k].seq = shard_seq_[k];
+    cp.manifest.shards[k].global_ids = local_to_global_[k];
+    cp.shard_snapshots[k] = shards_[k]->snapshot();
+  }
+  return cp;
+}
+
+std::unique_ptr<BrokerFleet> BrokerFleet::Recover(
+    const FleetManifest& manifest,
+    std::span<const BrokerSnapshot> shard_snapshots,
+    const std::vector<std::vector<JournalRecord>>& shard_journals,
+    const PublicationModel& pub, const Graph& network,
+    const FleetOptions& options, ManualClock* clock) {
+  const std::size_t n = manifest.shards.size();
+  if (n == 0)
+    throw std::invalid_argument("BrokerFleet::Recover: empty manifest");
+  if (shard_snapshots.size() != n || shard_journals.size() != n)
+    throw std::invalid_argument(
+        "BrokerFleet::Recover: manifest names " + std::to_string(n) +
+        " shards, got " + std::to_string(shard_snapshots.size()) +
+        " snapshots and " + std::to_string(shard_journals.size()) +
+        " journals");
+  FleetOptions opts = options;
+  opts.num_shards = n;
+  std::unique_ptr<BrokerFleet> fleet(
+      new BrokerFleet(RestoreTag{}, pub, network, opts, clock));
+
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    // The manifest's shard seq T_k is the durable truth: the journal may
+    // run past it (records from a later, partially checkpointed epoch are
+    // the serve loop's to replay through the fleet tail).
+    std::vector<JournalRecord> recs;
+    for (const JournalRecord& rec : shard_journals[k])
+      if (rec.seq <= manifest.shards[k].seq) recs.push_back(rec);
+    std::unique_ptr<Broker> b =
+        Broker::Recover(shard_snapshots[k], recs, pub, network,
+                        fleet->shard_options(), fleet->clock_);
+    if (b->seq() != manifest.shards[k].seq)
+      throw std::runtime_error(
+          "BrokerFleet::Recover: shard " + std::to_string(k) +
+          " reached seq " + std::to_string(b->seq()) + ", manifest says " +
+          std::to_string(manifest.shards[k].seq));
+    if (manifest.shards[k].global_ids.size() !=
+        b->workload().num_subscribers())
+      throw std::runtime_error(
+          "BrokerFleet::Recover: shard " + std::to_string(k) + " holds " +
+          std::to_string(b->workload().num_subscribers()) +
+          " slots, manifest maps " +
+          std::to_string(manifest.shards[k].global_ids.size()));
+    fleet->shard_seq_[k] = b->seq();
+    fleet->local_to_global_[k] = manifest.shards[k].global_ids;
+    // Re-seed the state-reply buffer with the post-snapshot records so a
+    // standby can bootstrap immediately after recovery.
+    for (const JournalRecord& rec : recs)
+      if (rec.seq > b->snapshot().seq) fleet->update_buffer_[k].push_back(rec);
+    fleet->install_shard(k, std::move(b));
+    total += manifest.shards[k].global_ids.size();
+  }
+
+  // Rebuild the logical table by scattering each shard's slots through its
+  // local→global map; the partition must agree with FleetShardOf or the
+  // manifest is corrupt.
+  fleet->logical_.space = shard_snapshots[0].workload.space;
+  fleet->logical_.subscribers.assign(total, Subscriber{});
+  fleet->global_to_local_.assign(total, -1);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t lid = 0; lid < fleet->local_to_global_[k].size(); ++lid) {
+      const SubscriberId g = fleet->local_to_global_[k][lid];
+      if (g < 0 || static_cast<std::size_t>(g) >= total ||
+          FleetShardOf(g, n) != k || fleet->global_to_local_[g] != -1)
+        throw std::runtime_error(
+            "BrokerFleet::Recover: manifest shard " + std::to_string(k) +
+            " maps an invalid or duplicate global id " + std::to_string(g));
+      fleet->global_to_local_[g] = static_cast<SubscriberId>(lid);
+      fleet->logical_.subscribers[g] =
+          fleet->shards_[k]->workload().subscribers[lid];
+    }
+  }
+  fleet->alive_.assign(total, 0);
+  for (std::size_t g = 0; g < total; ++g) {
+    fleet->alive_[g] = fleet->logical_.subscribers[g].interest.empty() ? 0 : 1;
+    fleet->live_count_ += fleet->alive_[g];
+  }
+  fleet->seq_ = manifest.seq;
+  fleet->match_chain_ = manifest.match_chain;
+  fleet->update_gauges();
+  return fleet;
+}
+
+// -------------------------------------------- clone pattern and failover
+
+FleetStateReply BrokerFleet::state_reply(std::size_t k) const {
+  if (shards_[k] == nullptr)
+    throw std::logic_error("BrokerFleet::state_reply: shard " +
+                           std::to_string(k) + " is down");
+  FleetStateReply reply;
+  reply.shard = static_cast<int>(k);
+  reply.snapshot = shards_[k]->snapshot();
+  for (const JournalRecord& rec : update_buffer_[k])
+    if (rec.seq > reply.snapshot.seq) reply.updates.push_back(rec);
+  return reply;
+}
+
+void BrokerFleet::attach_replica(std::size_t k, ShardReplica* replica) {
+  if (replica == nullptr) {
+    replicas_[k] = nullptr;
+    return;
+  }
+  if (replica->shard() != static_cast<int>(k))
+    throw std::invalid_argument(
+        "BrokerFleet::attach_replica: replica follows shard " +
+        std::to_string(replica->shard()) + ", not " + std::to_string(k));
+  // A standby behind the shard would see a sequence gap on the next fed
+  // record; state_reply() bootstraps to exactly the current seq.
+  if (replica->seq() != shard_seq_[k])
+    throw std::invalid_argument(
+        "BrokerFleet::attach_replica: standby at seq " +
+        std::to_string(replica->seq()) + ", shard at " +
+        std::to_string(shard_seq_[k]));
+  replicas_[k] = replica;
+}
+
+void BrokerFleet::detach_replica(std::size_t k) { replicas_[k] = nullptr; }
+
+void BrokerFleet::kill_shard(std::size_t k) {
+  if (shards_[k] == nullptr)
+    throw std::logic_error("BrokerFleet::kill_shard: shard " +
+                           std::to_string(k) + " is already down");
+  shards_[k].reset();
+  Inc(c_kills_);
+  update_gauges();
+}
+
+void BrokerFleet::promote(std::size_t k, ShardReplica&& standby,
+                          std::span<const JournalRecord> journal_tail) {
+  if (shards_[k] != nullptr)
+    throw std::logic_error("BrokerFleet::promote: shard " + std::to_string(k) +
+                           " is still alive");
+  if (standby.shard() != static_cast<int>(k))
+    throw std::invalid_argument(
+        "BrokerFleet::promote: standby follows shard " +
+        std::to_string(standby.shard()) + ", not " + std::to_string(k));
+  // The standby is consumed from here on — even a crash mid-handoff leaves
+  // it partially advanced, so it must not stay attached as a follower.
+  replicas_[k] = nullptr;
+  FailPoints& fp = FailPoints::Instance();
+  const auto handoff_gate = [&fp] {
+    if (fp.active() &&
+        fp.eval("promote.journal_handoff").action != FailAction::kOff)
+      throw InjectedCrash("promote.journal_handoff");
+  };
+  // The handoff window: replay the durable journal tail into the standby.
+  // The gate sits before each step so a chaos schedule can kill the
+  // promotion at any record boundary (^SKIP picks the boundary).
+  handoff_gate();
+  for (const JournalRecord& rec : journal_tail) {
+    handoff_gate();
+    standby.apply(rec);  // records at or below the standby's seq are no-ops
+  }
+  std::unique_ptr<Broker> broker = std::move(standby).take();
+  if (broker->seq() != shard_seq_[k])
+    throw std::runtime_error(
+        "BrokerFleet::promote: standby reached seq " +
+        std::to_string(broker->seq()) + " but shard " + std::to_string(k) +
+        " requires " + std::to_string(shard_seq_[k]) +
+        " (promotion would desync the fleet)");
+  // Journal handoff: the promoted broker appends to the shard's existing
+  // journal stream, headerless, exactly where the dead primary stopped.
+  if (shard_journal_os_[k] != nullptr)
+    broker->set_journal(shard_journal_os_[k], /*write_header=*/false);
+  install_shard(k, std::move(broker));
+  Inc(c_promotions_);
+  update_gauges();
+}
+
+void BrokerFleet::recover_shard(std::size_t k, const BrokerSnapshot& snapshot,
+                                std::span<const JournalRecord> journal) {
+  if (shards_[k] != nullptr)
+    throw std::logic_error("BrokerFleet::recover_shard: shard " +
+                           std::to_string(k) + " is still alive");
+  std::vector<JournalRecord> recs;
+  for (const JournalRecord& rec : journal)
+    if (rec.seq <= shard_seq_[k]) recs.push_back(rec);
+  std::unique_ptr<Broker> broker = Broker::Recover(
+      snapshot, recs, *pub_, *network_, shard_options(), clock_);
+  if (broker->seq() != shard_seq_[k])
+    throw std::runtime_error(
+        "BrokerFleet::recover_shard: shard " + std::to_string(k) +
+        " recovered to seq " + std::to_string(broker->seq()) +
+        ", fleet requires " + std::to_string(shard_seq_[k]));
+  if (shard_journal_os_[k] != nullptr)
+    broker->set_journal(shard_journal_os_[k], /*write_header=*/false);
+  update_buffer_[k].clear();
+  for (const JournalRecord& rec : recs)
+    if (rec.seq > broker->snapshot().seq) update_buffer_[k].push_back(rec);
+  install_shard(k, std::move(broker));
+  Inc(c_recoveries_);
+  update_gauges();
+}
+
+// -------------------------------------------------------------- plumbing
+
+void BrokerFleet::prune_buffers() {
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    if (shards_[k] == nullptr) continue;
+    const std::uint64_t floor = shards_[k]->snapshot().seq;
+    std::vector<JournalRecord>& buf = update_buffer_[k];
+    if (buf.empty() || buf.front().seq > floor) continue;
+    auto it = buf.begin();
+    while (it != buf.end() && it->seq <= floor) ++it;
+    buf.erase(buf.begin(), it);
+  }
+}
+
+void BrokerFleet::update_gauges() {
+  Set(g_shards_, static_cast<double>(shards_.size()));
+  Set(g_seq_, static_cast<double>(seq_));
+  Set(g_live_, static_cast<double>(live_count_));
+  Set(g_stalled_, pending_active_ ? 1.0 : 0.0);
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    Set(g_shard_seq_[k], static_cast<double>(shard_seq_[k]));
+    Set(g_shard_subs_[k], static_cast<double>(local_to_global_[k].size()));
+    Set(g_shard_up_[k], shards_[k] != nullptr ? 1.0 : 0.0);
+    Set(g_shard_degraded_[k],
+        shards_[k] != nullptr && shards_[k]->degraded() ? 1.0 : 0.0);
+  }
+}
+
+// ----------------------------------------------------------- FleetOracle
+
+FleetOracle::FleetOracle(Workload initial, const PublicationModel& pub,
+                         const Graph& network, const BrokerOptions& options,
+                         Clock* clock)
+    : broker_(std::move(initial), pub, network, options, clock) {}
+
+void FleetOracle::apply(const JournalRecord& rec) {
+  const bool is_publish = rec.cmd.type == BrokerCommandType::kPublish;
+  const PublishOutcome out = broker_.apply_with_outcome(rec);
+  if (is_publish) {
+    chain_ = FleetChainFold(chain_, rec.seq, out.interested_set);
+    last_ = out.interested_set;
+  }
+}
+
+std::uint64_t FleetOracle::state_digest() const {
+  return FleetStateDigest(broker_.seq(), broker_.workload(), chain_);
+}
+
+}  // namespace pubsub

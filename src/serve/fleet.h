@@ -1,0 +1,343 @@
+// Sharded broker fleet (serve-daemon tentpole).
+//
+// One sequenced Broker caps matching throughput at a single core; the
+// fleet hosts N of them, each owning a deterministic partition of the
+// subscription space, behind the same sequenced command API.  Partition
+// rule: a subscriber's *global* id hashes to its home shard
+// (FleetShardOf, a stable splitmix64 mix — no reassignment as the fleet
+// grows its population), and the shard stores it under a dense *local* id.
+// Churn routes to the home shard; publishes fan out to every shard and the
+// per-shard interested sets are merged by the same word-level counting
+// sort the broker itself uses, so the merged set — and everything decided
+// from it — depends only on the subscription state, not on shard count or
+// fan-out scheduling.
+//
+// Determinism contract (pinned by tests/test_fleet.cc): at any shard
+// count, the fleet's state digest is bit-identical to FleetOracle — a
+// single broker driven by the same command stream — at every sequence
+// number.  The digest covers the fleet seq, the logical subscription table
+// (mirrored with GroupManager's exact mutation semantics: append,
+// raw-interest update, empty-rect tombstone) and a rolling match chain
+// folding every publish's merged interested set.  Per-shard clustering and
+// queue state are deliberately outside the digest: they depend on how the
+// population is split (each shard clusters its own partition), which is
+// the point of sharding, not a divergence.
+//
+// Durability is the clone pattern applied twice (DESIGN.md §11):
+//   * each shard is an ordinary durable Broker — refresh-boundary snapshot
+//     + its own write-ahead journal of re-stamped local records;
+//   * the fleet itself journals the global command stream and checkpoints
+//     a FleetManifest (fleet seq, match chain, per-shard seq and
+//     local→global maps); manifest + shard snapshots + shard journals
+//     rebuild the fleet, and the fleet journal tail replays forward.
+// A late joiner bootstraps from state_reply() — the shard's snapshot plus
+// the records buffered since it — and is promoted into a live shard on
+// failure (serve/catchup.h; the promote.journal_handoff fail point covers
+// a standby crash mid-promotion).
+//
+// Degraded mode composes: when a shard's journal loses durability
+// mid-record, the fleet *stalls* — the record is pending, no sequence
+// number advances, and heal() (driven by the serve loop's heal-probe
+// timer) finishes it on every shard before the stream continues.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "broker/broker.h"
+#include "io/serialize.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "workload/types.h"
+
+namespace pubsub {
+
+class ShardReplica;  // serve/catchup.h
+
+// A mutation arrived while the fleet is stalled on a degraded shard, or a
+// shard entered degraded mode mid-record.  The pending record completes
+// through heal(); nothing is lost and no seq was consumed.
+class FleetDegradedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct FleetOptions {
+  std::size_t num_shards = 1;
+  // Per-shard broker options.  obs.metrics is ignored: every shard owns a
+  // private registry so counters from N shards never sum into one name.
+  BrokerOptions broker;
+  // Fleet-level registry (fan-out metrics, per-shard gauges); nullptr =
+  // fleet-owned.  Must outlive the fleet when supplied.
+  MetricsRegistry* metrics = nullptr;
+  // Clock for the fan-out latency histogram (a measurement, not state);
+  // nullptr = owned StopwatchClock.
+  Clock* trace_clock = nullptr;
+};
+
+// Per-publish outcome at the fleet level.  `interested` aliases the
+// fleet's merge buffer and stays valid until the next fleet command.
+struct FleetPublishOutcome {
+  std::uint64_t seq = 0;
+  std::span<const SubscriberId> interested;  // merged global ids, ascending
+  std::size_t shards_matched = 0;  // shards contributing >= 1 subscriber
+  bool refreshed = false;          // any shard re-clustered on this command
+};
+
+// Clone-pattern state transfer for one shard: the shard's refresh-boundary
+// snapshot plus every shard-local record applied since it.  A ShardReplica
+// built from this is at the shard's exact current seq.
+struct FleetStateReply {
+  int shard = -1;
+  BrokerSnapshot snapshot;
+  std::vector<JournalRecord> updates;  // shard-seq records > snapshot.seq
+};
+
+// Durable fleet checkpoint: the manifest plus one refresh-boundary
+// snapshot per shard (see io/serialize.h for the file naming).
+struct FleetCheckpoint {
+  FleetManifest manifest;
+  std::vector<BrokerSnapshot> shard_snapshots;
+};
+
+// Home shard of a global subscriber id: splitmix64(id) mod num_shards.
+// Stable in the id (growing the population never remaps existing
+// subscribers) and independent of churn history.
+std::size_t FleetShardOf(SubscriberId global_id, std::size_t num_shards);
+
+// Rolling digest of merged interested sets: chain' = fold(chain, seq,
+// ids).  Folding every publish makes the fleet digest sensitive to every
+// match decision without storing any of them.
+std::uint64_t FleetChainFold(std::uint64_t chain, std::uint64_t seq,
+                             std::span<const SubscriberId> interested);
+
+// The shard-count-invariant fleet digest: FNV-1a over the fleet seq, the
+// match chain and the logical subscription table.  Equal digests at equal
+// seq mean identical future match decisions at any shard count.
+std::uint64_t FleetStateDigest(std::uint64_t seq, const Workload& logical,
+                               std::uint64_t match_chain);
+
+class BrokerFleet {
+ public:
+  // Fresh fleet: partitions `initial` by FleetShardOf and cold-starts one
+  // broker per shard.  `pub` / `network` / `clock` (optional; defaults to
+  // an owned ManualClock at 0) must outlive the fleet.
+  BrokerFleet(Workload initial, const PublicationModel& pub,
+              const Graph& network, const FleetOptions& options = {},
+              ManualClock* clock = nullptr);
+  ~BrokerFleet();
+
+  // Recovery: rebuild every shard from its snapshot + journal (truncated
+  // to the manifest's per-shard seq), re-derive the logical table from the
+  // manifest's local→global maps, and resume at the manifest's fleet seq.
+  // The caller replays the fleet journal tail through apply() afterwards —
+  // with sinks attached, so the replay regenerates the same durable bytes.
+  static std::unique_ptr<BrokerFleet> Recover(
+      const FleetManifest& manifest,
+      std::span<const BrokerSnapshot> shard_snapshots,
+      const std::vector<std::vector<JournalRecord>>& shard_journals,
+      const PublicationModel& pub, const Graph& network,
+      const FleetOptions& options = {}, ManualClock* clock = nullptr);
+
+  // --- command API (stamps the fleet clock, like Broker's) --------------
+  SubscriberId subscribe(NodeId node, const Rect& interest);
+  void unsubscribe(SubscriberId global_id);
+  void update(SubscriberId global_id, const Rect& interest);
+  FleetPublishOutcome publish(NodeId origin, const Point& event);
+
+  // Apply an already-sequenced *fleet* record (global ids, fleet seq):
+  // must carry seq() + 1.  Write-ahead to the fleet journal, then routed /
+  // fanned out to the shards as re-stamped local records.  Throws
+  // FleetDegradedError when a shard degrades mid-record (the record is
+  // then pending; call heal()), std::logic_error while a shard is down.
+  FleetPublishOutcome apply(const JournalRecord& rec);
+
+  // --- degraded-shard supervision ---------------------------------------
+  // True while a record is pending on at least one degraded shard; every
+  // further mutation is rejected until heal() completes it.
+  bool stalled() const { return pending_active_; }
+  // Heal probe (the serve loop runs this on a timer): Broker::heal_probe()
+  // on every degraded shard, completing the pending record on each that
+  // recovers.  Returns true once no shard is degraded and no record is
+  // pending — the fleet accepts mutations again.
+  bool heal();
+
+  // --- state ------------------------------------------------------------
+  std::uint64_t seq() const { return seq_; }
+  std::size_t num_shards() const { return shards_.size(); }
+  bool shard_alive(std::size_t k) const { return shards_[k] != nullptr; }
+  // The live shard broker (throws std::logic_error while it is down).
+  const Broker& shard(std::size_t k) const;
+  std::uint64_t shard_seq(std::size_t k) const { return shard_seq_[k]; }
+  // The logical (global) subscription table: byte-identical to the table a
+  // single broker fed the same stream would hold.
+  const Workload& workload() const { return logical_; }
+  std::size_t live_subscribers() const { return live_count_; }
+  std::uint64_t match_chain() const { return match_chain_; }
+  std::uint64_t state_digest() const;
+  // Merged exact interested set (global ids, sorted): the cold read path,
+  // served shard-by-shard even while stalled.
+  std::vector<SubscriberId> interested(const Point& event) const;
+
+  // --- durability plumbing ----------------------------------------------
+  // Fleet-level journal of the global command stream (same file format as
+  // the broker journal).  Plain stream, no fail-point wrapping: the
+  // per-shard WALs are the durability seams under test; this is the
+  // routing log recovery replays forward.
+  void set_fleet_journal(std::ostream* sink, bool write_header = true);
+  // Shard k's write-ahead journal (re-stamped local records).  The fleet
+  // remembers the stream and re-attaches it to a promoted or recovered
+  // broker — the journal handoff.
+  void set_shard_journal(std::size_t k, std::ostream* sink,
+                         bool write_header = true);
+  FleetCheckpoint checkpoint() const;
+
+  // --- clone pattern / failover (serve/catchup.h drives these) ----------
+  // Snapshot + buffered updates for a late joiner of shard k.
+  FleetStateReply state_reply(std::size_t k) const;
+  // Stream every future shard-k record to `replica` (nullptr detaches).
+  // The fleet does not own it; a replica that throws InjectedCrash while
+  // applying is dropped (counted) — the standby died, not the shard.
+  void attach_replica(std::size_t k, ShardReplica* replica);
+  void detach_replica(std::size_t k);
+  ShardReplica* replica(std::size_t k) const { return replicas_[k]; }
+  // Simulated primary death: the shard broker is discarded (its journal
+  // stream and the fleet's bookkeeping survive).  apply() throws until the
+  // shard is promoted into or recovered.
+  void kill_shard(std::size_t k);
+  // Failover: replay the durable journal tail into the standby (the
+  // promote.journal_handoff fail point covers this window), verify it
+  // reaches the shard's exact seq, re-attach the shard journal and install
+  // it as the live shard.  The standby is consumed.
+  void promote(std::size_t k, ShardReplica&& standby,
+               std::span<const JournalRecord> journal_tail);
+  // Cold failover path (no standby): Broker::Recover from the shard's
+  // snapshot + journal, verified to the shard's exact seq.
+  void recover_shard(std::size_t k, const BrokerSnapshot& snapshot,
+                     std::span<const JournalRecord> journal);
+
+  // --- telemetry --------------------------------------------------------
+  MetricsRegistry& metrics() const { return *metrics_; }
+
+ private:
+  struct RestoreTag {};
+  BrokerFleet(RestoreTag, const PublicationModel& pub, const Graph& network,
+              const FleetOptions& options, ManualClock* clock);
+
+  BrokerOptions shard_options() const;
+  void init_obs(std::size_t num_shards);
+  void install_shard(std::size_t k, std::unique_ptr<Broker> broker);
+  JournalRecord make_record(BrokerCommand cmd);
+  void validate(const JournalRecord& rec) const;
+  void journal_fleet_record(const JournalRecord& rec);
+  FleetPublishOutcome apply_sequenced(const JournalRecord& rec);
+  FleetPublishOutcome fan_out_publish(const JournalRecord& rec);
+  void route_churn(const JournalRecord& rec);
+  // Scatter a shard's local interested ids into the global merge words.
+  void scatter(std::size_t k, std::span<const SubscriberId> local_ids);
+  FleetPublishOutcome finish_publish(const JournalRecord& rec);
+  void finish_churn(const JournalRecord& rec);
+  void prune_buffers();
+  void update_gauges();
+
+  const PublicationModel* pub_;
+  const Graph* network_;
+  FleetOptions options_;
+  std::unique_ptr<ManualClock> owned_clock_;
+  ManualClock* clock_ = nullptr;
+
+  std::vector<std::unique_ptr<Broker>> shards_;
+  std::vector<std::uint64_t> shard_seq_;  // survives a shard kill
+  std::vector<std::ostream*> shard_journal_os_;  // for the journal handoff
+  std::vector<ShardReplica*> replicas_;
+  // Shard-local records since each shard's last refresh-boundary snapshot
+  // (the buffered half of state_reply; pruned as checkpoints advance).
+  std::vector<std::vector<JournalRecord>> update_buffer_;
+
+  // Logical (global) view: the id maps and the mirrored table.
+  Workload logical_;
+  std::vector<SubscriberId> global_to_local_;
+  std::vector<std::vector<SubscriberId>> local_to_global_;
+  std::vector<char> alive_;  // non-tombstoned globals (gauge bookkeeping)
+  std::size_t live_count_ = 0;
+
+  std::uint64_t seq_ = 0;
+  std::uint64_t match_chain_ = 0;
+
+  // Pending-record bookkeeping while stalled on a degraded shard (the
+  // matched/refreshed tallies accumulate across the stall and the heal).
+  bool pending_active_ = false;
+  JournalRecord pending_rec_;
+  std::vector<char> pending_applied_;
+  std::size_t pending_shards_matched_ = 0;
+  bool pending_refreshed_ = false;
+
+  // Fan-out + merge working memory, reused per publish.
+  std::vector<JournalRecord> fan_recs_;
+  std::vector<PublishOutcome> fan_outcomes_;
+  std::vector<std::exception_ptr> fan_errors_;
+  std::vector<std::uint64_t> words_;
+  std::size_t word_lo_ = 0, word_hi_ = 0;
+  std::vector<SubscriberId> merged_;
+  StringStream record_stream_;  // fleet journal serialization buffer
+
+  std::ostream* fleet_journal_ = nullptr;
+
+  // --- telemetry --------------------------------------------------------
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<StopwatchClock> owned_trace_clock_;
+  Clock* trace_clock_ = nullptr;
+  Counter* c_commands_ = nullptr;
+  Counter* c_publishes_ = nullptr;
+  Counter* c_churn_ = nullptr;
+  Counter* c_stalls_ = nullptr;
+  Counter* c_heals_ = nullptr;
+  Counter* c_kills_ = nullptr;
+  Counter* c_promotions_ = nullptr;
+  Counter* c_recoveries_ = nullptr;
+  Counter* c_replica_drops_ = nullptr;
+  Gauge* g_shards_ = nullptr;
+  Gauge* g_seq_ = nullptr;
+  Gauge* g_live_ = nullptr;
+  Gauge* g_stalled_ = nullptr;
+  Histogram* h_interested_ = nullptr;
+  Histogram* h_fanout_ms_ = nullptr;  // kRuntime wall time per fan-out
+  std::vector<Gauge*> g_shard_seq_;
+  std::vector<Gauge*> g_shard_subs_;
+  std::vector<Gauge*> g_shard_up_;
+  std::vector<Gauge*> g_shard_degraded_;
+};
+
+// The single-broker oracle the fleet is measured against: one Broker fed
+// the same global stream, folding each publish's interested set into the
+// same match chain.  FleetStateDigest(oracle) == FleetStateDigest(fleet)
+// at every seq, for every shard count — the tentpole invariant.
+class FleetOracle {
+ public:
+  FleetOracle(Workload initial, const PublicationModel& pub,
+              const Graph& network, const BrokerOptions& options = {},
+              Clock* clock = nullptr);
+
+  void apply(const JournalRecord& rec);
+
+  std::uint64_t seq() const { return broker_.seq(); }
+  std::uint64_t match_chain() const { return chain_; }
+  std::uint64_t state_digest() const;
+  const Broker& broker() const { return broker_; }
+  // The last publish's interested set (aliases broker scratch; valid until
+  // the next command) — tests compare it against the fleet's merged set.
+  std::span<const SubscriberId> last_interested() const { return last_; }
+
+ private:
+  Broker broker_;
+  std::uint64_t chain_ = 0;
+  std::span<const SubscriberId> last_;
+};
+
+}  // namespace pubsub

@@ -128,6 +128,29 @@ std::vector<CliCommand> BuildCommands() {
        } + BrokerFlags() + CommonFlags()});
 
   cmds.push_back(
+      {"serve",
+       "host a sharded broker fleet (clone-pattern fan-out) over the "
+       "trading-day trace, with heal probes and fleet checkpoints; exits 1 "
+       "on a stall or an oracle mismatch",
+       std::vector<CliFlag>{
+           {"net", "PATH", "network file (required)"},
+           {"workload", "PATH", "stock workload file (required)"},
+           {"shards", "N", "broker shards in the fleet (2)"},
+           {"events", "N", "trace length (2000)"},
+           {"seed", "N", "trace/churn seed (7)"},
+           {"churn-every", "K", "one churn command per K events (0 = none)"},
+           {"base", "PATH",
+            "durable artifact base: BASE.manifest, BASE.journal, "
+            "BASE.shard<k>.snap/.journal"},
+           {"snapshot-every", "N", "fleet checkpoint cadence in commands (500)"},
+           {"heal-every-ms", "MS", "heal-probe timer period, trace time (1000)"},
+           {"resume", "", "resume from the BASE checkpoint instead of fresh"},
+           {"oracle-check", "",
+            "replay a single-broker oracle and require a bit-identical digest"},
+           {"modes", "1|4|9", "stock-model publication hot spots (1)"},
+       } + BrokerFlags() + CommonFlags()});
+
+  cmds.push_back(
       {"recover",
        "rebuild a broker from snapshot + journal and print its report "
        "(drops a torn journal tail with a warning)",
@@ -159,6 +182,10 @@ std::vector<CliCommand> BuildCommands() {
            {"cycles", "N", "kill/recover cycles to force (200)"},
            {"chaos-seed", "N", "fault site/timing selection seed (1)"},
            {"snapshot-every", "N", "checkpoint cadence in commands (50)"},
+           {"promotions", "N",
+            "also run N fleet kill/promote cycles under "
+            "promote.journal_handoff (0 = skip)"},
+           {"shards", "N", "fleet shards for the promotion cycles (3)"},
            {"modes", "1|4|9", "stock-model publication hot spots (1)"},
        } + BrokerFlags() + CommonFlags()});
 

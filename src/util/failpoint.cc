@@ -207,6 +207,8 @@ const std::vector<FailPointSite>& FailPoints::KnownSites() {
        "crash before the WAL append (command lost entirely)"},
       {"journal.flush", "journal fsync: error = flush failure"},
       {"journal.write", "journal append: torn/short/crashed record write"},
+      {"promote.journal_handoff",
+       "crash while a promoted standby replays the durable journal tail"},
       {"recover.replay", "crash while replaying the journal tail"},
       {"replica.apply", "crash applying a streamed record on a standby"},
       {"snapshot.flush", "snapshot fsync: error = flush failure"},

@@ -1,0 +1,507 @@
+// Tests for the sharded broker fleet (src/serve): the tentpole invariant
+// — at any shard count the fleet digest is bit-identical to a
+// single-broker oracle at every sequence number — plus the clone-pattern
+// failover path (late-joiner catch-up, promotion, the
+// promote.journal_handoff fail point and the cold-recovery fallback),
+// checkpoint/recover round trips, degraded-shard stall/heal, and the
+// deterministic event loop that drives the serve daemon.
+#include "serve/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "broker/chaos.h"
+#include "io/serialize.h"
+#include "serve/catchup.h"
+#include "serve/event_loop.h"
+#include "sim/scenario.h"
+#include "util/failpoint.h"
+#include "util/thread_pool.h"
+
+namespace pubsub {
+namespace {
+
+BrokerOptions SmallBrokerOptions() {
+  BrokerOptions opts;
+  opts.group.num_groups = 8;
+  opts.group.max_cells = 300;
+  return opts;
+}
+
+FleetOptions SmallFleetOptions(std::size_t shards) {
+  FleetOptions opts;
+  opts.num_shards = shards;
+  opts.broker = SmallBrokerOptions();
+  return opts;
+}
+
+std::vector<JournalRecord> ParseJournal(const std::string& bytes) {
+  std::istringstream is(bytes);
+  return ReadJournalLenient(is).journal.records;
+}
+
+TEST(FleetPartition, StableHashRoutingCoversEveryShard) {
+  std::vector<std::size_t> histogram(5, 0);
+  for (SubscriberId id = 0; id < 1000; ++id) {
+    EXPECT_EQ(FleetShardOf(id, 1), 0u);
+    const std::size_t k = FleetShardOf(id, 5);
+    ASSERT_LT(k, 5u);
+    EXPECT_EQ(k, FleetShardOf(id, 5));  // stable: a pure function of the id
+    ++histogram[k];
+  }
+  // splitmix64 spreads sequential ids: no shard is starved or dominant.
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_GT(histogram[k], 100u) << "shard " << k << " starved";
+    EXPECT_LT(histogram[k], 350u) << "shard " << k << " dominant";
+  }
+}
+
+TEST(FleetPartition, ChainFoldIsSensitiveToSeqAndMembers) {
+  const std::vector<SubscriberId> a{1, 5, 9};
+  const std::vector<SubscriberId> b{1, 5, 10};
+  const std::uint64_t h = FleetChainFold(0, 3, a);
+  EXPECT_NE(h, FleetChainFold(0, 4, a));  // seq folds in
+  EXPECT_NE(h, FleetChainFold(0, 3, b));  // membership folds in
+  EXPECT_NE(h, FleetChainFold(1, 3, a));  // the chain itself folds in
+  EXPECT_EQ(h, FleetChainFold(0, 3, a));  // and it is a pure function
+}
+
+// The tentpole invariant: the fleet digest, match chain and every merged
+// interested set are bit-identical to the single-broker oracle at every
+// sequence number, for every shard count.
+void ExpectOracleParity(std::size_t shards) {
+  const Scenario sc = MakeStockScenario(60, PublicationHotSpots::kOne, 91);
+  const auto schedule = BuildChaosSchedule(sc.net, sc.workload, 120, 4, 7);
+
+  BrokerFleet fleet(sc.workload, *sc.pub, sc.net.graph,
+                    SmallFleetOptions(shards));
+  FleetOracle oracle(sc.workload, *sc.pub, sc.net.graph, SmallBrokerOptions());
+  for (const JournalRecord& rec : schedule) {
+    if (rec.cmd.type == BrokerCommandType::kPublish) {
+      const FleetPublishOutcome out = fleet.apply(rec);
+      oracle.apply(rec);
+      const auto want = oracle.last_interested();
+      ASSERT_TRUE(std::equal(out.interested.begin(), out.interested.end(),
+                             want.begin(), want.end()))
+          << "merged interested set diverged at seq " << rec.seq;
+      ASSERT_TRUE(std::is_sorted(out.interested.begin(), out.interested.end()));
+    } else {
+      fleet.apply(rec);
+      oracle.apply(rec);
+    }
+    ASSERT_EQ(fleet.seq(), oracle.seq());
+    ASSERT_EQ(fleet.match_chain(), oracle.match_chain()) << "seq " << rec.seq;
+    ASSERT_EQ(fleet.state_digest(), oracle.state_digest())
+        << "seq " << rec.seq;
+  }
+  EXPECT_EQ(fleet.seq(), schedule.size());
+  // The logical table mirrors the oracle's slot-for-slot (tombstones
+  // included; live_subscribers counts only the non-tombstoned ones).
+  EXPECT_EQ(fleet.workload().num_subscribers(),
+            oracle.broker().workload().num_subscribers());
+  EXPECT_LE(fleet.live_subscribers(), fleet.workload().num_subscribers());
+}
+
+TEST(Fleet, OracleParityOneShard) { ExpectOracleParity(1); }
+TEST(Fleet, OracleParityTwoShards) { ExpectOracleParity(2); }
+TEST(Fleet, OracleParityThreeShards) { ExpectOracleParity(3); }
+TEST(Fleet, OracleParityEightShards) { ExpectOracleParity(8); }
+
+// The cold read path serves the same merged set as the fan-out path.
+TEST(Fleet, ColdInterestedMatchesPublishOutcome) {
+  const Scenario sc = MakeStockScenario(50, PublicationHotSpots::kOne, 91);
+  const auto schedule = BuildChaosSchedule(sc.net, sc.workload, 40, 4, 7);
+  BrokerFleet fleet(sc.workload, *sc.pub, sc.net.graph, SmallFleetOptions(3));
+  for (const JournalRecord& rec : schedule) {
+    if (rec.cmd.type != BrokerCommandType::kPublish) {
+      fleet.apply(rec);
+      continue;
+    }
+    const std::vector<SubscriberId> cold = fleet.interested(rec.cmd.point);
+    const FleetPublishOutcome out = fleet.apply(rec);
+    ASSERT_TRUE(std::equal(out.interested.begin(), out.interested.end(),
+                           cold.begin(), cold.end()));
+  }
+}
+
+// Clone pattern, shard level: a late joiner bootstraps from
+// state_reply (snapshot-at-seq + buffered updates), follows the live
+// stream, and is promoted into the shard after a kill without desyncing
+// the fleet digest.
+TEST(FleetCatchup, LateJoinerStreamsAndPromotes) {
+  const Scenario sc = MakeStockScenario(60, PublicationHotSpots::kOne, 91);
+  const auto schedule = BuildChaosSchedule(sc.net, sc.workload, 150, 4, 7);
+  const BrokerOptions bopts = SmallBrokerOptions();
+
+  BrokerFleet fleet(sc.workload, *sc.pub, sc.net.graph, SmallFleetOptions(3));
+  std::vector<std::ostringstream> disks(3);
+  for (std::size_t k = 0; k < 3; ++k)
+    fleet.set_shard_journal(k, &disks[k]);
+  FleetOracle oracle(sc.workload, *sc.pub, sc.net.graph, bopts);
+
+  std::size_t i = 0;
+  for (; i < 60; ++i) {
+    fleet.apply(schedule[i]);
+    oracle.apply(schedule[i]);
+  }
+
+  // Late joiner for shard 1, mid-stream: state-request/state-reply lands
+  // it at the shard's exact seq.
+  const FleetStateReply reply = fleet.state_reply(1);
+  EXPECT_EQ(reply.shard, 1);
+  ShardReplica standby(reply, *sc.pub, sc.net.graph, bopts);
+  EXPECT_EQ(standby.shard(), 1);
+  ASSERT_EQ(standby.seq(), fleet.shard_seq(1));
+
+  fleet.attach_replica(1, &standby);
+  EXPECT_EQ(fleet.replica(1), &standby);
+  for (; i < 120; ++i) {
+    fleet.apply(schedule[i]);
+    oracle.apply(schedule[i]);
+  }
+  // The follower stayed in lock-step with the live stream.
+  ASSERT_EQ(standby.seq(), fleet.shard_seq(1));
+  EXPECT_EQ(standby.broker().state_digest(), fleet.shard(1).state_digest());
+
+  // Primary dies; the standby takes over through the journal handoff.
+  fleet.kill_shard(1);
+  EXPECT_FALSE(fleet.shard_alive(1));
+  EXPECT_THROW(fleet.shard(1), std::logic_error);
+  EXPECT_THROW(fleet.apply(schedule[i]), std::logic_error);
+
+  fleet.promote(1, std::move(standby), ParseJournal(disks[1].str()));
+  ASSERT_TRUE(fleet.shard_alive(1));
+  EXPECT_EQ(fleet.shard(1).seq(), fleet.shard_seq(1));
+
+  for (; i < schedule.size(); ++i) {
+    fleet.apply(schedule[i]);
+    oracle.apply(schedule[i]);
+  }
+  EXPECT_EQ(fleet.state_digest(), oracle.state_digest());
+}
+
+// A standby that never followed the live stream catches up purely from
+// the durable journal tail during promotion.
+TEST(FleetCatchup, ColdStandbyCatchesUpFromJournalTail) {
+  const Scenario sc = MakeStockScenario(50, PublicationHotSpots::kOne, 91);
+  const auto schedule = BuildChaosSchedule(sc.net, sc.workload, 100, 4, 7);
+  const BrokerOptions bopts = SmallBrokerOptions();
+
+  BrokerFleet fleet(sc.workload, *sc.pub, sc.net.graph, SmallFleetOptions(2));
+  std::vector<std::ostringstream> disks(2);
+  for (std::size_t k = 0; k < 2; ++k)
+    fleet.set_shard_journal(k, &disks[k]);
+  FleetOracle oracle(sc.workload, *sc.pub, sc.net.graph, bopts);
+
+  std::size_t i = 0;
+  for (; i < 50; ++i) {
+    fleet.apply(schedule[i]);
+    oracle.apply(schedule[i]);
+  }
+  ShardReplica standby(fleet.state_reply(0), *sc.pub, sc.net.graph, bopts);
+  const std::uint64_t standby_seq = standby.seq();
+
+  // The shard moves on without the standby: it is now behind.
+  for (; i < 80; ++i) {
+    fleet.apply(schedule[i]);
+    oracle.apply(schedule[i]);
+  }
+  ASSERT_EQ(standby.seq(), standby_seq);
+  ASSERT_LT(standby.seq(), fleet.shard_seq(0));
+
+  fleet.kill_shard(0);
+  fleet.promote(0, std::move(standby), ParseJournal(disks[0].str()));
+  ASSERT_EQ(fleet.shard(0).seq(), fleet.shard_seq(0));
+
+  for (; i < schedule.size(); ++i) {
+    fleet.apply(schedule[i]);
+    oracle.apply(schedule[i]);
+  }
+  EXPECT_EQ(fleet.state_digest(), oracle.state_digest());
+}
+
+// The promote.journal_handoff fail point kills the standby mid-handoff;
+// the cold snapshot+journal fallback still restores the shard and the
+// fleet digest never desyncs.
+TEST(FleetChaos, HandoffCrashFallsBackToColdRecovery) {
+  const Scenario sc = MakeStockScenario(50, PublicationHotSpots::kOne, 91);
+  const auto schedule = BuildChaosSchedule(sc.net, sc.workload, 100, 4, 7);
+  const BrokerOptions bopts = SmallBrokerOptions();
+
+  BrokerFleet fleet(sc.workload, *sc.pub, sc.net.graph, SmallFleetOptions(3));
+  std::vector<std::ostringstream> disks(3);
+  for (std::size_t k = 0; k < 3; ++k)
+    fleet.set_shard_journal(k, &disks[k]);
+  FleetOracle oracle(sc.workload, *sc.pub, sc.net.graph, bopts);
+
+  std::size_t i = 0;
+  for (; i < 70; ++i) {
+    fleet.apply(schedule[i]);
+    oracle.apply(schedule[i]);
+  }
+  const FleetCheckpoint cp = fleet.checkpoint();
+
+  ShardReplica standby(fleet.state_reply(2), *sc.pub, sc.net.graph, bopts);
+  fleet.kill_shard(2);
+  const std::vector<JournalRecord> tail = ParseJournal(disks[2].str());
+
+  FailPoints::Instance().clear();
+  FailPoints::Instance().configure("promote.journal_handoff=crash*1");
+  EXPECT_THROW(fleet.promote(2, std::move(standby), tail), InjectedCrash);
+  FailPoints::Instance().clear();
+  EXPECT_FALSE(fleet.shard_alive(2));  // the standby died, the shard stayed down
+
+  fleet.recover_shard(2, cp.shard_snapshots[2], tail);
+  ASSERT_TRUE(fleet.shard_alive(2));
+  ASSERT_EQ(fleet.shard(2).seq(), fleet.shard_seq(2));
+
+  for (; i < schedule.size(); ++i) {
+    fleet.apply(schedule[i]);
+    oracle.apply(schedule[i]);
+  }
+  EXPECT_EQ(fleet.state_digest(), oracle.state_digest());
+}
+
+// The scripted adversary: seeded kill/promote cycles with the fail point
+// armed on some handoffs, checked against the oracle after every cycle.
+TEST(FleetChaos, PromotionCyclesStayBitIdentical) {
+  PromotionChaosOptions opts;
+  opts.num_shards = 3;
+  opts.num_events = 200;
+  opts.churn_every = 4;
+  opts.cycles = 18;
+  opts.snapshot_every = 40;
+  opts.broker = SmallBrokerOptions();
+
+  const Scenario sc = MakeStockScenario(50, PublicationHotSpots::kOne, 61);
+  const PromotionChaosReport r =
+      RunPromotionChaos(sc.net, sc.workload, *sc.pub, opts);
+
+  EXPECT_EQ(r.cycles, 18u);
+  EXPECT_GT(r.standbys_built, 0u);
+  EXPECT_GT(r.promotions, 0u);
+  EXPECT_GE(r.handoff_crashes, 1u);  // the fail point actually fired
+  EXPECT_EQ(r.shard_recoveries, r.handoff_crashes);
+  EXPECT_GT(r.digest_checks, 0u);
+  EXPECT_EQ(r.digest_mismatches, 0u);
+  EXPECT_EQ(r.final_seq, r.commands);
+  EXPECT_TRUE(r.digests_match);
+  EXPECT_TRUE(r.ok());
+  // The harness disarms the global registry behind itself.
+  EXPECT_FALSE(FailPoints::Instance().active());
+
+  const std::string report = FormatPromotionChaosReport(r);
+  EXPECT_NE(report.find("PASS"), std::string::npos);
+}
+
+// Clone pattern, fleet level: manifest + shard snapshots + shard journals
+// rebuild the fleet, and replaying the fleet journal tail lands it
+// bit-identical to the fleet that never restarted.
+TEST(FleetRecover, CheckpointRoundTripResumesBitIdentical) {
+  const Scenario sc = MakeStockScenario(60, PublicationHotSpots::kOne, 91);
+  const auto schedule = BuildChaosSchedule(sc.net, sc.workload, 140, 4, 7);
+  const FleetOptions fopts = SmallFleetOptions(3);
+
+  BrokerFleet fleet(sc.workload, *sc.pub, sc.net.graph, fopts);
+  std::ostringstream fleet_disk;
+  fleet.set_fleet_journal(&fleet_disk);
+  std::vector<std::ostringstream> disks(3);
+  for (std::size_t k = 0; k < 3; ++k)
+    fleet.set_shard_journal(k, &disks[k]);
+
+  for (std::size_t i = 0; i < 100; ++i) fleet.apply(schedule[i]);
+  const FleetCheckpoint cp = fleet.checkpoint();
+  ASSERT_EQ(cp.manifest.seq, 100u);
+  ASSERT_EQ(cp.manifest.shards.size(), 3u);
+
+  // The manifest survives serialization byte-exactly.
+  std::ostringstream ms;
+  WriteFleetManifest(ms, cp.manifest);
+  std::istringstream mi(ms.str());
+  const FleetManifest manifest = ReadFleetManifest(mi);
+  ASSERT_EQ(manifest.seq, cp.manifest.seq);
+  ASSERT_EQ(manifest.match_chain, cp.manifest.match_chain);
+  ASSERT_EQ(manifest.shards.size(), cp.manifest.shards.size());
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(manifest.shards[k].seq, cp.manifest.shards[k].seq);
+    EXPECT_EQ(manifest.shards[k].global_ids, cp.manifest.shards[k].global_ids);
+  }
+
+  // The live fleet keeps going past the checkpoint...
+  for (std::size_t i = 100; i < schedule.size(); ++i) fleet.apply(schedule[i]);
+
+  // ...and the recovered fleet catches up through the fleet journal tail.
+  std::vector<std::vector<JournalRecord>> shard_journals;
+  shard_journals.reserve(3);
+  for (std::size_t k = 0; k < 3; ++k)
+    shard_journals.push_back(ParseJournal(disks[k].str()));
+  auto resumed = BrokerFleet::Recover(manifest, cp.shard_snapshots,
+                                      shard_journals, *sc.pub, sc.net.graph,
+                                      fopts);
+  ASSERT_EQ(resumed->seq(), 100u);
+  ASSERT_EQ(resumed->state_digest(),
+            FleetStateDigest(100, resumed->workload(), manifest.match_chain));
+
+  for (const JournalRecord& rec : ParseJournal(fleet_disk.str()))
+    if (rec.seq > manifest.seq) resumed->apply(rec);
+
+  EXPECT_EQ(resumed->seq(), fleet.seq());
+  EXPECT_EQ(resumed->match_chain(), fleet.match_chain());
+  EXPECT_EQ(resumed->state_digest(), fleet.state_digest());
+  EXPECT_EQ(resumed->live_subscribers(), fleet.live_subscribers());
+}
+
+// A checkpoint taken while stalled would double-apply the pending record
+// on replay; the fleet refuses to take one.
+TEST(FleetRecover, CheckpointWhileStalledThrows) {
+  const Scenario sc = MakeStockScenario(40, PublicationHotSpots::kOne, 91);
+  const auto schedule = BuildChaosSchedule(sc.net, sc.workload, 40, 4, 7);
+  BrokerFleet fleet(sc.workload, *sc.pub, sc.net.graph, SmallFleetOptions(2));
+  std::vector<std::ostringstream> disks(2);
+  for (std::size_t k = 0; k < 2; ++k)
+    fleet.set_shard_journal(k, &disks[k]);
+
+  for (std::size_t i = 0; i < 20; ++i) fleet.apply(schedule[i]);
+
+  FailPoints::Instance().clear();
+  FailPoints::Instance().configure("journal.flush=error*12");
+  std::size_t i = 20;
+  bool stalled = false;
+  for (; i < schedule.size() && !stalled; ++i) {
+    try {
+      fleet.apply(schedule[i]);
+    } catch (const FleetDegradedError&) {
+      stalled = true;
+    }
+  }
+  FailPoints::Instance().clear();
+  ASSERT_TRUE(stalled);
+  EXPECT_THROW(fleet.checkpoint(), std::logic_error);
+  ASSERT_TRUE(fleet.heal());
+  const FleetCheckpoint cp = fleet.checkpoint();  // healthy again
+  EXPECT_EQ(cp.manifest.seq, fleet.seq());
+}
+
+// Degraded-shard stall and heal: the record left pending on the degraded
+// shard completes through heal() and the stream continues with no digest
+// divergence — degraded read-only mode is not terminal for the fleet.
+TEST(FleetHeal, StallThenHealMatchesOracle) {
+  const Scenario sc = MakeStockScenario(50, PublicationHotSpots::kOne, 91);
+  const auto schedule = BuildChaosSchedule(sc.net, sc.workload, 80, 4, 7);
+  BrokerFleet fleet(sc.workload, *sc.pub, sc.net.graph, SmallFleetOptions(2));
+  std::vector<std::ostringstream> disks(2);
+  for (std::size_t k = 0; k < 2; ++k)
+    fleet.set_shard_journal(k, &disks[k]);
+
+  std::size_t i = 0;
+  for (; i < 40; ++i) fleet.apply(schedule[i]);
+
+  FailPoints::Instance().clear();
+  FailPoints::Instance().configure("journal.flush=error*12");
+  bool stalled = false;
+  std::size_t stalled_at = 0;
+  for (; i < schedule.size() && !stalled; ++i) {
+    try {
+      fleet.apply(schedule[i]);
+    } catch (const FleetDegradedError&) {
+      stalled = true;
+      stalled_at = i;  // pending inside the fleet; do not re-apply
+    }
+  }
+  ASSERT_TRUE(stalled);
+  EXPECT_TRUE(fleet.stalled());
+  const std::uint64_t seq_before = fleet.seq();
+  EXPECT_EQ(seq_before, schedule[stalled_at].seq - 1);  // no seq consumed
+
+  // Every further mutation is rejected while stalled; cold reads survive.
+  EXPECT_THROW(fleet.apply(schedule[i]), FleetDegradedError);
+  for (std::size_t k = stalled_at; k < schedule.size(); ++k)
+    if (schedule[k].cmd.type == BrokerCommandType::kPublish) {
+      fleet.interested(schedule[k].cmd.point);
+      break;
+    }
+
+  // Fault cleared: the heal probe completes the pending record.
+  FailPoints::Instance().clear();
+  ASSERT_TRUE(fleet.heal());
+  EXPECT_FALSE(fleet.stalled());
+  EXPECT_EQ(fleet.seq(), seq_before + 1);
+
+  for (; i < schedule.size(); ++i) fleet.apply(schedule[i]);
+
+  // The oracle never saw the fault; the digests still agree.
+  FleetOracle oracle(sc.workload, *sc.pub, sc.net.graph, SmallBrokerOptions());
+  for (const JournalRecord& rec : schedule) oracle.apply(rec);
+  EXPECT_EQ(fleet.seq(), oracle.seq());
+  EXPECT_EQ(fleet.state_digest(), oracle.state_digest());
+}
+
+// The fleet digest is invariant to the worker thread count: the fan-out
+// runs on the pool, the merge is a counting sort, and nothing ordered
+// leaks from scheduling.
+TEST(FleetDeterminism, ThreadCountInvariantDigest) {
+  const Scenario sc = MakeStockScenario(50, PublicationHotSpots::kOne, 91);
+  const auto schedule = BuildChaosSchedule(sc.net, sc.workload, 60, 4, 7);
+  const auto digest_with = [&](std::size_t shards, int threads) {
+    ThreadPool::global().set_num_threads(threads);
+    BrokerFleet fleet(sc.workload, *sc.pub, sc.net.graph,
+                      SmallFleetOptions(shards));
+    for (const JournalRecord& rec : schedule) fleet.apply(rec);
+    return fleet.state_digest();
+  };
+  const std::uint64_t base = digest_with(1, 1);
+  EXPECT_EQ(digest_with(3, 1), base);
+  EXPECT_EQ(digest_with(3, 4), base);
+  EXPECT_EQ(digest_with(8, 4), base);
+  ThreadPool::global().set_num_threads(1);
+}
+
+// The serve daemon's deterministic event loop: (due, insertion order)
+// execution, periodic re-arming, and one-shots alone keeping it alive.
+TEST(FleetEventLoop, OrdersTasksByDueTimeThenScheduleOrder) {
+  ManualClock clock;
+  EventLoop loop(&clock);
+  std::vector<std::string> log;
+  const auto mark = [&](const std::string& tag) {
+    log.push_back(tag + "@" + std::to_string(static_cast<int>(loop.now_ms())));
+  };
+  loop.every(5, 5, [&] { mark("p"); });
+  loop.at(12, [&] { mark("a"); });
+  loop.at(5, [&] { mark("b"); });
+  loop.at(5, [&] { mark("c"); });
+  loop.run();
+  // The periodic was scheduled first, so it leads the 5ms tie; its re-armed
+  // firing at 10 rides between the one-shots; run() ends after the last
+  // one-shot — the 15ms firing never happens.
+  const std::vector<std::string> want{"p@5", "b@5", "c@5", "p@10", "a@12"};
+  EXPECT_EQ(log, want);
+  EXPECT_EQ(clock.now_ms(), 12.0);
+}
+
+TEST(FleetEventLoop, PastDueTasksRunAtCurrentTimeAndStopHalts) {
+  ManualClock clock;
+  clock.advance_to(50.0);
+  EventLoop loop(&clock);
+  std::vector<double> at;
+  loop.at(10, [&] { at.push_back(loop.now_ms()); });  // already in the past
+  loop.at(60, [&] {
+    at.push_back(loop.now_ms());
+    loop.stop();
+  });
+  loop.at(70, [&] { at.push_back(loop.now_ms()); });  // never runs
+  loop.run();
+  const std::vector<double> want{50.0, 60.0};
+  EXPECT_EQ(at, want);
+  EXPECT_TRUE(loop.stopped());
+
+  EXPECT_THROW(loop.every(5, 0, [] {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pubsub

@@ -20,6 +20,7 @@
 // journal tails and fsync failures (--failpoints arms the same faults on
 // any command; see docs/OPERATIONS.md).
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -29,6 +30,9 @@
 
 #include "broker/broker.h"
 #include "broker/chaos.h"
+#include "serve/catchup.h"
+#include "serve/event_loop.h"
+#include "serve/fleet.h"
 #include "core/algorithms.h"
 #include "core/grid.h"
 #include "core/matching.h"
@@ -423,6 +427,297 @@ int ServeReplay(const Flags& flags) {
   return 0;
 }
 
+// --- fleet serve daemon ---------------------------------------------------
+
+MetricsSnapshot ScrapeFleet(const BrokerFleet& fleet, const Flags& flags) {
+  const bool runtime_too = !flags.get_bool("metrics-deterministic-only", false);
+  MetricsSnapshot snap = fleet.metrics().scrape(runtime_too);
+  snap.merge(MetricsRegistry::Default().scrape(runtime_too));
+  return snap;
+}
+
+void WriteFleetMetricsOutputs(const BrokerFleet& fleet, const Flags& flags) {
+  const std::string text_path = flags.get("metrics-out", "");
+  const std::string json_path = flags.get("metrics-json", "");
+  if (text_path.empty() && json_path.empty()) return;
+  const MetricsSnapshot snap = ScrapeFleet(fleet, flags);
+  if (!text_path.empty()) {
+    std::ostringstream os;
+    WriteMetricsText(os, snap);
+    SaveToFile(text_path, os.str());
+  }
+  if (!json_path.empty()) {
+    std::ostringstream os;
+    WriteMetricsJson(os, snap);
+    SaveToFile(json_path, os.str());
+  }
+}
+
+void PrintFleetReport(const BrokerFleet& fleet) {
+  std::printf("fleet shards      %zu\n", fleet.num_shards());
+  for (std::size_t k = 0; k < fleet.num_shards(); ++k) {
+    if (!fleet.shard_alive(k)) {
+      std::printf("  shard %zu         down (seq %llu)\n", k,
+                  (unsigned long long)fleet.shard_seq(k));
+      continue;
+    }
+    const Broker& b = fleet.shard(k);
+    std::printf("  shard %zu         seq %llu, %zu subscribers%s\n", k,
+                (unsigned long long)fleet.shard_seq(k),
+                b.workload().num_subscribers(),
+                b.degraded() ? ", degraded" : "");
+  }
+  std::printf("live subscribers  %zu\n", fleet.live_subscribers());
+  std::printf("final fleet seq   %llu\n", (unsigned long long)fleet.seq());
+  std::printf("match chain       %016llx\n",
+              (unsigned long long)fleet.match_chain());
+  std::printf("fleet digest      %016llx\n",
+              (unsigned long long)fleet.state_digest());
+}
+
+// Host a sharded BrokerFleet over the trading-day trace on the
+// deterministic event loop: trace commands fire at their recorded
+// timestamps, a heal-probe timer keeps degraded shards from being
+// terminal, and --base makes the run durable (manifest + per-shard
+// snapshots + fleet and shard journals).  --resume rebuilds the fleet
+// from those artifacts and picks the trace up where it left off;
+// --oracle-check replays a single-broker oracle and requires a
+// bit-identical fleet digest (the tentpole invariant, DESIGN.md §11).
+int Serve(const Flags& flags) {
+  flags.require_known(CliFlagNames("serve"));
+  const std::string net_path = flags.get("net", "");
+  const std::string wl_path = flags.get("workload", "");
+  if (net_path.empty() || wl_path.empty())
+    Usage("serve requires --net and --workload");
+  std::istringstream net_is(LoadFromFile(net_path));
+  const TransitStubNetwork net = ReadTransitStub(net_is);
+  std::istringstream wl_is(LoadFromFile(wl_path));
+  const Workload wl = ReadWorkload(wl_is);
+  if (IsSection3Space(wl.space))
+    Usage("serve drives a stock trace; --workload must be a stock workload "
+          "(gen-workload --model=stock)");
+
+  const auto model = ModelFor(net, wl, flags);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto num_events =
+      static_cast<std::size_t>(flags.get_int("events", 2000));
+  const auto churn_every =
+      static_cast<std::size_t>(flags.get_int("churn-every", 0));
+  const std::string base = flags.get("base", "");
+  const auto snapshot_every =
+      static_cast<std::uint64_t>(flags.get_int("snapshot-every", 500));
+  const double heal_every = flags.get_double("heal-every-ms", 1000.0);
+  const bool resume = flags.get_bool("resume", false);
+  const bool oracle_check = flags.get_bool("oracle-check", false);
+  if (resume && base.empty()) Usage("--resume requires --base");
+  if (heal_every <= 0.0) Usage("--heal-every-ms must be positive");
+
+  const std::vector<JournalRecord> schedule =
+      BuildChaosSchedule(net, wl, num_events, churn_every, seed);
+  const std::size_t dims = wl.space.dims();
+
+  FleetOptions fopts;
+  fopts.num_shards = static_cast<std::size_t>(flags.get_int("shards", 2));
+  if (fopts.num_shards == 0) Usage("--shards must be >= 1");
+  fopts.broker = BrokerOptionsFromFlags(flags);
+
+  ManualClock clock;
+  std::unique_ptr<BrokerFleet> fleet;
+  std::ofstream fleet_journal;
+  std::vector<std::unique_ptr<std::ofstream>> shard_journals;
+
+  if (!resume) {
+    fleet = std::make_unique<BrokerFleet>(wl, *model, net.graph, fopts, &clock);
+    if (!base.empty()) {
+      fleet_journal.open(FleetJournalPath(base), std::ios::trunc);
+      if (!fleet_journal) Usage("cannot open " + FleetJournalPath(base));
+      fleet->set_fleet_journal(&fleet_journal, /*write_header=*/true);
+      shard_journals.resize(fleet->num_shards());
+      for (std::size_t k = 0; k < fleet->num_shards(); ++k) {
+        shard_journals[k] = std::make_unique<std::ofstream>(
+            FleetShardJournalPath(base, k), std::ios::trunc);
+        if (!*shard_journals[k])
+          Usage("cannot open " + FleetShardJournalPath(base, k));
+        fleet->set_shard_journal(k, shard_journals[k].get(),
+                                 /*write_header=*/true);
+      }
+    }
+  } else {
+    std::istringstream m_is(LoadFromFile(FleetManifestPath(base)));
+    const FleetManifest manifest = ReadFleetManifest(m_is);
+    const std::size_t nshards = manifest.shards.size();
+    std::vector<BrokerSnapshot> snaps;
+    snaps.reserve(nshards);
+    std::vector<std::vector<JournalRecord>> shard_recs(nshards);
+    for (std::size_t k = 0; k < nshards; ++k) {
+      std::istringstream s_is(LoadFromFile(FleetShardSnapshotPath(base, k)));
+      snaps.push_back(ReadBrokerSnapshot(s_is));
+      std::istringstream j_is(LoadFromFile(FleetShardJournalPath(base, k)));
+      JournalReadResult jr = ReadJournalLenient(j_is);
+      if (jr.torn_tail)
+        std::fprintf(stderr, "warning: %s: dropped torn journal tail (%s)\n",
+                     FleetShardJournalPath(base, k).c_str(),
+                     jr.tail_error.c_str());
+      shard_recs[k] = std::move(jr.journal.records);
+    }
+    std::istringstream fj_is(LoadFromFile(FleetJournalPath(base)));
+    JournalReadResult fj = ReadJournalLenient(fj_is);
+    if (fj.torn_tail)
+      std::fprintf(stderr, "warning: %s: dropped torn journal tail (%s)\n",
+                   FleetJournalPath(base).c_str(), fj.tail_error.c_str());
+    if (fj.journal.dims != dims)
+      Usage("fleet journal dimensionality does not match the workload");
+
+    // Truncate every journal back to its checkpoint seq before the sinks
+    // re-attach: the fleet-tail replay below then re-appends byte-identical
+    // records, so the files converge to exactly their pre-restart content
+    // (a torn tail simply never comes back).
+    const auto rewrite = [&](const std::string& path,
+                             const std::vector<JournalRecord>& recs,
+                             std::uint64_t upto) {
+      std::ostringstream os;
+      WriteJournalHeader(os, dims);
+      for (const JournalRecord& r : recs)
+        if (r.seq <= upto) WriteJournalRecord(os, r, dims);
+      SaveToFile(path, os.str());
+    };
+    rewrite(FleetJournalPath(base), fj.journal.records, manifest.seq);
+    for (std::size_t k = 0; k < nshards; ++k)
+      rewrite(FleetShardJournalPath(base, k), shard_recs[k],
+              manifest.shards[k].seq);
+
+    fopts.num_shards = nshards;
+    fleet = BrokerFleet::Recover(manifest, snaps, shard_recs, *model,
+                                 net.graph, fopts, &clock);
+
+    fleet_journal.open(FleetJournalPath(base), std::ios::app);
+    if (!fleet_journal) Usage("cannot open " + FleetJournalPath(base));
+    fleet->set_fleet_journal(&fleet_journal, /*write_header=*/false);
+    shard_journals.resize(nshards);
+    for (std::size_t k = 0; k < nshards; ++k) {
+      shard_journals[k] = std::make_unique<std::ofstream>(
+          FleetShardJournalPath(base, k), std::ios::app);
+      if (!*shard_journals[k])
+        Usage("cannot open " + FleetShardJournalPath(base, k));
+      fleet->set_shard_journal(k, shard_journals[k].get(),
+                               /*write_header=*/false);
+    }
+    std::size_t tail_replayed = 0;
+    for (const JournalRecord& rec : fj.journal.records)
+      if (rec.seq > manifest.seq) {
+        fleet->apply(rec);
+        ++tail_replayed;
+      }
+    std::fprintf(stderr,
+                 "resumed %zu shards from %s at fleet seq %llu "
+                 "(%zu fleet journal tail records replayed)\n",
+                 nshards, FleetManifestPath(base).c_str(),
+                 (unsigned long long)manifest.seq, tail_replayed);
+  }
+
+  const std::uint64_t start_seq = fleet->seq();
+  if (start_seq > schedule.size())
+    Usage("--events is smaller than the resumed fleet's sequence number; "
+          "pass the original trace length");
+
+  const auto do_checkpoint = [&]() {
+    if (base.empty() || fleet->stalled()) return;
+    const FleetCheckpoint cp = fleet->checkpoint();
+    std::ostringstream ms;
+    WriteFleetManifest(ms, cp.manifest);
+    SaveToFileAtomic(FleetManifestPath(base), ms.str());
+    for (std::size_t k = 0; k < cp.shard_snapshots.size(); ++k) {
+      std::ostringstream ss;
+      WriteBrokerSnapshot(ss, cp.shard_snapshots[k]);
+      SaveToFileAtomic(FleetShardSnapshotPath(base, k), ss.str());
+    }
+  };
+  if (!resume) do_checkpoint();  // seq-0 baseline, like serve-replay
+
+  EventLoop loop(&clock);
+  std::deque<JournalRecord> backlog;  // commands parked during a stall
+
+  // Only ever called while !stalled(): a FleetDegradedError here is the
+  // mid-record kind — the record is already journaled and pending inside
+  // the fleet, so discarding our copy is safe (the heal timer finishes it).
+  const auto apply_one = [&](const JournalRecord& rec) {
+    try {
+      fleet->apply(rec);
+    } catch (const FleetDegradedError&) {
+      return;
+    }
+    if (snapshot_every > 0 && fleet->seq() % snapshot_every == 0)
+      do_checkpoint();
+  };
+  const auto drain = [&]() {
+    while (!backlog.empty() && !fleet->stalled()) {
+      apply_one(backlog.front());
+      backlog.pop_front();
+    }
+  };
+
+  for (std::size_t i = static_cast<std::size_t>(start_seq);
+       i < schedule.size(); ++i) {
+    loop.at(schedule[i].cmd.time_ms, [&, i] {
+      drain();  // parked commands go first: the stream stays in seq order
+      if (fleet->stalled()) {
+        backlog.push_back(schedule[i]);
+        return;
+      }
+      apply_one(schedule[i]);
+    });
+  }
+  loop.every(heal_every, heal_every, [&] {
+    if (fleet->heal()) drain();
+  });
+  loop.run();
+
+  // A stall near the end of the trace parks the remainder in the backlog
+  // and the one-shots drain before the next heal firing; give the fleet a
+  // bounded number of extra probes to finish the job.
+  for (int probes = 0; (fleet->stalled() || !backlog.empty()) && probes < 8;
+       ++probes) {
+    fleet->heal();
+    drain();
+  }
+  const bool stalled_out = fleet->stalled() || !backlog.empty();
+  if (stalled_out)
+    std::fprintf(stderr,
+                 "fleet stalled at seq %llu with %zu commands parked; a "
+                 "shard is degraded and heal probes cannot clear it (see "
+                 "docs/OPERATIONS.md, \"Serve mode\")\n",
+                 (unsigned long long)fleet->seq(), backlog.size());
+  else
+    do_checkpoint();
+
+  bool oracle_ok = true;
+  if (oracle_check) {
+    FleetOracle oracle(wl, *model, net.graph, fopts.broker);
+    for (const JournalRecord& rec : schedule)
+      if (rec.seq <= fleet->seq()) oracle.apply(rec);
+    const std::uint64_t want = oracle.state_digest();
+    oracle_ok = want == fleet->state_digest();
+    std::printf("oracle digest     %016llx  (%s)\n", (unsigned long long)want,
+                oracle_ok ? "match" : "MISMATCH");
+  }
+
+  std::size_t events_served = 0;
+  double last_timestamp = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(start_seq);
+       i < schedule.size() && schedule[i].seq <= fleet->seq(); ++i) {
+    if (schedule[i].cmd.type == BrokerCommandType::kPublish) {
+      ++events_served;
+      last_timestamp = schedule[i].cmd.time_ms / 1000.0;
+    }
+  }
+  std::printf("served %zu trace events over %.1f simulated seconds on %zu "
+              "shards\n\n",
+              events_served, last_timestamp, fleet->num_shards());
+  PrintFleetReport(*fleet);
+  WriteFleetMetricsOutputs(*fleet, flags);
+  return (stalled_out || !oracle_ok) ? 1 : 0;
+}
+
 // Shared recovery path for `recover` and `stats`: rebuild a broker from
 // snapshot + journal tail.
 std::unique_ptr<Broker> RecoverFromFlags(const Flags& flags,
@@ -527,8 +822,30 @@ int Chaos(const Flags& flags) {
 
   const ChaosReport report = RunChaos(net, wl, *model, copts);
   std::fputs(FormatChaosReport(report).c_str(), stdout);
-  const bool ok = report.digests_match && report.replica_matches &&
-                  report.digest_mismatches == 0;
+  bool ok = report.digests_match && report.replica_matches &&
+            report.digest_mismatches == 0;
+
+  // --promotions extends the run to the fleet's failover seam: seeded
+  // kill/promote cycles with the promote.journal_handoff fail point armed
+  // on some of them, falling back to cold shard recovery when the standby
+  // crashes mid-handoff.
+  const auto promotions =
+      static_cast<std::size_t>(flags.get_int("promotions", 0));
+  if (promotions > 0) {
+    PromotionChaosOptions popts;
+    popts.num_shards = static_cast<std::size_t>(flags.get_int("shards", 3));
+    popts.num_events = copts.num_events;
+    popts.churn_every = copts.churn_every;
+    popts.seed = copts.seed;
+    popts.chaos_seed = copts.chaos_seed;
+    popts.cycles = promotions;
+    popts.snapshot_every = copts.snapshot_every;
+    popts.broker = copts.broker;
+    const PromotionChaosReport prep = RunPromotionChaos(net, wl, *model, popts);
+    std::fputs("\n", stdout);
+    std::fputs(FormatPromotionChaosReport(prep).c_str(), stdout);
+    ok = ok && prep.ok();
+  }
   return ok ? 0 : 1;
 }
 
@@ -556,6 +873,7 @@ int Run(int argc, char** argv) {
     if (cmd == "evaluate") return Evaluate(flags);
     if (cmd == "snapshot") return Snapshot(flags);
     if (cmd == "serve-replay") return ServeReplay(flags);
+    if (cmd == "serve") return Serve(flags);
     if (cmd == "recover") return Recover(flags);
     if (cmd == "stats") return Stats(flags);
     if (cmd == "chaos") return Chaos(flags);
