@@ -11,6 +11,11 @@
 //   bench_fleet --threads=4
 //   bench_fleet --subs=2000 --events=4000 --shards_list=1,2,4,8
 //
+// Each shard count is also timed with the full observability stack on —
+// trace_sample=1 (every publish builds its causal span tree) plus the
+// watchdog check/audit cadence the serve daemon runs — so the report
+// carries the cost of watching the fleet next to the cost of running it.
+//
 // Flags: --subs=N (default 1000) --events=N (default 2000)
 //        --churn-every=K (default 4) --groups=K (default 16)
 //        --cells=N (default 600) --seed=S --threads=N
@@ -19,6 +24,9 @@
 //        throughput falls below X times the 1-shard fleet's; exit 77 =
 //        "skip" on hosts with < 2 hardware threads, where fan-out
 //        parallelism cannot pay for its overhead)
+//        --require_obs_ratio=X (CI gate: exit 1 if the obs-on pass at any
+//        shard count runs slower than X times the obs-off pass; same
+//        exit-77 skip rule)
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -28,6 +36,7 @@
 #include "bench_report.h"
 #include "broker/chaos.h"
 #include "obs/clock.h"
+#include "obs/watchdog.h"
 #include "serve/fleet.h"
 #include "sim/scenario.h"
 #include "util/flags.h"
@@ -57,8 +66,10 @@ int Run(int argc, char** argv) {
   const std::vector<std::size_t> shard_counts =
       ParseShardList(flags.get("shards_list", "1,2,4,8"));
   const double require_ratio = flags.get_double("require_min_ratio", 0.0);
+  const double require_obs = flags.get_double("require_obs_ratio", 0.0);
 
-  if (require_ratio > 0.0 && std::thread::hardware_concurrency() < 2) {
+  if ((require_ratio > 0.0 || require_obs > 0.0) &&
+      std::thread::hardware_concurrency() < 2) {
     // On a single hardware thread the fan-out cannot recover its own
     // overhead; 77 is CTest's SKIP_RETURN_CODE.
     std::printf("fleet perf gate: SKIPPED (hardware_concurrency < 2)\n");
@@ -93,38 +104,80 @@ int Run(int argc, char** argv) {
   report.set_config("threads", threads);
   report.add("oracle_events_per_s", oracle_events_per_s, "events/s");
 
-  TextTable table({"shards", "seconds", "events/s", "vs 1 shard"});
+  TextTable table({"shards", "seconds", "events/s", "vs 1 shard", "obs events/s",
+                   "obs cost"});
   double one_shard_eps = 0.0;
   double worst_ratio = 1.0;
+  double worst_obs = 0.0;
   bool digests_ok = true;
   for (const std::size_t shards : shard_counts) {
     FleetOptions fopts;
     fopts.num_shards = shards;
     fopts.broker = bopts;
-    BrokerFleet fleet(sc.workload, *sc.pub, sc.net.graph, fopts);
-    StopwatchClock watch;
-    for (const JournalRecord& rec : schedule) fleet.apply(rec);
-    const double s = watch.elapsed_seconds();
-    const double eps = s > 0.0 ? static_cast<double>(events) / s : 0.0;
+    const auto check_digest = [&](const BrokerFleet& fleet, const char* pass) {
+      if (fleet.state_digest() == want_digest) return;
+      digests_ok = false;
+      std::fprintf(stderr,
+                   "DIGEST MISMATCH at %zu shards (%s): %016llx != oracle "
+                   "%016llx (bug!)\n",
+                   shards, pass, (unsigned long long)fleet.state_digest(),
+                   (unsigned long long)want_digest);
+    };
+
+    double plain_s = 0.0;
+    {
+      BrokerFleet fleet(sc.workload, *sc.pub, sc.net.graph, fopts);
+      StopwatchClock watch;
+      for (const JournalRecord& rec : schedule) fleet.apply(rec);
+      plain_s = watch.elapsed_seconds();
+      check_digest(fleet, "obs off");
+    }
+
+    // Obs-on pass: every publish traced into its causal span tree, plus
+    // the serve daemon's watchdog check/audit cadence riding along.
+    double obs_s = 0.0;
+    {
+      FleetOptions oopts = fopts;
+      oopts.broker.obs.trace_sample = 1;
+      BrokerFleet fleet(sc.workload, *sc.pub, sc.net.graph, oopts);
+      FleetWatchdog watchdog(WatchdogOptions{}, &fleet.metrics());
+      StopwatchClock watch;
+      std::size_t applied = 0;
+      for (const JournalRecord& rec : schedule) {
+        fleet.apply(rec);
+        if (++applied % 64 == 0) {
+          watchdog.check(watch.elapsed_seconds() * 1e3,
+                         fleet.shard_publish_histograms(), 0);
+          watchdog.audit(watch.elapsed_seconds() * 1e3,
+                         CollectShardAudit(fleet));
+        }
+      }
+      obs_s = watch.elapsed_seconds();
+      check_digest(fleet, "obs on");
+    }
+
+    const double eps = plain_s > 0.0 ? static_cast<double>(events) / plain_s : 0.0;
+    const double obs_eps = obs_s > 0.0 ? static_cast<double>(events) / obs_s : 0.0;
+    const double obs_cost = plain_s > 0.0 ? obs_s / plain_s : 1.0;
+    if (obs_cost > worst_obs) worst_obs = obs_cost;
     if (one_shard_eps == 0.0) one_shard_eps = eps;
     const double ratio = one_shard_eps > 0.0 ? eps / one_shard_eps : 1.0;
     if (shards > 1 && ratio < worst_ratio) worst_ratio = ratio;
     table.row()
         .cell(static_cast<double>(shards), 0)
-        .cell(s, 4)
+        .cell(plain_s, 4)
         .cell(eps, 0)
-        .cell(ratio, 2);
+        .cell(ratio, 2)
+        .cell(obs_eps, 0)
+        .cell(obs_cost, 3);
     report.add("shards_" + std::to_string(shards) + "_events_per_s", eps,
                "events/s");
-    if (fleet.state_digest() != want_digest) {
-      digests_ok = false;
-      std::fprintf(stderr,
-                   "DIGEST MISMATCH at %zu shards: %016llx != oracle %016llx "
-                   "(bug!)\n",
-                   shards, (unsigned long long)fleet.state_digest(),
-                   (unsigned long long)want_digest);
-    }
+    report.add("shards_" + std::to_string(shards) + "_events_per_s_obs",
+               obs_eps, "events/s");
+    report.add("shards_" + std::to_string(shards) + "_obs_overhead_ratio",
+               obs_cost, "x");
   }
+  report.add("obs_overhead_ratio_worst", worst_obs, "x");
 
   std::printf("fleet fan-out throughput (subs=%d, events=%zu, churn_every=%zu, "
               "threads=%d; oracle %.0f events/s):\n\n%s",
@@ -141,6 +194,13 @@ int Run(int argc, char** argv) {
                 worst_ratio, require_ratio,
                 worst_ratio >= require_ratio ? "PASS" : "FAIL");
     if (worst_ratio < require_ratio) return 1;
+  }
+  if (require_obs > 0.0) {
+    std::printf("fleet obs gate: worst obs-on/obs-off cost %.3fx (require <= "
+                "%.3fx) -> %s\n",
+                worst_obs, require_obs,
+                worst_obs <= require_obs ? "PASS" : "FAIL");
+    if (worst_obs > require_obs) return 1;
   }
   return 0;
 }

@@ -461,7 +461,8 @@ PublishOutcome Broker::apply_record(const JournalRecord& rec) {
   if (rec.seq != seq_ + 1)
     throw std::runtime_error("Broker: non-contiguous sequence number");
   validate_churn(rec.cmd);
-  const bool sampled = trace_sample_ > 0 && rec.seq % trace_sample_ == 0;
+  const bool sampled =
+      trace_ctx_armed_ || (trace_sample_ > 0 && rec.seq % trace_sample_ == 0);
   FailPoints& fp = FailPoints::Instance();
   // Feed the broker's command sequence to the fail-point layer so +SEQ
   // (arm-at-seq) specs can target a specific command — e.g. the organic
@@ -484,8 +485,9 @@ PublishOutcome Broker::apply_record(const JournalRecord& rec) {
     Observe(h_stage_[static_cast<std::size_t>(PublishStage::kJournalFlush)],
             flush_ms);
     if (sampled)
-      trace_.record({rec.seq, PublishStage::kJournalFlush, flush_start,
-                     flush_ms});
+      trace_.record({trace_ctx_armed_ ? trace_ctx_id_ : rec.seq, rec.seq,
+                     trace_ctx_shard_, PublishStage::kJournalFlush,
+                     flush_start, flush_ms});
   }
   if (fp.active() && is_publish &&
       fp.eval("broker.publish.post_journal").action != FailAction::kOff)
@@ -510,7 +512,18 @@ PublishOutcome Broker::finish_apply(const JournalRecord& rec) {
   maybe_refresh(&out);
   update_derived_gauges();
   if (listener_) listener_(rec);
+  // The fleet context covers exactly one record (clear_degraded's late
+  // success lands here too, so a stalled-then-healed publish still traces).
+  trace_ctx_armed_ = false;
+  trace_ctx_shard_ = -1;
+  trace_ctx_id_ = 0;
   return out;
+}
+
+void Broker::set_trace_context(std::uint64_t trace_id, std::int32_t shard) {
+  trace_ctx_id_ = trace_id;
+  trace_ctx_shard_ = shard;
+  trace_ctx_armed_ = true;
 }
 
 void Broker::journal_append(const std::string& text, const JournalRecord* rec) {
@@ -655,12 +668,15 @@ void Broker::apply_churn(const BrokerCommand& cmd) {
 PublishOutcome Broker::apply_publish(const BrokerCommand& cmd) {
   // Stage spans: histograms always, the ring only for sampled commands
   // (seq_ already carries this record's number).
-  const bool sampled = trace_sample_ > 0 && seq_ % trace_sample_ == 0;
+  const bool sampled =
+      trace_ctx_armed_ || (trace_sample_ > 0 && seq_ % trace_sample_ == 0);
   double mark = trace_clock_->now_ms();
   const auto stage_done = [&](PublishStage stage) {
     const double now = trace_clock_->now_ms();
     Observe(h_stage_[static_cast<std::size_t>(stage)], now - mark);
-    if (sampled) trace_.record({seq_, stage, mark, now - mark});
+    if (sampled)
+      trace_.record({trace_ctx_armed_ ? trace_ctx_id_ : seq_, seq_,
+                     trace_ctx_shard_, stage, mark, now - mark});
     mark = now;
   };
 

@@ -238,6 +238,12 @@ class Broker {
   MetricsRegistry& metrics() const { return *metrics_; }
   // Retained publish-path spans (empty unless trace_sample > 0).
   const TraceRing& trace() const { return trace_; }
+  // Arm a fleet-assigned causal trace context for the NEXT applied record:
+  // that record's spans are forced into the ring (regardless of
+  // trace_sample) tagged with `trace_id` and `shard`, then the context
+  // disarms.  A standalone broker never arms this; its sampled spans carry
+  // trace_id = seq and shard = -1.
+  void set_trace_context(std::uint64_t trace_id, std::int32_t shard);
 
  private:
   struct RestoreTag {};
@@ -336,6 +342,10 @@ class Broker {
   Clock* trace_clock_ = nullptr;
   TraceRing trace_;
   std::uint64_t trace_sample_ = 0;
+  // One-shot fleet trace context (see set_trace_context).
+  std::uint64_t trace_ctx_id_ = 0;
+  std::int32_t trace_ctx_shard_ = -1;
+  bool trace_ctx_armed_ = false;
 
   // Deterministic command counters (BrokerStats is a view over these).
   Counter* c_commands_ = nullptr;

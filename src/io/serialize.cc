@@ -916,6 +916,29 @@ void WriteMetricsJson(std::ostream& os, const MetricsSnapshot& snap) {
   os << "\n]}\n";
 }
 
+void WriteTraceJson(std::ostream& os, std::span<const TraceSpan> spans,
+                    std::uint64_t recorded, std::uint64_t dropped) {
+  os << "{\"recorded\":" << recorded << ",\"dropped\":" << dropped
+     << ",\"spans\":[";
+  bool first = true;
+  for (const TraceSpan& s : spans) {
+    if (!first) os << ',';
+    first = false;
+    // One span object per line so a test (or grep) can reassemble a trace
+    // tree without a JSON parser.
+    os << "\n{\"trace_id\":" << s.trace_id << ",\"seq\":" << s.seq
+       << ",\"shard\":" << s.shard << ",\"stage\":\"" << StageName(s.stage)
+       << "\",\"start_ms\":" << JsonNumber(s.start_ms)
+       << ",\"duration_ms\":" << JsonNumber(s.duration_ms) << '}';
+  }
+  os << "\n]}\n";
+}
+
+void WriteTraceJson(std::ostream& os, const TraceRing& ring) {
+  const std::vector<TraceSpan> spans = ring.spans();
+  WriteTraceJson(os, spans, ring.recorded(), ring.dropped());
+}
+
 // ------------------------------------------------------------------ files
 
 void SaveToFile(const std::string& path, const std::string& content) {

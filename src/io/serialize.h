@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "core/cluster_types.h"
 #include "net/transit_stub.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/types.h"
 
 namespace pubsub {
@@ -160,6 +162,15 @@ std::string FleetShardJournalPath(const std::string& base, std::size_t shard);
 // cumulative bucket counts.
 void WriteMetricsText(std::ostream& os, const MetricsSnapshot& snap);
 void WriteMetricsJson(std::ostream& os, const MetricsSnapshot& snap);
+
+// Causal trace dump (fleet observability tentpole): every span carries its
+// trace id + shard, so one dump from BrokerFleet::collect_spans holds the
+// complete linked span tree per traced publish (fleet_fanout -> per-shard
+// stages -> fleet_merge -> fleet_deliver).  One span object per line for
+// parser-free reassembly.
+void WriteTraceJson(std::ostream& os, std::span<const TraceSpan> spans,
+                    std::uint64_t recorded, std::uint64_t dropped);
+void WriteTraceJson(std::ostream& os, const TraceRing& ring);
 
 // ------------------------------------------------------------ file helpers
 void SaveToFile(const std::string& path, const std::string& content);

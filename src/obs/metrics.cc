@@ -193,12 +193,62 @@ MetricsSnapshot MetricsRegistry::scrape(bool include_runtime) const {
   return snap;
 }
 
+namespace {
+
+// Folds `src` into `dst` (same metric name on both sides).  Summing is the
+// only sensible combine for every kind we have: counters and histogram
+// cells are monotone sums already, and the gauges that can collide across
+// registries (entry/subscriber counts) aggregate additively too.
+void CombineSamples(MetricSample& dst, const MetricSample& src) {
+  if (dst.info.kind != src.info.kind)
+    throw std::invalid_argument("MetricsSnapshot::merge: metric '" +
+                                dst.info.name + "' has conflicting kinds");
+  dst.counter_value += src.counter_value;
+  dst.gauge_value += src.gauge_value;
+  if (dst.info.kind == MetricKind::kHistogram) {
+    if (dst.hist_bounds != src.hist_bounds)
+      throw std::invalid_argument("MetricsSnapshot::merge: histogram '" +
+                                  dst.info.name +
+                                  "' has conflicting bucket bounds");
+    dst.hist_count += src.hist_count;
+    dst.hist_sum += src.hist_sum;
+    for (std::size_t b = 0; b < dst.hist_buckets.size(); ++b)
+      dst.hist_buckets[b] += src.hist_buckets[b];
+  }
+}
+
+}  // namespace
+
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {
-  samples.insert(samples.end(), other.samples.begin(), other.samples.end());
-  std::stable_sort(samples.begin(), samples.end(),
+  for (const MetricSample& s : other.samples) {
+    const auto it = std::lower_bound(
+        samples.begin(), samples.end(), s,
+        [](const MetricSample& a, const MetricSample& b) {
+          return a.info.name < b.info.name;
+        });
+    if (it != samples.end() && it->info.name == s.info.name)
+      CombineSamples(*it, s);
+    else
+      samples.insert(it, s);
+  }
+}
+
+void MetricsSnapshot::merge_labeled(const MetricsSnapshot& other,
+                                    const std::string& key,
+                                    const std::string& value) {
+  MetricsSnapshot labeled = other;
+  for (MetricSample& s : labeled.samples) {
+    std::string& name = s.info.name;
+    if (!name.empty() && name.back() == '}')
+      name.insert(name.size() - 1, "," + key + "=\"" + value + "\"");
+    else
+      name = LabeledName(name, key, value);
+  }
+  std::stable_sort(labeled.samples.begin(), labeled.samples.end(),
                    [](const MetricSample& a, const MetricSample& b) {
                      return a.info.name < b.info.name;
                    });
+  merge(labeled);
 }
 
 MetricsRegistry& MetricsRegistry::Default() {

@@ -184,8 +184,20 @@ struct MetricSample {
 
 struct MetricsSnapshot {
   std::vector<MetricSample> samples;  // sorted by metric name
-  // Appends `other`'s samples, keeping the name ordering.
+  // Merges `other`'s samples, keeping the name ordering.  A name present
+  // on both sides combines into ONE sample (counters/gauges/histogram
+  // buckets sum) — never a duplicate series; a kind or bucket-bounds
+  // mismatch under the same name throws std::invalid_argument.  Callers
+  // that need same-named series kept apart must label them first
+  // (merge_labeled).
   void merge(const MetricsSnapshot& other);
+  // Like merge, but first rewrites every incoming sample name to carry
+  // `key="value"` (appended to an existing label set, e.g.
+  // m{stage="match"} -> m{stage="match",key="value"}).  This is how a
+  // fleet scrape keeps identical per-shard metric names apart: each
+  // shard's registry merges under a distinct shard="k" label.
+  void merge_labeled(const MetricsSnapshot& other, const std::string& key,
+                     const std::string& value);
 };
 
 class MetricsRegistry {

@@ -15,6 +15,14 @@ const char* StageName(PublishStage stage) {
       return "delivery_plan";
     case PublishStage::kJournalFlush:
       return "journal_flush";
+    case PublishStage::kFleetFanOut:
+      return "fleet_fanout";
+    case PublishStage::kFleetMerge:
+      return "fleet_merge";
+    case PublishStage::kFleetDeliver:
+      return "fleet_deliver";
+    case PublishStage::kReplicaApply:
+      return "replica_apply";
   }
   return "unknown";
 }
@@ -40,8 +48,9 @@ void WriteTraceText(std::ostream& os, const TraceRing& ring) {
   os << "# trace capacity " << ring.capacity() << " recorded "
      << ring.recorded() << " dropped " << ring.dropped() << '\n';
   for (const TraceSpan& s : ring.spans())
-    os << s.seq << ' ' << StageName(s.stage) << ' ' << s.start_ms << ' '
-       << s.duration_ms << '\n';
+    os << s.trace_id << ' ' << s.seq << ' ' << s.shard << ' '
+       << StageName(s.stage) << ' ' << s.start_ms << ' ' << s.duration_ms
+       << '\n';
 }
 
 }  // namespace pubsub

@@ -25,14 +25,28 @@ enum class PublishStage : std::uint8_t {
   kGroupSelection = 1,
   kDeliveryPlan = 2,
   kJournalFlush = 3,
+  // Fleet-level stages (fleet observability tentpole).  The coordinator
+  // records these around the sharded publish pipeline; brokers never emit
+  // them, so kNumPublishStages still sizes the per-stage broker histograms.
+  kFleetFanOut = 4,
+  kFleetMerge = 5,
+  kFleetDeliver = 6,
+  kReplicaApply = 7,
 };
 
 inline constexpr std::size_t kNumPublishStages = 4;
+inline constexpr std::size_t kNumTraceStages = 8;
 
 const char* StageName(PublishStage stage);
 
 struct TraceSpan {
-  std::uint64_t seq = 0;  // broker sequence number of the traced command
+  // Fleet-assigned causal trace id.  0 = untraced / standalone sampling
+  // (the broker stamps its own seq there when no fleet context is armed).
+  std::uint64_t trace_id = 0;
+  std::uint64_t seq = 0;  // local sequence number of the traced command
+  // Shard that emitted the span; -1 = fleet coordinator or a standalone
+  // broker outside any fleet.
+  std::int32_t shard = -1;
   PublishStage stage = PublishStage::kMatch;
   double start_ms = 0.0;     // trace-clock time at stage entry
   double duration_ms = 0.0;  // stage wall time (0 under a ManualClock)
@@ -59,8 +73,8 @@ class TraceRing {
   std::uint64_t recorded_ = 0;
 };
 
-// One line per span: "seq stage start_ms duration_ms", preceded by a
-// summary header (capacity / recorded / dropped).
+// One line per span: "trace_id seq shard stage start_ms duration_ms",
+// preceded by a summary header (capacity / recorded / dropped).
 void WriteTraceText(std::ostream& os, const TraceRing& ring);
 
 }  // namespace pubsub

@@ -15,10 +15,30 @@ ShardReplica::ShardReplica(const FleetStateReply& reply,
                            const PublicationModel& pub, const Graph& network,
                            const BrokerOptions& options, Clock* clock)
     : shard_(reply.shard),
-      replica_(reply.snapshot, pub, network, options, clock) {
+      replica_(reply.snapshot, pub, network, options, clock),
+      trace_(options.obs.trace_capacity) {
+  if (options.obs.trace_clock != nullptr) {
+    trace_clock_ = options.obs.trace_clock;
+  } else {
+    owned_trace_clock_ = std::make_unique<StopwatchClock>();
+    trace_clock_ = owned_trace_clock_.get();
+  }
   // The buffered half of the state reply brings the standby from the
   // snapshot boundary to the shard's exact current seq.
   for (const JournalRecord& rec : reply.updates) replica_.apply(rec);
+}
+
+void ShardReplica::apply(const JournalRecord& rec) {
+  const std::uint64_t tid = trace_ctx_id_;
+  trace_ctx_id_ = 0;  // one record per armed context, even on a crash
+  if (tid == 0) {
+    replica_.apply(rec);
+    return;
+  }
+  const double start = trace_clock_->now_ms();
+  replica_.apply(rec);
+  trace_.record({tid, rec.seq, shard_, PublishStage::kReplicaApply, start,
+                 trace_clock_->now_ms() - start});
 }
 
 namespace {

@@ -42,8 +42,16 @@ class ShardReplica {
                Clock* clock = nullptr);
 
   // Apply one streamed shard record (records at or below seq() are
-  // ignored; a gap throws — the standby must re-bootstrap).
-  void apply(const JournalRecord& rec) { replica_.apply(rec); }
+  // ignored; a gap throws — the standby must re-bootstrap).  When a trace
+  // context is armed the apply is wrapped in a replica_apply span, so
+  // catch-up appears in the publish's causal tree.
+  void apply(const JournalRecord& rec);
+
+  // One-shot, like Broker::set_trace_context: the NEXT applied record's
+  // span carries `trace_id` (the fleet arms this from its record
+  // listener).
+  void set_trace_context(std::uint64_t trace_id) { trace_ctx_id_ = trace_id; }
+  const TraceRing& trace() const { return trace_; }
 
   int shard() const { return shard_; }
   std::uint64_t seq() const { return replica_.seq(); }
@@ -57,6 +65,10 @@ class ShardReplica {
  private:
   int shard_;
   BrokerReplica replica_;
+  std::unique_ptr<StopwatchClock> owned_trace_clock_;
+  Clock* trace_clock_ = nullptr;
+  TraceRing trace_{0};
+  std::uint64_t trace_ctx_id_ = 0;
 };
 
 struct PromotionChaosOptions {

@@ -124,6 +124,11 @@ BrokerOptions BrokerFleet::shard_options() const {
   // name, so N shards sharing one would sum their counters into a single
   // series.  Shard metrics surface through shard(k).metrics().
   o.obs.metrics = nullptr;
+  // The fleet owns trace sampling: shard seqs differ from fleet seqs, so a
+  // shard sampling on its own would stamp trace ids no fleet span shares.
+  // Sampled fleet records arm each shard via Broker::set_trace_context
+  // instead.
+  o.obs.trace_sample = 0;
   return o;
 }
 
@@ -174,10 +179,13 @@ void BrokerFleet::init_obs(std::size_t num_shards) {
                              "publish fan-out + merge wall time (ms)",
                              ExponentialBuckets(0.001, 4.0, 12),
                              MetricStability::kRuntime);
+  trace_ = TraceRing(options_.broker.obs.trace_capacity);
+  trace_sample_ = options_.broker.obs.trace_sample;
   g_shard_seq_.resize(num_shards);
   g_shard_subs_.resize(num_shards);
   g_shard_up_.resize(num_shards);
   g_shard_degraded_.resize(num_shards);
+  h_shard_publish_.resize(num_shards);
   for (std::size_t k = 0; k < num_shards; ++k) {
     const std::string shard = std::to_string(k);
     g_shard_seq_[k] = m.gauge(LabeledName("fleet_shard_seq", "shard", shard),
@@ -190,6 +198,12 @@ void BrokerFleet::init_obs(std::size_t num_shards) {
     g_shard_degraded_[k] =
         m.gauge(LabeledName("fleet_shard_degraded", "shard", shard),
                 "1 while the shard broker is in degraded read-only mode");
+    // Wall time per shard publish apply — the watchdog's skew input.
+    h_shard_publish_[k] =
+        m.histogram(LabeledName("fleet_shard_publish_ms", "shard", shard),
+                    "per-shard publish apply wall time (ms)",
+                    ExponentialBuckets(0.001, 4.0, 12),
+                    MetricStability::kRuntime);
   }
 }
 
@@ -202,6 +216,9 @@ void BrokerFleet::install_shard(std::size_t k, std::unique_ptr<Broker> broker) {
     update_buffer_[k].push_back(rec);
     ShardReplica* standby = replicas_[k];
     if (standby == nullptr) return;
+    // Traced records propagate their id into the standby's replica_apply
+    // span, so catch-up shows up in the same causal tree as the publish.
+    if (cur_trace_id_ != 0) standby->set_trace_context(cur_trace_id_);
     try {
       standby->apply(rec);
     } catch (const InjectedCrash&) {
@@ -298,6 +315,10 @@ FleetPublishOutcome BrokerFleet::apply_sequenced(const JournalRecord& rec) {
       throw std::logic_error("BrokerFleet: shard " + std::to_string(k) +
                              " is down (promote or recover it first)");
   validate(rec);
+  // The fleet seq is the trace id: every span this record produces — here,
+  // in the shard lanes, in the replicas — links back to it.
+  cur_trace_id_ =
+      trace_sample_ > 0 && rec.seq % trace_sample_ == 0 ? rec.seq : 0;
   // Write-ahead at the fleet level: the global record is on the routing
   // log before any shard sees its re-stamped copy.  Plain stream — the
   // per-shard WALs underneath are the durability seams the fail points
@@ -323,6 +344,8 @@ void BrokerFleet::route_churn(const JournalRecord& rec) {
     srec.cmd.subscriber = global_to_local_[rec.cmd.subscriber];
   }
   srec.seq = shard_seq_[k] + 1;
+  if (cur_trace_id_ != 0)
+    shards_[k]->set_trace_context(cur_trace_id_, static_cast<std::int32_t>(k));
   try {
     shards_[k]->apply(srec);
   } catch (const BrokerDegradedError&) {
@@ -401,6 +424,19 @@ FleetPublishOutcome BrokerFleet::fan_out_publish(const JournalRecord& rec) {
   pending_shards_matched_ = 0;
   pending_refreshed_ = false;
 
+  // Slow-shard drill: evaluated on the serial path (one eval per publish,
+  // so *COUNT/^SKIP schedules stay deterministic under any --threads) and
+  // applied to shard 0's observed latency below.
+  double inject_delay_ms = 0.0;
+  {
+    FailPoints& fp = FailPoints::Instance();
+    if (fp.active()) {
+      const FailPointDecision d = fp.eval("fleet.shard.publish");
+      if (d.action == FailAction::kDelay)
+        inject_delay_ms = static_cast<double>(d.arg);
+    }
+  }
+
   // Fan out to every shard.  Each lane touches only shard-disjoint state
   // (the shard broker, its journal, its replica, its buffer slot), and the
   // merge below walks shards in index order — so the fleet's durable state
@@ -409,14 +445,25 @@ FleetPublishOutcome BrokerFleet::fan_out_publish(const JournalRecord& rec) {
   const double fan_start = trace_clock_->now_ms();
   ParallelForChunks(n, [&](std::size_t begin, std::size_t end) {
     for (std::size_t k = begin; k < end; ++k) {
+      const double t0 = trace_clock_->now_ms();
+      if (cur_trace_id_ != 0)
+        shards_[k]->set_trace_context(cur_trace_id_,
+                                      static_cast<std::int32_t>(k));
       try {
         fan_outcomes_[k] = shards_[k]->apply_with_outcome(fan_recs_[k]);
       } catch (...) {
         fan_errors_[k] = std::current_exception();
       }
+      double shard_ms = trace_clock_->now_ms() - t0;
+      if (k == 0) shard_ms += inject_delay_ms;
+      Observe(h_shard_publish_[k], shard_ms);
     }
   });
-  Observe(h_fanout_ms_, trace_clock_->now_ms() - fan_start);
+  const double fan_ms = trace_clock_->now_ms() - fan_start;
+  Observe(h_fanout_ms_, fan_ms);
+  if (cur_trace_id_ != 0)
+    trace_.record({cur_trace_id_, rec.seq, -1, PublishStage::kFleetFanOut,
+                   fan_start, fan_ms});
 
   // An injected crash (or any non-degraded failure) on any shard is
   // process death: some shards applied, some did not, and only recovery
@@ -471,6 +518,7 @@ void BrokerFleet::scatter(std::size_t k,
 FleetPublishOutcome BrokerFleet::finish_publish(const JournalRecord& rec) {
   // Counting-sort union: OR'd bits emit in ascending global id order, so
   // the merged set is independent of shard count and fan-out interleaving.
+  const double merge_start = trace_clock_->now_ms();
   merged_.clear();
   if (word_lo_ <= word_hi_) {
     for (std::size_t w = word_lo_; w <= word_hi_; ++w) {
@@ -484,6 +532,10 @@ FleetPublishOutcome BrokerFleet::finish_publish(const JournalRecord& rec) {
       }
     }
   }
+  const double merge_end = trace_clock_->now_ms();
+  if (cur_trace_id_ != 0)
+    trace_.record({cur_trace_id_, rec.seq, -1, PublishStage::kFleetMerge,
+                   merge_start, merge_end - merge_start});
   match_chain_ = FleetChainFold(match_chain_, rec.seq, merged_);
   seq_ = rec.seq;
   Inc(c_commands_);
@@ -496,6 +548,9 @@ FleetPublishOutcome BrokerFleet::finish_publish(const JournalRecord& rec) {
   out.interested = std::span<const SubscriberId>(merged_);
   out.shards_matched = pending_shards_matched_;
   out.refreshed = pending_refreshed_;
+  if (cur_trace_id_ != 0)
+    trace_.record({cur_trace_id_, rec.seq, -1, PublishStage::kFleetDeliver,
+                   merge_end, trace_clock_->now_ms() - merge_end});
   return out;
 }
 
@@ -537,6 +592,11 @@ bool BrokerFleet::heal() {
       std::find(pending_applied_.begin(), pending_applied_.end(), 0) ==
           pending_applied_.end()) {
     pending_active_ = false;
+    // Re-derive the pending record's trace id: a sampled publish that
+    // stalled still finishes its fleet merge/deliver spans here.
+    cur_trace_id_ = trace_sample_ > 0 && pending_rec_.seq % trace_sample_ == 0
+                        ? pending_rec_.seq
+                        : 0;
     if (pending_rec_.cmd.type == BrokerCommandType::kPublish)
       finish_publish(pending_rec_);
     else
@@ -831,6 +891,86 @@ void BrokerFleet::update_gauges() {
     Set(g_shard_degraded_[k],
         shards_[k] != nullptr && shards_[k]->degraded() ? 1.0 : 0.0);
   }
+}
+
+// -------------------------------------------------------------- telemetry
+
+std::vector<TraceSpan> BrokerFleet::collect_spans() const {
+  std::vector<TraceSpan> out = trace_.spans();
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    if (shards_[k] != nullptr) {
+      const std::vector<TraceSpan> s = shards_[k]->trace().spans();
+      out.insert(out.end(), s.begin(), s.end());
+    }
+    if (replicas_[k] != nullptr) {
+      const std::vector<TraceSpan> s = replicas_[k]->trace().spans();
+      out.insert(out.end(), s.begin(), s.end());
+    }
+  }
+  // Group each causal tree contiguously; stable so per-ring recording
+  // order breaks the remaining ties.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+                     if (a.shard != b.shard) return a.shard < b.shard;
+                     if (a.stage != b.stage) return a.stage < b.stage;
+                     return a.seq < b.seq;
+                   });
+  return out;
+}
+
+std::uint64_t BrokerFleet::trace_recorded() const {
+  std::uint64_t total = trace_.recorded();
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    if (shards_[k] != nullptr) total += shards_[k]->trace().recorded();
+    if (replicas_[k] != nullptr) total += replicas_[k]->trace().recorded();
+  }
+  return total;
+}
+
+std::uint64_t BrokerFleet::trace_dropped() const {
+  std::uint64_t total = trace_.dropped();
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    if (shards_[k] != nullptr) total += shards_[k]->trace().dropped();
+    if (replicas_[k] != nullptr) total += replicas_[k]->trace().dropped();
+  }
+  return total;
+}
+
+std::vector<const Histogram*> BrokerFleet::shard_publish_histograms() const {
+  std::vector<const Histogram*> out(shards_.size(), nullptr);
+  for (std::size_t k = 0; k < shards_.size(); ++k)
+    if (shards_[k] != nullptr) out[k] = h_shard_publish_[k];
+  return out;
+}
+
+Broker& BrokerFleet::shard_for_fault_injection(std::size_t k) {
+  if (shards_[k] == nullptr)
+    throw std::logic_error("BrokerFleet: shard " + std::to_string(k) +
+                           " is down");
+  return *shards_[k];
+}
+
+MetricsSnapshot FleetScrape(const BrokerFleet& fleet, bool include_runtime) {
+  MetricsSnapshot snap = fleet.metrics().scrape(include_runtime);
+  for (std::size_t k = 0; k < fleet.num_shards(); ++k) {
+    if (!fleet.shard_alive(k)) continue;
+    snap.merge_labeled(fleet.shard(k).metrics().scrape(include_runtime),
+                       "shard", std::to_string(k));
+  }
+  return snap;
+}
+
+std::vector<ShardAuditSample> CollectShardAudit(const BrokerFleet& fleet) {
+  std::vector<ShardAuditSample> out;
+  out.reserve(fleet.num_shards());
+  for (std::size_t k = 0; k < fleet.num_shards(); ++k) {
+    if (!fleet.shard_alive(k)) continue;
+    const Broker& b = fleet.shard(k);
+    out.push_back({static_cast<std::int32_t>(k), b.seq(), fleet.shard_seq(k),
+                   b.state_digest()});
+  }
+  return out;
 }
 
 // ----------------------------------------------------------- FleetOracle

@@ -53,6 +53,8 @@
 #include "io/serialize.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "workload/types.h"
 
 namespace pubsub {
@@ -223,6 +225,27 @@ class BrokerFleet {
 
   // --- telemetry --------------------------------------------------------
   MetricsRegistry& metrics() const { return *metrics_; }
+  // Coordinator-level spans (fan-out / merge / deliver; empty unless
+  // broker.obs.trace_sample > 0).  The fleet owns the sampling decision:
+  // every `trace_sample`-th *fleet* seq becomes the trace id, the shards'
+  // own samplers are disabled (shard_options), and each shard lane is
+  // armed with Broker::set_trace_context so the whole publish shares one
+  // id.
+  const TraceRing& trace() const { return trace_; }
+  // Every retained span — coordinator, live shards, attached replicas —
+  // stable-sorted by (trace_id, shard, stage, seq) so one WriteTraceJson
+  // dump holds each traced publish's complete causal tree contiguously.
+  std::vector<TraceSpan> collect_spans() const;
+  std::uint64_t trace_recorded() const;  // summed across all rings
+  std::uint64_t trace_dropped() const;
+  // Per-shard publish-latency histograms (`fleet_shard_publish_ms`,
+  // kRuntime), indexed by shard, null while a shard is down — the
+  // FleetWatchdog::check input.
+  std::vector<const Histogram*> shard_publish_histograms() const;
+  // Mutable shard access for fault-injection tests ONLY (e.g. forcing a
+  // digest divergence the auditor must catch).  Mutating a shard outside
+  // the fleet's sequenced stream breaks the oracle-parity invariant.
+  Broker& shard_for_fault_injection(std::size_t k);
 
  private:
   struct RestoreTag {};
@@ -312,7 +335,26 @@ class BrokerFleet {
   std::vector<Gauge*> g_shard_subs_;
   std::vector<Gauge*> g_shard_up_;
   std::vector<Gauge*> g_shard_degraded_;
+  std::vector<Histogram*> h_shard_publish_;  // kRuntime, watchdog input
+
+  // Causal tracing (sized/armed by init_obs from broker.obs).
+  TraceRing trace_{0};
+  std::uint64_t trace_sample_ = 0;
+  // Trace id of the record currently applying (0 = untraced).  Written on
+  // the serial command path before the fan-out, read-only inside lanes.
+  std::uint64_t cur_trace_id_ = 0;
 };
+
+// Aggregated fleet exposition: the fleet registry's snapshot merged with
+// every live shard's registry under a distinct shard="k" label, shards
+// ascending.  Stability classes survive the merge, so the
+// include_runtime=false subset stays byte-identical across --threads.
+MetricsSnapshot FleetScrape(const BrokerFleet& fleet,
+                            bool include_runtime = true);
+
+// Audit inputs for FleetWatchdog::audit: each live shard's actual seq and
+// digest against the fleet's bookkeeping (shard_seq).
+std::vector<ShardAuditSample> CollectShardAudit(const BrokerFleet& fleet);
 
 // The single-broker oracle the fleet is measured against: one Broker fed
 // the same global stream, folding each publish's interested set into the

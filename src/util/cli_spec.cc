@@ -147,6 +147,34 @@ std::vector<CliCommand> BuildCommands() {
            {"resume", "", "resume from the BASE checkpoint instead of fresh"},
            {"oracle-check", "",
             "replay a single-broker oracle and require a bit-identical digest"},
+           {"trace-sample", "N",
+            "trace every N-th fleet seq into causal span trees (0 = off)"},
+           {"trace-out", "PATH", "write the fleet trace dump (JSON spans)"},
+           {"watch-every-ms", "MS",
+            "watchdog timer period, trace time (500; 0 = off)"},
+           {"audit-every", "N",
+            "digest/seq audit cadence in fleet seqs (64; 0 = off)"},
+           {"slo-skew", "R", "slow-shard alert above R x median p99 (4.0)"},
+           {"slo-backlog", "N", "stall-backlog alert at N parked commands (64)"},
+           {"modes", "1|4|9", "stock-model publication hot spots (1)"},
+       } + BrokerFlags() + CommonFlags()});
+
+  cmds.push_back(
+      {"top",
+       "text dashboard over a fleet run: per-shard seq / subscribers / "
+       "publish-latency quantiles plus watchdog alerts, one-shot or on an "
+       "interval",
+       std::vector<CliFlag>{
+           {"net", "PATH", "network file (required)"},
+           {"workload", "PATH", "stock workload file (required)"},
+           {"shards", "N", "broker shards in the fleet (2)"},
+           {"events", "N", "trace length (2000)"},
+           {"seed", "N", "trace/churn seed (7)"},
+           {"churn-every", "K", "one churn command per K events (0 = none)"},
+           {"interval-ms", "MS",
+            "dashboard period, trace time (0 = final frame only)"},
+           {"slo-skew", "R", "slow-shard alert above R x median p99 (4.0)"},
+           {"slo-backlog", "N", "stall-backlog alert at N parked commands (64)"},
            {"modes", "1|4|9", "stock-model publication hot spots (1)"},
        } + BrokerFlags() + CommonFlags()});
 

@@ -22,8 +22,9 @@ FailAction ActionByName(const std::string& name, const std::string& entry) {
   if (name == "error") return FailAction::kError;
   if (name == "crash") return FailAction::kCrash;
   if (name == "torn") return FailAction::kTorn;
+  if (name == "delay") return FailAction::kDelay;
   throw std::invalid_argument("failpoint '" + entry + "': unknown action '" +
-                              name + "' (want off|error|crash|torn)");
+                              name + "' (want off|error|crash|torn|delay)");
 }
 
 std::uint64_t ParseUnsigned(const std::string& tok, const std::string& entry) {
@@ -205,6 +206,9 @@ const std::vector<FailPointSite>& FailPoints::KnownSites() {
        "crash after the WAL append, before the state mutation"},
       {"broker.publish.pre_journal",
        "crash before the WAL append (command lost entirely)"},
+      {"fleet.shard.publish",
+       "delay = add ARG ms of synthetic publish latency on shard 0 (slow-"
+       "shard drill for the watchdog)"},
       {"journal.flush", "journal fsync: error = flush failure"},
       {"journal.write", "journal append: torn/short/crashed record write"},
       {"promote.journal_handoff",

@@ -19,7 +19,10 @@
 //                    process death; nothing reaches the sink)
 //           torn   — write the first ARG bytes of the payload, then throw
 //                    InjectedCrash (torn tail: a crash mid-append)
-//   ARG     non-negative integer parameter of the action (byte count)
+//           delay  — add ARG ms of synthetic latency at the site (SLO
+//                    drills: the fleet's slow-shard watchdog test)
+//   ARG     non-negative integer parameter of the action (byte count, or
+//           milliseconds for delay)
 //   COUNT   fire at most COUNT times, then disarm (default: unlimited)
 //   SKIP    let the first SKIP matching evaluations pass before arming
 //           (deterministic "fail on the Nth append" scheduling)
@@ -69,7 +72,7 @@ class InjectedCrash : public std::exception {
   std::string what_;
 };
 
-enum class FailAction { kOff, kError, kCrash, kTorn };
+enum class FailAction { kOff, kError, kCrash, kTorn, kDelay };
 
 // Result of evaluating a site: what to do, and the action's byte argument.
 struct FailPointDecision {

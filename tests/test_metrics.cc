@@ -12,6 +12,7 @@
 #include "io/serialize.h"
 #include "obs/clock.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 #include "util/thread_pool.h"
@@ -131,7 +132,8 @@ TEST(Metrics, NullSafeHelpers) {
 TEST(Trace, RingWrapsAndCountsDrops) {
   TraceRing ring(4);
   for (std::uint64_t i = 0; i < 10; ++i)
-    ring.record(TraceSpan{i, PublishStage::kMatch, static_cast<double>(i), 0.0});
+    ring.record(TraceSpan{i, i, -1, PublishStage::kMatch,
+                          static_cast<double>(i), 0.0});
 
   EXPECT_EQ(ring.capacity(), 4u);
   EXPECT_EQ(ring.recorded(), 10u);
@@ -146,7 +148,7 @@ TEST(Trace, RingWrapsAndCountsDrops) {
 
 TEST(Trace, TextWriterEmitsSummaryAndSpans) {
   TraceRing ring(2);
-  ring.record(TraceSpan{7, PublishStage::kDeliveryPlan, 1.0, 0.25});
+  ring.record(TraceSpan{7, 7, -1, PublishStage::kDeliveryPlan, 1.0, 0.25});
   std::ostringstream os;
   WriteTraceText(os, ring);
   const std::string text = os.str();
@@ -194,6 +196,172 @@ TEST(Metrics, ScrapeCanExcludeRuntimeMetrics) {
   EXPECT_EQ(all.samples.size(), 2u);
   ASSERT_EQ(det.samples.size(), 1u);
   EXPECT_EQ(det.samples[0].info.name, "det_total");
+}
+
+// ---- snapshot merge (fleet scrape building block) --------------------------
+
+TEST(Metrics, MergeCombinesExactDuplicateNames) {
+  MetricsRegistry a;
+  a.counter("c_total", "counter")->inc(3);
+  a.gauge("g", "gauge")->set(1.5);
+  a.histogram("h_ms", "hist", {1.0, 2.0})->observe(0.5);
+  MetricsRegistry b;
+  b.counter("c_total", "counter")->inc(4);
+  b.gauge("g", "gauge")->set(2.5);
+  b.histogram("h_ms", "hist", {1.0, 2.0})->observe(1.5);
+
+  MetricsSnapshot snap = a.scrape();
+  snap.merge(b.scrape());
+  ASSERT_EQ(snap.samples.size(), 3u);  // combined, never duplicated
+  EXPECT_EQ(snap.samples[0].info.name, "c_total");
+  EXPECT_EQ(snap.samples[0].counter_value, 7u);
+  EXPECT_DOUBLE_EQ(snap.samples[1].gauge_value, 1.5 + 2.5);
+  EXPECT_EQ(snap.samples[2].hist_count, 2u);
+  EXPECT_DOUBLE_EQ(snap.samples[2].hist_sum, 2.0);
+  ASSERT_EQ(snap.samples[2].hist_buckets.size(), 3u);
+  EXPECT_EQ(snap.samples[2].hist_buckets[0], 1u);
+  EXPECT_EQ(snap.samples[2].hist_buckets[1], 1u);
+}
+
+TEST(Metrics, MergeThrowsOnKindOrBoundsMismatch) {
+  MetricsRegistry a;
+  a.counter("m", "counter");
+  MetricsRegistry b;
+  b.gauge("m", "gauge");
+  MetricsSnapshot snap = a.scrape();
+  EXPECT_THROW(snap.merge(b.scrape()), std::invalid_argument);
+
+  MetricsRegistry c;
+  c.histogram("h", "hist", {1.0});
+  MetricsRegistry d;
+  d.histogram("h", "hist", {2.0});
+  MetricsSnapshot hsnap = c.scrape();
+  EXPECT_THROW(hsnap.merge(d.scrape()), std::invalid_argument);
+}
+
+// The fleet-scrape regression: identical per-shard metric names must land
+// as distinct labeled series, never alias into one double-counted sample.
+TEST(Metrics, MergeLabeledKeepsShardSeriesDistinct) {
+  MetricsRegistry shard0;
+  shard0.counter("broker_commands_total", "cmds")->inc(10);
+  shard0.counter("hits_total{stage=\"match\"}", "labeled")->inc(1);
+  MetricsRegistry shard1;
+  shard1.counter("broker_commands_total", "cmds")->inc(20);
+  shard1.counter("hits_total{stage=\"match\"}", "labeled")->inc(2);
+
+  MetricsSnapshot snap;
+  snap.merge_labeled(shard0.scrape(), "shard", "0");
+  snap.merge_labeled(shard1.scrape(), "shard", "1");
+
+  ASSERT_EQ(snap.samples.size(), 4u);
+  const auto find = [&](const std::string& name) -> const MetricSample* {
+    for (const MetricSample& s : snap.samples)
+      if (s.info.name == name) return &s;
+    return nullptr;
+  };
+  const MetricSample* c0 = find("broker_commands_total{shard=\"0\"}");
+  const MetricSample* c1 = find("broker_commands_total{shard=\"1\"}");
+  ASSERT_NE(c0, nullptr);
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c0->counter_value, 10u);
+  EXPECT_EQ(c1->counter_value, 20u);
+  // The shard label is appended to an existing label set, not nested.
+  const MetricSample* l1 = find("hits_total{stage=\"match\",shard=\"1\"}");
+  ASSERT_NE(l1, nullptr);
+  EXPECT_EQ(l1->counter_value, 2u);
+}
+
+// ---- watchdog: quantiles, skew, backlog, audit -----------------------------
+
+TEST(Watchdog, HistogramQuantileInterpolatesWithinBucket) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  // 2 in (0,1], 4 in (1,2], 2 in (2,4], 2 in +Inf.
+  const std::vector<std::uint64_t> buckets = {2, 4, 2, 2};
+  // p50: rank 5 -> 3rd of 4 inside (1,2] -> 1.75.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, buckets, 0.5), 1.75);
+  // p0 clamps to rank 1 -> first half of (0,1].
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, buckets, 0.0), 0.5);
+  // p100 lands in +Inf: clamp to the last finite bound.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, buckets, 1.0), 4.0);
+  // Empty histogram reads 0.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {0, 0, 0, 0}, 0.99), 0.0);
+}
+
+TEST(Watchdog, SlowShardAlertIsEdgeTriggered) {
+  MetricsRegistry reg;
+  Histogram* fast0 = reg.histogram("s0", "t", {1.0, 10.0, 100.0});
+  Histogram* fast1 = reg.histogram("s1", "t", {1.0, 10.0, 100.0});
+  Histogram* slow = reg.histogram("s2", "t", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 32; ++i) {
+    fast0->observe(0.5);
+    fast1->observe(0.5);
+    slow->observe(90.0);
+  }
+  WatchdogOptions opts;
+  opts.min_samples = 16;
+  FleetWatchdog dog(opts, &reg);
+  const std::vector<const Histogram*> hists = {fast0, fast1, slow};
+
+  std::vector<WatchdogAlert> alerts = dog.check(1.0, hists, 0);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, WatchdogAlertKind::kSlowShard);
+  EXPECT_EQ(alerts[0].shard, 2);
+  EXPECT_NE(alerts[0].detail.find("shard 2"), std::string::npos);
+  // Still slow on the next check: edge-triggered, no repeat alert.
+  EXPECT_TRUE(dog.check(2.0, hists, 0).empty());
+  EXPECT_EQ(dog.checks(), 2u);
+  EXPECT_EQ(reg.counter("watchdog_alerts_total{kind=\"slow_shard\"}", "",
+                        MetricStability::kRuntime)
+                ->value(),
+            1u);
+}
+
+TEST(Watchdog, HealthyShardsStaySilent) {
+  MetricsRegistry reg;
+  Histogram* a = reg.histogram("a", "t", {1.0, 10.0});
+  Histogram* b = reg.histogram("b", "t", {1.0, 10.0});
+  for (int i = 0; i < 64; ++i) {
+    a->observe(0.4);
+    b->observe(0.6);
+  }
+  FleetWatchdog dog(WatchdogOptions{});
+  // Balanced latencies, small backlog, dead shard (null) skipped.
+  EXPECT_TRUE(dog.check(1.0, {a, b, nullptr}, 3).empty());
+  EXPECT_TRUE(dog.alerts().empty());
+}
+
+TEST(Watchdog, BacklogAlertFiresOnceUntilCleared) {
+  WatchdogOptions opts;
+  opts.max_backlog = 4;
+  FleetWatchdog dog(opts);
+  EXPECT_TRUE(dog.check(1.0, {}, 3).empty());
+  std::vector<WatchdogAlert> alerts = dog.check(2.0, {}, 4);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, WatchdogAlertKind::kStallBacklog);
+  EXPECT_TRUE(dog.check(3.0, {}, 9).empty());   // still over: no repeat
+  EXPECT_TRUE(dog.check(4.0, {}, 0).empty());   // cleared: re-armed
+  ASSERT_EQ(dog.check(5.0, {}, 4).size(), 1u);  // fires again
+}
+
+TEST(Watchdog, AuditFlagsSeqAndDigestDivergence) {
+  FleetWatchdog dog(WatchdogOptions{});
+  // Healthy baseline.
+  EXPECT_TRUE(dog.audit(1.0, {{0, 5, 5, 111}, {1, 6, 6, 222}}).empty());
+  // Shard 1's seq disagrees with the fleet bookkeeping.
+  std::vector<WatchdogAlert> alerts =
+      dog.audit(2.0, {{0, 7, 7, 112}, {1, 6, 8, 222}});
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, WatchdogAlertKind::kDigestDivergence);
+  EXPECT_EQ(alerts[0].shard, 1);
+  // Edge-triggered while the condition persists.
+  EXPECT_TRUE(dog.audit(3.0, {{1, 6, 8, 222}}).empty());
+  // Digest mutated with no seq movement: state changed outside the
+  // sequenced command stream.
+  EXPECT_TRUE(dog.audit(4.0, {{0, 7, 7, 112}}).empty());
+  alerts = dog.audit(5.0, {{0, 7, 7, 999}});
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_NE(alerts[0].detail.find("digest changed"), std::string::npos);
+  EXPECT_EQ(dog.audits(), 5u);
 }
 
 // ---- broker metrics byte-stability across thread counts --------------------

@@ -429,9 +429,11 @@ int ServeReplay(const Flags& flags) {
 
 // --- fleet serve daemon ---------------------------------------------------
 
+// The fleet registry plus every live shard's registry under shard="k"
+// labels (FleetScrape), plus the process-wide registry (thread pool).
 MetricsSnapshot ScrapeFleet(const BrokerFleet& fleet, const Flags& flags) {
   const bool runtime_too = !flags.get_bool("metrics-deterministic-only", false);
-  MetricsSnapshot snap = fleet.metrics().scrape(runtime_too);
+  MetricsSnapshot snap = FleetScrape(fleet, runtime_too);
   snap.merge(MetricsRegistry::Default().scrape(runtime_too));
   return snap;
 }
@@ -509,8 +511,16 @@ int Serve(const Flags& flags) {
   const double heal_every = flags.get_double("heal-every-ms", 1000.0);
   const bool resume = flags.get_bool("resume", false);
   const bool oracle_check = flags.get_bool("oracle-check", false);
+  const double watch_every = flags.get_double("watch-every-ms", 500.0);
+  const auto audit_every =
+      static_cast<std::uint64_t>(flags.get_int("audit-every", 64));
+  WatchdogOptions wopts;
+  wopts.skew_ratio = flags.get_double("slo-skew", 4.0);
+  wopts.max_backlog = static_cast<std::size_t>(flags.get_int("slo-backlog", 64));
+  wopts.audit_every = audit_every;
   if (resume && base.empty()) Usage("--resume requires --base");
   if (heal_every <= 0.0) Usage("--heal-every-ms must be positive");
+  if (watch_every < 0.0) Usage("--watch-every-ms must be >= 0");
 
   const std::vector<JournalRecord> schedule =
       BuildChaosSchedule(net, wl, num_events, churn_every, seed);
@@ -620,6 +630,21 @@ int Serve(const Flags& flags) {
     Usage("--events is smaller than the resumed fleet's sequence number; "
           "pass the original trace length");
 
+  // SLO watchdog + invariant auditor.  Alerts go to stderr as they fire
+  // (the report prints a summary); they never change the exit code — a
+  // slow shard is an operator signal, not a failed run.
+  FleetWatchdog watchdog(wopts, &fleet->metrics());
+  std::size_t alerts_total = 0;
+  const auto report_alerts = [&](const std::vector<WatchdogAlert>& alerts) {
+    alerts_total += alerts.size();
+    for (const WatchdogAlert& a : alerts)
+      std::fprintf(stderr, "watchdog: %s: %s\n", WatchdogAlertKindName(a.kind),
+                   a.detail.c_str());
+  };
+  const auto run_audit = [&] {
+    report_alerts(watchdog.audit(clock.now_ms(), CollectShardAudit(*fleet)));
+  };
+
   const auto do_checkpoint = [&]() {
     if (base.empty() || fleet->stalled()) return;
     const FleetCheckpoint cp = fleet->checkpoint();
@@ -648,6 +673,7 @@ int Serve(const Flags& flags) {
     }
     if (snapshot_every > 0 && fleet->seq() % snapshot_every == 0)
       do_checkpoint();
+    if (audit_every > 0 && fleet->seq() % audit_every == 0) run_audit();
   };
   const auto drain = [&]() {
     while (!backlog.empty() && !fleet->stalled()) {
@@ -670,6 +696,12 @@ int Serve(const Flags& flags) {
   loop.every(heal_every, heal_every, [&] {
     if (fleet->heal()) drain();
   });
+  if (watch_every > 0.0)
+    loop.every(watch_every, watch_every, [&] {
+      report_alerts(watchdog.check(clock.now_ms(),
+                                   fleet->shard_publish_histograms(),
+                                   backlog.size()));
+    });
   loop.run();
 
   // A stall near the end of the trace parks the remainder in the backlog
@@ -689,6 +721,12 @@ int Serve(const Flags& flags) {
                  (unsigned long long)fleet->seq(), backlog.size());
   else
     do_checkpoint();
+  // Closing watchdog pass: a skew or divergence that appeared after the
+  // last timer firing still surfaces (and a clean run stays silent).
+  if (watch_every > 0.0)
+    report_alerts(watchdog.check(
+        clock.now_ms(), fleet->shard_publish_histograms(), backlog.size()));
+  if (audit_every > 0) run_audit();
 
   bool oracle_ok = true;
   if (oracle_check) {
@@ -714,8 +752,144 @@ int Serve(const Flags& flags) {
               "shards\n\n",
               events_served, last_timestamp, fleet->num_shards());
   PrintFleetReport(*fleet);
+  std::printf("watchdog          %zu alerts (%llu checks, %llu audits)\n",
+              alerts_total, (unsigned long long)watchdog.checks(),
+              (unsigned long long)watchdog.audits());
   WriteFleetMetricsOutputs(*fleet, flags);
+  const std::string trace_path = flags.get("trace-out", "");
+  if (!trace_path.empty()) {
+    std::ostringstream os;
+    WriteTraceJson(os, fleet->collect_spans(), fleet->trace_recorded(),
+                   fleet->trace_dropped());
+    SaveToFile(trace_path, os.str());
+  }
   return (stalled_out || !oracle_ok) ? 1 : 0;
+}
+
+// Text dashboard over a fleet run: a lean `serve` — fresh fleet, no
+// durability — that prints per-shard health frames (seq, subscribers,
+// publish-latency p50/p99 via HistogramQuantile, degraded markers) driven
+// off the event loop: every --interval-ms of trace time, or one final
+// frame when the interval is 0.  Watchdog alerts stream to stderr.
+int Top(const Flags& flags) {
+  flags.require_known(CliFlagNames("top"));
+  const std::string net_path = flags.get("net", "");
+  const std::string wl_path = flags.get("workload", "");
+  if (net_path.empty() || wl_path.empty())
+    Usage("top requires --net and --workload");
+  std::istringstream net_is(LoadFromFile(net_path));
+  const TransitStubNetwork net = ReadTransitStub(net_is);
+  std::istringstream wl_is(LoadFromFile(wl_path));
+  const Workload wl = ReadWorkload(wl_is);
+  if (IsSection3Space(wl.space))
+    Usage("top drives a stock trace; --workload must be a stock workload "
+          "(gen-workload --model=stock)");
+
+  const auto model = ModelFor(net, wl, flags);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const auto num_events =
+      static_cast<std::size_t>(flags.get_int("events", 2000));
+  const auto churn_every =
+      static_cast<std::size_t>(flags.get_int("churn-every", 0));
+  const double interval = flags.get_double("interval-ms", 0.0);
+  if (interval < 0.0) Usage("--interval-ms must be >= 0");
+
+  FleetOptions fopts;
+  fopts.num_shards = static_cast<std::size_t>(flags.get_int("shards", 2));
+  if (fopts.num_shards == 0) Usage("--shards must be >= 1");
+  fopts.broker = BrokerOptionsFromFlags(flags);
+
+  const std::vector<JournalRecord> schedule =
+      BuildChaosSchedule(net, wl, num_events, churn_every, seed);
+
+  ManualClock clock;
+  BrokerFleet fleet(wl, *model, net.graph, fopts, &clock);
+  WatchdogOptions wopts;
+  wopts.skew_ratio = flags.get_double("slo-skew", 4.0);
+  wopts.max_backlog = static_cast<std::size_t>(flags.get_int("slo-backlog", 64));
+  FleetWatchdog watchdog(wopts, &fleet.metrics());
+  std::size_t alerts_total = 0;
+  const auto report_alerts = [&](const std::vector<WatchdogAlert>& alerts) {
+    alerts_total += alerts.size();
+    for (const WatchdogAlert& a : alerts)
+      std::fprintf(stderr, "watchdog: %s: %s\n", WatchdogAlertKindName(a.kind),
+                   a.detail.c_str());
+  };
+
+  EventLoop loop(&clock);
+  std::deque<JournalRecord> backlog;
+  const auto apply_one = [&](const JournalRecord& rec) {
+    try {
+      fleet.apply(rec);
+    } catch (const FleetDegradedError&) {
+    }
+  };
+  const auto drain = [&] {
+    while (!backlog.empty() && !fleet.stalled()) {
+      apply_one(backlog.front());
+      backlog.pop_front();
+    }
+  };
+
+  const auto frame = [&] {
+    const std::vector<const Histogram*> hists =
+        fleet.shard_publish_histograms();
+    std::printf("t=%.1fs seq=%llu live=%zu stalled=%d backlog=%zu alerts=%zu\n",
+                clock.now_ms() / 1000.0, (unsigned long long)fleet.seq(),
+                fleet.live_subscribers(), fleet.stalled() ? 1 : 0,
+                backlog.size(), alerts_total);
+    for (std::size_t k = 0; k < fleet.num_shards(); ++k) {
+      if (!fleet.shard_alive(k)) {
+        std::printf("  shard %zu  DOWN  seq=%llu\n", k,
+                    (unsigned long long)fleet.shard_seq(k));
+        continue;
+      }
+      const Broker& b = fleet.shard(k);
+      const Histogram* h = hists[k];
+      const double p50 =
+          HistogramQuantile(h->upper_bounds(), h->bucket_counts(), 0.5);
+      const double p99 =
+          HistogramQuantile(h->upper_bounds(), h->bucket_counts(), 0.99);
+      std::printf("  shard %zu  seq=%llu subs=%zu publishes=%llu "
+                  "p50=%.3fms p99=%.3fms%s\n",
+                  k, (unsigned long long)fleet.shard_seq(k),
+                  b.workload().num_subscribers(), (unsigned long long)h->count(),
+                  p50, p99, b.degraded() ? " DEGRADED" : "");
+    }
+  };
+
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    loop.at(schedule[i].cmd.time_ms, [&, i] {
+      drain();
+      if (fleet.stalled()) {
+        backlog.push_back(schedule[i]);
+        return;
+      }
+      apply_one(schedule[i]);
+    });
+  }
+  loop.every(1000.0, 1000.0, [&] {  // heal probe, as in serve
+    if (fleet.heal()) drain();
+  });
+  if (interval > 0.0)
+    loop.every(interval, interval, [&] {
+      report_alerts(watchdog.check(
+          clock.now_ms(), fleet.shard_publish_histograms(), backlog.size()));
+      frame();
+    });
+  loop.run();
+  for (int probes = 0; (fleet.stalled() || !backlog.empty()) && probes < 8;
+       ++probes) {
+    fleet.heal();
+    drain();
+  }
+  report_alerts(watchdog.check(clock.now_ms(),
+                               fleet.shard_publish_histograms(),
+                               backlog.size()));
+  report_alerts(watchdog.audit(clock.now_ms(), CollectShardAudit(fleet)));
+  frame();
+  WriteFleetMetricsOutputs(fleet, flags);
+  return (fleet.stalled() || !backlog.empty()) ? 1 : 0;
 }
 
 // Shared recovery path for `recover` and `stats`: rebuild a broker from
@@ -874,6 +1048,7 @@ int Run(int argc, char** argv) {
     if (cmd == "snapshot") return Snapshot(flags);
     if (cmd == "serve-replay") return ServeReplay(flags);
     if (cmd == "serve") return Serve(flags);
+    if (cmd == "top") return Top(flags);
     if (cmd == "recover") return Recover(flags);
     if (cmd == "stats") return Stats(flags);
     if (cmd == "chaos") return Chaos(flags);
