@@ -1,0 +1,236 @@
+// Storage-tier sweep (docs/STORAGE.md): hit rate and query throughput of a
+// disk-backed PagedRTree as --buffer-pages sweeps from "far below the
+// working set" to "everything resident", against an in-memory baseline.
+//
+// The workload deliberately sizes the subscription set beyond the smallest
+// pool (8000 subs at --page_size=1024 is ~1200 node pages vs 8 frames), so
+// the small-pool rows show the miss-dominated regime and the large-pool
+// rows converge on the all-hits regime.  Two optional gates back the
+// StoragePerfSmoke CTest entry:
+//
+//   --require_hit_ratio=R   warm hit ratio of the *largest* pool >= R
+//   --require_mem_ratio=R   warm disk throughput >= R x mem throughput
+//
+// Exit 77 (CTest SKIP_RETURN_CODE) when the timed passes are inside timer
+// noise and the ratios would be meaningless.
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_report.h"
+#include "geometry/rect.h"
+#include "index/paged_rtree.h"
+#include "obs/clock.h"
+#include "storage/buffer_pool.h"
+#include "storage/storage_manager.h"
+#include "util/flags.h"
+
+namespace pubsub {
+namespace {
+
+std::vector<std::size_t> ParsePoolList(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::istringstream is(csv);
+  std::string tok;
+  while (std::getline(is, tok, ','))
+    if (!tok.empty()) out.push_back(static_cast<std::size_t>(std::stoul(tok)));
+  return out;
+}
+
+Rect RandRect(std::mt19937_64& rng, int dims, int domain) {
+  std::vector<Interval> ivals;
+  for (int d = 0; d < dims; ++d) {
+    double a = static_cast<double>(rng() % static_cast<unsigned>(domain));
+    double b = static_cast<double>(rng() % static_cast<unsigned>(domain));
+    if (a > b) std::swap(a, b);
+    ivals.emplace_back(a - 1.0, b);
+  }
+  return Rect(std::move(ivals));
+}
+
+// One full query pass: `queries` seeded stab probes.  The seed is fixed per
+// call so the warm-up pass and the timed pass touch the same pages in the
+// same order — the timed pass measures a steady-state pool, not a cold one.
+std::size_t QueryPass(const PagedRTree& tree, int queries, int dims,
+                      int domain, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<int> out;
+  std::size_t matched = 0;
+  for (int i = 0; i < queries; ++i) {
+    Point p;
+    for (int d = 0; d < dims; ++d)
+      p.push_back(static_cast<double>(rng() % static_cast<unsigned>(domain)));
+    out.clear();
+    tree.stab(p, out);
+    matched += out.size();
+  }
+  return matched;
+}
+
+struct PassResult {
+  double seconds = 0.0;
+  double hit_ratio = 0.0;  // over the timed pass only
+  std::size_t matched = 0;
+};
+
+PassResult TimedPass(const PagedRTree& tree, BufferPool& pool, int queries,
+                     int dims, int domain, std::uint64_t seed) {
+  const std::uint64_t hits0 = pool.hits();
+  const std::uint64_t miss0 = pool.misses();
+  StopwatchClock watch;
+  PassResult r;
+  r.matched = QueryPass(tree, queries, dims, domain, seed);
+  r.seconds = watch.elapsed_seconds();
+  const double hits = static_cast<double>(pool.hits() - hits0);
+  const double misses = static_cast<double>(pool.misses() - miss0);
+  r.hit_ratio = hits + misses > 0.0 ? hits / (hits + misses) : 1.0;
+  return r;
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int subs = static_cast<int>(flags.get_int("subs", 8000));
+  const int dims = static_cast<int>(flags.get_int("dims", 2));
+  const int domain = static_cast<int>(flags.get_int("domain", 1000));
+  const int queries = static_cast<int>(flags.get_int("queries", 3000));
+  const auto page_size =
+      static_cast<std::uint32_t>(flags.get_int("page_size", 1024));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const std::vector<std::size_t> pool_sizes =
+      ParsePoolList(flags.get("buffer_pages_list", "8,32,128,512"));
+  const double require_hit = flags.get_double("require_hit_ratio", 0.0);
+  const double require_mem = flags.get_double("require_mem_ratio", 0.0);
+  // Below this a timed pass is timer jitter, not signal.
+  constexpr double kNoiseFloorSec = 0.005;
+
+  bench::BenchReport report("storage");
+  report.set_config("subs", subs);
+  report.set_config("dims", dims);
+  report.set_config("queries", queries);
+  report.set_config("page_size", static_cast<long long>(page_size));
+  report.set_config("buffer_pages_list",
+                    flags.get("buffer_pages_list", "8,32,128,512"));
+
+  std::mt19937_64 rng(seed);
+  std::vector<std::pair<Rect, int>> items;
+  items.reserve(static_cast<std::size_t>(subs));
+  for (int i = 0; i < subs; ++i)
+    items.emplace_back(RandRect(rng, dims, domain), i);
+
+  // Build the page file once; every pool size reopens this same image.
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("bench_storage_" + std::to_string(::getpid()) + ".pages"))
+          .string();
+  {
+    DiskStorageManager::Options sopts;
+    sopts.page_size = page_size;
+    auto sm = DiskStorageManager::Create(path, sopts);
+    BufferPool pool(sm.get(), {/*capacity=*/static_cast<std::size_t>(subs)});
+    PagedRTree tree = PagedRTree::BulkLoad(&pool, items, dims);
+    tree.sync();
+  }
+  const std::size_t file_pages =
+      std::filesystem::file_size(path) / page_size - 1;
+  std::printf("storage sweep: %d subs, %d dims, %zu node pages of %u bytes, "
+              "%d stab queries per pass\n\n",
+              subs, dims, file_pages, page_size, queries);
+
+  // In-memory baseline: same tree, MemoryStorageManager, everything-resident
+  // pool.  Its warm pass is the throughput yardstick for --require_mem_ratio.
+  double mem_qps = 0.0;
+  std::size_t mem_matched = 0;
+  {
+    MemoryStorageManager sm(page_size);
+    BufferPool pool(&sm, {static_cast<std::size_t>(subs)});
+    PagedRTree tree = PagedRTree::BulkLoad(&pool, items, dims);
+    QueryPass(tree, queries, dims, domain, seed + 1);  // warm up
+    const PassResult r = TimedPass(tree, pool, queries, dims, domain, seed + 1);
+    mem_matched = r.matched;
+    mem_qps = r.seconds > 0.0 ? queries / r.seconds : 0.0;
+    std::printf("%12s  %10s  %9s  %12s  %9s\n", "buffer_pages", "hit_ratio",
+                "evictions", "queries/s", "vs mem");
+    std::printf("%12s  %10.4f  %9llu  %12.0f  %9s\n", "mem",
+                r.hit_ratio, static_cast<unsigned long long>(pool.evictions()),
+                mem_qps, "1.00x");
+    if (require_mem > 0.0 && r.seconds < kNoiseFloorSec) {
+      std::printf("\nstorage perf gate: SKIPPED (mem pass %.1fms is inside "
+                  "timer noise)\n", r.seconds * 1e3);
+      std::filesystem::remove(path);
+      return 77;
+    }
+    report.add("mem_queries_per_sec", mem_qps, "queries/s");
+  }
+
+  bool ok = true;
+  double last_hit_ratio = 0.0;
+  double last_disk_qps = 0.0;
+  double last_seconds = 0.0;
+  for (const std::size_t buffer_pages : pool_sizes) {
+    DiskStorageManager::Options sopts;
+    sopts.page_size = page_size;
+    auto sm = DiskStorageManager::Open(path, sopts);
+    BufferPool pool(sm.get(), {buffer_pages});
+    PagedRTree tree = PagedRTree::Open(&pool);
+    if (tree.size() != static_cast<std::size_t>(subs)) {
+      std::fprintf(stderr, "reopened tree lost entries: %zu != %d\n",
+                   tree.size(), subs);
+      return 1;
+    }
+    QueryPass(tree, queries, dims, domain, seed + 1);  // warm up
+    const PassResult r = TimedPass(tree, pool, queries, dims, domain, seed + 1);
+    if (r.matched != mem_matched) {
+      std::fprintf(stderr, "disk pass diverged from mem baseline: %zu != %zu "
+                   "matches\n", r.matched, mem_matched);
+      return 1;
+    }
+    const double qps = r.seconds > 0.0 ? queries / r.seconds : 0.0;
+    std::printf("%12zu  %10.4f  %9llu  %12.0f  %8.2fx\n", buffer_pages,
+                r.hit_ratio, static_cast<unsigned long long>(pool.evictions()),
+                qps, mem_qps > 0.0 ? qps / mem_qps : 0.0);
+    const std::string tag = "bp" + std::to_string(buffer_pages);
+    report.add("hit_ratio_" + tag, r.hit_ratio, "ratio");
+    report.add("queries_per_sec_" + tag, qps, "queries/s");
+    last_hit_ratio = r.hit_ratio;
+    last_disk_qps = qps;
+    last_seconds = r.seconds;
+  }
+  std::filesystem::remove(path);
+
+  // Gates apply to the final (largest) pool: the row that should be warm.
+  if (require_hit > 0.0 || require_mem > 0.0) {
+    if (last_seconds < kNoiseFloorSec) {
+      std::printf("\nstorage perf gate: SKIPPED (disk pass %.1fms is inside "
+                  "timer noise)\n", last_seconds * 1e3);
+      return 77;
+    }
+    const double mem_ratio = mem_qps > 0.0 ? last_disk_qps / mem_qps : 0.0;
+    if (require_hit > 0.0) {
+      const bool pass = last_hit_ratio >= require_hit;
+      std::printf("\nhit-ratio gate: %.4f >= %.4f : %s\n", last_hit_ratio,
+                  require_hit, pass ? "PASS" : "FAIL");
+      ok = ok && pass;
+    }
+    if (require_mem > 0.0) {
+      const bool pass = mem_ratio >= require_mem;
+      std::printf("mem-ratio gate: %.2fx >= %.2fx : %s\n", mem_ratio,
+                  require_mem, pass ? "PASS" : "FAIL");
+      ok = ok && pass;
+    }
+  }
+  const std::string json = report.write();
+  if (!json.empty()) std::printf("\nreport: %s\n", json.c_str());
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pubsub
+
+int main(int argc, char** argv) { return pubsub::Run(argc, argv); }

@@ -76,4 +76,50 @@ ChaosReport RunChaos(const TransitStubNetwork& net, const Workload& base,
 // Multi-line human-readable rendering (pubsub_cli chaos).
 std::string FormatChaosReport(const ChaosReport& r);
 
+// ---------------------------------------------------------------------------
+// Real-filesystem storage chaos (pubsub_cli chaos --storage=disk).
+//
+// The in-memory chaos harness above exercises the broker's durability logic
+// against string-backed sinks; the storage drill complements it by driving
+// the *paged storage tier* on an actual filesystem through the three
+// storage.* fail-point sites (short write, read error, flush failure →
+// degraded mode → clear) plus physical torn tails (the page file truncated
+// at an arbitrary byte offset).
+//
+// Protocol under test: a page file is a valid tree only after a clean
+// build + sync, and files are built at a temp path and renamed over the
+// previous good file — so any crash mid-build must leave the last good
+// file answering queries bit-identically to the in-memory reference.
+
+struct StorageChaosOptions {
+  std::string dir;           // directory for page files (must exist)
+  std::size_t num_rects = 500;
+  std::size_t dims = 2;
+  std::size_t queries = 48;  // stab/intersecting/containing probes per check
+  std::uint64_t seed = 7;    // workload (rects + probes)
+  std::uint64_t chaos_seed = 1;  // fault rotation stream
+  std::size_t cycles = 40;   // fault/recover cycles
+  std::uint32_t page_size = 1024;
+  std::size_t buffer_pages = 8;
+};
+
+struct StorageChaosReport {
+  std::size_t cycles = 0;
+  std::size_t crashes = 0;          // InjectedCrash kills survived
+  std::size_t read_errors = 0;      // injected read errors surfaced
+  std::size_t short_writes = 0;     // short page writes healed by retry
+  std::size_t flush_retries = 0;    // flush failures healed by retry
+  std::size_t degraded_entries = 0; // degraded → clear_degraded round trips
+  std::size_t torn_tails = 0;       // physical truncations detected at reopen
+  std::size_t rebuilds = 0;         // full rebuilds after a lost build
+  std::size_t parity_checks = 0;    // query-parity comparisons vs reference
+  std::size_t parity_mismatches = 0;  // any non-zero value is a found bug
+  std::map<std::string, std::uint64_t> faults_by_site;
+  bool ok() const { return parity_mismatches == 0 && parity_checks > 0; }
+};
+
+StorageChaosReport RunStorageChaos(const StorageChaosOptions& opts);
+
+std::string FormatStorageChaosReport(const StorageChaosReport& r);
+
 }  // namespace pubsub

@@ -1,0 +1,466 @@
+#include "index/paged_rtree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "index/rtree_split.h"
+#include "storage/page_codec.h"
+
+namespace pubsub {
+
+using rtree_detail::CheckInsertable;
+using rtree_detail::Enlargement;
+using rtree_detail::Measure;
+using rtree_detail::QuadraticSplit;
+using storage::GetF64;
+using storage::GetU32;
+using storage::PutF64;
+using storage::PutU32;
+
+namespace {
+
+// Node page payload:  [flags u32][count u32][mbr 2*dims f64][items...]
+// Leaf item:      [rect 2*dims f64][id u32]
+// Internal item:  [child mbr 2*dims f64][child page u32]
+constexpr std::size_t kNodeHeaderBytes = 8;
+constexpr std::uint32_t kLeafFlag = 1;
+
+std::size_t RectBytes(std::size_t dims) { return 16 * dims; }
+std::size_t ItemBytes(std::size_t dims) { return RectBytes(dims) + 4; }
+
+void PutRect(char* p, const Rect& r) {
+  for (std::size_t d = 0; d < r.dims(); ++d) {
+    PutF64(p + 16 * d, r[d].lo());
+    PutF64(p + 16 * d + 8, r[d].hi());
+  }
+}
+
+Rect GetRect(const char* p, std::size_t dims) {
+  std::vector<Interval> ivals;
+  ivals.reserve(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    ivals.emplace_back(GetF64(p + 16 * d), GetF64(p + 16 * d + 8));
+  }
+  return Rect(std::move(ivals));
+}
+
+}  // namespace
+
+// In-memory image of one node page.  Loaded, mutated, stored back; the
+// page is pinned only for the duration of the copy.
+struct PagedRTree::Node {
+  struct LeafEntry {
+    Rect rect;
+    int id;
+  };
+  struct ChildEntry {
+    Rect mbr;
+    PageId page;
+  };
+
+  Rect mbr;
+  bool leaf = true;
+  std::vector<LeafEntry> entries;    // leaf only
+  std::vector<ChildEntry> children;  // internal only
+
+  std::size_t fanout() const { return leaf ? entries.size() : children.size(); }
+
+  void recompute_mbr() {
+    Rect m;
+    if (leaf) {
+      for (const LeafEntry& e : entries) m = m.dims() == 0 ? e.rect : m.hull(e.rect);
+    } else {
+      for (const ChildEntry& c : children) m = m.dims() == 0 ? c.mbr : m.hull(c.mbr);
+    }
+    mbr = m;
+  }
+};
+
+struct PagedRTree::InsertOutcome {
+  Rect self_mbr;  // the node's MBR after the insert (and any split)
+  bool has_sibling = false;
+  PageId sibling_page = kNoPage;
+  Rect sibling_mbr;
+};
+
+PagedRTree::PagedRTree(BufferPool* pool, std::size_t dims,
+                       std::size_t max_entries)
+    : pool_(pool),
+      dims_(dims),
+      max_entries_(max_entries),
+      min_entries_(std::max<std::size_t>(2, max_entries / 3)) {
+  if (max_entries < 4)
+    throw std::invalid_argument("PagedRTree: max_entries must be >= 4");
+  if (dims == 0) throw std::invalid_argument("PagedRTree: dims must be >= 1");
+  if (MaxEntriesForPage(pool->payload_size(), dims) < max_entries) {
+    throw std::invalid_argument(
+        "PagedRTree: a node of " + std::to_string(max_entries) + " entries in " +
+        std::to_string(dims) + " dims does not fit a " +
+        std::to_string(pool->payload_size()) + "-byte page payload");
+  }
+}
+
+PagedRTree::PagedRTree(BufferPool* pool, std::size_t dims,
+                       std::size_t max_entries, PageId root, std::size_t size,
+                       int height)
+    : PagedRTree(pool, dims, max_entries) {
+  root_ = root;
+  size_ = size;
+  height_ = height;
+}
+
+std::size_t PagedRTree::MaxEntriesForPage(std::uint32_t payload_size,
+                                          std::size_t dims) {
+  const std::size_t fixed = kNodeHeaderBytes + RectBytes(dims);
+  if (payload_size <= fixed) return 0;
+  return (payload_size - fixed) / ItemBytes(dims);
+}
+
+PagedRTree PagedRTree::Open(BufferPool* pool) {
+  const std::string& meta = pool->storage()->meta();
+  std::istringstream in(meta);
+  std::string tag, version;
+  std::size_t dims = 0, fanout = 0, size = 0;
+  std::uint32_t root = 0;
+  int height = 0;
+  in >> tag >> version;
+  char eq = 0;
+  auto field = [&](const char* name, auto& out) {
+    std::string key;
+    in >> key;
+    const std::string want = std::string(name) + "=";
+    if (key.rfind(want, 0) != 0) return false;
+    std::istringstream v(key.substr(want.size()));
+    v >> out;
+    (void)eq;
+    return !v.fail();
+  };
+  if (tag != "prtree" || version != "v1" || !field("dims", dims) ||
+      !field("fanout", fanout) || !field("root", root) ||
+      !field("size", size) || !field("height", height)) {
+    throw StorageError(StorageErrorCode::kBadHeader, kNoPage,
+                       "page file metadata is not a paged R-tree: \"" + meta +
+                           "\"");
+  }
+  return PagedRTree(pool, dims, fanout, root, size, height);
+}
+
+void PagedRTree::sync() {
+  std::ostringstream meta;
+  meta << "prtree v1 dims=" << dims_ << " fanout=" << max_entries_
+       << " root=" << root_ << " size=" << size_ << " height=" << height_;
+  pool_->storage()->set_meta(meta.str());
+  pool_->flush();
+}
+
+PagedRTree::Node PagedRTree::load_node(PageId id) const {
+  PageRef ref(*pool_, id);
+  const char* p = ref.data();
+  Node node;
+  const std::uint32_t flags = GetU32(p);
+  const std::uint32_t count = GetU32(p + 4);
+  node.leaf = (flags & kLeafFlag) != 0;
+  if (count > max_entries_ + 1) {
+    throw StorageError(StorageErrorCode::kBadPage, id,
+                       "node fanout exceeds the tree's max_entries");
+  }
+  node.mbr = count == 0 ? Rect() : GetRect(p + kNodeHeaderBytes, dims_);
+  const char* items = p + kNodeHeaderBytes + RectBytes(dims_);
+  const std::size_t stride = ItemBytes(dims_);
+  if (node.leaf) {
+    node.entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const char* item = items + i * stride;
+      node.entries.push_back(Node::LeafEntry{
+          GetRect(item, dims_),
+          static_cast<int>(static_cast<std::int32_t>(
+              GetU32(item + RectBytes(dims_))))});
+    }
+  } else {
+    node.children.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const char* item = items + i * stride;
+      node.children.push_back(Node::ChildEntry{
+          GetRect(item, dims_), GetU32(item + RectBytes(dims_))});
+    }
+  }
+  return node;
+}
+
+void PagedRTree::store_node(PageId id, const Node& node) {
+  PageRef ref(*pool_, id);
+  char* p = ref.data();
+  std::memset(p, 0, pool_->payload_size());
+  PutU32(p, node.leaf ? kLeafFlag : 0);
+  PutU32(p + 4, static_cast<std::uint32_t>(node.fanout()));
+  if (node.fanout() != 0) PutRect(p + kNodeHeaderBytes, node.mbr);
+  char* items = p + kNodeHeaderBytes + RectBytes(dims_);
+  const std::size_t stride = ItemBytes(dims_);
+  if (node.leaf) {
+    for (std::size_t i = 0; i < node.entries.size(); ++i) {
+      char* item = items + i * stride;
+      PutRect(item, node.entries[i].rect);
+      PutU32(item + RectBytes(dims_),
+             static_cast<std::uint32_t>(
+                 static_cast<std::int32_t>(node.entries[i].id)));
+    }
+  } else {
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      char* item = items + i * stride;
+      PutRect(item, node.children[i].mbr);
+      PutU32(item + RectBytes(dims_), node.children[i].page);
+    }
+  }
+  ref.set_dirty();
+}
+
+void PagedRTree::insert(const Rect& r, int id) {
+  CheckInsertable(r);
+  if (r.dims() != dims_)
+    throw std::invalid_argument("PagedRTree: rectangle dims mismatch");
+  if (root_ == kNoPage) {
+    Node empty_root;
+    empty_root.leaf = true;
+    root_ = pool_->allocate();
+    pool_->unpin(root_, /*dirty=*/true);
+    store_node(root_, empty_root);
+    height_ = 1;
+  }
+  InsertOutcome outcome = insert_rec(root_, r, id);
+  if (outcome.has_sibling) {
+    // Grow a new root over the old one and its split sibling, mirroring
+    // RTree: children pushed in [old root, sibling] order.
+    Node new_root;
+    new_root.leaf = false;
+    new_root.children.push_back(Node::ChildEntry{outcome.self_mbr, root_});
+    new_root.children.push_back(
+        Node::ChildEntry{outcome.sibling_mbr, outcome.sibling_page});
+    new_root.recompute_mbr();
+    const PageId new_root_page = pool_->allocate();
+    pool_->unpin(new_root_page, /*dirty=*/true);
+    store_node(new_root_page, new_root);
+    root_ = new_root_page;
+    ++height_;
+  }
+  ++size_;
+}
+
+PagedRTree::InsertOutcome PagedRTree::insert_rec(PageId page, const Rect& r,
+                                                 int id) {
+  Node node = load_node(page);
+  node.mbr = node.fanout() == 0 ? r : node.mbr.hull(r);
+  if (node.leaf) {
+    node.entries.push_back(Node::LeafEntry{r, id});
+    if (node.entries.size() <= max_entries_) {
+      store_node(page, node);
+      return InsertOutcome{node.mbr};
+    }
+    // Leaf split (Guttman quadratic), identical to RTree::split_leaf.
+    std::vector<Node::LeafEntry> items = std::move(node.entries);
+    node.entries.clear();
+    Node sibling;
+    sibling.leaf = true;
+    QuadraticSplit(items, node.entries, sibling.entries, min_entries_,
+                   [](const Node::LeafEntry& e) -> const Rect& { return e.rect; });
+    node.recompute_mbr();
+    sibling.recompute_mbr();
+    store_node(page, node);
+    const PageId sibling_page = pool_->allocate();
+    pool_->unpin(sibling_page, /*dirty=*/true);
+    store_node(sibling_page, sibling);
+    return InsertOutcome{node.mbr, true, sibling_page, sibling.mbr};
+  }
+
+  // Choose the child needing least enlargement (ties: smaller measure),
+  // scanning children in stored order exactly as RTree does.
+  std::size_t best = 0;
+  double best_enl = std::numeric_limits<double>::infinity();
+  double best_measure = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    const double enl = Enlargement(node.children[i].mbr, r);
+    const double m = Measure(node.children[i].mbr);
+    if (enl < best_enl || (enl == best_enl && m < best_measure)) {
+      best_enl = enl;
+      best_measure = m;
+      best = i;
+    }
+  }
+  const InsertOutcome child_outcome = insert_rec(node.children[best].page, r, id);
+  node.children[best].mbr = child_outcome.self_mbr;
+  if (child_outcome.has_sibling) {
+    node.children.push_back(Node::ChildEntry{child_outcome.sibling_mbr,
+                                             child_outcome.sibling_page});
+    if (node.children.size() > max_entries_) {
+      std::vector<Node::ChildEntry> items = std::move(node.children);
+      node.children.clear();
+      Node sibling;
+      sibling.leaf = false;
+      QuadraticSplit(items, node.children, sibling.children, min_entries_,
+                     [](const Node::ChildEntry& c) -> const Rect& { return c.mbr; });
+      node.recompute_mbr();
+      sibling.recompute_mbr();
+      store_node(page, node);
+      const PageId sibling_page = pool_->allocate();
+      pool_->unpin(sibling_page, /*dirty=*/true);
+      store_node(sibling_page, sibling);
+      return InsertOutcome{node.mbr, true, sibling_page, sibling.mbr};
+    }
+  }
+  store_node(page, node);
+  return InsertOutcome{node.mbr};
+}
+
+PagedRTree PagedRTree::BulkLoad(BufferPool* pool,
+                                std::vector<std::pair<Rect, int>> items,
+                                std::size_t dims, std::size_t max_entries) {
+  PagedRTree tree(pool, dims, max_entries);
+  if (items.empty()) return tree;
+  for (const auto& item : items) {
+    CheckInsertable(item.first);
+    if (item.first.dims() != dims)
+      throw std::invalid_argument("PagedRTree: rectangle dims mismatch");
+  }
+
+  auto emit = [&](const Node& node) {
+    const PageId id = pool->allocate();
+    pool->unpin(id, /*dirty=*/true);
+    tree.store_node(id, node);
+    return Node::ChildEntry{node.mbr, id};
+  };
+
+  // Sort-Tile-Recursive leaf packing, mirroring RTree::BulkLoad (same sort
+  // keys, same slab arithmetic via StrSlabCount, same leaf boundaries).
+  std::vector<Node::ChildEntry> level;
+  auto center = [](const Rect& r, std::size_t d) {
+    return 0.5 * (r[d].lo() + r[d].hi());
+  };
+
+  using Iter = std::vector<std::pair<Rect, int>>::iterator;
+  auto pack = [&](auto&& self, Iter begin, Iter end, std::size_t dim) -> void {
+    const std::size_t n = static_cast<std::size_t>(end - begin);
+    if (dim + 1 >= dims || n <= max_entries) {
+      std::sort(begin, end, [&](const auto& a, const auto& b) {
+        return center(a.first, dim) < center(b.first, dim);
+      });
+      for (Iter it = begin; it < end; it += static_cast<std::ptrdiff_t>(
+               std::min<std::size_t>(max_entries, static_cast<std::size_t>(end - it)))) {
+        const std::size_t take = std::min<std::size_t>(max_entries, static_cast<std::size_t>(end - it));
+        Node leaf;
+        leaf.leaf = true;
+        for (std::size_t i = 0; i < take; ++i)
+          leaf.entries.push_back(Node::LeafEntry{(it + static_cast<std::ptrdiff_t>(i))->first,
+                                                 (it + static_cast<std::ptrdiff_t>(i))->second});
+        leaf.recompute_mbr();
+        level.push_back(emit(leaf));
+      }
+      return;
+    }
+    std::sort(begin, end, [&](const auto& a, const auto& b) {
+      return center(a.first, dim) < center(b.first, dim);
+    });
+    const std::size_t slabs = rtree_detail::StrSlabCount(n, max_entries, dims, dim);
+    const std::size_t slab_size = (n + slabs - 1) / slabs;
+    for (Iter it = begin; it < end;) {
+      const std::size_t take = std::min<std::size_t>(slab_size, static_cast<std::size_t>(end - it));
+      self(self, it, it + static_cast<std::ptrdiff_t>(take), dim + 1);
+      it += static_cast<std::ptrdiff_t>(take);
+    }
+  };
+  pack(pack, items.begin(), items.end(), 0);
+  int height = 1;
+
+  // Build upper levels by grouping consecutive nodes.
+  while (level.size() > 1) {
+    std::vector<Node::ChildEntry> parents;
+    for (std::size_t i = 0; i < level.size();) {
+      const std::size_t take = std::min(max_entries, level.size() - i);
+      Node parent;
+      parent.leaf = false;
+      for (std::size_t j = 0; j < take; ++j)
+        parent.children.push_back(level[i + j]);
+      parent.recompute_mbr();
+      parents.push_back(emit(parent));
+      i += take;
+    }
+    level = std::move(parents);
+    ++height;
+  }
+  tree.root_ = level.front().page;
+  tree.size_ = items.size();
+  tree.height_ = height;
+  return tree;
+}
+
+template <typename NodeTest, typename EntryTest>
+void PagedRTree::query(NodeTest node_test, EntryTest entry_test,
+                       std::vector<int>& out) const {
+  if (root_ == kNoPage) return;
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    const Node node = load_node(page);
+    if (node.fanout() == 0 || !node_test(node.mbr)) continue;
+    if (node.leaf) {
+      for (const Node::LeafEntry& e : node.entries)
+        if (entry_test(e.rect)) out.push_back(e.id);
+    } else {
+      for (const Node::ChildEntry& c : node.children) stack.push_back(c.page);
+    }
+  }
+}
+
+void PagedRTree::stab(const Point& p, std::vector<int>& out) const {
+  query([&](const Rect& mbr) { return mbr.contains(p); },
+        [&](const Rect& rect) { return rect.contains(p); }, out);
+}
+
+void PagedRTree::intersecting(const Rect& r, std::vector<int>& out) const {
+  query([&](const Rect& mbr) { return mbr.intersects(r); },
+        [&](const Rect& rect) { return rect.intersects(r); }, out);
+}
+
+void PagedRTree::containing(const Rect& r, std::vector<int>& out) const {
+  // A node can only hold an entry containing r if its MBR contains r.
+  query([&](const Rect& mbr) { return mbr.contains(r); },
+        [&](const Rect& rect) { return rect.contains(r); }, out);
+}
+
+bool PagedRTree::check_invariants() const {
+  if (root_ == kNoPage) return size_ == 0;
+
+  std::size_t entries = 0;
+  int leaf_depth = -1;
+  int max_depth = 0;
+  bool ok = true;
+
+  auto walk = [&](auto&& self, PageId page, int depth, bool is_root) -> void {
+    const Node node = load_node(page);
+    max_depth = std::max(max_depth, depth + 1);
+    if (!is_root && node.fanout() == 0) ok = false;
+    if (node.fanout() > max_entries_) ok = false;
+    // The stored MBR must agree with a recomputation from the contents.
+    Node copy = node;
+    copy.recompute_mbr();
+    if (node.fanout() != 0 && !(copy.mbr == node.mbr)) ok = false;
+    if (node.leaf) {
+      if (leaf_depth == -1) leaf_depth = depth;
+      if (depth != leaf_depth) ok = false;
+      entries += node.entries.size();
+      for (const Node::LeafEntry& e : node.entries)
+        if (!node.mbr.contains(e.rect)) ok = false;
+    } else {
+      if (node.children.empty()) ok = false;
+      for (const Node::ChildEntry& c : node.children) {
+        if (!node.mbr.contains(c.mbr)) ok = false;
+        self(self, c.page, depth + 1, false);
+      }
+    }
+  };
+  walk(walk, root_, 0, true);
+  return ok && entries == size_ && max_depth == height_;
+}
+
+}  // namespace pubsub

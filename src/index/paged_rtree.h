@@ -1,0 +1,100 @@
+// R-tree over the paged storage seam: node = page, lazily loaded through a
+// buffer pool (ROADMAP item 3; docs/STORAGE.md).
+//
+// PagedRTree mirrors RTree (index/rtree.{h,cc}) decision-for-decision —
+// same Guttman quadratic split, same least-enlargement descent with the
+// same tie-breaks, same STR bulk loader (shared via index/rtree_split.h) —
+// so a paged tree built from the same insert history answers every query
+// with the *identical* id sequence.  That is the bit-identity oracle that
+// makes the storage tier drop-in: the broker can spill its index to disk
+// without perturbing deterministic replay digests.
+//
+// Differences from RTree, all storage-driven:
+//   * Nodes live in pages.  Traversal pins one page at a time (plus one
+//     sibling during a split), so a --buffer-pages as small as 2 is
+//     functionally correct — just slow (every visit becomes a miss).
+//   * The tree's root/size/height/geometry persist in the page file's
+//     header metadata; sync() is the durability point.  A file is a valid
+//     tree only after a clean sync — the CLI builds page files at a temp
+//     path and renames them into place, exactly like text snapshots.
+//   * erase() is not offered at this tier.  The paged tree serves the
+//     beyond-RAM, mostly-read tier (cold-start recovery, spilled indexes);
+//     churn stays in the in-memory covering/slab structures and a rebuild
+//     (BulkLoad) refreshes the paged image.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "index/spatial_index.h"
+#include "storage/buffer_pool.h"
+
+namespace pubsub {
+
+class PagedRTree final : public SpatialIndex {
+ public:
+  // Start a fresh tree in `pool` (which must outlive the tree).  Throws
+  // std::invalid_argument if max_entries < 4 or a node of max_entries
+  // entries cannot fit one page.
+  PagedRTree(BufferPool* pool, std::size_t dims, std::size_t max_entries = 8);
+  // Reopen a tree previously persisted with sync() from the pool's file
+  // header metadata.
+  static PagedRTree Open(BufferPool* pool);
+  // Sort-Tile-Recursive bulk build, mirroring RTree::BulkLoad.
+  static PagedRTree BulkLoad(BufferPool* pool,
+                             std::vector<std::pair<Rect, int>> items,
+                             std::size_t dims, std::size_t max_entries = 8);
+
+  // Largest max_entries for which a node fills one page payload.
+  static std::size_t MaxEntriesForPage(std::uint32_t payload_size,
+                                       std::size_t dims);
+
+  void insert(const Rect& r, int id) override;
+  std::size_t size() const override { return size_; }
+  using SpatialIndex::containing;
+  using SpatialIndex::intersecting;
+  using SpatialIndex::stab;
+  void stab(const Point& p, std::vector<int>& out) const override;
+  void intersecting(const Rect& r, std::vector<int>& out) const override;
+  void containing(const Rect& r, std::vector<int>& out) const override;
+
+  std::size_t dims() const { return dims_; }
+  std::size_t max_entries() const { return max_entries_; }
+  // Number of node levels (0 for an empty tree), as RTree::height().
+  int height() const { return height_; }
+  BufferPool* pool() { return pool_; }
+
+  // Persist root/size/height into the file header metadata and flush the
+  // pool.  After sync() the page file reopens as this tree.
+  void sync();
+
+  // Structural checks (fanout bounds, MBR containment, uniform leaf depth,
+  // stored-vs-recomputed MBR agreement, entry count == size()).
+  bool check_invariants() const;
+
+ private:
+  struct Node;
+  struct InsertOutcome;
+
+  PagedRTree(BufferPool* pool, std::size_t dims, std::size_t max_entries,
+             PageId root, std::size_t size, int height);
+
+  Node load_node(PageId id) const;
+  void store_node(PageId id, const Node& node);
+  InsertOutcome insert_rec(PageId page, const Rect& r, int id);
+
+  template <typename NodeTest, typename EntryTest>
+  void query(NodeTest node_test, EntryTest entry_test,
+             std::vector<int>& out) const;
+
+  BufferPool* pool_;
+  std::size_t dims_;
+  std::size_t max_entries_;
+  std::size_t min_entries_;
+  PageId root_ = kNoPage;
+  std::size_t size_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace pubsub

@@ -1,0 +1,169 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace pubsub {
+
+BufferPool::BufferPool(StorageManager* storage, const Options& options,
+                       MetricsRegistry* metrics)
+    : storage_(storage), options_(options) {
+  if (options_.capacity == 0) {
+    throw std::invalid_argument("buffer pool capacity must be >= 1");
+  }
+  if (metrics != nullptr) {
+    m_hits_ = metrics->counter("storage_pool_hits_total",
+                               "Buffer-pool pins served from a resident frame");
+    m_misses_ = metrics->counter("storage_pool_misses_total",
+                                 "Buffer-pool pins that loaded from storage");
+    m_evictions_ = metrics->counter("storage_pool_evictions_total",
+                                    "Frames evicted to make room");
+    m_writebacks_ = metrics->counter("storage_pool_writebacks_total",
+                                     "Dirty frames written back to storage");
+    m_capacity_ = metrics->gauge("storage_pool_capacity",
+                                 "Buffer-pool frame capacity (--buffer-pages)");
+    m_pinned_ = metrics->gauge("storage_pool_pinned",
+                               "Frames currently pinned");
+    Set(m_capacity_, static_cast<double>(options_.capacity));
+    Set(m_pinned_, 0.0);
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort write-back; flush() is the real durability point.  Storage
+  // may already be degraded — a destructor must not throw.
+  try {
+    flush();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+char* BufferPool::pin(PageId id) {
+  Frame& frame = frame_for(id, /*load=*/true);
+  if (frame.pins == 0) {
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++pinned_frames_;
+    Set(m_pinned_, static_cast<double>(pinned_frames_));
+  }
+  ++frame.pins;
+  return frame.data.get();
+}
+
+void BufferPool::unpin(PageId id, bool dirty) {
+  auto it = frames_.find(id);
+  if (it == frames_.end() || it->second.pins == 0) {
+    throw std::logic_error("unpin of page " + std::to_string(id) +
+                           " which is not pinned");
+  }
+  Frame& frame = it->second;
+  frame.dirty = frame.dirty || dirty;
+  if (--frame.pins == 0) {
+    lru_.push_front(id);
+    frame.lru_pos = lru_.begin();
+    frame.in_lru = true;
+    --pinned_frames_;
+    Set(m_pinned_, static_cast<double>(pinned_frames_));
+  }
+}
+
+PageId BufferPool::allocate() {
+  const PageId id = storage_->allocate();
+  Frame& frame = frame_for(id, /*load=*/false);
+  std::memset(frame.data.get(), 0, payload_size());
+  frame.dirty = true;
+  if (frame.pins == 0) {
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++pinned_frames_;
+    Set(m_pinned_, static_cast<double>(pinned_frames_));
+  }
+  ++frame.pins;
+  return id;
+}
+
+void BufferPool::free_page(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    if (it->second.pins != 0) {
+      throw std::logic_error("free_page of pinned page " + std::to_string(id));
+    }
+    if (it->second.in_lru) {
+      lru_.erase(it->second.lru_pos);
+    }
+    frames_.erase(it);
+  }
+  storage_->free_page(id);
+}
+
+void BufferPool::flush() {
+  for (auto& [id, frame] : frames_) {
+    if (frame.dirty) {
+      writeback(id, frame);
+    }
+  }
+  storage_->flush();
+}
+
+BufferPool::Frame& BufferPool::frame_for(PageId id, bool load) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    if (load) {
+      ++hits_;
+      Inc(m_hits_);
+    }
+    return it->second;
+  }
+  if (frames_.size() >= options_.capacity) {
+    evict_one();
+  }
+  Frame frame;
+  frame.data = std::make_unique<char[]>(payload_size());
+  if (load) {
+    ++misses_;
+    Inc(m_misses_);
+    storage_->read(id, frame.data.get());
+  }
+  auto [pos, inserted] = frames_.emplace(id, std::move(frame));
+  return pos->second;
+}
+
+void BufferPool::evict_one() {
+  if (lru_.empty()) {
+    throw BufferPoolExhaustedError(
+        "buffer pool exhausted: all " + std::to_string(options_.capacity) +
+        " frames are pinned (raise --buffer-pages or unpin before pinning "
+        "more)");
+  }
+  const PageId victim = lru_.back();
+  auto it = frames_.find(victim);
+  if (it->second.dirty) {
+    writeback(victim, it->second);
+  }
+  lru_.pop_back();
+  frames_.erase(it);
+  ++evictions_;
+  Inc(m_evictions_);
+}
+
+void BufferPool::writeback(PageId id, Frame& frame) {
+  storage_->write(id, frame.data.get());
+  frame.dirty = false;
+  ++writebacks_;
+  Inc(m_writebacks_);
+}
+
+PageRef PageRef::Alloc(BufferPool& pool) {
+  const PageId id = pool.allocate();
+  // allocate() returns the page pinned; adopt that pin (dirty from birth).
+  auto it_data = pool.pin(id);  // second pin so the ctor path stays uniform
+  pool.unpin(id, /*dirty=*/true);
+  return PageRef(pool, id, it_data, /*dirty=*/true);
+}
+
+}  // namespace pubsub

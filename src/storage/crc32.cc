@@ -1,0 +1,34 @@
+#include "storage/crc32.h"
+
+#include <array>
+
+namespace pubsub {
+namespace {
+
+// Reflected CRC-32C table, generated at static-init time from the
+// Castagnoli polynomial 0x1EDC6F41 (reflected form 0x82F63B78).
+std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t n, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> kTable = MakeTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace pubsub

@@ -1,0 +1,19 @@
+// CRC-32C (Castagnoli) checksums for page integrity.
+//
+// Every page in a page file carries a CRC over its tag and payload so that
+// torn writes, bit rot, and misdirected reads are detected at read time
+// rather than silently corrupting the index (docs/STORAGE.md).  The
+// Castagnoli polynomial is the one used by iSCSI/ext4/Btrfs; the software
+// table implementation here keeps the toolchain dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pubsub {
+
+// CRC-32C of `n` bytes at `data`.  `seed` chains partial checksums:
+// Crc32c(b, Crc32c(a)) == Crc32c(a || b).
+std::uint32_t Crc32c(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace pubsub

@@ -1,0 +1,609 @@
+#include "storage/storage_manager.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "storage/crc32.h"
+#include "storage/page_codec.h"
+#include "util/failpoint.h"
+
+namespace pubsub {
+namespace {
+
+using storage::GetU32;
+using storage::PutU32;
+
+// Physical page layout (disk):   [crc u32][tag u32][payload ...]
+// CRC covers tag + payload.  The tag is the page's logical id (kNoPage for
+// the header), catching misdirected reads.
+constexpr std::size_t kCrcOff = 0;
+constexpr std::size_t kTagOff = 4;
+constexpr std::size_t kPayloadOff = 8;
+
+// Header payload:  magic, version, page_size, page_count, free_head,
+// free_count, meta_len, meta[kMetaCapacity].
+constexpr std::uint32_t kMagic = 0x47505350u;  // "PSPG" little-endian
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHdrMagic = 0;
+constexpr std::size_t kHdrVersion = 4;
+constexpr std::size_t kHdrPageSize = 8;
+constexpr std::size_t kHdrPageCount = 12;
+constexpr std::size_t kHdrFreeHead = 16;
+constexpr std::size_t kHdrFreeCount = 20;
+constexpr std::size_t kHdrMetaLen = 24;
+constexpr std::size_t kHdrMeta = 28;
+
+const char* kWriteSite = "storage.page.write";
+const char* kReadSite = "storage.page.read";
+const char* kFlushSite = "storage.flush";
+
+void SealFrame(char* frame, std::uint32_t page_size, std::uint32_t tag) {
+  PutU32(frame + kTagOff, tag);
+  PutU32(frame + kCrcOff,
+         Crc32c(frame + kTagOff, page_size - kTagOff));
+}
+
+void CheckPageSize(std::uint32_t page_size) {
+  if (page_size < kMinPageSize) {
+    throw std::invalid_argument("page_size must be >= " +
+                                std::to_string(kMinPageSize));
+  }
+}
+
+}  // namespace
+
+const char* StorageErrorCodeName(StorageErrorCode code) {
+  switch (code) {
+    case StorageErrorCode::kIo:
+      return "io";
+    case StorageErrorCode::kBadHeader:
+      return "bad-header";
+    case StorageErrorCode::kCrcMismatch:
+      return "crc-mismatch";
+    case StorageErrorCode::kBadPage:
+      return "bad-page";
+    case StorageErrorCode::kTornPage:
+      return "torn-page";
+  }
+  return "unknown";
+}
+
+StorageError::StorageError(StorageErrorCode code, PageId page,
+                           const std::string& detail)
+    : std::runtime_error(std::string("storage error [") +
+                         StorageErrorCodeName(code) + "] page " +
+                         (page == kNoPage ? std::string("-")
+                                          : std::to_string(page)) +
+                         ": " + detail),
+      code_(code),
+      page_(page) {}
+
+// ---------------------------------------------------------------------------
+// MemoryStorageManager
+
+MemoryStorageManager::MemoryStorageManager(std::uint32_t page_size)
+    : page_size_(page_size) {
+  CheckPageSize(page_size);
+}
+
+PageId MemoryStorageManager::allocate() {
+  ++stats_.allocations;
+  if (!free_.empty()) {
+    const PageId id = free_.back();
+    free_.pop_back();
+    return id;
+  }
+  pages_.push_back(std::make_unique<char[]>(payload_size()));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void MemoryStorageManager::free_page(PageId id) {
+  check_id(id);
+  ++stats_.frees;
+  free_.push_back(id);
+}
+
+void MemoryStorageManager::read(PageId id, char* out) {
+  check_id(id);
+  ++stats_.reads;
+  std::memcpy(out, pages_[id].get(), payload_size());
+}
+
+void MemoryStorageManager::write(PageId id, const char* data) {
+  check_id(id);
+  ++stats_.writes;
+  std::memcpy(pages_[id].get(), data, payload_size());
+}
+
+void MemoryStorageManager::flush() { ++stats_.flushes; }
+
+void MemoryStorageManager::set_meta(const std::string& m) {
+  if (m.size() > kMetaCapacity) {
+    throw std::invalid_argument("storage meta exceeds " +
+                                std::to_string(kMetaCapacity) + " bytes");
+  }
+  meta_ = m;
+}
+
+void MemoryStorageManager::check_id(PageId id) const {
+  if (id >= pages_.size()) {
+    throw StorageError(StorageErrorCode::kBadPage, id, "page id out of range");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DiskStorageManager
+
+DiskStorageManager::DiskStorageManager(std::string path, const Options& options)
+    : path_(std::move(path)), options_(options) {
+  CheckPageSize(options_.page_size);
+  frame_.resize(options_.page_size);
+  if (options_.metrics != nullptr) {
+    MetricsRegistry& m = *options_.metrics;
+    m_reads_ = m.counter("storage_page_reads_total",
+                         "Pages read from the page file");
+    m_writes_ = m.counter("storage_page_writes_total",
+                          "Pages written to the page file");
+    m_flush_failures_ = m.counter(
+        "storage_flush_failures_total",
+        "Failed page-file write/fsync attempts (before retry)");
+    m_retries_ = m.counter("storage_retries_total",
+                           "Page-file write/fsync retries after a failure");
+    m_degraded_ = m.counter(
+        "storage_degraded_entries_total",
+        "Times the page file entered degraded read-only mode");
+  }
+}
+
+DiskStorageManager::~DiskStorageManager() {
+  // Best-effort durability on destruction; explicit flush() is the real
+  // durability point (a destructor must not throw).
+  try {
+    if (!degraded_ && file_.is_open()) {
+      flush();
+    }
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+std::unique_ptr<DiskStorageManager> DiskStorageManager::Create(
+    const std::string& path, const Options& options) {
+  std::unique_ptr<DiskStorageManager> sm(
+      new DiskStorageManager(path, options));
+  sm->open_file(/*truncate=*/true);
+  sm->header_dirty_ = true;
+  sm->flush();
+  return sm;
+}
+
+std::unique_ptr<DiskStorageManager> DiskStorageManager::Open(
+    const std::string& path, const Options& options, OpenReport* report) {
+  std::unique_ptr<DiskStorageManager> sm(
+      new DiskStorageManager(path, options));
+  sm->open_file(/*truncate=*/false);
+  sm->load_header(report);
+  return sm;
+}
+
+void DiskStorageManager::open_file(bool truncate) {
+  std::ios_base::openmode mode =
+      std::ios::binary | std::ios::in | std::ios::out;
+  if (truncate) {
+    mode |= std::ios::trunc;
+    // std::ios::in | std::ios::trunc requires the file to be creatable;
+    // fstream handles creation with this mode combination.
+    file_.open(path_, mode);
+  } else {
+    file_.open(path_, mode);
+  }
+  if (!file_.is_open()) {
+    throw StorageError(StorageErrorCode::kIo, kNoPage,
+                       "cannot open page file " + path_);
+  }
+}
+
+void DiskStorageManager::load_header(OpenReport* report) {
+  std::error_code ec;
+  const std::uint64_t size = std::filesystem::file_size(path_, ec);
+  if (ec) {
+    throw StorageError(StorageErrorCode::kIo, kNoPage,
+                       "cannot stat page file " + path_);
+  }
+  // Peek the fixed prologue first: the header's own geometry field decides
+  // how many bytes the CRC covers, so Open must adapt to the file's page
+  // size (which may differ from the caller's --page-size) before verifying.
+  char prologue[kPayloadOff + kHdrPageSize + 4];
+  if (size < sizeof(prologue)) {
+    throw StorageError(StorageErrorCode::kBadHeader, kNoPage,
+                       "file shorter than a header prologue (torn header)");
+  }
+  file_.seekg(0);
+  file_.read(prologue, sizeof(prologue));
+  if (file_.gcount() != static_cast<std::streamsize>(sizeof(prologue))) {
+    throw StorageError(StorageErrorCode::kBadHeader, kNoPage,
+                       "short header read");
+  }
+  if (GetU32(prologue + kPayloadOff + kHdrMagic) != kMagic) {
+    throw StorageError(StorageErrorCode::kBadHeader, kNoPage,
+                       "bad magic (not a page file?)");
+  }
+  const std::uint32_t file_page_size =
+      GetU32(prologue + kPayloadOff + kHdrPageSize);
+  if (file_page_size < kMinPageSize) {
+    throw StorageError(StorageErrorCode::kBadHeader, kNoPage,
+                       "implausible page size in header");
+  }
+  if (file_page_size != options_.page_size) {
+    // The header is authoritative; callers pass --page-size for Create but
+    // Open adapts to the file.
+    options_.page_size = file_page_size;
+    frame_.resize(file_page_size);
+  }
+  if (size < options_.page_size) {
+    throw StorageError(StorageErrorCode::kBadHeader, kNoPage,
+                       "file shorter than one page (torn header)");
+  }
+  file_.seekg(0);
+  file_.read(frame_.data(), options_.page_size);
+  if (file_.gcount() != static_cast<std::streamsize>(options_.page_size)) {
+    throw StorageError(StorageErrorCode::kBadHeader, kNoPage,
+                       "short header read");
+  }
+  const char* payload = frame_.data() + kPayloadOff;
+  const std::uint32_t stored_crc = GetU32(frame_.data() + kCrcOff);
+  const std::uint32_t want_crc =
+      Crc32c(frame_.data() + kTagOff, options_.page_size - kTagOff);
+  if (stored_crc != want_crc) {
+    throw StorageError(StorageErrorCode::kBadHeader, kNoPage,
+                       "header CRC mismatch");
+  }
+  if (GetU32(payload + kHdrVersion) != kVersion) {
+    throw StorageError(StorageErrorCode::kBadHeader, kNoPage,
+                       "unsupported page-file version");
+  }
+  page_count_ = GetU32(payload + kHdrPageCount);
+  free_head_ = GetU32(payload + kHdrFreeHead);
+  free_count_ = GetU32(payload + kHdrFreeCount);
+  const std::uint32_t meta_len = GetU32(payload + kHdrMetaLen);
+  if (meta_len > kMetaCapacity) {
+    throw StorageError(StorageErrorCode::kBadHeader, kNoPage,
+                       "implausible meta length");
+  }
+  meta_.assign(payload + kHdrMeta, meta_len);
+
+  // Clip to the durable tail: a crash mid-growth can leave the header
+  // claiming pages the file does not fully contain.  Those pages are gone;
+  // reads of them report kTornPage instead of returning garbage.
+  durable_pages_ = static_cast<std::size_t>(size / options_.page_size) - 1;
+  if (page_count_ > durable_pages_) {
+    if (report != nullptr) {
+      report->clipped_pages = page_count_ - durable_pages_;
+    }
+    page_count_ = durable_pages_;
+    if (free_head_ != kNoPage && free_head_ >= page_count_) {
+      // The free-list head itself was torn off; abandon the chain rather
+      // than resurrect ids past the tail.  (Leaked pages, not corruption.)
+      free_head_ = kNoPage;
+      free_count_ = 0;
+    }
+    header_dirty_ = true;
+  } else {
+    durable_pages_ = std::max(durable_pages_, page_count_);
+  }
+}
+
+void DiskStorageManager::write_header() {
+  char* frame = frame_.data();
+  std::memset(frame, 0, options_.page_size);
+  char* payload = frame + kPayloadOff;
+  PutU32(payload + kHdrMagic, kMagic);
+  PutU32(payload + kHdrVersion, kVersion);
+  PutU32(payload + kHdrPageSize, options_.page_size);
+  PutU32(payload + kHdrPageCount, static_cast<std::uint32_t>(page_count_));
+  PutU32(payload + kHdrFreeHead, free_head_);
+  PutU32(payload + kHdrFreeCount, static_cast<std::uint32_t>(free_count_));
+  PutU32(payload + kHdrMetaLen, static_cast<std::uint32_t>(meta_.size()));
+  std::memcpy(payload + kHdrMeta, meta_.data(), meta_.size());
+  SealFrame(frame, options_.page_size, kNoPage);
+  write_page_raw(kNoPage, frame);  // kNoPage addresses the header (offset 0)
+  header_dirty_ = false;
+}
+
+void DiskStorageManager::require_healthy() const {
+  if (degraded_) {
+    throw StorageDegradedError(
+        "page file " + path_ +
+        " is in degraded read-only mode (retry budget exhausted); "
+        "clear_degraded() re-probes the device");
+  }
+}
+
+void DiskStorageManager::enter_degraded(const std::string& why) {
+  degraded_ = true;
+  ++stats_.degraded_entries;
+  Inc(m_degraded_);
+  throw StorageDegradedError("page file " + path_ + " degraded: " + why);
+}
+
+void DiskStorageManager::backoff(double* delay_ms) {
+  if (options_.clock != nullptr) {
+    if (auto* manual = dynamic_cast<ManualClock*>(options_.clock)) {
+      manual->advance(*delay_ms);
+    }
+    // A real clock would sleep here; in-process retries are cheap enough
+    // that the simulator only records the would-be delay deterministically.
+  }
+  *delay_ms = std::min(*delay_ms * 2.0, options_.backoff_cap_ms);
+}
+
+void DiskStorageManager::write_page_raw(PageId id, const char* frame) {
+  // file_offset() maps logical id -> physical offset (header at 0); the
+  // header itself is addressed as kNoPage.
+  const std::uint64_t phys = id == kNoPage ? 0 : file_offset(id);
+  FailPoints& fp = FailPoints::Instance();
+  std::size_t failures = 0;
+  double delay_ms = options_.backoff_base_ms;
+  for (;;) {
+    bool ok = true;
+    std::string why = "write failed";
+    if (fp.active()) {
+      const FailPointDecision d = fp.eval(kWriteSite);
+      switch (d.action) {
+        case FailAction::kOff:
+          break;
+        case FailAction::kError: {  // short write: only ARG bytes land
+          const std::size_t n = std::min<std::size_t>(d.arg, options_.page_size);
+          file_.clear();
+          file_.seekp(static_cast<std::streamoff>(phys));
+          file_.write(frame, static_cast<std::streamsize>(n));
+          file_.flush();
+          ok = false;
+          why = "injected short write (" + std::to_string(n) + " bytes)";
+          break;
+        }
+        case FailAction::kCrash:
+          throw InjectedCrash(kWriteSite);
+        case FailAction::kTorn: {  // ARG bytes land, then the process "dies"
+          const std::size_t n = std::min<std::size_t>(d.arg, options_.page_size);
+          file_.clear();
+          file_.seekp(static_cast<std::streamoff>(phys));
+          file_.write(frame, static_cast<std::streamsize>(n));
+          file_.flush();
+          throw InjectedCrash(kWriteSite);
+        }
+        case FailAction::kDelay:
+          if (options_.clock != nullptr) {
+            if (auto* manual = dynamic_cast<ManualClock*>(options_.clock)) {
+              manual->advance(static_cast<double>(d.arg));
+            }
+          }
+          break;
+      }
+    }
+    if (ok) {
+      file_.clear();
+      file_.seekp(static_cast<std::streamoff>(phys));
+      file_.write(frame, static_cast<std::streamsize>(options_.page_size));
+      if (file_.good()) {
+        ++stats_.writes;
+        Inc(m_writes_);
+        if (id != kNoPage) {
+          durable_pages_ = std::max<std::size_t>(durable_pages_, id + 1);
+        }
+        return;
+      }
+      file_.clear();
+      why = "filesystem write error";
+    }
+    ++stats_.flush_failures;
+    Inc(m_flush_failures_);
+    if (++failures >= options_.flush_retries) {
+      enter_degraded(why + " after " + std::to_string(failures) + " attempts");
+    }
+    ++stats_.retries;
+    Inc(m_retries_);
+    backoff(&delay_ms);
+  }
+}
+
+void DiskStorageManager::read_page_raw(PageId id, char* frame) {
+  FailPoints& fp = FailPoints::Instance();
+  if (fp.active()) {
+    const FailPointDecision d = fp.eval(kReadSite);
+    switch (d.action) {
+      case FailAction::kOff:
+        break;
+      case FailAction::kError:
+      case FailAction::kTorn:
+        throw StorageError(StorageErrorCode::kIo, id, "injected read error");
+      case FailAction::kCrash:
+        throw InjectedCrash(kReadSite);
+      case FailAction::kDelay:
+        if (options_.clock != nullptr) {
+          if (auto* manual = dynamic_cast<ManualClock*>(options_.clock)) {
+            manual->advance(static_cast<double>(d.arg));
+          }
+        }
+        break;
+    }
+  }
+  file_.clear();
+  file_.seekg(static_cast<std::streamoff>(file_offset(id)));
+  file_.read(frame, options_.page_size);
+  if (file_.gcount() != static_cast<std::streamsize>(options_.page_size)) {
+    file_.clear();
+    throw StorageError(StorageErrorCode::kTornPage, id,
+                       "page lies beyond the durable tail of the file");
+  }
+  ++stats_.reads;
+  Inc(m_reads_);
+}
+
+PageId DiskStorageManager::allocate() {
+  require_healthy();
+  ++stats_.allocations;
+  header_dirty_ = true;
+  if (free_head_ != kNoPage) {
+    const PageId id = free_head_;
+    // The freed page's payload prefix holds the next free id.
+    std::vector<char> payload(payload_size());
+    read(id, payload.data());
+    const PageId next = GetU32(payload.data());
+    if (next != kNoPage && next >= page_count_) {
+      throw StorageError(StorageErrorCode::kBadPage, id,
+                         "corrupt free-list link");
+    }
+    free_head_ = next;
+    --free_count_;
+    return id;
+  }
+  return static_cast<PageId>(page_count_++);
+}
+
+void DiskStorageManager::free_page(PageId id) {
+  require_healthy();
+  if (id >= page_count_) {
+    throw StorageError(StorageErrorCode::kBadPage, id, "page id out of range");
+  }
+  std::vector<char> payload(payload_size(), 0);
+  PutU32(payload.data(), free_head_);
+  write(id, payload.data());
+  free_head_ = id;
+  ++free_count_;
+  ++stats_.frees;
+  header_dirty_ = true;
+}
+
+void DiskStorageManager::read(PageId id, char* out) {
+  if (id >= page_count_) {
+    throw StorageError(StorageErrorCode::kBadPage, id, "page id out of range");
+  }
+  read_page_raw(id, frame_.data());
+  const std::uint32_t stored_crc = GetU32(frame_.data() + kCrcOff);
+  const std::uint32_t want_crc =
+      Crc32c(frame_.data() + kTagOff, options_.page_size - kTagOff);
+  if (stored_crc != want_crc) {
+    throw StorageError(StorageErrorCode::kCrcMismatch, id,
+                       "page CRC mismatch (torn or corrupt page)");
+  }
+  const std::uint32_t tag = GetU32(frame_.data() + kTagOff);
+  if (tag != id) {
+    throw StorageError(StorageErrorCode::kBadPage, id,
+                       "page tag mismatch (misdirected read, found tag " +
+                           std::to_string(tag) + ")");
+  }
+  std::memcpy(out, frame_.data() + kPayloadOff, payload_size());
+}
+
+void DiskStorageManager::write(PageId id, const char* data) {
+  require_healthy();
+  if (id >= page_count_) {
+    throw StorageError(StorageErrorCode::kBadPage, id, "page id out of range");
+  }
+  char* frame = frame_.data();
+  std::memcpy(frame + kPayloadOff, data, payload_size());
+  SealFrame(frame, options_.page_size, id);
+  write_page_raw(id, frame);
+}
+
+void DiskStorageManager::flush() {
+  require_healthy();
+  ++stats_.flushes;
+  if (header_dirty_) {
+    write_header();
+  }
+  FailPoints& fp = FailPoints::Instance();
+  std::size_t failures = 0;
+  double delay_ms = options_.backoff_base_ms;
+  for (;;) {
+    bool ok = true;
+    if (fp.active()) {
+      const FailPointDecision d = fp.eval(kFlushSite);
+      switch (d.action) {
+        case FailAction::kOff:
+          break;
+        case FailAction::kError:
+          ok = false;
+          break;
+        case FailAction::kCrash:
+        case FailAction::kTorn:
+          throw InjectedCrash(kFlushSite);
+        case FailAction::kDelay:
+          if (options_.clock != nullptr) {
+            if (auto* manual = dynamic_cast<ManualClock*>(options_.clock)) {
+              manual->advance(static_cast<double>(d.arg));
+            }
+          }
+          break;
+      }
+    }
+    if (ok) {
+      file_.flush();
+      if (file_.good()) {
+        return;
+      }
+      file_.clear();
+    }
+    ++stats_.flush_failures;
+    Inc(m_flush_failures_);
+    if (++failures >= options_.flush_retries) {
+      enter_degraded("flush failure after " + std::to_string(failures) +
+                     " attempts");
+    }
+    ++stats_.retries;
+    Inc(m_retries_);
+    backoff(&delay_ms);
+  }
+}
+
+void DiskStorageManager::set_meta(const std::string& m) {
+  require_healthy();
+  if (m.size() > kMetaCapacity) {
+    throw std::invalid_argument("storage meta exceeds " +
+                                std::to_string(kMetaCapacity) + " bytes");
+  }
+  meta_ = m;
+  header_dirty_ = true;
+}
+
+bool DiskStorageManager::clear_degraded() {
+  if (!degraded_) {
+    return true;
+  }
+  // Probe: one header write + fsync through the normal fail-point sites,
+  // without the retry loop (a still-armed fault keeps the manager
+  // degraded).  InjectedCrash propagates — a crash is a crash.
+  try {
+    degraded_ = false;
+    write_header();
+    FailPoints& fp = FailPoints::Instance();
+    if (fp.active()) {
+      const FailPointDecision d = fp.eval(kFlushSite);
+      if (d.action == FailAction::kCrash || d.action == FailAction::kTorn) {
+        throw InjectedCrash(kFlushSite);
+      }
+      if (d.action == FailAction::kError) {
+        throw StorageError(StorageErrorCode::kIo, kNoPage,
+                           "injected flush failure");
+      }
+    }
+    file_.flush();
+    if (!file_.good()) {
+      file_.clear();
+      throw StorageError(StorageErrorCode::kIo, kNoPage, "flush failed");
+    }
+    return true;
+  } catch (const StorageError&) {
+    degraded_ = true;
+    return false;
+  } catch (const StorageDegradedError&) {
+    degraded_ = true;
+    return false;
+  }
+}
+
+}  // namespace pubsub

@@ -123,5 +123,38 @@ TEST(Chaos, ZeroCyclesIsACleanReplay) {
   EXPECT_TRUE(r.replica_matches);
 }
 
+// Storage chaos drill: the paged tier on a real filesystem, driven through
+// the storage.* fail-point sites plus physical truncation, must keep the
+// last good page file answering queries bit-identically to the in-memory
+// reference (the atomic-replace protocol of docs/STORAGE.md).
+TEST(Chaos, StorageDrillSurvivesAllFaultModes) {
+  StorageChaosOptions opts;
+  opts.dir = ::testing::TempDir();
+  opts.num_rects = 300;
+  opts.queries = 32;
+  opts.cycles = 14;  // two full rotations of the 7-mode fault schedule
+  opts.page_size = 1024;
+  opts.buffer_pages = 8;
+
+  const StorageChaosReport r = RunStorageChaos(opts);
+  EXPECT_EQ(r.cycles, 14u);
+  EXPECT_TRUE(r.ok()) << "parity mismatches: " << r.parity_mismatches;
+  EXPECT_GT(r.parity_checks, 0u);
+  // Each rotation exercises every mode at least once.
+  EXPECT_GE(r.crashes, 2u);           // modes 0/1 (crash, torn) x2 rotations
+  EXPECT_GE(r.short_writes, 2u);      // mode 2
+  EXPECT_GE(r.flush_retries, 2u);     // mode 3
+  EXPECT_GE(r.degraded_entries, 2u);  // mode 4
+  EXPECT_GE(r.read_errors, 2u);       // mode 5
+  EXPECT_GE(r.torn_tails, 2u);        // mode 6
+  EXPECT_GE(r.rebuilds, 2u);
+
+  // The drill must disarm the global registry behind itself.
+  EXPECT_FALSE(FailPoints::Instance().active());
+
+  const std::string report = FormatStorageChaosReport(r);
+  EXPECT_NE(report.find("bit-identical"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace pubsub

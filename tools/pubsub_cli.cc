@@ -21,6 +21,7 @@
 // any command; see docs/OPERATIONS.md).
 #include <cstdio>
 #include <deque>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -30,6 +31,9 @@
 
 #include "broker/broker.h"
 #include "broker/chaos.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_stream.h"
+#include "storage/storage_manager.h"
 #include "serve/catchup.h"
 #include "serve/event_loop.h"
 #include "serve/fleet.h"
@@ -293,12 +297,56 @@ void PrintBrokerReport(const Broker& broker) {
               (unsigned long long)broker.state_digest());
 }
 
-void SaveSnapshotFile(const std::string& path, const Broker& broker) {
-  std::ostringstream os;
-  broker.write_snapshot(os);
-  // Atomic replace: a crash mid-checkpoint must leave the previous
-  // snapshot readable (docs/OPERATIONS.md, "Snapshot protocol").
-  SaveToFileAtomic(path, os.str());
+// --storage/--page-size/--buffer-pages: which backend snapshot artifacts
+// use.  mem keeps the original text files; disk routes them through the
+// paged storage tier (docs/STORAGE.md).
+struct StorageConfig {
+  bool disk = false;
+  std::uint32_t page_size = 4096;
+  std::size_t buffer_pages = 64;
+};
+
+StorageConfig StorageConfigFromFlags(const Flags& flags) {
+  StorageConfig cfg;
+  const std::string backend = flags.get("storage", "mem");
+  if (backend == "disk")
+    cfg.disk = true;
+  else if (backend != "mem")
+    Usage("unknown --storage '" + backend + "' (want mem|disk)");
+  cfg.page_size = static_cast<std::uint32_t>(flags.get_int("page-size", 4096));
+  cfg.buffer_pages =
+      static_cast<std::size_t>(flags.get_int("buffer-pages", 64));
+  if (cfg.buffer_pages == 0) Usage("--buffer-pages must be >= 1");
+  return cfg;
+}
+
+void SaveSnapshotFile(const std::string& path, const Broker& broker,
+                      const StorageConfig& storage) {
+  if (!storage.disk) {
+    std::ostringstream os;
+    broker.write_snapshot(os);
+    // Atomic replace: a crash mid-checkpoint must leave the previous
+    // snapshot readable (docs/OPERATIONS.md, "Snapshot protocol").
+    SaveToFileAtomic(path, os.str());
+    return;
+  }
+  // Page-file analogue of the same protocol: a page file is a valid
+  // artifact only after a clean build + flush, so checkpoints build at a
+  // temp path and rename over the previous good file.
+  const std::string tmp = path + ".tmp";
+  {
+    DiskStorageManager::Options opts;
+    opts.page_size = storage.page_size;
+    opts.metrics = &MetricsRegistry::Default();
+    auto sm = DiskStorageManager::Create(tmp, opts);
+    BufferPool::Options po;
+    po.capacity = storage.buffer_pages;
+    BufferPool pool(sm.get(), po, &MetricsRegistry::Default());
+    PageBlobWriter writer(&pool);
+    broker.write_snapshot(writer.stream());
+    writer.finish();  // emits the tail page, stores the blob meta, flushes
+  }
+  std::filesystem::rename(tmp, path);
 }
 
 // Bootstrap a seq-0 snapshot from a workload: cold-cluster it once and
@@ -317,12 +365,14 @@ int Snapshot(const Flags& flags) {
   Workload wl = ReadWorkload(wl_is);
 
   const auto model = ModelFor(net, wl, flags);
+  const StorageConfig storage = StorageConfigFromFlags(flags);
   const Broker broker(std::move(wl), *model, net.graph,
                       BrokerOptionsFromFlags(flags));
-  SaveSnapshotFile(out, broker);
-  std::printf("wrote %s: seq 0, %zu subscribers, %zu clustered cells\n",
+  SaveSnapshotFile(out, broker, storage);
+  std::printf("wrote %s: seq 0, %zu subscribers, %zu clustered cells (%s)\n",
               out.c_str(), broker.workload().num_subscribers(),
-              broker.snapshot().assignment.size());
+              broker.snapshot().assignment.size(),
+              storage.disk ? "page file" : "text");
   return 0;
 }
 
@@ -353,6 +403,7 @@ int ServeReplay(const Flags& flags) {
   const std::string snapshot_path = flags.get("snapshot", "");
   const auto snapshot_every =
       static_cast<std::uint64_t>(flags.get_int("snapshot-every", 500));
+  const StorageConfig storage = StorageConfigFromFlags(flags);
 
   // The command stream is precomputed (trace + churn policy); chaos runs
   // drive the very same schedule, so a serve-replay journal and a chaos
@@ -370,7 +421,7 @@ int ServeReplay(const Flags& flags) {
     if (!journal) Usage("cannot open --journal file " + journal_path);
     broker.set_journal(&journal);
   }
-  if (!snapshot_path.empty()) SaveSnapshotFile(snapshot_path, broker);
+  if (!snapshot_path.empty()) SaveSnapshotFile(snapshot_path, broker, storage);
 
   const std::uint64_t snapshot_base = broker.seq();
   std::size_t events_replayed = 0;
@@ -394,7 +445,7 @@ int ServeReplay(const Flags& flags) {
       // fault's provenance — survive into `recover` / `stats`.
       if (!snapshot_path.empty()) {
         try {
-          SaveSnapshotFile(snapshot_path, broker);
+          SaveSnapshotFile(snapshot_path, broker, storage);
         } catch (const std::exception& snap_err) {
           std::fprintf(stderr, "warning: degraded-exit checkpoint failed: %s\n",
                        snap_err.what());
@@ -409,10 +460,10 @@ int ServeReplay(const Flags& flags) {
       last_timestamp = rec.cmd.time_ms / 1000.0;
       if (!snapshot_path.empty() && snapshot_every > 0 &&
           (broker.seq() - snapshot_base) % snapshot_every == 0)
-        SaveSnapshotFile(snapshot_path, broker);
+        SaveSnapshotFile(snapshot_path, broker, storage);
     }
   }
-  if (!snapshot_path.empty()) SaveSnapshotFile(snapshot_path, broker);
+  if (!snapshot_path.empty()) SaveSnapshotFile(snapshot_path, broker, storage);
 
   std::printf("replayed %zu trace events over %.1f simulated seconds\n\n",
               events_replayed, last_timestamp);
@@ -903,8 +954,30 @@ std::unique_ptr<Broker> RecoverFromFlags(const Flags& flags,
     Usage("recover/stats requires --net and --snapshot");
   std::istringstream net_is(LoadFromFile(net_path));
   *net_out = ReadTransitStub(net_is);
-  std::istringstream snap_is(LoadFromFile(snapshot_path));
-  const BrokerSnapshot snap = ReadBrokerSnapshot(snap_is);
+
+  const StorageConfig storage = StorageConfigFromFlags(flags);
+  BrokerSnapshot snap;
+  if (storage.disk) {
+    // Broker::Recover streams the snapshot straight out of the page file:
+    // the PageBlobReader pulls one page per istream underflow, so recovery
+    // never materializes the artifact as a contiguous string.
+    DiskStorageManager::OpenReport rep;
+    DiskStorageManager::Options sopts;
+    sopts.metrics = &MetricsRegistry::Default();
+    auto sm = DiskStorageManager::Open(snapshot_path, sopts, &rep);
+    if (rep.clipped_pages > 0)
+      std::fprintf(stderr,
+                   "warning: %s: clipped %zu torn pages at the file tail\n",
+                   snapshot_path.c_str(), rep.clipped_pages);
+    BufferPool::Options po;
+    po.capacity = storage.buffer_pages;
+    BufferPool pool(sm.get(), po, &MetricsRegistry::Default());
+    PageBlobReader reader(&pool);
+    snap = ReadBrokerSnapshot(reader.stream());
+  } else {
+    std::istringstream snap_is(LoadFromFile(snapshot_path));
+    snap = ReadBrokerSnapshot(snap_is);
+  }
 
   std::vector<JournalRecord> tail;
   const std::string journal_path = flags.get("journal", "");
@@ -1019,6 +1092,27 @@ int Chaos(const Flags& flags) {
     std::fputs("\n", stdout);
     std::fputs(FormatPromotionChaosReport(prep).c_str(), stdout);
     ok = ok && prep.ok();
+  }
+
+  // --storage=disk extends the run to the paged tier on a real filesystem:
+  // the storage drill rotates through the storage.* fail-point sites plus
+  // physical torn tails and requires query parity against an in-memory
+  // reference after every cycle (docs/STORAGE.md).
+  const StorageConfig storage = StorageConfigFromFlags(flags);
+  if (storage.disk) {
+    StorageChaosOptions sopts;
+    sopts.dir = flags.get("storage-dir", "");
+    if (sopts.dir.empty()) Usage("chaos --storage=disk requires --storage-dir");
+    sopts.cycles =
+        static_cast<std::size_t>(flags.get_int("storage-cycles", 40));
+    sopts.seed = copts.seed;
+    sopts.chaos_seed = copts.chaos_seed;
+    sopts.page_size = storage.page_size;
+    sopts.buffer_pages = storage.buffer_pages;
+    const StorageChaosReport srep = RunStorageChaos(sopts);
+    std::fputs("\n", stdout);
+    std::fputs(FormatStorageChaosReport(srep).c_str(), stdout);
+    ok = ok && srep.ok();
   }
   return ok ? 0 : 1;
 }
