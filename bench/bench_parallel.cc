@@ -121,6 +121,11 @@ int Run(int argc, char** argv) {
   report.set_config("events", static_cast<long long>(events));
   report.set_config("dims", dims);
   report.set_config("threads", threads);
+  // Hardware context for the speedup columns: a consumer reading
+  // forgy_speedup < 1 must be able to see it was measured on a host that
+  // cannot run two lanes at once (the gate itself skips there).
+  report.set_config("hardware_threads",
+                    static_cast<int>(std::thread::hardware_concurrency()));
 
   const char* names[] = {"forgy k-means", "pairwise", "batch matching"};
   const char* keys[] = {"forgy", "pairwise", "batch_matching"};

@@ -220,6 +220,31 @@ Rect Grid::cell_rect(std::int64_t cell) const {
   return Rect(std::move(ivals));
 }
 
+std::vector<std::vector<int>> Grid::cluster_neighbors(std::size_t top_n) const {
+  const std::size_t n = top_n == 0 ? hyper_cells_.size()
+                                   : std::min(top_n, hyper_cells_.size());
+  std::vector<std::vector<int>> out(n);
+  // One sweep over the lattice, checking only the +stride neighbor per
+  // dimension (the −stride pairing is recorded from the other side).
+  for (std::int64_t cell = 0; cell < lattice_size_; ++cell) {
+    const int h = hyper_of_cell_[static_cast<std::size_t>(cell)];
+    if (h < 0 || static_cast<std::size_t>(h) >= n) continue;
+    for (std::size_t d = 0; d < space_->dims(); ++d) {
+      const std::int64_t v = (cell / strides_[d]) % space_->dim(d).domain_size;
+      if (v + 1 >= space_->dim(d).domain_size) continue;
+      const int h2 = hyper_of_cell_[static_cast<std::size_t>(cell + strides_[d])];
+      if (h2 < 0 || h2 == h || static_cast<std::size_t>(h2) >= n) continue;
+      out[static_cast<std::size_t>(h)].push_back(h2);
+      out[static_cast<std::size_t>(h2)].push_back(h);
+    }
+  }
+  for (auto& adj : out) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+  return out;
+}
+
 std::vector<ClusterCell> Grid::top_cells(std::size_t max_cells) const {
   const std::size_t n = max_cells == 0
                             ? hyper_cells_.size()

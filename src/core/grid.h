@@ -71,6 +71,17 @@ class Grid {
   // Grid; it must outlive them.
   std::vector<ClusterCell> top_cells(std::size_t max_cells) const;
 
+  // Spatial adjacency over the `top_n` most popular hyper-cells (indices
+  // align with top_cells(top_n); top_n == 0 means all): hyper-cells i and
+  // j are neighbors iff some lattice cell of i touches a lattice cell of j
+  // along one axis (±1 in one coordinate).  Lists are sorted, deduplicated
+  // and symmetric.  This is the neighborhood the closure-accelerated
+  // k-means assignment derives its candidate groups from: subscriptions
+  // are axis-aligned rectangles, so a cell's nearest group by expected
+  // waste is overwhelmingly a group already holding one of its lattice
+  // neighbors.
+  std::vector<std::vector<int>> cluster_neighbors(std::size_t top_n) const;
+
  private:
   const EventSpace* space_;
   std::size_t num_subscribers_ = 0;

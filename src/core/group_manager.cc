@@ -12,7 +12,7 @@ GroupManager::GroupManager(Workload workload, const PublicationModel& pub,
   if (options_.num_groups == 0)
     throw std::invalid_argument("GroupManager: num_groups must be positive");
   init_metrics();
-  rebuild(/*warm=*/false);
+  rebuild(/*warm=*/false, /*allow_budget=*/false);
   publish_churn_gauges();
 }
 
@@ -55,6 +55,22 @@ void GroupManager::init_metrics() {
                              "churn absorbed by the most recent refresh");
   g_last_iterations_ = m->gauge("groups_refresh_last_iterations",
                                 "k-means passes run by the most recent rebuild");
+  c_kmeans_passes_ =
+      m->counter("kmeans_passes_total", "k-means re-assignment passes executed");
+  c_kmeans_cell_visits_ = m->counter(
+      "kmeans_cell_visits_total", "per-cell nearest-group evaluations");
+  c_kmeans_closure_hits_ =
+      m->counter("kmeans_closure_hits_total",
+                 "cell decisions served by the candidate closure alone");
+  c_kmeans_closure_fallbacks_ =
+      m->counter("kmeans_closure_fallbacks_total",
+                 "cell decisions that fell back to the exact group scan");
+  c_kmeans_oracle_mismatches_ =
+      m->counter("kmeans_oracle_mismatches_total",
+                 "closure verdicts overruled by the exact scan (oracle mode)");
+  g_refresh_incomplete_ =
+      m->gauge("groups_refresh_incomplete",
+               "1 while the last budgeted refresh has re-balancing left");
   g_clustered_cells_ = m->gauge("groups_clustered_cells",
                                 "hyper-cells covered by the live clustering");
   g_table_size_ =
@@ -113,6 +129,8 @@ GroupManager::RefreshStats GroupManager::refresh() {
   rebuild(warm);
   if (!warm) churn_since_full_build_ = 0;
   stats.iterations = last_iterations_;
+  stats.cell_visits = last_cell_visits_;
+  stats.budget_exhausted = refresh_incomplete_;
 
   Inc(warm ? c_refreshes_warm_ : c_refreshes_cold_);
   Set(g_last_churned_, static_cast<double>(stats.churned));
@@ -121,12 +139,24 @@ GroupManager::RefreshStats GroupManager::refresh() {
   return stats;
 }
 
-void GroupManager::rebuild(bool warm) {
+void GroupManager::rebuild(bool warm, bool allow_budget) {
   auto new_grid = std::make_unique<Grid>(workload_, *pub_);
   const std::vector<ClusterCell> cells = new_grid->top_cells(options_.max_cells);
 
   KMeansOptions kopt;
   kopt.variant = options_.variant;
+  kopt.closure = options_.closure;
+  kopt.closure_seed_groups = options_.closure_seed_groups;
+  kopt.closure_oracle = options_.closure_oracle;
+  std::vector<std::vector<int>> neighbors;
+  if (options_.closure) {
+    neighbors = new_grid->cluster_neighbors(cells.size());
+    kopt.neighbors = &neighbors;
+  }
+  if (allow_budget && options_.refresh_budget.limited()) {
+    kopt.budget = options_.refresh_budget;
+    kopt.resumable = true;
+  }
 
   Assignment inherited;
   if (warm && grid_ != nullptr) {
@@ -151,11 +181,22 @@ void GroupManager::rebuild(bool warm) {
       inherited[h] = best;
     }
     kopt.warm_start = &inherited;
-    kopt.max_iterations = options_.rebalance_passes;
+    // With a refresh budget the budget governs per-call work and the pass
+    // sequence runs to its natural fixpoint across resumes; the fixed
+    // warm-pass cap applies only to legacy (unbudgeted) refreshes.
+    if (!kopt.resumable) kopt.max_iterations = options_.rebalance_passes;
   }
 
   const KMeansResult result = KMeansCluster(cells, options_.num_groups, kopt);
   last_iterations_ = result.iterations;
+  last_cell_visits_ = result.cell_visits;
+  refresh_incomplete_ = result.budget_exhausted;
+  Inc(c_kmeans_passes_, result.iterations);
+  Inc(c_kmeans_cell_visits_, result.cell_visits);
+  Inc(c_kmeans_closure_hits_, result.closure_hits);
+  Inc(c_kmeans_closure_fallbacks_, result.closure_fallbacks);
+  Inc(c_kmeans_oracle_mismatches_, result.oracle_mismatches);
+  Set(g_refresh_incomplete_, refresh_incomplete_ ? 1.0 : 0.0);
 
   grid_ = std::move(new_grid);
   assignment_ = result.assignment;

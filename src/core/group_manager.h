@@ -56,6 +56,22 @@ struct GroupManagerOptions {
   // population churned since the last full build.
   double full_rebuild_fraction = 0.5;
   double matcher_threshold = 0.0;
+  // Closure-accelerated assignment (core/kmeans.h): candidate groups come
+  // from grid adjacency instead of a full K-scan, with exact-scan
+  // fallback.  `closure_oracle` runs the exact scan alongside every
+  // closure decision and uses its verdict (bit-identical output, mismatch
+  // counting) — a diagnostics mode.
+  bool closure = false;
+  std::size_t closure_seed_groups = 4;
+  bool closure_oracle = false;
+  // Budgeted refresh: caps the k-means work of one refresh() call and
+  // switches the iteration to resumable mode — a refresh that exhausts its
+  // budget reports refresh_incomplete(), and the next refresh resumes from
+  // the assignment left behind (warm inheritance carries it over), so
+  // re-clustering is amortized across calls.  When limited, it replaces
+  // the `rebalance_passes` warm cap; the budgeted pass sequence runs to
+  // the same fixpoint a single uncapped call would reach.
+  KMeansBudget refresh_budget;
   // Telemetry sink (nullable).  The manager publishes churn/refresh
   // gauges + counters here and hands the registry to every matcher it
   // builds; the broker injects its per-instance registry.
@@ -100,11 +116,24 @@ class GroupManager {
     std::size_t churned = 0;
     bool full_rebuild = false;
     std::size_t iterations = 0;  // k-means passes executed
+    std::size_t cell_visits = 0;
+    // The refresh budget ran out with re-balancing moves still pending;
+    // call refresh() again to continue from the current assignment.
+    bool budget_exhausted = false;
   };
   RefreshStats refresh();
 
+  // True when the last refresh stopped on its budget before convergence
+  // (see GroupManagerOptions::refresh_budget).  The matcher is live and
+  // correct either way — the assignment is a feasible K-partition after
+  // every pass; this only signals that re-balancing has more to do.
+  bool refresh_incomplete() const { return refresh_incomplete_; }
+
  private:
-  void rebuild(bool warm);
+  // `allow_budget` is false only for the constructor's initial build: a
+  // fresh manager has nothing to resume, and the broker's construction-time
+  // checkpoint must sit at a complete-refresh boundary.
+  void rebuild(bool warm, bool allow_budget = true);
   void make_matcher(std::size_t num_cells);
   void init_metrics();
   void publish_churn_gauges();
@@ -118,10 +147,18 @@ class GroupManager {
   std::size_t pending_churn_ = 0;
   std::size_t churn_since_full_build_ = 0;
   std::size_t last_iterations_ = 0;
+  std::size_t last_cell_visits_ = 0;
+  bool refresh_incomplete_ = false;
 
   // Telemetry (nullable; see obs/metrics.h).
   Counter* c_refreshes_warm_ = nullptr;
   Counter* c_refreshes_cold_ = nullptr;
+  Counter* c_kmeans_passes_ = nullptr;
+  Counter* c_kmeans_cell_visits_ = nullptr;
+  Counter* c_kmeans_closure_hits_ = nullptr;
+  Counter* c_kmeans_closure_fallbacks_ = nullptr;
+  Counter* c_kmeans_oracle_mismatches_ = nullptr;
+  Gauge* g_refresh_incomplete_ = nullptr;
   Gauge* g_pending_churn_ = nullptr;
   Gauge* g_churn_since_full_ = nullptr;
   Gauge* g_last_churned_ = nullptr;

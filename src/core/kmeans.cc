@@ -1,5 +1,7 @@
 #include "core/kmeans.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
@@ -7,6 +9,13 @@
 
 namespace pubsub {
 namespace {
+
+// Stack capacity for one cell's closure candidate list.  Typical closures
+// are |neighbors|·distinct-groups + seeds + cur ≈ a handful; a cell whose
+// closure would not fit simply takes the exact scan (deterministic — the
+// spill depends only on the candidate count).
+constexpr std::size_t kMaxCandidates = 32;
+constexpr std::size_t kClosureOverflow = kMaxCandidates + 1;
 
 // Index of the group with minimum expected waste to `cell`.
 std::size_t ClosestGroup(const std::vector<GroupState>& groups,
@@ -42,6 +51,64 @@ std::size_t ClosestGroupExcluding(const std::vector<GroupState>& groups,
   return best;
 }
 
+// Assembles cell i's closure into cand[]: its current group (`cur`, when
+// >= 0), the first `seed_groups` global groups, and the groups its
+// neighbors hold under `assignment`.  Deduplicated (linear — the list is
+// tiny).  Returns the candidate count, or kClosureOverflow if the list
+// would not fit kMaxCandidates.
+std::size_t BuildClosure(const std::vector<std::vector<int>>& neighbors,
+                         const Assignment& assignment, std::size_t i, int cur,
+                         std::size_t seed_groups, int* cand) {
+  std::size_t n = 0;
+  const auto push = [&](int g) {
+    for (std::size_t j = 0; j < n; ++j)
+      if (cand[j] == g) return true;
+    if (n == kMaxCandidates) return false;
+    cand[n++] = g;
+    return true;
+  };
+  if (cur >= 0) push(cur);  // first push never overflows
+  for (std::size_t g = 0; g < seed_groups; ++g)
+    if (!push(static_cast<int>(g))) return kClosureOverflow;
+  for (const int nb : neighbors[i]) {
+    const int g = assignment[static_cast<std::size_t>(nb)];
+    if (g >= 0 && !push(g)) return kClosureOverflow;
+  }
+  return n;
+}
+
+// Lowest-id minimizer of d(cell, g) over the candidate list (count >= 1).
+// The explicit id tie-break makes the verdict independent of candidate
+// order, matching the exact scan's first-win-lowest-id rule whenever the
+// true closest group is in the closure.
+std::size_t ClosestInClosure(const std::vector<GroupState>& groups,
+                             const ClusterCell& cell, const int* cand,
+                             std::size_t count) {
+  double dist[kMaxCandidates];
+  BatchedGroupWaste(cell, groups, cand, count, dist, nullptr);
+  int best = cand[0];
+  double best_d = dist[0];
+  for (std::size_t j = 1; j < count; ++j) {
+    if (dist[j] < best_d || (dist[j] == best_d && cand[j] < best)) {
+      best_d = dist[j];
+      best = cand[j];
+    }
+  }
+  return static_cast<std::size_t>(best);
+}
+
+// Rebuilds every group from the assignment in cell-index order — the
+// canonical state the resumable path re-derives at each pass boundary so a
+// pass is a pure function of the assignment (floating-point accumulation
+// order included), no matter how many calls the passes were split across.
+void RebuildGroups(const std::vector<ClusterCell>& cells,
+                   const Assignment& assignment,
+                   std::vector<GroupState>& groups) {
+  for (GroupState& g : groups) g.reset();
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    groups[static_cast<std::size_t>(assignment[i])].add(cells[i]);
+}
+
 }  // namespace
 
 KMeansResult KMeansCluster(const std::vector<ClusterCell>& cells, std::size_t K,
@@ -51,9 +118,40 @@ KMeansResult KMeansCluster(const std::vector<ClusterCell>& cells, std::size_t K,
   K = std::min(K, cells.size());
   const std::size_t ns = cells[0].members->size();
 
+  const bool closure = options.closure && options.neighbors != nullptr;
+  if (closure && options.neighbors->size() != cells.size())
+    throw std::invalid_argument("KMeansCluster: neighbors size mismatch");
+  const std::size_t seed_groups = std::min(options.closure_seed_groups, K);
+
   KMeansResult result;
   result.assignment.assign(cells.size(), -1);
   std::vector<GroupState> groups(K, GroupState(ns));
+
+  // Nearest-group placement used by both seeding paths; closure-accelerated
+  // when enabled (candidates = seeds + groups of already-placed neighbors).
+  const auto place = [&](std::size_t i) {
+    ++result.cell_visits;
+    std::size_t g;
+    bool used_closure = false;
+    if (closure) {
+      int cand[kMaxCandidates];
+      const std::size_t nc = BuildClosure(*options.neighbors, result.assignment,
+                                          i, /*cur=*/-1, seed_groups, cand);
+      if (nc >= 1 && nc <= kMaxCandidates) {
+        g = ClosestInClosure(groups, cells[i], cand, nc);
+        used_closure = true;
+      }
+    }
+    if (!used_closure || options.closure_oracle) {
+      const std::size_t exact = ClosestGroup(groups, cells[i]);
+      if (used_closure && g != exact) ++result.oracle_mismatches;
+      if (closure && !used_closure) ++result.closure_fallbacks;
+      g = exact;
+    }
+    if (used_closure) ++result.closure_hits;
+    groups[g].add(cells[i]);
+    result.assignment[i] = static_cast<int>(g);
+  };
 
   if (options.warm_start != nullptr) {
     // Step 0' — warm start from a prior assignment (subscription churn).
@@ -80,12 +178,7 @@ KMeansResult KMeansCluster(const std::vector<ClusterCell>& cells, std::size_t K,
       groups[g].add(cells[i]);
       result.assignment[i] = static_cast<int>(g);
     }
-    for (std::size_t u = next_unplaced; u < unplaced.size(); ++u) {
-      const std::size_t i = unplaced[u];
-      const std::size_t g = ClosestGroup(groups, cells[i]);
-      groups[g].add(cells[i]);
-      result.assignment[i] = static_cast<int>(g);
-    }
+    for (std::size_t u = next_unplaced; u < unplaced.size(); ++u) place(unplaced[u]);
   } else {
     // Step 0 — initial partition: the K most popular cells seed the groups
     // (input is popularity-ordered), remaining cells join the closest
@@ -94,25 +187,59 @@ KMeansResult KMeansCluster(const std::vector<ClusterCell>& cells, std::size_t K,
       groups[g].add(cells[g]);
       result.assignment[g] = static_cast<int>(g);
     }
-    for (std::size_t i = K; i < cells.size(); ++i) {
-      const std::size_t g = ClosestGroup(groups, cells[i]);
-      groups[g].add(cells[i]);
-      result.assignment[i] = static_cast<int>(g);
-    }
+    for (std::size_t i = K; i < cells.size(); ++i) place(i);
   }
+
+  // |s(a)| per cell, for the closure improvement checks (cells are
+  // immutable for the whole call).
+  std::vector<std::size_t> cell_bits;
+  if (closure) {
+    cell_bits.resize(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      cell_bits[i] = cells[i].members->count();
+  }
+
+  // Incremental-waste Δ of moving cell i from g1 to g2, priced against the
+  // live group states: removal strips the cell's unique bits from g1,
+  // insertion grows g2's union by the cell's uncovered bits.
+  const auto move_delta = [&](std::size_t i, const GroupState& g1,
+                              const GroupState& g2) {
+    const double p = cells[i].prob;
+    const double sa = static_cast<double>(cell_bits[i]);
+    const auto u = cells[i].members->count_and(g1.unique());
+    const auto e = cells[i].members->count_and_not(g2.vec());
+    return -(g1.prob() - p) * static_cast<double>(u) -
+           p * (static_cast<double>(g1.cardinality()) - sa) +
+           (g2.prob() + p) * static_cast<double>(e) +
+           p * (static_cast<double>(g2.cardinality()) - sa);
+  };
 
   // Steps 1–2 — re-assignment passes.
   //
   // Batch (Forgy) passes can oscillate: several cells may simultaneously
-  // move toward the same stale snapshot vector and overshoot.  We track the
-  // total expected waste after every pass, remember the best assignment
-  // seen, and stop once a window of passes brings no improvement.
-  double best_waste = TotalExpectedWaste(cells, result.assignment, static_cast<int>(K));
-  Assignment best_assignment = result.assignment;
+  // move toward the same stale snapshot vector and overshoot.  In the
+  // legacy (non-resumable) mode we track the total expected waste after
+  // every pass, remember the best assignment seen, and stop once a window
+  // of passes brings no improvement.  Resumable mode skips all of that:
+  // the last-pass state is the contract (the caller resumes from it), and
+  // the per-pass canonical rebuild replaces the incremental group
+  // evolution so budget splits are invisible.
+  double best_waste = std::numeric_limits<double>::infinity();
+  Assignment best_assignment;
+  if (!options.resumable) {
+    best_waste = TotalExpectedWaste(cells, result.assignment, static_cast<int>(K));
+    best_assignment = result.assignment;
+  }
   std::size_t stale_passes = 0;
   constexpr std::size_t kPatience = 3;
 
-  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+  std::size_t pass_cap = options.max_iterations;
+  if (options.budget.max_passes != 0)
+    pass_cap = std::min(pass_cap, options.budget.max_passes);
+
+  bool capped_out = false;
+  for (std::size_t iter = 0; iter < pass_cap; ++iter) {
+    if (options.resumable) RebuildGroups(cells, result.assignment, groups);
     ++result.iterations;
     bool moved = false;
 
@@ -120,12 +247,71 @@ KMeansResult KMeansCluster(const std::vector<ClusterCell>& cells, std::size_t K,
       for (std::size_t i = 0; i < cells.size(); ++i) {
         const auto cur = static_cast<std::size_t>(result.assignment[i]);
         if (groups[cur].size() == 1) continue;  // last cell cannot move
+        ++result.cell_visits;
         // Evaluate the cell against its own group with the cell taken out,
-        // so "stay" and "move" compare the same marginal waste.
-        groups[cur].remove(cells[i]);
-        const std::size_t next = ClosestGroup(groups, cells[i]);
-        groups[next].add(cells[i]);
+        // so "stay" and "move" compare the same marginal waste — without
+        // the remove → scan → add round-trip the old inner loop paid even
+        // when the cell stayed put (the common case).
+        std::size_t next = cur;
+        bool used_closure = false;
+        if (closure) {
+          int cand[kMaxCandidates];
+          const std::size_t nc =
+              BuildClosure(*options.neighbors, result.assignment, i,
+                           static_cast<int>(cur), seed_groups, cand);
+          if (nc <= kMaxCandidates) {
+            std::size_t u = 0;
+            const double d_stay = groups[cur].distance_to_excluding(cells[i], &u);
+            double dist[kMaxCandidates];
+            std::size_t cng[kMaxCandidates];
+            BatchedGroupWaste(cells[i], groups, cand, nc, dist, cng);
+            int best = static_cast<int>(cur);
+            double best_d = d_stay;
+            std::size_t best_e = 0;
+            for (std::size_t j = 0; j < nc; ++j) {
+              if (cand[j] == static_cast<int>(cur)) continue;
+              if (dist[j] < best_d || (dist[j] == best_d && cand[j] < best)) {
+                best_d = dist[j];
+                best = cand[j];
+                best_e = cng[j];
+              }
+            }
+            if (best == static_cast<int>(cur)) {
+              used_closure = true;  // stay — nothing to double-check
+            } else {
+              // Improvement check: price the move via the incremental
+              // waste identity.  Removal strips the u unique bits from
+              // cur; insertion grows the target union by best_e bits.  The
+              // move is taken only if the total objective strictly drops —
+              // otherwise the closure's view is too narrow and the exact
+              // scan decides.
+              const double p = cells[i].prob;
+              const double sa = static_cast<double>(cell_bits[i]);
+              const GroupState& g1 = groups[cur];
+              const GroupState& g2 = groups[static_cast<std::size_t>(best)];
+              const double dw1 =
+                  -(g1.prob() - p) * static_cast<double>(u) -
+                  p * (static_cast<double>(g1.cardinality()) - sa);
+              const double dw2 =
+                  (g2.prob() + p) * static_cast<double>(best_e) +
+                  p * (static_cast<double>(g2.cardinality()) - sa);
+              if (dw1 + dw2 < 0.0) {
+                next = static_cast<std::size_t>(best);
+                used_closure = true;
+              }
+            }
+          }
+        }
+        if (!closure || !used_closure || options.closure_oracle) {
+          const std::size_t exact = ClosestGroupExcluding(groups, cur, cells[i]);
+          if (used_closure && next != exact) ++result.oracle_mismatches;
+          if (closure && !used_closure) ++result.closure_fallbacks;
+          next = exact;
+        }
+        if (used_closure) ++result.closure_hits;
         if (next != cur) {
+          groups[cur].remove(cells[i]);
+          groups[next].add(cells[i]);
           result.assignment[i] = static_cast<int>(next);
           moved = true;
         }
@@ -138,20 +324,82 @@ KMeansResult KMeansCluster(const std::vector<ClusterCell>& cells, std::size_t K,
       // slots, making the result bit-identical for any thread count.  The
       // proposals are then applied serially in cell order against the live
       // state, which keeps the "last cell cannot move" guard exact.
+      //
+      // Closure proposals read the frozen assignment too; the improvement
+      // check moves to the serial apply loop below, where the live Δ can
+      // be priced: with the global seed groups in every cell's closure,
+      // ungated proposals pile the whole population onto a handful of
+      // stale snapshot vectors (measured 11x waste blow-up), while the
+      // live gate turns positive as a target fills and stops the stampede.
+      // Oracle mode skips the gate — its contract is bit-identity with the
+      // closure-off path, and exact Forgy applies proposals unconditionally.
       std::vector<std::size_t> proposed(cells.size());
+      std::vector<std::uint8_t> code;  // per-cell closure outcome, merged below
+      if (closure) code.assign(cells.size(), 0);
       ParallelFor(
           cells.size(),
           [&](std::size_t i) {
             const auto cur = static_cast<std::size_t>(result.assignment[i]);
-            proposed[i] = ClosestGroupExcluding(groups, cur, cells[i]);
+            std::size_t next = cur;
+            bool used_closure = false;
+            if (closure) {
+              int cand[kMaxCandidates];
+              const std::size_t nc =
+                  BuildClosure(*options.neighbors, result.assignment, i,
+                               static_cast<int>(cur), seed_groups, cand);
+              if (nc <= kMaxCandidates) {
+                double dist[kMaxCandidates];
+                BatchedGroupWaste(cells[i], groups, cand, nc, dist, nullptr);
+                int best = -1;
+                double best_d = std::numeric_limits<double>::infinity();
+                for (std::size_t j = 0; j < nc; ++j) {
+                  const double d =
+                      cand[j] == static_cast<int>(cur)
+                          ? groups[cur].distance_to_excluding(cells[i])
+                          : dist[j];
+                  if (d < best_d || (d == best_d && cand[j] < best)) {
+                    best_d = d;
+                    best = cand[j];
+                  }
+                }
+                next = static_cast<std::size_t>(best);
+                used_closure = true;
+              }
+            }
+            if (!closure || !used_closure || options.closure_oracle) {
+              const std::size_t exact = ClosestGroupExcluding(groups, cur, cells[i]);
+              if (closure) {
+                if (used_closure && next != exact) code[i] |= 4;
+                if (!used_closure) code[i] |= 2;
+              }
+              next = exact;
+            }
+            if (used_closure) code[i] |= 1;
+            proposed[i] = next;
           },
-          /*min_parallel=*/64);
+          /*min_parallel=*/256, /*grain=*/64);
+      result.cell_visits += cells.size();
+      if (closure) {
+        for (const std::uint8_t c : code) {
+          result.closure_hits += c & 1;
+          result.closure_fallbacks += (c >> 1) & 1;
+          result.oracle_mismatches += (c >> 2) & 1;
+        }
+      }
       Assignment next_assignment = result.assignment;
       for (std::size_t i = 0; i < cells.size(); ++i) {
         const auto cur = static_cast<std::size_t>(result.assignment[i]);
         if (groups[cur].size() == 1) continue;
         const std::size_t next = proposed[i];
         if (next != cur) {
+          if (closure && !options.closure_oracle &&
+              move_delta(i, groups[cur], groups[next]) >= 0.0) {
+            // Closure move fails the live improvement check — reject it
+            // (it was priced on a stale snapshot).  Counted as a fallback:
+            // the closure verdict did not stand on its own.
+            ++result.closure_fallbacks;
+            continue;
+          }
           groups[cur].remove(cells[i]);
           groups[next].add(cells[i]);
           next_assignment[i] = static_cast<int>(next);
@@ -166,18 +414,31 @@ KMeansResult KMeansCluster(const std::vector<ClusterCell>& cells, std::size_t K,
       break;
     }
 
-    const double waste = TotalExpectedWaste(cells, result.assignment, static_cast<int>(K));
-    if (waste < best_waste) {
-      best_waste = waste;
-      best_assignment = result.assignment;
-      stale_passes = 0;
-    } else if (++stale_passes >= kPatience) {
-      break;  // oscillating without improvement
+    if (!options.resumable) {
+      const double waste = TotalExpectedWaste(cells, result.assignment, static_cast<int>(K));
+      if (waste < best_waste) {
+        best_waste = waste;
+        best_assignment = result.assignment;
+        stale_passes = 0;
+      } else if (++stale_passes >= kPatience) {
+        break;  // oscillating without improvement
+      }
+    }
+    if (options.budget.max_cell_visits != 0 &&
+        result.cell_visits >= options.budget.max_cell_visits) {
+      capped_out = true;
+      break;
     }
   }
 
-  if (TotalExpectedWaste(cells, result.assignment, static_cast<int>(K)) > best_waste)
-    result.assignment = std::move(best_assignment);
+  if (!options.resumable) {
+    if (TotalExpectedWaste(cells, result.assignment, static_cast<int>(K)) > best_waste)
+      result.assignment = std::move(best_assignment);
+  }
+  result.budget_exhausted =
+      !result.converged && (options.resumable || capped_out ||
+                            (options.budget.max_passes != 0 &&
+                             result.iterations >= options.budget.max_passes));
   return result;
 }
 

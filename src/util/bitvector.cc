@@ -54,6 +54,20 @@ std::size_t BitVector::count_and_not(const BitVector& o) const {
   return n;
 }
 
+void BitVector::count_diffs(const BitVector& o, std::size_t* this_not_o,
+                            std::size_t* o_not_this) const {
+  assert(nbits_ == o.nbits_);
+  std::size_t a = 0, b = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t w = words_[i];
+    const std::uint64_t v = o.words_[i];
+    a += std::popcount(w & ~v);
+    b += std::popcount(v & ~w);
+  }
+  *this_not_o = a;
+  *o_not_this = b;
+}
+
 std::size_t BitVector::count_and(const BitVector& o) const {
   assert(nbits_ == o.nbits_);
   std::size_t n = 0;

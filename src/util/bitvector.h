@@ -57,6 +57,13 @@ class BitVector {
   // |this \ o| — the expected-waste kernel: count of bits set here but not
   // in o, computed without materializing a temporary.
   std::size_t count_and_not(const BitVector& o) const;
+  // |this \ o| and |o \ this| together, in ONE pass over the words — the
+  // fused expected-waste kernel (each word pair is loaded once and both
+  // AND-NOT popcounts accumulated), half the memory traffic of two
+  // count_and_not calls.  The counts are bit-identical to the two-call
+  // form.
+  void count_diffs(const BitVector& o, std::size_t* this_not_o,
+                   std::size_t* o_not_this) const;
   // |this ∩ o|
   std::size_t count_and(const BitVector& o) const;
   // |this ∪ o|

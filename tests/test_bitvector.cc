@@ -88,6 +88,11 @@ TEST(BitVector, CountKernelsMatchMaterialized) {
     EXPECT_EQ(a.count_and_not(b), diff.count());
     EXPECT_EQ(a.count_and(b), (a & b).count());
     EXPECT_EQ(a.count_or(b), (a | b).count());
+    // The fused one-pass kernel must agree with the two single diffs.
+    std::size_t a_not_b = 0, b_not_a = 0;
+    a.count_diffs(b, &a_not_b, &b_not_a);
+    EXPECT_EQ(a_not_b, a.count_and_not(b));
+    EXPECT_EQ(b_not_a, b.count_and_not(a));
     EXPECT_EQ(a.intersects(b), (a & b).any());
     EXPECT_EQ(a.is_subset_of(b), a.count_and_not(b) == 0);
   }

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <set>
 
 #include "core/grid.h"
 #include "workload/publication_model.h"
@@ -202,6 +204,51 @@ TEST(Grid, CellsIntersectingHandlesExtremeEndpoints) {
   const GridValueRange all = GridCellsIntersecting(Interval(-1e18, 1e18), domain);
   EXPECT_EQ(all.first, 0);
   EXPECT_EQ(all.last, domain - 1);
+}
+
+TEST(Grid, ClusterNeighborsMatchBruteForceAdjacency) {
+  const Workload wl = SmallWorkload();
+  const auto pub = UniformPub(wl);
+  const Grid grid(wl, *pub);
+  const std::size_t n = grid.hyper_cells().size();
+  ASSERT_GT(n, 1u);
+
+  // Brute force: two hyper cells are neighbors iff some pair of their
+  // lattice cells is axis-adjacent.
+  std::vector<std::set<int>> want(n);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      const int h = grid.hyper_cell_of(grid.cell_of(
+          Point{static_cast<double>(a), static_cast<double>(b)}));
+      if (h < 0) continue;
+      const auto link = [&](int a2, int b2) {
+        if (a2 >= 4 || b2 >= 3) return;
+        const int h2 = grid.hyper_cell_of(grid.cell_of(
+            Point{static_cast<double>(a2), static_cast<double>(b2)}));
+        if (h2 < 0 || h2 == h) return;
+        want[static_cast<std::size_t>(h)].insert(h2);
+        want[static_cast<std::size_t>(h2)].insert(h);
+      };
+      link(a + 1, b);
+      link(a, b + 1);
+    }
+  }
+
+  const auto got = grid.cluster_neighbors(0);
+  ASSERT_EQ(got.size(), n);
+  for (std::size_t h = 0; h < n; ++h) {
+    EXPECT_EQ(std::set<int>(got[h].begin(), got[h].end()), want[h]) << h;
+    // Sorted and duplicate-free (the k-means closure relies on neither,
+    // but the contract says so).
+    EXPECT_TRUE(std::is_sorted(got[h].begin(), got[h].end()));
+    EXPECT_EQ(std::adjacent_find(got[h].begin(), got[h].end()), got[h].end());
+  }
+
+  // Truncation: with top_n = 1 only hyper cell 0 is listed and it may only
+  // reference ids below the cut.
+  const auto top1 = grid.cluster_neighbors(1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_TRUE(top1[0].empty());
 }
 
 TEST(Grid, SubscriberOutsideDomainIgnored) {

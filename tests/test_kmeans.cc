@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "cluster_test_util.h"
+#include "util/thread_pool.h"
 
 namespace pubsub {
 namespace {
@@ -169,6 +171,263 @@ TEST(KMeans, WarmStartRejectsSizeMismatch) {
   KMeansOptions warm;
   warm.warm_start = &bad;
   EXPECT_THROW(KMeansCluster(set.cells, 3, warm), std::invalid_argument);
+}
+
+// Index-chain adjacency: cell i neighbors i-1 and i+1.  Synthetic stand-in
+// for Grid::cluster_neighbors — the k-means closure machinery only sees a
+// per-cell index list either way.
+std::vector<std::vector<int>> ChainNeighbors(std::size_t n) {
+  std::vector<std::vector<int>> nb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) nb[i].push_back(static_cast<int>(i - 1));
+    if (i + 1 < n) nb[i].push_back(static_cast<int>(i + 1));
+  }
+  return nb;
+}
+
+class KMeansClosureTest : public ::testing::TestWithParam<KMeansVariant> {
+ protected:
+  KMeansOptions Opt() const {
+    KMeansOptions o;
+    o.variant = GetParam();
+    return o;
+  }
+};
+
+// Oracle mode runs the exact scan on every decision and uses its verdict,
+// so the output must be bit-identical to the closure-off path — on fuzzed
+// inputs across sizes and K.  Mismatch counting rides along for free.
+TEST_P(KMeansClosureTest, OracleBitIdenticalToExactPath) {
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    Rng rng(seed);
+    const std::size_t count = 40 + seed * 30;
+    const CellSet set = RandomCells(count, 25 + seed * 5, rng);
+    const auto neighbors = ChainNeighbors(set.cells.size());
+    for (const std::size_t k : {3u, 9u, 17u}) {
+      const KMeansResult exact = KMeansCluster(set.cells, k, Opt());
+      KMeansOptions oracle = Opt();
+      oracle.closure = true;
+      oracle.neighbors = &neighbors;
+      oracle.closure_oracle = true;
+      const KMeansResult r = KMeansCluster(set.cells, k, oracle);
+      ASSERT_EQ(r.assignment, exact.assignment)
+          << "seed=" << seed << " K=" << k;
+      EXPECT_EQ(r.iterations, exact.iterations);
+      EXPECT_EQ(r.converged, exact.converged);
+      EXPECT_GT(r.closure_hits, 0u);
+    }
+  }
+}
+
+// Without the oracle the closure is allowed to land on a different (local)
+// fixpoint, but every applied move passes an improvement check, so the
+// final waste can never exceed the initial partition's.
+TEST_P(KMeansClosureTest, ClosureNeverWorseThanInitialPartition) {
+  Rng rng(24);
+  const CellSet set = RandomCells(300, 40, rng);
+  const auto neighbors = ChainNeighbors(set.cells.size());
+  for (const std::size_t k : {5u, 16u}) {
+    KMeansOptions opt = Opt();
+    opt.closure = true;
+    opt.neighbors = &neighbors;
+    KMeansOptions no_iter = opt;  // same closure-seeded initial partition
+    no_iter.max_iterations = 0;
+    const double before =
+        TotalExpectedWaste(set.cells, KMeansCluster(set.cells, k, no_iter).assignment,
+                           static_cast<int>(k));
+    const KMeansResult r = KMeansCluster(set.cells, k, opt);
+    EXPECT_TRUE(ValidPartition(r.assignment, k));
+    EXPECT_GT(r.closure_hits, 0u);
+    EXPECT_LE(TotalExpectedWaste(set.cells, r.assignment, static_cast<int>(k)),
+              before + 1e-9);
+  }
+}
+
+// A sequence of budgeted resumable calls (1 pass each, warm-started from
+// the previous result) must be bit-identical to one resumable run of the
+// same total pass count — the per-pass canonical group rebuild makes every
+// pass a pure function of the assignment, so where the budget cuts is
+// invisible.  MacQueen reaches its fixpoint and stops; resumable Forgy may
+// still be oscillating when the cap trips (patience is deliberately off in
+// resumable mode), so the pin is on pass-count-aligned state, with matching
+// convergence verdicts.
+TEST_P(KMeansClosureTest, BudgetedResumeReachesSameFixpointAsOneRun) {
+  Rng rng(25);
+  const CellSet set = RandomCells(220, 35, rng);
+  const auto neighbors = ChainNeighbors(set.cells.size());
+  for (const bool with_closure : {false, true}) {
+    KMeansOptions step = Opt();
+    step.resumable = true;
+    step.closure = with_closure;
+    step.neighbors = with_closure ? &neighbors : nullptr;
+    KMeansOptions full = step;  // same knobs, no budget
+    step.budget.max_passes = 1;
+
+    KMeansResult r = KMeansCluster(set.cells, 10, step);
+    EXPECT_EQ(r.iterations, 1u);
+    std::size_t total_passes = r.iterations;
+    std::size_t rounds = 1;
+    while (!r.converged && total_passes < 60) {
+      ASSERT_TRUE(r.budget_exhausted);
+      const Assignment warm = r.assignment;
+      step.warm_start = &warm;
+      r = KMeansCluster(set.cells, 10, step);
+      total_passes += r.iterations;
+      ++rounds;
+    }
+    EXPECT_GT(rounds, 1u) << "budget never split the run";
+    if (GetParam() == KMeansVariant::kMacQueen)
+      EXPECT_TRUE(r.converged) << "sequential passes must reach a fixpoint";
+
+    full.max_iterations = total_passes;
+    const KMeansResult one = KMeansCluster(set.cells, 10, full);
+    EXPECT_EQ(one.assignment, r.assignment) << "closure=" << with_closure;
+    EXPECT_EQ(one.iterations, total_passes) << "closure=" << with_closure;
+    EXPECT_EQ(one.converged, r.converged) << "closure=" << with_closure;
+  }
+}
+
+// Same budget-cut invisibility when the budget is expressed in cell visits
+// instead of passes (soft cap, checked at pass boundaries).
+TEST_P(KMeansClosureTest, CellVisitBudgetResumes) {
+  Rng rng(26);
+  const CellSet set = RandomCells(150, 30, rng);
+  KMeansOptions step = Opt();
+  step.resumable = true;
+  KMeansOptions full = step;
+  step.budget.max_cell_visits = set.cells.size();  // ~one pass worth
+
+  KMeansResult r = KMeansCluster(set.cells, 8, step);
+  std::size_t total_passes = r.iterations;
+  std::size_t rounds = 1;
+  while (!r.converged && total_passes < 60) {
+    ASSERT_TRUE(r.budget_exhausted);
+    const Assignment warm = r.assignment;
+    step.warm_start = &warm;
+    r = KMeansCluster(set.cells, 8, step);
+    total_passes += r.iterations;
+    ++rounds;
+  }
+  EXPECT_GT(rounds, 1u) << "budget never split the run";
+
+  full.max_iterations = total_passes;
+  const KMeansResult one = KMeansCluster(set.cells, 8, full);
+  EXPECT_EQ(one.assignment, r.assignment);
+  EXPECT_EQ(one.iterations, total_passes);
+  EXPECT_EQ(one.converged, r.converged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, KMeansClosureTest,
+                         ::testing::Values(KMeansVariant::kMacQueen,
+                                           KMeansVariant::kForgy),
+                         [](const auto& info) {
+                           return info.param == KMeansVariant::kMacQueen
+                                      ? "MacQueen"
+                                      : "Forgy";
+                         });
+
+// The Forgy closure pass is pool-parallel; proposals are pure over the
+// frozen pass-start state, so assignment AND counters must be bit-identical
+// at any thread count.  400 cells clears the min_parallel threshold.
+TEST(KMeansClosure, ForgyThreadCountInvariant) {
+  Rng rng(27);
+  const CellSet set = RandomCells(400, 50, rng);
+  const auto neighbors = ChainNeighbors(set.cells.size());
+  KMeansOptions opt;
+  opt.variant = KMeansVariant::kForgy;
+  opt.closure = true;
+  opt.neighbors = &neighbors;
+
+  ThreadPool::global().set_num_threads(1);
+  const KMeansResult serial = KMeansCluster(set.cells, 16, opt);
+  KMeansResult parallel;
+  for (const int threads : {2, 4, 7}) {
+    ThreadPool::global().set_num_threads(threads);
+    parallel = KMeansCluster(set.cells, 16, opt);
+    EXPECT_EQ(parallel.assignment, serial.assignment) << threads;
+    EXPECT_EQ(parallel.iterations, serial.iterations) << threads;
+    EXPECT_EQ(parallel.closure_hits, serial.closure_hits) << threads;
+    EXPECT_EQ(parallel.closure_fallbacks, serial.closure_fallbacks) << threads;
+  }
+  ThreadPool::global().set_num_threads(1);
+}
+
+// Reference implementation of the pre-optimization MacQueen path: remove
+// the cell, scan every group on the mutated state, re-add to the winner —
+// even when the cell stays put — plus the patience/best-of stopping rule
+// that surrounded the pass loop.  The shipped loop evaluates "stay" via
+// distance_to_excluding and only mutates on an actual move; this pin
+// proves the two are bit-identical, not merely close.
+Assignment LegacyMacQueen(const std::vector<ClusterCell>& cells, std::size_t K,
+                          std::size_t max_iterations = 100) {
+  K = std::min(K, cells.size());
+  const std::size_t ns = cells[0].members->size();
+  Assignment assignment(cells.size(), -1);
+  std::vector<GroupState> groups(K, GroupState(ns));
+  const auto closest = [&](const ClusterCell& cell) {
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t g = 0; g < K; ++g) {
+      const double d = groups[g].distance_to(cell);
+      if (d < best_d) {
+        best_d = d;
+        best = g;
+      }
+    }
+    return best;
+  };
+  for (std::size_t g = 0; g < K; ++g) {
+    groups[g].add(cells[g]);
+    assignment[g] = static_cast<int>(g);
+  }
+  for (std::size_t i = K; i < cells.size(); ++i) {
+    const std::size_t g = closest(cells[i]);
+    groups[g].add(cells[i]);
+    assignment[i] = static_cast<int>(g);
+  }
+  double best_waste = TotalExpectedWaste(cells, assignment, static_cast<int>(K));
+  Assignment best_assignment = assignment;
+  std::size_t stale_passes = 0;
+  constexpr std::size_t kPatience = 3;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    bool moved = false;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto cur = static_cast<std::size_t>(assignment[i]);
+      if (groups[cur].size() == 1) continue;
+      groups[cur].remove(cells[i]);
+      const std::size_t next = closest(cells[i]);
+      groups[next].add(cells[i]);
+      if (next != cur) {
+        assignment[i] = static_cast<int>(next);
+        moved = true;
+      }
+    }
+    if (!moved) break;
+    const double waste =
+        TotalExpectedWaste(cells, assignment, static_cast<int>(K));
+    if (waste < best_waste) {
+      best_waste = waste;
+      best_assignment = assignment;
+      stale_passes = 0;
+    } else if (++stale_passes >= kPatience) {
+      break;
+    }
+  }
+  if (TotalExpectedWaste(cells, assignment, static_cast<int>(K)) > best_waste)
+    assignment = std::move(best_assignment);
+  return assignment;
+}
+
+TEST(KMeans, MacQueenBitIdenticalToLegacyDance) {
+  for (const std::uint64_t seed : {31u, 32u, 33u, 34u}) {
+    Rng rng(seed);
+    const CellSet set = RandomCells(60 + seed * 25, 20 + seed * 6, rng);
+    for (const std::size_t k : {2u, 7u, 13u}) {
+      const KMeansResult r = KMeansCluster(set.cells, k, {});
+      EXPECT_EQ(r.assignment, LegacyMacQueen(set.cells, k))
+          << "seed=" << seed << " K=" << k;
+    }
+  }
 }
 
 TEST(KMeans, GroupsNeverEmptied) {

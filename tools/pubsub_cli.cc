@@ -233,6 +233,11 @@ BrokerOptions BrokerOptionsFromFlags(const Flags& flags) {
   opts.refresh.waste_ratio = flags.get_double("refresh-waste", 0.5);
   opts.refresh.min_messages =
       static_cast<std::size_t>(flags.get_int("refresh-min-messages", 200));
+  opts.group.refresh_budget.max_passes =
+      static_cast<std::size_t>(flags.get_int("refresh-passes", 0));
+  opts.group.refresh_budget.max_cell_visits =
+      static_cast<std::size_t>(flags.get_int("refresh-visits", 0));
+  opts.group.closure = flags.get_bool("closure", false);
   opts.obs.trace_sample =
       static_cast<std::uint64_t>(flags.get_int("trace-sample", 0));
   return opts;
